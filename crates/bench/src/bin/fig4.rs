@@ -1,0 +1,66 @@
+//! **Figure 4** — distribution of ambiguity across source files of one
+//! large program (the paper shows gcc's files: most under 0.5% space
+//! increase, a tail reaching ~1.2%).
+//!
+//! We simulate "gcc" as a suite of generated source files whose ambiguity
+//! densities follow a skewed (front-loaded) distribution, then histogram the
+//! *measured* per-file space increase exactly as the figure does.
+//!
+//! Run: `cargo run --release -p wg-bench --bin fig4 [files]`
+
+use wg_core::Session;
+use wg_langs::generate::{c_program, GenSpec};
+use wg_langs::simp_c;
+
+fn main() {
+    let files: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(120);
+    let cfg = simp_c();
+
+    // Skewed density profile: most files have little or no ambiguity.
+    let mut overheads = Vec::with_capacity(files);
+    for i in 0..files {
+        let u = (i as f64 + 0.5) / files as f64;
+        // Inverse-CDF of a front-loaded distribution with a thin tail.
+        let rate = 0.012 * u * u * u;
+        let program = c_program(&GenSpec {
+            lines: 300 + (i % 7) * 100,
+            ambiguity_rate: rate,
+            typedef_rate: 0.02,
+            funcdef_rate: 0.05,
+            lit_call_rate: 0.2,
+            seed: 0xF164 + i as u64,
+        });
+        let s = Session::new(&cfg, &program.text).expect("generated file parses");
+        overheads.push(s.stats().space_overhead_percent());
+    }
+
+    // Histogram with the figure's 0.1%-wide buckets.
+    let bucket_width = 0.1;
+    let max = overheads.iter().cloned().fold(0.0f64, f64::max);
+    let buckets = ((max / bucket_width).ceil() as usize + 1).max(12);
+    let mut hist = vec![0usize; buckets];
+    for &ov in &overheads {
+        hist[(ov / bucket_width) as usize] += 1;
+    }
+
+    println!("\n== Figure 4 — ambiguity distribution by source file ({files} files) ==");
+    println!("{:>12}  {:>5}  histogram", "% increase", "files");
+    let scale = 60.0 / hist.iter().copied().max().unwrap_or(1) as f64;
+    for (i, &count) in hist.iter().enumerate() {
+        let lo = i as f64 * bucket_width;
+        println!(
+            "{:>5.1}-{:<5.1}  {:>5}  {}",
+            lo,
+            lo + bucket_width,
+            count,
+            "#".repeat((count as f64 * scale).ceil() as usize)
+        );
+    }
+    let under_half = overheads.iter().filter(|&&o| o < 0.5).count();
+    println!(
+        "\n{under_half}/{files} files below 0.5% — the paper's shape: ambiguity is rare\nand localized, with a thin tail (max here {max:.2}%)."
+    );
+}

@@ -1,0 +1,83 @@
+//! **Section 5, batch comparison** — the paper reports that an initial
+//! (batch) parse with the IGLR parser is nearly as fast as the
+//! deterministic parser: parsing per se was ~12% of analysis time for the
+//! deterministic parser vs ~15% for IGLR, with most time going to node
+//! construction. The typedef ambiguity is removed for this comparison, as
+//! in the paper.
+//!
+//! We parse identical token streams with the deterministic incremental
+//! parser (batch mode), the IGLR parser (batch mode), and the plain batch
+//! GLR parser, and report total times plus the parse-vs-lex split.
+//!
+//! Run: `cargo run --release -p wg-bench --bin sec5_batch [lines]`
+
+use wg_bench::{fmt_dur, print_table, time_once, tokenize};
+use wg_core::IglrParser;
+use wg_dag::DagArena;
+use wg_glr::GlrParser;
+use wg_langs::generate::{c_program, GenSpec};
+use wg_langs::simp_c_det;
+use wg_sentential::IncLrParser;
+
+fn main() {
+    let lines: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8_000);
+    let cfg = simp_c_det();
+    let program = c_program(&GenSpec::sized(lines, 0.0, 99));
+
+    let (tokens, lex_time) = time_once(|| tokenize(&cfg, &program.text));
+    let pairs: Vec<(wg_grammar::Terminal, &str)> =
+        tokens.iter().map(|(t, s)| (*t, s.as_str())).collect();
+
+    let det = IncLrParser::new(cfg.grammar(), cfg.table()).expect("deterministic");
+    let iglr = IglrParser::new(cfg.grammar(), cfg.table());
+    let glr = GlrParser::new(cfg.grammar(), cfg.table());
+
+    let (_r1, t_det) = time_once(|| {
+        let mut arena = DagArena::new();
+        det.parse_tokens(&mut arena, pairs.iter().copied())
+            .expect("parses")
+    });
+    let (_r2, t_iglr) = time_once(|| {
+        let mut arena = DagArena::new();
+        iglr.parse_tokens(&mut arena, pairs.iter().copied())
+            .expect("parses")
+    });
+    let (_r3, t_glr) = time_once(|| {
+        let mut arena = DagArena::new();
+        glr.parse(&mut arena, pairs.iter().copied()).expect("parses")
+    });
+
+    let per_tok = |t: std::time::Duration| {
+        format!("{:.0} ns", t.as_nanos() as f64 / tokens.len() as f64)
+    };
+    let rows = vec![
+        vec![
+            "deterministic (state-matching)".into(),
+            fmt_dur(t_det),
+            per_tok(t_det),
+        ],
+        vec![
+            "IGLR (batch mode)".into(),
+            fmt_dur(t_iglr),
+            per_tok(t_iglr),
+        ],
+        vec!["batch GLR (Rekers)".into(), fmt_dur(t_glr), per_tok(t_glr)],
+    ];
+    print_table(
+        "Section 5 — initial parse, typedef ambiguity removed",
+        &["parser", "parse time", "per token"],
+        &rows,
+    );
+    println!(
+        "\ntokens: {}   lexing: {}   IGLR/deterministic parse-time ratio: {:.2}x",
+        tokens.len(),
+        fmt_dur(lex_time),
+        t_iglr.as_secs_f64() / t_det.as_secs_f64()
+    );
+    println!(
+        "(paper: parsing proper was 12% of total analysis time for the\n deterministic parser vs 15% for IGLR — an implied parse-time ratio of\n ~1.25x; in an environment, node construction and semantic analysis\n dominate and the GLR machinery is a rounding error)"
+    );
+}

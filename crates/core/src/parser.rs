@@ -1,0 +1,897 @@
+//! The incremental GLR parsing algorithm (Appendix A of the paper).
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use wg_dag::{
+    rebalance_sequences, unshare_epsilon, DagArena, InputStream, NodeId, NodeKind, ParseState,
+};
+use wg_glr::{ps, Gss, GssIdx, Link, MergeTables, TablePolicy};
+use wg_grammar::{Grammar, ProdId, Terminal};
+use wg_lrtable::{Action, LrTable, StateId};
+
+/// Errors from the incremental GLR parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IglrError {
+    /// Terminals consumed before the failure.
+    pub consumed: usize,
+    /// The terminal no parser could consume (EOF for premature end).
+    pub terminal: Terminal,
+    /// Terminals that would have been consumable in the live parse states.
+    pub expected: Vec<Terminal>,
+}
+
+impl IglrError {
+    /// Renders the expected terminals using the grammar's names.
+    pub fn expected_names(&self, g: &Grammar) -> Vec<String> {
+        self.expected
+            .iter()
+            .map(|&t| g.terminal_name(t).to_string())
+            .collect()
+    }
+}
+
+impl fmt::Display for IglrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "no parser can proceed after {} tokens", self.consumed)
+    }
+}
+
+impl std::error::Error for IglrError {}
+
+/// Counters for one incremental (re)parse — the quantities behind the
+/// paper's Section 5 measurements.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IglrRunStats {
+    /// Terminal symbols shifted individually.
+    pub terminal_shifts: usize,
+    /// Non-trivial subtrees reused whole via state matching.
+    pub subtree_shifts: usize,
+    /// Sequence runs spliced without state change.
+    pub run_shifts: usize,
+    /// Reductions performed.
+    pub reductions: usize,
+    /// Subtrees decomposed because reuse failed or the parse went
+    /// non-deterministic.
+    pub breakdowns: usize,
+    /// Maximum simultaneously active parsers.
+    pub max_parsers: usize,
+    /// Shift rounds in which the parse was non-deterministic.
+    pub nondeterministic_rounds: usize,
+    /// GSS nodes allocated.
+    pub gss_nodes: usize,
+}
+
+/// The incremental GLR parser for one grammar/table pair.
+///
+/// Accepts **any** context-free grammar. Deterministic regions parse exactly
+/// like the deterministic incremental parser; conflicted table cells fork
+/// parsers, whose joint stacks live in a transient GSS, and surviving
+/// interpretations merge under symbol nodes in the dag.
+#[derive(Debug, Clone, Copy)]
+pub struct IglrParser<'a> {
+    g: &'a Grammar,
+    table: &'a LrTable,
+}
+
+impl<'a> IglrParser<'a> {
+    /// Creates the parser. The table must have been built for `g`; conflicts
+    /// are welcome.
+    pub fn new(g: &'a Grammar, table: &'a LrTable) -> IglrParser<'a> {
+        IglrParser { g, table }
+    }
+
+    /// Batch-parses a fresh token sequence, returning the new super-root.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IglrError`] when no parser can consume a token.
+    pub fn parse_tokens<'t>(
+        &self,
+        arena: &mut DagArena,
+        tokens: impl IntoIterator<Item = (Terminal, &'t str)>,
+    ) -> Result<NodeId, IglrError> {
+        arena.begin_epoch();
+        let nodes: Vec<NodeId> = tokens
+            .into_iter()
+            .map(|(t, s)| arena.terminal(t, s))
+            .collect();
+        self.parse_terminal_nodes(arena, &nodes)
+    }
+
+    /// Batch-parses terminal nodes the caller already created (so the caller
+    /// can keep token → node bookkeeping, as [`crate::Session`] does).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IglrError`] on invalid input.
+    pub fn parse_terminal_nodes(
+        &self,
+        arena: &mut DagArena,
+        nodes: &[NodeId],
+    ) -> Result<NodeId, IglrError> {
+        let placeholder = arena.production(ProdId::AUGMENTED, ParseState::NONE, vec![]);
+        let root = arena.root(placeholder);
+        let eos = arena.kids(root)[2];
+        let stream = InputStream::over_terminals(arena, nodes, eos);
+        let (body, _stats) = self.drive(arena, stream)?;
+        arena.set_root_body(root, body);
+        self.finish(arena, root);
+        Ok(root)
+    }
+
+    /// Incrementally reparses the previous tree after damage marking.
+    /// `replacements` maps modified terminals to their relexed successors;
+    /// `appended` holds terminals inserted at the very end of the document.
+    /// On success the super-root is reused (its body is swapped); on failure
+    /// the previous tree is untouched (the paper's non-correcting recovery).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IglrError`] if the modified input has no parse.
+    pub fn reparse(
+        &self,
+        arena: &mut DagArena,
+        root: NodeId,
+        replacements: HashMap<NodeId, Vec<NodeId>>,
+        appended: &[NodeId],
+    ) -> Result<IglrRunStats, IglrError> {
+        arena.begin_epoch();
+        let mut stream = InputStream::over_tree(arena, root, replacements);
+        stream.append_before_eos(arena, appended);
+        let (body, stats) = match self.drive(arena, stream) {
+            Ok(ok) => ok,
+            Err(e) => {
+                // The previous tree stays authoritative: restore the parent
+                // chains this attempt overwrote while adopting reused nodes.
+                arena.rollback_parents();
+                return Err(e);
+            }
+        };
+        arena.set_root_body(root, body);
+        self.finish(arena, root);
+        Ok(stats)
+    }
+
+    /// Canonically rebuilds every sequence in the tree (the periodic
+    /// backstop for incremental compaction's depth creep).
+    pub fn rebalance_full(&self, arena: &mut DagArena, root: NodeId) {
+        wg_dag::rebalance_sequences_full(
+            arena,
+            root,
+            &TablePolicy {
+                g: self.g,
+                table: self.table,
+            },
+        );
+    }
+
+    fn finish(&self, arena: &mut DagArena, root: NodeId) {
+        arena.refresh_parents(root);
+        unshare_epsilon(arena, root);
+        rebalance_sequences(
+            arena,
+            root,
+            &TablePolicy {
+                g: self.g,
+                table: self.table,
+            },
+        );
+    }
+
+    fn drive(
+        &self,
+        arena: &mut DagArena,
+        stream: InputStream,
+    ) -> Result<(NodeId, IglrRunStats), IglrError> {
+        let mut run = IglrRun {
+            g: self.g,
+            table: self.table,
+            gss: Gss::new(),
+            merge: MergeTables::new(),
+            active: Vec::new(),
+            queued: HashSet::new(),
+            for_actor: Vec::new(),
+            for_shifter: Vec::new(),
+            accepting: None,
+            multi: false,
+            forward: HashMap::new(),
+            stream,
+            stats: IglrRunStats::default(),
+        };
+        let bottom = run.gss.bottom(self.table.start_state());
+        run.active.push(bottom);
+
+        loop {
+            let redla = run.stream.reduction_terminal(arena);
+            run.round(arena, redla);
+            if let Some(acc) = run.accepting {
+                let body = run.gss.links(acc)[0].node;
+                run.stats.gss_nodes = run.gss.len();
+                return Ok((body, run.stats));
+            }
+            if redla.is_eof() || run.for_shifter.is_empty() {
+                return Err(IglrError {
+                    consumed: run.stats.terminal_shifts,
+                    terminal: redla,
+                    expected: run.expected_terminals(self.g, self.table),
+                });
+            }
+            if !run.shift_phase(arena) {
+                return Err(IglrError {
+                    consumed: run.stats.terminal_shifts,
+                    terminal: redla,
+                    expected: run.expected_terminals(self.g, self.table),
+                });
+            }
+        }
+    }
+}
+
+/// Mutable state of one incremental GLR parse.
+struct IglrRun<'a> {
+    g: &'a Grammar,
+    table: &'a LrTable,
+    gss: Gss,
+    merge: MergeTables,
+    active: Vec<GssIdx>,
+    queued: HashSet<GssIdx>,
+    for_actor: Vec<GssIdx>,
+    for_shifter: Vec<(GssIdx, StateId)>,
+    accepting: Option<GssIdx>,
+    /// The paper's `multipleStates` flag.
+    multi: bool,
+    /// Proxy upgrades of the current round (see `wg_glr`).
+    forward: HashMap<NodeId, NodeId>,
+    stream: InputStream,
+    stats: IglrRunStats,
+}
+
+impl IglrRun<'_> {
+    /// Terminals consumable from the currently active states (diagnostics).
+    fn expected_terminals(&self, g: &Grammar, table: &LrTable) -> Vec<Terminal> {
+        let mut out: Vec<Terminal> = g
+            .terminals()
+            .filter(|&t| {
+                self.active
+                    .iter()
+                    .any(|&p| !table.actions(self.gss.state(p), t).is_empty())
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// One reduce/accept round against the reduction lookahead `redla`.
+    fn round(&mut self, arena: &mut DagArena, redla: Terminal) {
+        self.merge.clear();
+        self.forward.clear();
+        self.for_shifter.clear();
+        self.for_actor.clear();
+        self.for_actor.extend_from_slice(&self.active);
+        self.queued.clear();
+        self.queued.extend(self.for_actor.iter().copied());
+        self.stats.max_parsers = self.stats.max_parsers.max(self.active.len());
+        // Multiple links on one (state-merged) GSS node are as
+        // non-deterministic as multiple parsers: reductions through them are
+        // context-dependent, so their results must carry the multistate
+        // marker.
+        if self
+            .active
+            .iter()
+            .any(|&p| self.gss.links(p).len() > 1)
+        {
+            self.multi = true;
+        }
+        while let Some(p) = self.for_actor.pop() {
+            self.queued.remove(&p);
+            self.actor(arena, p, redla);
+        }
+        if self.multi {
+            self.stats.nondeterministic_rounds += 1;
+        }
+    }
+
+    fn resolve(&self, mut n: NodeId) -> NodeId {
+        while let Some(&next) = self.forward.get(&n) {
+            n = next;
+        }
+        n
+    }
+
+    fn actor(&mut self, arena: &mut DagArena, p: GssIdx, redla: Terminal) {
+        let state = self.gss.state(p);
+        let n_actions = self.table.actions(state, redla).len();
+        if n_actions > 1 {
+            self.multi = true;
+        }
+        for ai in 0..n_actions {
+            let action = self.table.actions(state, redla)[ai];
+            match action {
+                Action::Accept => {
+                    if redla.is_eof() {
+                        self.accepting = Some(p);
+                    }
+                }
+                Action::Shift(s) => {
+                    if !self.for_shifter.contains(&(p, s)) {
+                        self.for_shifter.push((p, s));
+                    }
+                }
+                Action::Reduce(rule) => {
+                    let arity = self.g.production(rule).arity();
+                    let mut work: Vec<(GssIdx, Vec<NodeId>)> = Vec::new();
+                    self.gss.for_each_path(p, arity, |tail, kids| {
+                        work.push((tail, kids.to_vec()));
+                    });
+                    if work.len() > 1 {
+                        self.multi = true;
+                    }
+                    if !self.multi && self.active.len() == 1 && work.len() == 1 {
+                        // Deterministic fast path: no sharing is possible,
+                        // so skip the merge tables entirely.
+                        let (q, kids) = work.pop().expect("one path");
+                        self.fast_reducer(arena, q, rule, kids);
+                    } else {
+                        for (q, kids) in work {
+                            self.reducer(arena, q, rule, kids);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+
+    /// The deterministic fast path: exactly one parser, one path, no
+    /// conflicts — no sharing is possible, so the merge tables are skipped.
+    fn fast_reducer(&mut self, arena: &mut DagArena, q: GssIdx, rule: ProdId, kids: Vec<NodeId>) {
+        self.stats.reductions += 1;
+        let lhs = self.g.production(rule).lhs();
+        let Some(goto) = self.table.goto(self.gss.state(q), lhs) else {
+            return;
+        };
+        if let Some(&p) = self.active.iter().find(|&&m| self.gss.state(m) == goto) {
+            if self.gss.find_link(p, q).is_some() {
+                // Re-derivation of an existing edge: take the general path.
+                self.reducer(arena, q, rule, kids);
+                return;
+            }
+            let node = wg_glr::build_reduction_node(
+                arena,
+                self.g,
+                rule,
+                kids,
+                ps(self.gss.state(q)),
+                false,
+            );
+            self.gss.add_link(p, Link { head: q, node });
+            if !self.queued.contains(&p) {
+                self.for_actor.push(p);
+                self.queued.insert(p);
+            }
+        } else {
+            let node = wg_glr::build_reduction_node(
+                arena,
+                self.g,
+                rule,
+                kids,
+                ps(self.gss.state(q)),
+                false,
+            );
+            let p = self.gss.push(goto, Link { head: q, node });
+            self.active.push(p);
+            self.for_actor.push(p);
+            self.queued.insert(p);
+        }
+    }
+
+    fn reducer(&mut self, arena: &mut DagArena, q: GssIdx, rule: ProdId, kids: Vec<NodeId>) {
+        self.stats.reductions += 1;
+        let lhs = self.g.production(rule).lhs();
+        let kids: Vec<NodeId> = kids.into_iter().map(|k| self.resolve(k)).collect();
+        let Some(goto) = self.table.goto(self.gss.state(q), lhs) else {
+            return; // dead fork
+        };
+        let node = self
+            .merge
+            .get_node(arena, self.g, rule, kids.clone(), ps(self.gss.state(q)), self.multi);
+
+        if let Some(&p) = self.active.iter().find(|&&m| self.gss.state(m) == goto) {
+            if let Some(pos) = self.gss.find_link(p, q) {
+                let label = self.resolve(self.gss.links(p)[pos].node);
+                if label == node {
+                    return;
+                }
+                // A fast-path node is not in the merge tables; an identical
+                // re-derivation must not be packed as spurious ambiguity.
+                if let NodeKind::Production { prod } = arena.kind(label) {
+                    if *prod == rule && arena.kids(label) == kids {
+                        return;
+                    }
+                }
+                if matches!(arena.kind(label), NodeKind::Symbol { .. }) {
+                    arena.add_choice(label, node);
+                } else {
+                    let sym = arena.symbol(lhs, label);
+                    arena.add_choice(sym, node);
+                    self.gss.relabel_all(label, sym);
+                    self.merge.record_symbol(lhs, arena.width(sym), sym);
+                    self.merge.upgrade_proxy(arena, label, sym);
+                    self.forward.insert(label, sym);
+                }
+            } else {
+                let (label, replaced) = self.merge.get_symbol_node(arena, lhs, node);
+                if let Some(old) = replaced {
+                    self.gss.relabel_all(old, label);
+                    self.forward.insert(old, label);
+                }
+                self.gss.add_link(p, Link { head: q, node: label });
+                if !self.queued.contains(&p) {
+                    self.for_actor.push(p);
+                    self.queued.insert(p);
+                }
+            }
+        } else {
+            let (label, replaced) = self.merge.get_symbol_node(arena, lhs, node);
+            if let Some(old) = replaced {
+                self.gss.relabel_all(old, label);
+                self.forward.insert(old, label);
+            }
+            let p = self.gss.push(goto, Link { head: q, node: label });
+            self.active.push(p);
+            self.for_actor.push(p);
+            self.queued.insert(p);
+            self.stats.max_parsers = self.stats.max_parsers.max(self.active.len());
+        }
+    }
+
+    /// The shift phase (Appendix A's `shifter`): shifts a whole subtree when
+    /// exactly one parser is shifting and the state-match succeeds, a
+    /// sequence run when the parse state is unchanged, and otherwise breaks
+    /// the lookahead down — fully, while the parse is non-deterministic.
+    /// Returns `false` if nothing could be shifted.
+    fn shift_phase(&mut self, arena: &mut DagArena) -> bool {
+        self.multi = self.for_shifter.len() > 1;
+        loop {
+            let Some(la) = self.stream.la() else {
+                return false;
+            };
+            match arena.kind(la) {
+                NodeKind::Eos => return false,
+                NodeKind::Terminal { .. } => {
+                    self.shift_terminal(la);
+                    self.stream.pop(arena);
+                    self.stats.terminal_shifts += 1;
+                    return true;
+                }
+                NodeKind::SeqRun { .. } if !self.multi && self.for_shifter.len() == 1 => {
+                    let (p, _) = self.for_shifter[0];
+                    if arena.state(la) == ps(self.gss.state(p))
+                        && self.gss.links(p).len() == 1
+                    {
+                        let label = self.gss.links(p)[0].node;
+                        let merged = self.merge_run(arena, label, la);
+                        if merged != label {
+                            self.gss.relabel_link(p, 0, merged);
+                        }
+                        self.stream.pop(arena);
+                        self.stats.run_shifts += 1;
+                        self.active.clear();
+                        self.active.push(p);
+                        return true;
+                    }
+                    self.stream.left_breakdown(arena);
+                    self.stats.breakdowns += 1;
+                }
+                NodeKind::Production { .. } | NodeKind::Sequence { .. }
+                    if !self.multi && self.for_shifter.len() == 1 && arena.width(la) > 0 =>
+                {
+                    let (p, _) = self.for_shifter[0];
+                    let sym = arena
+                        .kind(la)
+                        .nonterminal_of(|pr| self.g.production(pr).lhs())
+                        .expect("nonterminal node");
+                    let p_state = self.gss.state(p);
+                    if arena.state(la) == ps(p_state) {
+                        if let Some(target) = self.table.goto(p_state, sym) {
+                            let np = self.gss.push(target, Link { head: p, node: la });
+                            self.active.clear();
+                            self.active.push(np);
+                            self.stream.pop(arena);
+                            self.stats.subtree_shifts += 1;
+                            return true;
+                        }
+                    }
+                    self.stream.left_breakdown(arena);
+                    self.stats.breakdowns += 1;
+                }
+                _ => {
+                    // Non-deterministic parse, failed state match, symbol
+                    // node, or null-yield subtree: decompose.
+                    self.stream.left_breakdown(arena);
+                    self.stats.breakdowns += 1;
+                }
+            }
+        }
+    }
+
+    /// Shifts one terminal node for every pending (parser, state) pair;
+    /// parsers landing in the same state merge (as in batch GLR).
+    fn shift_terminal(&mut self, node: NodeId) {
+        self.active.clear();
+        for i in 0..self.for_shifter.len() {
+            let (p, s) = self.for_shifter[i];
+            if let Some(&existing) = self.active.iter().find(|&&m| self.gss.state(m) == s) {
+                self.gss.add_link(existing, Link { head: p, node });
+            } else {
+                let np = self.gss.push(s, Link { head: p, node });
+                self.active.push(np);
+            }
+        }
+        self.for_shifter.clear();
+    }
+
+    /// Splices a run into the open sequence labelling the current link.
+    fn merge_run(&self, arena: &mut DagArena, top: NodeId, run: NodeId) -> NodeId {
+        let current =
+            arena.is_current_epoch(top) && matches!(arena.kind(top), NodeKind::Sequence { .. });
+        if current {
+            arena.seq_append(top, &[run]);
+            top
+        } else {
+            let sym = match arena.kind(run) {
+                NodeKind::SeqRun { symbol } => *symbol,
+                _ => unreachable!("merge_run called on a run"),
+            };
+            arena.sequence(sym, arena.state(top), vec![top, run])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wg_dag::{structurally_equal, yield_string, DagStats};
+    use wg_grammar::{GrammarBuilder, SeqKind, Symbol};
+    use wg_lrtable::TableKind;
+
+    struct Lang {
+        g: Grammar,
+        table: LrTable,
+    }
+
+    impl Lang {
+        fn build(g: Grammar) -> Lang {
+            let table = LrTable::build(&g, TableKind::Lalr);
+            Lang { g, table }
+        }
+    }
+
+    fn amb_expr() -> Lang {
+        let mut b = GrammarBuilder::new("amb");
+        let plus = b.terminal("+");
+        let num = b.terminal("num");
+        let e = b.nonterminal("E");
+        b.prod(e, vec![Symbol::N(e), Symbol::T(plus), Symbol::N(e)]);
+        b.prod(e, vec![Symbol::T(num)]);
+        b.start(e);
+        Lang::build(b.build().unwrap())
+    }
+
+    fn seq_lang() -> Lang {
+        let mut b = GrammarBuilder::new("seqlang");
+        let id = b.terminal("id");
+        let semi = b.terminal(";");
+        let stmt = b.nonterminal("stmt");
+        let prog = b.nonterminal("prog");
+        b.prod(stmt, vec![Symbol::T(id), Symbol::T(semi)]);
+        b.sequence(prog, Symbol::N(stmt), SeqKind::Plus, None);
+        b.start(prog);
+        Lang::build(b.build().unwrap())
+    }
+
+    fn tok<'x>(lang: &Lang, words: &[&'x str]) -> Vec<(Terminal, &'x str)> {
+        words
+            .iter()
+            .map(|w| {
+                let name = match *w {
+                    ";" | "+" => *w,
+                    _ if w.chars().all(|c| c.is_ascii_digit()) => "num",
+                    _ => "id",
+                };
+                (lang.g.terminal_by_name(name).unwrap(), *w)
+            })
+            .collect()
+    }
+
+    fn collect_terminals(arena: &DagArena, root: NodeId) -> Vec<NodeId> {
+        fn rec(a: &DagArena, n: NodeId, out: &mut Vec<NodeId>) {
+            match a.kind(n) {
+                NodeKind::Terminal { .. } => out.push(n),
+                NodeKind::Bos | NodeKind::Eos => {}
+                NodeKind::Symbol { .. } => rec(a, a.kids(n)[0], out),
+                _ => {
+                    for &k in a.kids(n) {
+                        rec(a, k, out);
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        rec(arena, root, &mut out);
+        out
+    }
+
+    #[test]
+    fn batch_parse_matches_batch_glr() {
+        let lang = amb_expr();
+        let tokens = tok(&lang, &["1", "+", "2", "+", "3"]);
+        let mut a1 = DagArena::new();
+        let iglr = IglrParser::new(&lang.g, &lang.table);
+        let r1 = iglr.parse_tokens(&mut a1, tokens.clone()).unwrap();
+        let mut a2 = DagArena::new();
+        let glr = wg_glr::GlrParser::new(&lang.g, &lang.table);
+        let r2 = glr.parse(&mut a2, tokens).unwrap();
+        assert!(
+            structurally_equal(&a1, r1, &a2, r2),
+            "IGLR from scratch must equal batch GLR"
+        );
+        assert_eq!(DagStats::compute(&a1, r1).choice_points, 1);
+    }
+
+    #[test]
+    fn ambiguous_reparse_equals_from_scratch() {
+        let lang = amb_expr();
+        let iglr = IglrParser::new(&lang.g, &lang.table);
+        let mut arena = DagArena::new();
+        let tokens = tok(&lang, &["1", "+", "2", "+", "3"]);
+        let root = iglr.parse_tokens(&mut arena, tokens).unwrap();
+
+        // Edit: change the middle number.
+        let terms = collect_terminals(&arena, root);
+        let victim = terms[2];
+        let num = lang.g.terminal_by_name("num").unwrap();
+        let fresh = arena.terminal(num, "99");
+        arena.mark_changed(victim);
+        arena.mark_following(terms[1]);
+        let mut reps = HashMap::new();
+        reps.insert(victim, vec![fresh]);
+        iglr.reparse(&mut arena, root, reps, &[]).unwrap();
+        arena.clear_changes();
+
+        let mut ref_arena = DagArena::new();
+        let ref_root = iglr
+            .parse_tokens(&mut ref_arena, tok(&lang, &["1", "+", "99", "+", "3"]))
+            .unwrap();
+        assert!(structurally_equal(&arena, root, &ref_arena, ref_root));
+        assert_eq!(yield_string(&arena, root), "1 + 99 + 3");
+    }
+
+    #[test]
+    fn deterministic_region_reuse_in_mixed_grammar() {
+        // prog = stmt+ where one stmt form is ambiguous is covered by the
+        // langs crate; here: pure sequence reuse through the GLR machinery.
+        let lang = seq_lang();
+        let iglr = IglrParser::new(&lang.g, &lang.table);
+        let mut arena = DagArena::new();
+        let words: Vec<String> = (0..300)
+            .flat_map(|i| vec![format!("v{i}"), ";".to_string()])
+            .collect();
+        let tokens = tok(&lang, &words.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+        let root = iglr.parse_tokens(&mut arena, tokens).unwrap();
+        assert_eq!(arena.width(root), 600);
+
+        // Rename one identifier in the middle.
+        let terms = collect_terminals(&arena, root);
+        let victim = terms[300];
+        let id = lang.g.terminal_by_name("id").unwrap();
+        let fresh = arena.terminal(id, "renamed");
+        arena.mark_changed(victim);
+        arena.mark_following(terms[299]);
+        let mut reps = HashMap::new();
+        reps.insert(victim, vec![fresh]);
+        let stats = iglr.reparse(&mut arena, root, reps, &[]).unwrap();
+        arena.clear_changes();
+
+        assert!(
+            stats.terminal_shifts <= 8,
+            "only the edited statement is rescanned: {stats:?}"
+        );
+        assert!(
+            stats.run_shifts + stats.subtree_shifts >= 2,
+            "suffix and prefix reuse expected: {stats:?}"
+        );
+        assert_eq!(stats.nondeterministic_rounds, 0);
+        assert_eq!(arena.width(root), 600);
+    }
+
+    #[test]
+    fn lr2_dynamic_lookahead_marks_multistate_nodes() {
+        // Figure 7's grammar: LR(2), unambiguous.
+        let mut b = GrammarBuilder::new("lr2");
+        let x = b.terminal("x");
+        let z = b.terminal("z");
+        let c = b.terminal("c");
+        let e = b.terminal("e");
+        let a_nt = b.nonterminal("A");
+        let b_nt = b.nonterminal("B");
+        let d_nt = b.nonterminal("D");
+        let u_nt = b.nonterminal("U");
+        let v_nt = b.nonterminal("V");
+        b.prod(a_nt, vec![Symbol::N(b_nt), Symbol::T(c)]);
+        b.prod(a_nt, vec![Symbol::N(d_nt), Symbol::T(e)]);
+        b.prod(b_nt, vec![Symbol::N(u_nt), Symbol::T(z)]);
+        b.prod(d_nt, vec![Symbol::N(v_nt), Symbol::T(z)]);
+        b.prod(u_nt, vec![Symbol::T(x)]);
+        b.prod(v_nt, vec![Symbol::T(x)]);
+        b.start(a_nt);
+        let lang = Lang::build(b.build().unwrap());
+        let iglr = IglrParser::new(&lang.g, &lang.table);
+        let mut arena = DagArena::new();
+        let tokens = vec![
+            (lang.g.terminal_by_name("x").unwrap(), "x"),
+            (lang.g.terminal_by_name("z").unwrap(), "z"),
+            (lang.g.terminal_by_name("c").unwrap(), "c"),
+        ];
+        let root = iglr.parse_tokens(&mut arena, tokens).unwrap();
+        // Unambiguous result, but the nodes reduced while two parsers were
+        // active (U -> x, B -> U z) carry the multistate marker (Figure 7's
+        // black ellipses), while A -> B c is deterministic again.
+        let mut multi_lhs = Vec::new();
+        let mut det_lhs = Vec::new();
+        fn walk(
+            a: &DagArena,
+            g: &Grammar,
+            n: NodeId,
+            multi: &mut Vec<String>,
+            det: &mut Vec<String>,
+        ) {
+            if let NodeKind::Production { prod } = a.kind(n) {
+                let name = g.nonterminal_name(g.production(*prod).lhs()).to_string();
+                if a.state(n) == ParseState::MULTI {
+                    multi.push(name);
+                } else {
+                    det.push(name);
+                }
+            }
+            for &k in a.kids(n) {
+                walk(a, g, k, multi, det);
+            }
+        }
+        walk(&arena, &lang.g, root, &mut multi_lhs, &mut det_lhs);
+        assert!(multi_lhs.contains(&"U".to_string()), "U -> x reduced under 2 parsers");
+        assert!(det_lhs.contains(&"A".to_string()), "A -> B c reduced deterministically");
+        assert_eq!(DagStats::compute(&arena, root).choice_points, 0);
+    }
+
+    #[test]
+    fn edit_inside_lookahead_region_reparses_correctly() {
+        // Parse "x z c", then flip the final c to e: the whole LR(2) region
+        // must be re-analyzed and flip from B-interpretation to D.
+        let mut b = GrammarBuilder::new("lr2");
+        let x = b.terminal("x");
+        let z = b.terminal("z");
+        let c = b.terminal("c");
+        let e = b.terminal("e");
+        let a_nt = b.nonterminal("A");
+        let b_nt = b.nonterminal("B");
+        let d_nt = b.nonterminal("D");
+        let u_nt = b.nonterminal("U");
+        let v_nt = b.nonterminal("V");
+        b.prod(a_nt, vec![Symbol::N(b_nt), Symbol::T(c)]);
+        b.prod(a_nt, vec![Symbol::N(d_nt), Symbol::T(e)]);
+        b.prod(b_nt, vec![Symbol::N(u_nt), Symbol::T(z)]);
+        b.prod(d_nt, vec![Symbol::N(v_nt), Symbol::T(z)]);
+        b.prod(u_nt, vec![Symbol::T(x)]);
+        b.prod(v_nt, vec![Symbol::T(x)]);
+        b.start(a_nt);
+        let lang = Lang::build(b.build().unwrap());
+        let iglr = IglrParser::new(&lang.g, &lang.table);
+        let mut arena = DagArena::new();
+        let root = iglr
+            .parse_tokens(
+                &mut arena,
+                vec![(x, "x"), (z, "z"), (c, "c")],
+            )
+            .unwrap();
+        let terms = collect_terminals(&arena, root);
+        let victim = terms[2];
+        let fresh = arena.terminal(e, "e");
+        arena.mark_changed(victim);
+        arena.mark_following(terms[1]);
+        let mut reps = HashMap::new();
+        reps.insert(victim, vec![fresh]);
+        iglr.reparse(&mut arena, root, reps, &[]).unwrap();
+        arena.clear_changes();
+        assert_eq!(yield_string(&arena, root), "x z e");
+        // The embedded tree is now the D interpretation.
+        let mut ref_arena = DagArena::new();
+        let ref_root = iglr
+            .parse_tokens(&mut ref_arena, vec![(x, "x"), (z, "z"), (e, "e")])
+            .unwrap();
+        assert!(structurally_equal(&arena, root, &ref_arena, ref_root));
+    }
+
+    #[test]
+    fn failed_reparse_preserves_old_tree() {
+        let lang = seq_lang();
+        let iglr = IglrParser::new(&lang.g, &lang.table);
+        let mut arena = DagArena::new();
+        let root = iglr
+            .parse_tokens(&mut arena, tok(&lang, &["a", ";", "b", ";"]))
+            .unwrap();
+        let before = yield_string(&arena, root);
+        let terms = collect_terminals(&arena, root);
+        let semi = lang.g.terminal_by_name(";").unwrap();
+        let fresh = arena.terminal(semi, ";");
+        arena.mark_changed(terms[0]);
+        let mut reps = HashMap::new();
+        reps.insert(terms[0], vec![fresh]); // "; ; b ;" is invalid
+        assert!(iglr.reparse(&mut arena, root, reps, &[]).is_err());
+        arena.clear_changes();
+        assert_eq!(yield_string(&arena, root), before);
+    }
+
+    #[test]
+    fn self_cancelling_edit_roundtrip() {
+        // The Section 5 protocol: change a token, reparse, change it back,
+        // reparse; final tree equals the original structurally.
+        let lang = seq_lang();
+        let iglr = IglrParser::new(&lang.g, &lang.table);
+        let mut arena = DagArena::new();
+        let words: Vec<String> = (0..50)
+            .flat_map(|i| vec![format!("v{i}"), ";".to_string()])
+            .collect();
+        let tokens = tok(&lang, &words.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+        let root = iglr.parse_tokens(&mut arena, tokens).unwrap();
+        let reference = yield_string(&arena, root);
+
+        let id = lang.g.terminal_by_name("id").unwrap();
+        for round in 0..3 {
+            let terms = collect_terminals(&arena, root);
+            let victim = terms[20];
+            let fresh = arena.terminal(id, "tmp");
+            arena.mark_changed(victim);
+            arena.mark_following(terms[19]);
+            let mut reps = HashMap::new();
+            reps.insert(victim, vec![fresh]);
+            iglr.reparse(&mut arena, root, reps, &[]).unwrap();
+            arena.clear_changes();
+
+            let terms = collect_terminals(&arena, root);
+            let victim = terms[20];
+            let back = arena.terminal(id, "v10");
+            arena.mark_changed(victim);
+            arena.mark_following(terms[19]);
+            let mut reps = HashMap::new();
+            reps.insert(victim, vec![back]);
+            iglr.reparse(&mut arena, root, reps, &[]).unwrap();
+            arena.clear_changes();
+            assert_eq!(yield_string(&arena, root), reference, "round {round}");
+        }
+    }
+
+    #[test]
+    fn garbage_collection_between_reparses() {
+        let lang = seq_lang();
+        let iglr = IglrParser::new(&lang.g, &lang.table);
+        let mut arena = DagArena::new();
+        let mut root = iglr
+            .parse_tokens(&mut arena, tok(&lang, &["a", ";", "b", ";"]))
+            .unwrap();
+        for i in 0..20 {
+            let terms = collect_terminals(&arena, root);
+            let id = lang.g.terminal_by_name("id").unwrap();
+            let fresh = arena.terminal(id, if i % 2 == 0 { "q" } else { "a" });
+            arena.mark_changed(terms[0]);
+            let mut reps = HashMap::new();
+            reps.insert(terms[0], vec![fresh]);
+            iglr.reparse(&mut arena, root, reps, &[]).unwrap();
+            arena.clear_changes();
+            let (new_root, _) = arena.collect_garbage(root);
+            root = new_root;
+        }
+        assert!(arena.len() < 60, "gc keeps the arena bounded: {}", arena.len());
+        assert_eq!(arena.width(root), 4);
+    }
+}

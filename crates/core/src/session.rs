@@ -1,0 +1,957 @@
+//! The analysis session: text buffer + incremental lexer + IGLR parser +
+//! abstract parse dag, glued into the edit/reparse cycle of an interactive
+//! environment (the paper's Ensemble setting).
+
+use crate::parser::{IglrError, IglrParser, IglrRunStats};
+use std::collections::HashMap;
+use std::fmt;
+use wg_dag::{DagArena, DagStats, NodeId, NodeKind};
+use wg_document::{Edit, TextBuffer, UnincorporatedEdits};
+use wg_grammar::{Grammar, Terminal};
+use wg_lexer::{Lexer, LexerDef, RegexError, TokenAt};
+use wg_lrtable::{LrTable, TableKind};
+
+/// Errors configuring or running a session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// A non-skip lexer rule names a token the grammar does not declare.
+    UnknownToken(String),
+    /// A lexer pattern failed to compile.
+    Regex(RegexError),
+    /// The initial text does not lex.
+    LexError {
+        /// Byte offsets of unmatched input.
+        positions: Vec<usize>,
+    },
+    /// The initial text does not parse.
+    ParseError(IglrError),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::UnknownToken(n) => {
+                write!(f, "lexer rule `{n}` has no matching grammar terminal")
+            }
+            SessionError::Regex(e) => write!(f, "{e}"),
+            SessionError::LexError { positions } => {
+                write!(f, "unlexable input at byte(s) {positions:?}")
+            }
+            SessionError::ParseError(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<RegexError> for SessionError {
+    fn from(e: RegexError) -> SessionError {
+        SessionError::Regex(e)
+    }
+}
+
+/// Immutable per-language artifacts shared by any number of sessions: the
+/// grammar, its conflict-preserving LALR(1) table, and the compiled lexer.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    grammar: Grammar,
+    table: LrTable,
+    lexer: Lexer,
+    /// Lexer rule index → grammar terminal (None for skip rules).
+    term_map: Vec<Option<Terminal>>,
+}
+
+impl SessionConfig {
+    /// Compiles the language definition. Each non-skip lexer rule must name
+    /// a grammar terminal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SessionError::UnknownToken`] for unmapped rules.
+    pub fn new(grammar: Grammar, lexdef: LexerDef) -> Result<SessionConfig, SessionError> {
+        let lexer = lexdef.compile();
+        let mut term_map = Vec::with_capacity(lexer.num_rules());
+        for i in 0..lexer.num_rules() {
+            let name = lexer.rule_name(wg_lexer::RuleId(i as u32));
+            term_map.push(grammar.terminal_by_name(name));
+        }
+        let table = LrTable::build(&grammar, TableKind::Lalr);
+        Ok(SessionConfig {
+            grammar,
+            table,
+            lexer,
+            term_map,
+        })
+    }
+
+    /// The grammar.
+    pub fn grammar(&self) -> &Grammar {
+        &self.grammar
+    }
+
+    /// The conflict-preserving LALR(1) table.
+    pub fn table(&self) -> &LrTable {
+        &self.table
+    }
+
+    /// The compiled lexer.
+    pub fn lexer(&self) -> &Lexer {
+        &self.lexer
+    }
+
+    fn terminal_for(&self, tok: &TokenAt) -> Option<Terminal> {
+        if tok.rule.index() < self.term_map.len() {
+            self.term_map[tok.rule.index()]
+        } else {
+            None
+        }
+    }
+}
+
+/// How many prefix lengths [`Session::reparse`] tries before giving up.
+const MAX_PREFIX_ATTEMPTS: usize = 8;
+
+/// The result of one [`Session::reparse`] cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReparseOutcome {
+    /// Whether **all** pending edits were incorporated into the tree.
+    /// `false` means some modification yields no valid parse (or no valid
+    /// lexing); the tree then reflects the longest incorporable *prefix* of
+    /// the pending modifications and the rest are flagged (the paper's
+    /// history-based non-correcting recovery, Section 4.3: only
+    /// modifications that result in at least one valid parse tree are
+    /// integrated).
+    pub incorporated: bool,
+    /// How many of the pending edits made it into the tree this cycle.
+    pub incorporated_edits: usize,
+    /// How many edits remain pending (flagged as unincorporated).
+    pub remaining_edits: usize,
+    /// Parser effort counters of the successful parse (zeroed when nothing
+    /// was incorporated).
+    pub stats: IglrRunStats,
+    /// The error that stopped fuller incorporation, if any.
+    pub error: Option<IglrError>,
+}
+
+/// One document under incremental analysis.
+#[derive(Debug, Clone)]
+pub struct Session<'a> {
+    config: &'a SessionConfig,
+    buffer: TextBuffer,
+    arena: DagArena,
+    root: NodeId,
+    tokens: Vec<TokenAt>,
+    token_nodes: Vec<NodeId>,
+    unincorporated: UnincorporatedEdits,
+    reparses: usize,
+}
+
+impl<'a> Session<'a> {
+    /// Lexes and batch-parses `text`, establishing the initial tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SessionError`] when the initial text does not lex or parse.
+    pub fn new(config: &'a SessionConfig, text: &str) -> Result<Session<'a>, SessionError> {
+        let out = config.lexer.lex(text);
+        if !out.errors.is_empty() {
+            return Err(SessionError::LexError {
+                positions: out.errors,
+            });
+        }
+        let mut arena = DagArena::new();
+        arena.begin_epoch();
+        let mut token_nodes = Vec::with_capacity(out.tokens.len());
+        for tok in &out.tokens {
+            let term = config
+                .terminal_for(tok)
+                .ok_or_else(|| {
+                    SessionError::UnknownToken(config.lexer.rule_name(tok.rule).to_string())
+                })?;
+            token_nodes.push(arena.terminal(term, tok.lexeme(text)));
+        }
+        let parser = IglrParser::new(&config.grammar, &config.table);
+        let root = parser
+            .parse_terminal_nodes(&mut arena, &token_nodes)
+            .map_err(SessionError::ParseError)?;
+        Ok(Session {
+            config,
+            buffer: TextBuffer::new(text),
+            arena,
+            root,
+            tokens: out.tokens,
+            token_nodes,
+            unincorporated: UnincorporatedEdits::new(),
+            reparses: 0,
+        })
+    }
+
+    /// Applies a textual edit (does not reparse).
+    pub fn edit(&mut self, start: usize, removed: usize, insert: &str) -> Edit {
+        self.buffer.replace(start, removed, insert)
+    }
+
+    /// Inserts text (does not reparse).
+    pub fn insert(&mut self, offset: usize, text: &str) -> Edit {
+        self.buffer.insert(offset, text)
+    }
+
+    /// Deletes text (does not reparse).
+    pub fn delete(&mut self, offset: usize, len: usize) -> Edit {
+        self.buffer.delete(offset, len)
+    }
+
+    /// Undoes the most recent edit (does not reparse).
+    pub fn undo(&mut self) -> Option<Edit> {
+        self.buffer.undo()
+    }
+
+    /// Incrementally relexes and reparses all pending edits.
+    ///
+    /// Edits whose result does not lex or parse are *not* incorporated: the
+    /// previous tree survives, the edits are flagged, and a later reparse
+    /// (after further edits) retries the whole accumulated damage.
+    ///
+    /// # Errors
+    ///
+    /// This method itself does not fail; refusals are reported through
+    /// [`ReparseOutcome::incorporated`]. The `Result` covers internal
+    /// invariant violations surfaced as [`SessionError`] (none currently).
+    pub fn reparse(&mut self) -> Result<ReparseOutcome, SessionError> {
+        let pending = self.buffer.pending_len();
+        if pending == 0 {
+            return Ok(ReparseOutcome {
+                incorporated: true,
+                incorporated_edits: 0,
+                remaining_edits: 0,
+                stats: IglrRunStats::default(),
+                error: None,
+            });
+        }
+        // Try the full pending set first, then ever-shorter prefixes (the
+        // paper's recovery integrates only the modifications that yield a
+        // valid parse). Attempts are capped so a long broken session does
+        // not retry quadratically.
+        let min_k = pending.saturating_sub(MAX_PREFIX_ATTEMPTS);
+        let mut last_error = None;
+        for k in (min_k + 1..=pending).rev() {
+            let text = if k == pending {
+                self.buffer.text().to_string()
+            } else {
+                self.buffer.text_at_prefix(k)
+            };
+            let damage = self.buffer.pending_damage_prefix(k).expect("k >= 1");
+            match self.try_incorporate(&text, damage) {
+                Ok(stats) => {
+                    self.buffer.commit_prefix(k);
+                    self.reparses += 1;
+                    self.unincorporated.clear();
+                    if k != pending {
+                        for e in self.buffer.pending_edits() {
+                            self.unincorporated.flag(self.buffer.version(), e);
+                        }
+                    }
+                    // Incremental compaction lets sequence depth creep
+                    // slowly; a periodic canonical rebuild amortizes it away.
+                    if self.reparses.is_multiple_of(64) {
+                        let parser =
+                            IglrParser::new(&self.config.grammar, &self.config.table);
+                        parser.rebalance_full(&mut self.arena, self.root);
+                    }
+                    self.maybe_gc();
+                    return Ok(ReparseOutcome {
+                        incorporated: k == pending,
+                        incorporated_edits: k,
+                        remaining_edits: pending - k,
+                        stats,
+                        error: last_error,
+                    });
+                }
+                Err(e) => last_error = e,
+            }
+        }
+        self.unincorporated.clear();
+        for e in self.buffer.pending_edits() {
+            self.unincorporated.flag(self.buffer.version(), e);
+        }
+        Ok(ReparseOutcome {
+            incorporated: false,
+            incorporated_edits: 0,
+            remaining_edits: pending,
+            stats: IglrRunStats::default(),
+            error: last_error,
+        })
+    }
+
+    /// One incorporation attempt against a target `text` whose difference
+    /// from the committed text is `damage`. On success the tree, tokens and
+    /// node bookkeeping reflect `text`; on failure everything is unwound.
+    fn try_incorporate(
+        &mut self,
+        text: &str,
+        damage: Edit,
+    ) -> Result<IglrRunStats, Option<IglrError>> {
+        let relex = self.config.lexer.relex(text, &self.tokens, damage);
+        if !relex.errors.is_empty() {
+            return Err(None);
+        }
+        let mut new_nodes = Vec::with_capacity(relex.new_tokens.len());
+        for tok in &relex.new_tokens {
+            let Some(term) = self.config.terminal_for(tok) else {
+                return Err(None);
+            };
+            new_nodes.push(self.arena.terminal(term, tok.lexeme(text)));
+        }
+
+        // Wire replacements and damage marks into the old tree.
+        let first_changed = relex.kept_prefix;
+        let changed_end = self.tokens.len() - relex.kept_suffix;
+        let mut replacements: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        let mut appended: Vec<NodeId> = Vec::new();
+        let mut suffix_clone: Option<NodeId> = None;
+
+        if first_changed < changed_end {
+            for (i, &node) in self.token_nodes[first_changed..changed_end]
+                .iter()
+                .enumerate()
+            {
+                self.arena.mark_changed(node);
+                replacements
+                    .insert(node, if i == 0 { new_nodes.clone() } else { Vec::new() });
+            }
+        } else if !new_nodes.is_empty() {
+            // Pure insertion at a token boundary.
+            if relex.kept_suffix > 0 {
+                let anchor = self.token_nodes[self.tokens.len() - relex.kept_suffix];
+                let clone = self.clone_terminal(anchor);
+                self.arena.mark_changed(anchor);
+                let mut reps = new_nodes.clone();
+                reps.push(clone);
+                replacements.insert(anchor, reps);
+                suffix_clone = Some(clone);
+            } else {
+                appended = new_nodes.clone();
+            }
+        }
+        if first_changed > 0 {
+            self.arena.mark_following(self.token_nodes[first_changed - 1]);
+        }
+        if appended.is_empty() && replacements.is_empty() && new_nodes.is_empty() {
+            // Deletion of trailing whitespace etc.: nothing structural, but
+            // trailing-lookahead reductions may still be stale.
+            if let Some(&last) = self.token_nodes.last() {
+                self.arena.mark_following(last);
+            }
+        }
+        if relex.kept_suffix == 0 && !appended.is_empty() {
+            if let Some(&last) = self.token_nodes.last() {
+                self.arena.mark_following(last);
+            }
+        }
+
+        let parser = IglrParser::new(&self.config.grammar, &self.config.table);
+        match parser.reparse(&mut self.arena, self.root, replacements, &appended) {
+            Ok(stats) => {
+                self.arena.clear_changes();
+                self.tokens = self
+                    .config
+                    .lexer
+                    .apply_relex(&self.tokens, &relex, damage.delta());
+                let mut nodes = Vec::with_capacity(
+                    relex.kept_prefix + new_nodes.len() + relex.kept_suffix,
+                );
+                nodes.extend_from_slice(&self.token_nodes[..relex.kept_prefix]);
+                nodes.extend_from_slice(&new_nodes);
+                let suffix =
+                    &self.token_nodes[self.token_nodes.len() - relex.kept_suffix..];
+                nodes.extend_from_slice(suffix);
+                if let Some(clone) = suffix_clone {
+                    nodes[relex.kept_prefix + new_nodes.len()] = clone;
+                }
+                self.token_nodes = nodes;
+                Ok(stats)
+            }
+            Err(e) => {
+                self.arena.clear_changes();
+                Err(Some(e))
+            }
+        }
+    }
+
+    fn clone_terminal(&mut self, node: NodeId) -> NodeId {
+        match self.arena.kind(node).clone() {
+            NodeKind::Terminal { term, lexeme } => self.arena.terminal(term, &lexeme),
+            _ => unreachable!("token nodes are terminals"),
+        }
+    }
+
+    /// Compacts the arena when garbage from prior versions dominates.
+    fn maybe_gc(&mut self) {
+        let live_estimate = 4 * self.token_nodes.len() + 64;
+        if self.arena.len() > 3 * live_estimate {
+            let (new_root, map) = self.arena.collect_garbage(self.root);
+            self.root = new_root;
+            for n in &mut self.token_nodes {
+                *n = map[n];
+            }
+        }
+    }
+
+    /// Current text.
+    pub fn text(&self) -> &str {
+        self.buffer.text()
+    }
+
+    /// Number of (non-skip) tokens.
+    pub fn token_count(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// The dag arena (for analyses over the tree).
+    pub fn arena(&self) -> &DagArena {
+        &self.arena
+    }
+
+    /// Mutable access to the arena (semantic passes attach attributes and
+    /// may restructure their own side tables; the tree itself should be
+    /// treated as read-only between reparses).
+    pub fn arena_mut(&mut self) -> &mut DagArena {
+        &mut self.arena
+    }
+
+    /// The super-root of the current tree.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The language configuration.
+    pub fn config(&self) -> &SessionConfig {
+        self.config
+    }
+
+    /// Space statistics of the current dag.
+    pub fn stats(&self) -> DagStats {
+        DagStats::compute(&self.arena, self.root)
+    }
+
+    /// Pretty-printed tree (testing/debugging).
+    pub fn dump(&self) -> String {
+        wg_dag::dump(&self.arena, self.root, &self.config.grammar)
+    }
+
+    /// Edits the parser refused to incorporate (Section 4.3).
+    pub fn unincorporated(&self) -> &UnincorporatedEdits {
+        &self.unincorporated
+    }
+
+    /// Number of successful incremental reparses so far.
+    pub fn reparse_count(&self) -> usize {
+        self.reparses
+    }
+
+    /// Index of the token covering byte `offset` of the *committed* text
+    /// (the text the current tree reflects), if any — offsets inside
+    /// skipped whitespace/comments have no token.
+    pub fn token_index_at(&self, offset: usize) -> Option<usize> {
+        // Tokens are sorted by start; find the last token starting at or
+        // before `offset` and check coverage.
+        let ix = self.tokens.partition_point(|t| t.start <= offset);
+        if ix == 0 {
+            return None;
+        }
+        let t = &self.tokens[ix - 1];
+        (offset < t.end()).then_some(ix - 1)
+    }
+
+    /// The dag path from the super-root down to the terminal covering byte
+    /// `offset`: `[root, ..., terminal]`. Empty when no token covers the
+    /// offset. The path runs through any choice points containing the
+    /// token, so editor tooling can see local ambiguity directly.
+    pub fn node_path_at(&self, offset: usize) -> Vec<NodeId> {
+        let Some(ix) = self.token_index_at(offset) else {
+            return Vec::new();
+        };
+        let mut path = Vec::new();
+        let mut cur = self.token_nodes[ix];
+        while !cur.is_none() {
+            path.push(cur);
+            cur = self.arena.node(cur).parent();
+        }
+        path.reverse();
+        // A stale parent chain (shared terminal adopted by the other
+        // alternative) still ends at the root because refresh_parents ran.
+        debug_assert_eq!(path.first().copied(), Some(self.root));
+        path
+    }
+
+    /// The terminal dag node covering byte `offset`, with its token.
+    pub fn terminal_at(&self, offset: usize) -> Option<(NodeId, &TokenAt)> {
+        let ix = self.token_index_at(offset)?;
+        Some((self.token_nodes[ix], &self.tokens[ix]))
+    }
+
+    /// The choice points of the current dag, in preorder — the ambiguous
+    /// regions a disambiguation pass (or an editor's diagnostics pane)
+    /// should look at.
+    pub fn ambiguities(&self) -> Vec<NodeId> {
+        wg_dag::descendants(&self.arena, self.root)
+            .filter(|&n| matches!(self.arena.kind(n), NodeKind::Symbol { .. }))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wg_dag::yield_string;
+    use wg_grammar::{GrammarBuilder, SeqKind, Symbol};
+
+    fn stmt_config() -> SessionConfig {
+        // prog = (id = num ;)+
+        let mut b = GrammarBuilder::new("stmts");
+        let id = b.terminal("id");
+        let eq = b.terminal("=");
+        let num = b.terminal("num");
+        let semi = b.terminal(";");
+        let stmt = b.nonterminal("stmt");
+        let prog = b.nonterminal("prog");
+        b.prod(
+            stmt,
+            vec![Symbol::T(id), Symbol::T(eq), Symbol::T(num), Symbol::T(semi)],
+        );
+        b.sequence(prog, Symbol::N(stmt), SeqKind::Plus, None);
+        b.start(prog);
+        let g = b.build().unwrap();
+        let mut lx = LexerDef::new();
+        lx.rule("id", "[a-zA-Z_][a-zA-Z0-9_]*").unwrap();
+        lx.rule("num", "[0-9]+").unwrap();
+        lx.literal("=", "=");
+        lx.literal(";", ";");
+        lx.skip("ws", "[ \\t\\n]+").unwrap();
+        SessionConfig::new(g, lx).unwrap()
+    }
+
+    fn program(n: usize) -> String {
+        (0..n)
+            .map(|i| format!("v{i} = {i};"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn initial_parse_and_accessors() {
+        let cfg = stmt_config();
+        let s = Session::new(&cfg, "a = 1; b = 2;").unwrap();
+        assert_eq!(s.token_count(), 8);
+        assert_eq!(s.text(), "a = 1; b = 2;");
+        assert_eq!(yield_string(s.arena(), s.root()), "a = 1 ; b = 2 ;");
+        assert!(s.unincorporated().is_empty());
+        assert_eq!(s.reparse_count(), 0);
+        assert!(s.dump().contains("prog"));
+        assert_eq!(s.stats().choice_points, 0);
+    }
+
+    #[test]
+    fn bad_initial_text_errors() {
+        let cfg = stmt_config();
+        assert!(matches!(
+            Session::new(&cfg, "a = # 1;"),
+            Err(SessionError::LexError { .. })
+        ));
+        assert!(matches!(
+            Session::new(&cfg, "a = 1"),
+            Err(SessionError::ParseError(_))
+        ));
+    }
+
+    #[test]
+    fn edit_and_reparse_token_replacement() {
+        let cfg = stmt_config();
+        let mut s = Session::new(&cfg, &program(20)).unwrap();
+        // Rename v10 -> victory.
+        let pos = s.text().find("v10").unwrap();
+        s.edit(pos, 3, "victory");
+        let out = s.reparse().unwrap();
+        assert!(out.incorporated);
+        assert!(yield_string(s.arena(), s.root()).contains("victory = 10 ;"));
+        assert_eq!(s.token_count(), 80);
+        assert!(
+            out.stats.terminal_shifts <= 8,
+            "local edit must not rescan the file: {:?}",
+            out.stats
+        );
+    }
+
+    #[test]
+    fn insertion_of_new_statement() {
+        let cfg = stmt_config();
+        let mut s = Session::new(&cfg, "a = 1; b = 2;").unwrap();
+        s.insert(7, "zz = 9; ");
+        let out = s.reparse().unwrap();
+        assert!(out.incorporated);
+        assert_eq!(yield_string(s.arena(), s.root()), "a = 1 ; zz = 9 ; b = 2 ;");
+        assert_eq!(s.token_count(), 12);
+    }
+
+    #[test]
+    fn append_at_document_end() {
+        let cfg = stmt_config();
+        let mut s = Session::new(&cfg, "a = 1;").unwrap();
+        let end = s.text().len();
+        s.insert(end, " b = 2;");
+        let out = s.reparse().unwrap();
+        assert!(out.incorporated, "{:?}", out.error);
+        assert_eq!(yield_string(s.arena(), s.root()), "a = 1 ; b = 2 ;");
+    }
+
+    #[test]
+    fn deletion_of_statement() {
+        let cfg = stmt_config();
+        let mut s = Session::new(&cfg, "a = 1; b = 2; c = 3;").unwrap();
+        let start = s.text().find("b = 2; ").unwrap();
+        s.delete(start, 7);
+        let out = s.reparse().unwrap();
+        assert!(out.incorporated);
+        assert_eq!(yield_string(s.arena(), s.root()), "a = 1 ; c = 3 ;");
+    }
+
+    #[test]
+    fn refused_edit_keeps_tree_and_flags() {
+        let cfg = stmt_config();
+        let mut s = Session::new(&cfg, "a = 1; b = 2;").unwrap();
+        let before = yield_string(s.arena(), s.root());
+        s.edit(0, 1, ";");
+        let out = s.reparse().unwrap();
+        assert!(!out.incorporated);
+        assert!(out.error.is_some());
+        assert_eq!(yield_string(s.arena(), s.root()), before);
+        assert_eq!(s.unincorporated().flagged().len(), 1);
+        // A correcting edit later incorporates everything at once.
+        s.edit(0, 1, "fixed");
+        let out = s.reparse().unwrap();
+        assert!(out.incorporated, "{:?}", out.error);
+        assert!(yield_string(s.arena(), s.root()).starts_with("fixed = 1 ;"));
+        assert!(s.unincorporated().is_empty());
+    }
+
+    #[test]
+    fn unlexable_edit_is_refused() {
+        let cfg = stmt_config();
+        let mut s = Session::new(&cfg, "a = 1;").unwrap();
+        s.edit(0, 0, "#");
+        let out = s.reparse().unwrap();
+        assert!(!out.incorporated);
+        assert_eq!(s.unincorporated().flagged().len(), 1);
+        assert_eq!(yield_string(s.arena(), s.root()), "a = 1 ;");
+    }
+
+    #[test]
+    fn self_cancelling_session_edits() {
+        let cfg = stmt_config();
+        let mut s = Session::new(&cfg, &program(50)).unwrap();
+        let reference = yield_string(s.arena(), s.root());
+        for _ in 0..5 {
+            let pos = s.text().find("v25").unwrap();
+            s.edit(pos, 3, "tmp");
+            assert!(s.reparse().unwrap().incorporated);
+            s.undo();
+            assert!(s.reparse().unwrap().incorporated);
+            assert_eq!(yield_string(s.arena(), s.root()), reference);
+        }
+        assert_eq!(s.reparse_count(), 10);
+    }
+
+    #[test]
+    fn many_edits_with_gc_stay_bounded() {
+        let cfg = stmt_config();
+        let mut s = Session::new(&cfg, &program(30)).unwrap();
+        for i in 0..60 {
+            let pos = s.text().find("v15").unwrap();
+            s.edit(pos + 1, 2, &format!("{}", 15 + (i % 3)));
+            assert!(s.reparse().unwrap().incorporated);
+            let pos = s.text().find(&format!("v{}", 15 + (i % 3))).unwrap();
+            s.edit(pos + 1, 2, "15");
+            assert!(s.reparse().unwrap().incorporated);
+        }
+        assert!(
+            s.arena().len() < 3000,
+            "arena must stay bounded under gc: {}",
+            s.arena().len()
+        );
+        assert_eq!(s.token_count(), 120);
+    }
+
+    #[test]
+    fn reparse_without_edits_is_a_noop() {
+        let cfg = stmt_config();
+        let mut s = Session::new(&cfg, "a = 1;").unwrap();
+        let out = s.reparse().unwrap();
+        assert!(out.incorporated);
+        assert_eq!(out.stats, IglrRunStats::default());
+        assert_eq!(s.reparse_count(), 0);
+    }
+
+    #[test]
+    fn whitespace_only_edit() {
+        let cfg = stmt_config();
+        let mut s = Session::new(&cfg, "a = 1; b = 2;").unwrap();
+        s.insert(6, "   ");
+        let out = s.reparse().unwrap();
+        assert!(out.incorporated, "{:?}", out.error);
+        assert_eq!(yield_string(s.arena(), s.root()), "a = 1 ; b = 2 ;");
+        assert_eq!(s.token_count(), 8);
+    }
+}
+
+#[cfg(test)]
+mod prefix_tests {
+    use super::*;
+    use wg_dag::yield_string;
+    use wg_grammar::{GrammarBuilder, SeqKind, Symbol};
+
+    fn cfg() -> SessionConfig {
+        let mut b = GrammarBuilder::new("stmts");
+        let id = b.terminal("id");
+        let semi = b.terminal(";");
+        let stmt = b.nonterminal("stmt");
+        let prog = b.nonterminal("prog");
+        b.prod(stmt, vec![Symbol::T(id), Symbol::T(semi)]);
+        b.sequence(prog, Symbol::N(stmt), SeqKind::Plus, None);
+        b.start(prog);
+        let g = b.build().unwrap();
+        let mut lx = LexerDef::new();
+        lx.rule("id", "[a-zA-Z_][a-zA-Z0-9_]*").unwrap();
+        lx.literal(";", ";");
+        lx.skip("ws", "[ \\t\\n]+").unwrap();
+        SessionConfig::new(g, lx).unwrap()
+    }
+
+    #[test]
+    fn good_prefix_incorporates_before_broken_suffix() {
+        let c = cfg();
+        let mut s = Session::new(&c, "alpha; beta;").unwrap();
+        // Edit 1 (valid): rename alpha. Edit 2 (broken): stray semicolons.
+        s.edit(0, 5, "gamma");
+        s.insert(0, ";;;");
+        let out = s.reparse().unwrap();
+        assert!(!out.incorporated);
+        assert_eq!(out.incorporated_edits, 1, "the rename made it in");
+        assert_eq!(out.remaining_edits, 1);
+        assert!(out.error.is_some());
+        // The tree reflects the prefix text, not the broken buffer text.
+        assert_eq!(yield_string(s.arena(), s.root()), "gamma ; beta ;");
+        assert_eq!(s.text(), ";;;gamma; beta;", "buffer keeps all typing");
+        assert_eq!(s.unincorporated().flagged().len(), 1);
+
+        // Fixing the breakage folds the rest in.
+        s.delete(0, 3);
+        let out = s.reparse().unwrap();
+        assert!(out.incorporated);
+        assert_eq!(out.remaining_edits, 0);
+        assert!(s.unincorporated().is_empty());
+        assert_eq!(yield_string(s.arena(), s.root()), "gamma ; beta ;");
+    }
+
+    #[test]
+    fn broken_prefix_blocks_everything_behind_it() {
+        let c = cfg();
+        let mut s = Session::new(&c, "alpha;").unwrap();
+        s.insert(0, ";;;");
+        s.edit(3, 5, "delta"); // valid rename, but behind the breakage
+        let out = s.reparse().unwrap();
+        assert!(!out.incorporated);
+        assert_eq!(out.incorporated_edits, 0);
+        assert_eq!(out.remaining_edits, 2);
+        assert_eq!(yield_string(s.arena(), s.root()), "alpha ;");
+    }
+
+    #[test]
+    fn flag_count_tracks_current_backlog() {
+        let c = cfg();
+        let mut s = Session::new(&c, "alpha;").unwrap();
+        s.insert(0, "(");
+        s.reparse().unwrap();
+        assert_eq!(s.unincorporated().flagged().len(), 1);
+        s.insert(0, "(");
+        s.reparse().unwrap();
+        assert_eq!(
+            s.unincorporated().flagged().len(),
+            2,
+            "flags reflect the live backlog, not a running total"
+        );
+    }
+}
+
+#[cfg(test)]
+mod query_tests {
+    use super::*;
+    use wg_grammar::{GrammarBuilder, SeqKind, Symbol};
+
+    fn cfg() -> SessionConfig {
+        let mut b = GrammarBuilder::new("stmts");
+        let id = b.terminal("id");
+        let semi = b.terminal(";");
+        let stmt = b.nonterminal("stmt");
+        let prog = b.nonterminal("prog");
+        b.prod(stmt, vec![Symbol::T(id), Symbol::T(semi)]);
+        b.sequence(prog, Symbol::N(stmt), SeqKind::Plus, None);
+        b.start(prog);
+        let g = b.build().unwrap();
+        let mut lx = LexerDef::new();
+        lx.rule("id", "[a-zA-Z_][a-zA-Z0-9_]*").unwrap();
+        lx.literal(";", ";");
+        lx.skip("ws", "[ \\t\\n]+").unwrap();
+        SessionConfig::new(g, lx).unwrap()
+    }
+
+    #[test]
+    fn token_lookup_by_offset() {
+        let c = cfg();
+        let s = Session::new(&c, "alpha; beta;").unwrap();
+        assert_eq!(s.token_index_at(0), Some(0), "inside `alpha`");
+        assert_eq!(s.token_index_at(4), Some(0));
+        assert_eq!(s.token_index_at(5), Some(1), "the semicolon");
+        assert_eq!(s.token_index_at(6), None, "whitespace gap");
+        assert_eq!(s.token_index_at(7), Some(2), "inside `beta`");
+        assert_eq!(s.token_index_at(999), None);
+        let (node, tok) = s.terminal_at(8).unwrap();
+        assert_eq!(tok.lexeme(s.text()), "beta");
+        assert!(matches!(s.arena().kind(node), NodeKind::Terminal { .. }));
+    }
+
+    #[test]
+    fn node_path_runs_root_to_terminal() {
+        let c = cfg();
+        let s = Session::new(&c, "alpha; beta; gamma;").unwrap();
+        let path = s.node_path_at(8);
+        assert!(path.len() >= 3);
+        assert_eq!(path[0], s.root());
+        let last = *path.last().unwrap();
+        assert!(matches!(s.arena().kind(last), NodeKind::Terminal { .. }));
+        // Each step is a parent-child edge.
+        for w in path.windows(2) {
+            assert!(s.arena().kids(w[0]).contains(&w[1]));
+        }
+        assert!(s.node_path_at(6).is_empty(), "whitespace has no path");
+    }
+
+    #[test]
+    fn paths_stay_valid_across_reparses() {
+        let c = cfg();
+        let mut s = Session::new(&c, "alpha; beta;").unwrap();
+        s.edit(0, 5, "delta");
+        assert!(s.reparse().unwrap().incorporated);
+        let path = s.node_path_at(1);
+        assert_eq!(path[0], s.root());
+        let (_, tok) = s.terminal_at(1).unwrap();
+        assert_eq!(tok.lexeme(s.text()), "delta");
+    }
+}
+
+#[cfg(test)]
+mod retention_tests {
+    use super::*;
+    use wg_grammar::{GrammarBuilder, Symbol};
+
+    fn cfg() -> SessionConfig {
+        // S = A t ';' : editing `t` invalidates A's reduction (its lookahead
+        // changed) but A re-derives identically from unchanged terminals.
+        let mut b = GrammarBuilder::new("ret");
+        let x = b.terminal("x");
+        let y = b.terminal("y");
+        let t = b.terminal("t");
+        let semi = b.terminal(";");
+        let s_nt = b.nonterminal("S");
+        let a_nt = b.nonterminal("A");
+        b.prod(s_nt, vec![Symbol::N(a_nt), Symbol::T(t), Symbol::T(semi)]);
+        b.prod(a_nt, vec![Symbol::T(x), Symbol::T(y)]);
+        b.start(s_nt);
+        let g = b.build().unwrap();
+        let mut lx = LexerDef::new();
+        lx.literal("x", "x");
+        lx.literal("y", "y");
+        lx.literal("t", "t");
+        lx.literal(";", ";");
+        lx.skip("ws", " +").unwrap();
+        SessionConfig::new(g, lx).unwrap()
+    }
+
+    #[test]
+    fn lookahead_invalidated_node_is_retained_on_rederivation() {
+        let c = cfg();
+        let mut s = Session::new(&c, "x y t ;").unwrap();
+        let a_before = s.node_path_at(0)[2];
+        // Self-cancelling edit to the token following A's yield.
+        s.edit(4, 1, "t");
+        let out = s.reparse().unwrap();
+        assert!(out.incorporated);
+        assert!(
+            s.arena().retained_this_epoch() >= 1,
+            "A -> x y re-derived identically and must be retained: {:?}",
+            out.stats
+        );
+        // The very same node object survives — annotations on it would too.
+        let a_after = s.node_path_at(0)[2];
+        assert_eq!(a_before, a_after, "identity preserved across reparse");
+    }
+
+    #[test]
+    fn changed_yield_is_never_wrongly_retained() {
+        let c = cfg();
+        let mut s = Session::new(&c, "x y t ;").unwrap();
+        let a_before = s.node_path_at(0)[2];
+        // Edit *inside* A's yield: kid lists differ, so no retention of A.
+        s.edit(2, 1, "y");
+        assert!(s.reparse().unwrap().incorporated);
+        let a_after = s.node_path_at(0)[2];
+        // (The terminal `y` was replaced, so A holds a different kid.)
+        assert_ne!(a_before, a_after);
+        assert_eq!(
+            wg_dag::yield_string(s.arena(), s.root()),
+            "x y t ;",
+            "text unchanged semantically"
+        );
+    }
+}
+
+#[cfg(test)]
+mod ambiguity_query_tests {
+    use super::*;
+    use wg_grammar::{GrammarBuilder, Symbol};
+
+    #[test]
+    fn ambiguities_lists_choice_points_in_preorder() {
+        // S = item ';' item ';' with item ambiguous over `x`.
+        let mut b = GrammarBuilder::new("amb");
+        let x = b.terminal("x");
+        let semi = b.terminal(";");
+        let s_nt = b.nonterminal("S");
+        let item = b.nonterminal("item");
+        let a_read = b.nonterminal("a_read");
+        let b_read = b.nonterminal("b_read");
+        b.prod(
+            s_nt,
+            vec![Symbol::N(item), Symbol::T(semi), Symbol::N(item), Symbol::T(semi)],
+        );
+        b.prod(item, vec![Symbol::N(a_read)]);
+        b.prod(item, vec![Symbol::N(b_read)]);
+        b.prod(a_read, vec![Symbol::T(x)]);
+        b.prod(b_read, vec![Symbol::T(x)]);
+        b.start(s_nt);
+        let g = b.build().unwrap();
+        let mut lx = LexerDef::new();
+        lx.literal("x", "x");
+        lx.literal(";", ";");
+        lx.skip("ws", " +").unwrap();
+        let cfg = SessionConfig::new(g, lx).unwrap();
+        let s = Session::new(&cfg, "x ; x ;").unwrap();
+        let choices = s.ambiguities();
+        assert_eq!(choices.len(), 2);
+        // Preorder: first region before second.
+        let w0 = s.arena().node(choices[0]);
+        let w1 = s.arena().node(choices[1]);
+        assert_eq!(w0.width(), 1);
+        assert_eq!(w1.width(), 1);
+        assert!(s.stats().choice_points == 2);
+    }
+}

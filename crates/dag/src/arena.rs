@@ -1,0 +1,693 @@
+//! The node arena: construction, adoption, damage marking, and compaction.
+
+use crate::node::{Node, NodeId, NodeKind, ParseState};
+use std::collections::HashMap;
+use wg_grammar::{NonTerminal, ProdId, Terminal};
+
+/// Owning store for all nodes of (successive versions of) one parse dag.
+///
+/// Reparsing builds new nodes into the same arena while the previous
+/// version's structure stays intact — exactly the property the incremental
+/// parser needs to traverse the prior version while constructing the new one
+/// (the paper's self-versioning document substrate). Call
+/// [`DagArena::collect_garbage`] between analyses to drop unreachable
+/// versions.
+#[derive(Debug, Clone, Default)]
+pub struct DagArena {
+    nodes: Vec<Node>,
+    epoch: u32,
+    /// Nodes flagged by the current damage-marking pass (for cheap clearing).
+    dirty_log: Vec<NodeId>,
+    /// Old nodes retained by bottom-up reuse this epoch (diagnostics).
+    retained: usize,
+    /// Parent pointers of prior-epoch nodes overwritten this epoch, so a
+    /// *failed* parse attempt can be rolled back: the old tree's damage
+    /// marking depends on its parent chains staying intact.
+    parent_log: Vec<(NodeId, NodeId)>,
+}
+
+impl DagArena {
+    /// An empty arena at epoch 0.
+    pub fn new() -> DagArena {
+        DagArena::default()
+    }
+
+    /// Number of live node slots (including unreachable old versions until
+    /// garbage collection).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the arena holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The current parse generation.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Starts a new parse generation (nodes created from here on can be
+    /// mutated in place by sequence accumulation; older nodes cannot).
+    pub fn begin_epoch(&mut self) -> u32 {
+        self.epoch += 1;
+        self.retained = 0;
+        self.parent_log.clear();
+        self.epoch
+    }
+
+    /// Undoes every parent-pointer overwrite of prior-epoch nodes made this
+    /// epoch. Call when a parse attempt fails and the previous tree stays
+    /// authoritative; the fresh nodes it built become garbage, but the old
+    /// tree's parent chains (and thus future damage marking) are restored.
+    pub fn rollback_parents(&mut self) {
+        for (node, old_parent) in std::mem::take(&mut self.parent_log).into_iter().rev() {
+            self.nodes[node.index()].parent = old_parent;
+        }
+    }
+
+    fn set_parent(&mut self, kid: NodeId, parent: NodeId) {
+        if self.nodes[kid.index()].epoch != self.epoch
+            && self.nodes[kid.index()].parent != parent
+        {
+            self.parent_log.push((kid, self.nodes[kid.index()].parent));
+        }
+        self.nodes[kid.index()].parent = parent;
+    }
+
+    /// How many previous-version nodes bottom-up reuse retained this epoch
+    /// (the paper's explicit node retention, its ref. 25).
+    pub fn retained_this_epoch(&self) -> usize {
+        self.retained
+    }
+
+    /// Read access to a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is [`NodeId::NONE`] or stale after garbage collection.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Shorthand for `node(id).kind()`.
+    #[inline]
+    pub fn kind(&self, id: NodeId) -> &NodeKind {
+        &self.nodes[id.index()].kind
+    }
+
+    /// Shorthand for `node(id).kids()`.
+    #[inline]
+    pub fn kids(&self, id: NodeId) -> &[NodeId] {
+        &self.nodes[id.index()].kids
+    }
+
+    /// Shorthand for `node(id).state()`.
+    #[inline]
+    pub fn state(&self, id: NodeId) -> ParseState {
+        self.nodes[id.index()].state
+    }
+
+    /// Shorthand for `node(id).width()`.
+    #[inline]
+    pub fn width(&self, id: NodeId) -> u32 {
+        self.nodes[id.index()].width
+    }
+
+    /// Whether the node was created in the current epoch.
+    #[inline]
+    pub fn is_current_epoch(&self, id: NodeId) -> bool {
+        self.nodes[id.index()].epoch == self.epoch
+    }
+
+    fn push(&mut self, node: Node) -> NodeId {
+        self.nodes.push(node);
+        NodeId(self.nodes.len() as u32 - 1)
+    }
+
+    /// Leading terminal over a kid list (EOF placeholder when null-yield).
+    fn leftmost_of(&self, kids: &[NodeId]) -> Terminal {
+        kids.iter()
+            .find(|&&k| self.width(k) > 0)
+            .map(|&k| self.nodes[k.index()].leftmost)
+            .unwrap_or(Terminal::EOF)
+    }
+
+    /// Creates a token node.
+    pub fn terminal(&mut self, term: Terminal, lexeme: &str) -> NodeId {
+        self.push(Node {
+            kind: NodeKind::Terminal {
+                term,
+                lexeme: lexeme.to_string(),
+            },
+            state: ParseState::NONE,
+            parent: NodeId::NONE,
+            kids: Vec::new(),
+            width: 1,
+            leftmost: term,
+            epoch: self.epoch,
+            changed: false,
+        })
+    }
+
+    /// Creates a production node over `kids` (adopting them), recording the
+    /// parse state preceding the nonterminal (Appendix A's `get_node`).
+    pub fn production(&mut self, prod: ProdId, state: ParseState, kids: Vec<NodeId>) -> NodeId {
+        let width = kids.iter().map(|k| self.width(*k)).sum();
+        let leftmost = self.leftmost_of(&kids);
+        let id = self.push(Node {
+            kind: NodeKind::Production { prod },
+            state,
+            parent: NodeId::NONE,
+            kids,
+            width,
+            leftmost,
+            epoch: self.epoch,
+            changed: false,
+        });
+        self.adopt(id);
+        id
+    }
+
+    /// Creates a symbol (choice) node with one initial interpretation.
+    /// Symbol nodes have no deterministic state by definition (Appendix A).
+    pub fn symbol(&mut self, symbol: NonTerminal, first: NodeId) -> NodeId {
+        let width = self.width(first);
+        let leftmost = self.nodes[first.index()].leftmost;
+        let id = self.push(Node {
+            kind: NodeKind::Symbol { symbol },
+            state: ParseState::MULTI,
+            parent: NodeId::NONE,
+            kids: vec![first],
+            width,
+            leftmost,
+            epoch: self.epoch,
+            changed: false,
+        });
+        self.set_parent(first, id);
+        id
+    }
+
+    /// Adds an alternative interpretation to a symbol node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` is not a symbol node or the widths disagree
+    /// (alternatives must share their yield).
+    pub fn add_choice(&mut self, sym: NodeId, alt: NodeId) {
+        assert!(
+            matches!(self.kind(sym), NodeKind::Symbol { .. }),
+            "add_choice target must be a symbol node"
+        );
+        assert_eq!(
+            self.width(sym),
+            self.width(alt),
+            "alternatives must cover the same yield"
+        );
+        if !self.nodes[sym.index()].kids.contains(&alt) {
+            self.nodes[sym.index()].kids.push(alt);
+            self.set_parent(alt, sym);
+        }
+    }
+
+    /// Creates a sequence node (complete or prefix instance of a declared
+    /// associative sequence).
+    pub fn sequence(
+        &mut self,
+        symbol: NonTerminal,
+        state: ParseState,
+        kids: Vec<NodeId>,
+    ) -> NodeId {
+        let width = kids.iter().map(|k| self.width(*k)).sum();
+        let leftmost = self.leftmost_of(&kids);
+        let id = self.push(Node {
+            kind: NodeKind::Sequence { symbol },
+            state,
+            parent: NodeId::NONE,
+            kids,
+            width,
+            leftmost,
+            epoch: self.epoch,
+            changed: false,
+        });
+        self.adopt(id);
+        id
+    }
+
+    /// Creates an internal sequence run.
+    pub fn seq_run(
+        &mut self,
+        symbol: NonTerminal,
+        state: ParseState,
+        kids: Vec<NodeId>,
+    ) -> NodeId {
+        let width = kids.iter().map(|k| self.width(*k)).sum();
+        let leftmost = self.leftmost_of(&kids);
+        let id = self.push(Node {
+            kind: NodeKind::SeqRun { symbol },
+            state,
+            parent: NodeId::NONE,
+            kids,
+            width,
+            leftmost,
+            epoch: self.epoch,
+            changed: false,
+        });
+        self.adopt(id);
+        id
+    }
+
+    /// Appends steps to a sequence node created in the *current* epoch
+    /// (in-place accumulation during parsing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is not a sequence node or was created in an earlier
+    /// epoch (older nodes may be shared with the previous version and must
+    /// not be mutated).
+    pub fn seq_append(&mut self, seq: NodeId, steps: &[NodeId]) {
+        assert!(
+            matches!(self.kind(seq), NodeKind::Sequence { .. }),
+            "seq_append target must be a sequence node"
+        );
+        assert!(
+            self.is_current_epoch(seq),
+            "only nodes of the current epoch may be mutated"
+        );
+        let extra: u32 = steps.iter().map(|k| self.width(*k)).sum();
+        for &s in steps {
+            self.set_parent(s, seq);
+            self.nodes[seq.index()].kids.push(s);
+        }
+        if self.nodes[seq.index()].width == 0 && extra > 0 {
+            self.nodes[seq.index()].leftmost = self.leftmost_of(steps);
+        }
+        self.nodes[seq.index()].width += extra;
+    }
+
+    /// Converts a `Production` fallback node (built over a lowered sequence
+    /// production while the parse was non-deterministic) into a proper
+    /// [`NodeKind::Sequence`] with the given preceding state. Used by the
+    /// rebalancing post-pass when it canonicalizes fallback chains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not a production node.
+    pub fn convert_to_sequence(&mut self, id: NodeId, symbol: NonTerminal, state: ParseState) {
+        assert!(
+            matches!(self.kind(id), NodeKind::Production { .. }),
+            "convert_to_sequence expects a production fallback"
+        );
+        self.nodes[id.index()].kind = NodeKind::Sequence { symbol };
+        self.nodes[id.index()].state = state;
+    }
+
+    /// Replaces the children of a node (used by the rebalancing and
+    /// unsharing post-passes). Widths are recomputed; kids are adopted.
+    pub fn set_kids(&mut self, id: NodeId, kids: Vec<NodeId>) {
+        let width = kids.iter().map(|k| self.width(*k)).sum();
+        let leftmost = self.leftmost_of(&kids);
+        self.nodes[id.index()].kids = kids;
+        self.nodes[id.index()].width = width;
+        self.nodes[id.index()].leftmost = leftmost;
+        self.adopt(id);
+    }
+
+    fn adopt(&mut self, parent: NodeId) {
+        let kids = self.nodes[parent.index()].kids.clone();
+        for k in kids {
+            self.set_parent(k, parent);
+        }
+    }
+
+    /// Creates the super-root with BOS/EOS sentinels around `body`.
+    pub fn root(&mut self, body: NodeId) -> NodeId {
+        let bos = self.push(Node {
+            kind: NodeKind::Bos,
+            state: ParseState::NONE,
+            parent: NodeId::NONE,
+            kids: Vec::new(),
+            width: 0,
+            leftmost: Terminal::EOF,
+            epoch: self.epoch,
+            changed: false,
+        });
+        let eos = self.push(Node {
+            kind: NodeKind::Eos,
+            state: ParseState::NONE,
+            parent: NodeId::NONE,
+            kids: Vec::new(),
+            width: 0,
+            leftmost: Terminal::EOF,
+            epoch: self.epoch,
+            changed: false,
+        });
+        let id = self.push(Node {
+            kind: NodeKind::Root,
+            state: ParseState::NONE,
+            parent: NodeId::NONE,
+            kids: vec![bos, body, eos],
+            width: self.width(body),
+            leftmost: self.nodes[body.index()].leftmost,
+            epoch: self.epoch,
+            changed: false,
+        });
+        self.adopt(id);
+        id
+    }
+
+    /// Replaces the body of a root node (after a reparse).
+    pub fn set_root_body(&mut self, root: NodeId, body: NodeId) {
+        assert!(matches!(self.kind(root), NodeKind::Root));
+        let bos = self.nodes[root.index()].kids[0];
+        let eos = self.nodes[root.index()].kids[2];
+        self.set_kids(root, vec![bos, body, eos]);
+    }
+
+    /// Bottom-up node reuse (the paper's *explicit node retention*, its ref. 25):
+    /// if the previous version already contains a production node with
+    /// exactly this shape — same production, same children, same recorded
+    /// state, built in an earlier epoch and untouched by the current damage
+    /// — it is returned instead of allocating a new node, preserving any
+    /// annotations tools attached to it. The natural candidate is the
+    /// previous parent of the leftmost child.
+    pub fn try_reuse_production(
+        &mut self,
+        prod: ProdId,
+        kids: &[NodeId],
+        state: ParseState,
+    ) -> Option<NodeId> {
+        let first = *kids.first()?;
+        let candidate = self.nodes[first.index()].parent;
+        if candidate.is_none() {
+            return None;
+        }
+        let c = &self.nodes[candidate.index()];
+        // Only prior-version nodes are candidates. A `changed` mark does
+        // not disqualify: a changed *yield* makes the kid lists differ
+        // anyway, and a changed *lookahead* was just revalidated by the
+        // reduction that is asking.
+        if c.epoch == self.epoch {
+            return None;
+        }
+        match &c.kind {
+            NodeKind::Production { prod: p } if *p == prod => {}
+            _ => return None,
+        }
+        if c.state == state && c.kids == kids {
+            self.retained += 1;
+            Some(candidate)
+        } else {
+            None
+        }
+    }
+
+    /// Collapses a choice point to one alternative, discarding the others
+    /// (dynamic *syntactic* filtering, Section 4.1 — unlike semantic
+    /// filters, eliminated interpretations are not retained). The symbol
+    /// node is replaced by the chosen child in its parent; returns the
+    /// chosen child.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` is not a symbol node, has no parent, or `index` is
+    /// out of range.
+    pub fn collapse_choice(&mut self, sym: NodeId, index: usize) -> NodeId {
+        assert!(
+            matches!(self.kind(sym), NodeKind::Symbol { .. }),
+            "collapse_choice target must be a symbol node"
+        );
+        let chosen = self.nodes[sym.index()].kids[index];
+        let parent = self.nodes[sym.index()].parent;
+        assert!(!parent.is_none(), "cannot collapse a detached choice point");
+        let new_kids: Vec<NodeId> = self.nodes[parent.index()]
+            .kids
+            .iter()
+            .map(|&k| if k == sym { chosen } else { k })
+            .collect();
+        self.set_kids(parent, new_kids);
+        chosen
+    }
+
+    /// Re-establishes parent pointers along the surviving tree after a
+    /// (re)parse: forks that died during GLR parsing may have been the last
+    /// to adopt a shared terminal, leaving its parent pointing into dead
+    /// structure and breaking future damage marking. Only freshly built
+    /// nodes (and the reused super-root) are visited, so the cost is
+    /// proportional to the new structure.
+    pub fn refresh_parents(&mut self, root: NodeId) {
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            for i in 0..self.nodes[id.index()].kids.len() {
+                let k = self.nodes[id.index()].kids[i];
+                self.nodes[k.index()].parent = id;
+                if self.nodes[k.index()].epoch == self.epoch {
+                    stack.push(k);
+                }
+            }
+        }
+    }
+
+    // ----- damage marking (Appendix A: process_modifications) -----
+
+    /// Marks a terminal as textually modified and propagates the change flag
+    /// to every ancestor (so breakdown during reparse reaches the site).
+    pub fn mark_changed(&mut self, id: NodeId) {
+        let mut cur = id;
+        while !cur.is_none() && !self.nodes[cur.index()].changed {
+            self.nodes[cur.index()].changed = true;
+            self.dirty_log.push(cur);
+            cur = self.nodes[cur.index()].parent;
+        }
+    }
+
+    /// Marks the nodes whose *following terminal* was modified: walking up
+    /// from `prev_terminal` (the last unchanged terminal before the edit),
+    /// every ancestor whose yield ends at that terminal — i.e. while the
+    /// node remains the last child of its parent — is flagged, because its
+    /// reduction consumed the now-changed lookahead. This implements the
+    /// rule "mark any N for which yield(N) ∪ the terminal following
+    /// yield(N) contains a modified terminal". The terminal itself is left
+    /// unmarked: its text did not change and it remains shiftable.
+    pub fn mark_following(&mut self, prev_terminal: NodeId) {
+        let mut cur = prev_terminal;
+        loop {
+            let parent = self.nodes[cur.index()].parent;
+            if parent.is_none() {
+                break;
+            }
+            // Continue only while `cur` closes its parent's yield.
+            if self.nodes[parent.index()].kids.last() != Some(&cur) {
+                // `parent` contains the following terminal inside its own
+                // yield, so the mark_changed walk from the changed terminal
+                // covers it; ensure the path to the root is marked so
+                // breakdown can reach this region at all.
+                self.mark_changed(parent);
+                break;
+            }
+            if !self.nodes[parent.index()].changed {
+                self.nodes[parent.index()].changed = true;
+                self.dirty_log.push(parent);
+            }
+            cur = parent;
+        }
+    }
+
+    /// Whether the node is flagged as changed.
+    #[inline]
+    pub fn has_changes(&self, id: NodeId) -> bool {
+        self.nodes[id.index()].changed
+    }
+
+    /// Clears every change flag set since the last call (after a successful
+    /// reparse incorporated them).
+    pub fn clear_changes(&mut self) {
+        for id in std::mem::take(&mut self.dirty_log) {
+            self.nodes[id.index()].changed = false;
+        }
+    }
+
+    /// Nodes currently flagged as changed.
+    pub fn dirty(&self) -> &[NodeId] {
+        &self.dirty_log
+    }
+
+    // ----- compaction -----
+
+    /// Drops every node unreachable from `root`, compacting storage.
+    /// Returns the new id of `root`; all other outstanding ids are
+    /// invalidated (a remapping table is returned for callers holding ids).
+    pub fn collect_garbage(&mut self, root: NodeId) -> (NodeId, HashMap<NodeId, NodeId>) {
+        let mut map: HashMap<NodeId, NodeId> = HashMap::new();
+        let mut order: Vec<NodeId> = Vec::new();
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if map.contains_key(&id) {
+                continue;
+            }
+            map.insert(id, NodeId(order.len() as u32));
+            order.push(id);
+            for &k in &self.nodes[id.index()].kids {
+                stack.push(k);
+            }
+        }
+        let mut nodes = Vec::with_capacity(order.len());
+        for &old in &order {
+            let mut n = self.nodes[old.index()].clone();
+            n.kids = n.kids.iter().map(|k| map[k]).collect();
+            n.parent = map.get(&n.parent).copied().unwrap_or(NodeId::NONE);
+            nodes.push(n);
+        }
+        self.nodes = nodes;
+        self.dirty_log.retain(|d| map.contains_key(d));
+        for d in &mut self.dirty_log {
+            *d = map[d];
+        }
+        (map[&root], map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(a: &mut DagArena, s: &str) -> NodeId {
+        a.terminal(Terminal::from_index(1), s)
+    }
+
+    #[test]
+    fn construction_and_widths() {
+        let mut a = DagArena::new();
+        let x = t(&mut a, "x");
+        let y = t(&mut a, "y");
+        let p = a.production(ProdId::from_index(1), ParseState(3), vec![x, y]);
+        assert_eq!(a.width(p), 2);
+        assert_eq!(a.node(x).parent(), p);
+        assert_eq!(a.kids(p), &[x, y]);
+        assert_eq!(a.state(p), ParseState(3));
+        let root = a.root(p);
+        assert_eq!(a.width(root), 2);
+        assert_eq!(a.kids(root).len(), 3);
+        assert!(matches!(a.kind(a.kids(root)[0]), NodeKind::Bos));
+    }
+
+    #[test]
+    fn symbol_nodes_hold_alternatives() {
+        let mut a = DagArena::new();
+        let x = t(&mut a, "x");
+        let p1 = a.production(ProdId::from_index(1), ParseState::MULTI, vec![x]);
+        let p2 = a.production(ProdId::from_index(2), ParseState::MULTI, vec![x]);
+        let sym = a.symbol(NonTerminal::from_index(1), p1);
+        a.add_choice(sym, p2);
+        a.add_choice(sym, p2); // idempotent
+        assert_eq!(a.kids(sym).len(), 2);
+        assert_eq!(a.width(sym), 1);
+        assert_eq!(a.state(sym), ParseState::MULTI);
+    }
+
+    #[test]
+    #[should_panic(expected = "same yield")]
+    fn add_choice_rejects_width_mismatch() {
+        let mut a = DagArena::new();
+        let x = t(&mut a, "x");
+        let y = t(&mut a, "y");
+        let p1 = a.production(ProdId::from_index(1), ParseState::MULTI, vec![x]);
+        let z = t(&mut a, "z");
+        let p2 = a.production(ProdId::from_index(2), ParseState::MULTI, vec![y, z]);
+        let sym = a.symbol(NonTerminal::from_index(1), p1);
+        a.add_choice(sym, p2);
+    }
+
+    #[test]
+    fn epoch_gates_sequence_mutation() {
+        let mut a = DagArena::new();
+        let e1 = t(&mut a, "a");
+        let seq = a.sequence(NonTerminal::from_index(1), ParseState(0), vec![e1]);
+        let e2 = t(&mut a, "b");
+        a.seq_append(seq, &[e2]);
+        assert_eq!(a.width(seq), 2);
+        a.begin_epoch();
+        assert!(!a.is_current_epoch(seq));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut a2 = a.clone();
+            let e3 = a2.terminal(Terminal::from_index(1), "c");
+            a2.seq_append(seq, &[e3]);
+        }));
+        assert!(result.is_err(), "appending across epochs must panic");
+    }
+
+    #[test]
+    fn mark_changed_walks_to_root() {
+        let mut a = DagArena::new();
+        let x = t(&mut a, "x");
+        let y = t(&mut a, "y");
+        let p = a.production(ProdId::from_index(1), ParseState(0), vec![x, y]);
+        let root = a.root(p);
+        a.mark_changed(x);
+        assert!(a.has_changes(x));
+        assert!(a.has_changes(p));
+        assert!(a.has_changes(root));
+        assert!(!a.has_changes(y));
+        a.clear_changes();
+        assert!(!a.has_changes(x) && !a.has_changes(p) && !a.has_changes(root));
+        assert!(a.dirty().is_empty());
+    }
+
+    #[test]
+    fn mark_following_marks_right_spine() {
+        // p = (q = (x y) z); editing after y's subtree: nodes whose yield
+        // ends at y are q's... no: y ends q's yield. Ancestors of y that end
+        // at y: just q's child y and q itself ends with y? q's kids [x, y] so
+        // y is last child: chain = y, q. Then z follows.
+        let mut a = DagArena::new();
+        let x = t(&mut a, "x");
+        let y = t(&mut a, "y");
+        let q = a.production(ProdId::from_index(1), ParseState(0), vec![x, y]);
+        let z = t(&mut a, "z");
+        let p = a.production(ProdId::from_index(2), ParseState(0), vec![q, z]);
+        let _root = a.root(p);
+        a.mark_following(y);
+        assert!(!a.has_changes(y), "the terminal itself is still shiftable");
+        assert!(a.has_changes(q), "q's reduction consumed the old lookahead");
+        assert!(a.has_changes(p), "ancestor containing the boundary is marked");
+        assert!(!a.has_changes(x));
+        assert!(!a.has_changes(z));
+    }
+
+    #[test]
+    fn garbage_collection_compacts_and_remaps() {
+        let mut a = DagArena::new();
+        let dead = t(&mut a, "dead");
+        let x = t(&mut a, "x");
+        let p = a.production(ProdId::from_index(1), ParseState(0), vec![x]);
+        let root = a.root(p);
+        let before = a.len();
+        let (new_root, map) = a.collect_garbage(root);
+        assert!(a.len() < before);
+        assert!(!map.contains_key(&dead));
+        assert!(matches!(a.kind(new_root), NodeKind::Root));
+        // Structure survives: root -> [bos, p, eos] -> x
+        let body = a.kids(new_root)[1];
+        assert!(matches!(a.kind(body), NodeKind::Production { .. }));
+        let x2 = a.kids(body)[0];
+        assert!(matches!(a.kind(x2), NodeKind::Terminal { .. }));
+        assert_eq!(a.node(x2).parent(), body);
+    }
+
+    #[test]
+    fn set_root_body_swaps_body_keeps_sentinels() {
+        let mut a = DagArena::new();
+        let x = t(&mut a, "x");
+        let p1 = a.production(ProdId::from_index(1), ParseState(0), vec![x]);
+        let root = a.root(p1);
+        let y = t(&mut a, "y");
+        let p2 = a.production(ProdId::from_index(2), ParseState(0), vec![y]);
+        let bos = a.kids(root)[0];
+        a.set_root_body(root, p2);
+        assert_eq!(a.kids(root)[0], bos);
+        assert_eq!(a.kids(root)[1], p2);
+        assert_eq!(a.width(root), 1);
+    }
+}

@@ -1,0 +1,168 @@
+//! Sharing hygiene: the ε-subtree unsharing post-pass (Section 3.5).
+//!
+//! GLR parsing of grammars with ε-productions can *over-share*: one
+//! null-yield subtree instance ends up referenced from several places in an
+//! otherwise unambiguous tree, which the paper considers a flaw — semantic
+//! attributes could no longer be assigned uniquely to each instance. The fix
+//! is a post-pass that duplicates any null-yield subtree reached more than
+//! once.
+
+use crate::arena::DagArena;
+use crate::node::{NodeId, NodeKind};
+use std::collections::HashSet;
+
+/// Duplicates every null-yield subtree referenced more than once in the
+/// tree under `root` (choice-node alternatives are each visited). Returns
+/// the number of subtrees duplicated.
+///
+/// The walk is epoch-aware: subtrees headed by nodes from earlier epochs
+/// were left duplicate-free by the parse that built them and are reused
+/// whole, so only freshly built structure is visited — the pass costs
+/// O(changed), not O(tree).
+pub fn unshare_epsilon(arena: &mut DagArena, root: NodeId) -> usize {
+    let mut seen: HashSet<NodeId> = HashSet::new();
+    let mut processed: HashSet<NodeId> = HashSet::new();
+    let mut duplicated = 0;
+    unshare_rec(arena, root, &mut seen, &mut processed, &mut duplicated);
+    duplicated
+}
+
+fn unshare_rec(
+    arena: &mut DagArena,
+    node: NodeId,
+    seen: &mut HashSet<NodeId>,
+    processed: &mut HashSet<NodeId>,
+    duplicated: &mut usize,
+) {
+    // Each node is processed once; without this, the walk would traverse
+    // every *path* of the dag, which is exponential under ambiguity
+    // packing. (Legitimately shared width>0 subtrees are left shared.)
+    if !processed.insert(node) {
+        return;
+    }
+    // Nodes reused from earlier epochs head unchanged, already-unshared
+    // subtrees; each is delivered at most once by the input stream, so no
+    // new sharing can involve their interiors.
+    if !arena.is_current_epoch(node) && !matches!(arena.kind(node), NodeKind::Root) {
+        return;
+    }
+    let kids: Vec<NodeId> = arena.kids(node).to_vec();
+    let mut new_kids = kids.clone();
+    let mut changed = false;
+    for (i, &k) in kids.iter().enumerate() {
+        let is_null_subtree =
+            arena.width(k) == 0 && !arena.kind(k).is_terminal() && !matches!(arena.kind(k), NodeKind::Root);
+        if is_null_subtree && !seen.insert(k) {
+            // Second (or later) reference: deep-copy the subtree.
+            let copy = deep_clone(arena, k);
+            new_kids[i] = copy;
+            changed = true;
+            *duplicated += 1;
+            // The fresh copy's interior is all new nodes; no need to recurse.
+            continue;
+        }
+        unshare_rec(arena, k, seen, processed, duplicated);
+    }
+    if changed {
+        arena.set_kids(node, new_kids);
+    }
+}
+
+/// Deep-copies a (null-yield) subtree.
+fn deep_clone(arena: &mut DagArena, node: NodeId) -> NodeId {
+    let kids: Vec<NodeId> = arena.kids(node).to_vec();
+    let new_kids: Vec<NodeId> = kids.iter().map(|&k| deep_clone(arena, k)).collect();
+    let state = arena.state(node);
+    match arena.kind(node).clone() {
+        NodeKind::Production { prod } => arena.production(prod, state, new_kids),
+        NodeKind::Sequence { symbol } => arena.sequence(symbol, state, new_kids),
+        NodeKind::SeqRun { symbol } => arena.seq_run(symbol, state, new_kids),
+        NodeKind::Symbol { symbol } => {
+            let mut it = new_kids.into_iter();
+            let first = it.next().expect("symbol node has at least one alternative");
+            let sym = arena.symbol(symbol, first);
+            for alt in it {
+                arena.add_choice(sym, alt);
+            }
+            sym
+        }
+        NodeKind::Terminal { term, lexeme } => arena.terminal(term, &lexeme),
+        NodeKind::Root | NodeKind::Bos | NodeKind::Eos => {
+            unreachable!("sentinels are never null-yield subtrees")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::ParseState;
+    use wg_grammar::{ProdId, Terminal};
+
+    #[test]
+    fn shared_epsilon_subtree_is_duplicated() {
+        let mut a = DagArena::new();
+        // eps = P2() with no kids (null yield), shared by two parents.
+        let eps = a.production(ProdId::from_index(2), ParseState(1), vec![]);
+        let x = a.terminal(Terminal::from_index(1), "x");
+        let y = a.terminal(Terminal::from_index(1), "y");
+        let p1 = a.production(ProdId::from_index(1), ParseState(0), vec![eps, x]);
+        let p2 = a.production(ProdId::from_index(1), ParseState(0), vec![eps, y]);
+        let top = a.production(ProdId::from_index(3), ParseState(0), vec![p1, p2]);
+        let root = a.root(top);
+        assert_eq!(a.kids(p1)[0], a.kids(p2)[0], "initially shared");
+        let n = unshare_epsilon(&mut a, root);
+        assert_eq!(n, 1);
+        assert_ne!(a.kids(p1)[0], a.kids(p2)[0], "distinct after unsharing");
+        // Both instances are structurally the same ε production.
+        for p in [p1, p2] {
+            let e = a.kids(p)[0];
+            assert!(matches!(a.kind(e), NodeKind::Production { prod } if prod.index() == 2));
+            assert_eq!(a.width(e), 0);
+        }
+    }
+
+    #[test]
+    fn non_null_sharing_is_preserved() {
+        // Symbol-node alternatives legitimately share non-null subtrees.
+        let mut a = DagArena::new();
+        let x = a.terminal(Terminal::from_index(1), "x");
+        let p1 = a.production(ProdId::from_index(1), ParseState::MULTI, vec![x]);
+        let p2 = a.production(ProdId::from_index(2), ParseState::MULTI, vec![x]);
+        let sym = a.symbol(wg_grammar::NonTerminal::from_index(1), p1);
+        a.add_choice(sym, p2);
+        let root = a.root(sym);
+        assert_eq!(unshare_epsilon(&mut a, root), 0);
+        assert_eq!(a.kids(p1)[0], a.kids(p2)[0], "shared terminal remains shared");
+    }
+
+    #[test]
+    fn nested_epsilon_structures_clone_deeply() {
+        let mut a = DagArena::new();
+        let inner = a.production(ProdId::from_index(5), ParseState(1), vec![]);
+        let outer = a.production(ProdId::from_index(4), ParseState(1), vec![inner]);
+        let u = a.terminal(Terminal::from_index(1), "u");
+        let v = a.terminal(Terminal::from_index(1), "v");
+        let p1 = a.production(ProdId::from_index(1), ParseState(0), vec![outer, u]);
+        let p2 = a.production(ProdId::from_index(1), ParseState(0), vec![outer, v]);
+        let top = a.production(ProdId::from_index(3), ParseState(0), vec![p1, p2]);
+        let root = a.root(top);
+        assert_eq!(unshare_epsilon(&mut a, root), 1);
+        let o1 = a.kids(p1)[0];
+        let o2 = a.kids(p2)[0];
+        assert_ne!(o1, o2);
+        assert_ne!(a.kids(o1)[0], a.kids(o2)[0], "inner ε cloned too");
+    }
+
+    #[test]
+    fn unshared_tree_is_untouched() {
+        let mut a = DagArena::new();
+        let e1 = a.production(ProdId::from_index(2), ParseState(1), vec![]);
+        let x = a.terminal(Terminal::from_index(1), "x");
+        let p = a.production(ProdId::from_index(1), ParseState(0), vec![e1, x]);
+        let root = a.root(p);
+        let len_before = a.len();
+        assert_eq!(unshare_epsilon(&mut a, root), 0);
+        assert_eq!(a.len(), len_before);
+    }
+}

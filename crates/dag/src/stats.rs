@@ -1,0 +1,202 @@
+//! Space accounting for the paper's evaluation (Table 1, Figure 4,
+//! Section 5's 5% state-word comparison).
+
+use crate::arena::DagArena;
+use crate::node::{NodeId, NodeKind};
+use std::collections::HashSet;
+
+/// Space statistics of one abstract parse dag.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DagStats {
+    /// Unique nodes reachable from the root (shared nodes counted once).
+    pub dag_nodes: usize,
+    /// Nodes of the embedded tree obtained by keeping one alternative per
+    /// choice point (the symbol node itself is elided, as the paper does
+    /// once disambiguation completes).
+    pub tree_nodes: usize,
+    /// Terminal nodes (tokens).
+    pub terminals: usize,
+    /// Production nodes.
+    pub productions: usize,
+    /// Symbol (choice) nodes.
+    pub choice_points: usize,
+    /// Total alternatives across all choice points.
+    pub alternatives: usize,
+    /// Sequence containers (tops and runs).
+    pub sequence_nodes: usize,
+    /// Widest ambiguous region, in tokens.
+    pub max_ambiguous_width: usize,
+    /// Estimated dag bytes, including the per-node parse-state word.
+    pub bytes_with_states: usize,
+    /// Estimated bytes without the state word (the sentential-form
+    /// baseline of Section 5: ~5% smaller).
+    pub bytes_without_states: usize,
+}
+
+impl DagStats {
+    /// Computes statistics for the dag under `root`, selecting the first
+    /// alternative at every choice point for the embedded tree.
+    pub fn compute(arena: &DagArena, root: NodeId) -> DagStats {
+        Self::compute_with(arena, root, |_| 0)
+    }
+
+    /// As [`DagStats::compute`], with an explicit alternative selector
+    /// (e.g. the outcome of semantic disambiguation).
+    pub fn compute_with(
+        arena: &DagArena,
+        root: NodeId,
+        select: impl Fn(NodeId) -> usize,
+    ) -> DagStats {
+        let mut s = DagStats::default();
+
+        // Unique reachable nodes.
+        let mut seen: HashSet<NodeId> = HashSet::new();
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if !seen.insert(id) {
+                continue;
+            }
+            let n = arena.node(id);
+            match n.kind() {
+                NodeKind::Terminal { lexeme, .. } => {
+                    s.terminals += 1;
+                    s.bytes_with_states += lexeme.len();
+                }
+                NodeKind::Production { .. } => s.productions += 1,
+                NodeKind::Symbol { .. } => {
+                    s.choice_points += 1;
+                    s.alternatives += n.kids().len();
+                    s.max_ambiguous_width = s.max_ambiguous_width.max(n.width() as usize);
+                }
+                NodeKind::Sequence { .. } | NodeKind::SeqRun { .. } => s.sequence_nodes += 1,
+                NodeKind::Root | NodeKind::Bos | NodeKind::Eos => {}
+            }
+            // Per-node cost model matching the real `Node` layout: kind
+            // (tag + inline String header), parent, width, epoch, flags,
+            // kid-vector header + slots. The parse-state word is accounted
+            // separately.
+            s.bytes_with_states += 72 + 4 * n.kids().len();
+            stack.extend_from_slice(n.kids());
+        }
+        s.dag_nodes = seen.len();
+        s.bytes_without_states = s.bytes_with_states.saturating_sub(4 * s.dag_nodes);
+        s.bytes_with_states += 0; // header already includes the 4-byte state
+        s.tree_nodes = tree_count(arena, root, &select);
+        s
+    }
+
+    /// Percentage increase of the dag over the embedded (disambiguated)
+    /// parse tree — the paper's Table 1 / Figure 4 metric.
+    pub fn space_overhead_percent(&self) -> f64 {
+        if self.tree_nodes == 0 {
+            return 0.0;
+        }
+        100.0 * (self.dag_nodes as f64 - self.tree_nodes as f64) / self.tree_nodes as f64
+    }
+
+    /// Percentage increase of recording parse states in every node — the
+    /// Section 5 comparison against sentential-form parsing (~5%).
+    pub fn state_overhead_percent(&self) -> f64 {
+        if self.bytes_without_states == 0 {
+            return 0.0;
+        }
+        100.0 * (self.bytes_with_states as f64 - self.bytes_without_states as f64)
+            / self.bytes_without_states as f64
+    }
+}
+
+/// Counts the nodes of the embedded tree: at choice points, descend into the
+/// selected alternative only and do not count the symbol node itself.
+fn tree_count(arena: &DagArena, node: NodeId, select: &impl Fn(NodeId) -> usize) -> usize {
+    match arena.kind(node) {
+        NodeKind::Symbol { .. } => {
+            let kids = arena.kids(node);
+            let chosen = kids[select(node).min(kids.len() - 1)];
+            tree_count(arena, chosen, select)
+        }
+        _ => {
+            1 + arena
+                .kids(node)
+                .iter()
+                .map(|&k| tree_count(arena, k, select))
+                .sum::<usize>()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::ParseState;
+    use wg_grammar::{NonTerminal, ProdId, Terminal};
+
+    /// Builds: root -> P0(a, sym{P1(b), P2(b)}, c) — one two-way local
+    /// ambiguity over a shared terminal.
+    fn ambiguous_dag() -> (DagArena, NodeId) {
+        let mut a = DagArena::new();
+        let ta = a.terminal(Terminal::from_index(1), "a");
+        let tb = a.terminal(Terminal::from_index(1), "b");
+        let tc = a.terminal(Terminal::from_index(1), "c");
+        let p1 = a.production(ProdId::from_index(1), ParseState::MULTI, vec![tb]);
+        let p2 = a.production(ProdId::from_index(2), ParseState::MULTI, vec![tb]);
+        let sym = a.symbol(NonTerminal::from_index(1), p1);
+        a.add_choice(sym, p2);
+        let top = a.production(ProdId::from_index(3), ParseState(0), vec![ta, sym, tc]);
+        let root = a.root(top);
+        (a, root)
+    }
+
+    #[test]
+    fn counts_are_exact() {
+        let (a, root) = ambiguous_dag();
+        let s = DagStats::compute(&a, root);
+        // Unique: root, bos, eos, top, a, c, sym, p1, p2, b = 10
+        assert_eq!(s.dag_nodes, 10);
+        assert_eq!(s.terminals, 3);
+        assert_eq!(s.productions, 3);
+        assert_eq!(s.choice_points, 1);
+        assert_eq!(s.alternatives, 2);
+        assert_eq!(s.max_ambiguous_width, 1);
+        // Embedded tree: root, bos, eos, top, a, c, p1, b = 8
+        assert_eq!(s.tree_nodes, 8);
+    }
+
+    #[test]
+    fn overhead_percentages() {
+        let (a, root) = ambiguous_dag();
+        let s = DagStats::compute(&a, root);
+        let ov = s.space_overhead_percent();
+        assert!((ov - 25.0).abs() < 1e-9, "(10-8)/8 = 25%, got {ov}");
+        let st = s.state_overhead_percent();
+        assert!(st > 5.0 && st < 15.0, "state word ≈ 4/44 bytes: {st}");
+    }
+
+    #[test]
+    fn unambiguous_dag_has_zero_overhead() {
+        let mut a = DagArena::new();
+        let x = a.terminal(Terminal::from_index(1), "x");
+        let p = a.production(ProdId::from_index(1), ParseState(0), vec![x]);
+        let root = a.root(p);
+        let s = DagStats::compute(&a, root);
+        assert_eq!(s.dag_nodes, s.tree_nodes);
+        assert_eq!(s.space_overhead_percent(), 0.0);
+        assert_eq!(s.choice_points, 0);
+    }
+
+    #[test]
+    fn selector_changes_embedded_tree() {
+        // Make alternative 2 bigger than alternative 1.
+        let mut a = DagArena::new();
+        let tb = a.terminal(Terminal::from_index(1), "b");
+        let p1 = a.production(ProdId::from_index(1), ParseState::MULTI, vec![tb]);
+        let inner = a.production(ProdId::from_index(4), ParseState::MULTI, vec![tb]);
+        let p2 = a.production(ProdId::from_index(2), ParseState::MULTI, vec![inner]);
+        let sym = a.symbol(NonTerminal::from_index(1), p1);
+        a.add_choice(sym, p2);
+        let root = a.root(sym);
+        let s0 = DagStats::compute_with(&a, root, |_| 0);
+        let s1 = DagStats::compute_with(&a, root, |_| 1);
+        assert_eq!(s1.tree_nodes, s0.tree_nodes + 1);
+        assert_eq!(s1.dag_nodes, s0.dag_nodes);
+    }
+}

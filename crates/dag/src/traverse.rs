@@ -1,0 +1,361 @@
+//! Traversal utilities: yields, pretty-printing, structural comparison.
+
+use crate::arena::DagArena;
+use crate::node::{NodeId, NodeKind};
+use wg_grammar::Grammar;
+
+/// Collects the terminal nodes of the (first-interpretation) yield of
+/// `node`, left to right. At symbol nodes the first alternative is followed
+/// (all alternatives share their yield in a well-formed dag).
+pub fn yield_terminals(arena: &DagArena, node: NodeId) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    collect_yield(arena, node, &mut out);
+    out
+}
+
+fn collect_yield(arena: &DagArena, node: NodeId, out: &mut Vec<NodeId>) {
+    match arena.kind(node) {
+        NodeKind::Terminal { .. } => out.push(node),
+        NodeKind::Bos | NodeKind::Eos => {}
+        NodeKind::Symbol { .. } => {
+            if let Some(&first) = arena.kids(node).first() {
+                collect_yield(arena, first, out);
+            }
+        }
+        _ => {
+            for &k in arena.kids(node) {
+                collect_yield(arena, k, out);
+            }
+        }
+    }
+}
+
+/// Preorder traversal over the unique nodes reachable from `root`
+/// (shared nodes under choice points are visited once).
+pub fn descendants(arena: &DagArena, root: NodeId) -> Descendants<'_> {
+    Descendants {
+        arena,
+        stack: vec![root],
+        seen: std::collections::HashSet::new(),
+    }
+}
+
+/// Iterator returned by [`descendants`].
+pub struct Descendants<'a> {
+    arena: &'a DagArena,
+    stack: Vec<NodeId>,
+    seen: std::collections::HashSet<NodeId>,
+}
+
+impl Iterator for Descendants<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        while let Some(n) = self.stack.pop() {
+            if self.seen.insert(n) {
+                // Reverse order so children come out left to right.
+                self.stack.extend(self.arena.kids(n).iter().rev());
+                return Some(n);
+            }
+        }
+        None
+    }
+}
+
+/// The yield of `node` as space-separated lexemes (testing aid).
+pub fn yield_string(arena: &DagArena, node: NodeId) -> String {
+    yield_terminals(arena, node)
+        .iter()
+        .map(|&t| match arena.kind(t) {
+            NodeKind::Terminal { lexeme, .. } => lexeme.as_str(),
+            _ => unreachable!("yield_terminals returns only terminals"),
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Pretty-prints a dag as an indented tree, showing choice points, recorded
+/// parse states, and sequence structure. Shared subtrees under symbol nodes
+/// are printed once per reference (marked with `^` on re-visits).
+pub fn dump(arena: &DagArena, root: NodeId, g: &Grammar) -> String {
+    let mut out = String::new();
+    let mut seen = std::collections::HashSet::new();
+    dump_rec(arena, root, g, 0, &mut seen, &mut out);
+    out
+}
+
+fn dump_rec(
+    arena: &DagArena,
+    node: NodeId,
+    g: &Grammar,
+    depth: usize,
+    seen: &mut std::collections::HashSet<NodeId>,
+    out: &mut String,
+) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    let again = !seen.insert(node);
+    let n = arena.node(node);
+    match n.kind() {
+        NodeKind::Terminal { lexeme, .. } => {
+            out.push_str(&format!("'{lexeme}'"));
+        }
+        NodeKind::Production { prod } => {
+            out.push_str(&g.display_production(*prod));
+            out.push_str(&format!(" [{}]", n.state()));
+        }
+        NodeKind::Symbol { symbol } => {
+            out.push_str(&format!(
+                "({} choice, {} alts)",
+                g.nonterminal_name(*symbol),
+                n.kids().len()
+            ));
+        }
+        NodeKind::Sequence { symbol } => {
+            out.push_str(&format!(
+                "{}* seq [{}]",
+                g.nonterminal_name(*symbol),
+                n.state()
+            ));
+        }
+        NodeKind::SeqRun { symbol } => {
+            out.push_str(&format!(
+                "{}* run [{}]",
+                g.nonterminal_name(*symbol),
+                n.state()
+            ));
+        }
+        NodeKind::Root => out.push_str("root"),
+        NodeKind::Bos => out.push_str("<bos>"),
+        NodeKind::Eos => out.push_str("<eos>"),
+    }
+    if again {
+        out.push_str(" ^shared\n");
+        return;
+    }
+    out.push('\n');
+    for &k in n.kids() {
+        dump_rec(arena, k, g, depth + 1, seen, out);
+    }
+}
+
+/// Structural equality of two dags: same kinds, lexemes, child shapes and
+/// (for symbol nodes) the same alternatives in order. Recorded parse states
+/// and physical sequence chunking are ignored — a balanced sequence equals
+/// its flat counterpart if the elements match.
+pub fn structurally_equal(
+    a: &DagArena,
+    ra: NodeId,
+    b: &DagArena,
+    rb: NodeId,
+) -> bool {
+    let fa = flatten(a, ra);
+    let fb = flatten(b, rb);
+    fa == fb
+}
+
+/// A canonical linearization used by [`structurally_equal`]: sequence
+/// containers are flattened so physical balance does not matter.
+#[derive(Debug, PartialEq, Eq)]
+enum Flat {
+    Term(String, u32),
+    Open(u32, &'static str, u32),
+    Close,
+}
+
+fn flatten(arena: &DagArena, root: NodeId) -> Vec<Flat> {
+    let mut out = Vec::new();
+    flatten_rec(arena, root, &mut out, false);
+    out
+}
+
+fn flatten_rec(arena: &DagArena, node: NodeId, out: &mut Vec<Flat>, in_seq: bool) {
+    match arena.kind(node) {
+        NodeKind::Terminal { term, lexeme } => {
+            out.push(Flat::Term(lexeme.clone(), term.index() as u32));
+        }
+        NodeKind::Bos | NodeKind::Eos => {}
+        NodeKind::Production { prod } => {
+            out.push(Flat::Open(prod.index() as u32, "prod", 0));
+            for &k in arena.kids(node) {
+                flatten_rec(arena, k, out, false);
+            }
+            out.push(Flat::Close);
+        }
+        NodeKind::Symbol { symbol } => {
+            out.push(Flat::Open(
+                symbol.index() as u32,
+                "sym",
+                arena.kids(node).len() as u32,
+            ));
+            for &k in arena.kids(node) {
+                flatten_rec(arena, k, out, false);
+            }
+            out.push(Flat::Close);
+        }
+        NodeKind::Sequence { symbol } => {
+            if in_seq {
+                // Prefix sequence inside a sequence: transparent.
+                for &k in arena.kids(node) {
+                    flatten_rec(arena, k, out, true);
+                }
+            } else {
+                out.push(Flat::Open(symbol.index() as u32, "seq", 0));
+                for &k in arena.kids(node) {
+                    flatten_rec(arena, k, out, true);
+                }
+                out.push(Flat::Close);
+            }
+        }
+        NodeKind::SeqRun { .. } => {
+            for &k in arena.kids(node) {
+                flatten_rec(arena, k, out, true);
+            }
+        }
+        NodeKind::Root => {
+            out.push(Flat::Open(0, "root", 0));
+            for &k in arena.kids(node) {
+                flatten_rec(arena, k, out, false);
+            }
+            out.push(Flat::Close);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::ParseState;
+    use wg_grammar::{GrammarBuilder, NonTerminal, ProdId, Symbol, Terminal};
+
+    fn tiny_grammar() -> Grammar {
+        let mut b = GrammarBuilder::new("g");
+        let x = b.terminal("x");
+        let s = b.nonterminal("S");
+        b.prod(s, vec![Symbol::T(x)]);
+        b.start(s);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn yield_and_dump() {
+        let g = tiny_grammar();
+        let mut a = DagArena::new();
+        let x = a.terminal(Terminal::from_index(1), "x");
+        let p = a.production(ProdId::from_index(1), ParseState(0), vec![x]);
+        let root = a.root(p);
+        assert_eq!(yield_string(&a, root), "x");
+        let d = dump(&a, root, &g);
+        assert!(d.contains("root"));
+        assert!(d.contains("S -> x"));
+        assert!(d.contains("'x'"));
+        assert!(d.contains("<bos>") && d.contains("<eos>"));
+    }
+
+    #[test]
+    fn symbol_nodes_share_yield_and_mark_shared_children() {
+        let g = tiny_grammar();
+        let mut a = DagArena::new();
+        let x = a.terminal(Terminal::from_index(1), "x");
+        let p1 = a.production(ProdId::from_index(1), ParseState::MULTI, vec![x]);
+        let p2 = a.production(ProdId::from_index(1), ParseState::MULTI, vec![x]);
+        let sym = a.symbol(NonTerminal::from_index(1), p1);
+        a.add_choice(sym, p2);
+        let root = a.root(sym);
+        assert_eq!(yield_string(&a, root), "x", "yield follows first alt");
+        let d = dump(&a, root, &g);
+        assert!(d.contains("choice, 2 alts"));
+        assert!(d.contains("^shared"), "x is shared between alternatives");
+    }
+
+    #[test]
+    fn structural_equality_ignores_states() {
+        let mut a = DagArena::new();
+        let xa = a.terminal(Terminal::from_index(1), "x");
+        let pa = a.production(ProdId::from_index(1), ParseState(7), vec![xa]);
+        let ra = a.root(pa);
+        let mut b = DagArena::new();
+        let xb = b.terminal(Terminal::from_index(1), "x");
+        let pb = b.production(ProdId::from_index(1), ParseState::MULTI, vec![xb]);
+        let rb = b.root(pb);
+        assert!(structurally_equal(&a, ra, &b, rb));
+    }
+
+    #[test]
+    fn structural_equality_detects_differences() {
+        let mut a = DagArena::new();
+        let xa = a.terminal(Terminal::from_index(1), "x");
+        let pa = a.production(ProdId::from_index(1), ParseState(0), vec![xa]);
+        let ra = a.root(pa);
+        let mut b = DagArena::new();
+        let xb = b.terminal(Terminal::from_index(1), "y");
+        let pb = b.production(ProdId::from_index(1), ParseState(0), vec![xb]);
+        let rb = b.root(pb);
+        assert!(!structurally_equal(&a, ra, &b, rb), "different lexeme");
+        let mut c = DagArena::new();
+        let xc = c.terminal(Terminal::from_index(1), "x");
+        let pc = c.production(ProdId::from_index(2), ParseState(0), vec![xc]);
+        let rc = c.root(pc);
+        assert!(!structurally_equal(&a, ra, &c, rc), "different production");
+    }
+
+    #[test]
+    fn sequences_compare_flat() {
+        let nt = NonTerminal::from_index(1);
+        // Flat: Sequence[a b c]
+        let mut a = DagArena::new();
+        let e: Vec<NodeId> = ["a", "b", "c"]
+            .iter()
+            .map(|s| a.terminal(Terminal::from_index(1), s))
+            .collect();
+        let sa = a.sequence(nt, ParseState(0), e);
+        let ra = a.root(sa);
+        // Chunked: Sequence[ Sequence[a b] run[c] ]
+        let mut b = DagArena::new();
+        let ba = b.terminal(Terminal::from_index(1), "a");
+        let bb = b.terminal(Terminal::from_index(1), "b");
+        let prefix = b.sequence(nt, ParseState(0), vec![ba, bb]);
+        let bc = b.terminal(Terminal::from_index(1), "c");
+        let run = b.seq_run(nt, ParseState(2), vec![bc]);
+        let sb = b.sequence(nt, ParseState(0), vec![prefix, run]);
+        let rb = b.root(sb);
+        assert!(structurally_equal(&a, ra, &b, rb));
+    }
+}
+
+#[cfg(test)]
+mod descendants_tests {
+    use super::*;
+    use crate::node::ParseState;
+    use wg_grammar::{NonTerminal, ProdId, Terminal};
+
+    #[test]
+    fn preorder_visits_unique_nodes_left_to_right() {
+        let mut a = DagArena::new();
+        let x = a.terminal(Terminal::from_index(1), "x");
+        let y = a.terminal(Terminal::from_index(1), "y");
+        let p = a.production(ProdId::from_index(1), ParseState(0), vec![x, y]);
+        let root = a.root(p);
+        let order: Vec<NodeId> = descendants(&a, root).collect();
+        assert_eq!(order[0], root);
+        let xi = order.iter().position(|&n| n == x).unwrap();
+        let yi = order.iter().position(|&n| n == y).unwrap();
+        assert!(xi < yi, "left child first");
+        assert_eq!(order.len(), 6, "root, bos, p, x, y, eos");
+    }
+
+    #[test]
+    fn shared_nodes_visited_once() {
+        let mut a = DagArena::new();
+        let x = a.terminal(Terminal::from_index(1), "x");
+        let p1 = a.production(ProdId::from_index(1), ParseState::MULTI, vec![x]);
+        let p2 = a.production(ProdId::from_index(2), ParseState::MULTI, vec![x]);
+        let sym = a.symbol(NonTerminal::from_index(1), p1);
+        a.add_choice(sym, p2);
+        let root = a.root(sym);
+        let order: Vec<NodeId> = descendants(&a, root).collect();
+        assert_eq!(order.iter().filter(|&&n| n == x).count(), 1);
+        assert_eq!(order.len(), 7, "root, bos, sym, p1, x, p2, eos");
+    }
+}

@@ -1,0 +1,170 @@
+//! Property tests for the dag's structural invariants.
+
+use proptest::prelude::*;
+use wg_dag::{
+    rebalance_sequences, rebalance_sequences_full, sequence_depth, structurally_equal,
+    yield_string, DagArena, NodeId, ParseState, SequencePolicy,
+};
+use wg_grammar::{NonTerminal, ProdId, Terminal};
+
+struct P {
+    separated: bool,
+}
+
+impl SequencePolicy for P {
+    fn is_separated(&self, _s: NonTerminal) -> bool {
+        self.separated
+    }
+    fn run_state(&self, _st: ParseState, _s: NonTerminal) -> Option<ParseState> {
+        Some(ParseState(77))
+    }
+}
+
+/// Builds a flat sequence over `n` elements (optionally separated).
+fn flat(arena: &mut DagArena, sym: NonTerminal, n: usize, separated: bool) -> NodeId {
+    let mut kids = Vec::new();
+    for i in 0..n {
+        if separated && i > 0 {
+            kids.push(arena.terminal(Terminal::from_index(2), ","));
+        }
+        kids.push(arena.terminal(Terminal::from_index(1), &format!("e{i}")));
+    }
+    arena.sequence(sym, ParseState(0), kids)
+}
+
+proptest! {
+    #[test]
+    fn rebalance_preserves_yield(n in 1usize..300, separated: bool) {
+        let sym = NonTerminal::from_index(1);
+        let mut a = DagArena::new();
+        let seq = flat(&mut a, sym, n, separated);
+        let root = a.root(seq);
+        let before = yield_string(&a, root);
+        rebalance_sequences(&mut a, root, &P { separated });
+        prop_assert_eq!(yield_string(&a, root), before);
+        // Logarithmic depth whenever a rebuild happened.
+        let d = sequence_depth(&a, seq);
+        let bound = 2 * (usize::BITS - (n + 2).leading_zeros()) as usize + 4;
+        prop_assert!(d <= bound, "depth {d} > bound {bound} for n {n}");
+    }
+
+    #[test]
+    fn full_rebalance_is_idempotent(n in 1usize..200) {
+        let sym = NonTerminal::from_index(1);
+        let mut a = DagArena::new();
+        let seq = flat(&mut a, sym, n, false);
+        let root = a.root(seq);
+        rebalance_sequences_full(&mut a, root, &P { separated: false });
+        let once = yield_string(&a, root);
+        let changed = rebalance_sequences_full(&mut a, root, &P { separated: false });
+        prop_assert_eq!(changed, 0, "second full pass must be a no-op");
+        prop_assert_eq!(yield_string(&a, root), once);
+    }
+
+    #[test]
+    fn gc_preserves_structure(n in 1usize..60, junk in 0usize..40) {
+        let sym = NonTerminal::from_index(1);
+        let mut a = DagArena::new();
+        // Unreachable junk interleaved with live structure.
+        for i in 0..junk {
+            let t = a.terminal(Terminal::from_index(3), "junk");
+            if i % 3 == 0 {
+                a.production(ProdId::from_index(1), ParseState(0), vec![t]);
+            }
+        }
+        let seq = flat(&mut a, sym, n, false);
+        let root = a.root(seq);
+        let reference = {
+            let mut b = DagArena::new();
+            let s2 = flat(&mut b, sym, n, false);
+            let r2 = b.root(s2);
+            (b, r2)
+        };
+        let before_len = a.len();
+        let (new_root, _map) = a.collect_garbage(root);
+        prop_assert!(a.len() <= before_len);
+        prop_assert!(structurally_equal(&a, new_root, &reference.0, reference.1));
+        // A second collection is a fixpoint.
+        let live = a.len();
+        let (newer_root, _) = a.collect_garbage(new_root);
+        prop_assert_eq!(a.len(), live);
+        prop_assert!(structurally_equal(&a, newer_root, &reference.0, reference.1));
+    }
+
+    #[test]
+    fn widths_and_leftmost_consistent_after_ops(
+        elems in proptest::collection::vec(0u8..3, 1..40),
+    ) {
+        let sym = NonTerminal::from_index(1);
+        let mut a = DagArena::new();
+        // Build a nested structure from the recipe; check invariants.
+        let mut pieces: Vec<NodeId> = Vec::new();
+        for (i, e) in elems.iter().enumerate() {
+            let t = a.terminal(Terminal::from_index(1 + (*e as usize)), &format!("x{i}"));
+            match e {
+                0 => pieces.push(t),
+                1 => {
+                    let p = a.production(ProdId::from_index(1), ParseState(1), vec![t]);
+                    pieces.push(p);
+                }
+                _ => {
+                    let r = a.seq_run(sym, ParseState(2), vec![t]);
+                    pieces.push(r);
+                }
+            }
+        }
+        let seq = a.sequence(sym, ParseState(0), pieces.clone());
+        let root = a.root(seq);
+        // width == number of terminals; leftmost == first terminal's kind.
+        prop_assert_eq!(a.width(root) as usize, elems.len());
+        let first_term = Terminal::from_index(1 + (elems[0] as usize));
+        prop_assert_eq!(a.node(seq).leftmost(), first_term);
+        // Appending updates width and keeps leftmost.
+        let extra = a.terminal(Terminal::from_index(1), "extra");
+        a.seq_append(seq, &[extra]);
+        prop_assert_eq!(a.width(seq) as usize, elems.len() + 1);
+        prop_assert_eq!(a.node(seq).leftmost(), first_term);
+    }
+
+    #[test]
+    fn damage_marks_cover_exactly_the_spine(
+        n in 2usize..50,
+        victim in 0usize..50,
+    ) {
+        let victim = victim % n;
+        let sym = NonTerminal::from_index(1);
+        let mut a = DagArena::new();
+        let seq = flat(&mut a, sym, n, false);
+        let root = a.root(seq);
+        rebalance_sequences(&mut a, root, &P { separated: false });
+        let terms = terminals(&a, root);
+        prop_assert_eq!(terms.len(), n);
+        a.mark_changed(terms[victim]);
+        // Every ancestor of the victim is marked; the victim's siblings are
+        // not (unless they lie on the ancestor chain, impossible for leaves).
+        for (i, &t) in terms.iter().enumerate() {
+            prop_assert_eq!(a.has_changes(t), i == victim);
+        }
+        prop_assert!(a.has_changes(root));
+        a.clear_changes();
+        prop_assert!(!a.has_changes(root));
+        prop_assert!(!a.has_changes(terms[victim]));
+    }
+}
+
+fn terminals(a: &DagArena, root: NodeId) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    fn rec(a: &DagArena, n: NodeId, out: &mut Vec<NodeId>) {
+        match a.kind(n) {
+            wg_dag::NodeKind::Terminal { .. } => out.push(n),
+            wg_dag::NodeKind::Bos | wg_dag::NodeKind::Eos => {}
+            _ => {
+                for &k in a.kids(n) {
+                    rec(a, k, out);
+                }
+            }
+        }
+    }
+    rec(a, root, &mut out);
+    out
+}

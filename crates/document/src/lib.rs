@@ -1,0 +1,487 @@
+//! A minimal self-versioning document substrate.
+//!
+//! The paper builds on Ensemble's *self-versioning document* model
+//! (Wagner & Graham, CompCon '97): the analyses consume a document that
+//! remembers which parts changed since the last analysis and can replay the
+//! structure of the previous version during reparsing. This crate implements
+//! the subset that incremental lexing and IGLR parsing require:
+//!
+//! * an edit-logged text buffer ([`TextBuffer`]) with version stamps,
+//! * [`Edit`] values describing textual modifications, with coalescing,
+//! * undo support (used by the paper's *self-cancelling modification*
+//!   experiments in Section 5), and
+//! * bookkeeping for *unincorporated* edits — modifications the parser
+//!   refused because no valid parse included them (the history-based,
+//!   non-correcting error recovery of Section 4.3).
+//!
+//! # Example
+//!
+//! ```
+//! use wg_document::TextBuffer;
+//!
+//! let mut buf = TextBuffer::new("int x;");
+//! let v0 = buf.version();
+//! buf.replace(4, 1, "y");
+//! assert_eq!(buf.text(), "int y;");
+//! assert!(buf.version() > v0);
+//! buf.undo();
+//! assert_eq!(buf.text(), "int x;");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::ops::Range;
+
+/// A textual modification: `removed` bytes at `start` replaced by
+/// `inserted` bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Edit {
+    /// Byte offset (in the pre-edit text) where the edit begins.
+    pub start: usize,
+    /// Number of bytes removed.
+    pub removed: usize,
+    /// Number of bytes inserted.
+    pub inserted: usize,
+}
+
+impl Edit {
+    /// A pure insertion of `len` bytes at `start`.
+    pub fn insertion(start: usize, len: usize) -> Edit {
+        Edit {
+            start,
+            removed: 0,
+            inserted: len,
+        }
+    }
+
+    /// A pure deletion of `len` bytes at `start`.
+    pub fn deletion(start: usize, len: usize) -> Edit {
+        Edit {
+            start,
+            removed: len,
+            inserted: 0,
+        }
+    }
+
+    /// Net change in text length.
+    pub fn delta(&self) -> isize {
+        self.inserted as isize - self.removed as isize
+    }
+
+    /// End of the removed range in pre-edit coordinates.
+    pub fn old_end(&self) -> usize {
+        self.start + self.removed
+    }
+
+    /// End of the inserted range in post-edit coordinates.
+    pub fn new_end(&self) -> usize {
+        self.start + self.inserted
+    }
+
+    /// The removed range in pre-edit coordinates.
+    pub fn old_range(&self) -> Range<usize> {
+        self.start..self.old_end()
+    }
+
+    /// Conservatively merges two edits applied in sequence (`self` first,
+    /// then `other`, whose offsets are post-`self`) into one edit in
+    /// pre-`self` coordinates covering both. Used to present the incremental
+    /// lexer with a single damage region per analysis cycle.
+    pub fn merge(self, other: Edit) -> Edit {
+        // Map `other`'s start back to pre-self coordinates.
+        let delta = self.delta();
+        let other_old_start = if other.start >= self.new_end() {
+            (other.start as isize - delta) as usize
+        } else {
+            other.start.min(self.start)
+        };
+        let other_old_end = if other.start + other.removed >= self.new_end() {
+            (other.old_end() as isize - delta).max(self.old_end() as isize) as usize
+        } else {
+            self.old_end()
+        };
+        let start = self.start.min(other_old_start);
+        let old_end = self.old_end().max(other_old_end);
+        let removed = old_end - start;
+        // New length covered by the merged region.
+        let total_delta = delta + other.delta();
+        let inserted = (removed as isize + total_delta).max(0) as usize;
+        Edit {
+            start,
+            removed,
+            inserted,
+        }
+    }
+}
+
+impl fmt::Display for Edit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "@{}: -{} +{} bytes",
+            self.start, self.removed, self.inserted
+        )
+    }
+}
+
+/// One entry in the undo history.
+#[derive(Debug, Clone)]
+struct HistoryEntry {
+    edit: Edit,
+    removed_text: String,
+    inserted_text: String,
+}
+
+/// One uncommitted modification (the edit plus the text it inserted, so
+/// prefixes of the pending sequence can be replayed).
+#[derive(Debug, Clone)]
+struct PendingEdit {
+    edit: Edit,
+    inserted_text: String,
+}
+
+/// An edit-logged text buffer with version stamps and undo.
+#[derive(Debug, Clone)]
+pub struct TextBuffer {
+    text: String,
+    /// The text as of the last [`TextBuffer::commit`] — what the analyses'
+    /// current tree corresponds to.
+    committed: String,
+    version: u64,
+    /// Edits applied since the last [`TextBuffer::commit`]; what the next
+    /// incremental analysis must incorporate. Each edit's offsets are in
+    /// the coordinates produced by its predecessors.
+    pending: Vec<PendingEdit>,
+    history: Vec<HistoryEntry>,
+}
+
+impl TextBuffer {
+    /// Creates a buffer holding `text` at version 0 with no pending edits.
+    pub fn new(text: impl Into<String>) -> TextBuffer {
+        let text = text.into();
+        TextBuffer {
+            committed: text.clone(),
+            text,
+            version: 0,
+            pending: Vec::new(),
+            history: Vec::new(),
+        }
+    }
+
+    /// Current contents.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.text.is_empty()
+    }
+
+    /// Monotonic version stamp; bumped by every modification.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Replaces `removed` bytes at `start` with `insert`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or splits a UTF-8 character.
+    pub fn replace(&mut self, start: usize, removed: usize, insert: &str) -> Edit {
+        let removed_text = self.text[start..start + removed].to_string();
+        self.text.replace_range(start..start + removed, insert);
+        let edit = Edit {
+            start,
+            removed,
+            inserted: insert.len(),
+        };
+        self.version += 1;
+        self.pending.push(PendingEdit {
+            edit,
+            inserted_text: insert.to_string(),
+        });
+        self.history.push(HistoryEntry {
+            edit,
+            removed_text,
+            inserted_text: insert.to_string(),
+        });
+        edit
+    }
+
+    /// Inserts `text` at `offset`.
+    pub fn insert(&mut self, offset: usize, text: &str) -> Edit {
+        self.replace(offset, 0, text)
+    }
+
+    /// Deletes `len` bytes at `offset`.
+    pub fn delete(&mut self, offset: usize, len: usize) -> Edit {
+        self.replace(offset, len, "")
+    }
+
+    /// Undoes the most recent modification, returning the reverse edit.
+    /// Returns `None` if there is nothing to undo.
+    pub fn undo(&mut self) -> Option<Edit> {
+        let entry = self.history.pop()?;
+        let start = entry.edit.start;
+        self.text
+            .replace_range(start..start + entry.inserted_text.len(), &entry.removed_text);
+        let rev = Edit {
+            start,
+            removed: entry.inserted_text.len(),
+            inserted: entry.removed_text.len(),
+        };
+        self.version += 1;
+        self.pending.push(PendingEdit {
+            edit: rev,
+            inserted_text: entry.removed_text,
+        });
+        rev.into()
+    }
+
+    /// The edits applied since the last commit, in order.
+    pub fn pending_edits(&self) -> Vec<Edit> {
+        self.pending.iter().map(|p| p.edit).collect()
+    }
+
+    /// Number of pending edits.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Coalesces all pending edits into a single covering [`Edit`] in the
+    /// coordinates of the last committed text, or `None` if nothing is
+    /// pending.
+    pub fn pending_damage(&self) -> Option<Edit> {
+        self.pending_damage_prefix(self.pending.len())
+    }
+
+    /// Coalesces the first `k` pending edits into one covering [`Edit`] in
+    /// committed-text coordinates (`None` if `k == 0`).
+    pub fn pending_damage_prefix(&self, k: usize) -> Option<Edit> {
+        let mut it = self.pending.iter().take(k).map(|p| p.edit);
+        let first = it.next()?;
+        Some(it.fold(first, Edit::merge))
+    }
+
+    /// The text that results from applying only the first `k` pending edits
+    /// to the committed text (the paper's history-based recovery integrates
+    /// the longest prefix of modifications that still parses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` exceeds the number of pending edits.
+    pub fn text_at_prefix(&self, k: usize) -> String {
+        let mut t = self.committed.clone();
+        for p in &self.pending[..k] {
+            t.replace_range(p.edit.start..p.edit.old_end(), &p.inserted_text);
+        }
+        t
+    }
+
+    /// The text as of the last commit (what the current tree reflects).
+    pub fn committed_text(&self) -> &str {
+        &self.committed
+    }
+
+    /// Marks all pending edits as incorporated by an analysis.
+    pub fn commit(&mut self) {
+        self.committed.clear();
+        self.committed.push_str(&self.text);
+        self.pending.clear();
+    }
+
+    /// Marks the first `k` pending edits as incorporated: the committed
+    /// text advances to [`TextBuffer::text_at_prefix`]`(k)` and the
+    /// remaining edits stay pending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` exceeds the number of pending edits.
+    pub fn commit_prefix(&mut self, k: usize) {
+        self.committed = self.text_at_prefix(k);
+        self.pending.drain(..k);
+    }
+
+    /// Converts a byte offset to a 1-based (line, column) pair.
+    pub fn line_col(&self, offset: usize) -> (usize, usize) {
+        let prefix = &self.text[..offset.min(self.text.len())];
+        let line = prefix.bytes().filter(|b| *b == b'\n').count() + 1;
+        let col = prefix.len() - prefix.rfind('\n').map(|p| p + 1).unwrap_or(0) + 1;
+        (line, col)
+    }
+}
+
+impl Default for TextBuffer {
+    fn default() -> TextBuffer {
+        TextBuffer::new("")
+    }
+}
+
+/// Bookkeeping for edits refused by the parser (Section 4.3: history-based,
+/// non-correcting error recovery integrates only modifications that yield at
+/// least one valid parse; the rest are flagged as unincorporated material).
+#[derive(Debug, Clone, Default)]
+pub struct UnincorporatedEdits {
+    edits: Vec<(u64, Edit)>,
+}
+
+impl UnincorporatedEdits {
+    /// Creates empty bookkeeping.
+    pub fn new() -> UnincorporatedEdits {
+        UnincorporatedEdits::default()
+    }
+
+    /// Records that `edit` (made at buffer version `version`) could not be
+    /// incorporated.
+    pub fn flag(&mut self, version: u64, edit: Edit) {
+        self.edits.push((version, edit));
+    }
+
+    /// The flagged edits, oldest first.
+    pub fn flagged(&self) -> &[(u64, Edit)] {
+        &self.edits
+    }
+
+    /// Whether anything is flagged.
+    pub fn is_empty(&self) -> bool {
+        self.edits.is_empty()
+    }
+
+    /// Clears the flags (e.g. after a later analysis incorporated them).
+    pub fn clear(&mut self) {
+        self.edits.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edit_accessors() {
+        let e = Edit {
+            start: 4,
+            removed: 2,
+            inserted: 5,
+        };
+        assert_eq!(e.delta(), 3);
+        assert_eq!(e.old_end(), 6);
+        assert_eq!(e.new_end(), 9);
+        assert_eq!(e.old_range(), 4..6);
+        assert_eq!(format!("{e}"), "@4: -2 +5 bytes");
+        assert_eq!(Edit::insertion(1, 3).removed, 0);
+        assert_eq!(Edit::deletion(1, 3).inserted, 0);
+    }
+
+    #[test]
+    fn replace_insert_delete_roundtrip() {
+        let mut b = TextBuffer::new("hello world");
+        b.replace(0, 5, "goodbye");
+        assert_eq!(b.text(), "goodbye world");
+        b.insert(7, ",");
+        assert_eq!(b.text(), "goodbye, world");
+        b.delete(7, 1);
+        assert_eq!(b.text(), "goodbye world");
+        assert_eq!(b.pending_edits().len(), 3);
+        assert_eq!(b.version(), 3);
+    }
+
+    #[test]
+    fn undo_restores_text_and_logs_reverse_edit() {
+        let mut b = TextBuffer::new("abc");
+        b.replace(1, 1, "XY");
+        assert_eq!(b.text(), "aXYc");
+        let rev = b.undo().unwrap();
+        assert_eq!(b.text(), "abc");
+        assert_eq!(rev, Edit { start: 1, removed: 2, inserted: 1 });
+        assert!(b.undo().is_none());
+    }
+
+    #[test]
+    fn self_cancelling_edit_protocol() {
+        // The Section 5 experiment shape: modify a token, reparse, undo.
+        let mut b = TextBuffer::new("int foo;");
+        b.replace(4, 3, "bar");
+        assert_eq!(b.text(), "int bar;");
+        b.undo();
+        assert_eq!(b.text(), "int foo;");
+        // Both the edit and its reversal are pending damage for the parser.
+        assert_eq!(b.pending_edits().len(), 2);
+        let damage = b.pending_damage().unwrap();
+        assert_eq!(damage.start, 4);
+        assert_eq!(damage.removed, 3);
+        assert_eq!(damage.inserted, 3);
+    }
+
+    #[test]
+    fn merge_disjoint_edits_covers_both() {
+        // "aaaa bbbb": replace 0..2 then (post-edit) replace 6..8.
+        let e1 = Edit { start: 0, removed: 2, inserted: 3 };
+        let e2 = Edit { start: 6, removed: 2, inserted: 2 };
+        let m = e1.merge(e2);
+        // In old coordinates e2 covers 5..7, so the merge spans 0..7.
+        assert_eq!(m.start, 0);
+        assert_eq!(m.removed, 7);
+        assert_eq!(m.inserted, 8);
+    }
+
+    #[test]
+    fn merge_overlapping_edits() {
+        let e1 = Edit { start: 2, removed: 4, inserted: 1 }; // "..XXXX.." -> "..Y.."
+        let e2 = Edit { start: 2, removed: 1, inserted: 0 }; // delete the Y
+        let m = e1.merge(e2);
+        assert_eq!(m.start, 2);
+        assert_eq!(m.removed, 4);
+        assert_eq!(m.inserted, 0);
+    }
+
+    #[test]
+    fn pending_damage_and_commit() {
+        let mut b = TextBuffer::new("0123456789");
+        assert!(b.pending_damage().is_none());
+        b.replace(1, 1, "X");
+        b.replace(5, 2, "");
+        let d = b.pending_damage().unwrap();
+        assert_eq!(d.start, 1);
+        assert!(d.old_end() >= 7);
+        b.commit();
+        assert!(b.pending_damage().is_none());
+        assert_eq!(b.version(), 2, "commit does not bump the version");
+    }
+
+    #[test]
+    fn line_col() {
+        let b = TextBuffer::new("ab\ncde\nf");
+        assert_eq!(b.line_col(0), (1, 1));
+        assert_eq!(b.line_col(3), (2, 1));
+        assert_eq!(b.line_col(6), (2, 4));
+        assert_eq!(b.line_col(7), (3, 1));
+        assert_eq!(b.line_col(999), (3, 2), "clamped to end");
+    }
+
+    #[test]
+    fn unincorporated_edits_bookkeeping() {
+        let mut u = UnincorporatedEdits::new();
+        assert!(u.is_empty());
+        u.flag(3, Edit::insertion(0, 1));
+        assert_eq!(u.flagged().len(), 1);
+        assert_eq!(u.flagged()[0].0, 3);
+        u.clear();
+        assert!(u.is_empty());
+    }
+
+    #[test]
+    fn default_buffer_is_empty() {
+        let b = TextBuffer::default();
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+    }
+}

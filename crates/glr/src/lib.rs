@@ -1,0 +1,60 @@
+//! Batch generalized-LR parsing (Section 3.1) producing abstract parse dags.
+//!
+//! A GLR parser drives conflict-preserving LR tables breadth-first: where a
+//! table cell holds several actions the parser forks, and the combined
+//! stacks are represented compactly by a **graph-structured stack** (GSS).
+//! Unsuccessful forks die on syntax errors; true ambiguity survives as
+//! *local ambiguity packing*: interpretations with the same yield merge
+//! under a symbol (choice) node in the resulting abstract parse dag.
+//!
+//! This crate is the foundation the incremental parser (`wg-core`) builds
+//! on: it owns the GSS, the per-round merge tables that give the dag its
+//! optimal sharing (Section 3.5), and the reduction-node builder that
+//! represents declared sequences as balanced containers.
+//!
+//! Unlike Ferro & Dion's incremental PDA simulator, the GSS here is a
+//! transient structure of the parser — the persistent program representation
+//! is the abstract parse dag alone, which is why unsuccessful forks cost no
+//! space after parsing (Section 3.5, Figure 2).
+//!
+//! # Example
+//!
+//! ```
+//! use wg_grammar::{GrammarBuilder, Symbol};
+//! use wg_lrtable::{LrTable, TableKind};
+//! use wg_glr::GlrParser;
+//! use wg_dag::DagArena;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // An ambiguous grammar: E -> E + E | num.
+//! let mut b = GrammarBuilder::new("amb");
+//! let plus = b.terminal("+");
+//! let num = b.terminal("num");
+//! let e = b.nonterminal("E");
+//! b.prod(e, vec![Symbol::N(e), Symbol::T(plus), Symbol::N(e)]);
+//! b.prod(e, vec![Symbol::T(num)]);
+//! b.start(e);
+//! let g = b.build()?;
+//! let table = LrTable::build(&g, TableKind::Lalr);
+//!
+//! let parser = GlrParser::new(&g, &table);
+//! let mut arena = DagArena::new();
+//! let tokens = vec![(num, "1"), (plus, "+"), (num, "2"), (plus, "+"), (num, "3")];
+//! let root = parser.parse(&mut arena, tokens.iter().map(|&(t, s)| (t, s)))?;
+//! // "1+2+3" has two parses; the dag holds one choice point.
+//! let stats = wg_dag::DagStats::compute(&arena, root);
+//! assert_eq!(stats.choice_points, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gss;
+mod merge;
+mod parser;
+
+pub use gss::{Gss, GssIdx, Link};
+pub use merge::{build_reduction_node, MergeTables};
+pub use parser::{ps, sid, GlrParser, ParseError, TablePolicy};

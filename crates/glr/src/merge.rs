@@ -1,0 +1,312 @@
+//! Per-round merge tables (Appendix A's `nodes` and `symbolnodes`) and the
+//! reduction-node builder shared by the batch and incremental parsers.
+//!
+//! The merge tables implement the dag's *optimal sharing* (Section 3.5):
+//!
+//! * `get_node` — one dag node per (production, kids) instance, correcting
+//!   the **under-sharing** of plain Tomita parsing (isomorphic subtrees
+//!   created by different parsers due to context differences).
+//! * `get_symbol_node` — one choice point per (phylum, yield), with lazy
+//!   instantiation: a lone interpretation is its own proxy and a real
+//!   symbol node appears only when a second interpretation shows up.
+//!
+//! Both tables are scoped to a single shift round, because reductions in one
+//! round all produce subtrees with a common right edge.
+
+use std::collections::HashMap;
+use wg_dag::{DagArena, NodeId, NodeKind, ParseState};
+use wg_grammar::{Grammar, NonTerminal, ProdId, ProdKind};
+
+/// The round-scoped sharing tables.
+#[derive(Debug, Default)]
+pub struct MergeTables {
+    /// (production, kids) -> production node.
+    nodes: HashMap<(ProdId, Vec<NodeId>), NodeId>,
+    /// (symbol, yield-width) -> proxy or symbol node. All subtrees built in
+    /// one round share their right edge, so width identifies the cover.
+    symbols: HashMap<(NonTerminal, u32), NodeId>,
+}
+
+impl MergeTables {
+    /// Fresh tables for a new shift round.
+    pub fn new() -> MergeTables {
+        MergeTables::default()
+    }
+
+    /// Clears both tables (start of each round).
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.symbols.clear();
+    }
+
+    /// Appendix A's `get_node`: returns the existing node for this exact
+    /// (production, kids) instance or creates one, recording the preceding
+    /// state (or the multistate sentinel while several parsers run).
+    pub fn get_node(
+        &mut self,
+        arena: &mut DagArena,
+        g: &Grammar,
+        prod: ProdId,
+        kids: Vec<NodeId>,
+        preceding: ParseState,
+        multi: bool,
+    ) -> NodeId {
+        if let Some(&n) = self.nodes.get(&(prod, kids.clone())) {
+            return n;
+        }
+        let n = build_reduction_node(arena, g, prod, kids.clone(), preceding, multi);
+        self.nodes.insert((prod, kids), n);
+        n
+    }
+
+    /// Records an externally constructed symbol node (the pack-into-link
+    /// case upgrades a proxy outside this table).
+    pub fn record_symbol(&mut self, symbol: NonTerminal, width: u32, node: NodeId) {
+        self.symbols.insert((symbol, width), node);
+    }
+
+    /// Rewrites every intra-round reference to an upgraded proxy: dag nodes
+    /// built this round that hold `old` as a kid now hold `sym`, and the
+    /// node table is rekeyed accordingly. (GSS links are the caller's job.)
+    /// Without this, a reduction performed *before* the second
+    /// interpretation arrived would keep pointing at the lone proxy and a
+    /// derivation would silently be lost.
+    pub fn upgrade_proxy(&mut self, arena: &mut DagArena, old: NodeId, sym: NodeId) {
+        let entries: Vec<((ProdId, Vec<NodeId>), NodeId)> = self
+            .nodes
+            .iter()
+            .filter(|((_, kids), _)| kids.contains(&old))
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        for ((prod, kids), val) in entries {
+            self.nodes.remove(&(prod, kids.clone()));
+            let new_kids: Vec<NodeId> = kids
+                .iter()
+                .map(|&k| if k == old { sym } else { k })
+                .collect();
+            if val != old {
+                // Keep the symbol node out of its own alternative list.
+                arena.set_kids(val, new_kids.clone());
+            }
+            self.nodes.insert((prod, new_kids), val);
+        }
+    }
+
+    /// Appendix A's `get_symbolnode` with lazy instantiation: returns the
+    /// node to label a GSS link with. If another interpretation of the same
+    /// (symbol, cover) already exists, the two are packed under a symbol
+    /// node; the returned value is then that symbol node, and
+    /// `replaced` reports a proxy that was upgraded (so the caller can
+    /// relabel GSS links pointing at it).
+    pub fn get_symbol_node(
+        &mut self,
+        arena: &mut DagArena,
+        symbol: NonTerminal,
+        node: NodeId,
+    ) -> (NodeId, Option<NodeId>) {
+        let key = (symbol, arena.width(node));
+        match self.symbols.get(&key).copied() {
+            None => {
+                self.symbols.insert(key, node);
+                (node, None)
+            }
+            Some(existing) if existing == node => (node, None),
+            Some(existing) => {
+                if matches!(arena.kind(existing), NodeKind::Symbol { .. }) {
+                    arena.add_choice(existing, node);
+                    (existing, None)
+                } else {
+                    // Upgrade the proxy to a real symbol node.
+                    let sym = arena.symbol(symbol, existing);
+                    arena.add_choice(sym, node);
+                    self.symbols.insert(key, sym);
+                    self.upgrade_proxy(arena, existing, sym);
+                    (sym, Some(existing))
+                }
+            }
+        }
+    }
+}
+
+/// Builds the dag node for a reduction, choosing the physical
+/// representation:
+///
+/// * ordinary productions (and anything built non-deterministically) become
+///   [`NodeKind::Production`] nodes;
+/// * declared sequence productions build or extend
+///   [`NodeKind::Sequence`] containers, accumulating in place when the open
+///   sequence was created in the current epoch (so batch parsing is linear)
+///   and wrapping reused prefixes otherwise (so incremental parsing can
+///   splice in O(1)).
+pub fn build_reduction_node(
+    arena: &mut DagArena,
+    g: &Grammar,
+    prod: ProdId,
+    kids: Vec<NodeId>,
+    preceding: ParseState,
+    multi: bool,
+) -> NodeId {
+    let state = if multi { ParseState::MULTI } else { preceding };
+    let p = g.production(prod);
+    if multi || p.kind() == ProdKind::Normal {
+        // Explicit node retention (paper ref. 25): re-deriving an identical instance
+        // hands back the previous version's node.
+        if let Some(old) = arena.try_reuse_production(prod, &kids, state) {
+            return old;
+        }
+        return arena.production(prod, state, kids);
+    }
+    let lhs = p.lhs();
+    match p.kind() {
+        ProdKind::SeqEmpty => arena.sequence(lhs, state, kids),
+        ProdKind::SeqBase => arena.sequence(lhs, state, kids),
+        ProdKind::SeqCons => {
+            let left = kids[0];
+            let is_open_sequence = matches!(arena.kind(left), NodeKind::Sequence { symbol } if *symbol == lhs)
+                && arena.is_current_epoch(left);
+            if is_open_sequence {
+                arena.seq_append(left, &kids[1..]);
+                left
+            } else {
+                // Reused prefix (or non-sequence fallback structure): nest it.
+                arena.sequence(lhs, arena.state(left), kids)
+            }
+        }
+        ProdKind::Normal => unreachable!("handled above"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wg_grammar::{GrammarBuilder, SeqKind, Symbol, Terminal};
+
+    fn seq_grammar() -> Grammar {
+        let mut b = GrammarBuilder::new("g");
+        let item = b.terminal("item");
+        let l = b.nonterminal("L");
+        b.sequence(l, Symbol::T(item), SeqKind::Plus, None);
+        b.start(l);
+        b.build().unwrap()
+    }
+
+    fn normal_grammar() -> Grammar {
+        let mut b = GrammarBuilder::new("g");
+        let x = b.terminal("x");
+        let s = b.nonterminal("S");
+        b.prod(s, vec![Symbol::T(x)]);
+        b.prod(s, vec![Symbol::T(x), Symbol::T(x)]);
+        b.start(s);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn get_node_shares_identical_instances() {
+        let g = normal_grammar();
+        let mut arena = DagArena::new();
+        let mut mt = MergeTables::new();
+        let x = arena.terminal(Terminal::from_index(1), "x");
+        let p = ProdId::from_index(1);
+        let n1 = mt.get_node(&mut arena, &g, p, vec![x], ParseState(1), true);
+        let n2 = mt.get_node(&mut arena, &g, p, vec![x], ParseState(2), true);
+        assert_eq!(n1, n2, "same production over same kids is one node");
+        let other = ProdId::from_index(2);
+        let y = arena.terminal(Terminal::from_index(1), "x");
+        let n3 = mt.get_node(&mut arena, &g, other, vec![x, y], ParseState(1), true);
+        assert_ne!(n1, n3);
+        mt.clear();
+        let n4 = mt.get_node(&mut arena, &g, p, vec![x], ParseState(1), true);
+        assert_ne!(n1, n4, "tables are round-scoped");
+    }
+
+    #[test]
+    fn multi_records_multistate() {
+        let g = normal_grammar();
+        let mut arena = DagArena::new();
+        let mut mt = MergeTables::new();
+        let x = arena.terminal(Terminal::from_index(1), "x");
+        let n = mt.get_node(&mut arena, &g, ProdId::from_index(1), vec![x], ParseState(5), true);
+        assert_eq!(arena.state(n), ParseState::MULTI);
+        mt.clear();
+        let y = arena.terminal(Terminal::from_index(1), "x");
+        let n2 = mt.get_node(&mut arena, &g, ProdId::from_index(1), vec![y], ParseState(5), false);
+        assert_eq!(arena.state(n2), ParseState(5));
+    }
+
+    #[test]
+    fn symbol_node_lazy_instantiation() {
+        let g = normal_grammar();
+        let s = g.nonterminal_by_name("S").unwrap();
+        let mut arena = DagArena::new();
+        let mut mt = MergeTables::new();
+        let x = arena.terminal(Terminal::from_index(1), "x");
+        let p1 = arena.production(ProdId::from_index(1), ParseState::MULTI, vec![x]);
+        // First interpretation: proxy, no symbol node created.
+        let (r1, replaced) = mt.get_symbol_node(&mut arena, s, p1);
+        assert_eq!(r1, p1);
+        assert!(replaced.is_none());
+        // Second interpretation with the same cover: packed.
+        let p2 = arena.production(ProdId::from_index(2), ParseState::MULTI, vec![x]);
+        // Give p2 the same width by construction (both cover one token).
+        let (r2, replaced) = mt.get_symbol_node(&mut arena, s, p2);
+        assert_ne!(r2, p2);
+        assert!(matches!(arena.kind(r2), NodeKind::Symbol { .. }));
+        assert_eq!(replaced, Some(p1), "proxy upgraded");
+        assert_eq!(arena.kids(r2), &[p1, p2]);
+        // Third interpretation joins the existing symbol node.
+        let y = arena.terminal(Terminal::from_index(1), "x");
+        let p3 = arena.production(ProdId::from_index(1), ParseState::MULTI, vec![y]);
+        let (r3, replaced) = mt.get_symbol_node(&mut arena, s, p3);
+        assert_eq!(r3, r2);
+        assert!(replaced.is_none());
+        assert_eq!(arena.kids(r2).len(), 3);
+    }
+
+    #[test]
+    fn sequence_reductions_accumulate_in_place() {
+        let g = seq_grammar();
+        let l = g.nonterminal_by_name("L").unwrap();
+        let prods: Vec<ProdId> = g.productions_for(l).collect();
+        let (base, cons) = (prods[0], prods[1]);
+        let mut arena = DagArena::new();
+        let item = |a: &mut DagArena| a.terminal(Terminal::from_index(1), "item");
+        let e1 = item(&mut arena);
+        let seq = build_reduction_node(&mut arena, &g, base, vec![e1], ParseState(0), false);
+        assert!(matches!(arena.kind(seq), NodeKind::Sequence { .. }));
+        let e2 = item(&mut arena);
+        let seq2 = build_reduction_node(&mut arena, &g, cons, vec![seq, e2], ParseState(0), false);
+        assert_eq!(seq, seq2, "in-place accumulation");
+        assert_eq!(arena.kids(seq).len(), 2);
+        assert_eq!(arena.width(seq), 2);
+    }
+
+    #[test]
+    fn sequence_reuses_prior_epoch_prefix_by_nesting() {
+        let g = seq_grammar();
+        let l = g.nonterminal_by_name("L").unwrap();
+        let prods: Vec<ProdId> = g.productions_for(l).collect();
+        let cons = prods[1];
+        let mut arena = DagArena::new();
+        let e1 = arena.terminal(Terminal::from_index(1), "item");
+        let old_seq = arena.sequence(l, ParseState(0), vec![e1]);
+        arena.begin_epoch();
+        let e2 = arena.terminal(Terminal::from_index(1), "item");
+        let seq2 =
+            build_reduction_node(&mut arena, &g, cons, vec![old_seq, e2], ParseState(0), false);
+        assert_ne!(seq2, old_seq, "old prefix must not be mutated");
+        assert_eq!(arena.kids(seq2), &[old_seq, e2]);
+        assert_eq!(arena.width(seq2), 2);
+    }
+
+    #[test]
+    fn multistate_sequences_fall_back_to_productions() {
+        let g = seq_grammar();
+        let l = g.nonterminal_by_name("L").unwrap();
+        let base = g.productions_for(l).next().unwrap();
+        let mut arena = DagArena::new();
+        let e1 = arena.terminal(Terminal::from_index(1), "item");
+        let n = build_reduction_node(&mut arena, &g, base, vec![e1], ParseState(0), true);
+        assert!(matches!(arena.kind(n), NodeKind::Production { .. }));
+        assert_eq!(arena.state(n), ParseState::MULTI);
+    }
+}

@@ -1,0 +1,663 @@
+//! The batch GLR driver (Rekers' formulation, as in the paper's Appendix A
+//! without the incremental input stream).
+
+use crate::gss::{Gss, GssIdx, Link};
+use crate::merge::{build_reduction_node, MergeTables};
+use std::collections::HashSet;
+use std::fmt;
+use wg_dag::{
+    rebalance_sequences, unshare_epsilon, DagArena, NodeId, ParseState, SequencePolicy,
+};
+use wg_grammar::{Grammar, NonTerminal, ProdKind, Terminal};
+use wg_lrtable::{Action, LrTable, StateId};
+
+/// Converts an LR state to a dag parse-state annotation.
+#[inline]
+pub fn ps(s: StateId) -> ParseState {
+    ParseState(s.0)
+}
+
+/// Converts a dag parse-state annotation back to an LR state, if it is
+/// deterministic.
+#[inline]
+pub fn sid(p: ParseState) -> Option<StateId> {
+    p.is_deterministic().then_some(StateId(p.0))
+}
+
+/// A syntax error: no parser could consume the lookahead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Index of the offending token (input order; the token count for EOF).
+    pub position: usize,
+    /// The terminal that could not be consumed.
+    pub terminal: Terminal,
+    /// Lexeme of the offending token (empty at EOF).
+    pub lexeme: String,
+    /// Terminals that would have been consumable in the live parse states.
+    pub expected: Vec<Terminal>,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "syntax error at token {} ({:?})",
+            self.position, self.lexeme
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Sequence policy derived from the grammar and parse table: a run of
+/// sequence steps is consumed in `GOTO(seq_state, L)`.
+pub struct TablePolicy<'a> {
+    /// The grammar (for sequence-production shapes).
+    pub g: &'a Grammar,
+    /// The parse table (for run states).
+    pub table: &'a LrTable,
+}
+
+impl SequencePolicy for TablePolicy<'_> {
+    fn is_separated(&self, sym: NonTerminal) -> bool {
+        self.g
+            .productions_for(sym)
+            .any(|p| self.g.production(p).kind() == ProdKind::SeqCons
+                && self.g.production(p).arity() == 3)
+    }
+
+    fn run_state(&self, seq_state: ParseState, sym: NonTerminal) -> Option<ParseState> {
+        let s = sid(seq_state)?;
+        self.table.goto(s, sym).map(ps)
+    }
+
+    fn seq_prod_symbol(&self, prod: wg_grammar::ProdId) -> Option<NonTerminal> {
+        let p = self.g.production(prod);
+        p.kind().is_sequence().then(|| p.lhs())
+    }
+}
+
+/// Counters describing one batch parse (Section 5-style reporting).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GlrRunStats {
+    /// Tokens consumed.
+    pub tokens: usize,
+    /// Maximum simultaneously active parsers.
+    pub max_parsers: usize,
+    /// Rounds in which more than one parser was active.
+    pub nondeterministic_rounds: usize,
+    /// Total reductions performed.
+    pub reductions: usize,
+    /// GSS nodes allocated.
+    pub gss_nodes: usize,
+}
+
+/// A batch GLR parser for one grammar/table pair.
+#[derive(Debug, Clone, Copy)]
+pub struct GlrParser<'a> {
+    g: &'a Grammar,
+    table: &'a LrTable,
+}
+
+impl<'a> GlrParser<'a> {
+    /// Creates a parser. The table must have been built for `g`.
+    pub fn new(g: &'a Grammar, table: &'a LrTable) -> GlrParser<'a> {
+        GlrParser { g, table }
+    }
+
+    /// Parses `tokens` into `arena`, returning the super-root of the
+    /// resulting abstract parse dag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] when no parser can consume a token.
+    pub fn parse<'t>(
+        &self,
+        arena: &mut DagArena,
+        tokens: impl IntoIterator<Item = (Terminal, &'t str)>,
+    ) -> Result<NodeId, ParseError> {
+        self.parse_with_stats(arena, tokens).map(|(root, _)| root)
+    }
+
+    /// As [`GlrParser::parse`], also returning run statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] when no parser can consume a token.
+    pub fn parse_with_stats<'t>(
+        &self,
+        arena: &mut DagArena,
+        tokens: impl IntoIterator<Item = (Terminal, &'t str)>,
+    ) -> Result<(NodeId, GlrRunStats), ParseError> {
+        arena.begin_epoch();
+        let mut run = Run {
+            g: self.g,
+            table: self.table,
+            gss: Gss::new(),
+            merge: MergeTables::new(),
+            active: Vec::new(),
+            queued: HashSet::new(),
+            for_actor: Vec::new(),
+            for_shifter: Vec::new(),
+            accepting: None,
+            multi: false,
+            forward: std::collections::HashMap::new(),
+            stats: GlrRunStats::default(),
+        };
+        let bottom = run.gss.bottom(self.table.start_state());
+        run.active.push(bottom);
+
+        for (pos, (term, lexeme)) in tokens.into_iter().enumerate() {
+            run.round(arena, term);
+            if run.for_shifter.is_empty() {
+                let expected = run.expected_terminals(self.g, self.table);
+                return Err(ParseError {
+                    position: pos,
+                    terminal: term,
+                    lexeme: lexeme.to_string(),
+                    expected,
+                });
+            }
+            let node = arena.terminal(term, lexeme);
+            run.shift(node);
+            run.stats.tokens += 1;
+        }
+
+        run.round(arena, Terminal::EOF);
+        let Some(acc) = run.accepting else {
+            let expected = run.expected_terminals(self.g, self.table);
+            return Err(ParseError {
+                position: run.stats.tokens,
+                terminal: Terminal::EOF,
+                lexeme: String::new(),
+                expected,
+            });
+        };
+        let body = run.gss.links(acc)[0].node;
+        run.stats.gss_nodes = run.gss.len();
+        let stats = run.stats.clone();
+        let root = arena.root(body);
+        arena.refresh_parents(root);
+        unshare_epsilon(arena, root);
+        rebalance_sequences(
+            arena,
+            root,
+            &TablePolicy {
+                g: self.g,
+                table: self.table,
+            },
+        );
+        Ok((root, stats))
+    }
+}
+
+/// Mutable state of one batch parse.
+struct Run<'a> {
+    g: &'a Grammar,
+    table: &'a LrTable,
+    gss: Gss,
+    merge: MergeTables,
+    /// Parsers live in the current round.
+    active: Vec<GssIdx>,
+    /// Members of `for_actor` (for re-activation on new links).
+    queued: HashSet<GssIdx>,
+    for_actor: Vec<GssIdx>,
+    /// (parser, shift target) pairs for the end-of-round shift.
+    for_shifter: Vec<(GssIdx, StateId)>,
+    accepting: Option<GssIdx>,
+    /// The paper's `multipleStates` flag.
+    multi: bool,
+    /// Proxies upgraded to symbol nodes this round: reduction paths captured
+    /// before an upgrade must resolve through this map or they would re-use
+    /// the lone proxy and silently drop interpretations.
+    forward: std::collections::HashMap<NodeId, NodeId>,
+    stats: GlrRunStats,
+}
+
+impl Run<'_> {
+    /// Terminals consumable from the currently active states (diagnostics).
+    fn expected_terminals(&self, g: &Grammar, table: &LrTable) -> Vec<Terminal> {
+        let mut out: Vec<Terminal> = g
+            .terminals()
+            .filter(|&t| {
+                self.active
+                    .iter()
+                    .any(|&p| !table.actions(self.gss.state(p), t).is_empty())
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// One reduce/accept round against lookahead `la` (Appendix A's
+    /// `parse_next_symbol` up to the shift).
+    fn round(&mut self, arena: &mut DagArena, la: Terminal) {
+        self.merge.clear();
+        self.forward.clear();
+        self.for_shifter.clear();
+        self.for_actor.clear();
+        self.for_actor.extend_from_slice(&self.active);
+        self.queued.clear();
+        self.queued.extend(self.for_actor.iter().copied());
+        self.stats.max_parsers = self.stats.max_parsers.max(self.active.len());
+        // Multiple links on one (state-merged) GSS node are as
+        // non-deterministic as multiple parsers: reductions through them are
+        // context-dependent, so their results must carry the multistate
+        // marker.
+        if self
+            .active
+            .iter()
+            .any(|&p| self.gss.links(p).len() > 1)
+        {
+            self.multi = true;
+        }
+        while let Some(p) = self.for_actor.pop() {
+            self.queued.remove(&p);
+            self.actor(arena, p, la);
+        }
+        if self.multi {
+            self.stats.nondeterministic_rounds += 1;
+        }
+    }
+
+    /// Resolves a dag node through any proxy upgrades of this round.
+    fn resolve(&self, mut n: NodeId) -> NodeId {
+        while let Some(&next) = self.forward.get(&n) {
+            n = next;
+        }
+        n
+    }
+
+    fn actor(&mut self, arena: &mut DagArena, p: GssIdx, la: Terminal) {
+        let state = self.gss.state(p);
+        let n_actions = self.table.actions(state, la).len();
+        if n_actions > 1 {
+            self.multi = true;
+        }
+        for ai in 0..n_actions {
+            let action = self.table.actions(state, la)[ai];
+            match action {
+                Action::Accept => {
+                    if la.is_eof() {
+                        self.accepting = Some(p);
+                    }
+                }
+                Action::Shift(s) => {
+                    if !self.for_shifter.contains(&(p, s)) {
+                        self.for_shifter.push((p, s));
+                    }
+                }
+                Action::Reduce(rule) => {
+                    self.stats.reductions += 1;
+                    let arity = self.g.production(rule).arity();
+                    let mut work: Vec<(GssIdx, Vec<NodeId>)> = Vec::new();
+                    self.gss.for_each_path(p, arity, |tail, kids| {
+                        work.push((tail, kids.to_vec()));
+                    });
+                    if work.len() > 1 {
+                        self.multi = true;
+                    }
+                    if !self.multi && self.active.len() == 1 && work.len() == 1 {
+                        // Deterministic fast path: no sharing is possible,
+                        // so skip the merge tables entirely.
+                        let (q, kids) = work.pop().expect("one path");
+                        self.fast_reducer(arena, q, rule, kids);
+                    } else {
+                        for (q, kids) in work {
+                            self.reducer(arena, q, rule, kids);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+
+    /// The deterministic fast path: exactly one parser, one path, no
+    /// conflicts — no sharing is possible, so the merge tables are skipped.
+    fn fast_reducer(&mut self, arena: &mut DagArena, q: GssIdx, rule: wg_grammar::ProdId, kids: Vec<NodeId>) {
+        let lhs = self.g.production(rule).lhs();
+        let Some(goto) = self.table.goto(self.gss.state(q), lhs) else {
+            return;
+        };
+        if let Some(&p) = self.active.iter().find(|&&m| self.gss.state(m) == goto) {
+            if self.gss.find_link(p, q).is_some() {
+                // Re-derivation of an existing edge: take the general path.
+                self.reducer(arena, q, rule, kids);
+                return;
+            }
+            let node = build_reduction_node(arena, self.g, rule, kids, ps(self.gss.state(q)), false);
+            self.gss.add_link(p, Link { head: q, node });
+            if !self.queued.contains(&p) {
+                self.for_actor.push(p);
+                self.queued.insert(p);
+            }
+        } else {
+            let node = build_reduction_node(arena, self.g, rule, kids, ps(self.gss.state(q)), false);
+            let p = self.gss.push(goto, Link { head: q, node });
+            self.active.push(p);
+            self.for_actor.push(p);
+            self.queued.insert(p);
+        }
+    }
+
+    /// Appendix A's `reducer`: performs one reduction from GSS node `q`.
+    fn reducer(
+        &mut self,
+        arena: &mut DagArena,
+        q: GssIdx,
+        rule: wg_grammar::ProdId,
+        kids: Vec<NodeId>,
+    ) {
+        let lhs = self.g.production(rule).lhs();
+        let kids: Vec<NodeId> = kids.into_iter().map(|k| self.resolve(k)).collect();
+        let Some(goto) = self.table.goto(self.gss.state(q), lhs) else {
+            // A conflicting fork reduced into a dead end; it simply dies.
+            return;
+        };
+        let node = self
+            .merge
+            .get_node(arena, self.g, rule, kids.clone(), ps(self.gss.state(q)), self.multi);
+
+        if let Some(&p) = self
+            .active
+            .iter()
+            .find(|&&m| self.gss.state(m) == goto)
+        {
+            if let Some(pos) = self.gss.find_link(p, q) {
+                // Local ambiguity packing into the existing link.
+                let label = self.resolve(self.gss.links(p)[pos].node);
+                if label == node {
+                    return; // idempotent re-derivation
+                }
+                // A fast-path node is not in the merge tables; an identical
+                // re-derivation must not be packed as spurious ambiguity.
+                if let wg_dag::NodeKind::Production { prod } = arena.kind(label) {
+                    if *prod == rule && arena.kids(label) == kids {
+                        return;
+                    }
+                }
+                if matches!(arena.kind(label), wg_dag::NodeKind::Symbol { .. }) {
+                    arena.add_choice(label, node);
+                } else {
+                    let sym = arena.symbol(lhs, label);
+                    arena.add_choice(sym, node);
+                    self.gss.relabel_all(label, sym);
+                    self.merge.record_symbol(lhs, arena.width(sym), sym);
+                    self.merge.upgrade_proxy(arena, label, sym);
+                    self.forward.insert(label, sym);
+                }
+            } else {
+                let (label, replaced) = self.merge.get_symbol_node(arena, lhs, node);
+                if let Some(old) = replaced {
+                    self.gss.relabel_all(old, label);
+                    self.forward.insert(old, label);
+                }
+                self.gss.add_link(p, Link { head: q, node: label });
+                // The new link may enable reductions for parsers already
+                // processed this round: re-activate them (idempotent).
+                if !self.queued.contains(&p) {
+                    self.for_actor.push(p);
+                    self.queued.insert(p);
+                }
+            }
+        } else {
+            let (label, replaced) = self.merge.get_symbol_node(arena, lhs, node);
+            if let Some(old) = replaced {
+                self.gss.relabel_all(old, label);
+                self.forward.insert(old, label);
+            }
+            let p = self.gss.push(goto, Link { head: q, node: label });
+            self.active.push(p);
+            self.for_actor.push(p);
+            self.queued.insert(p);
+            self.stats.max_parsers = self.stats.max_parsers.max(self.active.len());
+        }
+    }
+
+    /// Appendix A's `shifter`: every pending (parser, state) pair shifts the
+    /// same lookahead node; parsers landing in the same state merge.
+    fn shift(&mut self, node: NodeId) {
+        self.multi = self.for_shifter.len() > 1;
+        self.active.clear();
+        for i in 0..self.for_shifter.len() {
+            let (p, s) = self.for_shifter[i];
+            if let Some(&existing) = self.active.iter().find(|&&m| self.gss.state(m) == s) {
+                self.gss.add_link(existing, Link { head: p, node });
+            } else {
+                let np = self.gss.push(s, Link { head: p, node });
+                self.active.push(np);
+            }
+        }
+        self.for_shifter.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wg_dag::{yield_string, DagStats, NodeKind};
+    use wg_grammar::{GrammarBuilder, SeqKind, Symbol};
+    use wg_lrtable::TableKind;
+
+    struct Lang {
+        g: Grammar,
+        table: LrTable,
+    }
+
+    impl Lang {
+        fn new(g: Grammar) -> Lang {
+            let table = LrTable::build(&g, TableKind::Lalr);
+            Lang { g, table }
+        }
+
+        fn parse(&self, input: &[&str]) -> Result<(DagArena, NodeId), ParseError> {
+            let mut arena = DagArena::new();
+            let toks: Vec<(Terminal, &str)> = input
+                .iter()
+                .map(|s| (self.g.terminal_by_name(s).expect("known terminal"), *s))
+                .collect();
+            let parser = GlrParser::new(&self.g, &self.table);
+            let root = parser.parse(&mut arena, toks)?;
+            Ok((arena, root))
+        }
+    }
+
+    fn det_grammar() -> Lang {
+        // S -> ( S ) | x
+        let mut b = GrammarBuilder::new("paren");
+        let lp = b.terminal("(");
+        let rp = b.terminal(")");
+        let x = b.terminal("x");
+        let s = b.nonterminal("S");
+        b.prod(s, vec![Symbol::T(lp), Symbol::N(s), Symbol::T(rp)]);
+        b.prod(s, vec![Symbol::T(x)]);
+        b.start(s);
+        Lang::new(b.build().unwrap())
+    }
+
+    fn amb_expr() -> Lang {
+        // E -> E + E | num
+        let mut b = GrammarBuilder::new("amb");
+        let plus = b.terminal("+");
+        let num = b.terminal("num");
+        let e = b.nonterminal("E");
+        b.prod(e, vec![Symbol::N(e), Symbol::T(plus), Symbol::N(e)]);
+        b.prod(e, vec![Symbol::T(num)]);
+        b.start(e);
+        Lang::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn deterministic_parse_builds_plain_tree() {
+        let lang = det_grammar();
+        let (arena, root) = lang.parse(&["(", "(", "x", ")", ")"]).unwrap();
+        assert_eq!(yield_string(&arena, root), "( ( x ) )");
+        let stats = DagStats::compute(&arena, root);
+        assert_eq!(stats.choice_points, 0);
+        assert_eq!(stats.space_overhead_percent(), 0.0);
+        // Every interior node carries a deterministic state.
+        fn check(a: &DagArena, n: NodeId) {
+            if matches!(a.kind(n), NodeKind::Production { .. }) {
+                assert!(a.state(n).is_deterministic());
+            }
+            for &k in a.kids(n) {
+                check(a, k);
+            }
+        }
+        check(&arena, root);
+    }
+
+    #[test]
+    fn syntax_error_reports_position() {
+        let lang = det_grammar();
+        let err = lang.parse(&["(", "x", "x"]).unwrap_err();
+        assert_eq!(err.position, 2);
+        assert_eq!(err.lexeme, "x");
+        let err = lang.parse(&["(", "x"]).unwrap_err();
+        assert_eq!(err.terminal, Terminal::EOF, "unexpected end of input");
+        assert!(format!("{err}").contains("syntax error"));
+    }
+
+    #[test]
+    fn ambiguous_input_packs_choice_points() {
+        let lang = amb_expr();
+        let (arena, root) = lang
+            .parse(&["num", "+", "num", "+", "num"])
+            .unwrap();
+        assert_eq!(yield_string(&arena, root), "num + num + num");
+        let stats = DagStats::compute(&arena, root);
+        assert_eq!(stats.choice_points, 1, "one two-way ambiguity");
+        assert_eq!(stats.alternatives, 2);
+    }
+
+    #[test]
+    fn deeper_ambiguity_counts_catalan() {
+        // num + num + num + num has 5 parses; local packing keeps the dag
+        // polynomial. Count embedded trees by choice-point expansion.
+        let lang = amb_expr();
+        let (arena, root) = lang
+            .parse(&["num", "+", "num", "+", "num", "+", "num"])
+            .unwrap();
+        fn count_trees(a: &DagArena, n: NodeId) -> usize {
+            match a.kind(n) {
+                NodeKind::Symbol { .. } => {
+                    a.kids(n).iter().map(|&k| count_trees(a, k)).sum()
+                }
+                _ => a
+                    .kids(n)
+                    .iter()
+                    .map(|&k| count_trees(a, k))
+                    .product::<usize>()
+                    .max(1),
+            }
+        }
+        assert_eq!(count_trees(&arena, root), 5, "Catalan(3) = 5 parses");
+    }
+
+    #[test]
+    fn nondeterministic_nodes_are_multistate() {
+        let lang = amb_expr();
+        let (arena, root) = lang.parse(&["num", "+", "num", "+", "num"]).unwrap();
+        // At least one production node inside the ambiguous region must be
+        // marked with the multistate sentinel.
+        fn any_multi(a: &DagArena, n: NodeId, seen: &mut std::collections::HashSet<NodeId>) -> bool {
+            if !seen.insert(n) {
+                return false;
+            }
+            if matches!(a.kind(n), NodeKind::Production { .. }) && a.state(n) == ParseState::MULTI
+            {
+                return true;
+            }
+            a.kids(n).to_vec().iter().any(|&k| any_multi(a, k, seen))
+        }
+        assert!(any_multi(&arena, root, &mut Default::default()));
+    }
+
+    #[test]
+    fn lr2_grammar_parses_with_dynamic_forking() {
+        // Figure 7: A -> B c | D e ; B -> U z ; D -> V z ; U -> x ; V -> x.
+        // Needs 2 tokens of lookahead; GLR forks then collapses.
+        let mut b = GrammarBuilder::new("lr2");
+        let x = b.terminal("x");
+        let z = b.terminal("z");
+        let c = b.terminal("c");
+        let e = b.terminal("e");
+        let a_nt = b.nonterminal("A");
+        let b_nt = b.nonterminal("B");
+        let d_nt = b.nonterminal("D");
+        let u_nt = b.nonterminal("U");
+        let v_nt = b.nonterminal("V");
+        b.prod(a_nt, vec![Symbol::N(b_nt), Symbol::T(c)]);
+        b.prod(a_nt, vec![Symbol::N(d_nt), Symbol::T(e)]);
+        b.prod(b_nt, vec![Symbol::N(u_nt), Symbol::T(z)]);
+        b.prod(d_nt, vec![Symbol::N(v_nt), Symbol::T(z)]);
+        b.prod(u_nt, vec![Symbol::T(x)]);
+        b.prod(v_nt, vec![Symbol::T(x)]);
+        b.start(a_nt);
+        let lang = Lang::new(b.build().unwrap());
+        assert!(!lang.table.is_deterministic(), "reduce/reduce on z");
+        for input in [vec!["x", "z", "c"], vec!["x", "z", "e"]] {
+            let (arena, root) = lang.parse(&input).unwrap();
+            let stats = DagStats::compute(&arena, root);
+            assert_eq!(
+                stats.choice_points, 0,
+                "unambiguous: losing fork dies, no choices in {input:?}"
+            );
+            assert_eq!(yield_string(&arena, root), input.join(" "));
+        }
+    }
+
+    #[test]
+    fn epsilon_productions_parse_and_unshare() {
+        // S -> A x A ; A -> ε — the two A instances must be distinct nodes.
+        let mut b = GrammarBuilder::new("eps");
+        let x = b.terminal("x");
+        let s = b.nonterminal("S");
+        let a_nt = b.nonterminal("A");
+        b.prod(s, vec![Symbol::N(a_nt), Symbol::T(x), Symbol::N(a_nt)]);
+        b.prod(a_nt, vec![]);
+        b.start(s);
+        let lang = Lang::new(b.build().unwrap());
+        let (arena, root) = lang.parse(&["x"]).unwrap();
+        let body = arena.kids(root)[1];
+        let kids = arena.kids(body);
+        assert_eq!(kids.len(), 3);
+        assert_ne!(kids[0], kids[2], "ε instances duplicated (Section 3.5)");
+    }
+
+    #[test]
+    fn sequences_build_balanced_containers() {
+        let mut b = GrammarBuilder::new("seq");
+        let item = b.terminal("item");
+        let l = b.nonterminal("L");
+        b.sequence(l, Symbol::T(item), SeqKind::Plus, None);
+        b.start(l);
+        let lang = Lang::new(b.build().unwrap());
+        let input: Vec<&str> = std::iter::repeat_n("item", 100).collect();
+        let (arena, root) = lang.parse(&input).unwrap();
+        assert_eq!(DagStats::compute(&arena, root).choice_points, 0);
+        let body = arena.kids(root)[1];
+        assert!(matches!(arena.kind(body), NodeKind::Sequence { .. }));
+        let d = wg_dag::sequence_depth(&arena, body);
+        assert!(d <= 10, "100-element sequence must be balanced, depth {d}");
+        assert_eq!(arena.width(body), 100);
+    }
+
+    #[test]
+    fn stats_reflect_nondeterminism() {
+        let lang = amb_expr();
+        let mut arena = DagArena::new();
+        let toks: Vec<(Terminal, &str)> = ["num", "+", "num", "+", "num"]
+            .iter()
+            .map(|s| (lang.g.terminal_by_name(s).unwrap(), *s))
+            .collect();
+        let parser = GlrParser::new(&lang.g, &lang.table);
+        let (_root, stats) = parser.parse_with_stats(&mut arena, toks).unwrap();
+        assert_eq!(stats.tokens, 5);
+        assert!(stats.max_parsers >= 2);
+        assert!(stats.nondeterministic_rounds >= 1);
+        assert!(stats.reductions >= 4);
+        assert!(stats.gss_nodes > 0);
+    }
+}

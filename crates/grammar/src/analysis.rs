@@ -1,0 +1,268 @@
+//! Classical grammar analyses: nullability, FIRST, and FOLLOW sets.
+//!
+//! These feed SLR/LALR table construction in `wg-lrtable`, the Earley
+//! baseline, and the nonterminal-reduction precomputation of Section 3.2
+//! (reducing with a nonterminal lookahead `N` is valid when all reduction
+//! actions agree for every terminal in `FIRST(N)` and `N` is not nullable).
+
+use crate::grammar::Grammar;
+use crate::symbol::{NonTerminal, Symbol, Terminal};
+use crate::termset::TermSet;
+
+/// Precomputed nullable/FIRST/FOLLOW information for one grammar.
+#[derive(Debug, Clone)]
+pub struct GrammarAnalysis {
+    nullable: Vec<bool>,
+    first: Vec<TermSet>,
+    follow: Vec<TermSet>,
+}
+
+impl GrammarAnalysis {
+    /// Runs the fixed-point analyses for `g`.
+    pub fn new(g: &Grammar) -> GrammarAnalysis {
+        let nt_count = g.num_nonterminals();
+        let t_count = g.num_terminals();
+
+        // Nullability.
+        let mut nullable = vec![false; nt_count];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (_, p) in g.productions() {
+                if nullable[p.lhs().index()] {
+                    continue;
+                }
+                let all_nullable = p.rhs().iter().all(|s| match s {
+                    Symbol::T(_) => false,
+                    Symbol::N(n) => nullable[n.index()],
+                });
+                if all_nullable {
+                    nullable[p.lhs().index()] = true;
+                    changed = true;
+                }
+            }
+        }
+
+        // FIRST.
+        let mut first = vec![TermSet::empty(t_count); nt_count];
+        changed = true;
+        while changed {
+            changed = false;
+            for (_, p) in g.productions() {
+                let lhs = p.lhs().index();
+                let mut add = TermSet::empty(t_count);
+                for s in p.rhs() {
+                    match s {
+                        Symbol::T(t) => {
+                            add.insert(*t);
+                            break;
+                        }
+                        Symbol::N(n) => {
+                            add.union_with(&first[n.index()]);
+                            if !nullable[n.index()] {
+                                break;
+                            }
+                        }
+                    }
+                }
+                changed |= first[lhs].union_with(&add);
+            }
+        }
+
+        // FOLLOW. EOF is in FOLLOW(start) via the augmented production.
+        let mut follow = vec![TermSet::empty(t_count); nt_count];
+        changed = true;
+        while changed {
+            changed = false;
+            for (_, p) in g.productions() {
+                let rhs = p.rhs();
+                for (i, s) in rhs.iter().enumerate() {
+                    let Symbol::N(n) = s else { continue };
+                    // Terminals derivable right after position i.
+                    let mut tail_nullable = true;
+                    let mut add = TermSet::empty(t_count);
+                    for t in &rhs[i + 1..] {
+                        match t {
+                            Symbol::T(term) => {
+                                add.insert(*term);
+                                tail_nullable = false;
+                                break;
+                            }
+                            Symbol::N(m) => {
+                                add.union_with(&first[m.index()]);
+                                if !nullable[m.index()] {
+                                    tail_nullable = false;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    if tail_nullable {
+                        let lhs_follow = follow[p.lhs().index()].clone();
+                        add.union_with(&lhs_follow);
+                    }
+                    changed |= follow[n.index()].union_with(&add);
+                }
+            }
+        }
+
+        GrammarAnalysis {
+            nullable,
+            first,
+            follow,
+        }
+    }
+
+    /// Whether `n` derives the empty string.
+    #[inline]
+    pub fn nullable(&self, n: NonTerminal) -> bool {
+        self.nullable[n.index()]
+    }
+
+    /// FIRST set of a nonterminal.
+    #[inline]
+    pub fn first(&self, n: NonTerminal) -> &TermSet {
+        &self.first[n.index()]
+    }
+
+    /// FOLLOW set of a nonterminal.
+    #[inline]
+    pub fn follow(&self, n: NonTerminal) -> &TermSet {
+        &self.follow[n.index()]
+    }
+
+    /// FIRST set of a symbol string (e.g. the tail of an item); `nullable_out`
+    /// reports whether the whole string can derive ε.
+    pub fn first_of_string(&self, g: &Grammar, syms: &[Symbol]) -> (TermSet, bool) {
+        let mut out = TermSet::empty(g.num_terminals());
+        for s in syms {
+            match s {
+                Symbol::T(t) => {
+                    out.insert(*t);
+                    return (out, false);
+                }
+                Symbol::N(n) => {
+                    out.union_with(&self.first[n.index()]);
+                    if !self.nullable[n.index()] {
+                        return (out, false);
+                    }
+                }
+            }
+        }
+        (out, true)
+    }
+
+    /// FIRST of a single symbol as a fresh set.
+    pub fn first_of_symbol(&self, g: &Grammar, s: Symbol) -> TermSet {
+        match s {
+            Symbol::T(t) => {
+                let mut set = TermSet::empty(g.num_terminals());
+                set.insert(t);
+                set
+            }
+            Symbol::N(n) => self.first[n.index()].clone(),
+        }
+    }
+
+    /// Convenience: is terminal `t` in FIRST(`n`)?
+    pub fn first_contains(&self, n: NonTerminal, t: Terminal) -> bool {
+        self.first[n.index()].contains(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GrammarBuilder, Symbol};
+
+    /// The dragon-book 4.x grammar:
+    /// E -> T E' ; E' -> + T E' | ε ; T -> F T' ; T' -> * F T' | ε ; F -> ( E ) | id
+    fn dragon() -> (Grammar, GrammarAnalysis) {
+        let mut b = GrammarBuilder::new("dragon");
+        let plus = b.terminal("+");
+        let star = b.terminal("*");
+        let lp = b.terminal("(");
+        let rp = b.terminal(")");
+        let id = b.terminal("id");
+        let e = b.nonterminal("E");
+        let ep = b.nonterminal("E'");
+        let t = b.nonterminal("T");
+        let tp = b.nonterminal("T'");
+        let f = b.nonterminal("F");
+        b.prod(e, vec![Symbol::N(t), Symbol::N(ep)]);
+        b.prod(ep, vec![Symbol::T(plus), Symbol::N(t), Symbol::N(ep)]);
+        b.prod(ep, vec![]);
+        b.prod(t, vec![Symbol::N(f), Symbol::N(tp)]);
+        b.prod(tp, vec![Symbol::T(star), Symbol::N(f), Symbol::N(tp)]);
+        b.prod(tp, vec![]);
+        b.prod(f, vec![Symbol::T(lp), Symbol::N(e), Symbol::T(rp)]);
+        b.prod(f, vec![Symbol::T(id)]);
+        b.start(e);
+        let g = b.build().unwrap();
+        let a = GrammarAnalysis::new(&g);
+        (g, a)
+    }
+
+    fn names(g: &Grammar, s: &TermSet) -> Vec<String> {
+        s.iter().map(|t| g.terminal_name(t).to_string()).collect()
+    }
+
+    #[test]
+    fn nullability_matches_dragon_book() {
+        let (g, a) = dragon();
+        let nt = |n: &str| g.nonterminal_by_name(n).unwrap();
+        assert!(!a.nullable(nt("E")));
+        assert!(a.nullable(nt("E'")));
+        assert!(!a.nullable(nt("T")));
+        assert!(a.nullable(nt("T'")));
+        assert!(!a.nullable(nt("F")));
+    }
+
+    #[test]
+    fn first_matches_dragon_book() {
+        let (g, a) = dragon();
+        let nt = |n: &str| g.nonterminal_by_name(n).unwrap();
+        assert_eq!(names(&g, a.first(nt("E"))), vec!["(", "id"]);
+        assert_eq!(names(&g, a.first(nt("E'"))), vec!["+"]);
+        assert_eq!(names(&g, a.first(nt("T'"))), vec!["*"]);
+        assert_eq!(names(&g, a.first(nt("F"))), vec!["(", "id"]);
+    }
+
+    #[test]
+    fn follow_matches_dragon_book() {
+        let (g, a) = dragon();
+        let nt = |n: &str| g.nonterminal_by_name(n).unwrap();
+        assert_eq!(names(&g, a.follow(nt("E"))), vec!["$eof", ")"]);
+        assert_eq!(names(&g, a.follow(nt("E'"))), vec!["$eof", ")"]);
+        assert_eq!(names(&g, a.follow(nt("T"))), vec!["$eof", "+", ")"]);
+        assert_eq!(names(&g, a.follow(nt("F"))), vec!["$eof", "+", "*", ")"]);
+    }
+
+    #[test]
+    fn first_of_string_handles_nullable_prefix() {
+        let (g, a) = dragon();
+        let nt = |n: &str| g.nonterminal_by_name(n).unwrap();
+        let t = |n: &str| g.terminal_by_name(n).unwrap();
+        let (set, nullable) =
+            a.first_of_string(&g, &[Symbol::N(nt("E'")), Symbol::T(t(")"))]);
+        assert!(!nullable);
+        assert_eq!(names(&g, &set), vec!["+", ")"]);
+        let (set, nullable) = a.first_of_string(&g, &[Symbol::N(nt("E'"))]);
+        assert!(nullable);
+        assert_eq!(names(&g, &set), vec!["+"]);
+        let (set, nullable) = a.first_of_string(&g, &[]);
+        assert!(nullable);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn first_of_symbol() {
+        let (g, a) = dragon();
+        let t = |n: &str| g.terminal_by_name(n).unwrap();
+        let set = a.first_of_symbol(&g, Symbol::T(t("+")));
+        assert_eq!(names(&g, &set), vec!["+"]);
+        let nt = g.nonterminal_by_name("F").unwrap();
+        assert!(a.first_contains(nt, t("id")));
+        assert!(!a.first_contains(nt, t("+")));
+    }
+}

@@ -1,0 +1,434 @@
+//! Incremental construction of grammars, including EBNF sequence lowering
+//! and yacc-style precedence declarations.
+
+use crate::grammar::{Grammar, GrammarError};
+use crate::production::{Assoc, Precedence, ProdId, ProdKind, Production};
+use crate::symbol::{NonTerminal, Symbol, Terminal};
+use std::collections::HashSet;
+
+/// How a declared sequence repeats its element (regular right parts,
+/// Section 3.4 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqKind {
+    /// Zero or more elements.
+    Star,
+    /// One or more elements.
+    Plus,
+}
+
+/// Builder for [`Grammar`] values.
+///
+/// Symbols are interned by name; [`GrammarBuilder::build`] validates the
+/// result, adds the augmented start production, and assigns default
+/// production precedences (rightmost terminal with a declared precedence,
+/// as in yacc).
+#[derive(Debug)]
+pub struct GrammarBuilder {
+    name: String,
+    terminal_names: Vec<String>,
+    nonterminal_names: Vec<String>,
+    productions: Vec<Production>,
+    start: Option<NonTerminal>,
+    term_prec: Vec<Option<Precedence>>,
+    next_prec_level: u32,
+    explicit_prec: Vec<bool>,
+}
+
+impl GrammarBuilder {
+    /// Creates an empty builder for a grammar called `name`.
+    pub fn new(name: impl Into<String>) -> GrammarBuilder {
+        GrammarBuilder {
+            name: name.into(),
+            terminal_names: vec!["$eof".to_string()],
+            nonterminal_names: vec!["$start".to_string()],
+            productions: Vec::new(),
+            start: None,
+            term_prec: vec![None],
+            next_prec_level: 1,
+            explicit_prec: Vec::new(),
+        }
+    }
+
+    /// Interns a terminal by name, returning its handle. Re-declaring a name
+    /// returns the existing handle.
+    pub fn terminal(&mut self, name: &str) -> Terminal {
+        if let Some(ix) = self.terminal_names.iter().position(|n| n == name) {
+            return Terminal::from_index(ix);
+        }
+        self.terminal_names.push(name.to_string());
+        self.term_prec.push(None);
+        Terminal::from_index(self.terminal_names.len() - 1)
+    }
+
+    /// Interns several terminals at once.
+    pub fn terminals<'a>(&mut self, names: impl IntoIterator<Item = &'a str>) -> Vec<Terminal> {
+        names.into_iter().map(|n| self.terminal(n)).collect()
+    }
+
+    /// Interns a nonterminal by name, returning its handle.
+    pub fn nonterminal(&mut self, name: &str) -> NonTerminal {
+        if let Some(ix) = self.nonterminal_names.iter().position(|n| n == name) {
+            return NonTerminal::from_index(ix);
+        }
+        self.nonterminal_names.push(name.to_string());
+        NonTerminal::from_index(self.nonterminal_names.len() - 1)
+    }
+
+    /// Adds a production `lhs -> rhs` and returns its id.
+    pub fn prod(&mut self, lhs: NonTerminal, rhs: Vec<Symbol>) -> ProdId {
+        self.prod_kind(lhs, rhs, ProdKind::Normal)
+    }
+
+    fn prod_kind(&mut self, lhs: NonTerminal, rhs: Vec<Symbol>, kind: ProdKind) -> ProdId {
+        self.productions.push(Production {
+            lhs,
+            rhs,
+            prec: None,
+            kind,
+        });
+        self.explicit_prec.push(false);
+        // +1 because the augmented production is prepended at build time.
+        ProdId::from_index(self.productions.len())
+    }
+
+    /// Adds a production with an explicit precedence override (yacc `%prec`).
+    pub fn prod_with_prec(
+        &mut self,
+        lhs: NonTerminal,
+        rhs: Vec<Symbol>,
+        prec: Precedence,
+    ) -> ProdId {
+        let id = self.prod(lhs, rhs);
+        // Stored pre-augmentation: index is id - 1.
+        self.productions[id.index() - 1].prec = Some(prec);
+        self.explicit_prec[id.index() - 1] = true;
+        id
+    }
+
+    /// Declares a left-associative precedence level for `terms` (like yacc
+    /// `%left`). Levels increase with each call, so later calls bind tighter.
+    pub fn left(&mut self, terms: &[Terminal]) -> Precedence {
+        self.declare_prec(terms, Assoc::Left)
+    }
+
+    /// Declares a right-associative precedence level (like yacc `%right`).
+    pub fn right(&mut self, terms: &[Terminal]) -> Precedence {
+        self.declare_prec(terms, Assoc::Right)
+    }
+
+    /// Declares a non-associative precedence level (like yacc `%nonassoc`).
+    pub fn nonassoc(&mut self, terms: &[Terminal]) -> Precedence {
+        self.declare_prec(terms, Assoc::NonAssoc)
+    }
+
+    fn declare_prec(&mut self, terms: &[Terminal], assoc: Assoc) -> Precedence {
+        let prec = Precedence {
+            level: self.next_prec_level,
+            assoc,
+        };
+        self.next_prec_level += 1;
+        for t in terms {
+            self.term_prec[t.index()] = Some(prec);
+        }
+        prec
+    }
+
+    /// Declares `lhs` as an associative sequence of `elem`, optionally
+    /// separated by `sep` (regular right part notation, Section 3.4).
+    ///
+    /// Lowers to marked left-recursive productions; the dag layer recognizes
+    /// the marks and maintains the sequence as a balanced binary tree. The
+    /// parser generator is explicitly *told* the sequence is associative by
+    /// this declaration (the paper notes it cannot infer that).
+    pub fn sequence(
+        &mut self,
+        lhs: NonTerminal,
+        elem: Symbol,
+        kind: SeqKind,
+        sep: Option<Symbol>,
+    ) {
+        match kind {
+            SeqKind::Star if sep.is_none() => {
+                self.prod_kind(lhs, vec![], ProdKind::SeqEmpty);
+                self.prod_kind(lhs, vec![Symbol::N(lhs), elem], ProdKind::SeqCons);
+            }
+            SeqKind::Star => {
+                // A separated star is lowered via a nonempty helper so the
+                // separator never dangles: L -> ε | L1 ; L1 -> e | L1 sep e.
+                let ne = self.nonterminal(&format!(
+                    "{}$ne",
+                    self.nonterminal_names[lhs.index()].clone()
+                ));
+                self.prod_kind(lhs, vec![], ProdKind::SeqEmpty);
+                self.prod_kind(lhs, vec![Symbol::N(ne)], ProdKind::SeqBase);
+                self.prod_kind(ne, vec![elem], ProdKind::SeqBase);
+                let mut rhs = vec![Symbol::N(ne)];
+                rhs.push(sep.expect("checked above"));
+                rhs.push(elem);
+                self.prod_kind(ne, rhs, ProdKind::SeqCons);
+            }
+            SeqKind::Plus => {
+                self.prod_kind(lhs, vec![elem], ProdKind::SeqBase);
+                let mut rhs = vec![Symbol::N(lhs)];
+                if let Some(s) = sep {
+                    rhs.push(s);
+                }
+                rhs.push(elem);
+                self.prod_kind(lhs, rhs, ProdKind::SeqCons);
+            }
+        }
+    }
+
+    /// Sets the start symbol.
+    pub fn start(&mut self, s: NonTerminal) {
+        self.start = Some(s);
+    }
+
+    /// Validates and freezes the grammar.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GrammarError`] if no start symbol was set, a referenced
+    /// nonterminal has no productions, or the start symbol is unproductive.
+    pub fn build(self) -> Result<Grammar, GrammarError> {
+        let start = self.start.ok_or(GrammarError::NoStartSymbol)?;
+
+        // Duplicate names across the two namespaces are allowed (a terminal
+        // and nonterminal may share a name) but duplicates within one are
+        // impossible by interning. Check cross-kind duplicates anyway to keep
+        // diagnostics honest.
+        let mut seen = HashSet::new();
+        for n in self.terminal_names.iter().chain(&self.nonterminal_names) {
+            if !seen.insert(n.clone()) {
+                return Err(GrammarError::DuplicateName(n.clone()));
+            }
+        }
+
+        let mut productions = Vec::with_capacity(self.productions.len() + 1);
+        productions.push(Production {
+            lhs: NonTerminal::AUGMENTED_START,
+            rhs: vec![Symbol::N(start), Symbol::T(Terminal::EOF)],
+            prec: None,
+            kind: ProdKind::Normal,
+        });
+        productions.extend(self.productions);
+
+        // Default production precedence: rightmost terminal with declared
+        // precedence (yacc behaviour), unless an explicit %prec was given.
+        for (i, p) in productions.iter_mut().enumerate() {
+            let explicit = i > 0 && self.explicit_prec[i - 1];
+            if !explicit && p.prec.is_none() {
+                p.prec = p
+                    .rhs
+                    .iter()
+                    .rev()
+                    .find_map(|s| s.terminal())
+                    .and_then(|t| self.term_prec[t.index()]);
+            }
+        }
+
+        // Group by lhs and check every used nonterminal is defined.
+        let mut by_lhs = vec![Vec::new(); self.nonterminal_names.len()];
+        for (i, p) in productions.iter().enumerate() {
+            by_lhs[p.lhs.index()].push(ProdId::from_index(i));
+        }
+        for p in &productions {
+            for s in &p.rhs {
+                if let Symbol::N(n) = s {
+                    if by_lhs[n.index()].is_empty() {
+                        return Err(GrammarError::UndefinedNonTerminal(
+                            self.nonterminal_names[n.index()].clone(),
+                        ));
+                    }
+                }
+            }
+        }
+
+        let g = Grammar {
+            name: self.name,
+            terminal_names: self.terminal_names,
+            nonterminal_names: self.nonterminal_names,
+            productions,
+            by_lhs,
+            start,
+            term_prec: self.term_prec,
+        };
+
+        // Productivity check for the start symbol.
+        if !productive(&g).contains(&start) {
+            return Err(GrammarError::UnproductiveStart(
+                g.nonterminal_names[start.index()].clone(),
+            ));
+        }
+        Ok(g)
+    }
+}
+
+/// Set of nonterminals that derive at least one terminal string.
+fn productive(g: &Grammar) -> HashSet<NonTerminal> {
+    let mut prod = HashSet::new();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (_, p) in g.productions() {
+            if prod.contains(&p.lhs()) {
+                continue;
+            }
+            let ok = p.rhs().iter().all(|s| match s {
+                Symbol::T(_) => true,
+                Symbol::N(n) => prod.contains(n),
+            });
+            if ok {
+                prod.insert(p.lhs());
+                changed = true;
+            }
+        }
+    }
+    prod
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProdKind;
+
+    #[test]
+    fn build_simple() {
+        let mut b = GrammarBuilder::new("g");
+        let a = b.terminal("a");
+        let s = b.nonterminal("S");
+        b.prod(s, vec![Symbol::T(a)]);
+        b.start(s);
+        let g = b.build().unwrap();
+        assert_eq!(g.production(ProdId::AUGMENTED).rhs().len(), 2);
+        assert_eq!(g.production(ProdId::from_index(1)).lhs(), s);
+    }
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut b = GrammarBuilder::new("g");
+        assert_eq!(b.terminal("a"), b.terminal("a"));
+        assert_eq!(b.nonterminal("X"), b.nonterminal("X"));
+    }
+
+    #[test]
+    fn missing_start_errors() {
+        let b = GrammarBuilder::new("g");
+        assert_eq!(b.build().unwrap_err(), GrammarError::NoStartSymbol);
+    }
+
+    #[test]
+    fn undefined_nonterminal_errors() {
+        let mut b = GrammarBuilder::new("g");
+        let s = b.nonterminal("S");
+        let x = b.nonterminal("X");
+        b.prod(s, vec![Symbol::N(x)]);
+        b.start(s);
+        assert_eq!(
+            b.build().unwrap_err(),
+            GrammarError::UndefinedNonTerminal("X".into())
+        );
+    }
+
+    #[test]
+    fn unproductive_start_errors() {
+        let mut b = GrammarBuilder::new("g");
+        let s = b.nonterminal("S");
+        b.prod(s, vec![Symbol::N(s)]);
+        b.start(s);
+        assert_eq!(
+            b.build().unwrap_err(),
+            GrammarError::UnproductiveStart("S".into())
+        );
+    }
+
+    #[test]
+    fn cross_kind_duplicate_name_errors() {
+        let mut b = GrammarBuilder::new("g");
+        let a = b.terminal("x");
+        let s = b.nonterminal("x");
+        b.prod(s, vec![Symbol::T(a)]);
+        b.start(s);
+        assert_eq!(b.build().unwrap_err(), GrammarError::DuplicateName("x".into()));
+    }
+
+    #[test]
+    fn default_precedence_from_rightmost_terminal() {
+        let mut b = GrammarBuilder::new("g");
+        let plus = b.terminal("+");
+        let star = b.terminal("*");
+        let num = b.terminal("num");
+        let e = b.nonterminal("E");
+        let p_plus = b.left(&[plus]);
+        let p_star = b.left(&[star]);
+        assert!(p_star.level > p_plus.level);
+        let add = b.prod(e, vec![Symbol::N(e), Symbol::T(plus), Symbol::N(e)]);
+        let mul = b.prod(e, vec![Symbol::N(e), Symbol::T(star), Symbol::N(e)]);
+        let lit = b.prod(e, vec![Symbol::T(num)]);
+        b.start(e);
+        let g = b.build().unwrap();
+        assert_eq!(g.production(add).precedence(), Some(p_plus));
+        assert_eq!(g.production(mul).precedence(), Some(p_star));
+        assert_eq!(g.production(lit).precedence(), None, "num has no declared prec");
+    }
+
+    #[test]
+    fn explicit_prec_overrides_default() {
+        let mut b = GrammarBuilder::new("g");
+        let minus = b.terminal("-");
+        let num = b.terminal("num");
+        let e = b.nonterminal("E");
+        let p_minus = b.left(&[minus]);
+        let p_uminus = b.right(&[]);
+        let neg = b.prod_with_prec(e, vec![Symbol::T(minus), Symbol::N(e)], p_uminus);
+        b.prod(e, vec![Symbol::T(num)]);
+        b.start(e);
+        let g = b.build().unwrap();
+        assert_eq!(g.production(neg).precedence(), Some(p_uminus));
+        assert_ne!(g.production(neg).precedence(), Some(p_minus));
+    }
+
+    #[test]
+    fn sequence_star_lowering() {
+        let mut b = GrammarBuilder::new("g");
+        let item = b.terminal("item");
+        let l = b.nonterminal("L");
+        b.sequence(l, Symbol::T(item), SeqKind::Star, None);
+        b.start(l);
+        let g = b.build().unwrap();
+        let kinds: Vec<ProdKind> = g
+            .productions_for(l)
+            .map(|id| g.production(id).kind())
+            .collect();
+        assert_eq!(kinds, vec![ProdKind::SeqEmpty, ProdKind::SeqCons]);
+    }
+
+    #[test]
+    fn sequence_plus_with_separator() {
+        let mut b = GrammarBuilder::new("g");
+        let item = b.terminal("item");
+        let comma = b.terminal(",");
+        let l = b.nonterminal("L");
+        b.sequence(l, Symbol::T(item), SeqKind::Plus, Some(Symbol::T(comma)));
+        b.start(l);
+        let g = b.build().unwrap();
+        let prods: Vec<_> = g.productions_for(l).collect();
+        assert_eq!(prods.len(), 2);
+        let cons = g.production(prods[1]);
+        assert_eq!(cons.kind(), ProdKind::SeqCons);
+        assert_eq!(cons.arity(), 3, "L , item");
+    }
+
+    #[test]
+    fn sequence_star_with_separator_uses_helper() {
+        let mut b = GrammarBuilder::new("g");
+        let item = b.terminal("item");
+        let comma = b.terminal(",");
+        let l = b.nonterminal("L");
+        b.sequence(l, Symbol::T(item), SeqKind::Star, Some(Symbol::T(comma)));
+        b.start(l);
+        let g = b.build().unwrap();
+        assert!(g.nonterminal_by_name("L$ne").is_some());
+        assert_eq!(g.productions_for(l).count(), 2);
+    }
+}

@@ -1,0 +1,357 @@
+//! The immutable, validated grammar produced by [`crate::GrammarBuilder`].
+
+use crate::production::{Precedence, ProdId, Production};
+use crate::symbol::{NonTerminal, Symbol, Terminal};
+use std::fmt;
+
+/// Errors detected while building or validating a grammar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GrammarError {
+    /// `start()` was never called.
+    NoStartSymbol,
+    /// A nonterminal is used on some right-hand side but has no productions.
+    UndefinedNonTerminal(String),
+    /// The start symbol cannot derive any terminal string.
+    UnproductiveStart(String),
+    /// Two symbols were declared with the same name.
+    DuplicateName(String),
+}
+
+impl fmt::Display for GrammarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GrammarError::NoStartSymbol => write!(f, "grammar has no start symbol"),
+            GrammarError::UndefinedNonTerminal(n) => {
+                write!(f, "nonterminal `{n}` is used but has no productions")
+            }
+            GrammarError::UnproductiveStart(n) => {
+                write!(f, "start symbol `{n}` derives no terminal string")
+            }
+            GrammarError::DuplicateName(n) => write!(f, "symbol name `{n}` declared twice"),
+        }
+    }
+}
+
+impl std::error::Error for GrammarError {}
+
+/// A validated context-free grammar with an augmented start production.
+///
+/// Constructed only through [`crate::GrammarBuilder`]. Terminal 0 is EOF,
+/// nonterminal 0 is the augmented start `S'`, and production 0 is
+/// `S' -> S eof`.
+#[derive(Debug, Clone)]
+pub struct Grammar {
+    pub(crate) name: String,
+    pub(crate) terminal_names: Vec<String>,
+    pub(crate) nonterminal_names: Vec<String>,
+    pub(crate) productions: Vec<Production>,
+    /// Productions grouped by lhs: `by_lhs[nt.index()]` lists ProdIds.
+    pub(crate) by_lhs: Vec<Vec<ProdId>>,
+    pub(crate) start: NonTerminal,
+    pub(crate) term_prec: Vec<Option<Precedence>>,
+}
+
+impl Grammar {
+    /// Human-readable grammar name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The user's start symbol (not the augmented `S'`).
+    pub fn start(&self) -> NonTerminal {
+        self.start
+    }
+
+    /// Number of terminals, including EOF.
+    pub fn num_terminals(&self) -> usize {
+        self.terminal_names.len()
+    }
+
+    /// Number of nonterminals, including the augmented start.
+    pub fn num_nonterminals(&self) -> usize {
+        self.nonterminal_names.len()
+    }
+
+    /// Number of productions, including the augmented one.
+    pub fn num_productions(&self) -> usize {
+        self.productions.len()
+    }
+
+    /// Name of a terminal.
+    pub fn terminal_name(&self, t: Terminal) -> &str {
+        &self.terminal_names[t.index()]
+    }
+
+    /// Name of a nonterminal.
+    pub fn nonterminal_name(&self, n: NonTerminal) -> &str {
+        &self.nonterminal_names[n.index()]
+    }
+
+    /// Name of any symbol.
+    pub fn symbol_name(&self, s: Symbol) -> &str {
+        match s {
+            Symbol::T(t) => self.terminal_name(t),
+            Symbol::N(n) => self.nonterminal_name(n),
+        }
+    }
+
+    /// The production with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this grammar.
+    pub fn production(&self, id: ProdId) -> &Production {
+        &self.productions[id.index()]
+    }
+
+    /// All productions in id order.
+    pub fn productions(&self) -> impl Iterator<Item = (ProdId, &Production)> {
+        self.productions
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (ProdId::from_index(i), p))
+    }
+
+    /// Ids of the productions whose lhs is `n`.
+    pub fn productions_for(&self, n: NonTerminal) -> impl Iterator<Item = ProdId> + '_ {
+        self.by_lhs[n.index()].iter().copied()
+    }
+
+    /// All terminals, including EOF.
+    pub fn terminals(&self) -> impl Iterator<Item = Terminal> {
+        (0..self.num_terminals()).map(Terminal::from_index)
+    }
+
+    /// All nonterminals, including the augmented start.
+    pub fn nonterminals(&self) -> impl Iterator<Item = NonTerminal> {
+        (0..self.num_nonterminals()).map(NonTerminal::from_index)
+    }
+
+    /// Looks up a terminal by name.
+    pub fn terminal_by_name(&self, name: &str) -> Option<Terminal> {
+        self.terminal_names
+            .iter()
+            .position(|n| n == name)
+            .map(Terminal::from_index)
+    }
+
+    /// Looks up a nonterminal by name.
+    pub fn nonterminal_by_name(&self, name: &str) -> Option<NonTerminal> {
+        self.nonterminal_names
+            .iter()
+            .position(|n| n == name)
+            .map(NonTerminal::from_index)
+    }
+
+    /// Declared precedence of a terminal, if any.
+    pub fn terminal_precedence(&self, t: Terminal) -> Option<Precedence> {
+        self.term_prec[t.index()]
+    }
+
+    /// Lints the grammar: unreachable or unproductive nonterminals and
+    /// terminals no production mentions. None of these are errors (GLR
+    /// accepts any CFG), but they usually indicate a specification bug.
+    pub fn validate(&self) -> ValidationReport {
+        // Reachability from the start symbol.
+        let mut reachable = vec![false; self.num_nonterminals()];
+        reachable[NonTerminal::AUGMENTED_START.index()] = true;
+        reachable[self.start.index()] = true;
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (_, p) in self.productions() {
+                if !reachable[p.lhs().index()] {
+                    continue;
+                }
+                for s in p.rhs() {
+                    if let Symbol::N(n) = s {
+                        if !reachable[n.index()] {
+                            reachable[n.index()] = true;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        // Terminal usage is syntactic: mentioned by any production at all.
+        let mut used_terminal = vec![false; self.num_terminals()];
+        used_terminal[Terminal::EOF.index()] = true;
+        for (_, p) in self.productions() {
+            for s in p.rhs() {
+                if let Symbol::T(t) = s {
+                    used_terminal[t.index()] = true;
+                }
+            }
+        }
+        // Productivity (derives some terminal string).
+        let mut productive = vec![false; self.num_nonterminals()];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (_, p) in self.productions() {
+                if productive[p.lhs().index()] {
+                    continue;
+                }
+                let ok = p.rhs().iter().all(|s| match s {
+                    Symbol::T(_) => true,
+                    Symbol::N(n) => productive[n.index()],
+                });
+                if ok {
+                    productive[p.lhs().index()] = true;
+                    changed = true;
+                }
+            }
+        }
+        let name_nt = |ix: usize| self.nonterminal_names[ix].clone();
+        ValidationReport {
+            unreachable: (1..self.num_nonterminals())
+                .filter(|&i| !reachable[i])
+                .map(name_nt)
+                .collect(),
+            unproductive: (1..self.num_nonterminals())
+                .filter(|&i| !productive[i])
+                .map(name_nt)
+                .collect(),
+            unused_terminals: (1..self.num_terminals())
+                .filter(|&i| !used_terminal[i])
+                .map(|i| self.terminal_names[i].clone())
+                .collect(),
+        }
+    }
+
+    /// Renders a production as `Lhs -> a B c` using symbol names.
+    pub fn display_production(&self, id: ProdId) -> String {
+        let p = self.production(id);
+        let mut s = format!("{} ->", self.nonterminal_name(p.lhs()));
+        if p.rhs().is_empty() {
+            s.push_str(" ε");
+        }
+        for sym in p.rhs() {
+            s.push(' ');
+            s.push_str(self.symbol_name(*sym));
+        }
+        s
+    }
+}
+
+/// The result of [`Grammar::validate`]: specification lints, not errors.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ValidationReport {
+    /// Nonterminals not reachable from the start symbol.
+    pub unreachable: Vec<String>,
+    /// Nonterminals that derive no terminal string.
+    pub unproductive: Vec<String>,
+    /// Terminals mentioned by no production.
+    pub unused_terminals: Vec<String>,
+}
+
+impl ValidationReport {
+    /// Whether the grammar is lint-free.
+    pub fn is_clean(&self) -> bool {
+        self.unreachable.is_empty()
+            && self.unproductive.is_empty()
+            && self.unused_terminals.is_empty()
+    }
+}
+
+impl fmt::Display for Grammar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "grammar {} (start {})", self.name, self.nonterminal_name(self.start))?;
+        for (id, _) in self.productions() {
+            writeln!(f, "  [{}] {}", id.index(), self.display_production(id))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{GrammarBuilder, Symbol};
+
+    #[test]
+    fn queries_and_display() {
+        let mut b = GrammarBuilder::new("g");
+        let a = b.terminal("a");
+        let s = b.nonterminal("S");
+        b.prod(s, vec![Symbol::T(a)]);
+        b.prod(s, vec![]);
+        b.start(s);
+        let g = b.build().unwrap();
+
+        assert_eq!(g.name(), "g");
+        assert_eq!(g.num_terminals(), 2, "EOF + a");
+        assert_eq!(g.num_nonterminals(), 2, "S' + S");
+        assert_eq!(g.num_productions(), 3, "augmented + 2");
+        assert_eq!(g.terminal_by_name("a"), Some(a));
+        assert_eq!(g.nonterminal_by_name("S"), Some(s));
+        assert_eq!(g.terminal_by_name("zzz"), None);
+        assert_eq!(g.productions_for(s).count(), 2);
+        let text = format!("{g}");
+        assert!(text.contains("S -> a"));
+        assert!(text.contains("ε"));
+    }
+}
+
+#[cfg(test)]
+mod validate_tests {
+    use crate::{GrammarBuilder, Symbol};
+
+    #[test]
+    fn clean_grammar_reports_nothing() {
+        let mut b = GrammarBuilder::new("g");
+        let a = b.terminal("a");
+        let s = b.nonterminal("S");
+        b.prod(s, vec![Symbol::T(a)]);
+        b.start(s);
+        let g = b.build().unwrap();
+        let r = g.validate();
+        assert!(r.is_clean(), "{r:?}");
+    }
+
+    #[test]
+    fn unreachable_and_unused_are_reported() {
+        let mut b = GrammarBuilder::new("g");
+        let a = b.terminal("a");
+        let dead_t = b.terminal("dead_tok");
+        let s = b.nonterminal("S");
+        let orphan = b.nonterminal("Orphan");
+        b.prod(s, vec![Symbol::T(a)]);
+        b.prod(orphan, vec![Symbol::T(dead_t)]);
+        b.start(s);
+        let g = b.build().unwrap();
+        let r = g.validate();
+        assert_eq!(r.unreachable, vec!["Orphan".to_string()]);
+        assert!(r.unproductive.is_empty());
+        // dead_tok IS used (by Orphan), so it is not flagged; a fully
+        // unused terminal is.
+        assert!(r.unused_terminals.is_empty());
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn unused_terminal_reported() {
+        let mut b = GrammarBuilder::new("g");
+        let a = b.terminal("a");
+        let _never = b.terminal("never");
+        let s = b.nonterminal("S");
+        b.prod(s, vec![Symbol::T(a)]);
+        b.start(s);
+        let g = b.build().unwrap();
+        assert_eq!(g.validate().unused_terminals, vec!["never".to_string()]);
+    }
+
+    #[test]
+    fn unproductive_nonstart_is_a_lint_not_an_error() {
+        let mut b = GrammarBuilder::new("g");
+        let a = b.terminal("a");
+        let s = b.nonterminal("S");
+        let inf = b.nonterminal("Inf");
+        b.prod(s, vec![Symbol::T(a)]);
+        b.prod(s, vec![Symbol::N(inf)]);
+        b.prod(inf, vec![Symbol::N(inf)]);
+        b.start(s);
+        let g = b.build().unwrap();
+        let r = g.validate();
+        assert_eq!(r.unproductive, vec!["Inf".to_string()]);
+    }
+}

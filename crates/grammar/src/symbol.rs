@@ -1,0 +1,159 @@
+//! Grammar symbols: terminals, nonterminals, and their union.
+
+use std::fmt;
+
+/// A terminal symbol, identified by its index in the grammar's terminal table.
+///
+/// Index 0 is always the reserved end-of-input terminal (`Terminal::EOF`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Terminal(pub(crate) u32);
+
+impl Terminal {
+    /// The reserved end-of-input terminal present in every grammar.
+    pub const EOF: Terminal = Terminal(0);
+
+    /// Raw index of this terminal in the grammar's terminal table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a terminal from a raw index.
+    ///
+    /// Intended for table-driven code that stores terminal indices compactly;
+    /// the index must have come from the same grammar.
+    #[inline]
+    pub fn from_index(ix: usize) -> Terminal {
+        Terminal(ix as u32)
+    }
+
+    /// Whether this is the end-of-input terminal.
+    #[inline]
+    pub fn is_eof(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// A nonterminal symbol, identified by its index in the nonterminal table.
+///
+/// Index 0 is always the augmented start symbol added by
+/// [`crate::GrammarBuilder::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NonTerminal(pub(crate) u32);
+
+impl NonTerminal {
+    /// The augmented start symbol (`S' -> S eof`) present in every grammar.
+    pub const AUGMENTED_START: NonTerminal = NonTerminal(0);
+
+    /// Raw index of this nonterminal in the grammar's nonterminal table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a nonterminal from a raw index (see [`Terminal::from_index`]).
+    #[inline]
+    pub fn from_index(ix: usize) -> NonTerminal {
+        NonTerminal(ix as u32)
+    }
+}
+
+/// Either a terminal or a nonterminal; the element type of production
+/// right-hand sides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Symbol {
+    /// A terminal symbol.
+    T(Terminal),
+    /// A nonterminal symbol.
+    N(NonTerminal),
+}
+
+impl Symbol {
+    /// Whether this symbol is a terminal.
+    #[inline]
+    pub fn is_terminal(self) -> bool {
+        matches!(self, Symbol::T(_))
+    }
+
+    /// The terminal inside, if any.
+    #[inline]
+    pub fn terminal(self) -> Option<Terminal> {
+        match self {
+            Symbol::T(t) => Some(t),
+            Symbol::N(_) => None,
+        }
+    }
+
+    /// The nonterminal inside, if any.
+    #[inline]
+    pub fn nonterminal(self) -> Option<NonTerminal> {
+        match self {
+            Symbol::N(n) => Some(n),
+            Symbol::T(_) => None,
+        }
+    }
+}
+
+impl From<Terminal> for Symbol {
+    fn from(t: Terminal) -> Symbol {
+        Symbol::T(t)
+    }
+}
+
+impl From<NonTerminal> for Symbol {
+    fn from(n: NonTerminal) -> Symbol {
+        Symbol::N(n)
+    }
+}
+
+impl fmt::Display for Terminal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for NonTerminal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Symbol::T(t) => t.fmt(f),
+            Symbol::N(n) => n.fmt(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eof_is_terminal_zero() {
+        assert!(Terminal::EOF.is_eof());
+        assert_eq!(Terminal::EOF.index(), 0);
+        assert!(!Terminal::from_index(3).is_eof());
+    }
+
+    #[test]
+    fn symbol_accessors() {
+        let t = Symbol::from(Terminal::from_index(2));
+        let n = Symbol::from(NonTerminal::from_index(1));
+        assert!(t.is_terminal());
+        assert!(!n.is_terminal());
+        assert_eq!(t.terminal(), Some(Terminal::from_index(2)));
+        assert_eq!(t.nonterminal(), None);
+        assert_eq!(n.nonterminal(), Some(NonTerminal::from_index(1)));
+        assert_eq!(n.terminal(), None);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(format!("{}", Terminal::EOF), "t0");
+        assert_eq!(format!("{}", NonTerminal::AUGMENTED_START), "N0");
+        assert_eq!(format!("{}", Symbol::T(Terminal(1))), "t1");
+    }
+}

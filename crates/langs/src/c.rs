@@ -1,0 +1,516 @@
+//! The simplified C and C++ languages (the paper's Appendix B grammar,
+//! extended with enough statement forms to generate realistic programs).
+//!
+//! Grammar sketch (C):
+//!
+//! ```text
+//! prog    : items
+//! items   : item*                       (declared associative sequence)
+//! item    : stmt ';' | decl ';' | typedef | funcdef
+//! typedef : 'typedef' 'int' id ';'
+//! funcdef : 'int' id '(' ')' block
+//! block   : '{' items '}'
+//! decl    : type_id '(' decl_id ')'     — the ambiguous form
+//!         | type_id decl_id
+//!         | 'int' id | 'int' id '=' expr
+//! stmt    : expr | 'return' expr
+//! expr    : funcall | id_use | id_use '=' expr | num | expr '+' expr
+//! funcall : func_id '(' arglist ')'
+//! arglist : expr
+//! type_id : id      func_id : id      decl_id : id      id_use : id
+//! ```
+//!
+//! `id ( id ) ;` derives both `item : decl ';'` and `item : stmt ';'` — a
+//! reduce/reduce conflict at the leading `id` (type-name vs function-name),
+//! exactly the split traced in the paper's Appendix B. `expr '+' expr` is
+//! deliberately ambiguous and statically filtered with `%left` precedence
+//! (Section 4.1's pre-compiled filters).
+//!
+//! The C++ variant adds `expr : type_id '(' expr ')'` (functional cast), so
+//! `f ( 5 ) ;` also becomes ambiguous (call vs cast) and `a ( b ) ;` gains a
+//! third interpretation.
+
+use wg_core::{SessionConfig, SessionError};
+use wg_grammar::{GrammarBuilder, NonTerminal, SeqKind, Symbol, Terminal};
+use wg_lexer::LexerDef;
+
+/// The terminals of the simplified C/C++ languages, for tests and analyses.
+#[derive(Debug, Clone, Copy)]
+pub struct CTokens {
+    /// `typedef` keyword.
+    pub kw_typedef: Terminal,
+    /// `int` keyword.
+    pub kw_int: Terminal,
+    /// `return` keyword.
+    pub kw_return: Terminal,
+    /// Identifiers.
+    pub id: Terminal,
+    /// Integer literals.
+    pub num: Terminal,
+}
+
+/// Builds the simplified-C session configuration.
+///
+/// # Panics
+///
+/// Panics only on internal definition errors (the definitions are constant).
+pub fn simp_c() -> SessionConfig {
+    build(false).expect("simp_c definition is valid")
+}
+
+/// Builds the simplified-C++ session configuration (adds functional casts).
+///
+/// # Panics
+///
+/// Panics only on internal definition errors (the definitions are constant).
+pub fn simp_cpp() -> SessionConfig {
+    build(true).expect("simp_cpp definition is valid")
+}
+
+/// The deterministic variant of [`simp_c`]: the ambiguous
+/// `type_id ( decl_id )` declaration form is removed, so `a (b) ;` parses
+/// only as a call and the LALR(1) table is conflict-free. This is the
+/// paper's Section 5 baseline setup ("the typedef ambiguity was removed
+/// artificially"), used to compare the deterministic incremental parser
+/// against IGLR on identical token streams.
+///
+/// # Panics
+///
+/// Panics only on internal definition errors (the definitions are constant).
+pub fn simp_c_det() -> SessionConfig {
+    let cfg = build_det().expect("simp_c_det definition is valid");
+    debug_assert!(cfg.table().is_deterministic());
+    cfg
+}
+
+/// The token handles for a configuration built by [`simp_c`] / [`simp_cpp`].
+pub fn tokens(config: &SessionConfig) -> CTokens {
+    let g = config.grammar();
+    CTokens {
+        kw_typedef: g.terminal_by_name("typedef").expect("typedef terminal"),
+        kw_int: g.terminal_by_name("int").expect("int terminal"),
+        kw_return: g.terminal_by_name("return").expect("return terminal"),
+        id: g.terminal_by_name("id").expect("id terminal"),
+        num: g.terminal_by_name("num").expect("num terminal"),
+    }
+}
+
+/// Names of the grammar's classifier nonterminals (used by semantic
+/// disambiguation in `wg-sem`).
+pub mod nt {
+    /// The ambiguous sequence element.
+    pub const ITEM: &str = "item";
+    /// Identifier used as a type name.
+    pub const TYPE_ID: &str = "type_id";
+    /// Identifier used as a function name.
+    pub const FUNC_ID: &str = "func_id";
+    /// Identifier being declared.
+    pub const DECL_ID: &str = "decl_id";
+    /// Identifier used in an expression.
+    pub const ID_USE: &str = "id_use";
+    /// A declaration.
+    pub const DECL: &str = "decl";
+    /// A statement.
+    pub const STMT: &str = "stmt";
+    /// A typedef declaration.
+    pub const TYPEDEF: &str = "typedef_decl";
+    /// An expression.
+    pub const EXPR: &str = "expr";
+}
+
+fn build(cpp: bool) -> Result<SessionConfig, SessionError> {
+    build_flags(cpp, true)
+}
+
+fn build_det() -> Result<SessionConfig, SessionError> {
+    build_flags(false, false)
+}
+
+fn build_flags(cpp: bool, ambiguous_decl: bool) -> Result<SessionConfig, SessionError> {
+    let mut b = GrammarBuilder::new(if !ambiguous_decl {
+        "simp_c_det"
+    } else if cpp {
+        "simp_cpp"
+    } else {
+        "simp_c"
+    });
+
+    // Terminals.
+    let kw_typedef = b.terminal("typedef");
+    let kw_int = b.terminal("int");
+    let kw_return = b.terminal("return");
+    let id = b.terminal("id");
+    let num = b.terminal("num");
+    let lp = b.terminal("(");
+    let rp = b.terminal(")");
+    let lb = b.terminal("{");
+    let rb = b.terminal("}");
+    let semi = b.terminal(";");
+    let eq = b.terminal("=");
+    let plus = b.terminal("+");
+
+    // Static syntactic filters (Section 4.1): '=' binds loosest and to the
+    // right, '+' tighter and to the left — yacc-style declarations that
+    // remove these conflicts from the table entirely.
+    b.right(&[eq]);
+    b.left(&[plus]);
+
+    // Nonterminals.
+    let prog = b.nonterminal("prog");
+    let items = b.nonterminal("items");
+    let item = b.nonterminal("item");
+    let typedef_ = b.nonterminal(nt::TYPEDEF);
+    let funcdef = b.nonterminal("funcdef");
+    let block = b.nonterminal("block");
+    let decl = b.nonterminal(nt::DECL);
+    let stmt = b.nonterminal(nt::STMT);
+    let expr = b.nonterminal(nt::EXPR);
+    let funcall = b.nonterminal("funcall");
+    let arglist = b.nonterminal("arglist");
+    let type_id = b.nonterminal(nt::TYPE_ID);
+    let func_id = b.nonterminal(nt::FUNC_ID);
+    let decl_id = b.nonterminal(nt::DECL_ID);
+    let id_use = b.nonterminal(nt::ID_USE);
+
+    b.prod(prog, vec![Symbol::N(items)]);
+    b.sequence(items, Symbol::N(item), SeqKind::Star, None);
+
+    b.prod(item, vec![Symbol::N(stmt), Symbol::T(semi)]);
+    b.prod(item, vec![Symbol::N(decl), Symbol::T(semi)]);
+    b.prod(item, vec![Symbol::N(typedef_)]);
+    b.prod(item, vec![Symbol::N(funcdef)]);
+
+    b.prod(
+        typedef_,
+        vec![
+            Symbol::T(kw_typedef),
+            Symbol::T(kw_int),
+            Symbol::T(id),
+            Symbol::T(semi),
+        ],
+    );
+    b.prod(
+        funcdef,
+        vec![
+            Symbol::T(kw_int),
+            Symbol::T(id),
+            Symbol::T(lp),
+            Symbol::T(rp),
+            Symbol::N(block),
+        ],
+    );
+    b.prod(block, vec![Symbol::T(lb), Symbol::N(items), Symbol::T(rb)]);
+
+    // Declarations. `type_id ( decl_id )` is the ambiguous form.
+    if ambiguous_decl {
+        b.prod(
+            decl,
+            vec![
+                Symbol::N(type_id),
+                Symbol::T(lp),
+                Symbol::N(decl_id),
+                Symbol::T(rp),
+            ],
+        );
+    }
+    b.prod(decl, vec![Symbol::N(type_id), Symbol::N(decl_id)]);
+    b.prod(decl, vec![Symbol::T(kw_int), Symbol::T(id)]);
+    b.prod(
+        decl,
+        vec![Symbol::T(kw_int), Symbol::T(id), Symbol::T(eq), Symbol::N(expr)],
+    );
+
+    // Statements and expressions.
+    b.prod(stmt, vec![Symbol::N(expr)]);
+    b.prod(stmt, vec![Symbol::T(kw_return), Symbol::N(expr)]);
+    b.prod(expr, vec![Symbol::N(funcall)]);
+    b.prod(expr, vec![Symbol::N(id_use)]);
+    b.prod(
+        expr,
+        vec![Symbol::N(id_use), Symbol::T(eq), Symbol::N(expr)],
+    );
+    b.prod(expr, vec![Symbol::T(num)]);
+    b.prod(
+        expr,
+        vec![Symbol::N(expr), Symbol::T(plus), Symbol::N(expr)],
+    );
+    if cpp {
+        // Functional cast: T ( e ).
+        b.prod(
+            expr,
+            vec![
+                Symbol::N(type_id),
+                Symbol::T(lp),
+                Symbol::N(expr),
+                Symbol::T(rp),
+            ],
+        );
+    }
+    b.prod(
+        funcall,
+        vec![
+            Symbol::N(func_id),
+            Symbol::T(lp),
+            Symbol::N(arglist),
+            Symbol::T(rp),
+        ],
+    );
+    b.prod(arglist, vec![Symbol::N(expr)]);
+
+    // Identifier classifiers — the namespaces semantic analysis selects
+    // between (Section 4.2).
+    b.prod(type_id, vec![Symbol::T(id)]);
+    b.prod(func_id, vec![Symbol::T(id)]);
+    b.prod(decl_id, vec![Symbol::T(id)]);
+    b.prod(id_use, vec![Symbol::T(id)]);
+
+    b.start(prog);
+    let g = b.build().expect("simplified C grammar is well-formed");
+
+    // Lexer: keywords before the identifier rule (priority order).
+    let mut lx = LexerDef::new();
+    lx.literal("typedef", "typedef");
+    lx.literal("int", "int");
+    lx.literal("return", "return");
+    lx.rule("id", "[a-zA-Z_][a-zA-Z0-9_]*")?;
+    lx.rule("num", "[0-9]+")?;
+    lx.literal("(", "(");
+    lx.literal(")", ")");
+    lx.literal("{", "{");
+    lx.literal("}", "}");
+    lx.literal(";", ";");
+    lx.literal("=", "=");
+    lx.literal("+", "+");
+    lx.skip("ws", "[ \\t\\n\\r]+")?;
+    lx.skip("comment", "//[^\\n]*")?;
+    lx.skip("block_comment", "/\\*([^*]|\\*+[^*/])*\\*+/")?;
+    // "Limited preprocessor support": directives are skipped whole.
+    lx.skip("preprocessor", "#[^\\n]*")?;
+
+    SessionConfig::new(g, lx)
+}
+
+/// Finds the `item` nonterminal of a configuration (the phylum whose choice
+/// points carry the decl/stmt ambiguity).
+pub fn item_nt(config: &SessionConfig) -> NonTerminal {
+    config
+        .grammar()
+        .nonterminal_by_name(nt::ITEM)
+        .expect("item nonterminal")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wg_core::Session;
+    use wg_dag::yield_string;
+
+    #[test]
+    fn tables_have_the_expected_conflicts() {
+        let c = simp_c();
+        assert!(
+            !c.table().is_deterministic(),
+            "the typedef ambiguity must survive as table conflicts"
+        );
+        // '+' precedence is statically filtered.
+        assert!(c.table().conflicts().resolved_by_precedence > 0);
+        let cpp = simp_cpp();
+        assert!(
+            cpp.table().conflicts().remaining.len()
+                >= c.table().conflicts().remaining.len(),
+            "C++ adds ambiguity"
+        );
+    }
+
+    #[test]
+    fn unambiguous_program_has_plain_tree() {
+        let cfg = simp_c();
+        let s = Session::new(
+            &cfg,
+            "int x; int y = 4; x = y + 2; typedef int t; t z;",
+        )
+        .unwrap();
+        let stats = s.stats();
+        assert_eq!(stats.choice_points, 0, "{}", s.dump());
+        assert_eq!(stats.space_overhead_percent(), 0.0);
+    }
+
+    #[test]
+    fn running_example_is_ambiguous() {
+        // Figure 1 / Appendix B: a (b) ; c (d) ;
+        let cfg = simp_c();
+        let s = Session::new(&cfg, "a (b); c (d);").unwrap();
+        let stats = s.stats();
+        assert_eq!(stats.choice_points, 2, "{}", s.dump());
+        assert_eq!(stats.alternatives, 4, "two interpretations each");
+        assert!(stats.max_ambiguous_width <= 5, "ambiguity is local");
+        assert_eq!(yield_string(s.arena(), s.root()), "a ( b ) ; c ( d ) ;");
+    }
+
+    #[test]
+    fn ambiguity_is_local_not_global() {
+        let cfg = simp_c();
+        let src = "int before; a (b); int after = 3;";
+        let s = Session::new(&cfg, src).unwrap();
+        let stats = s.stats();
+        assert_eq!(stats.choice_points, 1);
+        // The overhead is a few nodes out of the whole tree.
+        assert!(stats.space_overhead_percent() < 30.0);
+        assert!(stats.space_overhead_percent() > 0.0);
+    }
+
+    #[test]
+    fn cpp_adds_cast_ambiguity() {
+        let c = simp_c();
+        let cpp = simp_cpp();
+        // f(5); — unambiguous call in C, call-vs-cast in C++.
+        let s_c = Session::new(&c, "f (5);").unwrap();
+        assert_eq!(s_c.stats().choice_points, 0, "{}", s_c.dump());
+        let s_cpp = Session::new(&cpp, "f (5);").unwrap();
+        assert!(s_cpp.stats().choice_points >= 1, "{}", s_cpp.dump());
+    }
+
+    #[test]
+    fn nested_functions_parse() {
+        let cfg = simp_c();
+        let src = "int main() { int x; x = f(1) + 2; a (b); return x; } int y;";
+        let s = Session::new(&cfg, src).unwrap();
+        assert_eq!(s.stats().choice_points, 1);
+        assert!(s.token_count() > 20);
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_skipped() {
+        let cfg = simp_c();
+        let s = Session::new(&cfg, "int x; // trailing comment\nint y;").unwrap();
+        assert_eq!(s.token_count(), 6);
+    }
+
+    #[test]
+    fn incremental_edit_in_c_program() {
+        let cfg = simp_c();
+        let mut s = Session::new(&cfg, "int alpha; a (b); int omega;").unwrap();
+        let pos = s.text().find("alpha").unwrap();
+        s.edit(pos, 5, "beta");
+        let out = s.reparse().unwrap();
+        assert!(out.incorporated);
+        assert_eq!(s.stats().choice_points, 1, "ambiguity preserved");
+        assert!(yield_string(s.arena(), s.root()).starts_with("int beta ;"));
+    }
+
+    #[test]
+    fn edit_can_create_and_destroy_ambiguity() {
+        let cfg = simp_c();
+        let mut s = Session::new(&cfg, "f (5);").unwrap();
+        assert_eq!(s.stats().choice_points, 0);
+        // 5 -> x : now ambiguous.
+        let pos = s.text().find('5').unwrap();
+        s.edit(pos, 1, "x");
+        assert!(s.reparse().unwrap().incorporated);
+        assert_eq!(s.stats().choice_points, 1, "{}", s.dump());
+        // x -> 7 : unambiguous again.
+        let pos = s.text().find('x').unwrap();
+        s.edit(pos, 1, "7");
+        assert!(s.reparse().unwrap().incorporated);
+        assert_eq!(s.stats().choice_points, 0);
+    }
+
+    #[test]
+    fn tokens_accessor() {
+        let cfg = simp_c();
+        let t = tokens(&cfg);
+        assert_ne!(t.id, t.num);
+        assert_ne!(t.kw_typedef, t.kw_int);
+        let _ = t.kw_return;
+        assert!(item_nt(&cfg).index() > 0);
+    }
+
+    #[test]
+    fn dag_stats_overhead_matches_hand_count() {
+        // One ambiguous statement among N unambiguous ones: overhead decays
+        // roughly like 1/N (the Table 1 effect in miniature).
+        let cfg = simp_c();
+        let small = {
+            let src = "a (b);".to_string() + &"int v;".repeat(5);
+            Session::new(&cfg, &src).unwrap().stats()
+        };
+        let large = {
+            let src = "a (b);".to_string() + &"int v;".repeat(50);
+            Session::new(&cfg, &src).unwrap().stats()
+        };
+        assert!(small.space_overhead_percent() > large.space_overhead_percent());
+        assert!(large.space_overhead_percent() < 5.0);
+    }
+}
+
+#[cfg(test)]
+mod det_tests {
+    use super::*;
+    use wg_core::Session;
+
+    #[test]
+    fn det_variant_is_conflict_free_and_parses_calls() {
+        let cfg = simp_c_det();
+        assert!(cfg.table().is_deterministic());
+        let s = Session::new(&cfg, "typedef int t; a (b); int x = 1;").unwrap();
+        assert_eq!(s.stats().choice_points, 0, "a(b); is just a call here");
+    }
+}
+
+#[cfg(test)]
+mod lex_extras_tests {
+    use super::*;
+    use wg_core::Session;
+
+    #[test]
+    fn block_comments_and_preprocessor_lines_are_skipped() {
+        let cfg = simp_c();
+        let src = "#include <stdio.h>\nint x; /* multi\nline */ int y; // eol\nx = y;";
+        let s = Session::new(&cfg, src).unwrap();
+        assert_eq!(s.token_count(), 10);
+        assert_eq!(s.stats().choice_points, 0);
+    }
+
+    #[test]
+    fn edits_inside_comments_reparse_cheaply() {
+        let cfg = simp_c();
+        let mut s = Session::new(&cfg, "int a; /* note */ int b;").unwrap();
+        let pos = s.text().find("note").unwrap();
+        s.edit(pos, 4, "different");
+        let out = s.reparse().unwrap();
+        assert!(out.incorporated);
+        assert!(
+            out.stats.terminal_shifts <= 2,
+            "comment-only edits touch almost nothing: {:?}",
+            out.stats
+        );
+    }
+
+    #[test]
+    fn comment_to_code_edit_works() {
+        let cfg = simp_c();
+        let mut s = Session::new(&cfg, "int a; /* int b; */").unwrap();
+        assert_eq!(s.token_count(), 3);
+        // Remove the comment markers: the statement materializes.
+        let open = s.text().find("/*").unwrap();
+        s.edit(open, 2, "");
+        let close = s.text().find("*/").unwrap();
+        s.edit(close, 2, "");
+        let out = s.reparse().unwrap();
+        assert!(out.incorporated, "{:?}", out.error);
+        assert_eq!(s.token_count(), 6);
+    }
+}
+
+#[cfg(test)]
+mod lint_tests {
+    use super::*;
+
+    #[test]
+    fn language_grammars_are_lint_free() {
+        for cfg in [simp_c(), simp_cpp(), simp_c_det()] {
+            let r = cfg.grammar().validate();
+            assert!(r.is_clean(), "{}: {r:?}", cfg.grammar().name());
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Synthetic program generation — the stand-in for SPEC95/gcc/emacs sources
+//! (see DESIGN.md §4).
+//!
+//! The paper measures structural properties of parse dags built from large C
+//! programs: the number and locality of ambiguous constructs drive the space
+//! overhead (Table 1, Figure 4) and the reconstruction cost (Section 5).
+//! These depend on the *density and shape* of `id ( id ) ;` statements, not
+//! on what the programs compute, so a generator with a controlled
+//! ambiguous-statement rate exercises the same code paths; every reported
+//! number is then measured on the real dag the generated program produces.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Parameters of one synthetic translation unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenSpec {
+    /// Number of top-level/nested items (≈ source lines).
+    pub lines: usize,
+    /// Fraction of items of the ambiguous `id ( id ) ;` shape.
+    pub ambiguity_rate: f64,
+    /// Fraction of items that are `typedef int t ;` declarations.
+    pub typedef_rate: f64,
+    /// Fraction of items that open a function definition with a nested
+    /// block (consuming several of the remaining lines).
+    pub funcdef_rate: f64,
+    /// Fraction of filler items that are literal-argument calls
+    /// (`fun (5);`). Unambiguous in C; ambiguous (call vs functional cast)
+    /// under the simplified C++ grammar, so C++ workloads lower this.
+    pub lit_call_rate: f64,
+    /// RNG seed (generation is deterministic per seed).
+    pub seed: u64,
+}
+
+impl GenSpec {
+    /// A spec with typical rates for `lines` lines.
+    pub fn sized(lines: usize, ambiguity_rate: f64, seed: u64) -> GenSpec {
+        GenSpec {
+            lines,
+            ambiguity_rate,
+            typedef_rate: 0.02,
+            funcdef_rate: 0.05,
+            lit_call_rate: 0.2,
+            seed,
+        }
+    }
+}
+
+/// A generated program plus ground-truth counts.
+#[derive(Debug, Clone)]
+pub struct CProgram {
+    /// The source text (parses with `simp_c` and `simp_cpp`).
+    pub text: String,
+    /// Items emitted (≈ lines).
+    pub lines: usize,
+    /// Items of the parse-ambiguous `id ( id ) ;` shape.
+    pub ambiguous_sites: usize,
+    /// Typedef declarations emitted (their names are usable as type names).
+    pub typedef_names: Vec<String>,
+}
+
+/// Generates one synthetic C translation unit.
+pub fn c_program(spec: &GenSpec) -> CProgram {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut out = String::with_capacity(spec.lines * 16);
+    let mut emitted = 0;
+    let mut ambiguous = 0;
+    let mut typedefs: Vec<String> = Vec::new();
+    let mut depth = 0usize;
+    let mut fn_counter = 0usize;
+    out.push_str("#include <synthetic.h>\n");
+
+    while emitted < spec.lines {
+        let indent = "  ".repeat(depth);
+        let roll: f64 = rng.random();
+        if depth > 0 && (roll < 0.08 || emitted + 1 == spec.lines) {
+            out.push_str(&"  ".repeat(depth - 1));
+            out.push_str("}\n");
+            depth -= 1;
+            continue;
+        }
+        let roll: f64 = rng.random();
+        if roll < spec.ambiguity_rate {
+            // The running example: declaration or call, depending on
+            // binding information (Figure 1).
+            let head = if !typedefs.is_empty() && rng.random_bool(0.5) {
+                typedefs[rng.random_range(0..typedefs.len())].clone()
+            } else {
+                format!("fun{}", rng.random_range(0..50))
+            };
+            out.push_str(&format!(
+                "{indent}{head} (obj{});\n",
+                rng.random_range(0..100)
+            ));
+            ambiguous += 1;
+        } else if roll < spec.ambiguity_rate + spec.typedef_rate {
+            let name = format!("t{}", typedefs.len());
+            out.push_str(&format!("{indent}typedef int {name};\n"));
+            typedefs.push(name);
+        } else if roll < spec.ambiguity_rate + spec.typedef_rate + spec.funcdef_rate
+            && depth < 3
+        {
+            out.push_str(&format!("{indent}int fn{fn_counter}() {{\n"));
+            fn_counter += 1;
+            depth += 1;
+        } else if rng.random::<f64>() < spec.lit_call_rate {
+            // Literal-argument call (see `GenSpec::lit_call_rate`).
+            out.push_str(&format!(
+                "{indent}fun{} ({});\n",
+                rng.random_range(0..50),
+                rng.random_range(0..100)
+            ));
+        } else {
+            // Unambiguous fillers (with occasional comment noise, which the
+            // lexer skips like the paper's Ensemble front end).
+            if rng.random_bool(0.03) {
+                out.push_str(&format!("{indent}// synthetic comment {emitted}\n"));
+            } else if rng.random_bool(0.01) {
+                out.push_str(&format!("{indent}/* block comment {emitted} */\n"));
+            }
+            match rng.random_range(0..4) {
+                0 => out.push_str(&format!(
+                    "{indent}int var{};\n",
+                    rng.random_range(0..1000)
+                )),
+                1 => out.push_str(&format!(
+                    "{indent}int var{} = {};\n",
+                    rng.random_range(0..1000),
+                    rng.random_range(0..100)
+                )),
+                2 => out.push_str(&format!(
+                    "{indent}var{} = var{} + {};\n",
+                    rng.random_range(0..1000),
+                    rng.random_range(0..1000),
+                    rng.random_range(0..10)
+                )),
+                _ => out.push_str(&format!(
+                    "{indent}var{} = {};\n",
+                    rng.random_range(0..1000),
+                    rng.random_range(0..100)
+                )),
+            }
+        }
+        emitted += 1;
+    }
+    while depth > 0 {
+        depth -= 1;
+        out.push_str(&"  ".repeat(depth));
+        out.push_str("}\n");
+    }
+
+    CProgram {
+        text: out,
+        lines: emitted,
+        ambiguous_sites: ambiguous,
+        typedef_names: typedefs,
+    }
+}
+
+/// Byte ranges of identifier occurrences in `text` (edit-site candidates).
+pub fn identifier_sites(text: &str) -> Vec<(usize, usize)> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_alphabetic() || bytes[i] == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            let word = &text[start..i];
+            if !matches!(word, "typedef" | "int" | "return") {
+                out.push((start, i - start));
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Deterministically picks `count` identifier edit sites spread over the
+/// program (for the self-cancelling-modification experiments of Section 5).
+pub fn edit_sites(text: &str, count: usize, seed: u64) -> Vec<(usize, usize)> {
+    let sites = identifier_sites(text);
+    if sites.is_empty() {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| sites[rng.random_range(0..sites.len())])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simp_c;
+    use wg_core::Session;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = GenSpec::sized(200, 0.05, 42);
+        let a = c_program(&spec);
+        let b = c_program(&spec);
+        assert_eq!(a.text, b.text);
+        let c = c_program(&GenSpec { seed: 43, ..spec });
+        assert_ne!(a.text, c.text);
+    }
+
+    #[test]
+    fn counts_are_plausible() {
+        let p = c_program(&GenSpec::sized(500, 0.1, 7));
+        assert_eq!(p.lines, 500);
+        let rate = p.ambiguous_sites as f64 / p.lines as f64;
+        assert!((0.05..0.2).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn generated_programs_parse() {
+        let cfg = simp_c();
+        for seed in 0..5 {
+            let p = c_program(&GenSpec::sized(120, 0.08, seed));
+            let s = Session::new(&cfg, &p.text)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{}", p.text));
+            assert_eq!(
+                s.stats().choice_points,
+                p.ambiguous_sites,
+                "every ambiguous site yields exactly one choice point (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_ambiguity_means_plain_tree() {
+        let cfg = simp_c();
+        let p = c_program(&GenSpec::sized(150, 0.0, 3));
+        assert_eq!(p.ambiguous_sites, 0);
+        let s = Session::new(&cfg, &p.text).unwrap();
+        assert_eq!(s.stats().choice_points, 0);
+        assert_eq!(s.stats().space_overhead_percent(), 0.0);
+    }
+
+    #[test]
+    fn identifier_sites_found() {
+        let sites = identifier_sites("int foo; typedef int bar; baz (q);");
+        let words: Vec<&str> = sites
+            .iter()
+            .map(|&(s, l)| &"int foo; typedef int bar; baz (q);"[s..s + l])
+            .collect();
+        assert_eq!(words, vec!["foo", "bar", "baz", "q"]);
+    }
+
+    #[test]
+    fn edit_sites_deterministic_and_valid() {
+        let p = c_program(&GenSpec::sized(100, 0.05, 1));
+        let a = edit_sites(&p.text, 10, 9);
+        let b = edit_sites(&p.text, 10, 9);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+        for (s, l) in a {
+            assert!(s + l <= p.text.len());
+            assert!(p.text[s..s + l]
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_'));
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Language definitions and workloads for the Wagner–Graham reproduction.
+//!
+//! * [`simp_c`] / [`simp_cpp`] — the simplified C and C++ languages whose
+//!   context-free syntax contains the paper's running example: the statement
+//!   `a (b) ;` is both a declaration (`a` a type name) and a function call
+//!   (`a` a function), resolvable only with binding information (Figure 1,
+//!   Appendix B). The C++ variant adds functional-cast expressions, making
+//!   additional statements ambiguous (the paper notes C++ percentages exceed
+//!   C's for this reason).
+//! * [`toys`] — small grammars used across tests and benches, including
+//!   Figure 7's LR(2) grammar and the ambiguous expression grammar.
+//! * [`generate`] — the synthetic-program generator standing in for the
+//!   SPEC95/gcc/emacs sources of Table 1 (see DESIGN.md §4 for the
+//!   substitution argument): programs are parameterized by line count and
+//!   ambiguous-construct density, and all measurements are taken on the
+//!   *real* parse dags those programs produce.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generate;
+pub mod toys;
+
+mod c;
+mod modula;
+
+pub use c::{item_nt, nt, simp_c, simp_c_det, simp_cpp, tokens, CTokens};
+pub use modula::{modula_program, simp_modula};

@@ -1,0 +1,303 @@
+//! A Modula-2-flavoured language — Ensemble's language roster included
+//! Modula-2 alongside C (Section 5), and this definition exercises parts of
+//! the framework the C grammar does not:
+//!
+//! * **separated sequences**: statement lists are `stmt (';' stmt)*`, so the
+//!   balanced representation must chunk *(separator, element)* steps;
+//! * nested scopes through `PROCEDURE ... END` bodies;
+//! * `(* ... *)` block comments in the incremental lexer;
+//! * a fully deterministic LALR(1) table (no GLR forking at all), showing
+//!   the same pipeline degrades gracefully to plain incremental parsing.
+//!
+//! ```text
+//! module : MODULE id ';' decls BEGIN stmts END id '.'
+//! decls  : decl*                          (sequence)
+//! decl   : VAR id ':' type ';'
+//!        | PROCEDURE id ';' decls BEGIN stmts END id ';'
+//! type   : INTEGER | BOOLEAN | id
+//! stmts  : stmt (';' stmt)*               (separated sequence)
+//! stmt   : id ':=' expr | id '(' expr ')'
+//!        | IF expr THEN stmts END | WHILE expr DO stmts END
+//! expr   : expr '=' expr | expr '+' expr | expr '*' expr
+//!        | id | num | '(' expr ')'
+//! ```
+
+use wg_core::{SessionConfig, SessionError};
+use wg_grammar::{GrammarBuilder, SeqKind, Symbol};
+use wg_lexer::LexerDef;
+
+/// Builds the Modula-2-flavoured session configuration.
+///
+/// # Panics
+///
+/// Panics only on internal definition errors (the definition is constant).
+pub fn simp_modula() -> SessionConfig {
+    build().expect("simp_modula definition is valid")
+}
+
+fn build() -> Result<SessionConfig, SessionError> {
+    let mut b = GrammarBuilder::new("simp_modula");
+
+    let kw_module = b.terminal("MODULE");
+    let kw_begin = b.terminal("BEGIN");
+    let kw_end = b.terminal("END");
+    let kw_var = b.terminal("VAR");
+    let kw_proc = b.terminal("PROCEDURE");
+    let kw_if = b.terminal("IF");
+    let kw_then = b.terminal("THEN");
+    let kw_while = b.terminal("WHILE");
+    let kw_do = b.terminal("DO");
+    let kw_int = b.terminal("INTEGER");
+    let kw_bool = b.terminal("BOOLEAN");
+    let id = b.terminal("id");
+    let num = b.terminal("num");
+    let semi = b.terminal(";");
+    let colon = b.terminal(":");
+    let assign = b.terminal(":=");
+    let dot = b.terminal(".");
+    let lp = b.terminal("(");
+    let rp = b.terminal(")");
+    let plus = b.terminal("+");
+    let star = b.terminal("*");
+    let eq = b.terminal("=");
+
+    // Static filters: '=' loosest and non-associative, then '+', then '*'.
+    b.nonassoc(&[eq]);
+    b.left(&[plus]);
+    b.left(&[star]);
+
+    let module = b.nonterminal("module");
+    let decls = b.nonterminal("decls");
+    let decl = b.nonterminal("decl");
+    let ty = b.nonterminal("type");
+    let stmts = b.nonterminal("stmts");
+    let stmt = b.nonterminal("stmt");
+    let expr = b.nonterminal("expr");
+
+    b.prod(
+        module,
+        vec![
+            Symbol::T(kw_module),
+            Symbol::T(id),
+            Symbol::T(semi),
+            Symbol::N(decls),
+            Symbol::T(kw_begin),
+            Symbol::N(stmts),
+            Symbol::T(kw_end),
+            Symbol::T(id),
+            Symbol::T(dot),
+        ],
+    );
+    b.sequence(decls, Symbol::N(decl), SeqKind::Star, None);
+    b.prod(
+        decl,
+        vec![
+            Symbol::T(kw_var),
+            Symbol::T(id),
+            Symbol::T(colon),
+            Symbol::N(ty),
+            Symbol::T(semi),
+        ],
+    );
+    b.prod(
+        decl,
+        vec![
+            Symbol::T(kw_proc),
+            Symbol::T(id),
+            Symbol::T(semi),
+            Symbol::N(decls),
+            Symbol::T(kw_begin),
+            Symbol::N(stmts),
+            Symbol::T(kw_end),
+            Symbol::T(id),
+            Symbol::T(semi),
+        ],
+    );
+    b.prod(ty, vec![Symbol::T(kw_int)]);
+    b.prod(ty, vec![Symbol::T(kw_bool)]);
+    b.prod(ty, vec![Symbol::T(id)]);
+
+    // The separated statement list — the paper's `(';' stmt)*` shape.
+    b.sequence(stmts, Symbol::N(stmt), SeqKind::Plus, Some(Symbol::T(semi)));
+
+    b.prod(stmt, vec![Symbol::T(id), Symbol::T(assign), Symbol::N(expr)]);
+    b.prod(
+        stmt,
+        vec![Symbol::T(id), Symbol::T(lp), Symbol::N(expr), Symbol::T(rp)],
+    );
+    b.prod(
+        stmt,
+        vec![
+            Symbol::T(kw_if),
+            Symbol::N(expr),
+            Symbol::T(kw_then),
+            Symbol::N(stmts),
+            Symbol::T(kw_end),
+        ],
+    );
+    b.prod(
+        stmt,
+        vec![
+            Symbol::T(kw_while),
+            Symbol::N(expr),
+            Symbol::T(kw_do),
+            Symbol::N(stmts),
+            Symbol::T(kw_end),
+        ],
+    );
+
+    b.prod(expr, vec![Symbol::N(expr), Symbol::T(eq), Symbol::N(expr)]);
+    b.prod(expr, vec![Symbol::N(expr), Symbol::T(plus), Symbol::N(expr)]);
+    b.prod(expr, vec![Symbol::N(expr), Symbol::T(star), Symbol::N(expr)]);
+    b.prod(expr, vec![Symbol::T(id)]);
+    b.prod(expr, vec![Symbol::T(num)]);
+    b.prod(expr, vec![Symbol::T(lp), Symbol::N(expr), Symbol::T(rp)]);
+
+    b.start(module);
+    let g = b.build().expect("modula grammar is well-formed");
+
+    let mut lx = LexerDef::new();
+    for kw in [
+        "MODULE",
+        "BEGIN",
+        "END",
+        "VAR",
+        "PROCEDURE",
+        "IF",
+        "THEN",
+        "WHILE",
+        "DO",
+        "INTEGER",
+        "BOOLEAN",
+    ] {
+        lx.literal(kw, kw);
+    }
+    lx.rule("id", "[a-zA-Z][a-zA-Z0-9]*")?;
+    lx.rule("num", "[0-9]+")?;
+    lx.literal(":=", ":=");
+    lx.literal(";", ";");
+    lx.literal(":", ":");
+    lx.literal(".", ".");
+    lx.literal("(", "(");
+    lx.literal(")", ")");
+    lx.literal("+", "+");
+    lx.literal("*", "*");
+    lx.literal("=", "=");
+    lx.skip("ws", "[ \\t\\n\\r]+")?;
+    lx.skip("comment", "\\(\\*([^*]|\\*+[^*)])*\\*+\\)")?;
+
+    SessionConfig::new(g, lx)
+}
+
+/// A generated Modula program with `vars` declarations and `stmts`
+/// assignments (deterministic text for benches and tests).
+pub fn modula_program(vars: usize, stmts: usize) -> String {
+    let mut out = String::from("MODULE Synth;\n");
+    for i in 0..vars {
+        out.push_str(&format!("VAR v{i} : INTEGER;\n"));
+    }
+    out.push_str("BEGIN\n");
+    for i in 0..stmts {
+        if i > 0 {
+            out.push_str(";\n");
+        }
+        out.push_str(&format!("v{} := v{} + {}", i % vars.max(1), (i + 1) % vars.max(1), i % 10));
+    }
+    out.push_str("\nEND Synth.\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wg_core::Session;
+    use wg_dag::{sequence_depth, yield_string, NodeKind};
+
+    #[test]
+    fn grammar_is_deterministic_and_clean() {
+        let cfg = simp_modula();
+        assert!(cfg.table().is_deterministic());
+        assert!(cfg.grammar().validate().is_clean());
+        assert!(cfg.table().conflicts().resolved_by_precedence > 0);
+    }
+
+    #[test]
+    fn modules_parse() {
+        let cfg = simp_modula();
+        let src = "MODULE M; VAR x : INTEGER; (* comment *)\n\
+                   PROCEDURE p; BEGIN x := 1 END p;\n\
+                   BEGIN x := 2 + 3 * 4; IF x = 14 THEN p(x) END END M.";
+        let s = Session::new(&cfg, src).unwrap();
+        assert_eq!(s.stats().choice_points, 0);
+        assert!(yield_string(s.arena(), s.root()).starts_with("MODULE M ;"));
+    }
+
+    #[test]
+    fn separated_statement_lists_are_balanced() {
+        let cfg = simp_modula();
+        let src = modula_program(4, 400);
+        let s = Session::new(&cfg, &src).unwrap();
+        // Find the stmts sequence and check its physical depth.
+        let mut stack = vec![s.root()];
+        let mut max_depth = 0;
+        let stmts_nt = cfg.grammar().nonterminal_by_name("stmts").unwrap();
+        while let Some(n) = stack.pop() {
+            if let NodeKind::Sequence { symbol } = s.arena().kind(n) {
+                if *symbol == stmts_nt {
+                    max_depth = max_depth.max(sequence_depth(s.arena(), n));
+                    continue;
+                }
+            }
+            stack.extend_from_slice(s.arena().kids(n));
+        }
+        assert!(
+            (2..=14).contains(&max_depth),
+            "400 separated statements must be balanced, depth {max_depth}"
+        );
+    }
+
+    #[test]
+    fn incremental_edit_reuses_separated_runs() {
+        let cfg = simp_modula();
+        let src = modula_program(4, 600);
+        let mut s = Session::new(&cfg, &src).unwrap();
+        let pos = src.find("v1 := v2").expect("statement exists");
+        s.edit(pos, 2, "v3");
+        let out = s.reparse().unwrap();
+        assert!(out.incorporated);
+        let ops = out.stats.terminal_shifts
+            + out.stats.subtree_shifts
+            + out.stats.run_shifts
+            + out.stats.breakdowns;
+        assert!(
+            ops < 80,
+            "mid-file edit in 600 statements must be logarithmic: {:?}",
+            out.stats
+        );
+        assert!(out.stats.run_shifts >= 1, "{:?}", out.stats);
+    }
+
+    #[test]
+    fn nonassoc_equality_is_rejected() {
+        let cfg = simp_modula();
+        let src = "MODULE M; BEGIN x := 1 = 2 = 3 END M.";
+        assert!(Session::new(&cfg, src).is_err(), "a = b = c is an error");
+    }
+
+    #[test]
+    fn incremental_equals_scratch_on_modula() {
+        let cfg = simp_modula();
+        let src = modula_program(3, 40);
+        let mut s = Session::new(&cfg, &src).unwrap();
+        let pos = s.text().find("+ 5").expect("site");
+        s.edit(pos + 2, 1, "77");
+        assert!(s.reparse().unwrap().incorporated);
+        let reference = Session::new(&cfg, s.text()).unwrap();
+        assert!(wg_dag::structurally_equal(
+            s.arena(),
+            s.root(),
+            reference.arena(),
+            reference.root()
+        ));
+    }
+}

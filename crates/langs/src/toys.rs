@@ -1,0 +1,124 @@
+//! Small grammars used throughout tests, examples, and benchmarks.
+
+use wg_grammar::{Grammar, GrammarBuilder, SeqKind, Symbol};
+
+/// Figure 7's grammar: `A -> B c | D e ; B -> U z ; D -> V z ; U -> x ;
+/// V -> x`. LR(2) but not LR(1): on input `x z ...` the choice between
+/// `U -> x` and `V -> x` needs two tokens of lookahead, exercised by the
+/// IGLR parser's dynamic lookahead tracking.
+pub fn fig7_lr2() -> Grammar {
+    let mut b = GrammarBuilder::new("fig7");
+    let x = b.terminal("x");
+    let z = b.terminal("z");
+    let c = b.terminal("c");
+    let e = b.terminal("e");
+    let a_nt = b.nonterminal("A");
+    let b_nt = b.nonterminal("B");
+    let d_nt = b.nonterminal("D");
+    let u_nt = b.nonterminal("U");
+    let v_nt = b.nonterminal("V");
+    b.prod(a_nt, vec![Symbol::N(b_nt), Symbol::T(c)]);
+    b.prod(a_nt, vec![Symbol::N(d_nt), Symbol::T(e)]);
+    b.prod(b_nt, vec![Symbol::N(u_nt), Symbol::T(z)]);
+    b.prod(d_nt, vec![Symbol::N(v_nt), Symbol::T(z)]);
+    b.prod(u_nt, vec![Symbol::T(x)]);
+    b.prod(v_nt, vec![Symbol::T(x)]);
+    b.start(a_nt);
+    b.build().expect("fig7 grammar is well-formed")
+}
+
+/// The genuinely ambiguous expression grammar `E -> E + E | num`, optionally
+/// with `%left +` so the ambiguity is statically filtered (Section 4.1).
+pub fn ambiguous_expr(with_precedence: bool) -> Grammar {
+    let mut b = GrammarBuilder::new("amb_expr");
+    let plus = b.terminal("+");
+    let num = b.terminal("num");
+    if with_precedence {
+        b.left(&[plus]);
+    }
+    let e = b.nonterminal("E");
+    b.prod(e, vec![Symbol::N(e), Symbol::T(plus), Symbol::N(e)]);
+    b.prod(e, vec![Symbol::T(num)]);
+    b.start(e);
+    b.build().expect("ambiguous expr grammar is well-formed")
+}
+
+/// A deterministic statement-list language `prog = (id = num ;)+`, with the
+/// statement list declared as an associative sequence when `balanced` and
+/// as a plain left recursion otherwise — the ablation pair for the
+/// Section 3.4 scaling benchmark.
+pub fn stmt_list(balanced: bool) -> Grammar {
+    let mut b = GrammarBuilder::new(if balanced { "stmts_bal" } else { "stmts_lin" });
+    let id = b.terminal("id");
+    let eq = b.terminal("=");
+    let num = b.terminal("num");
+    let semi = b.terminal(";");
+    let stmt = b.nonterminal("stmt");
+    let prog = b.nonterminal("prog");
+    b.prod(
+        stmt,
+        vec![Symbol::T(id), Symbol::T(eq), Symbol::T(num), Symbol::T(semi)],
+    );
+    if balanced {
+        b.sequence(prog, Symbol::N(stmt), SeqKind::Plus, None);
+    } else {
+        b.prod(prog, vec![Symbol::N(stmt)]);
+        b.prod(prog, vec![Symbol::N(prog), Symbol::N(stmt)]);
+    }
+    b.start(prog);
+    b.build().expect("stmt list grammar is well-formed")
+}
+
+/// Nested parentheses `S -> ( S ) | x` — deep trees without sequences.
+pub fn nested_parens() -> Grammar {
+    let mut b = GrammarBuilder::new("parens");
+    let lp = b.terminal("(");
+    let rp = b.terminal(")");
+    let x = b.terminal("x");
+    let s = b.nonterminal("S");
+    b.prod(s, vec![Symbol::T(lp), Symbol::N(s), Symbol::T(rp)]);
+    b.prod(s, vec![Symbol::T(x)]);
+    b.start(s);
+    b.build().expect("paren grammar is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wg_lrtable::{LrTable, TableKind};
+
+    #[test]
+    fn fig7_conflicts_on_one_lookahead() {
+        let g = fig7_lr2();
+        let t = LrTable::build(&g, TableKind::Lalr);
+        assert!(!t.is_deterministic(), "LR(2) grammar must conflict");
+        assert!(t
+            .conflicts()
+            .remaining
+            .iter()
+            .all(|(_, term, _)| g.terminal_name(*term) == "z"));
+    }
+
+    #[test]
+    fn precedence_variant_is_deterministic() {
+        let amb = ambiguous_expr(false);
+        let filt = ambiguous_expr(true);
+        assert!(!LrTable::build(&amb, TableKind::Lalr).is_deterministic());
+        assert!(LrTable::build(&filt, TableKind::Lalr).is_deterministic());
+    }
+
+    #[test]
+    fn stmt_list_variants_build() {
+        for balanced in [true, false] {
+            let g = stmt_list(balanced);
+            let t = LrTable::build(&g, TableKind::Lalr);
+            assert!(t.is_deterministic());
+        }
+    }
+
+    #[test]
+    fn parens_grammar_builds() {
+        let g = nested_parens();
+        assert!(LrTable::build(&g, TableKind::Lalr).is_deterministic());
+    }
+}

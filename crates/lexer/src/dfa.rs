@@ -1,0 +1,164 @@
+//! Subset construction: NFA → DFA with dense byte-indexed transitions.
+
+use crate::nfa::Nfa;
+use std::collections::HashMap;
+
+/// Sentinel for "no transition".
+pub(crate) const DEAD: u32 = u32::MAX;
+
+/// A deterministic scanner automaton.
+#[derive(Debug, Clone)]
+pub(crate) struct Dfa {
+    /// `trans[state * 256 + byte]` = next state or [`DEAD`].
+    trans: Vec<u32>,
+    /// Accepting rule per state (lowest rule index wins), or `None`.
+    accept: Vec<Option<u32>>,
+    pub start: u32,
+}
+
+impl Dfa {
+    /// Determinizes `nfa`.
+    pub fn build(nfa: &Nfa) -> Dfa {
+        let start_set = nfa.eps_closure(&[nfa.start]);
+        let mut index: HashMap<Vec<usize>, u32> = HashMap::new();
+        index.insert(start_set.clone(), 0);
+        let mut sets = vec![start_set];
+        let mut trans: Vec<u32> = Vec::new();
+        let mut accept: Vec<Option<u32>> = Vec::new();
+        let mut work = vec![0u32];
+        trans.extend(std::iter::repeat_n(DEAD, 256));
+        accept.push(None);
+
+        while let Some(s) = work.pop() {
+            let set = sets[s as usize].clone();
+            accept[s as usize] = set
+                .iter()
+                .filter_map(|&n| nfa.nodes[n].accept)
+                .min();
+            // For each byte, compute the move set. Byte-at-a-time is simple
+            // and fast enough: lexer automata here are tiny.
+            for b in 0..=255u8 {
+                let mut mv: Vec<usize> = Vec::new();
+                for &n in &set {
+                    for (c, t) in &nfa.nodes[n].on {
+                        if c.contains(b) {
+                            mv.push(*t);
+                        }
+                    }
+                }
+                if mv.is_empty() {
+                    continue;
+                }
+                mv.sort_unstable();
+                mv.dedup();
+                let closed = nfa.eps_closure(&mv);
+                let next = *index.entry(closed.clone()).or_insert_with(|| {
+                    let id = sets.len() as u32;
+                    sets.push(closed);
+                    trans.extend(std::iter::repeat_n(DEAD, 256));
+                    accept.push(None);
+                    work.push(id);
+                    id
+                });
+                trans[s as usize * 256 + b as usize] = next;
+            }
+            // `accept` for freshly created states is filled when popped;
+            // make sure states that never get popped again still have it.
+        }
+        // Second pass for accept values of states created late (each state
+        // is popped exactly once, so this is already complete; recompute
+        // defensively for clarity).
+        for (i, set) in sets.iter().enumerate() {
+            accept[i] = set.iter().filter_map(|&n| nfa.nodes[n].accept).min();
+        }
+
+        Dfa {
+            trans,
+            accept,
+            start: 0,
+        }
+    }
+
+    /// Next state on `byte`, or `None`.
+    #[inline]
+    pub fn step(&self, state: u32, byte: u8) -> Option<u32> {
+        let t = self.trans[state as usize * 256 + byte as usize];
+        (t != DEAD).then_some(t)
+    }
+
+    /// The rule accepted in `state`, if any.
+    #[inline]
+    pub fn accepting(&self, state: u32) -> Option<u32> {
+        self.accept[state as usize]
+    }
+
+    /// Number of DFA states.
+    #[cfg(test)]
+    pub fn num_states(&self) -> usize {
+        self.accept.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::Regex;
+
+    fn dfa_for(patterns: &[&str]) -> Dfa {
+        let rules: Vec<Regex> = patterns.iter().map(|p| Regex::parse(p).unwrap()).collect();
+        Dfa::build(&Nfa::build(&rules))
+    }
+
+    fn longest(dfa: &Dfa, input: &[u8]) -> Option<(usize, u32)> {
+        let mut state = dfa.start;
+        let mut best = dfa.accepting(state).map(|r| (0, r));
+        for (i, &b) in input.iter().enumerate() {
+            match dfa.step(state, b) {
+                Some(next) => {
+                    state = next;
+                    if let Some(r) = dfa.accepting(state) {
+                        best = Some((i + 1, r));
+                    }
+                }
+                None => break,
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn keyword_beats_ident() {
+        let dfa = dfa_for(&["if", "[a-z]+"]);
+        assert_eq!(longest(&dfa, b"if "), Some((2, 0)));
+        assert_eq!(longest(&dfa, b"iffy "), Some((4, 1)), "longest match wins");
+        assert_eq!(longest(&dfa, b"zoo"), Some((3, 1)));
+    }
+
+    #[test]
+    fn numbers_and_floats() {
+        let dfa = dfa_for(&["[0-9]+\\.[0-9]+", "[0-9]+"]);
+        assert_eq!(longest(&dfa, b"3.14x"), Some((4, 0)));
+        assert_eq!(longest(&dfa, b"3.x"), Some((1, 1)), "backs off to int");
+        assert_eq!(longest(&dfa, b"42"), Some((2, 1)));
+    }
+
+    #[test]
+    fn dead_on_unmatched() {
+        let dfa = dfa_for(&["[a-z]+"]);
+        assert_eq!(longest(&dfa, b"123"), None);
+        assert_eq!(dfa.step(dfa.start, b'1'), None);
+    }
+
+    #[test]
+    fn dfa_is_finite_and_small() {
+        let dfa = dfa_for(&["[a-zA-Z_][a-zA-Z0-9_]*", "[0-9]+", "==|=|<=|<"]);
+        assert!(dfa.num_states() < 32, "got {}", dfa.num_states());
+    }
+
+    #[test]
+    fn multi_byte_operators() {
+        let dfa = dfa_for(&["==", "="]);
+        assert_eq!(longest(&dfa, b"=="), Some((2, 0)));
+        assert_eq!(longest(&dfa, b"=x"), Some((1, 1)));
+    }
+}

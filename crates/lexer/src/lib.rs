@@ -1,0 +1,54 @@
+//! Incremental lexer substrate: a scanner generator with per-token lookahead
+//! tracking and damage-bounded relexing.
+//!
+//! The paper's incremental parser consumes a token stream maintained by an
+//! *incremental lexer*: after a textual edit, only the tokens whose bytes or
+//! recorded lookahead touch the damaged region are rescanned, and the scanner
+//! resynchronizes with the old token stream as soon as a token boundary
+//! realigns (Section 3.2: "new material, in the form of tokens provided by an
+//! incremental lexer"; Appendix A's `relex` and the lexical-lookahead rule in
+//! `process_modifications_to_parse_dag`).
+//!
+//! The pipeline is classical: a regex subset is parsed into an AST, compiled
+//! via Thompson's construction into an NFA, determinized by subset
+//! construction, and driven with longest-match semantics where earlier rules
+//! win ties. The scanner records, for every token, how many bytes beyond the
+//! token's end it examined — exactly the lookahead information the
+//! incremental algorithms need to decide which tokens an edit invalidates.
+//!
+//! # Example
+//!
+//! ```
+//! use wg_lexer::LexerDef;
+//! use wg_document::Edit;
+//!
+//! # fn main() -> Result<(), wg_lexer::RegexError> {
+//! let mut def = LexerDef::new();
+//! let ident = def.rule("ident", "[a-zA-Z_][a-zA-Z0-9_]*")?;
+//! let num = def.rule("num", "[0-9]+")?;
+//! def.skip("ws", "[ \\t\\n]+")?;
+//! let lexer = def.compile();
+//!
+//! let out = lexer.lex("foo 42");
+//! assert_eq!(out.tokens.len(), 2);
+//! assert_eq!(out.tokens[0].rule, ident);
+//! assert_eq!(out.tokens[1].rule, num);
+//!
+//! // Edit "foo 42" -> "foo 421": only the number is rescanned.
+//! let relex = lexer.relex("foo 421", &out.tokens, Edit::insertion(6, 1));
+//! assert_eq!(relex.kept_prefix, 1);
+//! assert_eq!(relex.new_tokens.len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dfa;
+mod nfa;
+mod regex;
+mod scanner;
+
+pub use regex::{Regex, RegexError};
+pub use scanner::{LexOutput, Lexer, LexerDef, RelexResult, RuleId, TokenAt};

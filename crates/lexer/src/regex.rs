@@ -1,0 +1,473 @@
+//! A byte-oriented regular-expression subset for token definitions.
+//!
+//! Supported syntax: literals, `.`, character classes `[a-z_]` / `[^...]`,
+//! grouping `(...)`, alternation `|`, and the postfix operators `*` `+` `?`.
+//! Escapes: `\n \t \r \0 \\` plus any escaped punctuation, and the class
+//! shorthands `\d \w \s`.
+
+use std::fmt;
+
+/// A set of bytes, represented as a 256-bit mask.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct ByteClass(pub(crate) [u64; 4]);
+
+impl ByteClass {
+    /// The empty class.
+    pub fn empty() -> ByteClass {
+        ByteClass([0; 4])
+    }
+
+    /// A class containing a single byte.
+    pub fn single(b: u8) -> ByteClass {
+        let mut c = ByteClass::empty();
+        c.insert(b);
+        c
+    }
+
+    /// Adds a byte.
+    pub fn insert(&mut self, b: u8) {
+        self.0[(b >> 6) as usize] |= 1 << (b & 63);
+    }
+
+    /// Adds an inclusive byte range.
+    pub fn insert_range(&mut self, lo: u8, hi: u8) {
+        for b in lo..=hi {
+            self.insert(b);
+        }
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, b: u8) -> bool {
+        self.0[(b >> 6) as usize] & (1 << (b & 63)) != 0
+    }
+
+    /// The complement (excluding nothing else).
+    pub fn negated(&self) -> ByteClass {
+        ByteClass([!self.0[0], !self.0[1], !self.0[2], !self.0[3]])
+    }
+
+    /// Union with another class.
+    pub fn union(&self, other: &ByteClass) -> ByteClass {
+        ByteClass([
+            self.0[0] | other.0[0],
+            self.0[1] | other.0[1],
+            self.0[2] | other.0[2],
+            self.0[3] | other.0[3],
+        ])
+    }
+}
+
+impl fmt::Debug for ByteClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ByteClass[")?;
+        let mut first = true;
+        for b in 0..=255u8 {
+            if self.contains(b) {
+                if !first {
+                    write!(f, " ")?;
+                }
+                first = false;
+                if b.is_ascii_graphic() {
+                    write!(f, "{}", b as char)?;
+                } else {
+                    write!(f, "0x{b:02x}")?;
+                }
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+/// Parsed regular expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Regex {
+    /// Matches the empty string.
+    Empty,
+    /// Matches one byte from the class.
+    Class(ByteClass),
+    /// Matches the concatenation of the parts.
+    Concat(Vec<Regex>),
+    /// Matches any of the alternatives.
+    Alt(Vec<Regex>),
+    /// Kleene star.
+    Star(Box<Regex>),
+    /// One or more.
+    Plus(Box<Regex>),
+    /// Zero or one.
+    Opt(Box<Regex>),
+}
+
+/// Errors produced while parsing a pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegexError {
+    /// Byte position in the pattern.
+    pub position: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for RegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+impl Regex {
+    /// Parses a pattern string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegexError`] on malformed syntax (unbalanced parentheses,
+    /// dangling operators, bad escapes, empty groups, non-ASCII literals).
+    pub fn parse(pattern: &str) -> Result<Regex, RegexError> {
+        let mut p = Parser {
+            bytes: pattern.as_bytes(),
+            pos: 0,
+        };
+        let r = p.alt()?;
+        if p.pos != p.bytes.len() {
+            return Err(p.error("unexpected trailing input (unbalanced ')'?)"));
+        }
+        Ok(r)
+    }
+
+    /// A regex matching `text` literally (every byte escaped).
+    pub fn literal(text: &str) -> Regex {
+        let parts: Vec<Regex> = text
+            .bytes()
+            .map(|b| Regex::Class(ByteClass::single(b)))
+            .collect();
+        match parts.len() {
+            0 => Regex::Empty,
+            1 => parts.into_iter().next().expect("len checked"),
+            _ => Regex::Concat(parts),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, msg: &str) -> RegexError {
+        RegexError {
+            position: self.pos,
+            message: msg.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn alt(&mut self) -> Result<Regex, RegexError> {
+        let mut parts = vec![self.concat()?];
+        while self.peek() == Some(b'|') {
+            self.bump();
+            parts.push(self.concat()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("len checked")
+        } else {
+            Regex::Alt(parts)
+        })
+    }
+
+    fn concat(&mut self) -> Result<Regex, RegexError> {
+        let mut parts = Vec::new();
+        while let Some(b) = self.peek() {
+            if b == b'|' || b == b')' {
+                break;
+            }
+            parts.push(self.repeat()?);
+        }
+        Ok(match parts.len() {
+            0 => Regex::Empty,
+            1 => parts.pop().expect("len checked"),
+            _ => Regex::Concat(parts),
+        })
+    }
+
+    fn repeat(&mut self) -> Result<Regex, RegexError> {
+        let mut r = self.atom()?;
+        while let Some(op) = self.peek() {
+            match op {
+                b'*' => {
+                    self.bump();
+                    r = Regex::Star(Box::new(r));
+                }
+                b'+' => {
+                    self.bump();
+                    r = Regex::Plus(Box::new(r));
+                }
+                b'?' => {
+                    self.bump();
+                    r = Regex::Opt(Box::new(r));
+                }
+                _ => break,
+            }
+        }
+        Ok(r)
+    }
+
+    fn atom(&mut self) -> Result<Regex, RegexError> {
+        match self.bump() {
+            None => Err(self.error("unexpected end of pattern")),
+            Some(b'(') => {
+                let inner = self.alt()?;
+                if self.bump() != Some(b')') {
+                    return Err(self.error("expected ')'"));
+                }
+                Ok(inner)
+            }
+            Some(b'[') => self.class(),
+            Some(b'.') => {
+                // Any byte except newline, as in conventional regex tools.
+                let mut c = ByteClass::single(b'\n').negated();
+                let mut without_nul = ByteClass::empty();
+                without_nul.insert_range(1, 255);
+                c = ByteClass([
+                    c.0[0] & without_nul.0[0],
+                    c.0[1] & without_nul.0[1],
+                    c.0[2] & without_nul.0[2],
+                    c.0[3] & without_nul.0[3],
+                ]);
+                Ok(Regex::Class(c))
+            }
+            Some(b'\\') => {
+                let c = self.escape()?;
+                Ok(Regex::Class(c))
+            }
+            Some(b) if b"*+?)|]".contains(&b) => Err(self.error("dangling operator")),
+            Some(b) if b.is_ascii() => Ok(Regex::Class(ByteClass::single(b))),
+            Some(_) => Err(self.error("non-ASCII literal; use a byte class")),
+        }
+    }
+
+    fn escape(&mut self) -> Result<ByteClass, RegexError> {
+        match self.bump() {
+            None => Err(self.error("dangling backslash")),
+            Some(b'n') => Ok(ByteClass::single(b'\n')),
+            Some(b't') => Ok(ByteClass::single(b'\t')),
+            Some(b'r') => Ok(ByteClass::single(b'\r')),
+            Some(b'0') => Ok(ByteClass::single(0)),
+            Some(b'd') => {
+                let mut c = ByteClass::empty();
+                c.insert_range(b'0', b'9');
+                Ok(c)
+            }
+            Some(b'w') => {
+                let mut c = ByteClass::empty();
+                c.insert_range(b'a', b'z');
+                c.insert_range(b'A', b'Z');
+                c.insert_range(b'0', b'9');
+                c.insert(b'_');
+                Ok(c)
+            }
+            Some(b's') => {
+                let mut c = ByteClass::empty();
+                for b in [b' ', b'\t', b'\n', b'\r'] {
+                    c.insert(b);
+                }
+                Ok(c)
+            }
+            Some(b) if b.is_ascii() && !b.is_ascii_alphanumeric() => {
+                Ok(ByteClass::single(b))
+            }
+            Some(_) => Err(self.error("unknown escape")),
+        }
+    }
+
+    fn class(&mut self) -> Result<Regex, RegexError> {
+        let negate = if self.peek() == Some(b'^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut c = ByteClass::empty();
+        let mut any = false;
+        loop {
+            match self.bump() {
+                None => return Err(self.error("unterminated character class")),
+                Some(b']') if any => break,
+                Some(b']') => return Err(self.error("empty character class")),
+                Some(b'\\') => {
+                    let esc = self.escape()?;
+                    c = c.union(&esc);
+                    any = true;
+                }
+                Some(lo) => {
+                    // Range if followed by '-' and a non-']' byte.
+                    if self.peek() == Some(b'-')
+                        && self.bytes.get(self.pos + 1).is_some_and(|b| *b != b']')
+                    {
+                        self.bump(); // '-'
+                        let hi = match self.bump() {
+                            Some(b'\\') => {
+                                let esc = self.escape()?;
+                                // Ranges with class escapes are ambiguous.
+                                let mut only = None;
+                                for b in 0..=255u8 {
+                                    if esc.contains(b) {
+                                        if only.is_some() {
+                                            return Err(
+                                                self.error("class escape in range")
+                                            );
+                                        }
+                                        only = Some(b);
+                                    }
+                                }
+                                only.ok_or_else(|| self.error("empty escape in range"))?
+                            }
+                            Some(b) => b,
+                            None => return Err(self.error("unterminated range")),
+                        };
+                        if lo > hi {
+                            return Err(self.error("inverted range"));
+                        }
+                        c.insert_range(lo, hi);
+                    } else {
+                        c.insert(lo);
+                    }
+                    any = true;
+                }
+            }
+        }
+        Ok(Regex::Class(if negate {
+            // Never match NUL in negated classes (keeps EOF sentinels safe).
+            let mut n = c.negated();
+            let mut mask = ByteClass::empty();
+            mask.insert_range(1, 255);
+            n = ByteClass([
+                n.0[0] & mask.0[0],
+                n.0[1] & mask.0[1],
+                n.0[2] & mask.0[2],
+                n.0[3] & mask.0[3],
+            ]);
+            n
+        } else {
+            c
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_class_ops() {
+        let mut c = ByteClass::empty();
+        c.insert_range(b'a', b'c');
+        assert!(c.contains(b'a') && c.contains(b'c') && !c.contains(b'd'));
+        let n = c.negated();
+        assert!(!n.contains(b'b') && n.contains(b'z'));
+        let u = c.union(&ByteClass::single(b'z'));
+        assert!(u.contains(b'z') && u.contains(b'a'));
+        assert!(format!("{c:?}").contains('a'));
+    }
+
+    #[test]
+    fn parse_literal_and_operators() {
+        let r = Regex::parse("ab*c+d?").unwrap();
+        let Regex::Concat(parts) = r else { panic!() };
+        assert_eq!(parts.len(), 4);
+        assert!(matches!(parts[1], Regex::Star(_)));
+        assert!(matches!(parts[2], Regex::Plus(_)));
+        assert!(matches!(parts[3], Regex::Opt(_)));
+    }
+
+    #[test]
+    fn parse_alternation_and_groups() {
+        let r = Regex::parse("(a|b)c").unwrap();
+        let Regex::Concat(parts) = r else { panic!() };
+        assert!(matches!(parts[0], Regex::Alt(_)));
+    }
+
+    #[test]
+    fn parse_classes() {
+        let Regex::Class(c) = Regex::parse("[a-z_]").unwrap() else {
+            panic!()
+        };
+        assert!(c.contains(b'm') && c.contains(b'_') && !c.contains(b'0'));
+        let Regex::Class(n) = Regex::parse("[^a-z]").unwrap() else {
+            panic!()
+        };
+        assert!(!n.contains(b'm') && n.contains(b'0'));
+        assert!(!n.contains(0), "negated classes exclude NUL");
+        // ']' first, '-' last are literal-ish cases.
+        let Regex::Class(d) = Regex::parse("[0-9-]").unwrap() else {
+            panic!()
+        };
+        assert!(d.contains(b'-') && d.contains(b'5'));
+    }
+
+    #[test]
+    fn parse_escapes() {
+        let Regex::Class(c) = Regex::parse(r"\d").unwrap() else {
+            panic!()
+        };
+        assert!(c.contains(b'7') && !c.contains(b'a'));
+        let Regex::Class(w) = Regex::parse(r"\w").unwrap() else {
+            panic!()
+        };
+        assert!(w.contains(b'_'));
+        let Regex::Class(dot) = Regex::parse(r"\.").unwrap() else {
+            panic!()
+        };
+        assert!(dot.contains(b'.') && !dot.contains(b'a'));
+    }
+
+    #[test]
+    fn dot_excludes_newline() {
+        let Regex::Class(c) = Regex::parse(".").unwrap() else {
+            panic!()
+        };
+        assert!(c.contains(b'x') && !c.contains(b'\n') && !c.contains(0));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Regex::parse("(a").is_err());
+        assert!(Regex::parse("a)").is_err());
+        assert!(Regex::parse("[abc").is_err());
+        assert!(Regex::parse("[]").is_err());
+        assert!(Regex::parse("*a").is_err());
+        assert!(Regex::parse("[z-a]").is_err());
+        assert!(Regex::parse("\\").is_err());
+        let err = Regex::parse("(x").unwrap_err();
+        assert!(format!("{err}").contains("regex error"));
+    }
+
+    #[test]
+    fn literal_constructor_escapes_everything() {
+        let r = Regex::literal("a*b");
+        let Regex::Concat(parts) = r else { panic!() };
+        assert_eq!(parts.len(), 3);
+        let Regex::Class(star) = &parts[1] else { panic!() };
+        assert!(star.contains(b'*'));
+        assert_eq!(Regex::literal(""), Regex::Empty);
+        assert!(matches!(Regex::literal("x"), Regex::Class(_)));
+    }
+
+    #[test]
+    fn empty_alternative_is_empty_regex() {
+        let r = Regex::parse("a|").unwrap();
+        let Regex::Alt(parts) = r else { panic!() };
+        assert_eq!(parts[1], Regex::Empty);
+    }
+}

@@ -1,0 +1,508 @@
+//! The scanner: longest-match tokenization with per-token lookahead
+//! tracking, and the damage-bounded incremental `relex`.
+
+use crate::dfa::Dfa;
+use crate::nfa::Nfa;
+use crate::regex::{Regex, RegexError};
+use std::fmt;
+use wg_document::Edit;
+
+/// Identifier of a token rule, in declaration (priority) order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RuleId(pub u32);
+
+impl RuleId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone)]
+struct RuleDef {
+    name: String,
+    regex: Regex,
+    skip: bool,
+}
+
+/// A token-rule set under construction.
+///
+/// Rules declared earlier win ties (so declare keywords before identifiers).
+#[derive(Debug, Clone, Default)]
+pub struct LexerDef {
+    rules: Vec<RuleDef>,
+}
+
+impl LexerDef {
+    /// An empty definition.
+    pub fn new() -> LexerDef {
+        LexerDef::default()
+    }
+
+    /// Adds a token rule from a pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegexError`] if the pattern is malformed.
+    pub fn rule(&mut self, name: &str, pattern: &str) -> Result<RuleId, RegexError> {
+        let regex = Regex::parse(pattern)?;
+        self.rules.push(RuleDef {
+            name: name.to_string(),
+            regex,
+            skip: false,
+        });
+        Ok(RuleId(self.rules.len() as u32 - 1))
+    }
+
+    /// Adds a token rule matching `text` literally (keywords, punctuation).
+    pub fn literal(&mut self, name: &str, text: &str) -> RuleId {
+        self.rules.push(RuleDef {
+            name: name.to_string(),
+            regex: Regex::literal(text),
+            skip: false,
+        });
+        RuleId(self.rules.len() as u32 - 1)
+    }
+
+    /// Adds a rule whose matches are discarded (whitespace, comments).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegexError`] if the pattern is malformed.
+    pub fn skip(&mut self, name: &str, pattern: &str) -> Result<RuleId, RegexError> {
+        let id = self.rule(name, pattern)?;
+        self.rules[id.index()].skip = true;
+        Ok(id)
+    }
+
+    /// Compiles the rules into a scanner.
+    pub fn compile(self) -> Lexer {
+        let patterns: Vec<Regex> = self.rules.iter().map(|r| r.regex.clone()).collect();
+        let dfa = Dfa::build(&Nfa::build(&patterns));
+        Lexer {
+            dfa,
+            names: self.rules.iter().map(|r| r.name.clone()).collect(),
+            skip: self.rules.iter().map(|r| r.skip).collect(),
+        }
+    }
+}
+
+/// A token instance positioned in the document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TokenAt {
+    /// The rule that produced the token.
+    pub rule: RuleId,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Length in bytes.
+    pub len: usize,
+    /// Bytes beyond the token's end the scanner examined while deciding the
+    /// longest match. An edit inside `[start, start + len + lookahead)`
+    /// invalidates this token (Appendix A: "Add to T any terminal having
+    /// lexical lookahead in some t ∈ T"). `usize::MAX` means the scan was
+    /// cut short by end-of-input, so any append can affect the token.
+    pub lookahead: usize,
+}
+
+impl TokenAt {
+    /// One past the last byte of the token.
+    pub fn end(&self) -> usize {
+        self.start + self.len
+    }
+
+    /// One past the last byte the scanner examined for this token
+    /// (saturating for EOF-clamped scans).
+    pub fn scan_end(&self) -> usize {
+        self.end().saturating_add(self.lookahead)
+    }
+
+    /// The lexeme within `text`.
+    pub fn lexeme<'t>(&self, text: &'t str) -> &'t str {
+        &text[self.start..self.end()]
+    }
+}
+
+/// The result of a full lex.
+#[derive(Debug, Clone, Default)]
+pub struct LexOutput {
+    /// Non-skip tokens, in order.
+    pub tokens: Vec<TokenAt>,
+    /// Byte offsets the scanner could not match (each consumed one byte).
+    pub errors: Vec<usize>,
+}
+
+/// The result of an incremental relex (Section 3.2's incremental lexer).
+#[derive(Debug, Clone)]
+pub struct RelexResult {
+    /// Number of leading old tokens untouched by the edit.
+    pub kept_prefix: usize,
+    /// Freshly scanned tokens covering the damaged region, positioned in the
+    /// *new* text.
+    pub new_tokens: Vec<TokenAt>,
+    /// Number of trailing old tokens reused (their offsets shift by the
+    /// edit's delta).
+    pub kept_suffix: usize,
+    /// Unmatched byte offsets inside the rescanned region (new text).
+    pub errors: Vec<usize>,
+}
+
+/// A compiled scanner.
+#[derive(Debug, Clone)]
+pub struct Lexer {
+    dfa: Dfa,
+    names: Vec<String>,
+    skip: Vec<bool>,
+}
+
+impl Lexer {
+    /// Name of a rule.
+    pub fn rule_name(&self, r: RuleId) -> &str {
+        &self.names[r.index()]
+    }
+
+    /// Looks a rule up by name.
+    pub fn rule_by_name(&self, name: &str) -> Option<RuleId> {
+        self.names.iter().position(|n| n == name).map(|i| RuleId(i as u32))
+    }
+
+    /// Number of rules.
+    pub fn num_rules(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Scans one token starting at `pos`. Returns `(token, matched)` where
+    /// `matched` is false on a lexical error (the token then covers one byte
+    /// and has no meaningful rule).
+    fn scan_one(&self, text: &[u8], pos: usize) -> (TokenAt, bool) {
+        let mut state = self.dfa.start;
+        let mut best: Option<(usize, u32)> = self.dfa.accepting(state).map(|r| (pos, r));
+        let mut probe = pos;
+        // An EOF-terminated scan has effectively unbounded lookahead: any
+        // appended byte could have extended the match.
+        let mut clamped = true;
+        while probe < text.len() {
+            match self.dfa.step(state, text[probe]) {
+                Some(next) => {
+                    state = next;
+                    probe += 1;
+                    if let Some(r) = self.dfa.accepting(state) {
+                        best = Some((probe, r));
+                    }
+                }
+                None => {
+                    probe += 1; // the failing byte was examined
+                    clamped = false;
+                    break;
+                }
+            }
+        }
+        let la = |end: usize| if clamped { usize::MAX } else { probe - end };
+        match best {
+            // Zero-length matches would not make progress; treat as error.
+            Some((end, rule)) if end > pos => (
+                TokenAt {
+                    rule: RuleId(rule),
+                    start: pos,
+                    len: end - pos,
+                    lookahead: la(end),
+                },
+                true,
+            ),
+            _ => (
+                TokenAt {
+                    rule: RuleId(u32::MAX),
+                    start: pos,
+                    len: 1,
+                    lookahead: la(pos + 1),
+                },
+                false,
+            ),
+        }
+    }
+
+    /// Tokenizes `text` from scratch.
+    pub fn lex(&self, text: &str) -> LexOutput {
+        let bytes = text.as_bytes();
+        let mut out = LexOutput::default();
+        let mut pos = 0;
+        while pos < bytes.len() {
+            let (tok, ok) = self.scan_one(bytes, pos);
+            pos = tok.end();
+            if !ok {
+                out.errors.push(tok.start);
+            } else if !self.skip[tok.rule.index()] {
+                out.tokens.push(tok);
+            }
+        }
+        out
+    }
+
+    /// Relexes after `edit` transformed the old text (where `old` was lexed)
+    /// into `new_text`.
+    ///
+    /// Only the damaged region is rescanned: the prefix of `old` whose bytes
+    /// *and recorded lookahead* precede the edit is kept verbatim, and
+    /// scanning stops as soon as a token boundary realigns with an old token
+    /// start beyond the edit (the suffix is then reused with offsets shifted
+    /// by [`Edit::delta`]).
+    pub fn relex(&self, new_text: &str, old: &[TokenAt], edit: Edit) -> RelexResult {
+        let bytes = new_text.as_bytes();
+        let delta = edit.delta();
+        let edit_old_end = edit.old_end();
+
+        // Prefix: old tokens whose examined range ends at or before the edit.
+        let kept_prefix = old
+            .iter()
+            .take_while(|t| t.scan_end() <= edit.start)
+            .count();
+        let scan_start = if kept_prefix == 0 {
+            0
+        } else {
+            old[kept_prefix - 1].end()
+        };
+
+        // Index old token starts beyond the edit for suffix synchronization.
+        let mut suffix_candidates = old[kept_prefix..]
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.start >= edit_old_end)
+            .map(|(i, t)| (t.start, kept_prefix + i))
+            .collect::<Vec<_>>();
+        suffix_candidates.sort_unstable();
+
+        let mut new_tokens = Vec::new();
+        let mut errors = Vec::new();
+        let mut pos = scan_start;
+        let kept_suffix;
+        loop {
+            // Synchronization test at a token boundary.
+            let old_pos = pos as isize - delta;
+            if old_pos >= edit_old_end as isize {
+                if let Ok(ix) =
+                    suffix_candidates.binary_search_by_key(&(old_pos as usize), |c| c.0)
+                {
+                    kept_suffix = old.len() - suffix_candidates[ix].1;
+                    break;
+                }
+            }
+            if pos >= bytes.len() {
+                kept_suffix = 0;
+                break;
+            }
+            let (tok, ok) = self.scan_one(bytes, pos);
+            pos = tok.end();
+            if !ok {
+                errors.push(tok.start);
+            } else if !self.skip[tok.rule.index()] {
+                new_tokens.push(tok);
+            }
+        }
+
+        RelexResult {
+            kept_prefix,
+            new_tokens,
+            kept_suffix,
+            errors,
+        }
+    }
+
+    /// Applies a [`RelexResult`] to an old token vector, producing the full
+    /// new token vector (offsets of the reused suffix are shifted).
+    pub fn apply_relex(&self, old: &[TokenAt], r: &RelexResult, delta: isize) -> Vec<TokenAt> {
+        let mut out = Vec::with_capacity(r.kept_prefix + r.new_tokens.len() + r.kept_suffix);
+        out.extend_from_slice(&old[..r.kept_prefix]);
+        out.extend_from_slice(&r.new_tokens);
+        for t in &old[old.len() - r.kept_suffix..] {
+            out.push(TokenAt {
+                start: (t.start as isize + delta) as usize,
+                ..*t
+            });
+        }
+        out
+    }
+}
+
+impl fmt::Display for Lexer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Lexer({} rules)", self.names.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c_like() -> Lexer {
+        let mut def = LexerDef::new();
+        def.literal("typedef", "typedef");
+        def.literal("int", "int");
+        def.rule("ident", "[a-zA-Z_][a-zA-Z0-9_]*").unwrap();
+        def.rule("num", "[0-9]+").unwrap();
+        def.literal("lparen", "(");
+        def.literal("rparen", ")");
+        def.literal("semi", ";");
+        def.literal("eq", "=");
+        def.skip("ws", "[ \\t\\n]+").unwrap();
+        def.compile()
+    }
+
+    fn kinds(lx: &Lexer, text: &str) -> Vec<String> {
+        lx.lex(text)
+            .tokens
+            .iter()
+            .map(|t| lx.rule_name(t.rule).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokenization() {
+        let lx = c_like();
+        assert_eq!(
+            kinds(&lx, "int x = 42;"),
+            vec!["int", "ident", "eq", "num", "semi"]
+        );
+    }
+
+    #[test]
+    fn keywords_require_boundaries() {
+        let lx = c_like();
+        assert_eq!(kinds(&lx, "integer"), vec!["ident"], "longest match");
+        assert_eq!(kinds(&lx, "int eger"), vec!["int", "ident"]);
+    }
+
+    #[test]
+    fn lookahead_is_recorded() {
+        let lx = c_like();
+        let out = lx.lex("int x");
+        // "int" was decided after examining the following space.
+        assert_eq!(out.tokens[0].lookahead, 1);
+        // "x" ends at EOF: its scan is clamped, so lookahead is unbounded
+        // (an appended byte could extend the identifier).
+        assert_eq!(out.tokens[1].lookahead, usize::MAX);
+        assert_eq!(out.tokens[1].lexeme("int x"), "x");
+        assert_eq!(out.tokens[0].scan_end(), 4);
+    }
+
+    #[test]
+    fn lexical_errors_consume_one_byte() {
+        let lx = c_like();
+        let out = lx.lex("a # b");
+        assert_eq!(out.errors, vec![2]);
+        assert_eq!(out.tokens.len(), 2);
+    }
+
+    #[test]
+    fn relex_touches_only_damaged_region() {
+        let lx = c_like();
+        let old_text = "int alpha = 1; int beta = 2; int gamma = 3;";
+        let old = lx.lex(old_text).tokens;
+        // Replace "beta" with "betas": one token rescanned.
+        let new_text = "int alpha = 1; int betas = 2; int gamma = 3;";
+        let edit = Edit::insertion(23, 1);
+        let r = lx.relex(new_text, &old, edit);
+        assert!(r.errors.is_empty());
+        assert_eq!(r.new_tokens.len(), 1);
+        assert_eq!(r.new_tokens[0].lexeme(new_text), "betas");
+        assert_eq!(r.kept_prefix + 1 + r.kept_suffix, old.len());
+        let merged = lx.apply_relex(&old, &r, edit.delta());
+        let relexed_fresh = lx.lex(new_text).tokens;
+        assert_eq!(merged, relexed_fresh, "incremental == from-scratch");
+    }
+
+    #[test]
+    fn relex_equivalence_on_various_edits() {
+        let lx = c_like();
+        let old_text = "typedef int t; t x; x (y); int z = 12345;";
+        let old = lx.lex(old_text).tokens;
+        let cases: Vec<(usize, usize, &str)> = vec![
+            (0, 7, "int"),       // replace leading keyword
+            (8, 3, "long"),      // replace in the middle
+            (40, 0, "99"),       // insert inside the number
+            (15, 5, ""),         // delete "t x; "
+            (0, 0, "x"),         // prepend joins with `typedef`? no: ws at 7
+            (41, 0, " "),        // append near the end
+        ];
+        for (start, removed, insert) in cases {
+            let mut new_text = old_text.to_string();
+            new_text.replace_range(start..start + removed, insert);
+            let edit = Edit {
+                start,
+                removed,
+                inserted: insert.len(),
+            };
+            let r = lx.relex(&new_text, &old, edit);
+            let merged = lx.apply_relex(&old, &r, edit.delta());
+            assert_eq!(
+                merged,
+                lx.lex(&new_text).tokens,
+                "case @{start} -{removed} +{insert:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn relex_token_joining_across_edit() {
+        // Deleting the space in "int x" joins the tokens into "intx".
+        let lx = c_like();
+        let old_text = "int x;";
+        let old = lx.lex(old_text).tokens;
+        let edit = Edit::deletion(3, 1);
+        let new_text = "intx;";
+        let r = lx.relex(new_text, &old, edit);
+        let merged = lx.apply_relex(&old, &r, edit.delta());
+        assert_eq!(merged, lx.lex(new_text).tokens);
+        assert_eq!(merged[0].lexeme(new_text), "intx");
+        assert_eq!(lx.rule_name(merged[0].rule), "ident");
+    }
+
+    #[test]
+    fn relex_edit_in_lookahead_rescans_preceding_token() {
+        // "intx" -> deleting "x" exposes the keyword. The edit is *after*
+        // "int" but within its original scan range.
+        let lx = c_like();
+        let old_text = "intx;";
+        let old = lx.lex(old_text).tokens;
+        let edit = Edit::deletion(3, 1);
+        let new_text = "int;";
+        let r = lx.relex(new_text, &old, edit);
+        assert_eq!(r.kept_prefix, 0, "the identifier must be rescanned");
+        let merged = lx.apply_relex(&old, &r, edit.delta());
+        assert_eq!(merged, lx.lex(new_text).tokens);
+        assert_eq!(lx.rule_name(merged[0].rule), "int");
+    }
+
+    #[test]
+    fn relex_whole_file_replacement() {
+        let lx = c_like();
+        let old = lx.lex("a b").tokens;
+        let new_text = "1 2 3";
+        let edit = Edit {
+            start: 0,
+            removed: 3,
+            inserted: 5,
+        };
+        let r = lx.relex(new_text, &old, edit);
+        assert_eq!(r.kept_prefix, 0);
+        assert_eq!(r.kept_suffix, 0);
+        assert_eq!(r.new_tokens.len(), 3);
+    }
+
+    #[test]
+    fn relex_on_empty_old() {
+        let lx = c_like();
+        let r = lx.relex("int x;", &[], Edit::insertion(0, 6));
+        assert_eq!(r.new_tokens.len(), 3);
+        assert_eq!(r.kept_prefix, 0);
+        assert_eq!(r.kept_suffix, 0);
+    }
+
+    #[test]
+    fn rule_lookup_and_display() {
+        let lx = c_like();
+        assert_eq!(lx.rule_name(RuleId(0)), "typedef");
+        assert_eq!(lx.rule_by_name("num"), Some(RuleId(3)));
+        assert_eq!(lx.rule_by_name("nope"), None);
+        assert!(lx.num_rules() >= 9);
+        assert!(format!("{lx}").contains("rules"));
+    }
+}

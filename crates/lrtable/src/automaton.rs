@@ -1,0 +1,189 @@
+//! The canonical LR(0) collection: states and the GOTO graph.
+
+use crate::item::{Item, ItemSet};
+use std::collections::HashMap;
+use wg_grammar::{Grammar, ProdId, Symbol};
+
+/// Identifier of an LR automaton state (also the parse state stored in dag
+/// nodes by the incremental parser).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateId(pub u32);
+
+impl StateId {
+    /// The start state.
+    pub const START: StateId = StateId(0);
+
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The canonical collection of LR(0) item sets plus its transition graph.
+#[derive(Debug, Clone)]
+pub struct Lr0Automaton {
+    /// Kernel item sets, indexed by state.
+    kernels: Vec<ItemSet>,
+    /// Closures of the kernels (memoized; used by table construction).
+    closures: Vec<ItemSet>,
+    /// Transitions on any symbol.
+    transitions: HashMap<(StateId, Symbol), StateId>,
+}
+
+impl Lr0Automaton {
+    /// Builds the canonical collection for `g` starting from
+    /// `S' -> · S eof`.
+    pub fn build(g: &Grammar) -> Lr0Automaton {
+        let start_kernel = ItemSet::new(vec![Item::start(ProdId::AUGMENTED)]);
+        let mut kernels = vec![start_kernel.clone()];
+        let mut index: HashMap<ItemSet, StateId> = HashMap::new();
+        index.insert(start_kernel, StateId(0));
+        let mut transitions = HashMap::new();
+        let mut work = vec![StateId(0)];
+        let mut closures: Vec<ItemSet> = vec![kernels[0].closure(g)];
+
+        while let Some(state) = work.pop() {
+            let closure = closures[state.index()].clone();
+            // Deterministic order: collect distinct next-symbols in rhs order.
+            let mut syms: Vec<Symbol> = closure
+                .items()
+                .iter()
+                .filter_map(|it| it.next_symbol(g))
+                .collect();
+            syms.sort_unstable();
+            syms.dedup();
+            for sym in syms {
+                let kernel = closure.goto_kernel(g, sym);
+                debug_assert!(!kernel.is_empty());
+                let target = *index.entry(kernel.clone()).or_insert_with(|| {
+                    let id = StateId(kernels.len() as u32);
+                    kernels.push(kernel.clone());
+                    closures.push(kernel.closure(g));
+                    work.push(id);
+                    id
+                });
+                transitions.insert((state, sym), target);
+            }
+        }
+
+        Lr0Automaton {
+            kernels,
+            closures,
+            transitions,
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Kernel items of a state.
+    pub fn kernel(&self, s: StateId) -> &ItemSet {
+        &self.kernels[s.index()]
+    }
+
+    /// Full closure of a state.
+    pub fn closure(&self, s: StateId) -> &ItemSet {
+        &self.closures[s.index()]
+    }
+
+    /// The GOTO/shift target on `sym` from `s`, if defined.
+    pub fn goto(&self, s: StateId, sym: Symbol) -> Option<StateId> {
+        self.transitions.get(&(s, sym)).copied()
+    }
+
+    /// All transitions.
+    pub fn transitions(&self) -> impl Iterator<Item = (StateId, Symbol, StateId)> + '_ {
+        self.transitions.iter().map(|(&(s, sym), &t)| (s, sym, t))
+    }
+
+    /// Walks the GOTO path from `from` spelling `syms`; `None` if undefined.
+    pub fn walk(&self, from: StateId, syms: &[Symbol]) -> Option<StateId> {
+        syms.iter()
+            .try_fold(from, |s, sym| self.goto(s, *sym))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wg_grammar::{GrammarBuilder, Symbol};
+
+    /// Grammar 4.1 from the dragon book:
+    /// E -> E + T | T ; T -> T * F | F ; F -> ( E ) | id
+    /// Its canonical LR(0) collection has 12 states.
+    fn dragon() -> Grammar {
+        let mut b = GrammarBuilder::new("dragon");
+        let plus = b.terminal("+");
+        let star = b.terminal("*");
+        let lp = b.terminal("(");
+        let rp = b.terminal(")");
+        let id = b.terminal("id");
+        let e = b.nonterminal("E");
+        let t = b.nonterminal("T");
+        let f = b.nonterminal("F");
+        b.prod(e, vec![Symbol::N(e), Symbol::T(plus), Symbol::N(t)]);
+        b.prod(e, vec![Symbol::N(t)]);
+        b.prod(t, vec![Symbol::N(t), Symbol::T(star), Symbol::N(f)]);
+        b.prod(t, vec![Symbol::N(f)]);
+        b.prod(f, vec![Symbol::T(lp), Symbol::N(e), Symbol::T(rp)]);
+        b.prod(f, vec![Symbol::T(id)]);
+        b.start(e);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dragon_has_twelve_lr0_states_plus_accept() {
+        let g = dragon();
+        let a = Lr0Automaton::build(&g);
+        // The textbook count (12) excludes the post-EOF accept state our
+        // augmented `S' -> S eof` adds, so we see 13.
+        assert_eq!(a.num_states(), 13);
+    }
+
+    #[test]
+    fn goto_paths_are_consistent() {
+        let g = dragon();
+        let a = Lr0Automaton::build(&g);
+        let e = g.nonterminal_by_name("E").unwrap();
+        let id = g.terminal_by_name("id").unwrap();
+        let s_e = a.goto(StateId::START, Symbol::N(e)).expect("goto on E");
+        let s_id = a.goto(StateId::START, Symbol::T(id)).expect("shift id");
+        assert_ne!(s_e, s_id);
+        assert_eq!(
+            a.walk(StateId::START, &[Symbol::N(e)]),
+            Some(s_e),
+            "walk matches single goto"
+        );
+        assert_eq!(a.walk(StateId::START, &[Symbol::N(e), Symbol::N(e)]), None);
+    }
+
+    #[test]
+    fn determinism_of_construction() {
+        let g = dragon();
+        let a1 = Lr0Automaton::build(&g);
+        let a2 = Lr0Automaton::build(&g);
+        assert_eq!(a1.num_states(), a2.num_states());
+        for s in 0..a1.num_states() {
+            assert_eq!(
+                a1.kernel(StateId(s as u32)),
+                a2.kernel(StateId(s as u32)),
+                "state numbering must be deterministic"
+            );
+        }
+    }
+
+    #[test]
+    fn closures_are_supersets_of_kernels() {
+        let g = dragon();
+        let a = Lr0Automaton::build(&g);
+        for s in 0..a.num_states() {
+            let sid = StateId(s as u32);
+            for item in a.kernel(sid).items() {
+                assert!(a.closure(sid).items().contains(item));
+            }
+        }
+    }
+}

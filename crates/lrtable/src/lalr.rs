@@ -1,0 +1,276 @@
+//! LALR(1) lookahead computation via the DeRemer–Pennello relational method.
+//!
+//! Computes, for every (state, final item) pair, the exact LALR(1) lookahead
+//! set, using the classic `reads` / `includes` / `lookback` relations and the
+//! digraph (SCC-collapsing) fixed-point algorithm.
+
+use crate::automaton::{Lr0Automaton, StateId};
+use std::collections::HashMap;
+use wg_grammar::{Grammar, GrammarAnalysis, NonTerminal, ProdId, Symbol, TermSet};
+
+/// LALR lookahead sets: `la[(state, prod)]` is the set of terminals on which
+/// `prod` should be reduced in `state`.
+pub(crate) type Lookaheads = HashMap<(StateId, ProdId), TermSet>;
+
+/// Computes LALR(1) lookaheads for every reduction of `g`.
+pub(crate) fn lalr_lookaheads(
+    g: &Grammar,
+    an: &GrammarAnalysis,
+    auto: &Lr0Automaton,
+) -> Lookaheads {
+    // 1. Enumerate nonterminal transitions (p, A).
+    let mut trans: Vec<(StateId, NonTerminal)> = Vec::new();
+    let mut trans_ix: HashMap<(StateId, NonTerminal), usize> = HashMap::new();
+    for (p, sym, _) in auto.transitions() {
+        if let Symbol::N(a) = sym {
+            trans_ix.entry((p, a)).or_insert_with(|| {
+                trans.push((p, a));
+                trans.len() - 1
+            });
+        }
+    }
+
+    let universe = g.num_terminals();
+
+    // 2. DR(p, A): terminals shiftable directly out of goto(p, A).
+    let mut dr: Vec<TermSet> = Vec::with_capacity(trans.len());
+    for &(p, a) in &trans {
+        let r = auto.goto(p, Symbol::N(a)).expect("transition exists");
+        let mut set = TermSet::empty(universe);
+        for t in g.terminals() {
+            if auto.goto(r, Symbol::T(t)).is_some() {
+                set.insert(t);
+            }
+        }
+        dr.push(set);
+    }
+
+    // 3. `reads`: (p, A) reads (r, C) iff goto(p, A) = r and C is a nullable
+    //    nonterminal transition out of r.
+    let mut reads: Vec<Vec<usize>> = vec![Vec::new(); trans.len()];
+    for (i, &(p, a)) in trans.iter().enumerate() {
+        let r = auto.goto(p, Symbol::N(a)).expect("transition exists");
+        for c in g.nonterminals() {
+            if an.nullable(c) {
+                if let Some(&j) = trans_ix.get(&(r, c)) {
+                    reads[i].push(j);
+                }
+            }
+        }
+    }
+
+    // 4. Read = digraph(reads, DR).
+    let read = digraph(&reads, &dr);
+
+    // 5. `includes` and `lookback` in one sweep over (production, state).
+    let mut includes: Vec<Vec<usize>> = vec![Vec::new(); trans.len()];
+    // lookback[(q, prod)] -> transition indices (p', lhs).
+    let mut lookback: HashMap<(StateId, ProdId), Vec<usize>> = HashMap::new();
+    for (prod_id, prod) in g.productions() {
+        let lhs = prod.lhs();
+        for p0 in 0..auto.num_states() {
+            let p0 = StateId(p0 as u32);
+            // (p0, lhs) must itself be a nonterminal transition for the
+            // relations to be defined.
+            let Some(&start_ix) = trans_ix.get(&(p0, lhs)) else {
+                continue;
+            };
+            // Walk the rhs; record states along the way.
+            let mut states = Vec::with_capacity(prod.arity() + 1);
+            states.push(p0);
+            let mut ok = true;
+            for sym in prod.rhs() {
+                match auto.goto(*states.last().expect("nonempty"), *sym) {
+                    Some(next) => states.push(next),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            // includes: for positions i with rhs[i] = A and nullable tail.
+            let rhs = prod.rhs();
+            let mut tail_nullable = true;
+            for i in (0..rhs.len()).rev() {
+                if let Symbol::N(a) = rhs[i] {
+                    if tail_nullable {
+                        if let Some(&ix) = trans_ix.get(&(states[i], a)) {
+                            includes[ix].push(start_ix);
+                        }
+                    }
+                }
+                tail_nullable = tail_nullable
+                    && match rhs[i] {
+                        Symbol::T(_) => false,
+                        Symbol::N(a) => an.nullable(a),
+                    };
+            }
+            // lookback: the reduction of `prod` in the final state traces
+            // back to the transition (p0, lhs).
+            lookback
+                .entry((*states.last().expect("nonempty"), prod_id))
+                .or_default()
+                .push(start_ix);
+        }
+    }
+
+    // 6. Follow = digraph(includes, Read).
+    let follow = digraph(&includes, &read);
+
+    // 7. LA(q, prod) = union of Follow over lookback.
+    let mut la = Lookaheads::new();
+    for ((q, prod_id), txs) in lookback {
+        let mut set = TermSet::empty(universe);
+        for ix in txs {
+            set.union_with(&follow[ix]);
+        }
+        la.insert((q, prod_id), set);
+    }
+    la
+}
+
+/// The DeRemer–Pennello digraph algorithm: computes
+/// `F(x) = F0(x) ∪ ⋃ { F(y) | x R y }` with SCC collapsing.
+fn digraph(edges: &[Vec<usize>], f0: &[TermSet]) -> Vec<TermSet> {
+    let n = edges.len();
+    let mut f = f0.to_vec();
+    let mut mark = vec![0usize; n]; // 0 unvisited, usize::MAX done, else depth
+    let mut stack = Vec::new();
+    for x in 0..n {
+        if mark[x] == 0 {
+            traverse(x, edges, &mut f, &mut mark, &mut stack);
+        }
+    }
+    f
+}
+
+fn traverse(
+    x: usize,
+    edges: &[Vec<usize>],
+    f: &mut [TermSet],
+    mark: &mut [usize],
+    stack: &mut Vec<usize>,
+) {
+    stack.push(x);
+    let depth = stack.len();
+    mark[x] = depth;
+    for &y in &edges[x] {
+        if mark[y] == 0 {
+            traverse(y, edges, f, mark, stack);
+        }
+        mark[x] = mark[x].min(mark[y]);
+        let fy = f[y].clone();
+        f[x].union_with(&fy);
+    }
+    if mark[x] == depth {
+        loop {
+            let z = stack.pop().expect("stack nonempty inside SCC pop");
+            mark[z] = usize::MAX;
+            if z == x {
+                break;
+            }
+            f[z] = f[x].clone();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wg_grammar::GrammarBuilder;
+
+    /// The canonical "LALR but not SLR" grammar (dragon book 4.5x):
+    /// S -> L = R | R ; L -> * R | id ; R -> L
+    /// SLR has a shift/reduce conflict on `=`; LALR does not.
+    fn lalr_not_slr() -> (Grammar, GrammarAnalysis, Lr0Automaton) {
+        let mut b = GrammarBuilder::new("g");
+        let eq = b.terminal("=");
+        let star = b.terminal("*");
+        let id = b.terminal("id");
+        let s = b.nonterminal("S");
+        let l = b.nonterminal("L");
+        let r = b.nonterminal("R");
+        b.prod(s, vec![Symbol::N(l), Symbol::T(eq), Symbol::N(r)]);
+        b.prod(s, vec![Symbol::N(r)]);
+        b.prod(l, vec![Symbol::T(star), Symbol::N(r)]);
+        b.prod(l, vec![Symbol::T(id)]);
+        b.prod(r, vec![Symbol::N(l)]);
+        b.start(s);
+        let g = b.build().unwrap();
+        let an = GrammarAnalysis::new(&g);
+        let auto = Lr0Automaton::build(&g);
+        (g, an, auto)
+    }
+
+    #[test]
+    fn lalr_lookahead_excludes_eq_for_r_to_l() {
+        let (g, an, auto) = lalr_not_slr();
+        let la = lalr_lookaheads(&g, &an, &auto);
+        let eq = g.terminal_by_name("=").unwrap();
+        let l = g.nonterminal_by_name("L").unwrap();
+        let r = g.nonterminal_by_name("R").unwrap();
+        // Find the production R -> L.
+        let r_to_l = g
+            .productions()
+            .find(|(_, p)| p.lhs() == r && p.rhs() == [Symbol::N(l)])
+            .unwrap()
+            .0;
+        // Find the state whose kernel contains both L -> id · like items —
+        // i.e. the state reached by shifting `id` from the start state.
+        let id_t = g.terminal_by_name("id").unwrap();
+        let q = auto.goto(StateId::START, Symbol::T(id_t)).unwrap();
+        // In the state reached on L from start, R -> L· must NOT have `=` in
+        // its LALR lookahead (SLR would put it there via FOLLOW(R)).
+        let l_state = auto.goto(StateId::START, Symbol::N(l)).unwrap();
+        let set = la.get(&(l_state, r_to_l)).expect("reduction exists");
+        assert!(
+            !set.contains(eq),
+            "LALR must exclude '=' from LA(R -> L) in the conflict state; got {set:?}"
+        );
+        // FOLLOW(R) *does* contain '=' — confirming SLR would conflict here.
+        assert!(an.follow(r).contains(eq));
+        // Sanity: reducing L -> id is possible in state q.
+        let l_to_id = g
+            .productions()
+            .find(|(_, p)| p.lhs() == l && p.rhs() == [Symbol::T(id_t)])
+            .unwrap()
+            .0;
+        assert!(la.contains_key(&(q, l_to_id)));
+    }
+
+    #[test]
+    fn la_is_subset_of_follow() {
+        let (g, an, auto) = lalr_not_slr();
+        let la = lalr_lookaheads(&g, &an, &auto);
+        for ((_, prod), set) in &la {
+            let lhs = g.production(*prod).lhs();
+            for t in set.iter() {
+                assert!(
+                    an.follow(lhs).contains(t),
+                    "LALR lookahead must be a subset of FOLLOW"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_final_item_has_lookaheads() {
+        let (g, _an, auto) = lalr_not_slr();
+        let an = GrammarAnalysis::new(&g);
+        let la = lalr_lookaheads(&g, &an, &auto);
+        for s in 0..auto.num_states() {
+            let sid = StateId(s as u32);
+            for item in auto.closure(sid).items() {
+                if item.is_final(&g) && item.prod != ProdId::AUGMENTED {
+                    assert!(
+                        la.contains_key(&(sid, item.prod)),
+                        "state {s} final item missing lookahead set"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! LR parse-table construction for the Wagner–Graham reproduction.
+//!
+//! Builds LR(0) automata and SLR(1)/LALR(1) action tables from any
+//! context-free grammar produced by `wg-grammar`. Unlike a conventional
+//! generator, **conflicts are retained in the table** — the GLR and IGLR
+//! parsers fork on them (Section 3.1 of the paper). LALR(1) is the default,
+//! as the paper prescribes: LALR tables are much smaller than LR(1) tables,
+//! parse faster in non-deterministic regions, and merge states with like
+//! cores, which improves incremental reuse (Section 3.3).
+//!
+//! Static syntactic filters (Section 4.1) are implemented here: yacc-style
+//! precedence/associativity declarations remove shift/reduce conflicts at
+//! table-construction time, so statically filtered ambiguity never causes
+//! non-deterministic parsing.
+//!
+//! The table also precomputes *nonterminal reductions* (Section 3.2): for a
+//! state `s` and nonterminal `N`, reductions may be performed with `N` as
+//! lookahead when every terminal in FIRST(N) commands identical reduce
+//! actions and `N` is not nullable — this is what lets the incremental
+//! parser avoid walking into reused subtrees to find their leading terminal.
+//!
+//! # Example
+//!
+//! ```
+//! use wg_grammar::{GrammarBuilder, Symbol};
+//! use wg_lrtable::{LrTable, TableKind};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = GrammarBuilder::new("list");
+//! let x = b.terminal("x");
+//! let l = b.nonterminal("L");
+//! b.prod(l, vec![Symbol::N(l), Symbol::T(x)]);
+//! b.prod(l, vec![Symbol::T(x)]);
+//! b.start(l);
+//! let g = b.build()?;
+//! let table = LrTable::build(&g, TableKind::Lalr);
+//! assert!(table.is_deterministic());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod automaton;
+mod item;
+mod lalr;
+mod lr1;
+mod table;
+
+pub use automaton::{Lr0Automaton, StateId};
+pub use item::{Item, ItemSet};
+pub use lr1::{lr1_metrics, Lr1Metrics};
+pub use table::{Action, ConflictKind, ConflictReport, LrTable, TableKind};

@@ -1,0 +1,578 @@
+//! The conflict-preserving LR parse table driving all four parsers in the
+//! workspace (deterministic batch, incremental deterministic, batch GLR,
+//! incremental GLR).
+
+use crate::automaton::{Lr0Automaton, StateId};
+use crate::lalr::lalr_lookaheads;
+use std::fmt;
+use wg_grammar::{
+    Assoc, Grammar, GrammarAnalysis, NonTerminal, ProdId, Symbol, Terminal, TermSet,
+};
+
+/// A parse action in one ACTION-table cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Action {
+    /// Shift the lookahead and enter the given state.
+    Shift(StateId),
+    /// Reduce by the given production.
+    Reduce(ProdId),
+    /// Accept the input (only ever on EOF).
+    Accept,
+}
+
+/// Which lookahead computation to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableKind {
+    /// SLR(1): reduce on FOLLOW(lhs). Simple but over-approximates.
+    Slr,
+    /// LALR(1) via DeRemer–Pennello — the paper's choice (Section 3.3).
+    Lalr,
+}
+
+/// The kind of a table conflict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConflictKind {
+    /// Shift/reduce.
+    ShiftReduce,
+    /// Reduce/reduce.
+    ReduceReduce,
+}
+
+/// Summary of conflicts found (and statically resolved) during construction.
+///
+/// Remaining conflicts are *not* errors: the GLR machinery forks on them.
+/// Statically resolved conflicts are the paper's static syntactic filters.
+#[derive(Debug, Clone, Default)]
+pub struct ConflictReport {
+    /// Cells still holding >1 action after static filtering: (state,
+    /// terminal, kind).
+    pub remaining: Vec<(StateId, Terminal, ConflictKind)>,
+    /// Number of shift/reduce conflicts removed by precedence declarations.
+    pub resolved_by_precedence: usize,
+    /// Number of actions deleted by `%nonassoc` (turned into errors).
+    pub nonassoc_errors: usize,
+}
+
+impl ConflictReport {
+    /// Whether any conflicts survive (the grammar needs GLR).
+    pub fn has_conflicts(&self) -> bool {
+        !self.remaining.is_empty()
+    }
+}
+
+/// A conflict-preserving SLR(1)/LALR(1) parse table.
+#[derive(Debug, Clone)]
+pub struct LrTable {
+    kind: TableKind,
+    num_states: usize,
+    num_terminals: usize,
+    num_nonterminals: usize,
+    /// `actions[s * num_terminals + t]`, each cell sorted and deduplicated.
+    actions: Vec<Vec<Action>>,
+    /// `gotos[s * num_nonterminals + n]`.
+    gotos: Vec<Option<StateId>>,
+    /// Precomputed nonterminal reductions (Section 3.2): `Some(reductions)`
+    /// when every terminal in FIRST(N) agrees; `None` when the incremental
+    /// parser must break the lookahead subtree down to find a terminal.
+    nt_reduce: Vec<Option<Vec<ProdId>>>,
+    conflicts: ConflictReport,
+    automaton: Lr0Automaton,
+}
+
+impl LrTable {
+    /// Builds the table for `g`, retaining conflicts and applying static
+    /// precedence filters.
+    pub fn build(g: &Grammar, kind: TableKind) -> LrTable {
+        let an = GrammarAnalysis::new(g);
+        Self::build_with_analysis(g, &an, kind)
+    }
+
+    /// As [`LrTable::build`], reusing a precomputed [`GrammarAnalysis`].
+    pub fn build_with_analysis(g: &Grammar, an: &GrammarAnalysis, kind: TableKind) -> LrTable {
+        let auto = Lr0Automaton::build(g);
+        let num_states = auto.num_states();
+        let num_terminals = g.num_terminals();
+        let num_nonterminals = g.num_nonterminals();
+
+        let mut actions: Vec<Vec<Action>> = vec![Vec::new(); num_states * num_terminals];
+        let mut gotos: Vec<Option<StateId>> = vec![None; num_states * num_nonterminals];
+
+        // Shifts and gotos straight from the automaton. A shift on EOF only
+        // arises from `S' -> S · eof`; it becomes Accept.
+        for (s, sym, t) in auto.transitions() {
+            match sym {
+                Symbol::T(term) if term.is_eof() => {
+                    actions[s.index() * num_terminals].push(Action::Accept);
+                }
+                Symbol::T(term) => {
+                    actions[s.index() * num_terminals + term.index()].push(Action::Shift(t));
+                }
+                Symbol::N(n) => {
+                    gotos[s.index() * num_nonterminals + n.index()] = Some(t);
+                }
+            }
+        }
+
+        // Reductions.
+        let lalr = match kind {
+            TableKind::Lalr => Some(lalr_lookaheads(g, an, &auto)),
+            TableKind::Slr => None,
+        };
+        for s in 0..num_states {
+            let sid = StateId(s as u32);
+            for item in auto.closure(sid).items() {
+                if !item.is_final(g) || item.prod == ProdId::AUGMENTED {
+                    continue;
+                }
+                let lhs = g.production(item.prod).lhs();
+                let la: TermSet = match &lalr {
+                    Some(map) => map
+                        .get(&(sid, item.prod))
+                        .cloned()
+                        .unwrap_or_else(|| TermSet::empty(num_terminals)),
+                    None => an.follow(lhs).clone(),
+                };
+                for t in la.iter() {
+                    actions[s * num_terminals + t.index()].push(Action::Reduce(item.prod));
+                }
+            }
+        }
+
+        // Canonicalize cells and apply static filters.
+        let mut conflicts = ConflictReport::default();
+        for s in 0..num_states {
+            for t in 0..num_terminals {
+                let cell = &mut actions[s * num_terminals + t];
+                cell.sort_unstable();
+                cell.dedup();
+                if cell.len() > 1 {
+                    resolve_cell(g, Terminal::from_index(t), cell, &mut conflicts);
+                }
+                if cell.len() > 1 {
+                    let kind = if cell.iter().any(|a| matches!(a, Action::Shift(_))) {
+                        ConflictKind::ShiftReduce
+                    } else {
+                        ConflictKind::ReduceReduce
+                    };
+                    conflicts
+                        .remaining
+                        .push((StateId(s as u32), Terminal::from_index(t), kind));
+                }
+            }
+        }
+
+        // Nonterminal-reduction precomputation (Section 3.2).
+        let mut nt_reduce = vec![None; num_states * num_nonterminals];
+        for s in 0..num_states {
+            for n in g.nonterminals() {
+                if an.nullable(n) {
+                    continue; // `provided that N does not generate ε`
+                }
+                let first = an.first(n);
+                if first.is_empty() {
+                    continue;
+                }
+                let mut agreed: Option<Vec<ProdId>> = None;
+                let mut ok = true;
+                for t in first.iter() {
+                    let reduces: Vec<ProdId> = actions[s * num_terminals + t.index()]
+                        .iter()
+                        .filter_map(|a| match a {
+                            Action::Reduce(p) => Some(*p),
+                            _ => None,
+                        })
+                        .collect();
+                    match &agreed {
+                        None => agreed = Some(reduces),
+                        Some(prev) if *prev == reduces => {}
+                        Some(_) => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if ok {
+                    nt_reduce[s * num_nonterminals + n.index()] =
+                        Some(agreed.unwrap_or_default());
+                }
+            }
+        }
+
+        LrTable {
+            kind,
+            num_states,
+            num_terminals,
+            num_nonterminals,
+            actions,
+            gotos,
+            nt_reduce,
+            conflicts,
+            automaton: auto,
+        }
+    }
+
+    /// Which lookahead computation built this table.
+    pub fn kind(&self) -> TableKind {
+        self.kind
+    }
+
+    /// Number of automaton states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// The start state.
+    pub fn start_state(&self) -> StateId {
+        StateId::START
+    }
+
+    /// The actions for `(state, terminal)`; empty means syntax error.
+    #[inline]
+    pub fn actions(&self, s: StateId, t: Terminal) -> &[Action] {
+        &self.actions[s.index() * self.num_terminals + t.index()]
+    }
+
+    /// The GOTO target for `(state, nonterminal)`, if defined.
+    #[inline]
+    pub fn goto(&self, s: StateId, n: NonTerminal) -> Option<StateId> {
+        self.gotos[s.index() * self.num_nonterminals + n.index()]
+    }
+
+    /// Precomputed reductions valid with nonterminal lookahead `n` in state
+    /// `s` (Section 3.2). `None` means the lookahead subtree must be broken
+    /// down to its leading terminal.
+    #[inline]
+    pub fn nt_reductions(&self, s: StateId, n: NonTerminal) -> Option<&[ProdId]> {
+        self.nt_reduce[s.index() * self.num_nonterminals + n.index()].as_deref()
+    }
+
+    /// Whether no cell holds more than one action.
+    pub fn is_deterministic(&self) -> bool {
+        !self.conflicts.has_conflicts()
+    }
+
+    /// The conflict report (remaining + statically resolved).
+    pub fn conflicts(&self) -> &ConflictReport {
+        &self.conflicts
+    }
+
+    /// The underlying LR(0) automaton (for diagnostics and tests).
+    pub fn automaton(&self) -> &Lr0Automaton {
+        &self.automaton
+    }
+
+    /// Total number of nonempty ACTION entries (a size metric for
+    /// Section 5-style reporting).
+    pub fn num_action_entries(&self) -> usize {
+        self.actions.iter().map(|c| c.len()).sum()
+    }
+
+    /// Renders one state's kernel items (diagnostics).
+    pub fn display_state(&self, g: &Grammar, s: StateId) -> String {
+        let mut out = format!("state {}:\n", s.index());
+        for item in self.automaton.kernel(s).items() {
+            out.push_str("  ");
+            out.push_str(&item.display(g));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for TableKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableKind::Slr => write!(f, "SLR(1)"),
+            TableKind::Lalr => write!(f, "LALR(1)"),
+        }
+    }
+}
+
+/// Applies yacc-style precedence to a conflicted cell (the paper's *static
+/// syntactic filters*, Section 4.1).
+fn resolve_cell(
+    g: &Grammar,
+    term: Terminal,
+    cell: &mut Vec<Action>,
+    report: &mut ConflictReport,
+) {
+    let term_prec = g.terminal_precedence(term);
+    let Some(tp) = term_prec else { return };
+    let shifts: Vec<Action> = cell
+        .iter()
+        .copied()
+        .filter(|a| matches!(a, Action::Shift(_)))
+        .collect();
+    if shifts.is_empty() {
+        return; // reduce/reduce: never resolved by precedence (as in yacc)
+    }
+    let mut drop_shift = false;
+    let mut dropped: Vec<Action> = Vec::new();
+    for a in cell.iter() {
+        let Action::Reduce(p) = a else { continue };
+        let Some(pp) = g.production(*p).precedence() else {
+            continue;
+        };
+        if pp.level > tp.level {
+            drop_shift = true;
+            report.resolved_by_precedence += 1;
+        } else if pp.level < tp.level {
+            dropped.push(*a);
+            report.resolved_by_precedence += 1;
+        } else {
+            match tp.assoc {
+                Assoc::Left => {
+                    drop_shift = true;
+                    report.resolved_by_precedence += 1;
+                }
+                Assoc::Right => {
+                    dropped.push(*a);
+                    report.resolved_by_precedence += 1;
+                }
+                Assoc::NonAssoc => {
+                    drop_shift = true;
+                    dropped.push(*a);
+                    report.nonassoc_errors += 1;
+                }
+            }
+        }
+    }
+    cell.retain(|a| {
+        if drop_shift && matches!(a, Action::Shift(_)) {
+            return false;
+        }
+        !dropped.contains(a)
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wg_grammar::GrammarBuilder;
+
+    fn expr_ambiguous(with_prec: bool) -> Grammar {
+        // E -> E + E | E * E | num — genuinely ambiguous.
+        let mut b = GrammarBuilder::new("expr");
+        let plus = b.terminal("+");
+        let star = b.terminal("*");
+        let num = b.terminal("num");
+        if with_prec {
+            b.left(&[plus]);
+            b.left(&[star]);
+        }
+        let e = b.nonterminal("E");
+        b.prod(e, vec![Symbol::N(e), Symbol::T(plus), Symbol::N(e)]);
+        b.prod(e, vec![Symbol::N(e), Symbol::T(star), Symbol::N(e)]);
+        b.prod(e, vec![Symbol::T(num)]);
+        b.start(e);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn ambiguous_grammar_keeps_conflicts() {
+        let g = expr_ambiguous(false);
+        let t = LrTable::build(&g, TableKind::Lalr);
+        assert!(!t.is_deterministic());
+        assert!(t
+            .conflicts()
+            .remaining
+            .iter()
+            .all(|(_, _, k)| *k == ConflictKind::ShiftReduce));
+        // Some cell actually carries two actions for GLR to fork on.
+        let plus = g.terminal_by_name("+").unwrap();
+        let any_multi = (0..t.num_states())
+            .any(|s| t.actions(StateId(s as u32), plus).len() > 1);
+        assert!(any_multi);
+    }
+
+    #[test]
+    fn precedence_statically_filters_all_conflicts() {
+        let g = expr_ambiguous(true);
+        let t = LrTable::build(&g, TableKind::Lalr);
+        assert!(
+            t.is_deterministic(),
+            "precedence must remove every conflict: {:?}",
+            t.conflicts().remaining
+        );
+        assert!(t.conflicts().resolved_by_precedence > 0);
+    }
+
+    #[test]
+    fn nonassoc_removes_both_actions() {
+        // E -> E < E | num with %nonassoc <  makes `a < b < c` an error.
+        let mut b = GrammarBuilder::new("cmp");
+        let lt = b.terminal("<");
+        let num = b.terminal("num");
+        b.nonassoc(&[lt]);
+        let e = b.nonterminal("E");
+        b.prod(e, vec![Symbol::N(e), Symbol::T(lt), Symbol::N(e)]);
+        b.prod(e, vec![Symbol::T(num)]);
+        b.start(e);
+        let g = b.build().unwrap();
+        let t = LrTable::build(&g, TableKind::Lalr);
+        assert!(t.is_deterministic());
+        assert!(t.conflicts().nonassoc_errors > 0);
+        // After E < E reduces... find the state where E < E· with lookahead <:
+        // the cell must be empty (error), not shift or reduce.
+        let found_empty = (0..t.num_states()).any(|s| {
+            let sid = StateId(s as u32);
+            t.automaton()
+                .kernel(sid)
+                .items()
+                .iter()
+                .any(|it| it.dot == 3 && it.is_final(&g))
+                && t.actions(sid, lt).is_empty()
+        });
+        assert!(found_empty, "nonassoc must leave an error cell");
+    }
+
+    #[test]
+    fn deterministic_grammar_accepts_via_eof_cell() {
+        let mut b = GrammarBuilder::new("g");
+        let x = b.terminal("x");
+        let s = b.nonterminal("S");
+        b.prod(s, vec![Symbol::T(x)]);
+        b.start(s);
+        let g = b.build().unwrap();
+        let t = LrTable::build(&g, TableKind::Lalr);
+        // Drive manually: start --x--> q1, reduce S->x, goto, accept on EOF.
+        let acts = t.actions(StateId::START, x);
+        let Action::Shift(q1) = acts[0] else {
+            panic!("expected shift")
+        };
+        let acts = t.actions(q1, Terminal::EOF);
+        assert!(matches!(acts[0], Action::Reduce(_)));
+        let s_state = t.goto(StateId::START, s).unwrap();
+        assert_eq!(t.actions(s_state, Terminal::EOF), &[Action::Accept]);
+    }
+
+    #[test]
+    fn slr_conflicts_where_lalr_does_not() {
+        // S -> L = R | R ; L -> * R | id ; R -> L
+        let mut b = GrammarBuilder::new("g");
+        let eq = b.terminal("=");
+        let star = b.terminal("*");
+        let id = b.terminal("id");
+        let s = b.nonterminal("S");
+        let l = b.nonterminal("L");
+        let r = b.nonterminal("R");
+        b.prod(s, vec![Symbol::N(l), Symbol::T(eq), Symbol::N(r)]);
+        b.prod(s, vec![Symbol::N(r)]);
+        b.prod(l, vec![Symbol::T(star), Symbol::N(r)]);
+        b.prod(l, vec![Symbol::T(id)]);
+        b.prod(r, vec![Symbol::N(l)]);
+        b.start(s);
+        let g = b.build().unwrap();
+        let slr = LrTable::build(&g, TableKind::Slr);
+        let lalr = LrTable::build(&g, TableKind::Lalr);
+        assert!(!slr.is_deterministic(), "SLR must conflict on this grammar");
+        assert!(lalr.is_deterministic(), "LALR must not");
+    }
+
+    #[test]
+    fn nt_reduce_precomputation() {
+        // S -> A b ; A -> a  — in the state after shifting `a`, the reduce
+        // A -> a happens on FIRST of anything following; with nonterminal
+        // lookahead B where FIRST(B)={b}, reduction must be precomputable.
+        let mut b = GrammarBuilder::new("g");
+        let a_t = b.terminal("a");
+        let b_t = b.terminal("b");
+        let s = b.nonterminal("S");
+        let a_n = b.nonterminal("A");
+        let b_n = b.nonterminal("B");
+        b.prod(s, vec![Symbol::N(a_n), Symbol::N(b_n)]);
+        b.prod(a_n, vec![Symbol::T(a_t)]);
+        b.prod(b_n, vec![Symbol::T(b_t)]);
+        b.start(s);
+        let g = b.build().unwrap();
+        let t = LrTable::build(&g, TableKind::Lalr);
+        let q = match t.actions(StateId::START, a_t)[0] {
+            Action::Shift(q) => q,
+            other => panic!("expected shift, got {other:?}"),
+        };
+        let reds = t
+            .nt_reductions(q, b_n)
+            .expect("FIRST(B) = {b} must agree trivially");
+        assert_eq!(reds.len(), 1);
+        assert_eq!(g.production(reds[0]).lhs(), a_n);
+    }
+
+    #[test]
+    fn table_metrics_nonzero() {
+        let g = expr_ambiguous(true);
+        let t = LrTable::build(&g, TableKind::Lalr);
+        assert!(t.num_states() > 3);
+        assert!(t.num_action_entries() > 0);
+        assert!(t.display_state(&g, StateId::START).contains("state 0"));
+        assert_eq!(format!("{}", t.kind()), "LALR(1)");
+    }
+}
+
+impl LrTable {
+    /// Renders the LR(0) automaton as Graphviz dot (states labelled with
+    /// kernel items; conflicted states double-circled).
+    pub fn to_dot(&self, g: &Grammar) -> String {
+        use std::fmt::Write;
+        let conflicted: std::collections::HashSet<usize> = self
+            .conflicts
+            .remaining
+            .iter()
+            .map(|(s, _, _)| s.index())
+            .collect();
+        let mut out = String::from("digraph lr {\n  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n");
+        for s in 0..self.num_states {
+            let sid = StateId(s as u32);
+            let mut label = format!("state {s}\\n");
+            for item in self.automaton.kernel(sid).items() {
+                label.push_str(&item.display(g).replace('"', "'"));
+                label.push_str("\\n");
+            }
+            let extra = if conflicted.contains(&s) {
+                ", peripheries=2, color=red"
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "  s{s} [label=\"{label}\"{extra}];");
+        }
+        for (from, sym, to) in self.automaton.transitions() {
+            let _ = writeln!(
+                out,
+                "  s{} -> s{} [label=\"{}\"];",
+                from.index(),
+                to.index(),
+                g.symbol_name(sym).replace('"', "'")
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod dot_tests {
+    use super::*;
+    use wg_grammar::{GrammarBuilder, Symbol};
+
+    #[test]
+    fn dot_export_contains_states_and_conflict_marks() {
+        let mut b = GrammarBuilder::new("amb");
+        let plus = b.terminal("+");
+        let num = b.terminal("num");
+        let e = b.nonterminal("E");
+        b.prod(e, vec![Symbol::N(e), Symbol::T(plus), Symbol::N(e)]);
+        b.prod(e, vec![Symbol::T(num)]);
+        b.start(e);
+        let g = b.build().unwrap();
+        let t = LrTable::build(&g, TableKind::Lalr);
+        let dot = t.to_dot(&g);
+        assert!(dot.starts_with("digraph lr {"));
+        assert!(dot.contains("state 0"));
+        assert!(dot.contains("peripheries=2"), "conflicted state marked");
+        assert!(dot.contains("label=\"num\""));
+        assert!(dot.trim_end().ends_with('}'));
+        // Every state appears.
+        for s in 0..t.num_states() {
+            assert!(dot.contains(&format!("s{s} [label=")));
+        }
+    }
+}

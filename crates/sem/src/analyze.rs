@@ -1,0 +1,577 @@
+//! The disambiguating semantic walk (Figure 8, passes a–d).
+
+use crate::scope::{NameKind, ScopeStack};
+use std::collections::HashMap;
+use wg_dag::{DagArena, NodeId, NodeKind};
+use wg_grammar::{Grammar, NonTerminal, ProdId, Symbol, Terminal};
+
+/// What an alternative of a choice point represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AltKind {
+    /// A declaration interpretation.
+    Decl,
+    /// A call-expression interpretation.
+    Call,
+    /// A functional-cast interpretation (C++ only).
+    Cast,
+    /// Some other statement/expression shape.
+    Other,
+}
+
+/// How to treat ambiguous constructs whose head identifier is unbound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strictness {
+    /// Leave the choice point unresolved (the paper's persistent
+    /// ambiguity for erroneous programs, Section 4.3).
+    #[default]
+    RequireBinding,
+    /// Assume an unbound head is a function (what a batch C compiler's
+    /// implicit-declaration rule would do).
+    DefaultToCall,
+}
+
+/// The chosen interpretation of one choice point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Selection {
+    /// Index of the selected child of the symbol node.
+    pub index: usize,
+    /// Its classification.
+    pub kind: AltKind,
+}
+
+/// The result of one semantic analysis run.
+#[derive(Debug, Clone, Default)]
+pub struct Analysis {
+    selections: HashMap<NodeId, Selection>,
+    /// Choice points left unresolved (missing binding information).
+    pub persistent: Vec<NodeId>,
+    /// Uses of names with no visible binding.
+    pub unresolved_names: Vec<String>,
+    /// Typedefs processed (pass a of Figure 8).
+    pub typedefs: usize,
+    /// Function definitions bound.
+    pub functions: usize,
+    /// Variables bound.
+    pub variables: usize,
+    /// Identifier uses examined.
+    pub uses: usize,
+    /// Uses that resolved to a binding.
+    pub resolved_uses: usize,
+    /// Def-use index: name → dag nodes referencing it (identifier uses,
+    /// function-call heads and type uses, in document order). Lets
+    /// environment services ("find all references", the typedef-removal
+    /// relocation described in Section 4.2) run directly on the dag.
+    pub references: HashMap<String, Vec<NodeId>>,
+}
+
+impl Analysis {
+    /// The selection at a choice point, if disambiguation succeeded there.
+    pub fn selection(&self, sym: NodeId) -> Option<Selection> {
+        self.selections.get(&sym).copied()
+    }
+
+    /// Number of resolved choice points.
+    pub fn resolved_choices(&self) -> usize {
+        self.selections.len()
+    }
+
+    /// Whether every choice point was resolved.
+    pub fn is_fully_disambiguated(&self) -> bool {
+        self.persistent.is_empty()
+    }
+
+    /// Dag nodes referencing `name` (empty slice if none).
+    pub fn uses_of(&self, name: &str) -> &[NodeId] {
+        self.references.get(name).map_or(&[], |v| v.as_slice())
+    }
+
+    /// A selector for [`wg_dag::DagStats::compute_with`]: the semantically
+    /// chosen child per choice point (first child where unresolved).
+    pub fn selector(&self) -> impl Fn(NodeId) -> usize + '_ {
+        move |n| self.selections.get(&n).map_or(0, |s| s.index)
+    }
+}
+
+/// Nonterminal/terminal handles resolved once per grammar.
+struct Names {
+    id: Terminal,
+    item: NonTerminal,
+    typedef_decl: NonTerminal,
+    funcdef: NonTerminal,
+    block: NonTerminal,
+    decl: NonTerminal,
+    stmt: NonTerminal,
+    expr: NonTerminal,
+    funcall: NonTerminal,
+    type_id: NonTerminal,
+    func_id: NonTerminal,
+    decl_id: NonTerminal,
+    id_use: NonTerminal,
+}
+
+impl Names {
+    fn resolve(g: &Grammar) -> Names {
+        let nt = |n: &str| {
+            g.nonterminal_by_name(n)
+                .unwrap_or_else(|| panic!("grammar lacks nonterminal `{n}`"))
+        };
+        Names {
+            id: g.terminal_by_name("id").expect("grammar lacks `id`"),
+            item: nt("item"),
+            typedef_decl: nt("typedef_decl"),
+            funcdef: nt("funcdef"),
+            block: nt("block"),
+            decl: nt("decl"),
+            stmt: nt("stmt"),
+            expr: nt("expr"),
+            funcall: nt("funcall"),
+            type_id: nt("type_id"),
+            func_id: nt("func_id"),
+            decl_id: nt("decl_id"),
+            id_use: nt("id_use"),
+        }
+    }
+}
+
+/// Runs the semantic passes over a simplified-C/C++ parse dag.
+///
+/// # Panics
+///
+/// Panics if the grammar is not one of `wg_langs`' simplified-C variants
+/// (the classifier nonterminals must exist).
+pub fn analyze(
+    arena: &DagArena,
+    root: NodeId,
+    g: &Grammar,
+    strictness: Strictness,
+) -> Analysis {
+    let mut st = State {
+        arena,
+        g,
+        names: Names::resolve(g),
+        scopes: ScopeStack::new(),
+        out: Analysis::default(),
+        strictness,
+    };
+    st.walk(root);
+    st.out
+}
+
+struct State<'a> {
+    arena: &'a DagArena,
+    g: &'a Grammar,
+    names: Names,
+    scopes: ScopeStack,
+    out: Analysis,
+    strictness: Strictness,
+}
+
+impl State<'_> {
+    fn lhs(&self, prod: ProdId) -> NonTerminal {
+        self.g.production(prod).lhs()
+    }
+
+    /// First `id` lexeme in the yield of `node` (the head identifier whose
+    /// namespace decides the interpretation).
+    fn head_identifier(&self, node: NodeId) -> Option<String> {
+        match self.arena.kind(node) {
+            NodeKind::Terminal { term, lexeme } if *term == self.names.id => {
+                Some(lexeme.clone())
+            }
+            NodeKind::Terminal { .. } | NodeKind::Bos | NodeKind::Eos => None,
+            NodeKind::Symbol { .. } => self
+                .arena
+                .kids(node)
+                .first()
+                .and_then(|&k| self.head_identifier(k)),
+            _ => self
+                .arena
+                .kids(node)
+                .iter()
+                .find_map(|&k| self.head_identifier(k)),
+        }
+    }
+
+    /// Classifies one alternative of a choice point.
+    fn alt_kind(&self, node: NodeId) -> AltKind {
+        let NodeKind::Production { prod } = self.arena.kind(node) else {
+            return AltKind::Other;
+        };
+        let p = self.g.production(*prod);
+        let lhs = p.lhs();
+        let kids = self.arena.kids(node);
+        if lhs == self.names.item || lhs == self.names.stmt {
+            return kids.first().map_or(AltKind::Other, |&k| self.alt_kind(k));
+        }
+        if lhs == self.names.decl {
+            return AltKind::Decl;
+        }
+        if lhs == self.names.funcall {
+            return AltKind::Call;
+        }
+        if lhs == self.names.expr {
+            // expr -> funcall | type_id ( expr ) | ...
+            return match p.rhs().first() {
+                Some(Symbol::N(n)) if *n == self.names.funcall => AltKind::Call,
+                Some(Symbol::N(n)) if *n == self.names.type_id => AltKind::Cast,
+                Some(Symbol::N(_)) => {
+                    kids.first().map_or(AltKind::Other, |&k| self.alt_kind(k))
+                }
+                _ => AltKind::Other,
+            };
+        }
+        AltKind::Other
+    }
+
+    /// Figure 8c: pick the child of a choice point from the head
+    /// identifier's namespace.
+    fn disambiguate(&mut self, sym: NodeId) -> Option<usize> {
+        let kids: Vec<NodeId> = self.arena.kids(sym).to_vec();
+        let kinds: Vec<AltKind> = kids.iter().map(|&k| self.alt_kind(k)).collect();
+        let head = self.head_identifier(sym);
+        let head_kind = head.as_deref().and_then(|h| self.scopes.lookup(h));
+        let want = match head_kind {
+            Some(NameKind::Type) => {
+                // Prefer a declaration; a functional cast when no decl
+                // alternative exists (expression-level choice points).
+                if kinds.contains(&AltKind::Decl) {
+                    AltKind::Decl
+                } else {
+                    AltKind::Cast
+                }
+            }
+            Some(NameKind::Function) | Some(NameKind::Variable) => AltKind::Call,
+            None => match self.strictness {
+                Strictness::DefaultToCall => AltKind::Call,
+                Strictness::RequireBinding => {
+                    self.out.persistent.push(sym);
+                    return None;
+                }
+            },
+        };
+        let index = kinds.iter().position(|k| *k == want).or_else(|| {
+            // Fall back to any non-Other alternative of a compatible shape.
+            kinds.iter().position(|k| *k != AltKind::Other)
+        })?;
+        self.out.selections.insert(
+            sym,
+            Selection {
+                index,
+                kind: kinds[index],
+            },
+        );
+        Some(index)
+    }
+
+    fn walk(&mut self, node: NodeId) {
+        match self.arena.kind(node) {
+            NodeKind::Terminal { .. } | NodeKind::Bos | NodeKind::Eos => {}
+            NodeKind::Symbol { .. } => {
+                let chosen = self.disambiguate(node).unwrap_or(0);
+                let kid = self.arena.kids(node)[chosen];
+                self.walk(kid);
+            }
+            NodeKind::Production { prod } => {
+                let prod = *prod;
+                let lhs = self.lhs(prod);
+                let kids: Vec<NodeId> = self.arena.kids(node).to_vec();
+                if lhs == self.names.typedef_decl {
+                    // typedef int NAME ; — pass a of Figure 8.
+                    if let Some(name) = kids.get(2).and_then(|&k| self.head_identifier(k)) {
+                        self.scopes.bind(&name, NameKind::Type);
+                        self.out.typedefs += 1;
+                    }
+                } else if lhs == self.names.funcdef {
+                    // int NAME ( ) block
+                    if let Some(name) = kids.get(1).and_then(|&k| self.head_identifier(k)) {
+                        self.scopes.bind(&name, NameKind::Function);
+                        self.out.functions += 1;
+                    }
+                    if let Some(&blk) = kids.last() {
+                        self.walk(blk);
+                    }
+                } else if lhs == self.names.block {
+                    self.scopes.push();
+                    for &k in &kids {
+                        self.walk(k);
+                    }
+                    self.scopes.pop();
+                } else if lhs == self.names.decl {
+                    self.walk_decl(prod, &kids);
+                } else if lhs == self.names.id_use || lhs == self.names.func_id {
+                    if let Some(name) = self.head_identifier(node) {
+                        self.out.uses += 1;
+                        self.out
+                            .references
+                            .entry(name.clone())
+                            .or_default()
+                            .push(node);
+                        if self.scopes.lookup(&name).is_some() {
+                            self.out.resolved_uses += 1;
+                        } else {
+                            self.out.unresolved_names.push(name);
+                        }
+                    }
+                } else if lhs == self.names.type_id {
+                    if let Some(name) = self.head_identifier(node) {
+                        self.out.uses += 1;
+                        self.out
+                            .references
+                            .entry(name.clone())
+                            .or_default()
+                            .push(node);
+                        if self.scopes.is_type(&name) {
+                            self.out.resolved_uses += 1;
+                        } else {
+                            self.out.unresolved_names.push(name);
+                        }
+                    }
+                } else {
+                    for &k in &kids {
+                        self.walk(k);
+                    }
+                }
+            }
+            NodeKind::Sequence { .. } | NodeKind::SeqRun { .. } | NodeKind::Root => {
+                for &k in self.arena.kids(node).to_vec().iter() {
+                    self.walk(k);
+                }
+            }
+        }
+    }
+
+    /// Binds the names a declaration introduces and records type uses.
+    fn walk_decl(&mut self, prod: ProdId, kids: &[NodeId]) {
+        let rhs = self.g.production(prod).rhs();
+        match rhs.first() {
+            Some(Symbol::T(_)) => {
+                // 'int' id [= expr]
+                if let Some(name) = kids.get(1).and_then(|&k| self.head_identifier(k)) {
+                    self.scopes.bind(&name, NameKind::Variable);
+                    self.out.variables += 1;
+                }
+                // Initializer uses.
+                if let Some(&init) = kids.get(3) {
+                    self.walk(init);
+                }
+            }
+            Some(Symbol::N(_)) => {
+                // type_id decl_id | type_id ( decl_id ) : type use + binding.
+                if let Some(&type_node) = kids.first() {
+                    self.walk(type_node);
+                }
+                let decl_node = kids
+                    .iter()
+                    .find(|&&k| self.is_nonterminal_node(k, self.names.decl_id));
+                if let Some(&dn) = decl_node {
+                    if let Some(name) = self.head_identifier(dn) {
+                        self.scopes.bind(&name, NameKind::Variable);
+                        self.out.variables += 1;
+                    }
+                }
+            }
+            None => {}
+        }
+    }
+
+    fn is_nonterminal_node(&self, node: NodeId, nt: NonTerminal) -> bool {
+        self.arena
+            .kind(node)
+            .nonterminal_of(|p| self.g.production(p).lhs())
+            == Some(nt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wg_core::Session;
+    use wg_langs::{simp_c, simp_cpp};
+
+    fn run(src: &str) -> (Session<'static>, Analysis) {
+        // Leak the config for test simplicity (Session borrows it).
+        let cfg = Box::leak(Box::new(simp_c()));
+        let s = Session::new(cfg, src).unwrap();
+        let a = analyze(s.arena(), s.root(), cfg.grammar(), Strictness::RequireBinding);
+        (s, a)
+    }
+
+    #[test]
+    fn typedef_resolves_to_declaration() {
+        let (s, a) = run("typedef int t; t (x);");
+        assert_eq!(a.typedefs, 1);
+        assert!(a.is_fully_disambiguated());
+        assert_eq!(a.resolved_choices(), 1);
+        let stats = s.stats();
+        assert_eq!(stats.choice_points, 1);
+        // Find the choice point and check the selection.
+        let sel: Vec<Selection> = a.selections.values().copied().collect();
+        assert_eq!(sel[0].kind, AltKind::Decl);
+        assert_eq!(a.variables, 1, "x bound by the chosen declaration");
+    }
+
+    #[test]
+    fn function_resolves_to_call() {
+        let (_s, a) = run("int f() { int y; } f (y);");
+        assert!(a.is_fully_disambiguated());
+        let sel: Vec<Selection> = a.selections.values().copied().collect();
+        assert_eq!(sel[0].kind, AltKind::Call);
+        assert_eq!(a.functions, 1);
+    }
+
+    #[test]
+    fn unbound_head_is_persistent_ambiguity() {
+        let (_s, a) = run("mystery (x);");
+        assert!(!a.is_fully_disambiguated());
+        assert_eq!(a.persistent.len(), 1);
+        assert_eq!(a.resolved_choices(), 0);
+    }
+
+    #[test]
+    fn default_to_call_strictness() {
+        let cfg = Box::leak(Box::new(simp_c()));
+        let s = Session::new(cfg, "mystery (x);").unwrap();
+        let a = analyze(s.arena(), s.root(), cfg.grammar(), Strictness::DefaultToCall);
+        assert!(a.is_fully_disambiguated());
+        let sel: Vec<Selection> = a.selections.values().copied().collect();
+        assert_eq!(sel[0].kind, AltKind::Call);
+    }
+
+    #[test]
+    fn scopes_gate_type_visibility() {
+        // The typedef is inside a function: outside it, `t` is unbound.
+        let (_s, a) = run("int f() { typedef int t; t (a); } t (b);");
+        assert_eq!(a.typedefs, 1);
+        assert_eq!(a.resolved_choices(), 1, "inner resolves");
+        assert_eq!(a.persistent.len(), 1, "outer does not");
+    }
+
+    #[test]
+    fn typedef_removal_flips_interpretation_without_reparsing_region() {
+        let cfg = Box::leak(Box::new(simp_c()));
+        let mut s = Session::new(cfg, "typedef int t; int t2; t (x);").unwrap();
+        let a1 = analyze(s.arena(), s.root(), cfg.grammar(), Strictness::DefaultToCall);
+        let first: Vec<Selection> = a1.selections.values().copied().collect();
+        assert_eq!(first[0].kind, AltKind::Decl);
+
+        // Remove the typedef (edit far away from the ambiguous region).
+        let out = {
+            s.edit(0, "typedef int t;".len(), "int t;");
+            s.reparse().unwrap()
+        };
+        assert!(out.incorporated);
+        assert_eq!(
+            s.stats().choice_points,
+            1,
+            "ambiguous region untouched by the parser"
+        );
+        let a2 = analyze(s.arena(), s.root(), cfg.grammar(), Strictness::DefaultToCall);
+        let second: Vec<Selection> = a2.selections.values().copied().collect();
+        assert_eq!(
+            second[0].kind,
+            AltKind::Call,
+            "semantic filter reversed its decision without parser involvement"
+        );
+    }
+
+    #[test]
+    fn name_resolution_counts() {
+        let (_s, a) = run("int x; int y = x + 2; y = x;");
+        assert_eq!(a.variables, 2);
+        assert!(a.uses >= 3);
+        assert_eq!(a.unresolved_names.len(), 0);
+        assert_eq!(a.uses, a.resolved_uses);
+    }
+
+    #[test]
+    fn unresolved_names_reported() {
+        let (_s, a) = run("x = y;");
+        assert!(a.unresolved_names.contains(&"x".to_string()));
+        assert!(a.unresolved_names.contains(&"y".to_string()));
+        assert!(a.resolved_uses < a.uses);
+    }
+
+    #[test]
+    fn cpp_cast_vs_call() {
+        let cfg = Box::leak(Box::new(simp_cpp()));
+        // t is a type: t(5) is a cast. f is a function: f(5) is a call.
+        let s = Session::new(cfg, "typedef int t; int f() { int q; } t (5); f (5);").unwrap();
+        let a = analyze(s.arena(), s.root(), cfg.grammar(), Strictness::RequireBinding);
+        assert!(a.is_fully_disambiguated(), "persistent: {:?}", a.persistent);
+        let kinds: Vec<AltKind> = a.selections.values().map(|sl| sl.kind).collect();
+        assert!(kinds.contains(&AltKind::Cast));
+        assert!(kinds.contains(&AltKind::Call));
+    }
+
+    #[test]
+    fn selector_feeds_dag_stats() {
+        let (s, a) = run("typedef int t; t (x);");
+        let with_first = wg_dag::DagStats::compute(s.arena(), s.root());
+        let with_sel =
+            wg_dag::DagStats::compute_with(s.arena(), s.root(), a.selector());
+        // Both alternatives have similar size here; the embedded tree must
+        // be no larger than the dag in either case.
+        assert!(with_sel.tree_nodes <= with_sel.dag_nodes);
+        assert_eq!(with_first.dag_nodes, with_sel.dag_nodes);
+    }
+
+    #[test]
+    fn running_example_full_pipeline() {
+        // Figure 1: declarations vs calls depending on earlier typedefs.
+        let (_s, a) = run(
+            "typedef int a; int f() { int c2; } a (b); f (d2); int q = 1;",
+        );
+        assert!(a.is_fully_disambiguated());
+        let kinds: Vec<AltKind> = a.selections.values().map(|sl| sl.kind).collect();
+        assert!(kinds.contains(&AltKind::Decl), "a (b); is a declaration");
+        assert!(kinds.contains(&AltKind::Call), "f (d2); is a call");
+    }
+}
+
+#[cfg(test)]
+mod reference_tests {
+    use super::*;
+    use wg_core::Session;
+    use wg_langs::simp_c;
+
+    #[test]
+    fn references_indexed_per_name() {
+        let cfg = Box::leak(Box::new(simp_c()));
+        let s = Session::new(cfg, "int v; v = v + 1; int w = v;").unwrap();
+        let a = analyze(s.arena(), s.root(), cfg.grammar(), Strictness::RequireBinding);
+        assert_eq!(a.uses_of("v").len(), 3);
+        assert!(a.uses_of("w").is_empty(), "declaration sites are not uses");
+        assert!(a.uses_of("nothing").is_empty());
+    }
+
+    #[test]
+    fn typedef_use_sites_locatable_for_reinterpretation() {
+        // Section 4.2: "binding information ... allows the former uses of
+        // the declaration to be efficiently located" when a typedef is
+        // removed. The reference index provides exactly that lookup.
+        let cfg = Box::leak(Box::new(simp_c()));
+        let s = Session::new(cfg, "typedef int t; t (a); t (b); t c;").unwrap();
+        let a = analyze(s.arena(), s.root(), cfg.grammar(), Strictness::RequireBinding);
+        let sites = a.uses_of("t");
+        assert_eq!(sites.len(), 3, "both ambiguous heads and the plain decl");
+        // Each reference is a live dag node.
+        for &n in sites {
+            assert!(s
+                .arena()
+                .kind(n)
+                .nonterminal_of(|p| cfg.grammar().production(p).lhs())
+                .is_some());
+        }
+    }
+
+    #[test]
+    fn references_work_with_persistent_ambiguity() {
+        // Even with an unresolved choice point, tools can query references
+        // (Section 4.3: presentation-style services keep operating).
+        let cfg = Box::leak(Box::new(simp_c()));
+        let s = Session::new(cfg, "mystery (arg); arg = 1;").unwrap();
+        let a = analyze(s.arena(), s.root(), cfg.grammar(), Strictness::RequireBinding);
+        assert!(!a.is_fully_disambiguated());
+        assert!(!a.uses_of("arg").is_empty());
+    }
+}

@@ -1,0 +1,201 @@
+//! Dynamic **syntactic** filters (Section 4.1).
+//!
+//! Some ambiguities are resolved by a fixed syntactic preference rather than
+//! semantic information — the canonical case is C++'s "prefer a declaration
+//! to an expression" rule, which cannot be encoded statically because the
+//! competing reductions cannot be delayed until enough lookahead has
+//! accumulated. The paper runs such rules as an incremental post-pass over
+//! the freshly built choice points and, unlike semantic filters, **does not
+//! retain** the eliminated interpretations.
+
+use crate::analyze::AltKind;
+use std::collections::HashSet;
+use wg_dag::{DagArena, NodeId, NodeKind};
+use wg_grammar::{Grammar, NonTerminal, ProdId, Symbol};
+
+/// A syntactic disambiguation rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyntacticFilter {
+    /// C++'s rule: where a region parses as both a declaration and a
+    /// statement/expression, keep the declaration.
+    PreferDeclaration,
+}
+
+/// Applies `filter` to every choice point under `root`, collapsing the
+/// resolved ones in place (losers are discarded, per Section 4.1). Returns
+/// the number of choice points eliminated.
+///
+/// Only runs on the simplified C/C++ grammars of `wg-langs` (the classifier
+/// nonterminals must exist).
+///
+/// # Panics
+///
+/// Panics if the grammar lacks the classifier nonterminals.
+pub fn apply_syntactic_filter(
+    arena: &mut DagArena,
+    root: NodeId,
+    g: &Grammar,
+    filter: SyntacticFilter,
+) -> usize {
+    let SyntacticFilter::PreferDeclaration = filter;
+    let decl = g
+        .nonterminal_by_name("decl")
+        .expect("grammar lacks `decl`");
+    let item = g
+        .nonterminal_by_name("item")
+        .expect("grammar lacks `item`");
+    let stmt = g.nonterminal_by_name("stmt");
+
+    // Collect choice points first (collapsing restructures parents).
+    let mut choices = Vec::new();
+    let mut stack = vec![root];
+    let mut seen = HashSet::new();
+    while let Some(n) = stack.pop() {
+        if !seen.insert(n) {
+            continue;
+        }
+        if matches!(arena.kind(n), NodeKind::Symbol { .. }) {
+            choices.push(n);
+        }
+        stack.extend_from_slice(arena.kids(n));
+    }
+
+    let mut collapsed = 0;
+    for sym in choices {
+        let kids: Vec<NodeId> = arena.kids(sym).to_vec();
+        let classify = |n: NodeId| alt_kind(arena, g, n, decl, item, stmt);
+        let kinds: Vec<AltKind> = kids.iter().map(|&k| classify(k)).collect();
+        // The rule only fires on decl-vs-statement choices.
+        let Some(decl_ix) = kinds.iter().position(|k| *k == AltKind::Decl) else {
+            continue;
+        };
+        if kinds.iter().all(|k| *k == AltKind::Decl) {
+            continue;
+        }
+        arena.collapse_choice(sym, decl_ix);
+        collapsed += 1;
+    }
+    collapsed
+}
+
+/// Shallow classifier mirroring `analyze`'s, kept independent so the filter
+/// can run before any semantic pass.
+fn alt_kind(
+    arena: &DagArena,
+    g: &Grammar,
+    node: NodeId,
+    decl: NonTerminal,
+    item: NonTerminal,
+    stmt: Option<NonTerminal>,
+) -> AltKind {
+    let NodeKind::Production { prod } = arena.kind(node) else {
+        return AltKind::Other;
+    };
+    let lhs = lhs_of(g, *prod);
+    if lhs == decl {
+        return AltKind::Decl;
+    }
+    if lhs == item || Some(lhs) == stmt {
+        // item -> X ; / stmt -> expr: classify the head child.
+        if let Some(Symbol::N(first)) = g.production(*prod).rhs().first() {
+            if *first == decl {
+                return AltKind::Decl;
+            }
+        }
+        return arena
+            .kids(node)
+            .first()
+            .map_or(AltKind::Other, |&k| alt_kind(arena, g, k, decl, item, stmt));
+    }
+    AltKind::Call
+}
+
+fn lhs_of(g: &Grammar, prod: ProdId) -> NonTerminal {
+    g.production(prod).lhs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wg_core::Session;
+    use wg_dag::{yield_string, DagStats};
+    use wg_langs::simp_cpp;
+
+    #[test]
+    fn prefer_declaration_collapses_the_running_example() {
+        let cfg = Box::leak(Box::new(simp_cpp()));
+        let mut s = Session::new(cfg, "a (b); c (d);").unwrap();
+        assert!(s.stats().choice_points >= 2);
+        let before_yield = yield_string(s.arena(), s.root());
+        let root = s.root();
+        let n = apply_syntactic_filter(
+            s.arena_mut(),
+            root,
+            cfg.grammar(),
+            SyntacticFilter::PreferDeclaration,
+        );
+        assert!(n >= 2, "both item-level choices fire the rule");
+        let stats = DagStats::compute(s.arena(), s.root());
+        assert_eq!(
+            stats.choice_points, 0,
+            "syntactic losers are discarded, not retained"
+        );
+        assert_eq!(yield_string(s.arena(), s.root()), before_yield);
+        // The surviving structure is the declaration reading.
+        assert!(s.dump().contains("decl"), "{}", s.dump());
+    }
+
+    #[test]
+    fn filter_ignores_unambiguous_programs() {
+        let cfg = Box::leak(Box::new(simp_cpp()));
+        let mut s = Session::new(cfg, "int x; x = x + 1;").unwrap();
+        let root = s.root();
+        assert_eq!(
+            apply_syntactic_filter(
+                s.arena_mut(),
+                root,
+                cfg.grammar(),
+                SyntacticFilter::PreferDeclaration
+            ),
+            0
+        );
+    }
+
+    #[test]
+    fn expression_level_choices_survive() {
+        // f(5) in C++ is call-vs-cast: no decl alternative, so the
+        // declaration-preference rule must leave it for semantic filtering.
+        let cfg = Box::leak(Box::new(simp_cpp()));
+        let mut s = Session::new(cfg, "f (5);").unwrap();
+        let before = s.stats().choice_points;
+        assert!(before >= 1);
+        let root = s.root();
+        apply_syntactic_filter(
+            s.arena_mut(),
+            root,
+            cfg.grammar(),
+            SyntacticFilter::PreferDeclaration,
+        );
+        assert_eq!(s.stats().choice_points, before, "{}", s.dump());
+    }
+
+    #[test]
+    fn filtered_tree_remains_editable() {
+        let cfg = Box::leak(Box::new(simp_cpp()));
+        let mut s = Session::new(cfg, "a (b); int z;").unwrap();
+        let root = s.root();
+        apply_syntactic_filter(
+            s.arena_mut(),
+            root,
+            cfg.grammar(),
+            SyntacticFilter::PreferDeclaration,
+        );
+        assert_eq!(s.stats().choice_points, 0);
+        // Subsequent incremental edits still work on the collapsed tree.
+        let pos = s.text().find('z').unwrap();
+        s.edit(pos, 1, "renamed");
+        let out = s.reparse().unwrap();
+        assert!(out.incorporated);
+        assert!(yield_string(s.arena(), s.root()).contains("renamed"));
+    }
+}

@@ -1,0 +1,32 @@
+//! Semantic analysis and disambiguation for the simplified C/C++ languages
+//! (Section 4 of the paper).
+//!
+//! The pipeline mirrors Figure 8:
+//!
+//! 1. **Typedef processing** — declarations are gathered into per-scope
+//!    *binding contours* during a top-down walk ([`scope::ScopeStack`]).
+//! 2. **Contour propagation** — each choice point's leading identifier is
+//!    looked up in the contours visible at that point.
+//! 3. **Disambiguation proper** — the namespace decision selects one child
+//!    of each symbol node ([`Selection`]); the losing interpretation is
+//!    *retained* (Section 4.2: semantic filters keep the unchosen child,
+//!    because a later edit — e.g. removing a typedef — can reverse the
+//!    decision without any parser involvement).
+//! 4. **Remaining passes** — name resolution over the embedded tree,
+//!    reporting unresolved uses.
+//!
+//! Program errors (an ambiguous construct whose head is unbound) leave the
+//! choice point unresolved — the paper's *persistent ambiguity*
+//! (Section 4.3): tools that do not need the answer keep working, and a
+//! future edit can still resolve it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod scope;
+
+mod analyze;
+mod filters;
+
+pub use analyze::{analyze, AltKind, Analysis, Selection, Strictness};
+pub use filters::{apply_syntactic_filter, SyntacticFilter};

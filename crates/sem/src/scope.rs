@@ -1,0 +1,124 @@
+//! Scoped binding contours (Figure 8a/8b of the paper).
+
+use std::collections::HashMap;
+
+/// The namespace a name is bound in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NameKind {
+    /// Introduced by `typedef int name ;`.
+    Type,
+    /// Introduced by a function definition.
+    Function,
+    /// Introduced by a variable declaration.
+    Variable,
+}
+
+/// A stack of binding contours; one per lexical scope.
+#[derive(Debug, Clone, Default)]
+pub struct ScopeStack {
+    scopes: Vec<HashMap<String, NameKind>>,
+}
+
+impl ScopeStack {
+    /// A stack holding only the global scope.
+    pub fn new() -> ScopeStack {
+        ScopeStack {
+            scopes: vec![HashMap::new()],
+        }
+    }
+
+    /// Opens a nested scope (entering a block).
+    pub fn push(&mut self) {
+        self.scopes.push(HashMap::new());
+    }
+
+    /// Closes the innermost scope.
+    ///
+    /// # Panics
+    ///
+    /// Panics if only the global scope remains.
+    pub fn pop(&mut self) {
+        assert!(self.scopes.len() > 1, "cannot pop the global scope");
+        self.scopes.pop();
+    }
+
+    /// Binds `name` in the innermost scope, returning any shadowed binding
+    /// from the same scope.
+    pub fn bind(&mut self, name: &str, kind: NameKind) -> Option<NameKind> {
+        self.scopes
+            .last_mut()
+            .expect("global scope always present")
+            .insert(name.to_string(), kind)
+    }
+
+    /// Looks `name` up, innermost scope first.
+    pub fn lookup(&self, name: &str) -> Option<NameKind> {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|s| s.get(name).copied())
+    }
+
+    /// Whether `name` currently names a type.
+    pub fn is_type(&self, name: &str) -> bool {
+        self.lookup(name) == Some(NameKind::Type)
+    }
+
+    /// Current nesting depth (1 = global only).
+    pub fn depth(&self) -> usize {
+        self.scopes.len()
+    }
+
+    /// Total bindings across all scopes (diagnostics).
+    pub fn len(&self) -> usize {
+        self.scopes.iter().map(|s| s.len()).sum()
+    }
+
+    /// Whether no names are bound at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_and_lookup() {
+        let mut s = ScopeStack::new();
+        assert!(s.is_empty());
+        s.bind("t", NameKind::Type);
+        s.bind("f", NameKind::Function);
+        assert!(s.is_type("t"));
+        assert_eq!(s.lookup("f"), Some(NameKind::Function));
+        assert_eq!(s.lookup("zzz"), None);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn inner_scopes_shadow_outer() {
+        let mut s = ScopeStack::new();
+        s.bind("x", NameKind::Type);
+        s.push();
+        assert!(s.is_type("x"), "outer binding visible inside");
+        s.bind("x", NameKind::Variable);
+        assert!(!s.is_type("x"), "shadowed");
+        s.pop();
+        assert!(s.is_type("x"), "restored after pop");
+        assert_eq!(s.depth(), 1);
+    }
+
+    #[test]
+    fn rebinding_in_same_scope_reports_shadowed() {
+        let mut s = ScopeStack::new();
+        assert_eq!(s.bind("a", NameKind::Variable), None);
+        assert_eq!(s.bind("a", NameKind::Type), Some(NameKind::Variable));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot pop the global scope")]
+    fn popping_global_scope_panics() {
+        ScopeStack::new().pop();
+    }
+}

@@ -1,0 +1,74 @@
+//! An editing session over a realistic generated C program: hundreds of
+//! edits with per-edit reuse statistics — the workload an interactive
+//! environment puts on the incremental analyzer.
+//!
+//! Run with `cargo run --release --example editor_session`.
+
+use std::time::Instant;
+use wg_core::Session;
+use wg_langs::generate::{c_program, edit_sites, GenSpec};
+use wg_langs::simp_c;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = simp_c();
+    let program = c_program(&GenSpec::sized(2_000, 0.01, 42));
+    println!(
+        "generated program: {} lines, {} ambiguous construct(s)",
+        program.lines, program.ambiguous_sites
+    );
+
+    let t0 = Instant::now();
+    let mut session = Session::new(&config, &program.text)?;
+    println!(
+        "initial parse: {} tokens in {:?}; {} choice point(s), dag overhead {:.2}%",
+        session.token_count(),
+        t0.elapsed(),
+        session.stats().choice_points,
+        session.stats().space_overhead_percent()
+    );
+
+    // Simulate typing: rename identifiers all over the file, reparsing
+    // after every change, then undo each change (the paper's
+    // self-cancelling protocol).
+    let sites = edit_sites(session.text(), 100, 7);
+    let mut total_terminal_shifts = 0usize;
+    let mut total_reuse = 0usize;
+    let t0 = Instant::now();
+    for &(start, len) in &sites {
+        let original = session.text()[start..start + len].to_string();
+        session.edit(start, len, "renamed_thing");
+        let out = session.reparse()?;
+        assert!(out.incorporated);
+        total_terminal_shifts += out.stats.terminal_shifts;
+        total_reuse += out.stats.subtree_shifts + out.stats.run_shifts;
+        session.edit(start, "renamed_thing".len(), &original);
+        let out = session.reparse()?;
+        assert!(out.incorporated);
+        total_terminal_shifts += out.stats.terminal_shifts;
+        total_reuse += out.stats.subtree_shifts + out.stats.run_shifts;
+    }
+    let elapsed = t0.elapsed();
+    let reparses = 2 * sites.len();
+    println!(
+        "\n{} reparses in {:?} ({:?}/edit on average)",
+        reparses,
+        elapsed,
+        elapsed / reparses as u32
+    );
+    println!(
+        "mean terminals rescanned per edit: {:.1} (of {} in the file)",
+        total_terminal_shifts as f64 / reparses as f64,
+        session.token_count()
+    );
+    println!(
+        "mean whole-subtree/run reuses per edit: {:.1}",
+        total_reuse as f64 / reparses as f64
+    );
+    println!(
+        "arena after session: {} nodes for {} tokens (garbage collected)",
+        session.arena().len(),
+        session.token_count()
+    );
+    assert_eq!(session.reparse_count(), reparses);
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! History-based, non-correcting error handling (Section 4.3): edits whose
+//! result has no valid parse are *not incorporated* — the previous tree
+//! stays authoritative, the offending modifications are flagged, and a
+//! later correcting edit folds the whole backlog in at once. Meanwhile,
+//! semantic errors (an ambiguous construct whose head is unbound) keep both
+//! interpretations alive indefinitely.
+//!
+//! Run with `cargo run --example error_recovery`.
+
+use wg_langs::simp_c;
+use wg_sem::{analyze, Strictness};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = simp_c();
+    let mut session = wg_core::Session::new(&config, "int x; x = 1; int y;")?;
+    println!("initial: {:?}", session.text());
+
+    // 1. A syntactically broken edit is refused.
+    session.edit(7, 0, "((((");
+    let refused = session.reparse()?;
+    assert!(!refused.incorporated);
+    println!(
+        "\nbroken edit refused ({}); tree still answers queries:",
+        refused.error.as_ref().map(|e| e.to_string()).unwrap_or_default()
+    );
+    println!(
+        "  tree yield: {}",
+        wg_dag::yield_string(session.arena(), session.root())
+    );
+    println!(
+        "  flagged as unincorporated: {} edit(s)",
+        session.unincorporated().flagged().len()
+    );
+
+    // 2. More typing while broken — still refused, backlog grows.
+    session.edit(0, 0, "int q; ");
+    let still = session.reparse()?;
+    assert!(!still.incorporated);
+    println!(
+        "  after more typing: {} edit(s) pending",
+        session.unincorporated().flagged().len()
+    );
+
+    // 3. The user closes the parens: everything incorporates at once.
+    let pos = session.text().find("((((").expect("broken text present");
+    session.edit(pos, 4, "");
+    let fixed = session.reparse()?;
+    assert!(fixed.incorporated);
+    assert!(session.unincorporated().is_empty());
+    println!("\ncorrecting edit folds the backlog in: {:?}", session.text());
+
+    // 4. Semantic errors keep ambiguity alive (persistent ambiguity).
+    let mut s2 = wg_core::Session::new(&config, "ghost (who);")?;
+    let analysis = analyze(
+        s2.arena(),
+        s2.root(),
+        config.grammar(),
+        Strictness::RequireBinding,
+    );
+    println!(
+        "\n`ghost (who);` with no binding for `ghost`: {} persistent choice point(s)",
+        analysis.persistent.len()
+    );
+    assert_eq!(analysis.persistent.len(), 1);
+
+    // A later edit supplies the missing declaration; the same dag resolves.
+    s2.insert(0, "typedef int ghost; ");
+    assert!(s2.reparse()?.incorporated);
+    let analysis = analyze(
+        s2.arena(),
+        s2.root(),
+        config.grammar(),
+        Strictness::RequireBinding,
+    );
+    assert!(analysis.is_fully_disambiguated());
+    println!("after declaring `ghost`, the retained interpretations resolve: declaration");
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Quickstart: define a language, parse, edit, and reparse incrementally.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use wg_core::{Session, SessionConfig};
+use wg_grammar::{GrammarBuilder, SeqKind, Symbol};
+use wg_lexer::LexerDef;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The grammar: a list of `name = number ;` statements. The list is
+    //    declared as an associative sequence, so the parse dag keeps it as
+    //    a balanced tree and edits anywhere stay cheap.
+    let mut g = GrammarBuilder::new("quickstart");
+    let id = g.terminal("id");
+    let eq = g.terminal("=");
+    let num = g.terminal("num");
+    let semi = g.terminal(";");
+    let stmt = g.nonterminal("stmt");
+    let prog = g.nonterminal("prog");
+    g.prod(
+        stmt,
+        vec![Symbol::T(id), Symbol::T(eq), Symbol::T(num), Symbol::T(semi)],
+    );
+    g.sequence(prog, Symbol::N(stmt), SeqKind::Plus, None);
+    g.start(prog);
+    let grammar = g.build()?;
+
+    // 2. The lexer: rule names match grammar terminal names.
+    let mut lx = LexerDef::new();
+    lx.rule("id", "[a-zA-Z_][a-zA-Z0-9_]*")?;
+    lx.rule("num", "[0-9]+")?;
+    lx.literal("=", "=");
+    lx.literal(";", ";");
+    lx.skip("ws", "[ \\t\\n]+")?;
+
+    // 3. A session: text buffer + incremental lexer + IGLR parser + dag.
+    let config = SessionConfig::new(grammar, lx)?;
+    let mut session = Session::new(&config, "alpha = 1; beta = 2; gamma = 3;")?;
+    println!("initial parse of {} tokens:", session.token_count());
+    println!("{}", session.dump());
+
+    // 4. Edit and reparse. Only the damaged statement is re-analyzed; the
+    //    reuse statistics show how much of the old tree survived.
+    let pos = session.text().find("beta").expect("beta is there");
+    session.edit(pos, 4, "delta");
+    let outcome = session.reparse()?;
+    assert!(outcome.incorporated);
+    println!("after renaming beta -> delta:");
+    println!(
+        "  terminals rescanned: {}, subtrees reused whole: {}, runs spliced: {}",
+        outcome.stats.terminal_shifts,
+        outcome.stats.subtree_shifts,
+        outcome.stats.run_shifts
+    );
+    println!("  new text: {}", session.text());
+
+    // 5. Edits that break the syntax are refused, not crashed on: the old
+    //    tree stays valid and the edit is flagged (Section 4.3's recovery).
+    session.edit(0, 5, ";;;");
+    let refused = session.reparse()?;
+    assert!(!refused.incorporated);
+    println!(
+        "bad edit refused; {} edit(s) flagged as unincorporated",
+        session.unincorporated().flagged().len()
+    );
+    Ok(())
+}

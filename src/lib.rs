@@ -1,0 +1,15 @@
+//! Umbrella crate re-exporting the whole Wagner–Graham reproduction
+//! workspace. See README.md for the tour and DESIGN.md for the system
+//! inventory.
+
+pub use wg_core as iglr;
+pub use wg_dag as dag;
+pub use wg_document as document;
+pub use wg_earley as earley;
+pub use wg_glr as glr;
+pub use wg_grammar as grammar;
+pub use wg_langs as langs;
+pub use wg_lexer as lexer;
+pub use wg_lrtable as lrtable;
+pub use wg_sem as sem;
+pub use wg_sentential as sentential;

@@ -1,0 +1,130 @@
+//! Appendix B of the paper: the sample IGLR trace.
+//!
+//! The scenario: the input contains the ambiguous statement `a (b) ;`; the
+//! semicolon is deleted and re-inserted. The edit to the semicolon causes
+//! the parser to discard the non-deterministic structure and read
+//! `id ( id )` as terminal symbols; the reduce/reduce conflict at the
+//! leading `id` splits the parse; both interpretations are rebuilt, context
+//! sharing re-merges the parsers at the `item` symbol node, and the parser
+//! returns to shifting entire subtrees once the state is deterministic
+//! again.
+
+use wg_core::Session;
+use wg_dag::{NodeKind, ParseState};
+use wg_langs::{nt, simp_c};
+
+#[test]
+fn semicolon_delete_and_reinsert_trace() {
+    let cfg = simp_c();
+    // Surrounding context so subtree reuse is observable.
+    let mut s = Session::new(&cfg, "int before; a (b); int after;").unwrap();
+    assert_eq!(s.stats().choice_points, 1);
+    let semi = s.text().find("(b);").unwrap() + 3;
+
+    // (1) Delete the semicolon: `a (b) int after;` has no parse — the
+    // modification is left unincorporated, the dual interpretations remain.
+    s.delete(semi, 1);
+    let out = s.reparse().unwrap();
+    assert!(!out.incorporated, "semicolon-less text must be refused");
+    assert_eq!(s.stats().choice_points, 1, "old structure retained");
+
+    // (2) Re-insert it. Now the parser runs the Appendix B script: the
+    // ambiguous region is decomposed to terminals (the edit site is its
+    // trailing lookahead), the parsers split on the reduce/reduce conflict,
+    // and the two interpretations merge under the `item` symbol node.
+    s.insert(semi, ";");
+    let out = s.reparse().unwrap();
+    assert!(out.incorporated);
+    assert!(
+        out.stats.nondeterministic_rounds >= 1,
+        "the region re-parsed non-deterministically: {:?}",
+        out.stats
+    );
+    assert!(
+        out.stats.max_parsers >= 2,
+        "two parsers were active (steps 3-11 of the trace)"
+    );
+    assert!(
+        out.stats.subtree_shifts + out.stats.run_shifts >= 1,
+        "deterministic context was shifted as whole subtrees (step 13+)"
+    );
+    assert_eq!(s.stats().choice_points, 1, "dual interpretations rebuilt");
+    assert_eq!(s.stats().alternatives, 2);
+
+    // The choice point is the `item` phylum, as in the trace's final state.
+    let item = cfg.grammar().nonterminal_by_name(nt::ITEM).unwrap();
+    let mut found = false;
+    let mut stack = vec![s.root()];
+    while let Some(n) = stack.pop() {
+        if let NodeKind::Symbol { symbol } = s.arena().kind(n) {
+            assert_eq!(*symbol, item, "the choice point is an `item`");
+            found = true;
+        }
+        stack.extend_from_slice(s.arena().kids(n));
+    }
+    assert!(found);
+}
+
+#[test]
+fn interpretations_inside_region_are_multistate() {
+    // "While multiple parsers are active, only terminal symbols can be read
+    // by the parser" — everything rebuilt inside the region carries the
+    // multistate marker, so a later edit decomposes it again.
+    let cfg = simp_c();
+    let s = Session::new(&cfg, "a (b);").unwrap();
+    let g = cfg.grammar();
+    let type_id = g.nonterminal_by_name(nt::TYPE_ID).unwrap();
+    let func_id = g.nonterminal_by_name(nt::FUNC_ID).unwrap();
+    let mut seen_type = false;
+    let mut seen_func = false;
+    let mut stack = vec![s.root()];
+    let mut visited = std::collections::HashSet::new();
+    while let Some(n) = stack.pop() {
+        if !visited.insert(n) {
+            continue;
+        }
+        if let NodeKind::Production { prod } = s.arena().kind(n) {
+            let lhs = g.production(*prod).lhs();
+            if lhs == type_id {
+                seen_type = true;
+                assert_eq!(s.arena().state(n), ParseState::MULTI);
+            }
+            if lhs == func_id {
+                seen_func = true;
+                assert_eq!(s.arena().state(n), ParseState::MULTI);
+            }
+        }
+        stack.extend_from_slice(s.arena().kids(n));
+    }
+    assert!(seen_type && seen_func, "both namespace readings exist");
+}
+
+#[test]
+fn terminals_are_shared_between_interpretations() {
+    // Figure 3 / trace footnote: the shared subtrees are the terminals of
+    // the ambiguous region.
+    let cfg = simp_c();
+    let s = Session::new(&cfg, "a (b);").unwrap();
+    // Count parents per terminal by scanning all reachable nodes.
+    use std::collections::HashMap;
+    let mut refs: HashMap<wg_dag::NodeId, usize> = HashMap::new();
+    let mut stack = vec![s.root()];
+    let mut visited = std::collections::HashSet::new();
+    while let Some(n) = stack.pop() {
+        if !visited.insert(n) {
+            continue;
+        }
+        for &k in s.arena().kids(n) {
+            if matches!(s.arena().kind(k), NodeKind::Terminal { .. }) {
+                *refs.entry(k).or_default() += 1;
+            }
+            stack.push(k);
+        }
+    }
+    let shared = refs.values().filter(|&&c| c > 1).count();
+    assert!(
+        shared >= 3,
+        "the region's terminals (a, b, parens) appear under both readings; \
+         {shared} shared"
+    );
+}

@@ -1,0 +1,222 @@
+//! Property-based tests over the core invariants:
+//!
+//! * incremental relexing ≡ lexing from scratch, for arbitrary edits;
+//! * incremental reparsing ≡ parsing from scratch, for arbitrary
+//!   identifier-level edit scripts;
+//! * IGLR acceptance ≡ Earley acceptance, for arbitrary token strings over
+//!   an ambiguous grammar;
+//! * [`wg_grammar::TermSet`] behaves like a model set;
+//! * [`wg_document::Edit::merge`] covers both component edits.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use wg_core::{IglrParser, Session};
+use wg_dag::{structurally_equal, DagArena};
+use wg_document::Edit;
+use wg_earley::EarleyParser;
+use wg_grammar::{Terminal, TermSet};
+use wg_langs::toys::ambiguous_expr;
+use wg_langs::{generate::identifier_sites, simp_c};
+use wg_lexer::LexerDef;
+use wg_lrtable::{LrTable, TableKind};
+
+fn c_lexer() -> wg_lexer::Lexer {
+    let mut def = LexerDef::new();
+    def.literal("typedef", "typedef");
+    def.literal("int", "int");
+    def.rule("id", "[a-zA-Z_][a-zA-Z0-9_]*").unwrap();
+    def.rule("num", "[0-9]+").unwrap();
+    def.literal("lp", "(");
+    def.literal("rp", ")");
+    def.literal("semi", ";");
+    def.literal("eq", "=");
+    def.literal("plus", "+");
+    def.skip("ws", "[ \\t\\n]+").unwrap();
+    def.compile()
+}
+
+/// Text made of C-ish fragments, so edits hit interesting token boundaries.
+fn text_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just("int x".to_string()),
+            Just("= 42;".to_string()),
+            Just("foo(bar)".to_string()),
+            Just(" ".to_string()),
+            Just("typedef".to_string()),
+            Just("intx".to_string()),
+            Just("12 34".to_string()),
+            "[a-z]{1,6}",
+        ],
+        1..12,
+    )
+    .prop_map(|parts| parts.join(" "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn relex_equals_fresh_lex(
+        text in text_strategy(),
+        pos_frac in 0.0f64..1.0,
+        del in 0usize..6,
+        insert in prop_oneof![
+            Just(String::new()),
+            Just("x".to_string()),
+            Just(" int ".to_string()),
+            Just("(".to_string()),
+            "[a-z0-9 ]{0,8}",
+        ],
+    ) {
+        let lexer = c_lexer();
+        let old_tokens = lexer.lex(&text).tokens;
+        let start = ((text.len() as f64) * pos_frac) as usize;
+        let start = floor_char_boundary(&text, start);
+        let removed = del.min(text.len() - start);
+        let removed = floor_char_boundary(&text[start..], removed);
+        let mut new_text = text.clone();
+        new_text.replace_range(start..start + removed, &insert);
+        let edit = Edit { start, removed, inserted: insert.len() };
+
+        let relex = lexer.relex(&new_text, &old_tokens, edit);
+        let merged = lexer.apply_relex(&old_tokens, &relex, edit.delta());
+        let fresh = lexer.lex(&new_text);
+        prop_assert_eq!(merged, fresh.tokens);
+        prop_assert_eq!(relex.errors.is_empty(), fresh.errors.is_empty());
+    }
+
+    #[test]
+    fn iglr_accepts_iff_earley_accepts(tokens in proptest::collection::vec(0u8..2, 0..14)) {
+        // Random strings over {num, +} against E -> E + E | num.
+        let g = ambiguous_expr(false);
+        let table = LrTable::build(&g, TableKind::Lalr);
+        let num = g.terminal_by_name("num").unwrap();
+        let plus = g.terminal_by_name("+").unwrap();
+        let terms: Vec<Terminal> = tokens
+            .iter()
+            .map(|&b| if b == 0 { num } else { plus })
+            .collect();
+        let earley = EarleyParser::new(&g).recognize(&terms);
+        let iglr = IglrParser::new(&g, &table);
+        let mut arena = DagArena::new();
+        let pairs: Vec<_> = terms.iter().map(|t| (*t, "w")).collect();
+        let accepted = iglr.parse_tokens(&mut arena, pairs).is_ok();
+        prop_assert_eq!(accepted, earley);
+    }
+
+    #[test]
+    fn termset_behaves_like_model(ops in proptest::collection::vec((0u8..3, 0usize..80), 0..60)) {
+        let mut set = TermSet::empty(80);
+        let mut model: HashSet<usize> = HashSet::new();
+        for (op, ix) in ops {
+            let t = Terminal::from_index(ix);
+            match op {
+                0 => {
+                    prop_assert_eq!(set.insert(t), model.insert(ix));
+                }
+                1 => {
+                    prop_assert_eq!(set.remove(t), model.remove(&ix));
+                }
+                _ => {
+                    prop_assert_eq!(set.contains(t), model.contains(&ix));
+                }
+            }
+            prop_assert_eq!(set.len(), model.len());
+        }
+        let mut collected: Vec<usize> = set.iter().map(|t| t.index()).collect();
+        let mut expected: Vec<usize> = model.into_iter().collect();
+        collected.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(collected, expected);
+    }
+
+    #[test]
+    fn edit_merge_covers_both(
+        base in "[a-z]{4,24}",
+        s1 in 0usize..20, r1 in 0usize..4, i1 in "[a-z]{0,4}",
+        s2 in 0usize..20, r2 in 0usize..4, i2 in "[a-z]{0,4}",
+    ) {
+        let s1 = s1.min(base.len());
+        let r1 = r1.min(base.len() - s1);
+        let mut mid = base.clone();
+        mid.replace_range(s1..s1 + r1, &i1);
+        let e1 = Edit { start: s1, removed: r1, inserted: i1.len() };
+        let s2 = s2.min(mid.len());
+        let r2 = r2.min(mid.len() - s2);
+        let mut fin = mid.clone();
+        fin.replace_range(s2..s2 + r2, &i2);
+        let e2 = Edit { start: s2, removed: r2, inserted: i2.len() };
+
+        let m = e1.merge(e2);
+        // The merged edit, applied to `base` with the corresponding slice of
+        // `fin`, reproduces `fin`: outside the merged old-range, base and
+        // fin agree under the merged delta.
+        prop_assert_eq!(
+            fin.len() as isize - base.len() as isize,
+            m.delta(),
+            "delta mismatch"
+        );
+        prop_assert!(m.old_end() <= base.len());
+        prop_assert!(m.new_end() <= fin.len());
+        prop_assert_eq!(&base[..m.start], &fin[..m.start], "prefix must agree");
+        prop_assert_eq!(&base[m.old_end()..], &fin[m.new_end()..], "suffix must agree");
+    }
+}
+
+proptest! {
+    // The end-to-end property is expensive; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn incremental_reparse_equals_scratch(
+        seed in 0u64..1000,
+        picks in proptest::collection::vec((0usize..1000, 0u8..3), 1..5),
+    ) {
+        let cfg = simp_c();
+        let p = wg_langs::generate::c_program(
+            &wg_langs::generate::GenSpec::sized(60, 0.08, seed),
+        );
+        let mut session = Session::new(&cfg, &p.text).unwrap();
+        for (pick, kind) in picks {
+            let sites = identifier_sites(session.text());
+            prop_assume!(!sites.is_empty());
+            let (start, len) = sites[pick % sites.len()];
+            let replacement = match kind {
+                0 => "q",
+                1 => "long_name_here",
+                _ => "42",
+            };
+            session.edit(start, len, replacement);
+            let out = session.reparse().unwrap();
+            let reference = Session::new(&cfg, session.text());
+            match reference {
+                Ok(reference) => {
+                    prop_assert!(out.incorporated, "valid text refused: {:?}", out.error);
+                    prop_assert!(structurally_equal(
+                        session.arena(),
+                        session.root(),
+                        reference.arena(),
+                        reference.root()
+                    ));
+                }
+                Err(_) => {
+                    // e.g. replacing a type name with `42` can break the
+                    // parse — then the session must have refused it too.
+                    prop_assert!(!out.incorporated);
+                    // Undo so later edits start from a consistent state.
+                    session.undo();
+                    prop_assert!(session.reparse().unwrap().incorporated);
+                }
+            }
+        }
+    }
+}
+
+fn floor_char_boundary(s: &str, mut ix: usize) -> usize {
+    ix = ix.min(s.len());
+    while ix > 0 && !s.is_char_boundary(ix) {
+        ix -= 1;
+    }
+    ix
+}
