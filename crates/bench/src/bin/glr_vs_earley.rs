@@ -31,7 +31,8 @@ fn main() {
 
         let (_d, t_glr) = time_once(|| {
             let mut arena = DagArena::new();
-            glr.parse(&mut arena, pairs.iter().copied()).expect("parses")
+            glr.parse(&mut arena, pairs.iter().copied())
+                .expect("parses")
         });
         let (stats, t_earley) = time_once(|| earley.run(&terms));
         assert!(stats.accepted, "Earley agrees the input parses");
@@ -92,7 +93,13 @@ fn main() {
     }
     print_table(
         "Footnote 4 — GLR vs Earley on the ambiguous grammar E -> E + E | num",
-        &["tokens", "GLR (full dag)", "dag nodes", "Earley (recognize)", "Earley items"],
+        &[
+            "tokens",
+            "GLR (full dag)",
+            "dag nodes",
+            "Earley (recognize)",
+            "Earley items",
+        ],
         &rows,
     );
     println!(

@@ -59,8 +59,7 @@ fn main() {
     // regions, the extra time over an all-deterministic session is
     // p·(t_amb - t_plain)/t_plain.
     let p = program.ambiguous_sites as f64 / program.lines as f64;
-    let extra =
-        100.0 * p * (t_amb.as_secs_f64() - t_plain.as_secs_f64()) / t_plain.as_secs_f64();
+    let extra = 100.0 * p * (t_amb.as_secs_f64() - t_plain.as_secs_f64()) / t_plain.as_secs_f64();
 
     print_table(
         "Section 5 — reconstruction of non-deterministic regions",

@@ -47,23 +47,19 @@ fn main() {
     });
     let (_r3, t_glr) = time_once(|| {
         let mut arena = DagArena::new();
-        glr.parse(&mut arena, pairs.iter().copied()).expect("parses")
+        glr.parse(&mut arena, pairs.iter().copied())
+            .expect("parses")
     });
 
-    let per_tok = |t: std::time::Duration| {
-        format!("{:.0} ns", t.as_nanos() as f64 / tokens.len() as f64)
-    };
+    let per_tok =
+        |t: std::time::Duration| format!("{:.0} ns", t.as_nanos() as f64 / tokens.len() as f64);
     let rows = vec![
         vec![
             "deterministic (state-matching)".into(),
             fmt_dur(t_det),
             per_tok(t_det),
         ],
-        vec![
-            "IGLR (batch mode)".into(),
-            fmt_dur(t_iglr),
-            per_tok(t_iglr),
-        ],
+        vec!["IGLR (batch mode)".into(), fmt_dur(t_iglr), per_tok(t_iglr)],
         vec!["batch GLR (Rekers)".into(), fmt_dur(t_glr), per_tok(t_glr)],
     ];
     print_table(

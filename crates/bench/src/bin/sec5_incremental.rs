@@ -87,4 +87,70 @@ fn main() {
         sites.len()
     );
     println!("(paper: \"the difference in running times ... was undetectable\")");
+
+    scaling_sweep(&cfg);
+}
+
+/// Per-edit reparse cost across document sizes: a single-token
+/// self-cancelling edit in 1k/10k/100k-token documents. With shared
+/// language artifacts, pooled parser scratch, the gap-buffered token tape,
+/// and damage-bounded relexing, the per-stage timings from
+/// [`wg_core::ReparseReport`] should stay flat as the document grows.
+fn scaling_sweep(cfg: &wg_core::SessionConfig) {
+    use wg_core::ReparseReport;
+
+    let mut rows = Vec::new();
+    for &lines in &[150usize, 1_500, 15_000] {
+        let program = c_program(&GenSpec::sized(lines, 0.0, 7));
+        let site = edit_sites(&program.text, 1, 13)[0];
+        let mut s = Session::new(cfg, &program.text).expect("parses");
+        let tokens = s.token_count();
+        let (start, len) = site;
+        let original = s.text()[start..start + len].to_string();
+
+        let run_pair = |s: &mut Session| -> (ReparseReport, ReparseReport) {
+            s.edit(start, len, "qqq");
+            let a = s.reparse().expect("no session error");
+            assert!(a.incorporated);
+            s.edit(start, 3, &original);
+            let b = s.reparse().expect("no session error");
+            assert!(b.incorporated);
+            (a.report, b.report)
+        };
+
+        // Warm the pools, then measure.
+        for _ in 0..4 {
+            run_pair(&mut s);
+        }
+        let rounds = 32;
+        let mut relex = Duration::ZERO;
+        let mut parse = Duration::ZERO;
+        let mut maint = Duration::ZERO;
+        let mut total = Duration::ZERO;
+        for _ in 0..rounds {
+            let (a, b) = run_pair(&mut s);
+            for r in [a, b] {
+                relex += r.relex;
+                parse += r.parse;
+                maint += r.maintenance;
+                total += r.total;
+            }
+        }
+        let n = (2 * rounds) as u32;
+        rows.push(vec![
+            format!("{tokens}"),
+            fmt_dur(relex / n),
+            fmt_dur(parse / n),
+            fmt_dur(maint / n),
+            fmt_dur(total / n),
+        ]);
+    }
+    println!();
+    print_table(
+        "Per-stage reparse cost vs document size (1-token edit)",
+        &["tokens", "relex", "parse", "maintenance", "total"],
+        &rows,
+    );
+    println!("\n(per-edit cost should be flat in document size; stage timings");
+    println!(" come from ReparseReport, the pipeline's built-in metrics)");
 }

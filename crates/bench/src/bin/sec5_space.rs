@@ -36,7 +36,13 @@ fn main() {
     }
     print_table(
         "Section 5 — state-word space overhead vs sentential-form baseline",
-        &["lines", "nodes", "bytes w/o states", "bytes w/ states", "overhead"],
+        &[
+            "lines",
+            "nodes",
+            "bytes w/o states",
+            "bytes w/ states",
+            "overhead",
+        ],
         &rows,
     );
     println!("\n(paper: \"approximately 5% higher, due to the need to record explicit\n states in the nodes\"; the exact figure depends on per-node payload size)");

@@ -65,8 +65,7 @@ fn main() {
         };
         let program = c_program(&spec);
         let cfg = if lang == "C++" { &cpp } else { &c };
-        let session = Session::new(cfg, &program.text)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let session = Session::new(cfg, &program.text).unwrap_or_else(|e| panic!("{name}: {e}"));
         let stats: DagStats = session.stats();
         let measured = stats.space_overhead_percent();
         mean_abs_err += (measured - paper_ov).abs();

@@ -32,10 +32,7 @@ fn main() {
             name.to_string(),
             format!("{}", lalr.num_states()),
             format!("{}", lr1.states),
-            format!(
-                "{:.1}x",
-                lr1.states as f64 / lalr.num_states() as f64
-            ),
+            format!("{:.1}x", lr1.states as f64 / lalr.num_states() as f64),
             format!("{}", slr.conflicts().remaining.len()),
             format!("{}", lalr.conflicts().remaining.len()),
         ]);
@@ -69,7 +66,9 @@ fn main() {
         let (_root, t) = time_once(|| {
             // parse_tokens hides stats; reparse path not needed here — use
             // a throwaway parse and read effort via a second stats run.
-            parser.parse_tokens(&mut arena, pairs.iter().copied()).expect("parses")
+            parser
+                .parse_tokens(&mut arena, pairs.iter().copied())
+                .expect("parses")
         });
         // Re-run once more for the effort counters.
         let mut arena2 = DagArena::new();

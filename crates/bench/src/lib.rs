@@ -62,7 +62,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     };
     let head: Vec<String> = header.iter().map(|h| h.to_string()).collect();
     println!("{}", fmt_row(&head));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -165,8 +168,14 @@ impl<'a> DetSession<'a> {
                 .enumerate()
             {
                 self.arena.mark_changed(node);
-                replacements
-                    .insert(node, if i == 0 { new_nodes.clone() } else { Vec::new() });
+                replacements.insert(
+                    node,
+                    if i == 0 {
+                        new_nodes.clone()
+                    } else {
+                        Vec::new()
+                    },
+                );
             }
         } else if !new_nodes.is_empty() {
             if relex.kept_suffix > 0 {
@@ -201,8 +210,7 @@ impl<'a> DetSession<'a> {
             .config
             .lexer()
             .apply_relex(&self.tokens, &relex, edit.delta());
-        let mut nodes =
-            Vec::with_capacity(relex.kept_prefix + new_nodes.len() + relex.kept_suffix);
+        let mut nodes = Vec::with_capacity(relex.kept_prefix + new_nodes.len() + relex.kept_suffix);
         nodes.extend_from_slice(&self.token_nodes[..relex.kept_prefix]);
         nodes.extend_from_slice(&new_nodes);
         nodes.extend_from_slice(&self.token_nodes[self.token_nodes.len() - relex.kept_suffix..]);

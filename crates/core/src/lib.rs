@@ -59,8 +59,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod metrics;
 mod parser;
+mod registry;
 mod session;
+mod tape;
 
+pub use metrics::{ReparseReport, SessionMetrics};
 pub use parser::{IglrError, IglrParser, IglrRunStats};
+pub use registry::LanguageRegistry;
 pub use session::{ReparseOutcome, Session, SessionConfig, SessionError};
+pub use tape::TokenTape;

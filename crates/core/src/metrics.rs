@@ -1,0 +1,103 @@
+//! Per-stage instrumentation of the reparse pipeline.
+//!
+//! Every [`crate::Session::reparse`] produces a [`ReparseReport`] breaking
+//! the cycle into its stages (relex → incremental GLR → tree maintenance)
+//! with monotonic timings and the parser's effort counters, and the session
+//! accumulates them into a [`SessionMetrics`]. Everything here is plain
+//! `std` — counters and [`std::time::Instant`] differences — so the
+//! instrumentation adds no dependencies and negligible overhead.
+
+use crate::parser::IglrRunStats;
+use std::time::Duration;
+
+/// Per-stage account of one [`crate::Session::reparse`] cycle.
+///
+/// Timings are wall-clock durations measured with [`std::time::Instant`];
+/// `relex` and `parse` sum over every attempt of the prefix-retry loop,
+/// `maintenance` covers periodic rebalancing and garbage collection.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReparseReport {
+    /// Incorporation attempts made (1 when the full pending set parses).
+    pub attempts: usize,
+    /// Pending edits folded into the tree this cycle.
+    pub incorporated_edits: usize,
+    /// Time spent in incremental relexing, over all attempts.
+    pub relex: Duration,
+    /// Time spent in the incremental GLR parser, over all attempts.
+    pub parse: Duration,
+    /// Time spent on dag maintenance (rebalancing, garbage collection).
+    pub maintenance: Duration,
+    /// Wall-clock time of the whole cycle.
+    pub total: Duration,
+    /// Effort counters of the successful parse (zeroed when none succeeded).
+    pub parser: IglrRunStats,
+    /// Arena size after the cycle (a Section 5-style space metric).
+    pub arena_nodes: usize,
+    /// Whether this cycle ran the periodic full rebalance.
+    pub rebalanced: bool,
+    /// Whether this cycle collected arena garbage.
+    pub gc_ran: bool,
+}
+
+/// Cumulative pipeline metrics of one session.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SessionMetrics {
+    /// Reparse cycles observed (successful or refused).
+    pub reparses: u64,
+    /// Incorporation attempts across all cycles.
+    pub attempts: u64,
+    /// Total relex time.
+    pub relex: Duration,
+    /// Total incremental-parse time.
+    pub parse: Duration,
+    /// Total maintenance time.
+    pub maintenance: Duration,
+    /// Total reparse wall-clock time.
+    pub total: Duration,
+    /// Full rebalances run.
+    pub rebalances: u64,
+    /// Garbage collections run.
+    pub gcs: u64,
+}
+
+impl SessionMetrics {
+    /// Folds one cycle's report into the running totals.
+    pub fn absorb(&mut self, r: &ReparseReport) {
+        self.reparses += 1;
+        self.attempts += r.attempts as u64;
+        self.relex += r.relex;
+        self.parse += r.parse;
+        self.maintenance += r.maintenance;
+        self.total += r.total;
+        self.rebalances += u64::from(r.rebalanced);
+        self.gcs += u64::from(r.gc_ran);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut m = SessionMetrics::default();
+        let r = ReparseReport {
+            attempts: 3,
+            relex: Duration::from_micros(5),
+            parse: Duration::from_micros(7),
+            maintenance: Duration::from_micros(1),
+            total: Duration::from_micros(20),
+            rebalanced: true,
+            ..ReparseReport::default()
+        };
+        m.absorb(&r);
+        m.absorb(&r);
+        assert_eq!(m.reparses, 2);
+        assert_eq!(m.attempts, 6);
+        assert_eq!(m.relex, Duration::from_micros(10));
+        assert_eq!(m.parse, Duration::from_micros(14));
+        assert_eq!(m.total, Duration::from_micros(40));
+        assert_eq!(m.rebalances, 2);
+        assert_eq!(m.gcs, 0);
+    }
+}

@@ -5,7 +5,7 @@ use std::fmt;
 use wg_dag::{
     rebalance_sequences, unshare_epsilon, DagArena, InputStream, NodeId, NodeKind, ParseState,
 };
-use wg_glr::{ps, Gss, GssIdx, Link, MergeTables, TablePolicy};
+use wg_glr::{ps, Gss, GssIdx, Link, MergeTables, ParseScratch, TablePolicy};
 use wg_grammar::{Grammar, ProdId, Terminal};
 use wg_lrtable::{Action, LrTable, StateId};
 
@@ -109,11 +109,27 @@ impl<'a> IglrParser<'a> {
         arena: &mut DagArena,
         nodes: &[NodeId],
     ) -> Result<NodeId, IglrError> {
+        let mut scratch = ParseScratch::new();
+        self.parse_terminal_nodes_in(&mut scratch, arena, nodes)
+    }
+
+    /// As [`IglrParser::parse_terminal_nodes`], but running inside a pooled
+    /// [`ParseScratch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IglrError`] on invalid input.
+    pub fn parse_terminal_nodes_in(
+        &self,
+        scratch: &mut ParseScratch,
+        arena: &mut DagArena,
+        nodes: &[NodeId],
+    ) -> Result<NodeId, IglrError> {
         let placeholder = arena.production(ProdId::AUGMENTED, ParseState::NONE, vec![]);
         let root = arena.root(placeholder);
         let eos = arena.kids(root)[2];
         let stream = InputStream::over_terminals(arena, nodes, eos);
-        let (body, _stats) = self.drive(arena, stream)?;
+        let (body, _stats) = self.drive(scratch, arena, stream)?;
         arena.set_root_body(root, body);
         self.finish(arena, root);
         Ok(root)
@@ -135,10 +151,30 @@ impl<'a> IglrParser<'a> {
         replacements: HashMap<NodeId, Vec<NodeId>>,
         appended: &[NodeId],
     ) -> Result<IglrRunStats, IglrError> {
+        let mut scratch = ParseScratch::new();
+        self.reparse_in(&mut scratch, arena, root, replacements, appended)
+    }
+
+    /// As [`IglrParser::reparse`], but running inside a pooled
+    /// [`ParseScratch`]: a session reuses one scratch across every reparse
+    /// (and every attempt of the prefix-retry loop), so the steady-state
+    /// per-edit cost involves no GSS or worklist allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IglrError`] if the modified input has no parse.
+    pub fn reparse_in(
+        &self,
+        scratch: &mut ParseScratch,
+        arena: &mut DagArena,
+        root: NodeId,
+        replacements: HashMap<NodeId, Vec<NodeId>>,
+        appended: &[NodeId],
+    ) -> Result<IglrRunStats, IglrError> {
         arena.begin_epoch();
         let mut stream = InputStream::over_tree(arena, root, replacements);
         stream.append_before_eos(arena, appended);
-        let (body, stats) = match self.drive(arena, stream) {
+        let (body, stats) = match self.drive(scratch, arena, stream) {
             Ok(ok) => ok,
             Err(e) => {
                 // The previous tree stays authoritative: restore the parent
@@ -180,21 +216,32 @@ impl<'a> IglrParser<'a> {
 
     fn drive(
         &self,
+        scratch: &mut ParseScratch,
         arena: &mut DagArena,
         stream: InputStream,
     ) -> Result<(NodeId, IglrRunStats), IglrError> {
+        scratch.begin_run();
+        let ParseScratch {
+            gss,
+            merge,
+            active,
+            for_actor,
+            queued,
+            for_shifter,
+            forward,
+        } = scratch;
         let mut run = IglrRun {
             g: self.g,
             table: self.table,
-            gss: Gss::new(),
-            merge: MergeTables::new(),
-            active: Vec::new(),
-            queued: HashSet::new(),
-            for_actor: Vec::new(),
-            for_shifter: Vec::new(),
+            gss,
+            merge,
+            active,
+            queued,
+            for_actor,
+            for_shifter,
             accepting: None,
             multi: false,
-            forward: HashMap::new(),
+            forward,
             stream,
             stats: IglrRunStats::default(),
         };
@@ -227,21 +274,22 @@ impl<'a> IglrParser<'a> {
     }
 }
 
-/// Mutable state of one incremental GLR parse.
+/// Mutable state of one incremental GLR parse. The collections are split
+/// borrows of a [`ParseScratch`], so their allocations outlive the run.
 struct IglrRun<'a> {
     g: &'a Grammar,
     table: &'a LrTable,
-    gss: Gss,
-    merge: MergeTables,
-    active: Vec<GssIdx>,
-    queued: HashSet<GssIdx>,
-    for_actor: Vec<GssIdx>,
-    for_shifter: Vec<(GssIdx, StateId)>,
+    gss: &'a mut Gss,
+    merge: &'a mut MergeTables,
+    active: &'a mut Vec<GssIdx>,
+    queued: &'a mut HashSet<GssIdx>,
+    for_actor: &'a mut Vec<GssIdx>,
+    for_shifter: &'a mut Vec<(GssIdx, StateId)>,
     accepting: Option<GssIdx>,
     /// The paper's `multipleStates` flag.
     multi: bool,
     /// Proxy upgrades of the current round (see `wg_glr`).
-    forward: HashMap<NodeId, NodeId>,
+    forward: &'a mut HashMap<NodeId, NodeId>,
     stream: InputStream,
     stats: IglrRunStats,
 }
@@ -267,7 +315,7 @@ impl IglrRun<'_> {
         self.forward.clear();
         self.for_shifter.clear();
         self.for_actor.clear();
-        self.for_actor.extend_from_slice(&self.active);
+        self.for_actor.extend_from_slice(self.active);
         self.queued.clear();
         self.queued.extend(self.for_actor.iter().copied());
         self.stats.max_parsers = self.stats.max_parsers.max(self.active.len());
@@ -275,11 +323,7 @@ impl IglrRun<'_> {
         // non-deterministic as multiple parsers: reductions through them are
         // context-dependent, so their results must carry the multistate
         // marker.
-        if self
-            .active
-            .iter()
-            .any(|&p| self.gss.links(p).len() > 1)
-        {
+        if self.active.iter().any(|&p| self.gss.links(p).len() > 1) {
             self.multi = true;
         }
         while let Some(p) = self.for_actor.pop() {
@@ -341,7 +385,6 @@ impl IglrRun<'_> {
         }
     }
 
-
     /// The deterministic fast path: exactly one parser, one path, no
     /// conflicts — no sharing is possible, so the merge tables are skipped.
     fn fast_reducer(&mut self, arena: &mut DagArena, q: GssIdx, rule: ProdId, kids: Vec<NodeId>) {
@@ -392,9 +435,14 @@ impl IglrRun<'_> {
         let Some(goto) = self.table.goto(self.gss.state(q), lhs) else {
             return; // dead fork
         };
-        let node = self
-            .merge
-            .get_node(arena, self.g, rule, kids.clone(), ps(self.gss.state(q)), self.multi);
+        let node = self.merge.get_node(
+            arena,
+            self.g,
+            rule,
+            kids.clone(),
+            ps(self.gss.state(q)),
+            self.multi,
+        );
 
         if let Some(&p) = self.active.iter().find(|&&m| self.gss.state(m) == goto) {
             if let Some(pos) = self.gss.find_link(p, q) {
@@ -425,7 +473,13 @@ impl IglrRun<'_> {
                     self.gss.relabel_all(old, label);
                     self.forward.insert(old, label);
                 }
-                self.gss.add_link(p, Link { head: q, node: label });
+                self.gss.add_link(
+                    p,
+                    Link {
+                        head: q,
+                        node: label,
+                    },
+                );
                 if !self.queued.contains(&p) {
                     self.for_actor.push(p);
                     self.queued.insert(p);
@@ -437,7 +491,13 @@ impl IglrRun<'_> {
                 self.gss.relabel_all(old, label);
                 self.forward.insert(old, label);
             }
-            let p = self.gss.push(goto, Link { head: q, node: label });
+            let p = self.gss.push(
+                goto,
+                Link {
+                    head: q,
+                    node: label,
+                },
+            );
             self.active.push(p);
             self.for_actor.push(p);
             self.queued.insert(p);
@@ -466,9 +526,7 @@ impl IglrRun<'_> {
                 }
                 NodeKind::SeqRun { .. } if !self.multi && self.for_shifter.len() == 1 => {
                     let (p, _) = self.for_shifter[0];
-                    if arena.state(la) == ps(self.gss.state(p))
-                        && self.gss.links(p).len() == 1
-                    {
+                    if arena.state(la) == ps(self.gss.state(p)) && self.gss.links(p).len() == 1 {
                         let label = self.gss.links(p)[0].node;
                         let merged = self.merge_run(arena, label, la);
                         if merged != label {
@@ -759,8 +817,14 @@ mod tests {
             }
         }
         walk(&arena, &lang.g, root, &mut multi_lhs, &mut det_lhs);
-        assert!(multi_lhs.contains(&"U".to_string()), "U -> x reduced under 2 parsers");
-        assert!(det_lhs.contains(&"A".to_string()), "A -> B c reduced deterministically");
+        assert!(
+            multi_lhs.contains(&"U".to_string()),
+            "U -> x reduced under 2 parsers"
+        );
+        assert!(
+            det_lhs.contains(&"A".to_string()),
+            "A -> B c reduced deterministically"
+        );
         assert_eq!(DagStats::compute(&arena, root).choice_points, 0);
     }
 
@@ -789,10 +853,7 @@ mod tests {
         let iglr = IglrParser::new(&lang.g, &lang.table);
         let mut arena = DagArena::new();
         let root = iglr
-            .parse_tokens(
-                &mut arena,
-                vec![(x, "x"), (z, "z"), (c, "c")],
-            )
+            .parse_tokens(&mut arena, vec![(x, "x"), (z, "z"), (c, "c")])
             .unwrap();
         let terms = collect_terminals(&arena, root);
         let victim = terms[2];
@@ -891,7 +952,11 @@ mod tests {
             let (new_root, _) = arena.collect_garbage(root);
             root = new_root;
         }
-        assert!(arena.len() < 60, "gc keeps the arena bounded: {}", arena.len());
+        assert!(
+            arena.len() < 60,
+            "gc keeps the arena bounded: {}",
+            arena.len()
+        );
         assert_eq!(arena.width(root), 4);
     }
 }

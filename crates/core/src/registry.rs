@@ -1,0 +1,173 @@
+//! Caching registry of compiled language artifacts.
+//!
+//! Building a conflict-preserving LALR(1) table is by far the most
+//! expensive step of opening a document, and an environment like the
+//! paper's Ensemble opens many documents of the same few languages. The
+//! registry caches the immutable artifacts — grammar, table, compiled
+//! lexer — behind [`std::sync::Arc`], keyed by the stable fingerprints of
+//! the grammar and lexer definitions, so N sessions of one language pay
+//! for exactly one table construction and share every artifact.
+
+use crate::session::{SessionConfig, SessionError};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use wg_grammar::Grammar;
+use wg_lexer::LexerDef;
+use wg_lrtable::{LrTable, TableKind};
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    /// Grammar fingerprint → shared grammar + its LALR table.
+    tables: HashMap<u64, (Arc<Grammar>, Arc<LrTable>)>,
+    /// (grammar fp, lexer fp) → fully assembled configuration.
+    configs: HashMap<(u64, u64), SessionConfig>,
+    table_builds: u64,
+    lexer_builds: u64,
+}
+
+/// A process-wide cache of per-language [`SessionConfig`]s.
+///
+/// Cloning the returned configuration is a handful of reference-count
+/// bumps; identical definitions yield pointer-identical artifacts.
+#[derive(Debug, Default)]
+pub struct LanguageRegistry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl LanguageRegistry {
+    /// An empty registry.
+    pub fn new() -> LanguageRegistry {
+        LanguageRegistry::default()
+    }
+
+    /// Returns the configuration for `grammar` + `lexdef`, compiling the
+    /// table and lexer only if no equal definition was seen before.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SessionError`] from configuration assembly.
+    pub fn get_or_compile(
+        &self,
+        grammar: Grammar,
+        lexdef: LexerDef,
+    ) -> Result<SessionConfig, SessionError> {
+        let key = (grammar.fingerprint(), lexdef.fingerprint());
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        if let Some(cfg) = inner.configs.get(&key) {
+            return Ok(cfg.clone());
+        }
+        let (g, table) = match inner.tables.get(&key.0) {
+            Some((g, t)) => (Arc::clone(g), Arc::clone(t)),
+            None => {
+                let table = Arc::new(LrTable::build(&grammar, TableKind::Lalr));
+                let g = Arc::new(grammar);
+                inner.table_builds += 1;
+                inner
+                    .tables
+                    .insert(key.0, (Arc::clone(&g), Arc::clone(&table)));
+                (g, table)
+            }
+        };
+        inner.lexer_builds += 1;
+        let lexer = Arc::new(lexdef.compile());
+        let cfg = SessionConfig::from_parts(g, table, lexer);
+        inner.configs.insert(key, cfg.clone());
+        Ok(cfg)
+    }
+
+    /// LALR tables actually constructed (cache misses on the grammar key).
+    pub fn table_builds(&self) -> u64 {
+        self.inner.lock().expect("registry poisoned").table_builds
+    }
+
+    /// Lexers actually compiled (cache misses on the full key).
+    pub fn lexer_builds(&self) -> u64 {
+        self.inner.lock().expect("registry poisoned").lexer_builds
+    }
+
+    /// Distinct configurations cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("registry poisoned").configs.len()
+    }
+
+    /// Whether the registry has no cached configurations.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::Session;
+    use std::sync::Arc;
+    use wg_grammar::{GrammarBuilder, SeqKind, Symbol};
+
+    fn stmt_grammar() -> Grammar {
+        let mut b = GrammarBuilder::new("stmts");
+        let id = b.terminal("id");
+        let semi = b.terminal(";");
+        let stmt = b.nonterminal("stmt");
+        let prog = b.nonterminal("prog");
+        b.prod(stmt, vec![Symbol::T(id), Symbol::T(semi)]);
+        b.sequence(prog, Symbol::N(stmt), SeqKind::Plus, None);
+        b.start(prog);
+        b.build().unwrap()
+    }
+
+    fn stmt_lexdef() -> LexerDef {
+        let mut lx = LexerDef::new();
+        lx.rule("id", "[a-zA-Z_][a-zA-Z0-9_]*").unwrap();
+        lx.literal(";", ";");
+        lx.skip("ws", "[ \\t\\n]+").unwrap();
+        lx
+    }
+
+    #[test]
+    fn hundred_sessions_build_one_table() {
+        let reg = LanguageRegistry::new();
+        let mut sessions = Vec::new();
+        for i in 0..100 {
+            let cfg = reg.get_or_compile(stmt_grammar(), stmt_lexdef()).unwrap();
+            sessions.push(Session::new(&cfg, &format!("doc{i};")).unwrap());
+        }
+        assert_eq!(
+            reg.table_builds(),
+            1,
+            "one LALR construction for 100 sessions"
+        );
+        assert_eq!(reg.lexer_builds(), 1);
+        assert_eq!(reg.len(), 1);
+        assert!(!reg.is_empty());
+        assert_eq!(sessions.len(), 100);
+        assert!(sessions.iter().all(|s| s.token_count() == 2));
+    }
+
+    #[test]
+    fn identical_definitions_share_artifacts_pointerwise() {
+        let reg = LanguageRegistry::new();
+        // Property: over many independently built (but equal) definitions,
+        // every returned artifact is pointer-identical to the first.
+        let first = reg.get_or_compile(stmt_grammar(), stmt_lexdef()).unwrap();
+        for _ in 0..16 {
+            let cfg = reg.get_or_compile(stmt_grammar(), stmt_lexdef()).unwrap();
+            assert!(Arc::ptr_eq(first.shared_grammar(), cfg.shared_grammar()));
+            assert!(Arc::ptr_eq(first.shared_table(), cfg.shared_table()));
+            assert!(Arc::ptr_eq(first.shared_lexer(), cfg.shared_lexer()));
+        }
+    }
+
+    #[test]
+    fn same_grammar_different_lexer_shares_the_table() {
+        let reg = LanguageRegistry::new();
+        let a = reg.get_or_compile(stmt_grammar(), stmt_lexdef()).unwrap();
+        let mut lx = stmt_lexdef();
+        lx.skip("comment", "#[^\\n]*").unwrap();
+        let b = reg.get_or_compile(stmt_grammar(), lx).unwrap();
+        assert_eq!(reg.table_builds(), 1, "the grammar key deduplicates tables");
+        assert_eq!(reg.lexer_builds(), 2);
+        assert_eq!(reg.len(), 2);
+        assert!(Arc::ptr_eq(a.shared_table(), b.shared_table()));
+        assert!(!Arc::ptr_eq(a.shared_lexer(), b.shared_lexer()));
+    }
+}

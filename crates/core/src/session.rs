@@ -2,13 +2,18 @@
 //! abstract parse dag, glued into the edit/reparse cycle of an interactive
 //! environment (the paper's Ensemble setting).
 
+use crate::metrics::{ReparseReport, SessionMetrics};
 use crate::parser::{IglrError, IglrParser, IglrRunStats};
+use crate::tape::TokenTape;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
 use wg_dag::{DagArena, DagStats, NodeId, NodeKind};
 use wg_document::{Edit, TextBuffer, UnincorporatedEdits};
+use wg_glr::ParseScratch;
 use wg_grammar::{Grammar, Terminal};
-use wg_lexer::{Lexer, LexerDef, RegexError, TokenAt};
+use wg_lexer::{Lexer, LexerDef, RegexError, RelexResult, TokenAt};
 use wg_lrtable::{LrTable, TableKind};
 
 /// Errors configuring or running a session.
@@ -52,13 +57,18 @@ impl From<RegexError> for SessionError {
 
 /// Immutable per-language artifacts shared by any number of sessions: the
 /// grammar, its conflict-preserving LALR(1) table, and the compiled lexer.
+///
+/// Every artifact lives behind an [`Arc`], so cloning a configuration —
+/// which every [`Session`] does — is a few reference-count bumps, never a
+/// rebuild. [`crate::LanguageRegistry`] hands out configurations whose
+/// artifacts are shared across all sessions of one language.
 #[derive(Debug, Clone)]
 pub struct SessionConfig {
-    grammar: Grammar,
-    table: LrTable,
-    lexer: Lexer,
+    grammar: Arc<Grammar>,
+    table: Arc<LrTable>,
+    lexer: Arc<Lexer>,
     /// Lexer rule index → grammar terminal (None for skip rules).
-    term_map: Vec<Option<Terminal>>,
+    term_map: Arc<[Option<Terminal>]>,
 }
 
 impl SessionConfig {
@@ -69,19 +79,29 @@ impl SessionConfig {
     ///
     /// Returns [`SessionError::UnknownToken`] for unmapped rules.
     pub fn new(grammar: Grammar, lexdef: LexerDef) -> Result<SessionConfig, SessionError> {
-        let lexer = lexdef.compile();
+        let lexer = Arc::new(lexdef.compile());
+        let table = Arc::new(LrTable::build(&grammar, TableKind::Lalr));
+        Ok(SessionConfig::from_parts(Arc::new(grammar), table, lexer))
+    }
+
+    /// Assembles a configuration from already shared artifacts (the
+    /// registry's cache-hit path).
+    pub(crate) fn from_parts(
+        grammar: Arc<Grammar>,
+        table: Arc<LrTable>,
+        lexer: Arc<Lexer>,
+    ) -> SessionConfig {
         let mut term_map = Vec::with_capacity(lexer.num_rules());
         for i in 0..lexer.num_rules() {
             let name = lexer.rule_name(wg_lexer::RuleId(i as u32));
             term_map.push(grammar.terminal_by_name(name));
         }
-        let table = LrTable::build(&grammar, TableKind::Lalr);
-        Ok(SessionConfig {
+        SessionConfig {
             grammar,
             table,
             lexer,
-            term_map,
-        })
+            term_map: term_map.into(),
+        }
     }
 
     /// The grammar.
@@ -96,6 +116,22 @@ impl SessionConfig {
 
     /// The compiled lexer.
     pub fn lexer(&self) -> &Lexer {
+        &self.lexer
+    }
+
+    /// The shared grammar handle (pointer-identical across sessions of one
+    /// registry entry).
+    pub fn shared_grammar(&self) -> &Arc<Grammar> {
+        &self.grammar
+    }
+
+    /// The shared table handle.
+    pub fn shared_table(&self) -> &Arc<LrTable> {
+        &self.table
+    }
+
+    /// The shared lexer handle.
+    pub fn shared_lexer(&self) -> &Arc<Lexer> {
         &self.lexer
     }
 
@@ -131,28 +167,44 @@ pub struct ReparseOutcome {
     pub stats: IglrRunStats,
     /// The error that stopped fuller incorporation, if any.
     pub error: Option<IglrError>,
+    /// Per-stage timings and counters of this cycle.
+    pub report: ReparseReport,
 }
 
 /// One document under incremental analysis.
-#[derive(Debug, Clone)]
-pub struct Session<'a> {
-    config: &'a SessionConfig,
+///
+/// The session owns shared (Arc'd) language artifacts plus all the mutable
+/// per-document state: the text buffer, the dag arena, the gap-buffered
+/// [`TokenTape`], and the pooled scratch structures (GSS + worklists,
+/// relex buffers, the prefix-retry text buffer) that make the steady-state
+/// reparse path allocation-free.
+#[derive(Debug)]
+pub struct Session {
+    config: SessionConfig,
     buffer: TextBuffer,
     arena: DagArena,
     root: NodeId,
-    tokens: Vec<TokenAt>,
-    token_nodes: Vec<NodeId>,
+    tape: TokenTape,
     unincorporated: UnincorporatedEdits,
     reparses: usize,
+    scratch: ParseScratch,
+    relex: RelexResult,
+    /// Reconstruction buffer for prefix-retry attempts.
+    prefix_buf: String,
+    /// (token, terminal node) pairs of the current attempt.
+    new_pairs: Vec<(TokenAt, NodeId)>,
+    metrics: SessionMetrics,
 }
 
-impl<'a> Session<'a> {
-    /// Lexes and batch-parses `text`, establishing the initial tree.
+impl Session {
+    /// Lexes and batch-parses `text`, establishing the initial tree. The
+    /// configuration is cheaply cloned (shared artifacts), so the session
+    /// has no borrowed lifetime.
     ///
     /// # Errors
     ///
     /// Returns [`SessionError`] when the initial text does not lex or parse.
-    pub fn new(config: &'a SessionConfig, text: &str) -> Result<Session<'a>, SessionError> {
+    pub fn new(config: &SessionConfig, text: &str) -> Result<Session, SessionError> {
         let out = config.lexer.lex(text);
         if !out.errors.is_empty() {
             return Err(SessionError::LexError {
@@ -163,26 +215,31 @@ impl<'a> Session<'a> {
         arena.begin_epoch();
         let mut token_nodes = Vec::with_capacity(out.tokens.len());
         for tok in &out.tokens {
-            let term = config
-                .terminal_for(tok)
-                .ok_or_else(|| {
-                    SessionError::UnknownToken(config.lexer.rule_name(tok.rule).to_string())
-                })?;
+            let term = config.terminal_for(tok).ok_or_else(|| {
+                SessionError::UnknownToken(config.lexer.rule_name(tok.rule).to_string())
+            })?;
             token_nodes.push(arena.terminal(term, tok.lexeme(text)));
         }
-        let parser = IglrParser::new(&config.grammar, &config.table);
+        let mut scratch = ParseScratch::new();
+        let parser = IglrParser::new(config.grammar(), config.table());
         let root = parser
-            .parse_terminal_nodes(&mut arena, &token_nodes)
+            .parse_terminal_nodes_in(&mut scratch, &mut arena, &token_nodes)
             .map_err(SessionError::ParseError)?;
+        let mut tape = TokenTape::new();
+        tape.rebuild(out.tokens.into_iter().zip(token_nodes));
         Ok(Session {
-            config,
+            config: config.clone(),
             buffer: TextBuffer::new(text),
             arena,
             root,
-            tokens: out.tokens,
-            token_nodes,
+            tape,
             unincorporated: UnincorporatedEdits::new(),
             reparses: 0,
+            scratch,
+            relex: RelexResult::default(),
+            prefix_buf: String::new(),
+            new_pairs: Vec::new(),
+            metrics: SessionMetrics::default(),
         })
     }
 
@@ -218,14 +275,18 @@ impl<'a> Session<'a> {
     /// [`ReparseOutcome::incorporated`]. The `Result` covers internal
     /// invariant violations surfaced as [`SessionError`] (none currently).
     pub fn reparse(&mut self) -> Result<ReparseOutcome, SessionError> {
+        let t_total = Instant::now();
+        let mut report = ReparseReport::default();
         let pending = self.buffer.pending_len();
         if pending == 0 {
+            report.arena_nodes = self.arena.len();
             return Ok(ReparseOutcome {
                 incorporated: true,
                 incorporated_edits: 0,
                 remaining_edits: 0,
                 stats: IglrRunStats::default(),
                 error: None,
+                report,
             });
         }
         // Try the full pending set first, then ever-shorter prefixes (the
@@ -234,14 +295,32 @@ impl<'a> Session<'a> {
         // not retry quadratically.
         let min_k = pending.saturating_sub(MAX_PREFIX_ATTEMPTS);
         let mut last_error = None;
+        let parser = IglrParser::new(self.config.grammar(), self.config.table());
         for k in (min_k + 1..=pending).rev() {
-            let text = if k == pending {
-                self.buffer.text().to_string()
+            report.attempts += 1;
+            // The full pending set targets the live buffer text directly;
+            // shorter prefixes are reconstructed into a pooled buffer.
+            let text: &str = if k == pending {
+                self.buffer.text()
             } else {
-                self.buffer.text_at_prefix(k)
+                self.buffer.text_at_prefix_into(k, &mut self.prefix_buf);
+                &self.prefix_buf
             };
             let damage = self.buffer.pending_damage_prefix(k).expect("k >= 1");
-            match self.try_incorporate(&text, damage) {
+            let attempt = Self::try_incorporate(
+                &self.config,
+                &parser,
+                &mut self.arena,
+                &mut self.tape,
+                &mut self.scratch,
+                &mut self.relex,
+                &mut self.new_pairs,
+                self.root,
+                text,
+                damage,
+                &mut report,
+            );
+            match attempt {
                 Ok(stats) => {
                     self.buffer.commit_prefix(k);
                     self.reparses += 1;
@@ -251,20 +330,30 @@ impl<'a> Session<'a> {
                             self.unincorporated.flag(self.buffer.version(), e);
                         }
                     }
+                    let t_maint = Instant::now();
                     // Incremental compaction lets sequence depth creep
-                    // slowly; a periodic canonical rebuild amortizes it away.
-                    if self.reparses.is_multiple_of(64) {
-                        let parser =
-                            IglrParser::new(&self.config.grammar, &self.config.table);
+                    // slowly; a periodic canonical rebuild amortizes it
+                    // away. The cadence scales with document size so the
+                    // O(N) rebuild stays amortized O(1) per edit.
+                    let interval = 64.max(self.tape.len() / 16);
+                    if self.reparses.is_multiple_of(interval) {
                         parser.rebalance_full(&mut self.arena, self.root);
+                        report.rebalanced = true;
                     }
-                    self.maybe_gc();
+                    report.gc_ran = Self::maybe_gc(&mut self.arena, &mut self.root, &mut self.tape);
+                    report.maintenance += t_maint.elapsed();
+                    report.incorporated_edits = k;
+                    report.arena_nodes = self.arena.len();
+                    report.parser = stats.clone();
+                    report.total = t_total.elapsed();
+                    self.metrics.absorb(&report);
                     return Ok(ReparseOutcome {
                         incorporated: k == pending,
                         incorporated_edits: k,
                         remaining_edits: pending - k,
                         stats,
                         error: last_error,
+                        report,
                     });
                 }
                 Err(e) => last_error = e,
@@ -274,126 +363,140 @@ impl<'a> Session<'a> {
         for e in self.buffer.pending_edits() {
             self.unincorporated.flag(self.buffer.version(), e);
         }
+        report.arena_nodes = self.arena.len();
+        report.total = t_total.elapsed();
+        self.metrics.absorb(&report);
         Ok(ReparseOutcome {
             incorporated: false,
             incorporated_edits: 0,
             remaining_edits: pending,
             stats: IglrRunStats::default(),
             error: last_error,
+            report,
         })
     }
 
     /// One incorporation attempt against a target `text` whose difference
-    /// from the committed text is `damage`. On success the tree, tokens and
-    /// node bookkeeping reflect `text`; on failure everything is unwound.
+    /// from the committed text is `damage`. On success the tree and token
+    /// tape reflect `text`; on failure everything is unwound.
+    ///
+    /// An associated function over split field borrows: `text` may borrow
+    /// the session's buffer (or pooled prefix buffer) while the arena,
+    /// tape, and scratch pools are mutated.
+    #[allow(clippy::too_many_arguments)]
     fn try_incorporate(
-        &mut self,
+        config: &SessionConfig,
+        parser: &IglrParser<'_>,
+        arena: &mut DagArena,
+        tape: &mut TokenTape,
+        scratch: &mut ParseScratch,
+        relex: &mut RelexResult,
+        new_pairs: &mut Vec<(TokenAt, NodeId)>,
+        root: NodeId,
         text: &str,
         damage: Edit,
+        report: &mut ReparseReport,
     ) -> Result<IglrRunStats, Option<IglrError>> {
-        let relex = self.config.lexer.relex(text, &self.tokens, damage);
+        let t_relex = Instant::now();
+        tape.prepare_for_edit(damage.start);
+        config.lexer.relex_into(text, tape, damage, relex);
+        report.relex += t_relex.elapsed();
         if !relex.errors.is_empty() {
             return Err(None);
         }
-        let mut new_nodes = Vec::with_capacity(relex.new_tokens.len());
+        new_pairs.clear();
         for tok in &relex.new_tokens {
-            let Some(term) = self.config.terminal_for(tok) else {
+            let Some(term) = config.terminal_for(tok) else {
                 return Err(None);
             };
-            new_nodes.push(self.arena.terminal(term, tok.lexeme(text)));
+            new_pairs.push((*tok, arena.terminal(term, tok.lexeme(text))));
         }
+        let n_new = new_pairs.len();
+        // The node list is built once and *moved* into whichever role it
+        // plays (replacement, boundary insertion, or append).
+        let mut new_nodes = Some(new_pairs.iter().map(|&(_, n)| n).collect::<Vec<_>>());
 
         // Wire replacements and damage marks into the old tree.
         let first_changed = relex.kept_prefix;
-        let changed_end = self.tokens.len() - relex.kept_suffix;
+        let changed_end = tape.len() - relex.kept_suffix;
         let mut replacements: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
         let mut appended: Vec<NodeId> = Vec::new();
         let mut suffix_clone: Option<NodeId> = None;
 
         if first_changed < changed_end {
-            for (i, &node) in self.token_nodes[first_changed..changed_end]
-                .iter()
-                .enumerate()
-            {
-                self.arena.mark_changed(node);
-                replacements
-                    .insert(node, if i == 0 { new_nodes.clone() } else { Vec::new() });
+            for i in first_changed..changed_end {
+                let node = tape.node(i);
+                arena.mark_changed(node);
+                let reps = if i == first_changed {
+                    new_nodes.take().expect("moved once")
+                } else {
+                    Vec::new()
+                };
+                replacements.insert(node, reps);
             }
-        } else if !new_nodes.is_empty() {
+        } else if n_new > 0 {
             // Pure insertion at a token boundary.
             if relex.kept_suffix > 0 {
-                let anchor = self.token_nodes[self.tokens.len() - relex.kept_suffix];
-                let clone = self.clone_terminal(anchor);
-                self.arena.mark_changed(anchor);
-                let mut reps = new_nodes.clone();
+                let anchor = tape.node(tape.len() - relex.kept_suffix);
+                let clone = clone_terminal(arena, anchor);
+                arena.mark_changed(anchor);
+                let mut reps = new_nodes.take().expect("moved once");
                 reps.push(clone);
                 replacements.insert(anchor, reps);
                 suffix_clone = Some(clone);
             } else {
-                appended = new_nodes.clone();
+                appended = new_nodes.take().expect("moved once");
             }
         }
         if first_changed > 0 {
-            self.arena.mark_following(self.token_nodes[first_changed - 1]);
+            arena.mark_following(tape.node(first_changed - 1));
         }
-        if appended.is_empty() && replacements.is_empty() && new_nodes.is_empty() {
+        if appended.is_empty() && replacements.is_empty() && n_new == 0 {
             // Deletion of trailing whitespace etc.: nothing structural, but
             // trailing-lookahead reductions may still be stale.
-            if let Some(&last) = self.token_nodes.last() {
-                self.arena.mark_following(last);
+            if !tape.is_empty() {
+                arena.mark_following(tape.node(tape.len() - 1));
             }
         }
-        if relex.kept_suffix == 0 && !appended.is_empty() {
-            if let Some(&last) = self.token_nodes.last() {
-                self.arena.mark_following(last);
-            }
+        if relex.kept_suffix == 0 && !appended.is_empty() && !tape.is_empty() {
+            arena.mark_following(tape.node(tape.len() - 1));
         }
 
-        let parser = IglrParser::new(&self.config.grammar, &self.config.table);
-        match parser.reparse(&mut self.arena, self.root, replacements, &appended) {
+        let t_parse = Instant::now();
+        let parsed = parser.reparse_in(scratch, arena, root, replacements, &appended);
+        report.parse += t_parse.elapsed();
+        match parsed {
             Ok(stats) => {
-                self.arena.clear_changes();
-                self.tokens = self
-                    .config
-                    .lexer
-                    .apply_relex(&self.tokens, &relex, damage.delta());
-                let mut nodes = Vec::with_capacity(
-                    relex.kept_prefix + new_nodes.len() + relex.kept_suffix,
+                arena.clear_changes();
+                tape.splice(
+                    relex.kept_prefix,
+                    new_pairs,
+                    relex.kept_suffix,
+                    damage.delta(),
                 );
-                nodes.extend_from_slice(&self.token_nodes[..relex.kept_prefix]);
-                nodes.extend_from_slice(&new_nodes);
-                let suffix =
-                    &self.token_nodes[self.token_nodes.len() - relex.kept_suffix..];
-                nodes.extend_from_slice(suffix);
                 if let Some(clone) = suffix_clone {
-                    nodes[relex.kept_prefix + new_nodes.len()] = clone;
+                    tape.set_node(relex.kept_prefix + n_new, clone);
                 }
-                self.token_nodes = nodes;
                 Ok(stats)
             }
             Err(e) => {
-                self.arena.clear_changes();
+                arena.clear_changes();
                 Err(Some(e))
             }
         }
     }
 
-    fn clone_terminal(&mut self, node: NodeId) -> NodeId {
-        match self.arena.kind(node).clone() {
-            NodeKind::Terminal { term, lexeme } => self.arena.terminal(term, &lexeme),
-            _ => unreachable!("token nodes are terminals"),
-        }
-    }
-
     /// Compacts the arena when garbage from prior versions dominates.
-    fn maybe_gc(&mut self) {
-        let live_estimate = 4 * self.token_nodes.len() + 64;
-        if self.arena.len() > 3 * live_estimate {
-            let (new_root, map) = self.arena.collect_garbage(self.root);
-            self.root = new_root;
-            for n in &mut self.token_nodes {
-                *n = map[n];
-            }
+    /// Returns whether a collection ran.
+    fn maybe_gc(arena: &mut DagArena, root: &mut NodeId, tape: &mut TokenTape) -> bool {
+        let live_estimate = 4 * tape.len() + 64;
+        if arena.len() > 3 * live_estimate {
+            let (new_root, map) = arena.collect_garbage(*root);
+            *root = new_root;
+            tape.remap_nodes(|n| map[&n]);
+            true
+        } else {
+            false
         }
     }
 
@@ -404,7 +507,7 @@ impl<'a> Session<'a> {
 
     /// Number of (non-skip) tokens.
     pub fn token_count(&self) -> usize {
-        self.tokens.len()
+        self.tape.len()
     }
 
     /// The dag arena (for analyses over the tree).
@@ -426,12 +529,23 @@ impl<'a> Session<'a> {
 
     /// The language configuration.
     pub fn config(&self) -> &SessionConfig {
-        self.config
+        &self.config
     }
 
     /// Space statistics of the current dag.
     pub fn stats(&self) -> DagStats {
         DagStats::compute(&self.arena, self.root)
+    }
+
+    /// Cumulative per-stage pipeline metrics of this session.
+    pub fn metrics(&self) -> &SessionMetrics {
+        &self.metrics
+    }
+
+    /// Total GSS slot allocations across the session's lifetime; stops
+    /// growing once the pooled scratch is warm (regression-tested).
+    pub fn gss_fresh_allocs(&self) -> u64 {
+        self.scratch.fresh_allocs()
     }
 
     /// Pretty-printed tree (testing/debugging).
@@ -453,14 +567,7 @@ impl<'a> Session<'a> {
     /// (the text the current tree reflects), if any — offsets inside
     /// skipped whitespace/comments have no token.
     pub fn token_index_at(&self, offset: usize) -> Option<usize> {
-        // Tokens are sorted by start; find the last token starting at or
-        // before `offset` and check coverage.
-        let ix = self.tokens.partition_point(|t| t.start <= offset);
-        if ix == 0 {
-            return None;
-        }
-        let t = &self.tokens[ix - 1];
-        (offset < t.end()).then_some(ix - 1)
+        self.tape.token_index_at(offset)
     }
 
     /// The dag path from the super-root down to the terminal covering byte
@@ -472,7 +579,7 @@ impl<'a> Session<'a> {
             return Vec::new();
         };
         let mut path = Vec::new();
-        let mut cur = self.token_nodes[ix];
+        let mut cur = self.tape.node(ix);
         while !cur.is_none() {
             path.push(cur);
             cur = self.arena.node(cur).parent();
@@ -485,9 +592,9 @@ impl<'a> Session<'a> {
     }
 
     /// The terminal dag node covering byte `offset`, with its token.
-    pub fn terminal_at(&self, offset: usize) -> Option<(NodeId, &TokenAt)> {
+    pub fn terminal_at(&self, offset: usize) -> Option<(NodeId, TokenAt)> {
         let ix = self.token_index_at(offset)?;
-        Some((self.token_nodes[ix], &self.tokens[ix]))
+        Some((self.tape.node(ix), self.tape.token(ix)))
     }
 
     /// The choice points of the current dag, in preorder — the ambiguous
@@ -497,6 +604,13 @@ impl<'a> Session<'a> {
         wg_dag::descendants(&self.arena, self.root)
             .filter(|&n| matches!(self.arena.kind(n), NodeKind::Symbol { .. }))
             .collect()
+    }
+}
+
+fn clone_terminal(arena: &mut DagArena, node: NodeId) -> NodeId {
+    match arena.kind(node).clone() {
+        NodeKind::Terminal { term, lexeme } => arena.terminal(term, &lexeme),
+        _ => unreachable!("token nodes are terminals"),
     }
 }
 
@@ -517,7 +631,12 @@ mod tests {
         let prog = b.nonterminal("prog");
         b.prod(
             stmt,
-            vec![Symbol::T(id), Symbol::T(eq), Symbol::T(num), Symbol::T(semi)],
+            vec![
+                Symbol::T(id),
+                Symbol::T(eq),
+                Symbol::T(num),
+                Symbol::T(semi),
+            ],
         );
         b.sequence(prog, Symbol::N(stmt), SeqKind::Plus, None);
         b.start(prog);
@@ -589,7 +708,10 @@ mod tests {
         s.insert(7, "zz = 9; ");
         let out = s.reparse().unwrap();
         assert!(out.incorporated);
-        assert_eq!(yield_string(s.arena(), s.root()), "a = 1 ; zz = 9 ; b = 2 ;");
+        assert_eq!(
+            yield_string(s.arena(), s.root()),
+            "a = 1 ; zz = 9 ; b = 2 ;"
+        );
         assert_eq!(s.token_count(), 12);
     }
 
@@ -679,6 +801,59 @@ mod tests {
             s.arena().len()
         );
         assert_eq!(s.token_count(), 120);
+    }
+
+    #[test]
+    fn pooled_scratch_stops_allocating_once_warm() {
+        let cfg = stmt_config();
+        let mut s = Session::new(&cfg, &program(40)).unwrap();
+        // Warm-up: a few edits let every pool reach steady-state capacity.
+        for _ in 0..5 {
+            let pos = s.text().find("v20").unwrap();
+            s.edit(pos + 1, 2, "99");
+            assert!(s.reparse().unwrap().incorporated);
+            let pos = s.text().find("v99").unwrap();
+            s.edit(pos + 1, 2, "20");
+            assert!(s.reparse().unwrap().incorporated);
+        }
+        let warm = s.gss_fresh_allocs();
+        for i in 0..50 {
+            let pos = s.text().find("v20").unwrap();
+            s.edit(pos + 1, 2, "99");
+            assert!(s.reparse().unwrap().incorporated);
+            let pos = s.text().find("v99").unwrap();
+            s.edit(pos + 1, 2, "20");
+            assert!(s.reparse().unwrap().incorporated);
+            assert_eq!(
+                s.gss_fresh_allocs(),
+                warm,
+                "round {i} allocated GSS slots after warm-up"
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_accumulate_per_stage() {
+        let cfg = stmt_config();
+        let mut s = Session::new(&cfg, &program(10)).unwrap();
+        assert_eq!(s.metrics().reparses, 0);
+        let pos = s.text().find("v5").unwrap();
+        s.edit(pos, 2, "renamed");
+        let out = s.reparse().unwrap();
+        assert!(out.incorporated);
+        assert_eq!(out.report.attempts, 1);
+        assert_eq!(out.report.incorporated_edits, 1);
+        assert_eq!(out.report.parser, out.stats);
+        assert!(out.report.arena_nodes > 0);
+        assert!(out.report.total >= out.report.relex + out.report.parse);
+        assert_eq!(s.metrics().reparses, 1);
+        assert_eq!(s.metrics().attempts, 1);
+        // A refused edit still counts its attempts.
+        s.edit(0, 1, ";");
+        let out = s.reparse().unwrap();
+        assert!(!out.incorporated);
+        assert_eq!(out.report.attempts, 1);
+        assert_eq!(s.metrics().reparses, 2);
     }
 
     #[test]
@@ -931,7 +1106,12 @@ mod ambiguity_query_tests {
         let b_read = b.nonterminal("b_read");
         b.prod(
             s_nt,
-            vec![Symbol::N(item), Symbol::T(semi), Symbol::N(item), Symbol::T(semi)],
+            vec![
+                Symbol::N(item),
+                Symbol::T(semi),
+                Symbol::N(item),
+                Symbol::T(semi),
+            ],
         );
         b.prod(item, vec![Symbol::N(a_read)]);
         b.prod(item, vec![Symbol::N(b_read)]);

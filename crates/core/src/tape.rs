@@ -1,0 +1,367 @@
+//! A gap-buffered token tape: the session's positional store of (token,
+//! terminal-node) pairs.
+//!
+//! A flat `Vec<TokenAt>` makes every edit O(document): reusing the suffix
+//! after a relex means rewriting the offset of every trailing token. The
+//! tape instead keeps the stream split around a movable *gap*:
+//!
+//! - `front` holds the tokens before the gap in absolute (current)
+//!   coordinates, together with a parallel running maximum of their
+//!   [`TokenAt::scan_end`] so the reusable prefix of an edit is one binary
+//!   search;
+//! - `back` holds the tokens after the gap **reversed** and with their
+//!   starts stored relative to `bias`, so shifting the whole suffix by an
+//!   edit's delta is a single integer addition.
+//!
+//! Successive edits in an interactive session cluster spatially, so moving
+//! the gap is amortized cheap, and a one-token edit in an N-token document
+//! costs O(log N + tokens moved) instead of O(N).
+
+use wg_dag::NodeId;
+use wg_lexer::{TokenAt, TokenSource};
+
+/// Gap-buffered store of the session's token stream and the terminal dag
+/// node carrying each token.
+#[derive(Debug, Clone, Default)]
+pub struct TokenTape {
+    /// Tokens before the gap, absolute coordinates.
+    front: Vec<(TokenAt, NodeId)>,
+    /// `scan_max[i]` = max `scan_end` over `front[..=i]` (monotone, so the
+    /// longest prefix untouched by an edit is a `partition_point`).
+    scan_max: Vec<usize>,
+    /// Tokens after the gap, reversed (`back[0]` is the document's last
+    /// token); starts are stored unbiased: real start = stored
+    /// `start.wrapping_add_signed(bias)`.
+    back: Vec<(TokenAt, NodeId)>,
+    bias: isize,
+}
+
+impl TokenTape {
+    /// An empty tape.
+    pub fn new() -> TokenTape {
+        TokenTape::default()
+    }
+
+    /// Replaces the contents with `pairs` (absolute coordinates).
+    pub fn rebuild(&mut self, pairs: impl IntoIterator<Item = (TokenAt, NodeId)>) {
+        self.front.clear();
+        self.scan_max.clear();
+        self.back.clear();
+        self.bias = 0;
+        for (tok, node) in pairs {
+            self.push_front(tok, node);
+        }
+    }
+
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.front.len() + self.back.len()
+    }
+
+    /// Whether the tape holds no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.front.is_empty() && self.back.is_empty()
+    }
+
+    fn push_front(&mut self, tok: TokenAt, node: NodeId) {
+        let prev = self.scan_max.last().copied().unwrap_or(0);
+        self.scan_max.push(prev.max(tok.scan_end()));
+        self.front.push((tok, node));
+    }
+
+    fn rebias(&self, stored: TokenAt) -> TokenAt {
+        TokenAt {
+            start: stored.start.wrapping_add_signed(self.bias),
+            ..stored
+        }
+    }
+
+    /// Storage index in `back` of global token index `ix`.
+    fn back_ix(&self, ix: usize) -> usize {
+        self.back.len() - 1 - (ix - self.front.len())
+    }
+
+    /// The `ix`-th token, in absolute coordinates.
+    pub fn token(&self, ix: usize) -> TokenAt {
+        if ix < self.front.len() {
+            self.front[ix].0
+        } else {
+            self.rebias(self.back[self.back_ix(ix)].0)
+        }
+    }
+
+    /// The dag node of the `ix`-th token.
+    pub fn node(&self, ix: usize) -> NodeId {
+        if ix < self.front.len() {
+            self.front[ix].1
+        } else {
+            self.back[self.back_ix(ix)].1
+        }
+    }
+
+    /// Replaces the dag node of the `ix`-th token.
+    pub fn set_node(&mut self, ix: usize, node: NodeId) {
+        if ix < self.front.len() {
+            self.front[ix].1 = node;
+        } else {
+            let b = self.back_ix(ix);
+            self.back[b].1 = node;
+        }
+    }
+
+    /// Moves the gap so exactly `ix` tokens precede it.
+    fn move_gap_to(&mut self, ix: usize) {
+        assert!(ix <= self.len(), "gap beyond tape");
+        while self.front.len() > ix {
+            let (tok, node) = self.front.pop().expect("front nonempty");
+            self.scan_max.pop();
+            let stored = TokenAt {
+                start: tok.start.wrapping_add_signed(self.bias.wrapping_neg()),
+                ..tok
+            };
+            self.back.push((stored, node));
+        }
+        while self.front.len() < ix {
+            let (stored, node) = self.back.pop().expect("back nonempty");
+            let tok = self.rebias(stored);
+            self.push_front(tok, node);
+        }
+    }
+
+    /// Positions the gap at the first token starting at or after
+    /// `edit_start`, the precondition for using the tape as a
+    /// [`TokenSource`] for a relex of an edit at that offset.
+    pub fn prepare_for_edit(&mut self, edit_start: usize) {
+        let target = if self
+            .front
+            .last()
+            .is_some_and(|&(t, _)| t.start >= edit_start)
+        {
+            self.front.partition_point(|&(t, _)| t.start < edit_start)
+        } else {
+            // Back starts are descending in storage order.
+            let past = self
+                .back
+                .partition_point(|&(t, _)| self.rebias(t).start >= edit_start);
+            self.front.len() + (self.back.len() - past)
+        };
+        self.move_gap_to(target);
+    }
+
+    /// Applies a relex outcome: tokens `[kept_prefix, len - kept_suffix)`
+    /// are replaced by `new` (absolute coordinates in the *new* text), and
+    /// the reused suffix shifts by `delta`. The gap must already sit inside
+    /// the replaced region (see [`TokenTape::prepare_for_edit`]).
+    pub fn splice(
+        &mut self,
+        kept_prefix: usize,
+        new: &[(TokenAt, NodeId)],
+        kept_suffix: usize,
+        delta: isize,
+    ) {
+        debug_assert!(self.front.len() >= kept_prefix);
+        debug_assert!(self.back.len() >= kept_suffix);
+        self.front.truncate(kept_prefix);
+        self.scan_max.truncate(kept_prefix);
+        self.back.truncate(kept_suffix);
+        self.bias += delta;
+        for &(tok, node) in new {
+            self.push_front(tok, node);
+        }
+    }
+
+    /// Index of the token covering byte `offset`, if any.
+    pub fn token_index_at(&self, offset: usize) -> Option<usize> {
+        // Count tokens with start <= offset; the last of them may cover it.
+        let at_or_before = if self.front.last().is_some_and(|&(t, _)| t.start > offset) {
+            self.front.partition_point(|&(t, _)| t.start <= offset)
+        } else {
+            let past = self
+                .back
+                .partition_point(|&(t, _)| self.rebias(t).start > offset);
+            self.front.len() + (self.back.len() - past)
+        };
+        if at_or_before == 0 {
+            return None;
+        }
+        let t = self.token(at_or_before - 1);
+        (offset < t.end()).then_some(at_or_before - 1)
+    }
+
+    /// Rewrites every stored dag node through `f` (after arena compaction).
+    pub fn remap_nodes(&mut self, mut f: impl FnMut(NodeId) -> NodeId) {
+        for (_, n) in self.front.iter_mut().chain(self.back.iter_mut()) {
+            *n = f(*n);
+        }
+    }
+}
+
+impl TokenSource for TokenTape {
+    fn len(&self) -> usize {
+        TokenTape::len(self)
+    }
+
+    fn token(&self, ix: usize) -> TokenAt {
+        TokenTape::token(self, ix)
+    }
+
+    fn kept_prefix(&self, edit_start: usize) -> usize {
+        // Precondition (prepare_for_edit): every front token starts before
+        // `edit_start`. Since scan_end > start, every token with
+        // scan_end <= edit_start is in the front, where the running maximum
+        // makes the take-while a binary search.
+        debug_assert!(self.front.last().is_none_or(|&(t, _)| t.start < edit_start));
+        debug_assert!(self
+            .back
+            .last()
+            .is_none_or(|&(t, _)| self.rebias(t).start >= edit_start));
+        self.scan_max.partition_point(|&m| m <= edit_start)
+    }
+
+    fn find_start(&self, start: usize) -> Option<usize> {
+        if let Ok(ix) = self.front.binary_search_by_key(&start, |&(t, _)| t.start) {
+            return Some(ix);
+        }
+        // Storage order of `back` is descending by start.
+        let k = self
+            .back
+            .partition_point(|&(t, _)| self.rebias(t).start > start);
+        if k < self.back.len() && self.rebias(self.back[k].0).start == start {
+            Some(self.front.len() + (self.back.len() - 1 - k))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wg_lexer::RuleId;
+
+    fn tok(start: usize, len: usize, la: usize) -> TokenAt {
+        TokenAt {
+            rule: RuleId(0),
+            start,
+            len,
+            lookahead: la,
+        }
+    }
+
+    fn nid(i: u32) -> NodeId {
+        let mut arena = wg_dag::DagArena::new();
+        let mut last = None;
+        for k in 0..=i {
+            last = Some(arena.terminal(wg_grammar::Terminal::from_index(0), &format!("t{k}")));
+        }
+        last.unwrap()
+    }
+
+    /// Tokens `i*4 .. i*4+3` with 1 byte of lookahead each.
+    fn sample(n: usize) -> TokenTape {
+        let mut tape = TokenTape::new();
+        tape.rebuild((0..n).map(|i| (tok(i * 4, 3, 1), nid(i as u32))));
+        tape
+    }
+
+    #[test]
+    fn rebuild_and_query() {
+        let tape = sample(5);
+        assert_eq!(TokenTape::len(&tape), 5);
+        assert!(!tape.is_empty());
+        assert_eq!(tape.token(2).start, 8);
+        assert_eq!(tape.node(2), nid(2));
+        assert_eq!(tape.token_index_at(9), Some(2));
+        assert_eq!(tape.token_index_at(11), None, "gap between tokens");
+        assert_eq!(tape.token_index_at(999), None);
+    }
+
+    #[test]
+    fn gap_motion_preserves_contents() {
+        let mut tape = sample(6);
+        for &pos in &[3, 0, 6, 2, 5, 1] {
+            tape.move_gap_to(pos);
+            for i in 0..6 {
+                assert_eq!(tape.token(i).start, i * 4, "gap at {pos}");
+                assert_eq!(tape.node(i), nid(i as u32));
+            }
+        }
+    }
+
+    #[test]
+    fn splice_shifts_suffix_by_delta() {
+        let mut tape = sample(5);
+        // Replace token 2 (start 8) by two tokens, net +4 bytes.
+        tape.prepare_for_edit(8);
+        let new = vec![(tok(8, 3, 1), nid(7)), (tok(12, 3, 1), nid(8))];
+        tape.splice(2, &new, 2, 4);
+        assert_eq!(TokenTape::len(&tape), 6);
+        let starts: Vec<usize> = (0..6).map(|i| tape.token(i).start).collect();
+        assert_eq!(starts, vec![0, 4, 8, 12, 16, 20]);
+        assert_eq!(tape.node(3), nid(8));
+        assert_eq!(tape.node(4), nid(3), "suffix nodes survive");
+        // A second splice compounds the bias.
+        tape.prepare_for_edit(0);
+        let new = vec![(tok(0, 2, 1), nid(9))];
+        tape.splice(0, &new, 5, -1);
+        let starts: Vec<usize> = (0..6).map(|i| tape.token(i).start).collect();
+        assert_eq!(starts, vec![0, 3, 7, 11, 15, 19]);
+    }
+
+    #[test]
+    fn token_source_prefix_and_sync() {
+        let mut tape = sample(5);
+        // Edit inside token 2's yield (offset 9).
+        tape.prepare_for_edit(9);
+        // Tokens 0 and 1 have scan_end 4 and 8 <= 9; token 2 scans to 12.
+        assert_eq!(TokenSource::kept_prefix(&tape, 9), 2);
+        assert_eq!(TokenSource::find_start(&tape, 16), Some(4));
+        assert_eq!(TokenSource::find_start(&tape, 17), None);
+        assert_eq!(TokenSource::find_start(&tape, 4), Some(1));
+        assert_eq!(TokenSource::token(&tape, 4).start, 16);
+    }
+
+    #[test]
+    fn lookahead_chain_shrinks_kept_prefix() {
+        let mut tape = TokenTape::new();
+        // Token 1 has lookahead reaching into token 2's successor region.
+        tape.rebuild(vec![
+            (tok(0, 3, 1), nid(0)),
+            (tok(4, 3, 6), nid(1)), // scan_end 13
+            (tok(8, 3, 1), nid(2)),
+        ]);
+        tape.prepare_for_edit(12);
+        assert_eq!(
+            TokenSource::kept_prefix(&tape, 12),
+            1,
+            "token 1's lookahead reaches the edit, so only token 0 is safe"
+        );
+    }
+
+    #[test]
+    fn set_node_and_remap_cross_gap() {
+        let mut tape = sample(4);
+        tape.move_gap_to(2);
+        tape.set_node(3, nid(9));
+        assert_eq!(tape.node(3), nid(9));
+        tape.remap_nodes(|n| if n == nid(9) { nid(0) } else { n });
+        assert_eq!(tape.node(3), nid(0));
+        assert_eq!(tape.node(1), nid(1));
+    }
+
+    #[test]
+    fn eof_clamped_scan_blocks_prefix_reuse() {
+        let mut tape = TokenTape::new();
+        tape.rebuild(vec![
+            (tok(0, 3, 1), nid(0)),
+            (tok(4, 3, usize::MAX), nid(1)),
+            (tok(8, 3, 1), nid(2)),
+        ]);
+        tape.prepare_for_edit(100);
+        assert_eq!(
+            TokenSource::kept_prefix(&tape, 100),
+            1,
+            "an EOF-clamped token can never be reused past its start"
+        );
+    }
+}

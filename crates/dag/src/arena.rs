@@ -68,9 +68,7 @@ impl DagArena {
     }
 
     fn set_parent(&mut self, kid: NodeId, parent: NodeId) {
-        if self.nodes[kid.index()].epoch != self.epoch
-            && self.nodes[kid.index()].parent != parent
-        {
+        if self.nodes[kid.index()].epoch != self.epoch && self.nodes[kid.index()].parent != parent {
             self.parent_log.push((kid, self.nodes[kid.index()].parent));
         }
         self.nodes[kid.index()].parent = parent;
@@ -237,12 +235,7 @@ impl DagArena {
     }
 
     /// Creates an internal sequence run.
-    pub fn seq_run(
-        &mut self,
-        symbol: NonTerminal,
-        state: ParseState,
-        kids: Vec<NodeId>,
-    ) -> NodeId {
+    pub fn seq_run(&mut self, symbol: NonTerminal, state: ParseState, kids: Vec<NodeId>) -> NodeId {
         let width = kids.iter().map(|k| self.width(*k)).sum();
         let leftmost = self.leftmost_of(&kids);
         let id = self.push(Node {
@@ -651,7 +644,10 @@ mod tests {
         a.mark_following(y);
         assert!(!a.has_changes(y), "the terminal itself is still shiftable");
         assert!(a.has_changes(q), "q's reduction consumed the old lookahead");
-        assert!(a.has_changes(p), "ancestor containing the boundary is marked");
+        assert!(
+            a.has_changes(p),
+            "ancestor containing the boundary is marked"
+        );
         assert!(!a.has_changes(x));
         assert!(!a.has_changes(z));
     }

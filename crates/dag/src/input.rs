@@ -178,17 +178,11 @@ impl InputStream {
     /// Leftmost terminal of the *effective* content of `node`: replaced
     /// terminals contribute their replacements (a deleted token contributes
     /// nothing), so reductions never consult stale text.
-    fn leftmost_effective(
-        &self,
-        arena: &DagArena,
-        node: NodeId,
-    ) -> Option<wg_grammar::Terminal> {
+    fn leftmost_effective(&self, arena: &DagArena, node: NodeId) -> Option<wg_grammar::Terminal> {
         match arena.kind(node) {
             NodeKind::Terminal { term, .. } => match self.replacements.get(&node) {
                 None => Some(*term),
-                Some(reps) => reps
-                    .iter()
-                    .find_map(|&r| self.leftmost_effective(arena, r)),
+                Some(reps) => reps.iter().find_map(|&r| self.leftmost_effective(arena, r)),
             },
             NodeKind::Eos => Some(wg_grammar::Terminal::EOF),
             NodeKind::Bos => None,
@@ -376,7 +370,7 @@ mod tests {
         let p = a.production(ProdId::from_index(1), ParseState(0), vec![eps, tx]);
         let root = a.root(p);
         a.mark_changed(eps);
-        let mut s = InputStream::over_tree(&a, root, HashMap::new());
+        let s = InputStream::over_tree(&a, root, HashMap::new());
         assert_eq!(s.la(), Some(tx), "changed ε subtree evaporates");
     }
 }

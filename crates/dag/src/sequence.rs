@@ -136,10 +136,7 @@ fn canonical_rebuild<P: SequencePolicy>(
     };
     let width = arena.width(seq).max(1) as usize;
     let bound = 2 * (usize::BITS - width.leading_zeros()) as usize + 4;
-    if !is_fallback
-        && arena.kids(seq).len() <= MAX_FANOUT
-        && sequence_depth(arena, seq) <= bound
-    {
+    if !is_fallback && arena.kids(seq).len() <= MAX_FANOUT && sequence_depth(arena, seq) <= bound {
         return false;
     }
     let (pieces, _) = flatten(arena, policy, seq, sym);
@@ -271,8 +268,7 @@ fn containers_all_current<P: SequencePolicy>(
 ) -> bool {
     for &k in arena.kids(seq) {
         if is_container(arena, policy, k, sym)
-            && (!arena.is_current_epoch(k)
-                || !containers_all_current(arena, policy, k, sym))
+            && (!arena.is_current_epoch(k) || !containers_all_current(arena, policy, k, sym))
         {
             return false;
         }
@@ -584,7 +580,11 @@ mod tests {
         let mut a = DagArena::new();
         let empty = a.sequence(sym, ParseState(0), vec![]);
         let single = flat_seq(&mut a, sym, 1);
-        let p = a.production(wg_grammar::ProdId::from_index(1), ParseState(0), vec![empty, single]);
+        let p = a.production(
+            wg_grammar::ProdId::from_index(1),
+            ParseState(0),
+            vec![empty, single],
+        );
         let root = a.root(p);
         assert_eq!(
             rebalance_sequences(&mut a, root, &TestPolicy { separated: false }),

@@ -50,8 +50,9 @@ fn unshare_rec(
     let mut new_kids = kids.clone();
     let mut changed = false;
     for (i, &k) in kids.iter().enumerate() {
-        let is_null_subtree =
-            arena.width(k) == 0 && !arena.kind(k).is_terminal() && !matches!(arena.kind(k), NodeKind::Root);
+        let is_null_subtree = arena.width(k) == 0
+            && !arena.kind(k).is_terminal()
+            && !matches!(arena.kind(k), NodeKind::Root);
         if is_null_subtree && !seen.insert(k) {
             // Second (or later) reference: deep-copy the subtree.
             let copy = deep_clone(arena, k);
@@ -133,7 +134,11 @@ mod tests {
         a.add_choice(sym, p2);
         let root = a.root(sym);
         assert_eq!(unshare_epsilon(&mut a, root), 0);
-        assert_eq!(a.kids(p1)[0], a.kids(p2)[0], "shared terminal remains shared");
+        assert_eq!(
+            a.kids(p1)[0],
+            a.kids(p2)[0],
+            "shared terminal remains shared"
+        );
     }
 
     #[test]

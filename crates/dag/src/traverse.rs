@@ -144,12 +144,7 @@ fn dump_rec(
 /// (for symbol nodes) the same alternatives in order. Recorded parse states
 /// and physical sequence chunking are ignored — a balanced sequence equals
 /// its flat counterpart if the elements match.
-pub fn structurally_equal(
-    a: &DagArena,
-    ra: NodeId,
-    b: &DagArena,
-    rb: NodeId,
-) -> bool {
+pub fn structurally_equal(a: &DagArena, ra: NodeId, b: &DagArena, rb: NodeId) -> bool {
     let fa = flatten(a, ra);
     let fb = flatten(b, rb);
     fa == fb

@@ -34,7 +34,7 @@ fn flat(arena: &mut DagArena, sym: NonTerminal, n: usize, separated: bool) -> No
 
 proptest! {
     #[test]
-    fn rebalance_preserves_yield(n in 1usize..300, separated: bool) {
+    fn rebalance_preserves_yield(n in 1usize..300, separated in any::<bool>()) {
         let sym = NonTerminal::from_index(1);
         let mut a = DagArena::new();
         let seq = flat(&mut a, sym, n, separated);

@@ -134,21 +134,26 @@ struct HistoryEntry {
     inserted_text: String,
 }
 
-/// One uncommitted modification (the edit plus the text it inserted, so
-/// prefixes of the pending sequence can be replayed).
+/// One uncommitted modification (the edit plus the text it removed, so any
+/// prefix of the pending sequence can be reconstructed by *undoing* the
+/// complementary suffix against the current text — committing a prefix then
+/// costs nothing proportional to the document).
 #[derive(Debug, Clone)]
 struct PendingEdit {
     edit: Edit,
-    inserted_text: String,
+    removed_text: String,
 }
 
 /// An edit-logged text buffer with version stamps and undo.
+///
+/// The committed text (what the analyses' current tree corresponds to) is
+/// not materialized: it is the current text with all pending edits undone,
+/// reconstructed on demand by [`TextBuffer::text_at_prefix`]. The common
+/// success path — committing every pending edit — is O(edits), not
+/// O(document).
 #[derive(Debug, Clone)]
 pub struct TextBuffer {
     text: String,
-    /// The text as of the last [`TextBuffer::commit`] — what the analyses'
-    /// current tree corresponds to.
-    committed: String,
     version: u64,
     /// Edits applied since the last [`TextBuffer::commit`]; what the next
     /// incremental analysis must incorporate. Each edit's offsets are in
@@ -160,10 +165,8 @@ pub struct TextBuffer {
 impl TextBuffer {
     /// Creates a buffer holding `text` at version 0 with no pending edits.
     pub fn new(text: impl Into<String>) -> TextBuffer {
-        let text = text.into();
         TextBuffer {
-            committed: text.clone(),
-            text,
+            text: text.into(),
             version: 0,
             pending: Vec::new(),
             history: Vec::new(),
@@ -204,15 +207,12 @@ impl TextBuffer {
             inserted: insert.len(),
         };
         self.version += 1;
-        self.pending.push(PendingEdit {
-            edit,
-            inserted_text: insert.to_string(),
-        });
         self.history.push(HistoryEntry {
             edit,
-            removed_text,
+            removed_text: removed_text.clone(),
             inserted_text: insert.to_string(),
         });
+        self.pending.push(PendingEdit { edit, removed_text });
         edit
     }
 
@@ -231,17 +231,20 @@ impl TextBuffer {
     pub fn undo(&mut self) -> Option<Edit> {
         let entry = self.history.pop()?;
         let start = entry.edit.start;
-        self.text
-            .replace_range(start..start + entry.inserted_text.len(), &entry.removed_text);
+        self.text.replace_range(
+            start..start + entry.inserted_text.len(),
+            &entry.removed_text,
+        );
         let rev = Edit {
             start,
             removed: entry.inserted_text.len(),
             inserted: entry.removed_text.len(),
         };
         self.version += 1;
+        // The reverse edit removed what the original inserted.
         self.pending.push(PendingEdit {
             edit: rev,
-            inserted_text: entry.removed_text,
+            removed_text: entry.inserted_text,
         });
         rev.into()
     }
@@ -279,34 +282,52 @@ impl TextBuffer {
     ///
     /// Panics if `k` exceeds the number of pending edits.
     pub fn text_at_prefix(&self, k: usize) -> String {
-        let mut t = self.committed.clone();
-        for p in &self.pending[..k] {
-            t.replace_range(p.edit.start..p.edit.old_end(), &p.inserted_text);
-        }
-        t
+        let mut out = String::new();
+        self.text_at_prefix_into(k, &mut out);
+        out
     }
 
-    /// The text as of the last commit (what the current tree reflects).
-    pub fn committed_text(&self) -> &str {
-        &self.committed
+    /// Like [`TextBuffer::text_at_prefix`] but reuses `out`'s allocation
+    /// (the retry loop of an incremental analysis calls this repeatedly
+    /// with a pooled buffer).
+    ///
+    /// The prefix text is derived by *undoing* the pending suffix
+    /// `k..` against the current text, newest first; each undo's
+    /// coordinates are exactly the coordinates that edit produced, so no
+    /// offset mapping is needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` exceeds the number of pending edits.
+    pub fn text_at_prefix_into(&self, k: usize, out: &mut String) {
+        assert!(k <= self.pending.len(), "prefix beyond pending edits");
+        out.clear();
+        out.push_str(&self.text);
+        for p in self.pending[k..].iter().rev() {
+            out.replace_range(p.edit.start..p.edit.new_end(), &p.removed_text);
+        }
+    }
+
+    /// The text as of the last commit (what the current tree reflects),
+    /// reconstructed from the undo information of the pending edits.
+    pub fn committed_text(&self) -> String {
+        self.text_at_prefix(0)
     }
 
     /// Marks all pending edits as incorporated by an analysis.
     pub fn commit(&mut self) {
-        self.committed.clear();
-        self.committed.push_str(&self.text);
         self.pending.clear();
     }
 
     /// Marks the first `k` pending edits as incorporated: the committed
     /// text advances to [`TextBuffer::text_at_prefix`]`(k)` and the
-    /// remaining edits stay pending.
+    /// remaining edits stay pending. Costs O(`k`), independent of the
+    /// document length.
     ///
     /// # Panics
     ///
     /// Panics if `k` exceeds the number of pending edits.
     pub fn commit_prefix(&mut self, k: usize) {
-        self.committed = self.text_at_prefix(k);
         self.pending.drain(..k);
     }
 
@@ -401,7 +422,14 @@ mod tests {
         assert_eq!(b.text(), "aXYc");
         let rev = b.undo().unwrap();
         assert_eq!(b.text(), "abc");
-        assert_eq!(rev, Edit { start: 1, removed: 2, inserted: 1 });
+        assert_eq!(
+            rev,
+            Edit {
+                start: 1,
+                removed: 2,
+                inserted: 1
+            }
+        );
         assert!(b.undo().is_none());
     }
 
@@ -424,8 +452,16 @@ mod tests {
     #[test]
     fn merge_disjoint_edits_covers_both() {
         // "aaaa bbbb": replace 0..2 then (post-edit) replace 6..8.
-        let e1 = Edit { start: 0, removed: 2, inserted: 3 };
-        let e2 = Edit { start: 6, removed: 2, inserted: 2 };
+        let e1 = Edit {
+            start: 0,
+            removed: 2,
+            inserted: 3,
+        };
+        let e2 = Edit {
+            start: 6,
+            removed: 2,
+            inserted: 2,
+        };
         let m = e1.merge(e2);
         // In old coordinates e2 covers 5..7, so the merge spans 0..7.
         assert_eq!(m.start, 0);
@@ -435,8 +471,16 @@ mod tests {
 
     #[test]
     fn merge_overlapping_edits() {
-        let e1 = Edit { start: 2, removed: 4, inserted: 1 }; // "..XXXX.." -> "..Y.."
-        let e2 = Edit { start: 2, removed: 1, inserted: 0 }; // delete the Y
+        let e1 = Edit {
+            start: 2,
+            removed: 4,
+            inserted: 1,
+        }; // "..XXXX.." -> "..Y.."
+        let e2 = Edit {
+            start: 2,
+            removed: 1,
+            inserted: 0,
+        }; // delete the Y
         let m = e1.merge(e2);
         assert_eq!(m.start, 2);
         assert_eq!(m.removed, 4);
@@ -455,6 +499,40 @@ mod tests {
         b.commit();
         assert!(b.pending_damage().is_none());
         assert_eq!(b.version(), 2, "commit does not bump the version");
+    }
+
+    #[test]
+    fn text_at_prefix_and_commit_prefix() {
+        let mut b = TextBuffer::new("0123456789");
+        b.replace(2, 3, "ab"); // "01ab56789"
+        b.replace(0, 1, ""); // "1ab56789"
+        b.insert(8, "Z"); // "1ab56789Z"
+        assert_eq!(b.committed_text(), "0123456789");
+        assert_eq!(b.text_at_prefix(0), "0123456789");
+        assert_eq!(b.text_at_prefix(1), "01ab56789");
+        assert_eq!(b.text_at_prefix(2), "1ab56789");
+        assert_eq!(b.text_at_prefix(3), b.text());
+        let mut pooled = String::from("scrap");
+        b.text_at_prefix_into(1, &mut pooled);
+        assert_eq!(pooled, "01ab56789");
+        b.commit_prefix(2);
+        assert_eq!(b.pending_len(), 1);
+        assert_eq!(b.committed_text(), "1ab56789");
+        assert_eq!(b.text_at_prefix(1), b.text());
+        b.commit();
+        assert_eq!(b.committed_text(), b.text());
+    }
+
+    #[test]
+    fn undo_participates_in_prefix_reconstruction() {
+        let mut b = TextBuffer::new("int foo;");
+        b.replace(4, 3, "barbar");
+        b.undo();
+        assert_eq!(b.text(), "int foo;");
+        assert_eq!(b.pending_len(), 2);
+        assert_eq!(b.text_at_prefix(0), "int foo;");
+        assert_eq!(b.text_at_prefix(1), "int barbar;");
+        assert_eq!(b.text_at_prefix(2), "int foo;");
     }
 
     #[test]

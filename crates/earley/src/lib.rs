@@ -149,9 +149,7 @@ impl<'a> EarleyParser<'a> {
                             let parent = chart[origin][k];
                             k += 1;
                             let p_prod = g.production(parent.prod);
-                            if p_prod.rhs().get(parent.dot as usize)
-                                == Some(&Symbol::N(lhs))
-                            {
+                            if p_prod.rhs().get(parent.dot as usize) == Some(&Symbol::N(lhs)) {
                                 push(
                                     &mut chart,
                                     &mut in_chart,
@@ -529,7 +527,11 @@ mod derivation_tests {
         let input = vec![lp, lp, x, rp, rp];
         let d = p.first_parse(&input).expect("parses");
         assert_eq!(d.fringe(), input);
-        assert_eq!(d.production_preorder().len(), 3, "S twice nested + leaf rule");
+        assert_eq!(
+            d.production_preorder().len(),
+            3,
+            "S twice nested + leaf rule"
+        );
     }
 
     #[test]

@@ -38,9 +38,18 @@ struct GssNode {
 }
 
 /// A growable graph-structured stack.
+///
+/// The stack is transient but its *allocations* need not be: [`Gss::reset`]
+/// logically empties the stack while retaining every node slot and its link
+/// vector, so a pooled GSS reaches a steady state where repeated reparses
+/// allocate nothing ([`Gss::fresh_allocs`] counts slot allocations for
+/// regression tests).
 #[derive(Debug, Clone, Default)]
 pub struct Gss {
     nodes: Vec<GssNode>,
+    /// Number of live nodes; slots `live..nodes.len()` are retained spares.
+    live: usize,
+    fresh: u64,
 }
 
 impl Gss {
@@ -49,22 +58,44 @@ impl Gss {
         Gss::default()
     }
 
+    /// Logically empties the stack, retaining node slots and link vectors
+    /// for reuse by the next run.
+    pub fn reset(&mut self) {
+        self.live = 0;
+    }
+
+    /// Total node-slot allocations performed over the GSS's lifetime
+    /// (not reset by [`Gss::reset`]; a pooled GSS stops incrementing this
+    /// once warm).
+    pub fn fresh_allocs(&self) -> u64 {
+        self.fresh
+    }
+
+    fn alloc(&mut self, state: StateId, link: Option<Link>) -> GssIdx {
+        if self.live < self.nodes.len() {
+            let n = &mut self.nodes[self.live];
+            n.state = state;
+            n.links.clear();
+            n.links.extend(link);
+        } else {
+            self.fresh += 1;
+            self.nodes.push(GssNode {
+                state,
+                links: link.into_iter().collect(),
+            });
+        }
+        self.live += 1;
+        GssIdx(self.live as u32 - 1)
+    }
+
     /// Creates a node with `state` and no links (the bottom of a stack).
     pub fn bottom(&mut self, state: StateId) -> GssIdx {
-        self.nodes.push(GssNode {
-            state,
-            links: Vec::new(),
-        });
-        GssIdx(self.nodes.len() as u32 - 1)
+        self.alloc(state, None)
     }
 
     /// Creates a node with one initial link.
     pub fn push(&mut self, state: StateId, link: Link) -> GssIdx {
-        self.nodes.push(GssNode {
-            state,
-            links: vec![link],
-        });
-        GssIdx(self.nodes.len() as u32 - 1)
+        self.alloc(state, Some(link))
     }
 
     /// The LR state of a node.
@@ -102,7 +133,7 @@ impl Gss {
     /// Replaces every occurrence of dag node `old` on any link with `new`
     /// (used when a proxy is upgraded after links to it already exist).
     pub fn relabel_all(&mut self, old: NodeId, new: NodeId) {
-        for n in &mut self.nodes {
+        for n in &mut self.nodes[..self.live] {
             for l in &mut n.links {
                 if l.node == old {
                     l.node = new;
@@ -114,12 +145,7 @@ impl Gss {
     /// Enumerates all paths of exactly `len` links starting at `from`,
     /// invoking `f(tail, kids)` with the reached node and the dag nodes
     /// along the path in left-to-right (yield) order.
-    pub fn for_each_path(
-        &self,
-        from: GssIdx,
-        len: usize,
-        mut f: impl FnMut(GssIdx, &[NodeId]),
-    ) {
+    pub fn for_each_path(&self, from: GssIdx, len: usize, mut f: impl FnMut(GssIdx, &[NodeId])) {
         let mut kids: Vec<NodeId> = vec![NodeId::NONE; len];
         self.paths_rec(from, len, &mut kids, &mut f);
     }
@@ -161,14 +187,14 @@ impl Gss {
         self.paths_rec(link.head, len - 1, &mut kids, &mut f);
     }
 
-    /// Number of GSS nodes allocated (a Section 5-style size metric).
+    /// Number of live GSS nodes (a Section 5-style size metric).
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.live
     }
 
     /// Whether the GSS is empty.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.live == 0
     }
 }
 
@@ -190,7 +216,13 @@ mod tests {
     fn push_link_and_query() {
         let mut g = Gss::new();
         let bottom = g.bottom(StateId(0));
-        let n1 = g.push(StateId(1), Link { head: bottom, node: nid(0) });
+        let n1 = g.push(
+            StateId(1),
+            Link {
+                head: bottom,
+                node: nid(0),
+            },
+        );
         assert_eq!(g.state(bottom), StateId(0));
         assert_eq!(g.state(n1), StateId(1));
         assert_eq!(g.links(n1).len(), 1);
@@ -207,7 +239,13 @@ mod tests {
         let bottom = g.bottom(StateId(0));
         let a = nid(0);
         let b = nid(1);
-        let n1 = g.push(StateId(1), Link { head: bottom, node: a });
+        let n1 = g.push(
+            StateId(1),
+            Link {
+                head: bottom,
+                node: a,
+            },
+        );
         let n2 = g.push(StateId(2), Link { head: n1, node: b });
         let mut seen = Vec::new();
         g.for_each_path(n2, 2, |tail, kids| {
@@ -261,12 +299,48 @@ mod tests {
         let bottom = g.bottom(StateId(0));
         let old = nid(0);
         let new = nid(1);
-        let n1 = g.push(StateId(1), Link { head: bottom, node: old });
+        let n1 = g.push(
+            StateId(1),
+            Link {
+                head: bottom,
+                node: old,
+            },
+        );
         g.relabel_link(n1, 0, new);
         assert_eq!(g.links(n1)[0].node, new);
-        let n2 = g.push(StateId(2), Link { head: bottom, node: old });
+        let n2 = g.push(
+            StateId(2),
+            Link {
+                head: bottom,
+                node: old,
+            },
+        );
         g.relabel_all(old, new);
         assert_eq!(g.links(n2)[0].node, new);
+    }
+
+    #[test]
+    fn reset_retains_slots() {
+        let mut g = Gss::new();
+        let x = nid(0);
+        for round in 0..5 {
+            g.reset();
+            assert!(g.is_empty());
+            let bottom = g.bottom(StateId(0));
+            let n1 = g.push(
+                StateId(1),
+                Link {
+                    head: bottom,
+                    node: x,
+                },
+            );
+            assert_eq!(g.len(), 2);
+            assert_eq!(g.links(n1).len(), 1);
+            assert_eq!(g.state(bottom), StateId(0));
+            if round > 0 {
+                assert_eq!(g.fresh_allocs(), 2, "warm rounds allocate no slots");
+            }
+        }
     }
 
     #[test]

@@ -54,7 +54,9 @@
 mod gss;
 mod merge;
 mod parser;
+mod scratch;
 
 pub use gss::{Gss, GssIdx, Link};
 pub use merge::{build_reduction_node, MergeTables};
 pub use parser::{ps, sid, GlrParser, ParseError, TablePolicy};
+pub use scratch::ParseScratch;

@@ -225,11 +225,25 @@ mod tests {
         let mut arena = DagArena::new();
         let mut mt = MergeTables::new();
         let x = arena.terminal(Terminal::from_index(1), "x");
-        let n = mt.get_node(&mut arena, &g, ProdId::from_index(1), vec![x], ParseState(5), true);
+        let n = mt.get_node(
+            &mut arena,
+            &g,
+            ProdId::from_index(1),
+            vec![x],
+            ParseState(5),
+            true,
+        );
         assert_eq!(arena.state(n), ParseState::MULTI);
         mt.clear();
         let y = arena.terminal(Terminal::from_index(1), "x");
-        let n2 = mt.get_node(&mut arena, &g, ProdId::from_index(1), vec![y], ParseState(5), false);
+        let n2 = mt.get_node(
+            &mut arena,
+            &g,
+            ProdId::from_index(1),
+            vec![y],
+            ParseState(5),
+            false,
+        );
         assert_eq!(arena.state(n2), ParseState(5));
     }
 
@@ -291,8 +305,14 @@ mod tests {
         let old_seq = arena.sequence(l, ParseState(0), vec![e1]);
         arena.begin_epoch();
         let e2 = arena.terminal(Terminal::from_index(1), "item");
-        let seq2 =
-            build_reduction_node(&mut arena, &g, cons, vec![old_seq, e2], ParseState(0), false);
+        let seq2 = build_reduction_node(
+            &mut arena,
+            &g,
+            cons,
+            vec![old_seq, e2],
+            ParseState(0),
+            false,
+        );
         assert_ne!(seq2, old_seq, "old prefix must not be mutated");
         assert_eq!(arena.kids(seq2), &[old_seq, e2]);
         assert_eq!(arena.width(seq2), 2);

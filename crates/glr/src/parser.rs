@@ -3,11 +3,10 @@
 
 use crate::gss::{Gss, GssIdx, Link};
 use crate::merge::{build_reduction_node, MergeTables};
+use crate::scratch::ParseScratch;
 use std::collections::HashSet;
 use std::fmt;
-use wg_dag::{
-    rebalance_sequences, unshare_epsilon, DagArena, NodeId, ParseState, SequencePolicy,
-};
+use wg_dag::{rebalance_sequences, unshare_epsilon, DagArena, NodeId, ParseState, SequencePolicy};
 use wg_grammar::{Grammar, NonTerminal, ProdKind, Terminal};
 use wg_lrtable::{Action, LrTable, StateId};
 
@@ -60,10 +59,9 @@ pub struct TablePolicy<'a> {
 
 impl SequencePolicy for TablePolicy<'_> {
     fn is_separated(&self, sym: NonTerminal) -> bool {
-        self.g
-            .productions_for(sym)
-            .any(|p| self.g.production(p).kind() == ProdKind::SeqCons
-                && self.g.production(p).arity() == 3)
+        self.g.productions_for(sym).any(|p| {
+            self.g.production(p).kind() == ProdKind::SeqCons && self.g.production(p).arity() == 3
+        })
     }
 
     fn run_state(&self, seq_state: ParseState, sym: NonTerminal) -> Option<ParseState> {
@@ -129,19 +127,46 @@ impl<'a> GlrParser<'a> {
         arena: &mut DagArena,
         tokens: impl IntoIterator<Item = (Terminal, &'t str)>,
     ) -> Result<(NodeId, GlrRunStats), ParseError> {
+        let mut scratch = ParseScratch::new();
+        self.parse_with_stats_in(&mut scratch, arena, tokens)
+    }
+
+    /// As [`GlrParser::parse_with_stats`], but running inside a pooled
+    /// [`ParseScratch`] so repeated parses reuse the GSS and worklist
+    /// allocations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] when no parser can consume a token.
+    pub fn parse_with_stats_in<'t>(
+        &self,
+        scratch: &mut ParseScratch,
+        arena: &mut DagArena,
+        tokens: impl IntoIterator<Item = (Terminal, &'t str)>,
+    ) -> Result<(NodeId, GlrRunStats), ParseError> {
         arena.begin_epoch();
+        scratch.begin_run();
+        let ParseScratch {
+            gss,
+            merge,
+            active,
+            for_actor,
+            queued,
+            for_shifter,
+            forward,
+        } = scratch;
         let mut run = Run {
             g: self.g,
             table: self.table,
-            gss: Gss::new(),
-            merge: MergeTables::new(),
-            active: Vec::new(),
-            queued: HashSet::new(),
-            for_actor: Vec::new(),
-            for_shifter: Vec::new(),
+            gss,
+            merge,
+            active,
+            queued,
+            for_actor,
+            for_shifter,
             accepting: None,
             multi: false,
-            forward: std::collections::HashMap::new(),
+            forward,
             stats: GlrRunStats::default(),
         };
         let bottom = run.gss.bottom(self.table.start_state());
@@ -191,26 +216,27 @@ impl<'a> GlrParser<'a> {
     }
 }
 
-/// Mutable state of one batch parse.
+/// Mutable state of one batch parse. The collections are split borrows of a
+/// [`ParseScratch`], so their allocations outlive the run.
 struct Run<'a> {
     g: &'a Grammar,
     table: &'a LrTable,
-    gss: Gss,
-    merge: MergeTables,
+    gss: &'a mut Gss,
+    merge: &'a mut MergeTables,
     /// Parsers live in the current round.
-    active: Vec<GssIdx>,
+    active: &'a mut Vec<GssIdx>,
     /// Members of `for_actor` (for re-activation on new links).
-    queued: HashSet<GssIdx>,
-    for_actor: Vec<GssIdx>,
+    queued: &'a mut HashSet<GssIdx>,
+    for_actor: &'a mut Vec<GssIdx>,
     /// (parser, shift target) pairs for the end-of-round shift.
-    for_shifter: Vec<(GssIdx, StateId)>,
+    for_shifter: &'a mut Vec<(GssIdx, StateId)>,
     accepting: Option<GssIdx>,
     /// The paper's `multipleStates` flag.
     multi: bool,
     /// Proxies upgraded to symbol nodes this round: reduction paths captured
     /// before an upgrade must resolve through this map or they would re-use
     /// the lone proxy and silently drop interpretations.
-    forward: std::collections::HashMap<NodeId, NodeId>,
+    forward: &'a mut std::collections::HashMap<NodeId, NodeId>,
     stats: GlrRunStats,
 }
 
@@ -236,7 +262,7 @@ impl Run<'_> {
         self.forward.clear();
         self.for_shifter.clear();
         self.for_actor.clear();
-        self.for_actor.extend_from_slice(&self.active);
+        self.for_actor.extend_from_slice(self.active);
         self.queued.clear();
         self.queued.extend(self.for_actor.iter().copied());
         self.stats.max_parsers = self.stats.max_parsers.max(self.active.len());
@@ -244,11 +270,7 @@ impl Run<'_> {
         // non-deterministic as multiple parsers: reductions through them are
         // context-dependent, so their results must carry the multistate
         // marker.
-        if self
-            .active
-            .iter()
-            .any(|&p| self.gss.links(p).len() > 1)
-        {
+        if self.active.iter().any(|&p| self.gss.links(p).len() > 1) {
             self.multi = true;
         }
         while let Some(p) = self.for_actor.pop() {
@@ -312,10 +334,15 @@ impl Run<'_> {
         }
     }
 
-
     /// The deterministic fast path: exactly one parser, one path, no
     /// conflicts — no sharing is possible, so the merge tables are skipped.
-    fn fast_reducer(&mut self, arena: &mut DagArena, q: GssIdx, rule: wg_grammar::ProdId, kids: Vec<NodeId>) {
+    fn fast_reducer(
+        &mut self,
+        arena: &mut DagArena,
+        q: GssIdx,
+        rule: wg_grammar::ProdId,
+        kids: Vec<NodeId>,
+    ) {
         let lhs = self.g.production(rule).lhs();
         let Some(goto) = self.table.goto(self.gss.state(q), lhs) else {
             return;
@@ -326,14 +353,16 @@ impl Run<'_> {
                 self.reducer(arena, q, rule, kids);
                 return;
             }
-            let node = build_reduction_node(arena, self.g, rule, kids, ps(self.gss.state(q)), false);
+            let node =
+                build_reduction_node(arena, self.g, rule, kids, ps(self.gss.state(q)), false);
             self.gss.add_link(p, Link { head: q, node });
             if !self.queued.contains(&p) {
                 self.for_actor.push(p);
                 self.queued.insert(p);
             }
         } else {
-            let node = build_reduction_node(arena, self.g, rule, kids, ps(self.gss.state(q)), false);
+            let node =
+                build_reduction_node(arena, self.g, rule, kids, ps(self.gss.state(q)), false);
             let p = self.gss.push(goto, Link { head: q, node });
             self.active.push(p);
             self.for_actor.push(p);
@@ -355,15 +384,16 @@ impl Run<'_> {
             // A conflicting fork reduced into a dead end; it simply dies.
             return;
         };
-        let node = self
-            .merge
-            .get_node(arena, self.g, rule, kids.clone(), ps(self.gss.state(q)), self.multi);
+        let node = self.merge.get_node(
+            arena,
+            self.g,
+            rule,
+            kids.clone(),
+            ps(self.gss.state(q)),
+            self.multi,
+        );
 
-        if let Some(&p) = self
-            .active
-            .iter()
-            .find(|&&m| self.gss.state(m) == goto)
-        {
+        if let Some(&p) = self.active.iter().find(|&&m| self.gss.state(m) == goto) {
             if let Some(pos) = self.gss.find_link(p, q) {
                 // Local ambiguity packing into the existing link.
                 let label = self.resolve(self.gss.links(p)[pos].node);
@@ -393,7 +423,13 @@ impl Run<'_> {
                     self.gss.relabel_all(old, label);
                     self.forward.insert(old, label);
                 }
-                self.gss.add_link(p, Link { head: q, node: label });
+                self.gss.add_link(
+                    p,
+                    Link {
+                        head: q,
+                        node: label,
+                    },
+                );
                 // The new link may enable reductions for parsers already
                 // processed this round: re-activate them (idempotent).
                 if !self.queued.contains(&p) {
@@ -407,7 +443,13 @@ impl Run<'_> {
                 self.gss.relabel_all(old, label);
                 self.forward.insert(old, label);
             }
-            let p = self.gss.push(goto, Link { head: q, node: label });
+            let p = self.gss.push(
+                goto,
+                Link {
+                    head: q,
+                    node: label,
+                },
+            );
             self.active.push(p);
             self.for_actor.push(p);
             self.queued.insert(p);
@@ -522,9 +564,7 @@ mod tests {
     #[test]
     fn ambiguous_input_packs_choice_points() {
         let lang = amb_expr();
-        let (arena, root) = lang
-            .parse(&["num", "+", "num", "+", "num"])
-            .unwrap();
+        let (arena, root) = lang.parse(&["num", "+", "num", "+", "num"]).unwrap();
         assert_eq!(yield_string(&arena, root), "num + num + num");
         let stats = DagStats::compute(&arena, root);
         assert_eq!(stats.choice_points, 1, "one two-way ambiguity");
@@ -541,9 +581,7 @@ mod tests {
             .unwrap();
         fn count_trees(a: &DagArena, n: NodeId) -> usize {
             match a.kind(n) {
-                NodeKind::Symbol { .. } => {
-                    a.kids(n).iter().map(|&k| count_trees(a, k)).sum()
-                }
+                NodeKind::Symbol { .. } => a.kids(n).iter().map(|&k| count_trees(a, k)).sum(),
                 _ => a
                     .kids(n)
                     .iter()
@@ -561,12 +599,15 @@ mod tests {
         let (arena, root) = lang.parse(&["num", "+", "num", "+", "num"]).unwrap();
         // At least one production node inside the ambiguous region must be
         // marked with the multistate sentinel.
-        fn any_multi(a: &DagArena, n: NodeId, seen: &mut std::collections::HashSet<NodeId>) -> bool {
+        fn any_multi(
+            a: &DagArena,
+            n: NodeId,
+            seen: &mut std::collections::HashSet<NodeId>,
+        ) -> bool {
             if !seen.insert(n) {
                 return false;
             }
-            if matches!(a.kind(n), NodeKind::Production { .. }) && a.state(n) == ParseState::MULTI
-            {
+            if matches!(a.kind(n), NodeKind::Production { .. }) && a.state(n) == ParseState::MULTI {
                 return true;
             }
             a.kids(n).to_vec().iter().any(|&k| any_multi(a, k, seen))

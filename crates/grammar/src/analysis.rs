@@ -243,8 +243,7 @@ mod tests {
         let (g, a) = dragon();
         let nt = |n: &str| g.nonterminal_by_name(n).unwrap();
         let t = |n: &str| g.terminal_by_name(n).unwrap();
-        let (set, nullable) =
-            a.first_of_string(&g, &[Symbol::N(nt("E'")), Symbol::T(t(")"))]);
+        let (set, nullable) = a.first_of_string(&g, &[Symbol::N(nt("E'")), Symbol::T(t(")"))]);
         assert!(!nullable);
         assert_eq!(names(&g, &set), vec!["+", ")"]);
         let (set, nullable) = a.first_of_string(&g, &[Symbol::N(nt("E'"))]);

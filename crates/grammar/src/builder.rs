@@ -140,13 +140,7 @@ impl GrammarBuilder {
     /// the marks and maintains the sequence as a balanced binary tree. The
     /// parser generator is explicitly *told* the sequence is associative by
     /// this declaration (the paper notes it cannot infer that).
-    pub fn sequence(
-        &mut self,
-        lhs: NonTerminal,
-        elem: Symbol,
-        kind: SeqKind,
-        sep: Option<Symbol>,
-    ) {
+    pub fn sequence(&mut self, lhs: NonTerminal, elem: Symbol, kind: SeqKind, sep: Option<Symbol>) {
         match kind {
             SeqKind::Star if sep.is_none() => {
                 self.prod_kind(lhs, vec![], ProdKind::SeqEmpty);
@@ -349,7 +343,10 @@ mod tests {
         let s = b.nonterminal("x");
         b.prod(s, vec![Symbol::T(a)]);
         b.start(s);
-        assert_eq!(b.build().unwrap_err(), GrammarError::DuplicateName("x".into()));
+        assert_eq!(
+            b.build().unwrap_err(),
+            GrammarError::DuplicateName("x".into())
+        );
     }
 
     #[test]
@@ -369,7 +366,11 @@ mod tests {
         let g = b.build().unwrap();
         assert_eq!(g.production(add).precedence(), Some(p_plus));
         assert_eq!(g.production(mul).precedence(), Some(p_star));
-        assert_eq!(g.production(lit).precedence(), None, "num has no declared prec");
+        assert_eq!(
+            g.production(lit).precedence(),
+            None,
+            "num has no declared prec"
+        );
     }
 
     #[test]

@@ -219,6 +219,49 @@ impl Grammar {
         }
     }
 
+    /// A stable 64-bit fingerprint of the grammar's full content: symbol
+    /// names, productions (lhs, rhs, precedence, structural kind), the
+    /// start symbol, and terminal precedences. Two grammars with equal
+    /// fingerprints are interchangeable for table construction, so caches
+    /// (e.g. `wg-core`'s `LanguageRegistry`) can key compiled LR tables on
+    /// this value instead of deep-comparing grammars.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.str(&self.name);
+        h.u64(self.terminal_names.len() as u64);
+        for n in &self.terminal_names {
+            h.str(n);
+        }
+        h.u64(self.nonterminal_names.len() as u64);
+        for n in &self.nonterminal_names {
+            h.str(n);
+        }
+        h.u64(self.start.index() as u64);
+        h.u64(self.productions.len() as u64);
+        for p in &self.productions {
+            h.u64(p.lhs().index() as u64);
+            h.u64(p.rhs().len() as u64);
+            for s in p.rhs() {
+                match s {
+                    Symbol::T(t) => {
+                        h.u64(0);
+                        h.u64(t.index() as u64);
+                    }
+                    Symbol::N(n) => {
+                        h.u64(1);
+                        h.u64(n.index() as u64);
+                    }
+                }
+            }
+            h.precedence(p.precedence());
+            h.u64(p.kind() as u64);
+        }
+        for p in &self.term_prec {
+            h.precedence(*p);
+        }
+        h.finish()
+    }
+
     /// Renders a production as `Lhs -> a B c` using symbol names.
     pub fn display_production(&self, id: ProdId) -> String {
         let p = self.production(id);
@@ -231,6 +274,49 @@ impl Grammar {
             s.push_str(self.symbol_name(*sym));
         }
         s
+    }
+}
+
+/// FNV-1a accumulator used by [`Grammar::fingerprint`]. Length-prefixing in
+/// the caller keeps adjacent variable-length fields from aliasing.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        for b in s.bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn precedence(&mut self, p: Option<Precedence>) {
+        match p {
+            None => self.u64(0),
+            Some(p) => {
+                self.u64(1);
+                self.u64(p.level as u64);
+                self.u64(p.assoc as u64);
+            }
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
     }
 }
 
@@ -256,7 +342,12 @@ impl ValidationReport {
 
 impl fmt::Display for Grammar {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "grammar {} (start {})", self.name, self.nonterminal_name(self.start))?;
+        writeln!(
+            f,
+            "grammar {} (start {})",
+            self.name,
+            self.nonterminal_name(self.start)
+        )?;
         for (id, _) in self.productions() {
             writeln!(f, "  [{}] {}", id.index(), self.display_production(id))?;
         }
@@ -289,6 +380,54 @@ mod tests {
         let text = format!("{g}");
         assert!(text.contains("S -> a"));
         assert!(text.contains("ε"));
+    }
+}
+
+#[cfg(test)]
+mod fingerprint_tests {
+    use crate::{Assoc, GrammarBuilder, Symbol};
+
+    fn sample(term_b: &str) -> crate::Grammar {
+        let mut b = GrammarBuilder::new("g");
+        let a = b.terminal("a");
+        let t2 = b.terminal(term_b);
+        let s = b.nonterminal("S");
+        b.prod(s, vec![Symbol::T(a), Symbol::T(t2)]);
+        b.prod(s, vec![Symbol::T(a)]);
+        b.start(s);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn equal_grammars_share_a_fingerprint() {
+        assert_eq!(sample("b").fingerprint(), sample("b").fingerprint());
+    }
+
+    #[test]
+    fn content_changes_change_the_fingerprint() {
+        let base = sample("b").fingerprint();
+        assert_ne!(base, sample("c").fingerprint(), "terminal name");
+
+        let mut b = GrammarBuilder::new("g");
+        let a = b.terminal("a");
+        let t2 = b.terminal("b");
+        let s = b.nonterminal("S");
+        b.prod(s, vec![Symbol::T(a), Symbol::T(t2)]);
+        b.start(s);
+        let fewer_prods = b.build().unwrap();
+        assert_ne!(base, fewer_prods.fingerprint(), "production set");
+
+        let mut b = GrammarBuilder::new("g");
+        let a = b.terminal("a");
+        b.left(&[a]);
+        let t2 = b.terminal("b");
+        let s = b.nonterminal("S");
+        b.prod(s, vec![Symbol::T(a), Symbol::T(t2)]);
+        b.prod(s, vec![Symbol::T(a)]);
+        b.start(s);
+        let with_prec = b.build().unwrap();
+        assert_ne!(base, with_prec.fingerprint(), "precedence declarations");
+        let _ = Assoc::Left;
     }
 }
 

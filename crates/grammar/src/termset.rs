@@ -35,7 +35,11 @@ impl TermSet {
     /// Panics if the terminal is outside this set's universe.
     pub fn insert(&mut self, t: Terminal) -> bool {
         let ix = t.index();
-        assert!(ix < self.universe, "terminal {ix} outside universe {}", self.universe);
+        assert!(
+            ix < self.universe,
+            "terminal {ix} outside universe {}",
+            self.universe
+        );
         let (w, b) = (ix / 64, ix % 64);
         let fresh = self.words[w] & (1 << b) == 0;
         self.words[w] |= 1 << b;
@@ -131,7 +135,9 @@ impl Extend<Terminal> for TermSet {
 
 impl fmt::Debug for TermSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_set().entries(self.iter().map(|t| t.index())).finish()
+        f.debug_set()
+            .entries(self.iter().map(|t| t.index()))
+            .finish()
     }
 }
 

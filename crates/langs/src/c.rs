@@ -217,7 +217,12 @@ fn build_flags(cpp: bool, ambiguous_decl: bool) -> Result<SessionConfig, Session
     b.prod(decl, vec![Symbol::T(kw_int), Symbol::T(id)]);
     b.prod(
         decl,
-        vec![Symbol::T(kw_int), Symbol::T(id), Symbol::T(eq), Symbol::N(expr)],
+        vec![
+            Symbol::T(kw_int),
+            Symbol::T(id),
+            Symbol::T(eq),
+            Symbol::N(expr),
+        ],
     );
 
     // Statements and expressions.
@@ -316,8 +321,7 @@ mod tests {
         assert!(c.table().conflicts().resolved_by_precedence > 0);
         let cpp = simp_cpp();
         assert!(
-            cpp.table().conflicts().remaining.len()
-                >= c.table().conflicts().remaining.len(),
+            cpp.table().conflicts().remaining.len() >= c.table().conflicts().remaining.len(),
             "C++ adds ambiguity"
         );
     }
@@ -325,11 +329,7 @@ mod tests {
     #[test]
     fn unambiguous_program_has_plain_tree() {
         let cfg = simp_c();
-        let s = Session::new(
-            &cfg,
-            "int x; int y = 4; x = y + 2; typedef int t; t z;",
-        )
-        .unwrap();
+        let s = Session::new(&cfg, "int x; int y = 4; x = y + 2; typedef int t; t z;").unwrap();
         let stats = s.stats();
         assert_eq!(stats.choice_points, 0, "{}", s.dump());
         assert_eq!(stats.space_overhead_percent(), 0.0);

@@ -97,9 +97,7 @@ pub fn c_program(spec: &GenSpec) -> CProgram {
             let name = format!("t{}", typedefs.len());
             out.push_str(&format!("{indent}typedef int {name};\n"));
             typedefs.push(name);
-        } else if roll < spec.ambiguity_rate + spec.typedef_rate + spec.funcdef_rate
-            && depth < 3
-        {
+        } else if roll < spec.ambiguity_rate + spec.typedef_rate + spec.funcdef_rate && depth < 3 {
             out.push_str(&format!("{indent}int fn{fn_counter}() {{\n"));
             fn_counter += 1;
             depth += 1;
@@ -119,10 +117,7 @@ pub fn c_program(spec: &GenSpec) -> CProgram {
                 out.push_str(&format!("{indent}/* block comment {emitted} */\n"));
             }
             match rng.random_range(0..4) {
-                0 => out.push_str(&format!(
-                    "{indent}int var{};\n",
-                    rng.random_range(0..1000)
-                )),
+                0 => out.push_str(&format!("{indent}int var{};\n", rng.random_range(0..1000))),
                 1 => out.push_str(&format!(
                     "{indent}int var{} = {};\n",
                     rng.random_range(0..1000),

@@ -120,7 +120,10 @@ fn build() -> Result<SessionConfig, SessionError> {
     // The separated statement list — the paper's `(';' stmt)*` shape.
     b.sequence(stmts, Symbol::N(stmt), SeqKind::Plus, Some(Symbol::T(semi)));
 
-    b.prod(stmt, vec![Symbol::T(id), Symbol::T(assign), Symbol::N(expr)]);
+    b.prod(
+        stmt,
+        vec![Symbol::T(id), Symbol::T(assign), Symbol::N(expr)],
+    );
     b.prod(
         stmt,
         vec![Symbol::T(id), Symbol::T(lp), Symbol::N(expr), Symbol::T(rp)],
@@ -147,8 +150,14 @@ fn build() -> Result<SessionConfig, SessionError> {
     );
 
     b.prod(expr, vec![Symbol::N(expr), Symbol::T(eq), Symbol::N(expr)]);
-    b.prod(expr, vec![Symbol::N(expr), Symbol::T(plus), Symbol::N(expr)]);
-    b.prod(expr, vec![Symbol::N(expr), Symbol::T(star), Symbol::N(expr)]);
+    b.prod(
+        expr,
+        vec![Symbol::N(expr), Symbol::T(plus), Symbol::N(expr)],
+    );
+    b.prod(
+        expr,
+        vec![Symbol::N(expr), Symbol::T(star), Symbol::N(expr)],
+    );
     b.prod(expr, vec![Symbol::T(id)]);
     b.prod(expr, vec![Symbol::T(num)]);
     b.prod(expr, vec![Symbol::T(lp), Symbol::N(expr), Symbol::T(rp)]);
@@ -201,7 +210,12 @@ pub fn modula_program(vars: usize, stmts: usize) -> String {
         if i > 0 {
             out.push_str(";\n");
         }
-        out.push_str(&format!("v{} := v{} + {}", i % vars.max(1), (i + 1) % vars.max(1), i % 10));
+        out.push_str(&format!(
+            "v{} := v{} + {}",
+            i % vars.max(1),
+            (i + 1) % vars.max(1),
+            i % 10
+        ));
     }
     out.push_str("\nEND Synth.\n");
     out

@@ -57,7 +57,12 @@ pub fn stmt_list(balanced: bool) -> Grammar {
     let prog = b.nonterminal("prog");
     b.prod(
         stmt,
-        vec![Symbol::T(id), Symbol::T(eq), Symbol::T(num), Symbol::T(semi)],
+        vec![
+            Symbol::T(id),
+            Symbol::T(eq),
+            Symbol::T(num),
+            Symbol::T(semi),
+        ],
     );
     if balanced {
         b.sequence(prog, Symbol::N(stmt), SeqKind::Plus, None);

@@ -31,10 +31,7 @@ impl Dfa {
 
         while let Some(s) = work.pop() {
             let set = sets[s as usize].clone();
-            accept[s as usize] = set
-                .iter()
-                .filter_map(|&n| nfa.nodes[n].accept)
-                .min();
+            accept[s as usize] = set.iter().filter_map(|&n| nfa.nodes[n].accept).min();
             // For each byte, compute the move set. Byte-at-a-time is simple
             // and fast enough: lexer automata here are tiny.
             for b in 0..=255u8 {

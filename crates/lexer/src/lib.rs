@@ -51,4 +51,4 @@ mod regex;
 mod scanner;
 
 pub use regex::{Regex, RegexError};
-pub use scanner::{LexOutput, Lexer, LexerDef, RelexResult, RuleId, TokenAt};
+pub use scanner::{LexOutput, Lexer, LexerDef, RelexResult, RuleId, TokenAt, TokenSource};

@@ -129,8 +129,12 @@ impl Nfa {
                 }
             }
         }
-        let mut out: Vec<NfaState> =
-            seen.iter().enumerate().filter(|(_, v)| **v).map(|(i, _)| i).collect();
+        let mut out: Vec<NfaState> = seen
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| **v)
+            .map(|(i, _)| i)
+            .collect();
         out.sort_unstable();
         out
     }
@@ -177,10 +181,7 @@ mod tests {
     #[test]
     fn priority_goes_to_earlier_rule() {
         // "if" matches both the keyword (rule 0) and ident (rule 1).
-        let rules = vec![
-            Regex::literal("if"),
-            Regex::parse("[a-z]+").unwrap(),
-        ];
+        let rules = vec![Regex::literal("if"), Regex::parse("[a-z]+").unwrap()];
         let nfa = Nfa::build(&rules);
         assert_eq!(nfa_matches(&nfa, b"if"), Some(0));
         assert_eq!(nfa_matches(&nfa, b"iff"), Some(1));

@@ -284,9 +284,7 @@ impl<'a> Parser<'a> {
                 }
                 Ok(c)
             }
-            Some(b) if b.is_ascii() && !b.is_ascii_alphanumeric() => {
-                Ok(ByteClass::single(b))
-            }
+            Some(b) if b.is_ascii() && !b.is_ascii_alphanumeric() => Ok(ByteClass::single(b)),
             Some(_) => Err(self.error("unknown escape")),
         }
     }
@@ -324,9 +322,7 @@ impl<'a> Parser<'a> {
                                 for b in 0..=255u8 {
                                     if esc.contains(b) {
                                         if only.is_some() {
-                                            return Err(
-                                                self.error("class escape in range")
-                                            );
+                                            return Err(self.error("class escape in range"));
                                         }
                                         only = Some(b);
                                     }
@@ -458,7 +454,9 @@ mod tests {
         let r = Regex::literal("a*b");
         let Regex::Concat(parts) = r else { panic!() };
         assert_eq!(parts.len(), 3);
-        let Regex::Class(star) = &parts[1] else { panic!() };
+        let Regex::Class(star) = &parts[1] else {
+            panic!()
+        };
         assert!(star.contains(b'*'));
         assert_eq!(Regex::literal(""), Regex::Empty);
         assert!(matches!(Regex::literal("x"), Regex::Class(_)));

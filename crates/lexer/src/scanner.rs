@@ -23,6 +23,11 @@ struct RuleDef {
     name: String,
     regex: Regex,
     skip: bool,
+    /// Whether the rule came from `literal` (true) or a pattern (false);
+    /// disambiguates `source` for fingerprinting.
+    is_literal: bool,
+    /// The pattern or literal text as written, for fingerprinting.
+    source: String,
 }
 
 /// A token-rule set under construction.
@@ -50,6 +55,8 @@ impl LexerDef {
             name: name.to_string(),
             regex,
             skip: false,
+            is_literal: false,
+            source: pattern.to_string(),
         });
         Ok(RuleId(self.rules.len() as u32 - 1))
     }
@@ -60,6 +67,8 @@ impl LexerDef {
             name: name.to_string(),
             regex: Regex::literal(text),
             skip: false,
+            is_literal: true,
+            source: text.to_string(),
         });
         RuleId(self.rules.len() as u32 - 1)
     }
@@ -73,6 +82,38 @@ impl LexerDef {
         let id = self.rule(name, pattern)?;
         self.rules[id.index()].skip = true;
         Ok(id)
+    }
+
+    /// A stable 64-bit fingerprint of the rule set: names, pattern sources,
+    /// declaration order, skip flags, and literal-vs-pattern origin. Two
+    /// definitions with equal fingerprints compile to interchangeable
+    /// scanners, so language registries can cache compiled lexers on it.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a with length-prefixed strings so fields cannot alias.
+        fn byte(h: &mut u64, b: u8) {
+            *h ^= b as u64;
+            *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        fn word(h: &mut u64, v: u64) {
+            for b in v.to_le_bytes() {
+                byte(h, b);
+            }
+        }
+        fn string(h: &mut u64, s: &str) {
+            word(h, s.len() as u64);
+            for b in s.bytes() {
+                byte(h, b);
+            }
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        word(&mut h, self.rules.len() as u64);
+        for r in &self.rules {
+            string(&mut h, &r.name);
+            string(&mut h, &r.source);
+            word(&mut h, u64::from(r.skip));
+            word(&mut h, u64::from(r.is_literal));
+        }
+        h
     }
 
     /// Compiles the rules into a scanner.
@@ -132,7 +173,7 @@ pub struct LexOutput {
 }
 
 /// The result of an incremental relex (Section 3.2's incremental lexer).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct RelexResult {
     /// Number of leading old tokens untouched by the edit.
     pub kept_prefix: usize,
@@ -144,6 +185,65 @@ pub struct RelexResult {
     pub kept_suffix: usize,
     /// Unmatched byte offsets inside the rescanned region (new text).
     pub errors: Vec<usize>,
+}
+
+impl RelexResult {
+    /// Resets the result for reuse, keeping the vector allocations (the
+    /// session's reparse loop pools one `RelexResult` across edits).
+    pub fn clear(&mut self) {
+        self.kept_prefix = 0;
+        self.new_tokens.clear();
+        self.kept_suffix = 0;
+        self.errors.clear();
+    }
+}
+
+/// Read access to the previous version's token stream, as required by
+/// [`Lexer::relex_into`].
+///
+/// The slice implementation answers both queries by linear/binary scans; a
+/// positional token store (e.g. a gap-buffered tape) can answer them in
+/// O(log n) so that incremental relexing never walks the whole stream.
+pub trait TokenSource {
+    /// Number of tokens.
+    fn len(&self) -> usize;
+
+    /// Whether there are no tokens.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `ix`-th token, in pre-edit coordinates.
+    fn token(&self, ix: usize) -> TokenAt;
+
+    /// Number of leading tokens whose examined range ([`TokenAt::scan_end`])
+    /// stays at or before `edit_start` — the longest reusable prefix for an
+    /// edit at that offset.
+    fn kept_prefix(&self, edit_start: usize) -> usize;
+
+    /// Index of the token starting exactly at `start`, if any. Token starts
+    /// are strictly increasing, so the answer is unique.
+    fn find_start(&self, start: usize) -> Option<usize>;
+}
+
+impl TokenSource for [TokenAt] {
+    fn len(&self) -> usize {
+        <[TokenAt]>::len(self)
+    }
+
+    fn token(&self, ix: usize) -> TokenAt {
+        self[ix]
+    }
+
+    fn kept_prefix(&self, edit_start: usize) -> usize {
+        self.iter()
+            .take_while(|t| t.scan_end() <= edit_start)
+            .count()
+    }
+
+    fn find_start(&self, start: usize) -> Option<usize> {
+        self.binary_search_by_key(&start, |t| t.start).ok()
+    }
 }
 
 /// A compiled scanner.
@@ -162,7 +262,10 @@ impl Lexer {
 
     /// Looks a rule up by name.
     pub fn rule_by_name(&self, name: &str) -> Option<RuleId> {
-        self.names.iter().position(|n| n == name).map(|i| RuleId(i as u32))
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| RuleId(i as u32))
     }
 
     /// Number of rules.
@@ -246,42 +349,51 @@ impl Lexer {
     /// start beyond the edit (the suffix is then reused with offsets shifted
     /// by [`Edit::delta`]).
     pub fn relex(&self, new_text: &str, old: &[TokenAt], edit: Edit) -> RelexResult {
+        let mut out = RelexResult::default();
+        self.relex_into(new_text, old, edit, &mut out);
+        out
+    }
+
+    /// Like [`Lexer::relex`], but reads the old stream through a
+    /// [`TokenSource`] and writes into a pooled [`RelexResult`], so a
+    /// long-lived session allocates nothing per edit.
+    ///
+    /// The damaged region is bounded on the left by the source's
+    /// [`TokenSource::kept_prefix`] and on the right by the first scanned
+    /// token boundary that realigns ([`TokenSource::find_start`]) with an
+    /// old token start beyond the edit.
+    pub fn relex_into(
+        &self,
+        new_text: &str,
+        old: &(impl TokenSource + ?Sized),
+        edit: Edit,
+        out: &mut RelexResult,
+    ) {
+        out.clear();
         let bytes = new_text.as_bytes();
         let delta = edit.delta();
         let edit_old_end = edit.old_end();
 
         // Prefix: old tokens whose examined range ends at or before the edit.
-        let kept_prefix = old
-            .iter()
-            .take_while(|t| t.scan_end() <= edit.start)
-            .count();
+        let kept_prefix = old.kept_prefix(edit.start);
         let scan_start = if kept_prefix == 0 {
             0
         } else {
-            old[kept_prefix - 1].end()
+            old.token(kept_prefix - 1).end()
         };
 
-        // Index old token starts beyond the edit for suffix synchronization.
-        let mut suffix_candidates = old[kept_prefix..]
-            .iter()
-            .enumerate()
-            .filter(|(_, t)| t.start >= edit_old_end)
-            .map(|(i, t)| (t.start, kept_prefix + i))
-            .collect::<Vec<_>>();
-        suffix_candidates.sort_unstable();
-
-        let mut new_tokens = Vec::new();
-        let mut errors = Vec::new();
         let mut pos = scan_start;
         let kept_suffix;
         loop {
-            // Synchronization test at a token boundary.
+            // Synchronization test at a token boundary. Any old token
+            // starting at or beyond the edit's removed range necessarily
+            // lies past the kept prefix (prefix tokens end before the edit
+            // begins), so a start match is a valid realignment point.
             let old_pos = pos as isize - delta;
             if old_pos >= edit_old_end as isize {
-                if let Ok(ix) =
-                    suffix_candidates.binary_search_by_key(&(old_pos as usize), |c| c.0)
-                {
-                    kept_suffix = old.len() - suffix_candidates[ix].1;
+                if let Some(ix) = old.find_start(old_pos as usize) {
+                    debug_assert!(ix >= kept_prefix);
+                    kept_suffix = old.len() - ix;
                     break;
                 }
             }
@@ -292,18 +404,14 @@ impl Lexer {
             let (tok, ok) = self.scan_one(bytes, pos);
             pos = tok.end();
             if !ok {
-                errors.push(tok.start);
+                out.errors.push(tok.start);
             } else if !self.skip[tok.rule.index()] {
-                new_tokens.push(tok);
+                out.new_tokens.push(tok);
             }
         }
 
-        RelexResult {
-            kept_prefix,
-            new_tokens,
-            kept_suffix,
-            errors,
-        }
+        out.kept_prefix = kept_prefix;
+        out.kept_suffix = kept_suffix;
     }
 
     /// Applies a [`RelexResult`] to an old token vector, producing the full
@@ -415,12 +523,12 @@ mod tests {
         let old_text = "typedef int t; t x; x (y); int z = 12345;";
         let old = lx.lex(old_text).tokens;
         let cases: Vec<(usize, usize, &str)> = vec![
-            (0, 7, "int"),       // replace leading keyword
-            (8, 3, "long"),      // replace in the middle
-            (40, 0, "99"),       // insert inside the number
-            (15, 5, ""),         // delete "t x; "
-            (0, 0, "x"),         // prepend joins with `typedef`? no: ws at 7
-            (41, 0, " "),        // append near the end
+            (0, 7, "int"),  // replace leading keyword
+            (8, 3, "long"), // replace in the middle
+            (40, 0, "99"),  // insert inside the number
+            (15, 5, ""),    // delete "t x; "
+            (0, 0, "x"),    // prepend joins with `typedef`? no: ws at 7
+            (41, 0, " "),   // append near the end
         ];
         for (start, removed, insert) in cases {
             let mut new_text = old_text.to_string();

@@ -101,8 +101,7 @@ impl Lr0Automaton {
 
     /// Walks the GOTO path from `from` spelling `syms`; `None` if undefined.
     pub fn walk(&self, from: StateId, syms: &[Symbol]) -> Option<StateId> {
-        syms.iter()
-            .try_fold(from, |s, sym| self.goto(s, *sym))
+        syms.iter().try_fold(from, |s, sym| self.goto(s, *sym))
     }
 }
 

@@ -19,7 +19,10 @@ impl Item {
 
     /// The symbol immediately after the dot, if any.
     pub fn next_symbol(self, g: &Grammar) -> Option<Symbol> {
-        g.production(self.prod).rhs().get(self.dot as usize).copied()
+        g.production(self.prod)
+            .rhs()
+            .get(self.dot as usize)
+            .copied()
     }
 
     /// Whether the dot is at the far right (a *final* item, commanding a

@@ -63,9 +63,7 @@ pub fn lr1_metrics(g: &Grammar) -> Lr1Metrics {
             }
             let mut kernel: Vec<Lr1Item> = state
                 .iter()
-                .filter(|it| {
-                    g.production(it.prod).rhs().get(it.dot as usize) == Some(&sym)
-                })
+                .filter(|it| g.production(it.prod).rhs().get(it.dot as usize) == Some(&sym))
                 .map(|it| Lr1Item {
                     dot: it.dot + 1,
                     ..*it

@@ -5,9 +5,7 @@
 use crate::automaton::{Lr0Automaton, StateId};
 use crate::lalr::lalr_lookaheads;
 use std::fmt;
-use wg_grammar::{
-    Assoc, Grammar, GrammarAnalysis, NonTerminal, ProdId, Symbol, Terminal, TermSet,
-};
+use wg_grammar::{Assoc, Grammar, GrammarAnalysis, NonTerminal, ProdId, Symbol, TermSet, Terminal};
 
 /// A parse action in one ACTION-table cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -192,8 +190,7 @@ impl LrTable {
                     }
                 }
                 if ok {
-                    nt_reduce[s * num_nonterminals + n.index()] =
-                        Some(agreed.unwrap_or_default());
+                    nt_reduce[s * num_nonterminals + n.index()] = Some(agreed.unwrap_or_default());
                 }
             }
         }
@@ -290,12 +287,7 @@ impl fmt::Display for TableKind {
 
 /// Applies yacc-style precedence to a conflicted cell (the paper's *static
 /// syntactic filters*, Section 4.1).
-fn resolve_cell(
-    g: &Grammar,
-    term: Terminal,
-    cell: &mut Vec<Action>,
-    report: &mut ConflictReport,
-) {
+fn resolve_cell(g: &Grammar, term: Terminal, cell: &mut Vec<Action>, report: &mut ConflictReport) {
     let term_prec = g.terminal_precedence(term);
     let Some(tp) = term_prec else { return };
     let shifts: Vec<Action> = cell
@@ -380,8 +372,7 @@ mod tests {
             .all(|(_, _, k)| *k == ConflictKind::ShiftReduce));
         // Some cell actually carries two actions for GLR to fork on.
         let plus = g.terminal_by_name("+").unwrap();
-        let any_multi = (0..t.num_states())
-            .any(|s| t.actions(StateId(s as u32), plus).len() > 1);
+        let any_multi = (0..t.num_states()).any(|s| t.actions(StateId(s as u32), plus).len() > 1);
         assert!(any_multi);
     }
 
@@ -519,7 +510,9 @@ impl LrTable {
             .iter()
             .map(|(s, _, _)| s.index())
             .collect();
-        let mut out = String::from("digraph lr {\n  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n");
+        let mut out = String::from(
+            "digraph lr {\n  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n",
+        );
         for s in 0..self.num_states {
             let sid = StateId(s as u32);
             let mut label = format!("state {s}\\n");

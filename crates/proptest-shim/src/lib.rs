@@ -1,0 +1,661 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach a crates registry, so this crate
+//! provides the subset of proptest's API that the workspace's property
+//! tests use: the [`proptest!`] / [`prop_oneof!`] / [`prop_assert!`]
+//! macros, the [`Strategy`] trait with `Just`, ranges, tuples,
+//! [`collection::vec`], `prop_map`, unions, [`any`], and string strategies
+//! for the simple character-class patterns the tests rely on.
+//!
+//! Semantics differ from real proptest in one deliberate way: there is no
+//! shrinking. A failing case reports the generated inputs verbatim. Input
+//! generation is deterministic per test (seeded from the test's module
+//! path and name), so failures reproduce across runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+// ---------------------------------------------------------------------------
+// Runner plumbing
+// ---------------------------------------------------------------------------
+
+/// Configuration for a [`proptest!`] block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed; the test fails with this message.
+    Fail(String),
+    /// The inputs were rejected by [`prop_assume!`]; another case is drawn.
+    Reject,
+}
+
+/// The deterministic generator handed to strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator whose stream is a pure function of `seed`.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// A generator seeded from a test's fully qualified name.
+    pub fn for_test(name: &str) -> TestRng {
+        // FNV-1a over the name: stable across runs and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng::new(h)
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `0..n` (`0` when `n == 0`).
+    pub fn below(&mut self, n: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Drives one property: draws inputs until `cfg.cases` cases pass.
+///
+/// The closure returns the formatted inputs (for failure reports) and the
+/// case's outcome. Called by the code [`proptest!`] expands to; not meant
+/// for direct use.
+pub fn run_proptest<F>(cfg: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> (String, Result<(), TestCaseError>),
+{
+    let mut rng = TestRng::for_test(name);
+    let mut passed: u32 = 0;
+    let mut rejected: u32 = 0;
+    while passed < cfg.cases {
+        let (inputs, outcome) = case(&mut rng);
+        match outcome {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= 10_000,
+                    "{name}: gave up after {rejected} rejected inputs ({passed} cases passed)"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{name}: case {passed} failed: {msg}\n  inputs: {inputs}");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// A strategy applying `f` to each generated value.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// [`Strategy::prop_map`]'s output.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_strategy_for_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end as u128).wrapping_sub(self.start as u128);
+                self.start.wrapping_add((rng.next_u64() as u128 % width) as $t)
+            }
+        }
+    )*};
+}
+impl_strategy_for_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+            self.3.generate(rng),
+        )
+    }
+}
+
+/// Uniform choice among boxed alternative strategies ([`prop_oneof!`]).
+pub struct Union<T> {
+    arms: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T: Debug> Union<T> {
+    /// A union over `arms`; each draw picks one arm uniformly.
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let ix = rng.below(self.arms.len());
+        self.arms[ix].generate(rng)
+    }
+}
+
+/// Boxes a strategy as a [`Union`] arm (used by [`prop_oneof!`]).
+pub fn boxed_arm<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+/// Types with a canonical full-domain strategy (see [`any`]).
+pub trait Arbitrary: Sized + Debug {
+    /// Draws one value from the type's full domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy over `T`'s full domain.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with lengths drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A `Vec<S::Value>` strategy with `size.start..size.end` elements.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.end - self.size.start;
+            let n = self.size.start + rng.below(span);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// String pattern strategies
+// ---------------------------------------------------------------------------
+
+/// Strings matching a simple pattern: top-level `|` alternation over
+/// sequences of character classes / literal characters, each with an
+/// optional `{m,n}` / `{n}` / `?` / `+` / `*` quantifier. This covers the
+/// patterns used by the workspace's tests; anything fancier (groups,
+/// escapes, negated classes) panics loudly rather than mis-generating.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let alternatives: Vec<&str> = pattern.split('|').collect();
+    let alt = alternatives[rng.below(alternatives.len())];
+    let pieces = parse_pieces(alt, pattern);
+    let mut out = String::new();
+    for (chars, min, max) in pieces {
+        let n = min + rng.below(max - min + 1);
+        for _ in 0..n {
+            out.push(chars[rng.below(chars.len())]);
+        }
+    }
+    out
+}
+
+/// Parses one alternation-free pattern into `(choices, min, max)` pieces.
+fn parse_pieces(alt: &str, whole: &str) -> Vec<(Vec<char>, usize, usize)> {
+    let mut pieces = Vec::new();
+    let mut it = alt.chars().peekable();
+    while let Some(c) = it.next() {
+        let chars: Vec<char> = match c {
+            '[' => {
+                let mut set = Vec::new();
+                loop {
+                    let d = it
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated class in pattern {whole:?}"));
+                    if d == ']' {
+                        break;
+                    }
+                    assert!(
+                        d != '^' || !set.is_empty(),
+                        "negated classes unsupported in pattern {whole:?}"
+                    );
+                    if it.peek() == Some(&'-') {
+                        it.next();
+                        let hi = it
+                            .next()
+                            .unwrap_or_else(|| panic!("dangling '-' in pattern {whole:?}"));
+                        assert!(hi != ']', "dangling '-' in pattern {whole:?}");
+                        set.extend(d..=hi);
+                    } else {
+                        set.push(d);
+                    }
+                }
+                assert!(!set.is_empty(), "empty class in pattern {whole:?}");
+                set
+            }
+            '(' | ')' | '\\' | '.' | '^' | '$' | '{' | '}' | '?' | '+' | '*' => {
+                panic!("unsupported pattern syntax {c:?} in {whole:?}")
+            }
+            lit => vec![lit],
+        };
+        let (min, max) = match it.peek() {
+            Some('{') => {
+                it.next();
+                let mut digits = String::new();
+                let mut min_max = (0usize, 0usize);
+                let mut saw_comma = false;
+                loop {
+                    let d = it
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated quantifier in {whole:?}"));
+                    match d {
+                        '0'..='9' => digits.push(d),
+                        ',' => {
+                            min_max.0 = digits.parse().unwrap();
+                            digits.clear();
+                            saw_comma = true;
+                        }
+                        '}' => {
+                            let n: usize = digits.parse().unwrap();
+                            if saw_comma {
+                                min_max.1 = n;
+                            } else {
+                                min_max = (n, n);
+                            }
+                            break;
+                        }
+                        other => panic!("bad quantifier char {other:?} in {whole:?}"),
+                    }
+                }
+                assert!(min_max.0 <= min_max.1, "inverted quantifier in {whole:?}");
+                min_max
+            }
+            Some('?') => {
+                it.next();
+                (0, 1)
+            }
+            Some('+') => {
+                it.next();
+                (1, 8)
+            }
+            Some('*') => {
+                it.next();
+                (0, 8)
+            }
+            _ => (1, 1),
+        };
+        pieces.push((chars, min, max));
+    }
+    pieces
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` drawing inputs until the configured number of cases
+/// pass.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Internal recursion for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_proptest(
+                &$cfg,
+                concat!(module_path!(), "::", stringify!($name)),
+                |__rng: &mut $crate::TestRng| {
+                    $(let $arg = $crate::Strategy::generate(&$strat, __rng);)+
+                    let __inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}  "),+),
+                        $(&$arg),+
+                    );
+                    let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    (__inputs, __outcome)
+                },
+            );
+        }
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::boxed_arm($arm)),+])
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body; failure reports the
+/// generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                __l,
+                __r
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case's inputs; the runner draws a fresh case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// One-stop import mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, boxed_arm, Any, Arbitrary, Just, Map, ProptestConfig, Strategy, TestCaseError,
+        TestRng, Union,
+    };
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn pattern_generation_respects_shape() {
+        let mut rng = TestRng::new(5);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z]{1,6}", &mut rng);
+            assert!((1..=6).contains(&s.len()), "{s:?}");
+            assert!(s.bytes().all(|b| b.is_ascii_lowercase()), "{s:?}");
+        }
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z]{1,5}|[0-9]{1,4}", &mut rng);
+            let alpha = s.bytes().all(|b| b.is_ascii_lowercase());
+            let digit = s.bytes().all(|b| b.is_ascii_digit());
+            assert!(alpha || digit, "{s:?}");
+        }
+        // {0,n} can produce empty strings; spaces in classes are literal.
+        let mut saw_empty = false;
+        for _ in 0..300 {
+            let s = Strategy::generate(&"[a-z0-9 ]{0,8}", &mut rng);
+            saw_empty |= s.is_empty();
+            assert!(
+                s.bytes()
+                    .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b' '),
+                "{s:?}"
+            );
+        }
+        assert!(saw_empty);
+    }
+
+    #[test]
+    fn union_hits_every_arm() {
+        let strat = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut rng = TestRng::new(1);
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[Strategy::generate(&strat, &mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn runner_draws_in_bounds(
+            n in 3usize..10,
+            pair in (0u8..2, 0usize..5),
+            flip in any::<bool>(),
+            v in crate::collection::vec(0u8..4, 1..6),
+        ) {
+            prop_assert!((3..10).contains(&n));
+            prop_assert!(pair.0 < 2 && pair.1 < 5, "pair out of range: {pair:?}");
+            prop_assume!(flip | !flip);
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            prop_assert_eq!(v.iter().filter(|&&x| x > 3).count(), 0, "elements above 3: {:?}", v);
+        }
+    }
+}

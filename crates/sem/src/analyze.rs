@@ -139,12 +139,7 @@ impl Names {
 ///
 /// Panics if the grammar is not one of `wg_langs`' simplified-C variants
 /// (the classifier nonterminals must exist).
-pub fn analyze(
-    arena: &DagArena,
-    root: NodeId,
-    g: &Grammar,
-    strictness: Strictness,
-) -> Analysis {
+pub fn analyze(arena: &DagArena, root: NodeId, g: &Grammar, strictness: Strictness) -> Analysis {
     let mut st = State {
         arena,
         g,
@@ -175,9 +170,7 @@ impl State<'_> {
     /// namespace decides the interpretation).
     fn head_identifier(&self, node: NodeId) -> Option<String> {
         match self.arena.kind(node) {
-            NodeKind::Terminal { term, lexeme } if *term == self.names.id => {
-                Some(lexeme.clone())
-            }
+            NodeKind::Terminal { term, lexeme } if *term == self.names.id => Some(lexeme.clone()),
             NodeKind::Terminal { .. } | NodeKind::Bos | NodeKind::Eos => None,
             NodeKind::Symbol { .. } => self
                 .arena
@@ -214,9 +207,7 @@ impl State<'_> {
             return match p.rhs().first() {
                 Some(Symbol::N(n)) if *n == self.names.funcall => AltKind::Call,
                 Some(Symbol::N(n)) if *n == self.names.type_id => AltKind::Cast,
-                Some(Symbol::N(_)) => {
-                    kids.first().map_or(AltKind::Other, |&k| self.alt_kind(k))
-                }
+                Some(Symbol::N(_)) => kids.first().map_or(AltKind::Other, |&k| self.alt_kind(k)),
                 _ => AltKind::Other,
             };
         }
@@ -388,11 +379,15 @@ mod tests {
     use wg_core::Session;
     use wg_langs::{simp_c, simp_cpp};
 
-    fn run(src: &str) -> (Session<'static>, Analysis) {
-        // Leak the config for test simplicity (Session borrows it).
-        let cfg = Box::leak(Box::new(simp_c()));
-        let s = Session::new(cfg, src).unwrap();
-        let a = analyze(s.arena(), s.root(), cfg.grammar(), Strictness::RequireBinding);
+    fn run(src: &str) -> (Session, Analysis) {
+        let cfg = simp_c();
+        let s = Session::new(&cfg, src).unwrap();
+        let a = analyze(
+            s.arena(),
+            s.root(),
+            cfg.grammar(),
+            Strictness::RequireBinding,
+        );
         (s, a)
     }
 
@@ -431,7 +426,12 @@ mod tests {
     fn default_to_call_strictness() {
         let cfg = Box::leak(Box::new(simp_c()));
         let s = Session::new(cfg, "mystery (x);").unwrap();
-        let a = analyze(s.arena(), s.root(), cfg.grammar(), Strictness::DefaultToCall);
+        let a = analyze(
+            s.arena(),
+            s.root(),
+            cfg.grammar(),
+            Strictness::DefaultToCall,
+        );
         assert!(a.is_fully_disambiguated());
         let sel: Vec<Selection> = a.selections.values().copied().collect();
         assert_eq!(sel[0].kind, AltKind::Call);
@@ -450,7 +450,12 @@ mod tests {
     fn typedef_removal_flips_interpretation_without_reparsing_region() {
         let cfg = Box::leak(Box::new(simp_c()));
         let mut s = Session::new(cfg, "typedef int t; int t2; t (x);").unwrap();
-        let a1 = analyze(s.arena(), s.root(), cfg.grammar(), Strictness::DefaultToCall);
+        let a1 = analyze(
+            s.arena(),
+            s.root(),
+            cfg.grammar(),
+            Strictness::DefaultToCall,
+        );
         let first: Vec<Selection> = a1.selections.values().copied().collect();
         assert_eq!(first[0].kind, AltKind::Decl);
 
@@ -465,7 +470,12 @@ mod tests {
             1,
             "ambiguous region untouched by the parser"
         );
-        let a2 = analyze(s.arena(), s.root(), cfg.grammar(), Strictness::DefaultToCall);
+        let a2 = analyze(
+            s.arena(),
+            s.root(),
+            cfg.grammar(),
+            Strictness::DefaultToCall,
+        );
         let second: Vec<Selection> = a2.selections.values().copied().collect();
         assert_eq!(
             second[0].kind,
@@ -496,7 +506,12 @@ mod tests {
         let cfg = Box::leak(Box::new(simp_cpp()));
         // t is a type: t(5) is a cast. f is a function: f(5) is a call.
         let s = Session::new(cfg, "typedef int t; int f() { int q; } t (5); f (5);").unwrap();
-        let a = analyze(s.arena(), s.root(), cfg.grammar(), Strictness::RequireBinding);
+        let a = analyze(
+            s.arena(),
+            s.root(),
+            cfg.grammar(),
+            Strictness::RequireBinding,
+        );
         assert!(a.is_fully_disambiguated(), "persistent: {:?}", a.persistent);
         let kinds: Vec<AltKind> = a.selections.values().map(|sl| sl.kind).collect();
         assert!(kinds.contains(&AltKind::Cast));
@@ -507,8 +522,7 @@ mod tests {
     fn selector_feeds_dag_stats() {
         let (s, a) = run("typedef int t; t (x);");
         let with_first = wg_dag::DagStats::compute(s.arena(), s.root());
-        let with_sel =
-            wg_dag::DagStats::compute_with(s.arena(), s.root(), a.selector());
+        let with_sel = wg_dag::DagStats::compute_with(s.arena(), s.root(), a.selector());
         // Both alternatives have similar size here; the embedded tree must
         // be no larger than the dag in either case.
         assert!(with_sel.tree_nodes <= with_sel.dag_nodes);
@@ -518,9 +532,7 @@ mod tests {
     #[test]
     fn running_example_full_pipeline() {
         // Figure 1: declarations vs calls depending on earlier typedefs.
-        let (_s, a) = run(
-            "typedef int a; int f() { int c2; } a (b); f (d2); int q = 1;",
-        );
+        let (_s, a) = run("typedef int a; int f() { int c2; } a (b); f (d2); int q = 1;");
         assert!(a.is_fully_disambiguated());
         let kinds: Vec<AltKind> = a.selections.values().map(|sl| sl.kind).collect();
         assert!(kinds.contains(&AltKind::Decl), "a (b); is a declaration");
@@ -538,7 +550,12 @@ mod reference_tests {
     fn references_indexed_per_name() {
         let cfg = Box::leak(Box::new(simp_c()));
         let s = Session::new(cfg, "int v; v = v + 1; int w = v;").unwrap();
-        let a = analyze(s.arena(), s.root(), cfg.grammar(), Strictness::RequireBinding);
+        let a = analyze(
+            s.arena(),
+            s.root(),
+            cfg.grammar(),
+            Strictness::RequireBinding,
+        );
         assert_eq!(a.uses_of("v").len(), 3);
         assert!(a.uses_of("w").is_empty(), "declaration sites are not uses");
         assert!(a.uses_of("nothing").is_empty());
@@ -551,7 +568,12 @@ mod reference_tests {
         // removed. The reference index provides exactly that lookup.
         let cfg = Box::leak(Box::new(simp_c()));
         let s = Session::new(cfg, "typedef int t; t (a); t (b); t c;").unwrap();
-        let a = analyze(s.arena(), s.root(), cfg.grammar(), Strictness::RequireBinding);
+        let a = analyze(
+            s.arena(),
+            s.root(),
+            cfg.grammar(),
+            Strictness::RequireBinding,
+        );
         let sites = a.uses_of("t");
         assert_eq!(sites.len(), 3, "both ambiguous heads and the plain decl");
         // Each reference is a live dag node.
@@ -570,7 +592,12 @@ mod reference_tests {
         // (Section 4.3: presentation-style services keep operating).
         let cfg = Box::leak(Box::new(simp_c()));
         let s = Session::new(cfg, "mystery (arg); arg = 1;").unwrap();
-        let a = analyze(s.arena(), s.root(), cfg.grammar(), Strictness::RequireBinding);
+        let a = analyze(
+            s.arena(),
+            s.root(),
+            cfg.grammar(),
+            Strictness::RequireBinding,
+        );
         assert!(!a.is_fully_disambiguated());
         assert!(!a.uses_of("arg").is_empty());
     }

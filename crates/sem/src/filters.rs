@@ -38,12 +38,8 @@ pub fn apply_syntactic_filter(
     filter: SyntacticFilter,
 ) -> usize {
     let SyntacticFilter::PreferDeclaration = filter;
-    let decl = g
-        .nonterminal_by_name("decl")
-        .expect("grammar lacks `decl`");
-    let item = g
-        .nonterminal_by_name("item")
-        .expect("grammar lacks `item`");
+    let decl = g.nonterminal_by_name("decl").expect("grammar lacks `decl`");
+    let item = g.nonterminal_by_name("item").expect("grammar lacks `item`");
     let stmt = g.nonterminal_by_name("stmt");
 
     // Collect choice points first (collapsing restructures parents).

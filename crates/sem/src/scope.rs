@@ -53,10 +53,7 @@ impl ScopeStack {
 
     /// Looks `name` up, innermost scope first.
     pub fn lookup(&self, name: &str) -> Option<NameKind> {
-        self.scopes
-            .iter()
-            .rev()
-            .find_map(|s| s.get(name).copied())
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
     }
 
     /// Whether `name` currently names a type.

@@ -355,20 +355,11 @@ impl<'a> IncLrParser<'a> {
         stats.reductions += 1;
         let arity = self.g.production(rule).arity();
         debug_assert!(stack.len() >= arity, "stack underflow in reduction");
-        let kids: Vec<NodeId> = stack
-            .drain(stack.len() - arity..)
-            .map(|(_, n)| n)
-            .collect();
+        let kids: Vec<NodeId> = stack.drain(stack.len() - arity..).map(|(_, n)| n).collect();
         let preceding = stack.last().map_or(self.table.start_state(), |e| e.0);
         let lhs = self.g.production(rule).lhs();
-        let node = wg_glr::build_reduction_node(
-            arena,
-            self.g,
-            rule,
-            kids,
-            ParseState(preceding.0),
-            false,
-        );
+        let node =
+            wg_glr::build_reduction_node(arena, self.g, rule, kids, ParseState(preceding.0), false);
         let Some(target) = self.table.goto(preceding, lhs) else {
             return Err(IncParseError::SyntaxError {
                 consumed: stats.terminal_shifts,
@@ -382,8 +373,8 @@ impl<'a> IncLrParser<'a> {
     /// Splices a sequence run into the open sequence `top`, reusing the
     /// container in place when it belongs to the current epoch.
     fn merge_run(&self, arena: &mut DagArena, top: NodeId, run: NodeId) -> NodeId {
-        let current = arena.is_current_epoch(top)
-            && matches!(arena.kind(top), NodeKind::Sequence { .. });
+        let current =
+            arena.is_current_epoch(top) && matches!(arena.kind(top), NodeKind::Sequence { .. });
         if current {
             arena.seq_append(top, &[run]);
             top
@@ -420,7 +411,12 @@ mod tests {
         let prog = b.nonterminal("prog");
         b.prod(
             stmt,
-            vec![Symbol::T(id), Symbol::T(eq), Symbol::T(num), Symbol::T(semi)],
+            vec![
+                Symbol::T(id),
+                Symbol::T(eq),
+                Symbol::T(num),
+                Symbol::T(semi),
+            ],
         );
         b.sequence(prog, Symbol::N(stmt), SeqKind::Plus, None);
         b.start(prog);
@@ -510,7 +506,10 @@ mod tests {
         let err = parser
             .parse_tokens(&mut arena, tokens.iter().map(|(t, s)| (*t, s.as_str())))
             .unwrap_err();
-        assert!(matches!(err, IncParseError::SyntaxError { consumed: 2, .. }));
+        assert!(matches!(
+            err,
+            IncParseError::SyntaxError { consumed: 2, .. }
+        ));
     }
 
     /// Full pipeline for reparse tests: parse, replace one token's node,
@@ -677,8 +676,7 @@ mod tests {
         let terms = collect_terminals(&arena, root);
         arena.mark_following(*terms.last().unwrap());
         let extra = toks(&lang, &["zz", "=", "9", ";"]);
-        let extra_nodes: Vec<NodeId> =
-            extra.iter().map(|(t, s)| arena.terminal(*t, s)).collect();
+        let extra_nodes: Vec<NodeId> = extra.iter().map(|(t, s)| arena.terminal(*t, s)).collect();
         parser
             .reparse(&mut arena, root, HashMap::new(), &extra_nodes)
             .unwrap();

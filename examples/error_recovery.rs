@@ -21,7 +21,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(!refused.incorporated);
     println!(
         "\nbroken edit refused ({}); tree still answers queries:",
-        refused.error.as_ref().map(|e| e.to_string()).unwrap_or_default()
+        refused
+            .error
+            .as_ref()
+            .map(|e| e.to_string())
+            .unwrap_or_default()
     );
     println!(
         "  tree yield: {}",
@@ -47,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fixed = session.reparse()?;
     assert!(fixed.incorporated);
     assert!(session.unincorporated().is_empty());
-    println!("\ncorrecting edit folds the backlog in: {:?}", session.text());
+    println!(
+        "\ncorrecting edit folds the backlog in: {:?}",
+        session.text()
+    );
 
     // 4. Semantic errors keep ambiguity alive (persistent ambiguity).
     let mut s2 = wg_core::Session::new(&config, "ghost (who);")?;

@@ -34,8 +34,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let e = g.terminal_by_name("e").expect("e");
 
     for (input, label) in [
-        (vec![(x, "x"), (z, "z"), (c, "c")], "x z c  (B interpretation)"),
-        (vec![(x, "x"), (z, "z"), (e, "e")], "x z e  (D interpretation)"),
+        (
+            vec![(x, "x"), (z, "z"), (c, "c")],
+            "x z c  (B interpretation)",
+        ),
+        (
+            vec![(x, "x"), (z, "z"), (e, "e")],
+            "x z e  (D interpretation)",
+        ),
     ] {
         let mut arena = DagArena::new();
         let root = parser.parse_tokens(&mut arena, input)?;

@@ -39,9 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         session.edit(pos, 1, "7");
         let out = session.reparse()?;
         assert!(out.incorporated);
-        total_ops += out.stats.terminal_shifts
-            + out.stats.subtree_shifts
-            + out.stats.run_shifts;
+        total_ops += out.stats.terminal_shifts + out.stats.subtree_shifts + out.stats.run_shifts;
         session.edit(pos, 1, &original);
         assert!(session.reparse()?.incorporated);
     }

@@ -19,7 +19,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let prog = g.nonterminal("prog");
     g.prod(
         stmt,
-        vec![Symbol::T(id), Symbol::T(eq), Symbol::T(num), Symbol::T(semi)],
+        vec![
+            Symbol::T(id),
+            Symbol::T(eq),
+            Symbol::T(num),
+            Symbol::T(semi),
+        ],
     );
     g.sequence(prog, Symbol::N(stmt), SeqKind::Plus, None);
     g.start(prog);
@@ -48,9 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("after renaming beta -> delta:");
     println!(
         "  terminals rescanned: {}, subtrees reused whole: {}, runs spliced: {}",
-        outcome.stats.terminal_shifts,
-        outcome.stats.subtree_shifts,
-        outcome.stats.run_shifts
+        outcome.stats.terminal_shifts, outcome.stats.subtree_shifts, outcome.stats.run_shifts
     );
     println!("  new text: {}", session.text());
 

@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.alternatives,
         stats.space_overhead_percent()
     );
-    println!("\nabstract parse dag (choice nodes are the ambiguities):\n{}", session.dump());
+    println!(
+        "\nabstract parse dag (choice nodes are the ambiguities):\n{}",
+        session.dump()
+    );
 
     // Semantic disambiguation (Figure 8): typedefs first, then namespaces.
     let analysis = analyze(

@@ -24,7 +24,7 @@ fn hundred_edit_session_stays_consistent_and_bounded() {
         let replacement = match i % 4 {
             0 => "renamed",
             1 => "q",
-            2 => "42",           // often invalid in LHS position
+            2 => "42", // often invalid in LHS position
             _ => "another_name",
         };
         s.edit(start, len, replacement);
@@ -45,7 +45,12 @@ fn hundred_edit_session_stays_consistent_and_bounded() {
                 structurally_equal(s.arena(), s.root(), reference.arena(), reference.root()),
                 "divergence at edit {i}"
             );
-            let a = analyze(s.arena(), s.root(), cfg.grammar(), Strictness::DefaultToCall);
+            let a = analyze(
+                s.arena(),
+                s.root(),
+                cfg.grammar(),
+                Strictness::DefaultToCall,
+            );
             assert!(a.uses > 0);
         }
     }

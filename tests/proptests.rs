@@ -14,7 +14,7 @@ use wg_core::{IglrParser, Session};
 use wg_dag::{structurally_equal, DagArena};
 use wg_document::Edit;
 use wg_earley::EarleyParser;
-use wg_grammar::{Terminal, TermSet};
+use wg_grammar::{TermSet, Terminal};
 use wg_langs::toys::ambiguous_expr;
 use wg_langs::{generate::identifier_sites, simp_c};
 use wg_lexer::LexerDef;

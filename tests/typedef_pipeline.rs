@@ -13,7 +13,10 @@ fn figure1_both_interpretations_coexist() {
     let s = Session::new(&cfg, "a (b); c (d); i = 1; j = 2;").unwrap();
     let stats = s.stats();
     assert_eq!(stats.choice_points, 2, "two ambiguous lines");
-    assert_eq!(stats.alternatives, 4, "two interpretations each (Fig. 4 note)");
+    assert_eq!(
+        stats.alternatives, 4,
+        "two interpretations each (Fig. 4 note)"
+    );
     // Figure 3: alternatives share their terminal symbols, so the dag is
     // much smaller than both alternatives expanded.
     assert!(stats.dag_nodes < stats.tree_nodes * 2);
@@ -72,7 +75,12 @@ fn typedef_removal_reinterprets_all_use_sites() {
     let cfg = simp_c();
     let src = "typedef int t; t (a); t (b); t (c);";
     let mut s = Session::new(&cfg, src).unwrap();
-    let a1 = analyze(s.arena(), s.root(), cfg.grammar(), Strictness::DefaultToCall);
+    let a1 = analyze(
+        s.arena(),
+        s.root(),
+        cfg.grammar(),
+        Strictness::DefaultToCall,
+    );
     let decls = collect_choices(&s)
         .iter()
         .filter(|&&c| a1.selection(c).map(|x| x.kind) == Some(AltKind::Decl))
@@ -89,7 +97,12 @@ fn typedef_removal_reinterprets_all_use_sites() {
         "only the typedef line is rescanned: {:?}",
         out.stats
     );
-    let a2 = analyze(s.arena(), s.root(), cfg.grammar(), Strictness::DefaultToCall);
+    let a2 = analyze(
+        s.arena(),
+        s.root(),
+        cfg.grammar(),
+        Strictness::DefaultToCall,
+    );
     let calls = collect_choices(&s)
         .iter()
         .filter(|&&c| a2.selection(c).map(|x| x.kind) == Some(AltKind::Call))
