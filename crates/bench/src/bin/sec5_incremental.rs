@@ -4,9 +4,16 @@
 //! the IGLR parser was "undetectable".
 //!
 //! We run identical edit scripts through both parsers (same lexer, same
-//! damage computation) and report mean reparse latency.
+//! damage computation) and report mean reparse latency, then sweep document
+//! sizes to show per-edit cost — *including buffer mutation*, now that the
+//! text lives in a chunked rope — stays flat. The scaling table is also
+//! written to `BENCH_incremental.json` so CI can archive the trajectory.
 //!
-//! Run: `cargo run --release -p wg-bench --bin sec5_incremental [lines] [edits]`
+//! Run: `cargo run --release -p wg-bench --bin sec5_incremental [lines] [edits] [--quick]`
+//!
+//! `--quick` shrinks the comparison document and the sweep's measurement
+//! rounds for CI; the three sweep sizes are kept so the flatness claim is
+//! still exercised.
 
 use std::time::Duration;
 use wg_bench::{fmt_dur, print_table, DetSession};
@@ -14,15 +21,27 @@ use wg_core::Session;
 use wg_langs::generate::{c_program, edit_sites, GenSpec};
 use wg_langs::simp_c_det;
 
+struct ScalingRow {
+    tokens: usize,
+    buffer: Duration,
+    relex: Duration,
+    parse: Duration,
+    maintenance: Duration,
+    total: Duration,
+}
+
 fn main() {
-    let lines: usize = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let lines: usize = positional
+        .first()
         .and_then(|s| s.parse().ok())
-        .unwrap_or(4_000);
-    let edits: usize = std::env::args()
-        .nth(2)
+        .unwrap_or(if quick { 800 } else { 4_000 });
+    let edits: usize = positional
+        .get(1)
         .and_then(|s| s.parse().ok())
-        .unwrap_or(200);
+        .unwrap_or(if quick { 40 } else { 200 });
     let cfg = simp_c_det();
     let program = c_program(&GenSpec::sized(lines, 0.0, 7));
     let sites = edit_sites(&program.text, edits, 11);
@@ -88,18 +107,30 @@ fn main() {
     );
     println!("(paper: \"the difference in running times ... was undetectable\")");
 
-    scaling_sweep(&cfg);
+    let scaling = scaling_sweep(&cfg, quick);
+    write_json(
+        "BENCH_incremental.json",
+        quick,
+        lines,
+        sites.len(),
+        per(t_det),
+        per(t_iglr),
+        ratio,
+        &scaling,
+    );
 }
 
 /// Per-edit reparse cost across document sizes: a single-token
 /// self-cancelling edit in 1k/10k/100k-token documents. With shared
 /// language artifacts, pooled parser scratch, the gap-buffered token tape,
-/// and damage-bounded relexing, the per-stage timings from
-/// [`wg_core::ReparseReport`] should stay flat as the document grows.
-fn scaling_sweep(cfg: &wg_core::SessionConfig) {
+/// damage-bounded relexing, and the rope-backed text buffer, every per-stage
+/// timing from [`wg_core::ReparseReport`] — including `buffer`, the text
+/// mutation itself — should stay flat as the document grows.
+fn scaling_sweep(cfg: &wg_core::SessionConfig, quick: bool) -> Vec<ScalingRow> {
     use wg_core::ReparseReport;
 
-    let mut rows = Vec::new();
+    let (warmup, rounds) = if quick { (2, 6u32) } else { (4, 32u32) };
+    let mut out = Vec::new();
     for &lines in &[150usize, 1_500, 15_000] {
         let program = c_program(&GenSpec::sized(lines, 0.0, 7));
         let site = edit_sites(&program.text, 1, 13)[0];
@@ -119,38 +150,106 @@ fn scaling_sweep(cfg: &wg_core::SessionConfig) {
         };
 
         // Warm the pools, then measure.
-        for _ in 0..4 {
+        for _ in 0..warmup {
             run_pair(&mut s);
         }
-        let rounds = 32;
-        let mut relex = Duration::ZERO;
-        let mut parse = Duration::ZERO;
-        let mut maint = Duration::ZERO;
-        let mut total = Duration::ZERO;
+        let mut row = ScalingRow {
+            tokens,
+            buffer: Duration::ZERO,
+            relex: Duration::ZERO,
+            parse: Duration::ZERO,
+            maintenance: Duration::ZERO,
+            total: Duration::ZERO,
+        };
         for _ in 0..rounds {
             let (a, b) = run_pair(&mut s);
             for r in [a, b] {
-                relex += r.relex;
-                parse += r.parse;
-                maint += r.maintenance;
-                total += r.total;
+                row.buffer += r.buffer;
+                row.relex += r.relex;
+                row.parse += r.parse;
+                row.maintenance += r.maintenance;
+                row.total += r.total;
             }
         }
-        let n = (2 * rounds) as u32;
-        rows.push(vec![
-            format!("{tokens}"),
-            fmt_dur(relex / n),
-            fmt_dur(parse / n),
-            fmt_dur(maint / n),
-            fmt_dur(total / n),
-        ]);
+        let n = 2 * rounds;
+        row.buffer /= n;
+        row.relex /= n;
+        row.parse /= n;
+        row.maintenance /= n;
+        row.total /= n;
+        out.push(row);
     }
+    let rows: Vec<Vec<String>> = out
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.tokens),
+                fmt_dur(r.buffer),
+                fmt_dur(r.relex),
+                fmt_dur(r.parse),
+                fmt_dur(r.maintenance),
+                fmt_dur(r.total),
+            ]
+        })
+        .collect();
     println!();
     print_table(
         "Per-stage reparse cost vs document size (1-token edit)",
-        &["tokens", "relex", "parse", "maintenance", "total"],
+        &["tokens", "buffer", "relex", "parse", "maintenance", "total"],
         &rows,
     );
     println!("\n(per-edit cost should be flat in document size; stage timings");
-    println!(" come from ReparseReport, the pipeline's built-in metrics)");
+    println!(" come from ReparseReport, the pipeline's built-in metrics —");
+    println!(" `buffer` is the rope mutation itself, O(log N + edit))");
+    out
+}
+
+/// Hand-rolled JSON (the container has no serde): the scaling table plus the
+/// deterministic/IGLR comparison, in nanoseconds.
+#[allow(clippy::too_many_arguments)]
+fn write_json(
+    path: &str,
+    quick: bool,
+    lines: usize,
+    edit_pairs: usize,
+    det_per_reparse: Duration,
+    iglr_per_reparse: Duration,
+    ratio: f64,
+    scaling: &[ScalingRow],
+) {
+    let mut j = String::new();
+    j.push_str("{\n");
+    j.push_str("  \"bench\": \"sec5_incremental\",\n");
+    j.push_str(&format!("  \"quick\": {quick},\n"));
+    j.push_str(&format!("  \"lines\": {lines},\n"));
+    j.push_str(&format!("  \"edit_pairs\": {edit_pairs},\n"));
+    j.push_str("  \"comparison\": {\n");
+    j.push_str(&format!(
+        "    \"det_ns_per_reparse\": {},\n",
+        det_per_reparse.as_nanos()
+    ));
+    j.push_str(&format!(
+        "    \"iglr_ns_per_reparse\": {},\n",
+        iglr_per_reparse.as_nanos()
+    ));
+    j.push_str(&format!("    \"iglr_over_det_ratio\": {ratio:.4}\n"));
+    j.push_str("  },\n");
+    j.push_str("  \"scaling\": [\n");
+    for (i, r) in scaling.iter().enumerate() {
+        j.push_str(&format!(
+            "    {{\"tokens\": {}, \"buffer_ns\": {}, \"relex_ns\": {}, \"parse_ns\": {}, \"maintenance_ns\": {}, \"total_ns\": {}}}{}\n",
+            r.tokens,
+            r.buffer.as_nanos(),
+            r.relex.as_nanos(),
+            r.parse.as_nanos(),
+            r.maintenance.as_nanos(),
+            r.total.as_nanos(),
+            if i + 1 < scaling.len() { "," } else { "" }
+        ));
+    }
+    j.push_str("  ]\n}\n");
+    match std::fs::write(path, &j) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+    }
 }

@@ -1,7 +1,8 @@
 //! Per-stage instrumentation of the reparse pipeline.
 //!
 //! Every [`crate::Session::reparse`] produces a [`ReparseReport`] breaking
-//! the cycle into its stages (relex → incremental GLR → tree maintenance)
+//! the cycle into its stages (buffer mutation → relex → incremental GLR →
+//! tree maintenance)
 //! with monotonic timings and the parser's effort counters, and the session
 //! accumulates them into a [`SessionMetrics`]. Everything here is plain
 //! `std` — counters and [`std::time::Instant`] differences — so the
@@ -21,6 +22,10 @@ pub struct ReparseReport {
     pub attempts: usize,
     /// Pending edits folded into the tree this cycle.
     pub incorporated_edits: usize,
+    /// Time spent mutating the text buffer: the edits applied since the
+    /// previous cycle plus any prefix rewind/replay done by the retry loop.
+    /// Stays O(log N + edit sizes) now that the buffer is a chunked rope.
+    pub buffer: Duration,
     /// Time spent in incremental relexing, over all attempts.
     pub relex: Duration,
     /// Time spent in the incremental GLR parser, over all attempts.
@@ -46,6 +51,8 @@ pub struct SessionMetrics {
     pub reparses: u64,
     /// Incorporation attempts across all cycles.
     pub attempts: u64,
+    /// Total buffer-mutation time.
+    pub buffer: Duration,
     /// Total relex time.
     pub relex: Duration,
     /// Total incremental-parse time.
@@ -65,6 +72,7 @@ impl SessionMetrics {
     pub fn absorb(&mut self, r: &ReparseReport) {
         self.reparses += 1;
         self.attempts += r.attempts as u64;
+        self.buffer += r.buffer;
         self.relex += r.relex;
         self.parse += r.parse;
         self.maintenance += r.maintenance;
@@ -83,6 +91,7 @@ mod tests {
         let mut m = SessionMetrics::default();
         let r = ReparseReport {
             attempts: 3,
+            buffer: Duration::from_micros(2),
             relex: Duration::from_micros(5),
             parse: Duration::from_micros(7),
             maintenance: Duration::from_micros(1),
@@ -94,6 +103,7 @@ mod tests {
         m.absorb(&r);
         assert_eq!(m.reparses, 2);
         assert_eq!(m.attempts, 6);
+        assert_eq!(m.buffer, Duration::from_micros(4));
         assert_eq!(m.relex, Duration::from_micros(10));
         assert_eq!(m.parse, Duration::from_micros(14));
         assert_eq!(m.total, Duration::from_micros(40));

@@ -8,7 +8,7 @@ use crate::tape::TokenTape;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use wg_dag::{DagArena, DagStats, NodeId, NodeKind};
 use wg_document::{Edit, TextBuffer, UnincorporatedEdits};
 use wg_glr::ParseScratch;
@@ -174,10 +174,13 @@ pub struct ReparseOutcome {
 /// One document under incremental analysis.
 ///
 /// The session owns shared (Arc'd) language artifacts plus all the mutable
-/// per-document state: the text buffer, the dag arena, the gap-buffered
-/// [`TokenTape`], and the pooled scratch structures (GSS + worklists,
-/// relex buffers, the prefix-retry text buffer) that make the steady-state
-/// reparse path allocation-free.
+/// per-document state: the rope-backed text buffer, the dag arena, the
+/// gap-buffered [`TokenTape`], and the pooled scratch structures (GSS +
+/// worklists, relex buffers, the seam-lexeme buffer) that make the
+/// steady-state reparse path allocation-free. The document is never
+/// materialized during a reparse: relexing reads the rope through the
+/// lexer's chunk cursor, and the prefix-retry loop *rewinds* the rope via
+/// the pending edits' undo records instead of reconstructing prefix text.
 #[derive(Debug)]
 pub struct Session {
     config: SessionConfig,
@@ -189,10 +192,13 @@ pub struct Session {
     reparses: usize,
     scratch: ParseScratch,
     relex: RelexResult,
-    /// Reconstruction buffer for prefix-retry attempts.
-    prefix_buf: String,
+    /// Pooled assembly buffer for lexemes straddling a rope chunk seam.
+    lexeme_buf: String,
     /// (token, terminal node) pairs of the current attempt.
     new_pairs: Vec<(TokenAt, NodeId)>,
+    /// Buffer-mutation time of edits applied since the last reparse; folded
+    /// into the next cycle's [`ReparseReport::buffer`].
+    edit_time: Duration,
     metrics: SessionMetrics,
 }
 
@@ -237,30 +243,37 @@ impl Session {
             reparses: 0,
             scratch,
             relex: RelexResult::default(),
-            prefix_buf: String::new(),
+            lexeme_buf: String::new(),
             new_pairs: Vec::new(),
+            edit_time: Duration::ZERO,
             metrics: SessionMetrics::default(),
         })
     }
 
-    /// Applies a textual edit (does not reparse).
+    /// Applies a textual edit (does not reparse). O(log N + edit size).
     pub fn edit(&mut self, start: usize, removed: usize, insert: &str) -> Edit {
-        self.buffer.replace(start, removed, insert)
+        let t = Instant::now();
+        let e = self.buffer.replace(start, removed, insert);
+        self.edit_time += t.elapsed();
+        e
     }
 
     /// Inserts text (does not reparse).
     pub fn insert(&mut self, offset: usize, text: &str) -> Edit {
-        self.buffer.insert(offset, text)
+        self.edit(offset, 0, text)
     }
 
     /// Deletes text (does not reparse).
     pub fn delete(&mut self, offset: usize, len: usize) -> Edit {
-        self.buffer.delete(offset, len)
+        self.edit(offset, len, "")
     }
 
     /// Undoes the most recent edit (does not reparse).
     pub fn undo(&mut self) -> Option<Edit> {
-        self.buffer.undo()
+        let t = Instant::now();
+        let e = self.buffer.undo();
+        self.edit_time += t.elapsed();
+        e
     }
 
     /// Incrementally relexes and reparses all pending edits.
@@ -276,7 +289,10 @@ impl Session {
     /// invariant violations surfaced as [`SessionError`] (none currently).
     pub fn reparse(&mut self) -> Result<ReparseOutcome, SessionError> {
         let t_total = Instant::now();
-        let mut report = ReparseReport::default();
+        let mut report = ReparseReport {
+            buffer: std::mem::take(&mut self.edit_time),
+            ..ReparseReport::default()
+        };
         let pending = self.buffer.pending_len();
         if pending == 0 {
             report.arena_nodes = self.arena.len();
@@ -298,14 +314,12 @@ impl Session {
         let parser = IglrParser::new(self.config.grammar(), self.config.table());
         for k in (min_k + 1..=pending).rev() {
             report.attempts += 1;
-            // The full pending set targets the live buffer text directly;
-            // shorter prefixes are reconstructed into a pooled buffer.
-            let text: &str = if k == pending {
-                self.buffer.text()
-            } else {
-                self.buffer.text_at_prefix_into(k, &mut self.prefix_buf);
-                &self.prefix_buf
-            };
+            // Check the candidate prefix out *in place*: each failed
+            // attempt undoes exactly one more pending edit against the
+            // rope (O(edit), not O(document) — no text reconstruction).
+            let t_buf = Instant::now();
+            self.buffer.rewind_to_prefix(k);
+            report.buffer += t_buf.elapsed();
             let damage = self.buffer.pending_damage_prefix(k).expect("k >= 1");
             let attempt = Self::try_incorporate(
                 &self.config,
@@ -316,18 +330,23 @@ impl Session {
                 &mut self.relex,
                 &mut self.new_pairs,
                 self.root,
-                text,
+                &self.buffer,
+                &mut self.lexeme_buf,
                 damage,
                 &mut report,
             );
             match attempt {
                 Ok(stats) => {
+                    let t_buf = Instant::now();
+                    self.buffer.restore_pending();
                     self.buffer.commit_prefix(k);
+                    report.buffer += t_buf.elapsed();
                     self.reparses += 1;
                     self.unincorporated.clear();
                     if k != pending {
-                        for e in self.buffer.pending_edits() {
-                            self.unincorporated.flag(self.buffer.version(), e);
+                        let remaining: Vec<_> = self.buffer.pending_with_versions().collect();
+                        for (v, e) in remaining {
+                            self.unincorporated.flag(v, e);
                         }
                     }
                     let t_maint = Instant::now();
@@ -359,9 +378,15 @@ impl Session {
                 Err(e) => last_error = e,
             }
         }
+        let t_buf = Instant::now();
+        self.buffer.restore_pending();
+        report.buffer += t_buf.elapsed();
         self.unincorporated.clear();
-        for e in self.buffer.pending_edits() {
-            self.unincorporated.flag(self.buffer.version(), e);
+        // Flag each refused edit with the version at which it was actually
+        // made, not whatever the buffer reads now.
+        let remaining: Vec<_> = self.buffer.pending_with_versions().collect();
+        for (v, e) in remaining {
+            self.unincorporated.flag(v, e);
         }
         report.arena_nodes = self.arena.len();
         report.total = t_total.elapsed();
@@ -376,13 +401,19 @@ impl Session {
         })
     }
 
-    /// One incorporation attempt against a target `text` whose difference
-    /// from the committed text is `damage`. On success the tree and token
-    /// tape reflect `text`; on failure everything is unwound.
+    /// One incorporation attempt against the buffer's live text (rewound by
+    /// the caller to the candidate prefix) whose difference from the
+    /// committed text is `damage`. On success the tree and token tape
+    /// reflect that text; on failure everything is unwound.
     ///
-    /// An associated function over split field borrows: `text` may borrow
-    /// the session's buffer (or pooled prefix buffer) while the arena,
-    /// tape, and scratch pools are mutated.
+    /// The document is *read through the rope's chunk cursor* — relexing
+    /// pulls chunks around the damage region and lexemes borrow straight
+    /// from chunks (seam-straddlers assemble into the pooled `lexeme_buf`),
+    /// so no attempt ever materializes the text.
+    ///
+    /// An associated function over split field borrows: `buffer` borrows
+    /// the session's buffer while the arena, tape, and scratch pools are
+    /// mutated.
     #[allow(clippy::too_many_arguments)]
     fn try_incorporate(
         config: &SessionConfig,
@@ -393,13 +424,14 @@ impl Session {
         relex: &mut RelexResult,
         new_pairs: &mut Vec<(TokenAt, NodeId)>,
         root: NodeId,
-        text: &str,
+        buffer: &TextBuffer,
+        lexeme_buf: &mut String,
         damage: Edit,
         report: &mut ReparseReport,
     ) -> Result<IglrRunStats, Option<IglrError>> {
         let t_relex = Instant::now();
         tape.prepare_for_edit(damage.start);
-        config.lexer.relex_into(text, tape, damage, relex);
+        config.lexer.relex_into(buffer, tape, damage, relex);
         report.relex += t_relex.elapsed();
         if !relex.errors.is_empty() {
             return Err(None);
@@ -409,7 +441,8 @@ impl Session {
             let Some(term) = config.terminal_for(tok) else {
                 return Err(None);
             };
-            new_pairs.push((*tok, arena.terminal(term, tok.lexeme(text))));
+            let node = arena.terminal(term, tok.lexeme_from(buffer, lexeme_buf));
+            new_pairs.push((*tok, node));
         }
         let n_new = new_pairs.len();
         // The node list is built once and *moved* into whichever role it
@@ -500,9 +533,16 @@ impl Session {
         }
     }
 
-    /// Current text.
-    pub fn text(&self) -> &str {
+    /// Current text, materialized from the rope. O(N) — tests and tooling;
+    /// analyses read through [`Session::buffer`]'s chunk cursor instead.
+    pub fn text(&self) -> String {
         self.buffer.text()
+    }
+
+    /// The rope-backed text buffer (chunked read access, version stamps,
+    /// [`TextBuffer::moved_bytes`] accounting).
+    pub fn buffer(&self) -> &TextBuffer {
+        &self.buffer
     }
 
     /// Number of (non-skip) tokens.
@@ -857,6 +897,28 @@ mod tests {
     }
 
     #[test]
+    fn keystroke_on_large_doc_touches_o_chunk_bytes() {
+        // End-to-end bounded incrementality: with a contiguous String the
+        // buffer alone would memmove the ~whole document per keystroke.
+        let cfg = stmt_config();
+        let text = program(6000); // ~80 KiB
+        let mut s = Session::new(&cfg, &text).unwrap();
+        let pos = s.text().find("v3000").unwrap();
+        s.edit(pos + 1, 0, "9"); // warm the rope cursor
+        assert!(s.reparse().unwrap().incorporated);
+        let warm = s.buffer().moved_bytes();
+        s.edit(pos + 2, 0, "9");
+        assert!(s.reparse().unwrap().incorporated);
+        let delta = s.buffer().moved_bytes() - warm;
+        let chunk = wg_document::CHUNK_TARGET as u64;
+        assert!(
+            delta <= 4 * chunk,
+            "keystroke + reparse moved {delta} bytes on a {} byte doc",
+            s.buffer().len()
+        );
+    }
+
+    #[test]
     fn reparse_without_edits_is_a_noop() {
         let cfg = stmt_config();
         let mut s = Session::new(&cfg, "a = 1;").unwrap();
@@ -941,6 +1003,34 @@ mod prefix_tests {
     }
 
     #[test]
+    fn refused_edits_flag_their_own_versions() {
+        let c = cfg();
+        let mut s = Session::new(&c, "alpha;").unwrap();
+        s.insert(0, "("); // buffer version 1
+        s.insert(1, "("); // buffer version 2
+        s.reparse().unwrap();
+        let flagged = s.unincorporated().flagged();
+        assert_eq!(flagged.len(), 2);
+        // Each refused edit carries the version at which it was made, not
+        // the version the buffer happened to read at refusal time.
+        assert_eq!(flagged[0].0, 1);
+        assert_eq!(flagged[1].0, 2);
+    }
+
+    #[test]
+    fn partial_incorporation_flags_suffix_with_its_versions() {
+        let c = cfg();
+        let mut s = Session::new(&c, "alpha; beta;").unwrap();
+        s.edit(0, 5, "gamma"); // version 1, valid
+        s.insert(0, ";;;"); // version 2, breaks the parse
+        let out = s.reparse().unwrap();
+        assert_eq!(out.incorporated_edits, 1);
+        let flagged = s.unincorporated().flagged();
+        assert_eq!(flagged.len(), 1);
+        assert_eq!(flagged[0].0, 2, "the refused insert was made at v2");
+    }
+
+    #[test]
     fn flag_count_tracks_current_backlog() {
         let c = cfg();
         let mut s = Session::new(&c, "alpha;").unwrap();
@@ -990,7 +1080,7 @@ mod query_tests {
         assert_eq!(s.token_index_at(7), Some(2), "inside `beta`");
         assert_eq!(s.token_index_at(999), None);
         let (node, tok) = s.terminal_at(8).unwrap();
-        assert_eq!(tok.lexeme(s.text()), "beta");
+        assert_eq!(tok.lexeme(&s.text()), "beta");
         assert!(matches!(s.arena().kind(node), NodeKind::Terminal { .. }));
     }
 
@@ -1019,7 +1109,7 @@ mod query_tests {
         let path = s.node_path_at(1);
         assert_eq!(path[0], s.root());
         let (_, tok) = s.terminal_at(1).unwrap();
-        assert_eq!(tok.lexeme(s.text()), "delta");
+        assert_eq!(tok.lexeme(&s.text()), "delta");
     }
 }
 

@@ -6,13 +6,17 @@
 //! structure of the previous version during reparsing. This crate implements
 //! the subset that incremental lexing and IGLR parsing require:
 //!
-//! * an edit-logged text buffer ([`TextBuffer`]) with version stamps,
+//! * an edit-logged text buffer ([`TextBuffer`]) with version stamps, backed
+//!   by a chunked [`Rope`] so every modification costs O(log N + edit size)
+//!   rather than O(document),
 //! * [`Edit`] values describing textual modifications, with coalescing,
 //! * undo support (used by the paper's *self-cancelling modification*
-//!   experiments in Section 5), and
+//!   experiments in Section 5), including in-place rewind/replay of pending
+//!   edit prefixes for the parser's history-based retry loop, and
 //! * bookkeeping for *unincorporated* edits — modifications the parser
 //!   refused because no valid parse included them (the history-based,
-//!   non-correcting error recovery of Section 4.3).
+//!   non-correcting error recovery of Section 4.3) — stamped with the
+//!   version at which each refused edit was actually made.
 //!
 //! # Example
 //!
@@ -33,6 +37,10 @@
 
 use std::fmt;
 use std::ops::Range;
+
+mod rope;
+
+pub use rope::{Rope, CHUNK_TARGET};
 
 /// A textual modification: `removed` bytes at `start` replaced by
 /// `inserted` bytes.
@@ -134,58 +142,109 @@ struct HistoryEntry {
     inserted_text: String,
 }
 
-/// One uncommitted modification (the edit plus the text it removed, so any
-/// prefix of the pending sequence can be reconstructed by *undoing* the
-/// complementary suffix against the current text — committing a prefix then
-/// costs nothing proportional to the document).
+/// One uncommitted modification: the edit, the text it removed and inserted
+/// (so any prefix of the pending sequence can be checked out by *undoing*
+/// the complementary suffix in place and replaying it afterwards — both
+/// O(edit), never O(document)), and the buffer version at which the edit
+/// was made (so refused edits are flagged with their own version, not
+/// whatever the buffer reads when the refusal happens).
 #[derive(Debug, Clone)]
 struct PendingEdit {
     edit: Edit,
     removed_text: String,
+    inserted_text: String,
+    version: u64,
 }
 
-/// An edit-logged text buffer with version stamps and undo.
+/// An edit-logged text buffer with version stamps and undo, stored as a
+/// chunked [`Rope`].
 ///
-/// The committed text (what the analyses' current tree corresponds to) is
-/// not materialized: it is the current text with all pending edits undone,
-/// reconstructed on demand by [`TextBuffer::text_at_prefix`]. The common
-/// success path — committing every pending edit — is O(edits), not
-/// O(document).
+/// Text mutation (`replace`, `undo`) costs O(log N + edit size): the rope
+/// seeks its chunk cursor to the edit, splits at most one chunk, and never
+/// shifts the document suffix. The committed text (what the analyses'
+/// current tree corresponds to) is not materialized: it is the current text
+/// with all pending edits undone. An incremental analysis that needs to
+/// *read* a pending prefix checks it out in place with
+/// [`TextBuffer::rewind_to_prefix`] / [`TextBuffer::restore_pending`]
+/// (O(suffix edits)) instead of copying the document.
 #[derive(Debug, Clone)]
 pub struct TextBuffer {
-    text: String,
+    rope: Rope,
     version: u64,
     /// Edits applied since the last [`TextBuffer::commit`]; what the next
     /// incremental analysis must incorporate. Each edit's offsets are in
     /// the coordinates produced by its predecessors.
     pending: Vec<PendingEdit>,
+    /// How many pending edits are currently applied to `rope`. Equal to
+    /// `pending.len()` except between `rewind_to_prefix` and
+    /// `restore_pending`.
+    applied: usize,
     history: Vec<HistoryEntry>,
 }
 
 impl TextBuffer {
     /// Creates a buffer holding `text` at version 0 with no pending edits.
-    pub fn new(text: impl Into<String>) -> TextBuffer {
+    pub fn new(text: impl AsRef<str>) -> TextBuffer {
         TextBuffer {
-            text: text.into(),
+            rope: Rope::from_str(text.as_ref()),
             version: 0,
             pending: Vec::new(),
+            applied: 0,
             history: Vec::new(),
         }
     }
 
-    /// Current contents.
-    pub fn text(&self) -> &str {
-        &self.text
+    /// Current contents, materialized. O(N) — tests and tooling only; the
+    /// incremental paths read through [`TextBuffer::chunk_from`] /
+    /// [`TextBuffer::read_range`] without materializing the document.
+    pub fn text(&self) -> String {
+        self.rope.to_string_full()
+    }
+
+    /// The underlying chunked rope (read access for analyses that stream
+    /// the text instead of materializing it).
+    pub fn rope(&self) -> &Rope {
+        &self.rope
+    }
+
+    /// The maximal contiguous text slice starting at byte `pos` (empty iff
+    /// `pos ≥ len`). O(log chunks).
+    pub fn chunk_from(&self, pos: usize) -> &str {
+        self.rope.chunk_from(pos)
+    }
+
+    /// A contiguous `&str` covering `range` if a single chunk holds it.
+    pub fn slice(&self, range: Range<usize>) -> Option<&str> {
+        self.rope.slice(range)
+    }
+
+    /// Appends the bytes of `range` to `out`.
+    pub fn read_range(&self, range: Range<usize>, out: &mut String) {
+        self.rope.read_range(range, out)
+    }
+
+    /// The bytes of `range` as an owned string.
+    pub fn slice_to_string(&self, range: Range<usize>) -> String {
+        let mut out = String::with_capacity(range.end.saturating_sub(range.start));
+        self.rope.read_range(range, &mut out);
+        out
+    }
+
+    /// Cumulative bytes the rope has physically copied for mutations —
+    /// O(chunk + edit) per modification, regression-tested to stay
+    /// independent of document size (no contiguous-suffix memmove).
+    pub fn moved_bytes(&self) -> u64 {
+        self.rope.moved_bytes()
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.text.len()
+        self.rope.len()
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.text.is_empty()
+        self.rope.is_empty()
     }
 
     /// Monotonic version stamp; bumped by every modification.
@@ -193,14 +252,51 @@ impl TextBuffer {
         self.version
     }
 
-    /// Replaces `removed` bytes at `start` with `insert`.
+    fn assert_restored(&self, op: &str) {
+        assert!(
+            self.applied == self.pending.len(),
+            "TextBuffer::{op}: buffer is rewound to pending prefix {} of {}; \
+             call restore_pending first",
+            self.applied,
+            self.pending.len()
+        );
+    }
+
+    /// Validates an edit range up front so a bad caller gets the offset and
+    /// document context, not a panic deep inside slicing.
+    fn check_edit_range(&self, start: usize, removed: usize) {
+        let len = self.rope.len();
+        let end = start.checked_add(removed).unwrap_or_else(|| {
+            panic!("TextBuffer::replace: range {start} + {removed} overflows usize")
+        });
+        assert!(
+            end <= len,
+            "TextBuffer::replace: range {start}..{end} out of bounds (document is {len} bytes)"
+        );
+        for (pos, what) in [(start, "start"), (end, "end")] {
+            if pos < len {
+                let b = self.rope.byte(pos);
+                assert!(
+                    b & 0xC0 != 0x80,
+                    "TextBuffer::replace: {what} offset {pos} splits a UTF-8 character \
+                     (byte 0x{b:02x} is a continuation byte)"
+                );
+            }
+        }
+    }
+
+    /// Replaces `removed` bytes at `start` with `insert`. O(log N + edit
+    /// size): only the chunks at the edit point are touched.
     ///
     /// # Panics
     ///
-    /// Panics if the range is out of bounds or splits a UTF-8 character.
+    /// Panics if the range is out of bounds or splits a UTF-8 character;
+    /// the message names the offending offset and the document length.
     pub fn replace(&mut self, start: usize, removed: usize, insert: &str) -> Edit {
-        let removed_text = self.text[start..start + removed].to_string();
-        self.text.replace_range(start..start + removed, insert);
+        self.assert_restored("replace");
+        self.check_edit_range(start, removed);
+        let removed_text = self.slice_to_string(start..start + removed);
+        self.rope.replace(start, removed, insert);
         let edit = Edit {
             start,
             removed,
@@ -212,7 +308,13 @@ impl TextBuffer {
             removed_text: removed_text.clone(),
             inserted_text: insert.to_string(),
         });
-        self.pending.push(PendingEdit { edit, removed_text });
+        self.pending.push(PendingEdit {
+            edit,
+            removed_text,
+            inserted_text: insert.to_string(),
+            version: self.version,
+        });
+        self.applied += 1;
         edit
     }
 
@@ -227,14 +329,13 @@ impl TextBuffer {
     }
 
     /// Undoes the most recent modification, returning the reverse edit.
-    /// Returns `None` if there is nothing to undo.
+    /// Returns `None` if there is nothing to undo. O(log N + edit size).
     pub fn undo(&mut self) -> Option<Edit> {
+        self.assert_restored("undo");
         let entry = self.history.pop()?;
         let start = entry.edit.start;
-        self.text.replace_range(
-            start..start + entry.inserted_text.len(),
-            &entry.removed_text,
-        );
+        self.rope
+            .replace(start, entry.inserted_text.len(), &entry.removed_text);
         let rev = Edit {
             start,
             removed: entry.inserted_text.len(),
@@ -245,13 +346,22 @@ impl TextBuffer {
         self.pending.push(PendingEdit {
             edit: rev,
             removed_text: entry.inserted_text,
+            inserted_text: entry.removed_text,
+            version: self.version,
         });
+        self.applied += 1;
         rev.into()
     }
 
     /// The edits applied since the last commit, in order.
     pub fn pending_edits(&self) -> Vec<Edit> {
         self.pending.iter().map(|p| p.edit).collect()
+    }
+
+    /// The pending edits together with the buffer version at which each was
+    /// made, oldest first.
+    pub fn pending_with_versions(&self) -> impl Iterator<Item = (u64, Edit)> + '_ {
+        self.pending.iter().map(|p| (p.version, p.edit))
     }
 
     /// Number of pending edits.
@@ -274,9 +384,54 @@ impl TextBuffer {
         Some(it.fold(first, Edit::merge))
     }
 
+    /// Rewinds the live text *in place* so it reflects only the first `k`
+    /// pending edits, by undoing the pending suffix newest-first against
+    /// the rope. Costs O(suffix edit sizes + log N), independent of the
+    /// document length — this is how the incremental analysis reads a
+    /// candidate prefix without copying the document. Pair with
+    /// [`TextBuffer::restore_pending`]; while rewound, the buffer rejects
+    /// new modifications and commits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` exceeds the currently applied prefix (rewinding only
+    /// moves backwards; restore first).
+    pub fn rewind_to_prefix(&mut self, k: usize) {
+        assert!(
+            k <= self.applied,
+            "rewind_to_prefix({k}) cannot move forward from prefix {}; call restore_pending",
+            self.applied
+        );
+        while self.applied > k {
+            self.applied -= 1;
+            let p = &self.pending[self.applied];
+            self.rope
+                .replace(p.edit.start, p.edit.inserted, &p.removed_text);
+        }
+    }
+
+    /// Replays any rewound pending edits so the live text again reflects
+    /// the whole pending sequence. O(replayed edit sizes + log N).
+    pub fn restore_pending(&mut self) {
+        while self.applied < self.pending.len() {
+            let p = &self.pending[self.applied];
+            self.rope
+                .replace(p.edit.start, p.edit.removed, &p.inserted_text);
+            self.applied += 1;
+        }
+    }
+
+    /// How many pending edits the live text currently reflects (equal to
+    /// [`TextBuffer::pending_len`] unless rewound).
+    pub fn applied_prefix(&self) -> usize {
+        self.applied
+    }
+
     /// The text that results from applying only the first `k` pending edits
     /// to the committed text (the paper's history-based recovery integrates
-    /// the longest prefix of modifications that still parses).
+    /// the longest prefix of modifications that still parses). Materializes
+    /// the document — see [`TextBuffer::rewind_to_prefix`] for the in-place
+    /// alternative the analyses use.
     ///
     /// # Panics
     ///
@@ -287,9 +442,7 @@ impl TextBuffer {
         out
     }
 
-    /// Like [`TextBuffer::text_at_prefix`] but reuses `out`'s allocation
-    /// (the retry loop of an incremental analysis calls this repeatedly
-    /// with a pooled buffer).
+    /// Like [`TextBuffer::text_at_prefix`] but reuses `out`'s allocation.
     ///
     /// The prefix text is derived by *undoing* the pending suffix
     /// `k..` against the current text, newest first; each undo's
@@ -300,9 +453,11 @@ impl TextBuffer {
     ///
     /// Panics if `k` exceeds the number of pending edits.
     pub fn text_at_prefix_into(&self, k: usize, out: &mut String) {
+        self.assert_restored("text_at_prefix_into");
         assert!(k <= self.pending.len(), "prefix beyond pending edits");
         out.clear();
-        out.push_str(&self.text);
+        out.reserve(self.rope.len());
+        self.rope.read_range(0..self.rope.len(), out);
         for p in self.pending[k..].iter().rev() {
             out.replace_range(p.edit.start..p.edit.new_end(), &p.removed_text);
         }
@@ -316,7 +471,9 @@ impl TextBuffer {
 
     /// Marks all pending edits as incorporated by an analysis.
     pub fn commit(&mut self) {
+        self.assert_restored("commit");
         self.pending.clear();
+        self.applied = 0;
     }
 
     /// Marks the first `k` pending edits as incorporated: the committed
@@ -328,15 +485,18 @@ impl TextBuffer {
     ///
     /// Panics if `k` exceeds the number of pending edits.
     pub fn commit_prefix(&mut self, k: usize) {
+        self.assert_restored("commit_prefix");
         self.pending.drain(..k);
+        self.applied = self.pending.len();
     }
 
-    /// Converts a byte offset to a 1-based (line, column) pair.
+    /// Converts a byte offset (clamped to the document) to a 1-based
+    /// `(line, column)` pair. The column counts **chars**, not bytes, so
+    /// multibyte text before the offset does not inflate it. Line lookup
+    /// rides the rope's per-chunk newline index: O(log N + line length),
+    /// never O(offset).
     pub fn line_col(&self, offset: usize) -> (usize, usize) {
-        let prefix = &self.text[..offset.min(self.text.len())];
-        let line = prefix.bytes().filter(|b| *b == b'\n').count() + 1;
-        let col = prefix.len() - prefix.rfind('\n').map(|p| p + 1).unwrap_or(0) + 1;
-        (line, col)
+        self.rope.line_col(offset)
     }
 }
 
@@ -536,6 +696,51 @@ mod tests {
     }
 
     #[test]
+    fn rewind_and_restore_check_out_prefixes_in_place() {
+        let mut b = TextBuffer::new("0123456789");
+        b.replace(2, 3, "ab"); // "01ab56789"
+        b.replace(0, 1, ""); // "1ab56789"
+        b.insert(8, "Z"); // "1ab56789Z"
+        assert_eq!(b.applied_prefix(), 3);
+        b.rewind_to_prefix(2);
+        assert_eq!(b.text(), "1ab56789");
+        assert_eq!(b.applied_prefix(), 2);
+        b.rewind_to_prefix(0);
+        assert_eq!(b.text(), "0123456789");
+        b.restore_pending();
+        assert_eq!(b.text(), "1ab56789Z");
+        assert_eq!(b.applied_prefix(), 3);
+        // Rewind reflects in streaming reads too, not just text().
+        b.rewind_to_prefix(1);
+        let mut out = String::new();
+        b.read_range(0..b.len(), &mut out);
+        assert_eq!(out, "01ab56789");
+        b.restore_pending();
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer is rewound")]
+    fn rewound_buffer_rejects_mutation() {
+        let mut b = TextBuffer::new("abcdef");
+        b.replace(0, 1, "X");
+        b.rewind_to_prefix(0);
+        b.replace(0, 0, "boom");
+    }
+
+    #[test]
+    fn pending_versions_are_per_edit() {
+        let mut b = TextBuffer::new("abc");
+        b.replace(0, 1, "x"); // version 1
+        b.insert(3, "y"); // version 2
+        b.undo(); // version 3
+        let vs: Vec<u64> = b.pending_with_versions().map(|(v, _)| v).collect();
+        assert_eq!(vs, vec![1, 2, 3]);
+        b.commit_prefix(1);
+        let vs: Vec<u64> = b.pending_with_versions().map(|(v, _)| v).collect();
+        assert_eq!(vs, vec![2, 3], "commit keeps the suffix's own versions");
+    }
+
+    #[test]
     fn line_col() {
         let b = TextBuffer::new("ab\ncde\nf");
         assert_eq!(b.line_col(0), (1, 1));
@@ -543,6 +748,63 @@ mod tests {
         assert_eq!(b.line_col(6), (2, 4));
         assert_eq!(b.line_col(7), (3, 1));
         assert_eq!(b.line_col(999), (3, 2), "clamped to end");
+    }
+
+    #[test]
+    fn line_col_counts_chars_not_bytes() {
+        // "λx. x\nλy. y": the λ is two bytes but one column.
+        let b = TextBuffer::new("λx. x\nλy. y");
+        assert_eq!(b.line_col(0), (1, 1));
+        assert_eq!(b.line_col(2), (1, 2), "after the two-byte λ");
+        assert_eq!(b.line_col(6), (1, 6));
+        assert_eq!(b.line_col(7), (2, 1));
+        assert_eq!(b.line_col(9), (2, 2), "second line, after its λ");
+        let end = b.len();
+        assert_eq!(b.line_col(end), (2, 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "range 4..9 out of bounds (document is 6 bytes)")]
+    fn replace_out_of_bounds_names_the_range() {
+        let mut b = TextBuffer::new("abcdef");
+        b.replace(4, 5, "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "start offset 1 splits a UTF-8 character")]
+    fn replace_inside_char_names_the_offset() {
+        let mut b = TextBuffer::new("λx");
+        b.replace(1, 1, "y");
+    }
+
+    #[test]
+    #[should_panic(expected = "end offset 3 splits a UTF-8 character")]
+    fn replace_end_inside_char_names_the_offset() {
+        let mut b = TextBuffer::new("aaλx");
+        b.replace(2, 1, "y");
+    }
+
+    #[test]
+    fn single_keystroke_on_large_doc_moves_o_chunk_bytes() {
+        // The bounded-incrementality regression: a contiguous String would
+        // memmove the ~128 KiB suffix; the rope touches O(chunk).
+        let text: String = (0..20_000).map(|i| format!("v{i} = {i};\n")).collect();
+        let mut b = TextBuffer::new(&text);
+        let mid = text.len() / 2;
+        b.replace(mid, 1, "x"); // warm the cursor
+        let warm = b.moved_bytes();
+        b.replace(mid + 3, 1, "y");
+        let delta = b.moved_bytes() - warm;
+        assert!(
+            delta <= 4 * CHUNK_TARGET as u64,
+            "single keystroke moved {delta} bytes on a {} byte document",
+            text.len()
+        );
+        // Undo is equally local.
+        let warm = b.moved_bytes();
+        b.undo();
+        let delta = b.moved_bytes() - warm;
+        assert!(delta <= 4 * CHUNK_TARGET as u64, "undo moved {delta} bytes");
     }
 
     #[test]

@@ -1,0 +1,600 @@
+//! A gap-chunk zipper rope: the text storage behind [`crate::TextBuffer`].
+//!
+//! The document is a sequence of small UTF-8 chunks with a *cursor* (gap)
+//! between two chunk stacks, the same shape `wg-core`'s token tape uses for
+//! tokens:
+//!
+//! - `front` holds the chunks before the cursor together with running
+//!   cumulative byte and newline counts, so offset → chunk and
+//!   offset → line queries are one binary search;
+//! - `back` holds the chunks after the cursor **reversed**, with cumulative
+//!   counts from the document's end, so the same queries work on the suffix
+//!   without renumbering anything when text before it grows or shrinks.
+//!
+//! An edit seeks the cursor to its offset (whole-chunk moves are O(1) each;
+//! at most one chunk is split, O(chunk)), deletes whole chunks plus at most
+//! one partial chunk, and inserts by filling chunk-sized pieces — so
+//! `replace` costs O(cursor distance / chunk + log chunks + edit size +
+//! chunk), never O(document). Interactive edits cluster spatially, making
+//! the cursor moves amortized O(1).
+//!
+//! Every byte the rope physically copies (chunk splits, partial deletes,
+//! inserted text, seam coalescing) is counted in [`Rope::moved_bytes`];
+//! regression tests pin the per-keystroke copy work to O(chunk) on large
+//! documents — the bounded-incrementality property a contiguous `String`
+//! cannot offer.
+//!
+//! All chunk boundaries lie on `char` boundaries: the initial chunking
+//! splits at `char` boundaries and edits are validated against the UTF-8
+//! structure before they touch the rope, so every chunk is always valid
+//! UTF-8 and [`Rope::chunk_from`] can hand out `&str` slices.
+
+use std::fmt;
+use std::ops::Range;
+
+/// Preferred chunk size in bytes; freshly built chunks are at most this big.
+pub const CHUNK_TARGET: usize = 1024;
+/// Hard ceiling: in-place appends stop growing a chunk beyond this.
+const CHUNK_MAX: usize = 2 * CHUNK_TARGET;
+
+#[derive(Debug, Clone)]
+struct Chunk {
+    text: String,
+    /// Cached `\n` count (kept in sync with `text`).
+    newlines: usize,
+}
+
+impl Chunk {
+    fn new(text: String) -> Chunk {
+        let newlines = count_newlines(&text);
+        Chunk { text, newlines }
+    }
+}
+
+fn count_newlines(s: &str) -> usize {
+    s.bytes().filter(|&b| b == b'\n').count()
+}
+
+/// Largest prefix of `s` that is at most `max` bytes and ends on a char
+/// boundary (never empty unless `s` is).
+fn boundary_prefix(s: &str, max: usize) -> usize {
+    if s.len() <= max {
+        return s.len();
+    }
+    let mut cut = max;
+    while !s.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    cut
+}
+
+/// Chunked text storage with a cursor; see the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct Rope {
+    front: Vec<Chunk>,
+    /// `front_bytes[i]` = total bytes of `front[..=i]` (strictly increasing).
+    front_bytes: Vec<usize>,
+    /// `front_nl[i]` = total newlines of `front[..=i]`.
+    front_nl: Vec<usize>,
+    /// Chunks after the cursor, reversed (`back[0]` is the document's last
+    /// chunk).
+    back: Vec<Chunk>,
+    /// `back_bytes[i]` = total bytes of `back[..=i]` (the *last* `i + 1`
+    /// chunks of the document).
+    back_bytes: Vec<usize>,
+    back_nl: Vec<usize>,
+    /// Bytes physically copied by mutations since construction.
+    moved: u64,
+}
+
+impl Rope {
+    /// Builds a rope from `text`, chunked at char boundaries.
+    #[allow(clippy::should_implement_trait)] // infallible, unlike FromStr
+    pub fn from_str(text: &str) -> Rope {
+        let mut rope = Rope::default();
+        let mut rest = text;
+        while !rest.is_empty() {
+            let cut = boundary_prefix(rest, CHUNK_TARGET);
+            rope.push_front(Chunk::new(rest[..cut].to_string()));
+            rest = &rest[cut..];
+        }
+        rope.moved = 0; // construction is not edit work
+        rope
+    }
+
+    /// Total length in bytes.
+    pub fn len(&self) -> usize {
+        self.front_total() + self.back_total()
+    }
+
+    /// Whether the rope is empty.
+    pub fn is_empty(&self) -> bool {
+        self.front.is_empty() && self.back.is_empty()
+    }
+
+    /// Number of chunks currently held.
+    pub fn chunk_count(&self) -> usize {
+        self.front.len() + self.back.len()
+    }
+
+    /// Total `\n` count.
+    pub fn newline_count(&self) -> usize {
+        self.front_nl.last().copied().unwrap_or(0) + self.back_nl.last().copied().unwrap_or(0)
+    }
+
+    /// Cumulative bytes physically copied by mutations (chunk splits and
+    /// merges, partial deletes, inserted text). A single edit moves
+    /// O(chunk + edit) bytes regardless of document size.
+    pub fn moved_bytes(&self) -> u64 {
+        self.moved
+    }
+
+    fn front_total(&self) -> usize {
+        self.front_bytes.last().copied().unwrap_or(0)
+    }
+
+    fn back_total(&self) -> usize {
+        self.back_bytes.last().copied().unwrap_or(0)
+    }
+
+    /// Byte offset of the cursor.
+    fn cursor(&self) -> usize {
+        self.front_total()
+    }
+
+    fn push_front(&mut self, c: Chunk) {
+        self.front_bytes.push(self.front_total() + c.text.len());
+        self.front_nl
+            .push(self.front_nl.last().copied().unwrap_or(0) + c.newlines);
+        self.front.push(c);
+    }
+
+    fn pop_front(&mut self) -> Chunk {
+        self.front_bytes.pop();
+        self.front_nl.pop();
+        self.front.pop().expect("front nonempty")
+    }
+
+    fn push_back(&mut self, c: Chunk) {
+        self.back_bytes.push(self.back_total() + c.text.len());
+        self.back_nl
+            .push(self.back_nl.last().copied().unwrap_or(0) + c.newlines);
+        self.back.push(c);
+    }
+
+    fn pop_back(&mut self) -> Chunk {
+        self.back_bytes.pop();
+        self.back_nl.pop();
+        self.back.pop().expect("back nonempty")
+    }
+
+    /// Moves the cursor to byte `pos` (must be ≤ len and a char boundary —
+    /// callers validate). Whole-chunk moves are O(1); at most one chunk is
+    /// split, at O(chunk) copy cost.
+    fn seek(&mut self, pos: usize) {
+        debug_assert!(pos <= self.len(), "seek beyond rope");
+        while self.cursor() > pos {
+            let c = self.pop_front();
+            self.push_back(c);
+        }
+        while !self.back.is_empty() {
+            let top = self.back.last().expect("nonempty").text.len();
+            if self.cursor() + top > pos {
+                break;
+            }
+            let c = self.pop_back();
+            self.push_front(c);
+        }
+        let off = pos - self.cursor();
+        if off > 0 {
+            let c = self.pop_back();
+            debug_assert!(c.text.is_char_boundary(off), "seek splits a char");
+            self.moved += c.text.len() as u64;
+            let right = Chunk::new(c.text[off..].to_string());
+            let mut left = c.text;
+            left.truncate(off);
+            self.push_front(Chunk::new(left));
+            self.push_back(right);
+        }
+    }
+
+    /// Deletes `n` bytes after the cursor (both ends are char boundaries —
+    /// callers validate). Whole covered chunks are dropped without copying;
+    /// at most one partial chunk is rebuilt.
+    fn delete_after(&mut self, mut n: usize) {
+        debug_assert!(self.cursor() + n <= self.len(), "delete beyond rope");
+        while n > 0 {
+            let c = self.pop_back();
+            if c.text.len() <= n {
+                n -= c.text.len();
+            } else {
+                debug_assert!(c.text.is_char_boundary(n), "delete splits a char");
+                let rest = Chunk::new(c.text[n..].to_string());
+                self.moved += rest.text.len() as u64;
+                self.push_back(rest);
+                n = 0;
+            }
+        }
+    }
+
+    /// Inserts `s` at the cursor (which stays after the inserted text).
+    fn insert_at_cursor(&mut self, s: &str) {
+        if s.is_empty() {
+            return;
+        }
+        self.moved += s.len() as u64;
+        let mut rest = s;
+        // Top up the chunk just before the cursor while it has room.
+        if let Some(last) = self.front.last_mut() {
+            if last.text.len() < CHUNK_MAX {
+                let cut = boundary_prefix(rest, CHUNK_MAX - last.text.len());
+                if cut > 0 {
+                    last.text.push_str(&rest[..cut]);
+                    let nl = count_newlines(&rest[..cut]);
+                    last.newlines += nl;
+                    *self.front_bytes.last_mut().expect("cum entry") += cut;
+                    *self.front_nl.last_mut().expect("cum entry") += nl;
+                    rest = &rest[cut..];
+                }
+            }
+        }
+        while !rest.is_empty() {
+            let cut = boundary_prefix(rest, CHUNK_TARGET);
+            self.push_front(Chunk::new(rest[..cut].to_string()));
+            rest = &rest[cut..];
+        }
+    }
+
+    /// Merges undersized chunks adjacent to the cursor so repeated splits
+    /// cannot fragment the rope: each side of the seam keeps its two
+    /// innermost chunks merged whenever their sum fits a target chunk.
+    fn coalesce_seam(&mut self) {
+        // Repair the split the seek made: if the chunks flanking the cursor
+        // fit in one chunk and at least one is undersized, fuse them (the
+        // cursor lands after the fused chunk; the next edit re-seeks
+        // anyway). Without this, scattered edits leave a trail of half
+        // chunks and the rope fragments.
+        if let (Some(f), Some(b)) = (self.front.last(), self.back.last()) {
+            let (fl, bl) = (f.text.len(), b.text.len());
+            if fl + bl <= CHUNK_MAX && (fl < CHUNK_TARGET || bl < CHUNK_TARGET) {
+                let b = self.pop_back();
+                let mut f = self.pop_front();
+                self.moved += b.text.len() as u64;
+                f.text.push_str(&b.text);
+                f.newlines += b.newlines;
+                self.push_front(f);
+            }
+        }
+        while self.front.len() >= 2 {
+            let a = self.front[self.front.len() - 2].text.len();
+            let b = self.front[self.front.len() - 1].text.len();
+            if a + b > CHUNK_TARGET {
+                break;
+            }
+            let top = self.pop_front();
+            let mut base = self.pop_front();
+            self.moved += top.text.len() as u64;
+            base.text.push_str(&top.text);
+            base.newlines += top.newlines;
+            self.push_front(base);
+        }
+        while self.back.len() >= 2 {
+            let a = self.back[self.back.len() - 2].text.len();
+            let b = self.back[self.back.len() - 1].text.len();
+            if a + b > CHUNK_TARGET {
+                break;
+            }
+            let mut inner = self.pop_back();
+            let outer = self.pop_back();
+            self.moved += outer.text.len() as u64;
+            inner.text.push_str(&outer.text);
+            inner.newlines += outer.newlines;
+            self.push_back(inner);
+        }
+    }
+
+    /// Replaces `removed` bytes at `start` with `insert`. Offsets must lie
+    /// on char boundaries within the document (callers validate; see
+    /// [`crate::TextBuffer::replace`]).
+    pub fn replace(&mut self, start: usize, removed: usize, insert: &str) {
+        self.seek(start);
+        self.delete_after(removed);
+        self.insert_at_cursor(insert);
+        self.coalesce_seam();
+    }
+
+    /// Locates the chunk containing byte `pos` (`pos < len`): returns the
+    /// chunk's text and the byte offset of its first byte.
+    fn chunk_containing(&self, pos: usize) -> (&str, usize) {
+        debug_assert!(pos < self.len(), "position beyond rope");
+        let ft = self.front_total();
+        if pos < ft {
+            let ix = self.front_bytes.partition_point(|&b| b <= pos);
+            let chunk_start = if ix == 0 { 0 } else { self.front_bytes[ix - 1] };
+            (&self.front[ix].text, chunk_start)
+        } else {
+            // Distance of the *end* of the sought byte from the document
+            // end selects the reversed chunk.
+            let q = self.len() - pos; // in 1..=back_total
+            let ix = self.back_bytes.partition_point(|&b| b < q);
+            let chunk_end = self.len() - if ix == 0 { 0 } else { self.back_bytes[ix - 1] };
+            let chunk_start = chunk_end - self.back[ix].text.len();
+            (&self.back[ix].text, chunk_start)
+        }
+    }
+
+    /// The maximal contiguous slice starting at byte `pos` (empty iff
+    /// `pos ≥ len`). O(log chunks).
+    pub fn chunk_from(&self, pos: usize) -> &str {
+        if pos >= self.len() {
+            return "";
+        }
+        let (chunk, start) = self.chunk_containing(pos);
+        &chunk[pos - start..]
+    }
+
+    /// The maximal contiguous byte run starting at `pos` (empty iff
+    /// `pos ≥ len`). Unlike [`Rope::chunk_from`], `pos` need not lie on a
+    /// char boundary — a byte-oriented scanner can resume mid-character.
+    pub fn chunk_bytes_from(&self, pos: usize) -> &[u8] {
+        if pos >= self.len() {
+            return &[];
+        }
+        let (chunk, start) = self.chunk_containing(pos);
+        &chunk.as_bytes()[pos - start..]
+    }
+
+    /// The byte at `pos`.
+    pub fn byte(&self, pos: usize) -> u8 {
+        let (chunk, start) = self.chunk_containing(pos);
+        chunk.as_bytes()[pos - start]
+    }
+
+    /// A contiguous `&str` covering `range`, if one chunk holds it all.
+    pub fn slice(&self, range: Range<usize>) -> Option<&str> {
+        let c = self.chunk_from(range.start);
+        c.get(..range.end.saturating_sub(range.start))
+    }
+
+    /// Appends the bytes of `range` to `out`.
+    pub fn read_range(&self, range: Range<usize>, out: &mut String) {
+        debug_assert!(range.end <= self.len(), "range beyond rope");
+        let mut pos = range.start;
+        while pos < range.end {
+            let c = self.chunk_from(pos);
+            let take = c.len().min(range.end - pos);
+            out.push_str(&c[..take]);
+            pos += take;
+        }
+    }
+
+    /// Materializes the whole document (tests, tooling, error reports — the
+    /// incremental paths read through [`Rope::chunk_from`] instead).
+    pub fn to_string_full(&self) -> String {
+        let mut out = String::with_capacity(self.len());
+        self.read_range(0..self.len(), &mut out);
+        out
+    }
+
+    /// Number of `\n` bytes strictly before `pos`. O(log chunks + chunk).
+    pub fn newlines_before(&self, pos: usize) -> usize {
+        let pos = pos.min(self.len());
+        if pos == self.len() {
+            return self.newline_count();
+        }
+        let ft = self.front_total();
+        if pos < ft {
+            let ix = self.front_bytes.partition_point(|&b| b <= pos);
+            let chunk_start = if ix == 0 { 0 } else { self.front_bytes[ix - 1] };
+            let before_chunk = if ix == 0 { 0 } else { self.front_nl[ix - 1] };
+            before_chunk + count_newlines(&self.front[ix].text[..pos - chunk_start])
+        } else {
+            let q = self.len() - pos;
+            let ix = self.back_bytes.partition_point(|&b| b < q);
+            let chunk_end = self.len() - if ix == 0 { 0 } else { self.back_bytes[ix - 1] };
+            let chunk_start = chunk_end - self.back[ix].text.len();
+            let after_chunk = if ix == 0 { 0 } else { self.back_nl[ix - 1] };
+            let in_and_after =
+                after_chunk + count_newlines(&self.back[ix].text[pos - chunk_start..]);
+            self.newline_count() - in_and_after
+        }
+    }
+
+    /// Converts a byte offset (clamped to the document) to a 1-based
+    /// `(line, column)` pair, counting the column in **chars**, not bytes.
+    ///
+    /// Line lookup uses the per-chunk newline index: O(log chunks + chunk).
+    /// The column scan walks back to the start of the line, so the whole
+    /// query is O(log N + line length) — never O(offset).
+    pub fn line_col(&self, offset: usize) -> (usize, usize) {
+        let offset = offset.min(self.len());
+        let line = self.newlines_before(offset) + 1;
+        let mut chars = 0usize;
+        let mut pos = offset;
+        while pos > 0 {
+            let (chunk, chunk_start) = self.chunk_containing(pos - 1);
+            let local = &chunk[..pos - chunk_start];
+            match local.rfind('\n') {
+                Some(nl) => {
+                    chars += local[nl + 1..].chars().count();
+                    break;
+                }
+                None => {
+                    chars += local.chars().count();
+                    pos = chunk_start;
+                }
+            }
+        }
+        (line, chars + 1)
+    }
+}
+
+impl fmt::Display for Rope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in &self.front {
+            f.write_str(&c.text)?;
+        }
+        for c in self.back.iter().rev() {
+            f.write_str(&c.text)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_invariants(r: &Rope, expect: &str) {
+        assert_eq!(r.to_string_full(), expect);
+        assert_eq!(r.len(), expect.len());
+        assert_eq!(r.newline_count(), count_newlines(expect));
+        assert_eq!(format!("{r}"), expect);
+        // Cumulative arrays must mirror the chunk stacks.
+        assert_eq!(r.front.len(), r.front_bytes.len());
+        assert_eq!(r.back.len(), r.back_bytes.len());
+        for (i, c) in r.front.iter().enumerate() {
+            let prev = if i == 0 { 0 } else { r.front_bytes[i - 1] };
+            assert_eq!(r.front_bytes[i] - prev, c.text.len());
+            assert_eq!(c.newlines, count_newlines(&c.text));
+        }
+        for (i, c) in r.back.iter().enumerate() {
+            let prev = if i == 0 { 0 } else { r.back_bytes[i - 1] };
+            assert_eq!(r.back_bytes[i] - prev, c.text.len());
+        }
+        for pos in 0..expect.len() {
+            assert_eq!(r.byte(pos), expect.as_bytes()[pos], "byte at {pos}");
+        }
+    }
+
+    #[test]
+    fn build_query_roundtrip() {
+        let text: String = (0..200).map(|i| format!("line {i}\n")).collect();
+        let r = Rope::from_str(&text);
+        check_invariants(&r, &text);
+        assert_eq!(r.chunk_from(text.len()), "");
+        assert_eq!(r.slice(0..4), Some("line"));
+        assert!(r.moved_bytes() == 0, "construction is free");
+    }
+
+    #[test]
+    fn multichunk_construction() {
+        let text = "x".repeat(10 * CHUNK_TARGET);
+        let r = Rope::from_str(&text);
+        assert!(r.chunk_count() >= 10);
+        check_invariants(&r, &text);
+    }
+
+    #[test]
+    fn replace_matches_string_reference() {
+        let mut text: String = (0..100).map(|i| format!("tok{i} ")).collect();
+        let mut r = Rope::from_str(&text);
+        let script: Vec<(usize, usize, &str)> = vec![
+            (0, 3, "TOK"),
+            (50, 10, ""),
+            (200, 0, "inserted text "),
+            (text.len() - 20, 5, "zz"),
+            (1, 0, "y"),
+            (300, 40, "shrink"),
+        ];
+        for (start, removed, insert) in script {
+            text.replace_range(start..start + removed, insert);
+            r.replace(start, removed, insert);
+            check_invariants(&r, &text);
+        }
+    }
+
+    #[test]
+    fn single_keystroke_moves_o_chunk_bytes() {
+        let text = "a".repeat(256 * CHUNK_TARGET); // 256 KiB
+        let mut r = Rope::from_str(&text);
+        // Warm: the first edit may split a chunk far from anything.
+        r.replace(text.len() / 2, 1, "b");
+        let warm = r.moved_bytes();
+        r.replace(text.len() / 2 + 7, 1, "c");
+        let delta = r.moved_bytes() - warm;
+        assert!(
+            delta <= (4 * CHUNK_TARGET) as u64,
+            "keystroke moved {delta} bytes on a {} byte document",
+            text.len()
+        );
+    }
+
+    #[test]
+    fn scattered_edits_stay_defragmented() {
+        let text = "x".repeat(64 * CHUNK_TARGET);
+        let mut r = Rope::from_str(&text);
+        let base = r.chunk_count();
+        for i in 0..500 {
+            let pos = (i * 7919) % r.len();
+            r.replace(pos, 0, "y");
+        }
+        assert!(
+            r.chunk_count() <= base + base / 2 + 8,
+            "chunks fragmented: {} -> {}",
+            base,
+            r.chunk_count()
+        );
+    }
+
+    #[test]
+    fn multibyte_chunk_boundaries() {
+        // 3-byte chars force boundary_prefix to round down.
+        let text = "日本語テキスト".repeat(200 * CHUNK_TARGET / 21);
+        let mut r = Rope::from_str(&text);
+        check_invariants(&r, &text);
+        let mut expect = text.clone();
+        let pos = text.char_indices().nth(1000).unwrap().0;
+        expect.replace_range(pos..pos + 3, "é");
+        r.replace(pos, 3, "é");
+        check_invariants(&r, &expect);
+    }
+
+    #[test]
+    fn line_col_counts_chars() {
+        let r = Rope::from_str("aé\ncdé f\ng");
+        assert_eq!(r.line_col(0), (1, 1));
+        assert_eq!(r.line_col(3), (1, 3), "é is one column, two bytes");
+        assert_eq!(r.line_col(4), (2, 1));
+        assert_eq!(r.line_col(10), (2, 6), "col after the two-byte é");
+        assert_eq!(r.line_col(12), (3, 2));
+        assert_eq!(r.line_col(999), (3, 2), "clamped");
+    }
+
+    #[test]
+    fn line_col_across_chunks() {
+        // One very long line spanning many chunks, then short lines.
+        let mut text = "z".repeat(5 * CHUNK_TARGET);
+        text.push('\n');
+        text.push_str("tail");
+        let r = Rope::from_str(&text);
+        assert_eq!(r.line_col(5 * CHUNK_TARGET - 1), (1, 5 * CHUNK_TARGET));
+        assert_eq!(r.line_col(5 * CHUNK_TARGET + 1), (2, 1));
+        assert_eq!(r.line_col(5 * CHUNK_TARGET + 3), (2, 3));
+    }
+
+    #[test]
+    fn newlines_before_both_sides_of_cursor() {
+        let text: String = (0..50).map(|i| format!("l{i}\n")).collect();
+        let mut r = Rope::from_str(&text);
+        r.replace(text.len() / 2, 0, "mid");
+        let materialized = r.to_string_full();
+        for pos in (0..materialized.len()).step_by(17) {
+            assert_eq!(
+                r.newlines_before(pos),
+                count_newlines(&materialized[..pos]),
+                "at {pos}"
+            );
+        }
+    }
+
+    #[test]
+    fn read_range_spans_chunks() {
+        let text = "ab".repeat(3 * CHUNK_TARGET);
+        let r = Rope::from_str(&text);
+        let mut out = String::new();
+        r.read_range(CHUNK_TARGET - 3..2 * CHUNK_TARGET + 3, &mut out);
+        assert_eq!(out, text[CHUNK_TARGET - 3..2 * CHUNK_TARGET + 3]);
+        assert!(r.slice(0..2 * CHUNK_TARGET).is_none(), "spans chunks");
+    }
+}

@@ -306,7 +306,7 @@ mod tests {
         let pos = s.text().find("+ 5").expect("site");
         s.edit(pos + 2, 1, "77");
         assert!(s.reparse().unwrap().incorporated);
-        let reference = Session::new(&cfg, s.text()).unwrap();
+        let reference = Session::new(&cfg, &s.text()).unwrap();
         assert!(wg_dag::structurally_equal(
             s.arena(),
             s.root(),

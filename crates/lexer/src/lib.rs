@@ -49,6 +49,8 @@ mod dfa;
 mod nfa;
 mod regex;
 mod scanner;
+mod source;
 
 pub use regex::{Regex, RegexError};
 pub use scanner::{LexOutput, Lexer, LexerDef, RelexResult, RuleId, TokenAt, TokenSource};
+pub use source::TextSource;

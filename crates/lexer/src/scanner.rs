@@ -4,6 +4,7 @@
 use crate::dfa::Dfa;
 use crate::nfa::Nfa;
 use crate::regex::{Regex, RegexError};
+use crate::source::TextSource;
 use std::fmt;
 use wg_document::Edit;
 
@@ -161,6 +162,27 @@ impl TokenAt {
     pub fn lexeme<'t>(&self, text: &'t str) -> &'t str {
         &text[self.start..self.end()]
     }
+
+    /// The lexeme read through a chunked [`TextSource`]. When one chunk
+    /// holds the whole token this borrows straight from the source; a
+    /// seam-straddling token is assembled into `scratch` (a pooled buffer —
+    /// callers reuse one `String` across extractions, so nothing is
+    /// allocated per token in steady state).
+    pub fn lexeme_from<'a, S: TextSource + ?Sized>(
+        &self,
+        src: &'a S,
+        scratch: &'a mut String,
+    ) -> &'a str {
+        let range = self.start..self.end();
+        match src.slice(range.clone()) {
+            Some(s) => s,
+            None => {
+                scratch.clear();
+                src.extract_into(range, scratch);
+                scratch
+            }
+        }
+    }
 }
 
 /// The result of a full lex.
@@ -276,15 +298,27 @@ impl Lexer {
     /// Scans one token starting at `pos`. Returns `(token, matched)` where
     /// `matched` is false on a lexical error (the token then covers one byte
     /// and has no meaningful rule).
-    fn scan_one(&self, text: &[u8], pos: usize) -> (TokenAt, bool) {
+    ///
+    /// Reads through a chunked [`TextSource`]: the current chunk is cached
+    /// and refetched only when the probe crosses its end, so a plain `&str`
+    /// source costs exactly what the old contiguous scan did, and a rope
+    /// source costs one O(log chunks) seek per chunk crossed.
+    fn scan_one<S: TextSource + ?Sized>(&self, src: &S, pos: usize) -> (TokenAt, bool) {
+        let len = src.len();
         let mut state = self.dfa.start;
         let mut best: Option<(usize, u32)> = self.dfa.accepting(state).map(|r| (pos, r));
         let mut probe = pos;
+        let mut chunk = src.chunk_at(pos);
+        let mut chunk_start = pos;
         // An EOF-terminated scan has effectively unbounded lookahead: any
         // appended byte could have extended the match.
         let mut clamped = true;
-        while probe < text.len() {
-            match self.dfa.step(state, text[probe]) {
+        while probe < len {
+            if probe - chunk_start >= chunk.len() {
+                chunk = src.chunk_at(probe);
+                chunk_start = probe;
+            }
+            match self.dfa.step(state, chunk[probe - chunk_start]) {
                 Some(next) => {
                     state = next;
                     probe += 1;
@@ -325,11 +359,17 @@ impl Lexer {
 
     /// Tokenizes `text` from scratch.
     pub fn lex(&self, text: &str) -> LexOutput {
-        let bytes = text.as_bytes();
+        self.lex_source(text)
+    }
+
+    /// Tokenizes a chunked [`TextSource`] from scratch without materializing
+    /// it (e.g. a `wg_document::Rope` straight off the editor buffer).
+    pub fn lex_source<S: TextSource + ?Sized>(&self, src: &S) -> LexOutput {
+        let len = src.len();
         let mut out = LexOutput::default();
         let mut pos = 0;
-        while pos < bytes.len() {
-            let (tok, ok) = self.scan_one(bytes, pos);
+        while pos < len {
+            let (tok, ok) = self.scan_one(src, pos);
             pos = tok.end();
             if !ok {
                 out.errors.push(tok.start);
@@ -354,23 +394,25 @@ impl Lexer {
         out
     }
 
-    /// Like [`Lexer::relex`], but reads the old stream through a
-    /// [`TokenSource`] and writes into a pooled [`RelexResult`], so a
-    /// long-lived session allocates nothing per edit.
+    /// Like [`Lexer::relex`], but reads the new text through a chunked
+    /// [`TextSource`] and the old stream through a [`TokenSource`], writing
+    /// into a pooled [`RelexResult`] — so a long-lived session neither
+    /// materializes the document nor allocates per edit. Only bytes inside
+    /// the damaged region (plus realignment lookahead) are examined.
     ///
     /// The damaged region is bounded on the left by the source's
     /// [`TokenSource::kept_prefix`] and on the right by the first scanned
     /// token boundary that realigns ([`TokenSource::find_start`]) with an
     /// old token start beyond the edit.
-    pub fn relex_into(
+    pub fn relex_into<S: TextSource + ?Sized>(
         &self,
-        new_text: &str,
+        new_text: &S,
         old: &(impl TokenSource + ?Sized),
         edit: Edit,
         out: &mut RelexResult,
     ) {
         out.clear();
-        let bytes = new_text.as_bytes();
+        let len = new_text.len();
         let delta = edit.delta();
         let edit_old_end = edit.old_end();
 
@@ -397,11 +439,11 @@ impl Lexer {
                     break;
                 }
             }
-            if pos >= bytes.len() {
+            if pos >= len {
                 kept_suffix = 0;
                 break;
             }
-            let (tok, ok) = self.scan_one(bytes, pos);
+            let (tok, ok) = self.scan_one(new_text, pos);
             pos = tok.end();
             if !ok {
                 out.errors.push(tok.start);
@@ -602,6 +644,113 @@ mod tests {
         assert_eq!(r.new_tokens.len(), 3);
         assert_eq!(r.kept_prefix, 0);
         assert_eq!(r.kept_suffix, 0);
+    }
+
+    #[test]
+    fn lex_source_rope_equals_str() {
+        let lx = c_like();
+        // Big enough for many rope chunks; includes an error byte (#).
+        let text: String = (0..3000).map(|i| format!("int v{i} = {i}; # ")).collect();
+        let rope = wg_document::Rope::from_str(&text);
+        assert!(rope.chunk_count() > 4);
+        let from_str = lx.lex(&text);
+        let from_rope = lx.lex_source(&rope);
+        assert_eq!(from_str.tokens, from_rope.tokens);
+        assert_eq!(from_str.errors, from_rope.errors);
+    }
+
+    #[test]
+    fn lexeme_from_spans_chunk_seams() {
+        let lx = c_like();
+        // One identifier longer than a chunk: slice() fails, scratch path
+        // assembles it.
+        let text = "x".repeat(3000);
+        let rope = wg_document::Rope::from_str(&text);
+        let out = lx.lex_source(&rope);
+        assert_eq!(out.tokens.len(), 1);
+        let mut scratch = String::new();
+        assert_eq!(out.tokens[0].lexeme_from(&rope, &mut scratch), text);
+        // A token inside one chunk borrows without copying into scratch.
+        let rope2 = wg_document::Rope::from_str("int x;");
+        let out2 = lx.lex_source(&rope2);
+        let mut scratch2 = String::from("sentinel");
+        assert_eq!(out2.tokens[0].lexeme_from(&rope2, &mut scratch2), "int");
+        assert_eq!(scratch2, "sentinel", "fast path leaves scratch alone");
+    }
+
+    /// A [`TextSource`] wrapper recording the byte window actually examined.
+    struct Spy<'r> {
+        inner: &'r wg_document::Rope,
+        lo: std::cell::Cell<usize>,
+        hi: std::cell::Cell<usize>,
+    }
+
+    impl<'r> Spy<'r> {
+        fn new(inner: &'r wg_document::Rope) -> Spy<'r> {
+            Spy {
+                inner,
+                lo: std::cell::Cell::new(usize::MAX),
+                hi: std::cell::Cell::new(0),
+            }
+        }
+
+        fn touch(&self, a: usize, b: usize) {
+            self.lo.set(self.lo.get().min(a));
+            self.hi.set(self.hi.get().max(b));
+        }
+    }
+
+    impl TextSource for Spy<'_> {
+        fn len(&self) -> usize {
+            self.inner.len()
+        }
+
+        fn chunk_at(&self, pos: usize) -> &[u8] {
+            self.touch(pos, pos);
+            self.inner.chunk_bytes_from(pos)
+        }
+
+        fn slice(&self, range: std::ops::Range<usize>) -> Option<&str> {
+            self.touch(range.start, range.end);
+            self.inner.slice(range)
+        }
+
+        fn extract_into(&self, range: std::ops::Range<usize>, out: &mut String) {
+            self.touch(range.start, range.end);
+            self.inner.read_range(range, out);
+        }
+    }
+
+    #[test]
+    fn relex_through_rope_reads_bounded_region() {
+        let lx = c_like();
+        let old_text: String = (0..4000).map(|i| format!("int v{i} = {i};\n")).collect();
+        let old = lx.lex(&old_text).tokens;
+        // Grow one identifier near the middle of the ~60 KiB document.
+        let mid_tok = old[old.len() / 2];
+        let edit = Edit::insertion(mid_tok.end(), 1);
+        let mut new_text = old_text.clone();
+        new_text.insert(mid_tok.end(), 'q');
+        let mut rope = wg_document::Rope::from_str(&old_text);
+        rope.replace(edit.start, 0, "q");
+
+        let spy = Spy::new(&rope);
+        let mut out = RelexResult::default();
+        lx.relex_into(&spy, &old[..], edit, &mut out);
+
+        // Same answer as the contiguous relex…
+        let reference = lx.relex(&new_text, &old, edit);
+        assert_eq!(out.new_tokens, reference.new_tokens);
+        assert_eq!(out.kept_prefix, reference.kept_prefix);
+        assert_eq!(out.kept_suffix, reference.kept_suffix);
+        // …and only a window around the edit was examined — the document
+        // was never materialized or swept.
+        let window = spy.hi.get().saturating_sub(spy.lo.get());
+        assert!(
+            window < 256,
+            "relex examined a {window}-byte window on a {}-byte document",
+            rope.len()
+        );
     }
 
     #[test]

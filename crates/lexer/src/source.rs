@@ -1,0 +1,159 @@
+//! Chunked read access to document text.
+//!
+//! The scanner used to demand the whole document as one `&str`, which forced
+//! the session to materialize the text on every reparse — an O(N) copy that
+//! defeated the rope's O(log N + edit) mutations. [`TextSource`] is the
+//! paper-shaped alternative: the scanner pulls contiguous *chunks* around
+//! the damage region and never requires the document in one piece. A plain
+//! `&str` is a one-chunk source, so batch callers are unaffected; a
+//! [`wg_document::Rope`] (or the [`wg_document::TextBuffer`] that wraps one)
+//! streams its chunks with O(log chunks) seeks.
+
+use std::ops::Range;
+use wg_document::{Rope, TextBuffer};
+
+/// Read access to document text as a sequence of contiguous chunks.
+///
+/// Positions are byte offsets. [`TextSource::chunk_at`] is byte-oriented
+/// because the scanner's DFA probes byte by byte and may need to resume in
+/// the middle of a multibyte character (e.g. after an error token consumed a
+/// single byte of one); [`TextSource::slice`] / [`TextSource::extract_into`]
+/// are `str`-level because they are used on token boundaries.
+pub trait TextSource {
+    /// Total length in bytes.
+    fn len(&self) -> usize;
+
+    /// Whether the text is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The maximal contiguous byte run starting at `pos` (empty iff
+    /// `pos ≥ len`). Implementations must make progress: the run is
+    /// non-empty for every in-bounds `pos`.
+    fn chunk_at(&self, pos: usize) -> &[u8];
+
+    /// A contiguous `&str` covering `range`, if a single chunk holds it.
+    /// The fast path for lexeme extraction.
+    fn slice(&self, range: Range<usize>) -> Option<&str>;
+
+    /// Appends the text of `range` to `out` (the slow path when a lexeme
+    /// straddles a chunk seam).
+    fn extract_into(&self, range: Range<usize>, out: &mut String);
+}
+
+impl TextSource for str {
+    fn len(&self) -> usize {
+        str::len(self)
+    }
+
+    fn chunk_at(&self, pos: usize) -> &[u8] {
+        &self.as_bytes()[pos.min(self.len())..]
+    }
+
+    fn slice(&self, range: Range<usize>) -> Option<&str> {
+        self.get(range)
+    }
+
+    fn extract_into(&self, range: Range<usize>, out: &mut String) {
+        out.push_str(&self[range]);
+    }
+}
+
+impl TextSource for String {
+    fn len(&self) -> usize {
+        str::len(self)
+    }
+
+    fn chunk_at(&self, pos: usize) -> &[u8] {
+        self.as_str().chunk_at(pos)
+    }
+
+    fn slice(&self, range: Range<usize>) -> Option<&str> {
+        self.get(range)
+    }
+
+    fn extract_into(&self, range: Range<usize>, out: &mut String) {
+        out.push_str(&self[range]);
+    }
+}
+
+impl TextSource for Rope {
+    fn len(&self) -> usize {
+        Rope::len(self)
+    }
+
+    fn chunk_at(&self, pos: usize) -> &[u8] {
+        self.chunk_bytes_from(pos)
+    }
+
+    fn slice(&self, range: Range<usize>) -> Option<&str> {
+        Rope::slice(self, range)
+    }
+
+    fn extract_into(&self, range: Range<usize>, out: &mut String) {
+        self.read_range(range, out);
+    }
+}
+
+impl TextSource for TextBuffer {
+    fn len(&self) -> usize {
+        TextBuffer::len(self)
+    }
+
+    fn chunk_at(&self, pos: usize) -> &[u8] {
+        self.rope().chunk_bytes_from(pos)
+    }
+
+    fn slice(&self, range: Range<usize>) -> Option<&str> {
+        TextBuffer::slice(self, range)
+    }
+
+    fn extract_into(&self, range: Range<usize>, out: &mut String) {
+        self.read_range(range, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn str_is_a_one_chunk_source() {
+        let s = "hello";
+        assert_eq!(TextSource::len(s), 5);
+        assert_eq!(s.chunk_at(0), b"hello");
+        assert_eq!(s.chunk_at(3), b"lo");
+        assert_eq!(s.chunk_at(5), b"");
+        assert_eq!(s.chunk_at(99), b"");
+        assert_eq!(TextSource::slice(s, 1..4), Some("ell"));
+        let mut out = String::new();
+        s.extract_into(1..4, &mut out);
+        assert_eq!(out, "ell");
+    }
+
+    #[test]
+    fn rope_source_streams_chunks() {
+        let text = "abc".repeat(2000); // several chunks
+        let rope = Rope::from_str(&text);
+        assert!(rope.chunk_count() > 1);
+        let mut pos = 0;
+        let mut rebuilt = Vec::new();
+        while pos < TextSource::len(&rope) {
+            let c = rope.chunk_at(pos);
+            assert!(!c.is_empty(), "chunk_at must make progress");
+            rebuilt.extend_from_slice(c);
+            pos += c.len();
+        }
+        assert_eq!(rebuilt, text.as_bytes());
+    }
+
+    #[test]
+    fn chunk_at_resumes_mid_character() {
+        let text = "λ".repeat(2 * wg_document::CHUNK_TARGET);
+        let rope = Rope::from_str(&text);
+        // One byte into the two-byte λ: still a valid byte-level resume.
+        let c = rope.chunk_at(1);
+        assert_eq!(c[0], "λ".as_bytes()[1]);
+    }
+}

@@ -30,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Simulate typing: rename identifiers all over the file, reparsing
     // after every change, then undo each change (the paper's
     // self-cancelling protocol).
-    let sites = edit_sites(session.text(), 100, 7);
+    let sites = edit_sites(&session.text(), 100, 7);
     let mut total_terminal_shifts = 0usize;
     let mut total_reuse = 0usize;
     let t0 = Instant::now();

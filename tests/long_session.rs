@@ -19,7 +19,7 @@ fn hundred_edit_session_stays_consistent_and_bounded() {
     let mut max_arena = 0usize;
     let mut refusals = 0usize;
     for i in 0..100u64 {
-        let sites = identifier_sites(s.text());
+        let sites = identifier_sites(&s.text());
         let (start, len) = sites[(i as usize * 37) % sites.len()];
         let replacement = match i % 4 {
             0 => "renamed",
@@ -40,7 +40,7 @@ fn hundred_edit_session_stays_consistent_and_bounded() {
         if i % 20 == 19 {
             // Periodic deep check: structure identical to from-scratch, and
             // the semantic passes still run cleanly over the dag.
-            let reference = Session::new(&cfg, s.text()).unwrap();
+            let reference = Session::new(&cfg, &s.text()).unwrap();
             assert!(
                 structurally_equal(s.arena(), s.root(), reference.arena(), reference.root()),
                 "divergence at edit {i}"
@@ -84,7 +84,7 @@ fn interleaved_structural_edits() {
     s.delete(start, len);
     assert!(s.reparse().unwrap().incorporated);
     assert_eq!(s.text(), "int a; a = 1;");
-    let reference = Session::new(&cfg, s.text()).unwrap();
+    let reference = Session::new(&cfg, &s.text()).unwrap();
     assert!(structurally_equal(
         s.arena(),
         s.root(),

@@ -75,7 +75,7 @@ fn incremental_session_tracks_from_scratch_over_random_edits() {
     let mut session = Session::new(&cfg, &p.text).unwrap();
     for i in 0..12u64 {
         // Pick a site in the *current* text (edits change offsets).
-        let (start, len) = edit_sites(session.text(), 1, 5 + i)[0];
+        let (start, len) = edit_sites(&session.text(), 1, 5 + i)[0];
         // Apply a rename (structure-preserving) or a literal swap.
         let replacement = if i % 3 == 0 { "zz9" } else { "qlong_name" };
         session.edit(start, len, replacement);
@@ -83,7 +83,7 @@ fn incremental_session_tracks_from_scratch_over_random_edits() {
         assert!(out.incorporated, "edit {i} refused: {:?}", out.error);
 
         // Reference parse of the same text from scratch.
-        let reference = Session::new(&cfg, session.text()).unwrap();
+        let reference = Session::new(&cfg, &session.text()).unwrap();
         assert!(
             structurally_equal(
                 session.arena(),
@@ -133,7 +133,7 @@ fn refused_attempt_does_not_corrupt_later_marking() {
     let mut session = Session::new(&cfg, &p.text).unwrap();
 
     // Break the parse far from the later edit site, then undo.
-    let sites = edit_sites(session.text(), 1, 5);
+    let sites = edit_sites(&session.text(), 1, 5);
     let (start, len) = sites[0];
     session.edit(start, len, "42"); // LHS identifier -> number: invalid
     let out = session.reparse().unwrap();
@@ -145,12 +145,12 @@ fn refused_attempt_does_not_corrupt_later_marking() {
     assert!(session.reparse().unwrap().incorporated);
 
     // Now edit somewhere else entirely and compare against from-scratch.
-    let sites = edit_sites(session.text(), 1, 6);
+    let sites = edit_sites(&session.text(), 1, 6);
     let (start, len) = sites[0];
     session.edit(start, len, "qq");
     let out = session.reparse().unwrap();
     assert!(out.incorporated);
-    let reference = Session::new(&cfg, session.text()).unwrap();
+    let reference = Session::new(&cfg, &session.text()).unwrap();
     assert!(structurally_equal(
         session.arena(),
         session.root(),

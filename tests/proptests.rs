@@ -179,7 +179,7 @@ proptest! {
         );
         let mut session = Session::new(&cfg, &p.text).unwrap();
         for (pick, kind) in picks {
-            let sites = identifier_sites(session.text());
+            let sites = identifier_sites(&session.text());
             prop_assume!(!sites.is_empty());
             let (start, len) = sites[pick % sites.len()];
             let replacement = match kind {
@@ -189,7 +189,7 @@ proptest! {
             };
             session.edit(start, len, replacement);
             let out = session.reparse().unwrap();
-            let reference = Session::new(&cfg, session.text());
+            let reference = Session::new(&cfg, &session.text());
             match reference {
                 Ok(reference) => {
                     prop_assert!(out.incorporated, "valid text refused: {:?}", out.error);
