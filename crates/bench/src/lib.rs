@@ -5,10 +5,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::HashMap;
 use std::time::{Duration, Instant};
 use wg_core::SessionConfig;
-use wg_dag::{DagArena, NodeId, NodeKind};
+use wg_dag::{DagArena, FxHashMap, NodeId, NodeKind};
 use wg_document::Edit;
 use wg_lexer::TokenAt;
 use wg_sentential::{IncLrParser, IncParseError, IncRunStats};
@@ -159,7 +158,7 @@ impl<'a> DetSession<'a> {
         }
         let first_changed = relex.kept_prefix;
         let changed_end = self.tokens.len() - relex.kept_suffix;
-        let mut replacements: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        let mut replacements: FxHashMap<NodeId, Vec<NodeId>> = FxHashMap::default();
         let mut appended: Vec<NodeId> = Vec::new();
         let mut suffix_clone = None;
         if first_changed < changed_end {
@@ -218,12 +217,10 @@ impl<'a> DetSession<'a> {
             nodes[relex.kept_prefix + new_nodes.len()] = clone;
         }
         self.token_nodes = nodes;
-        if self.arena.len() > 12 * self.token_nodes.len() + 256 {
-            let (new_root, map) = self.arena.collect_garbage(self.root);
-            self.root = new_root;
-            for n in &mut self.token_nodes {
-                *n = map[n];
-            }
+        // Incremental reclamation: dead slots go onto the free list, every
+        // live NodeId (root, token nodes) stays valid — no remap.
+        if self.arena.should_collect() {
+            self.arena.collect_garbage(self.root);
         }
         Ok(())
     }

@@ -42,6 +42,17 @@ pub struct ReparseReport {
     pub rebalanced: bool,
     /// Whether this cycle collected arena garbage.
     pub gc_ran: bool,
+    /// Node slots taken from the allocator this cycle (0 once the free
+    /// list is warm — the zero-alloc steady-state regression metric).
+    pub fresh_node_slots: u64,
+    /// Node slots served from the free list this cycle.
+    pub recycled_node_slots: u64,
+    /// Bytes held by the arena's shared kid slab after the cycle (gauge).
+    pub kid_slab_bytes: u64,
+    /// Merge-table probe steps taken this cycle.
+    pub merge_probes: u64,
+    /// Merge-table key-storage heap allocations this cycle (0 once warm).
+    pub merge_key_allocs: u64,
 }
 
 /// Cumulative pipeline metrics of one session.
@@ -65,6 +76,14 @@ pub struct SessionMetrics {
     pub rebalances: u64,
     /// Garbage collections run.
     pub gcs: u64,
+    /// Total node slots taken from the allocator.
+    pub fresh_node_slots: u64,
+    /// Total node slots served from the free list.
+    pub recycled_node_slots: u64,
+    /// Total merge-table probe steps.
+    pub merge_probes: u64,
+    /// Total merge-table key-storage heap allocations.
+    pub merge_key_allocs: u64,
 }
 
 impl SessionMetrics {
@@ -79,6 +98,10 @@ impl SessionMetrics {
         self.total += r.total;
         self.rebalances += u64::from(r.rebalanced);
         self.gcs += u64::from(r.gc_ran);
+        self.fresh_node_slots += r.fresh_node_slots;
+        self.recycled_node_slots += r.recycled_node_slots;
+        self.merge_probes += r.merge_probes;
+        self.merge_key_allocs += r.merge_key_allocs;
     }
 }
 
@@ -97,6 +120,10 @@ mod tests {
             maintenance: Duration::from_micros(1),
             total: Duration::from_micros(20),
             rebalanced: true,
+            fresh_node_slots: 4,
+            recycled_node_slots: 9,
+            merge_probes: 11,
+            merge_key_allocs: 1,
             ..ReparseReport::default()
         };
         m.absorb(&r);
@@ -109,5 +136,9 @@ mod tests {
         assert_eq!(m.total, Duration::from_micros(40));
         assert_eq!(m.rebalances, 2);
         assert_eq!(m.gcs, 0);
+        assert_eq!(m.fresh_node_slots, 8);
+        assert_eq!(m.recycled_node_slots, 18);
+        assert_eq!(m.merge_probes, 22);
+        assert_eq!(m.merge_key_allocs, 2);
     }
 }

@@ -1,9 +1,9 @@
 //! The incremental GLR parsing algorithm (Appendix A of the paper).
 
-use std::collections::{HashMap, HashSet};
 use std::fmt;
 use wg_dag::{
-    rebalance_sequences, unshare_epsilon, DagArena, InputStream, NodeId, NodeKind, ParseState,
+    rebalance_sequences, unshare_epsilon, DagArena, FxHashMap, FxHashSet, InputStream, NodeId,
+    NodeKind, ParseState,
 };
 use wg_glr::{ps, Gss, GssIdx, Link, MergeTables, ParseScratch, TablePolicy};
 use wg_grammar::{Grammar, ProdId, Terminal};
@@ -125,7 +125,7 @@ impl<'a> IglrParser<'a> {
         arena: &mut DagArena,
         nodes: &[NodeId],
     ) -> Result<NodeId, IglrError> {
-        let placeholder = arena.production(ProdId::AUGMENTED, ParseState::NONE, vec![]);
+        let placeholder = arena.production(ProdId::AUGMENTED, ParseState::NONE, &[]);
         let root = arena.root(placeholder);
         let eos = arena.kids(root)[2];
         let stream = InputStream::over_terminals(arena, nodes, eos);
@@ -148,7 +148,7 @@ impl<'a> IglrParser<'a> {
         &self,
         arena: &mut DagArena,
         root: NodeId,
-        replacements: HashMap<NodeId, Vec<NodeId>>,
+        replacements: FxHashMap<NodeId, Vec<NodeId>>,
         appended: &[NodeId],
     ) -> Result<IglrRunStats, IglrError> {
         let mut scratch = ParseScratch::new();
@@ -168,7 +168,7 @@ impl<'a> IglrParser<'a> {
         scratch: &mut ParseScratch,
         arena: &mut DagArena,
         root: NodeId,
-        replacements: HashMap<NodeId, Vec<NodeId>>,
+        replacements: FxHashMap<NodeId, Vec<NodeId>>,
         appended: &[NodeId],
     ) -> Result<IglrRunStats, IglrError> {
         arena.begin_epoch();
@@ -229,6 +229,8 @@ impl<'a> IglrParser<'a> {
             queued,
             for_shifter,
             forward,
+            path_slab,
+            work,
         } = scratch;
         let mut run = IglrRun {
             g: self.g,
@@ -242,6 +244,8 @@ impl<'a> IglrParser<'a> {
             accepting: None,
             multi: false,
             forward,
+            path_slab,
+            work,
             stream,
             stats: IglrRunStats::default(),
         };
@@ -282,14 +286,18 @@ struct IglrRun<'a> {
     gss: &'a mut Gss,
     merge: &'a mut MergeTables,
     active: &'a mut Vec<GssIdx>,
-    queued: &'a mut HashSet<GssIdx>,
+    queued: &'a mut FxHashSet<GssIdx>,
     for_actor: &'a mut Vec<GssIdx>,
     for_shifter: &'a mut Vec<(GssIdx, StateId)>,
     accepting: Option<GssIdx>,
     /// The paper's `multipleStates` flag.
     multi: bool,
     /// Proxy upgrades of the current round (see `wg_glr`).
-    forward: &'a mut HashMap<NodeId, NodeId>,
+    forward: &'a mut FxHashMap<NodeId, NodeId>,
+    /// Pooled flat storage for reduction-path kid lists.
+    path_slab: &'a mut Vec<NodeId>,
+    /// Reduction worklist: `(tail, off, len)` windows into `path_slab`.
+    work: &'a mut Vec<(GssIdx, u32, u32)>,
     stream: InputStream,
     stats: IglrRunStats,
 }
@@ -363,21 +371,26 @@ impl IglrRun<'_> {
                 }
                 Action::Reduce(rule) => {
                     let arity = self.g.production(rule).arity();
-                    let mut work: Vec<(GssIdx, Vec<NodeId>)> = Vec::new();
+                    self.work.clear();
+                    self.path_slab.clear();
+                    let (work, slab) = (&mut *self.work, &mut *self.path_slab);
                     self.gss.for_each_path(p, arity, |tail, kids| {
-                        work.push((tail, kids.to_vec()));
+                        let off = slab.len() as u32;
+                        slab.extend_from_slice(kids);
+                        work.push((tail, off, kids.len() as u32));
                     });
-                    if work.len() > 1 {
+                    if self.work.len() > 1 {
                         self.multi = true;
                     }
-                    if !self.multi && self.active.len() == 1 && work.len() == 1 {
+                    if !self.multi && self.active.len() == 1 && self.work.len() == 1 {
                         // Deterministic fast path: no sharing is possible,
                         // so skip the merge tables entirely.
-                        let (q, kids) = work.pop().expect("one path");
-                        self.fast_reducer(arena, q, rule, kids);
+                        let (q, off, len) = self.work.pop().expect("one path");
+                        self.fast_reducer(arena, q, rule, off, len);
                     } else {
-                        for (q, kids) in work {
-                            self.reducer(arena, q, rule, kids);
+                        for wi in 0..self.work.len() {
+                            let (q, off, len) = self.work[wi];
+                            self.reducer(arena, q, rule, off, len);
                         }
                     }
                 }
@@ -387,8 +400,9 @@ impl IglrRun<'_> {
 
     /// The deterministic fast path: exactly one parser, one path, no
     /// conflicts — no sharing is possible, so the merge tables are skipped.
-    fn fast_reducer(&mut self, arena: &mut DagArena, q: GssIdx, rule: ProdId, kids: Vec<NodeId>) {
+    fn fast_reducer(&mut self, arena: &mut DagArena, q: GssIdx, rule: ProdId, off: u32, len: u32) {
         self.stats.reductions += 1;
+        let range = off as usize..(off + len) as usize;
         let lhs = self.g.production(rule).lhs();
         let Some(goto) = self.table.goto(self.gss.state(q), lhs) else {
             return;
@@ -396,14 +410,14 @@ impl IglrRun<'_> {
         if let Some(&p) = self.active.iter().find(|&&m| self.gss.state(m) == goto) {
             if self.gss.find_link(p, q).is_some() {
                 // Re-derivation of an existing edge: take the general path.
-                self.reducer(arena, q, rule, kids);
+                self.reducer(arena, q, rule, off, len);
                 return;
             }
             let node = wg_glr::build_reduction_node(
                 arena,
                 self.g,
                 rule,
-                kids,
+                &self.path_slab[range],
                 ps(self.gss.state(q)),
                 false,
             );
@@ -417,7 +431,7 @@ impl IglrRun<'_> {
                 arena,
                 self.g,
                 rule,
-                kids,
+                &self.path_slab[range],
                 ps(self.gss.state(q)),
                 false,
             );
@@ -428,10 +442,14 @@ impl IglrRun<'_> {
         }
     }
 
-    fn reducer(&mut self, arena: &mut DagArena, q: GssIdx, rule: ProdId, kids: Vec<NodeId>) {
+    fn reducer(&mut self, arena: &mut DagArena, q: GssIdx, rule: ProdId, off: u32, len: u32) {
         self.stats.reductions += 1;
+        let range = off as usize..(off + len) as usize;
         let lhs = self.g.production(rule).lhs();
-        let kids: Vec<NodeId> = kids.into_iter().map(|k| self.resolve(k)).collect();
+        for i in range.clone() {
+            let r = self.resolve(self.path_slab[i]);
+            self.path_slab[i] = r;
+        }
         let Some(goto) = self.table.goto(self.gss.state(q), lhs) else {
             return; // dead fork
         };
@@ -439,7 +457,7 @@ impl IglrRun<'_> {
             arena,
             self.g,
             rule,
-            kids.clone(),
+            &self.path_slab[range.clone()],
             ps(self.gss.state(q)),
             self.multi,
         );
@@ -453,7 +471,7 @@ impl IglrRun<'_> {
                 // A fast-path node is not in the merge tables; an identical
                 // re-derivation must not be packed as spurious ambiguity.
                 if let NodeKind::Production { prod } = arena.kind(label) {
-                    if *prod == rule && arena.kids(label) == kids {
+                    if *prod == rule && arena.kids(label) == &self.path_slab[range] {
                         return;
                     }
                 }
@@ -601,7 +619,7 @@ impl IglrRun<'_> {
                 NodeKind::SeqRun { symbol } => *symbol,
                 _ => unreachable!("merge_run called on a run"),
             };
-            arena.sequence(sym, arena.state(top), vec![top, run])
+            arena.sequence(sym, arena.state(top), &[top, run])
         }
     }
 }
@@ -712,7 +730,7 @@ mod tests {
         let fresh = arena.terminal(num, "99");
         arena.mark_changed(victim);
         arena.mark_following(terms[1]);
-        let mut reps = HashMap::new();
+        let mut reps = FxHashMap::default();
         reps.insert(victim, vec![fresh]);
         iglr.reparse(&mut arena, root, reps, &[]).unwrap();
         arena.clear_changes();
@@ -746,7 +764,7 @@ mod tests {
         let fresh = arena.terminal(id, "renamed");
         arena.mark_changed(victim);
         arena.mark_following(terms[299]);
-        let mut reps = HashMap::new();
+        let mut reps = FxHashMap::default();
         reps.insert(victim, vec![fresh]);
         let stats = iglr.reparse(&mut arena, root, reps, &[]).unwrap();
         arena.clear_changes();
@@ -860,7 +878,7 @@ mod tests {
         let fresh = arena.terminal(e, "e");
         arena.mark_changed(victim);
         arena.mark_following(terms[1]);
-        let mut reps = HashMap::new();
+        let mut reps = FxHashMap::default();
         reps.insert(victim, vec![fresh]);
         iglr.reparse(&mut arena, root, reps, &[]).unwrap();
         arena.clear_changes();
@@ -886,7 +904,7 @@ mod tests {
         let semi = lang.g.terminal_by_name(";").unwrap();
         let fresh = arena.terminal(semi, ";");
         arena.mark_changed(terms[0]);
-        let mut reps = HashMap::new();
+        let mut reps = FxHashMap::default();
         reps.insert(terms[0], vec![fresh]); // "; ; b ;" is invalid
         assert!(iglr.reparse(&mut arena, root, reps, &[]).is_err());
         arena.clear_changes();
@@ -914,7 +932,7 @@ mod tests {
             let fresh = arena.terminal(id, "tmp");
             arena.mark_changed(victim);
             arena.mark_following(terms[19]);
-            let mut reps = HashMap::new();
+            let mut reps = FxHashMap::default();
             reps.insert(victim, vec![fresh]);
             iglr.reparse(&mut arena, root, reps, &[]).unwrap();
             arena.clear_changes();
@@ -924,7 +942,7 @@ mod tests {
             let back = arena.terminal(id, "v10");
             arena.mark_changed(victim);
             arena.mark_following(terms[19]);
-            let mut reps = HashMap::new();
+            let mut reps = FxHashMap::default();
             reps.insert(victim, vec![back]);
             iglr.reparse(&mut arena, root, reps, &[]).unwrap();
             arena.clear_changes();
@@ -937,25 +955,33 @@ mod tests {
         let lang = seq_lang();
         let iglr = IglrParser::new(&lang.g, &lang.table);
         let mut arena = DagArena::new();
-        let mut root = iglr
+        let root = iglr
             .parse_tokens(&mut arena, tok(&lang, &["a", ";", "b", ";"]))
             .unwrap();
+        let mut fresh_after_warmup = 0;
         for i in 0..20 {
             let terms = collect_terminals(&arena, root);
             let id = lang.g.terminal_by_name("id").unwrap();
             let fresh = arena.terminal(id, if i % 2 == 0 { "q" } else { "a" });
             arena.mark_changed(terms[0]);
-            let mut reps = HashMap::new();
+            let mut reps = FxHashMap::default();
             reps.insert(terms[0], vec![fresh]);
             iglr.reparse(&mut arena, root, reps, &[]).unwrap();
             arena.clear_changes();
-            let (new_root, _) = arena.collect_garbage(root);
-            root = new_root;
+            arena.collect_garbage(root);
+            if i == 10 {
+                fresh_after_warmup = arena.fresh_node_slots();
+            }
         }
         assert!(
-            arena.len() < 60,
-            "gc keeps the arena bounded: {}",
-            arena.len()
+            arena.in_use() < 60,
+            "gc keeps the live set bounded: {}",
+            arena.in_use()
+        );
+        assert_eq!(
+            arena.fresh_node_slots(),
+            fresh_after_warmup,
+            "warm edits run entirely on recycled slots"
         );
         assert_eq!(arena.width(root), 4);
     }

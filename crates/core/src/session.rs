@@ -5,11 +5,10 @@
 use crate::metrics::{ReparseReport, SessionMetrics};
 use crate::parser::{IglrError, IglrParser, IglrRunStats};
 use crate::tape::TokenTape;
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use wg_dag::{DagArena, DagStats, NodeId, NodeKind};
+use wg_dag::{DagArena, DagStats, FxHashMap, NodeId, NodeKind};
 use wg_document::{Edit, TextBuffer, UnincorporatedEdits};
 use wg_glr::ParseScratch;
 use wg_grammar::{Grammar, Terminal};
@@ -294,8 +293,15 @@ impl Session {
             ..ReparseReport::default()
         };
         let pending = self.buffer.pending_len();
+        // Allocation-counter snapshots: the report carries per-cycle deltas
+        // so a warm session's cycles visibly report zero fresh slots.
+        let fresh0 = self.arena.fresh_node_slots();
+        let recycled0 = self.arena.recycled_node_slots();
+        let probes0 = self.scratch.merge_probes();
+        let key_allocs0 = self.scratch.merge_key_allocs();
         if pending == 0 {
             report.arena_nodes = self.arena.len();
+            report.kid_slab_bytes = self.arena.kid_slab_bytes();
             return Ok(ReparseOutcome {
                 incorporated: true,
                 incorporated_edits: 0,
@@ -359,10 +365,15 @@ impl Session {
                         parser.rebalance_full(&mut self.arena, self.root);
                         report.rebalanced = true;
                     }
-                    report.gc_ran = Self::maybe_gc(&mut self.arena, &mut self.root, &mut self.tape);
+                    report.gc_ran = Self::maybe_gc(&mut self.arena, self.root);
                     report.maintenance += t_maint.elapsed();
                     report.incorporated_edits = k;
                     report.arena_nodes = self.arena.len();
+                    report.fresh_node_slots = self.arena.fresh_node_slots() - fresh0;
+                    report.recycled_node_slots = self.arena.recycled_node_slots() - recycled0;
+                    report.kid_slab_bytes = self.arena.kid_slab_bytes();
+                    report.merge_probes = self.scratch.merge_probes() - probes0;
+                    report.merge_key_allocs = self.scratch.merge_key_allocs() - key_allocs0;
                     report.parser = stats.clone();
                     report.total = t_total.elapsed();
                     self.metrics.absorb(&report);
@@ -389,6 +400,11 @@ impl Session {
             self.unincorporated.flag(v, e);
         }
         report.arena_nodes = self.arena.len();
+        report.fresh_node_slots = self.arena.fresh_node_slots() - fresh0;
+        report.recycled_node_slots = self.arena.recycled_node_slots() - recycled0;
+        report.kid_slab_bytes = self.arena.kid_slab_bytes();
+        report.merge_probes = self.scratch.merge_probes() - probes0;
+        report.merge_key_allocs = self.scratch.merge_key_allocs() - key_allocs0;
         report.total = t_total.elapsed();
         self.metrics.absorb(&report);
         Ok(ReparseOutcome {
@@ -452,7 +468,7 @@ impl Session {
         // Wire replacements and damage marks into the old tree.
         let first_changed = relex.kept_prefix;
         let changed_end = tape.len() - relex.kept_suffix;
-        let mut replacements: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        let mut replacements: FxHashMap<NodeId, Vec<NodeId>> = FxHashMap::default();
         let mut appended: Vec<NodeId> = Vec::new();
         let mut suffix_clone: Option<NodeId> = None;
 
@@ -519,14 +535,15 @@ impl Session {
         }
     }
 
-    /// Compacts the arena when garbage from prior versions dominates.
-    /// Returns whether a collection ran.
-    fn maybe_gc(arena: &mut DagArena, root: &mut NodeId, tape: &mut TokenTape) -> bool {
-        let live_estimate = 4 * tape.len() + 64;
-        if arena.len() > 3 * live_estimate {
-            let (new_root, map) = arena.collect_garbage(*root);
-            *root = new_root;
-            tape.remap_nodes(|n| map[&n]);
+    /// Reclaims dead arena slots when garbage from prior versions has piled
+    /// up. Collection is *incremental*: unreachable slots go onto the free
+    /// list in O(dead) time, every live `NodeId` — the root, the token
+    /// tape's terminals, any analysis annotations — stays valid, and no
+    /// remap of downstream tables is ever needed. Returns whether a
+    /// collection ran.
+    fn maybe_gc(arena: &mut DagArena, root: NodeId) -> bool {
+        if arena.should_collect() {
+            arena.collect_garbage(root);
             true
         } else {
             false
@@ -869,6 +886,48 @@ mod tests {
                 warm,
                 "round {i} allocated GSS slots after warm-up"
             );
+        }
+    }
+
+    #[test]
+    fn warm_session_reparses_without_node_or_key_allocations() {
+        let cfg = stmt_config();
+        let mut s = Session::new(&cfg, &program(40)).unwrap();
+        // Warm-up: long enough to cross the periodic full rebalance (every
+        // 64 reparses) and several GC cycles, so the free list holds the
+        // steady-state working set and every pool is at capacity.
+        for _ in 0..40 {
+            let pos = s.text().find("v20").unwrap();
+            s.edit(pos + 1, 2, "99");
+            assert!(s.reparse().unwrap().incorporated);
+            let pos = s.text().find("v99").unwrap();
+            s.edit(pos + 1, 2, "20");
+            assert!(s.reparse().unwrap().incorporated);
+        }
+        assert!(s.metrics().gcs > 0, "warm-up must span a collection");
+        for i in 0..20 {
+            let pos = s.text().find("v20").unwrap();
+            s.edit(pos + 1, 2, "99");
+            let out = s.reparse().unwrap();
+            assert!(out.incorporated);
+            assert_eq!(
+                out.report.fresh_node_slots, 0,
+                "round {i} took fresh node slots after warm-up"
+            );
+            assert_eq!(
+                out.report.merge_key_allocs, 0,
+                "round {i} allocated merge-table keys after warm-up"
+            );
+            assert!(
+                out.report.recycled_node_slots > 0,
+                "round {i} built its nodes from recycled slots"
+            );
+            let pos = s.text().find("v99").unwrap();
+            s.edit(pos + 1, 2, "20");
+            let out = s.reparse().unwrap();
+            assert!(out.incorporated);
+            assert_eq!(out.report.fresh_node_slots, 0, "round {i} (undo half)");
+            assert_eq!(out.report.merge_key_allocs, 0, "round {i} (undo half)");
         }
     }
 

@@ -187,13 +187,6 @@ impl TokenTape {
         let t = self.token(at_or_before - 1);
         (offset < t.end()).then_some(at_or_before - 1)
     }
-
-    /// Rewrites every stored dag node through `f` (after arena compaction).
-    pub fn remap_nodes(&mut self, mut f: impl FnMut(NodeId) -> NodeId) {
-        for (_, n) in self.front.iter_mut().chain(self.back.iter_mut()) {
-            *n = f(*n);
-        }
-    }
 }
 
 impl TokenSource for TokenTape {
@@ -339,14 +332,13 @@ mod tests {
     }
 
     #[test]
-    fn set_node_and_remap_cross_gap() {
+    fn set_node_cross_gap() {
         let mut tape = sample(4);
         tape.move_gap_to(2);
         tape.set_node(3, nid(9));
         assert_eq!(tape.node(3), nid(9));
-        tape.remap_nodes(|n| if n == nid(9) { nid(0) } else { n });
-        assert_eq!(tape.node(3), nid(0));
-        assert_eq!(tape.node(1), nid(1));
+        tape.set_node(1, nid(8));
+        assert_eq!(tape.node(1), nid(8));
     }
 
     #[test]

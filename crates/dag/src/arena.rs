@@ -1,8 +1,35 @@
-//! The node arena: construction, adoption, damage marking, and compaction.
+//! The node arena: construction, adoption, damage marking, and reclamation.
+//!
+//! # Memory discipline
+//!
+//! The arena is built for a **zero-allocation steady state**: a warm
+//! interactive session performs reparse after reparse without ever asking
+//! the system allocator for node storage.
+//!
+//! * **Kid slab.** Nodes do not own a `Vec<NodeId>`; small kid lists (≤ 3)
+//!   live inline in the node and wider ones occupy `(offset, len, cap)`
+//!   regions of one shared `Vec<NodeId>` slab. Regions come in power-of-two
+//!   capacity classes and dead regions are recycled through per-class free
+//!   lists, so node construction touches the allocator only while the slab's
+//!   high-water mark is still growing.
+//! * **Node free list.** Dead node slots (found by [`DagArena::collect_garbage`])
+//!   are recycled before the `nodes` vector grows —
+//!   the same `fresh_allocs` discipline the GSS pools use. The
+//!   [`DagArena::fresh_node_slots`] / [`DagArena::recycled_node_slots`]
+//!   counters make the claim assertable.
+//! * **Incremental GC, stable ids.** [`DagArena::collect_garbage`] marks the
+//!   live tree (pooled mark-bitmap and stack) and sweeps dead slots onto the
+//!   free lists. `NodeId`s never move: callers holding ids into live
+//!   structure (the token tape, semantic annotations) are unaffected, and no
+//!   remap table exists. Cost is O(live) per collection, and collections are
+//!   triggered every Θ(live) allocations (see [`DagArena::should_collect`]),
+//!   so reclamation is amortized O(1) per node built.
 
-use crate::node::{Node, NodeId, NodeKind, ParseState};
-use std::collections::HashMap;
+use crate::node::{Kids, Node, NodeId, NodeKind, ParseState, INLINE_KIDS};
 use wg_grammar::{NonTerminal, ProdId, Terminal};
+
+/// Smallest slab region capacity (power of two).
+const MIN_REGION: u32 = 4;
 
 /// Owning store for all nodes of (successive versions of) one parse dag.
 ///
@@ -10,11 +37,19 @@ use wg_grammar::{NonTerminal, ProdId, Terminal};
 /// version's structure stays intact — exactly the property the incremental
 /// parser needs to traverse the prior version while constructing the new one
 /// (the paper's self-versioning document substrate). Call
-/// [`DagArena::collect_garbage`] between analyses to drop unreachable
-/// versions.
+/// [`DagArena::collect_garbage`] between analyses to recycle unreachable
+/// versions; node ids stay stable across collections.
 #[derive(Debug, Clone, Default)]
 pub struct DagArena {
     nodes: Vec<Node>,
+    /// Shared storage for kid lists wider than the inline capacity.
+    slab: Vec<NodeId>,
+    /// Free slab regions, bucketed by power-of-two capacity class
+    /// (`free_regions[c]` holds offsets of free regions of capacity
+    /// `MIN_REGION << c`).
+    free_regions: Vec<Vec<u32>>,
+    /// Dead node slots available for reuse.
+    free_nodes: Vec<NodeId>,
     epoch: u32,
     /// Nodes flagged by the current damage-marking pass (for cheap clearing).
     dirty_log: Vec<NodeId>,
@@ -24,6 +59,21 @@ pub struct DagArena {
     /// *failed* parse attempt can be rolled back: the old tree's damage
     /// marking depends on its parent chains staying intact.
     parent_log: Vec<(NodeId, NodeId)>,
+    /// Pooled mark state for [`DagArena::collect_garbage`]: a slot is marked
+    /// when its entry equals the current `gc_gen`, so clearing between
+    /// collections is free.
+    mark_gen: Vec<u32>,
+    gc_gen: u32,
+    /// Pooled traversal stack for the mark phase.
+    gc_stack: Vec<NodeId>,
+    /// Node slots taken by growing `nodes` (never recycled storage).
+    fresh_slots: u64,
+    /// Node slots served from the free list.
+    recycled_slots: u64,
+    /// Slab words taken by growing the slab (never a recycled region).
+    fresh_slab_words: u64,
+    /// Nodes built since the last collection (drives the GC trigger).
+    allocs_since_gc: usize,
 }
 
 impl DagArena {
@@ -32,15 +82,51 @@ impl DagArena {
         DagArena::default()
     }
 
-    /// Number of live node slots (including unreachable old versions until
-    /// garbage collection).
+    /// Number of node slots, live or free (the storage high-water mark).
     pub fn len(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Number of slots actually holding nodes (len minus the free list).
+    pub fn in_use(&self) -> usize {
+        self.nodes.len() - self.free_nodes.len()
     }
 
     /// Whether the arena holds no nodes.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
+    }
+
+    /// Node slots created by growing the arena (not recycled). Constant in
+    /// a warm session — the dag-side analogue of the GSS `fresh_allocs`
+    /// discipline.
+    pub fn fresh_node_slots(&self) -> u64 {
+        self.fresh_slots
+    }
+
+    /// Node slots served from the free list.
+    pub fn recycled_node_slots(&self) -> u64 {
+        self.recycled_slots
+    }
+
+    /// Bytes of kid-slab storage ever claimed from the allocator (the slab's
+    /// high-water mark; recycled regions do not count).
+    pub fn kid_slab_bytes(&self) -> u64 {
+        self.fresh_slab_words * std::mem::size_of::<NodeId>() as u64
+    }
+
+    /// Nodes built since the last garbage collection.
+    pub fn allocs_since_gc(&self) -> usize {
+        self.allocs_since_gc
+    }
+
+    /// Whether enough garbage has plausibly accumulated to make a collection
+    /// worthwhile: Θ(live) allocations since the last one. Collecting on
+    /// this cadence keeps the free lists fed (so a warm session recycles
+    /// instead of growing) while amortizing the O(live) mark phase down to
+    /// O(1) per node built.
+    pub fn should_collect(&self) -> bool {
+        self.allocs_since_gc >= 64.max(self.in_use() / 4)
     }
 
     /// The current parse generation.
@@ -84,7 +170,7 @@ impl DagArena {
     ///
     /// # Panics
     ///
-    /// Panics if `id` is [`NodeId::NONE`] or stale after garbage collection.
+    /// Panics if `id` is [`NodeId::NONE`] or out of range.
     #[inline]
     pub fn node(&self, id: NodeId) -> &Node {
         &self.nodes[id.index()]
@@ -96,10 +182,25 @@ impl DagArena {
         &self.nodes[id.index()].kind
     }
 
-    /// Shorthand for `node(id).kids()`.
+    /// The node's children, in yield order (for symbol nodes: the
+    /// alternatives). Resolves inline storage or the shared kid slab.
     #[inline]
     pub fn kids(&self, id: NodeId) -> &[NodeId] {
-        &self.nodes[id.index()].kids
+        match &self.nodes[id.index()].kids {
+            Kids::Inline { buf, len } => &buf[..*len as usize],
+            Kids::Slab { off, len, .. } => &self.slab[*off as usize..(*off + *len) as usize],
+        }
+    }
+
+    /// Number of children without materializing the slice.
+    #[inline]
+    pub fn kid_count(&self, id: NodeId) -> usize {
+        self.nodes[id.index()].kids.len()
+    }
+
+    #[inline]
+    fn kid_at(&self, id: NodeId, i: usize) -> NodeId {
+        self.kids(id)[i]
     }
 
     /// Shorthand for `node(id).state()`.
@@ -120,9 +221,139 @@ impl DagArena {
         self.nodes[id.index()].epoch == self.epoch
     }
 
+    // ----- slab regions -----
+
+    #[inline]
+    fn class_of(cap: u32) -> usize {
+        debug_assert!(cap.is_power_of_two() && cap >= MIN_REGION);
+        (cap.trailing_zeros() - MIN_REGION.trailing_zeros()) as usize
+    }
+
+    fn alloc_region(&mut self, cap: u32) -> u32 {
+        let class = Self::class_of(cap);
+        if let Some(free) = self.free_regions.get_mut(class) {
+            if let Some(off) = free.pop() {
+                return off;
+            }
+        }
+        let off = self.slab.len() as u32;
+        self.slab
+            .resize(self.slab.len() + cap as usize, NodeId::NONE);
+        self.fresh_slab_words += u64::from(cap);
+        off
+    }
+
+    fn free_region(&mut self, off: u32, cap: u32) {
+        let class = Self::class_of(cap);
+        if self.free_regions.len() <= class {
+            self.free_regions.resize_with(class + 1, Vec::new);
+        }
+        self.free_regions[class].push(off);
+    }
+
+    /// Stores a kid list inline or in a slab region.
+    fn intern_kids(&mut self, kids: &[NodeId]) -> Kids {
+        if kids.len() <= INLINE_KIDS {
+            let mut buf = [NodeId::NONE; INLINE_KIDS];
+            buf[..kids.len()].copy_from_slice(kids);
+            Kids::Inline {
+                buf,
+                len: kids.len() as u8,
+            }
+        } else {
+            let cap = (kids.len() as u32).next_power_of_two().max(MIN_REGION);
+            let off = self.alloc_region(cap);
+            self.slab[off as usize..off as usize + kids.len()].copy_from_slice(kids);
+            Kids::Slab {
+                off,
+                len: kids.len() as u32,
+                cap,
+            }
+        }
+    }
+
+    /// Appends one kid id, spilling inline storage to the slab or relocating
+    /// a full region to the next capacity class as needed.
+    fn kids_push(&mut self, id: NodeId, kid: NodeId) {
+        match self.nodes[id.index()].kids {
+            Kids::Inline { mut buf, len } if (len as usize) < INLINE_KIDS => {
+                buf[len as usize] = kid;
+                self.nodes[id.index()].kids = Kids::Inline { buf, len: len + 1 };
+            }
+            Kids::Inline { buf, len } => {
+                debug_assert_eq!(len as usize, INLINE_KIDS);
+                let cap = (INLINE_KIDS as u32 + 1).next_power_of_two().max(MIN_REGION);
+                let off = self.alloc_region(cap);
+                self.slab[off as usize..off as usize + INLINE_KIDS].copy_from_slice(&buf);
+                self.slab[off as usize + INLINE_KIDS] = kid;
+                self.nodes[id.index()].kids = Kids::Slab {
+                    off,
+                    len: len as u32 + 1,
+                    cap,
+                };
+            }
+            Kids::Slab { off, len, cap } if len < cap => {
+                self.slab[(off + len) as usize] = kid;
+                self.nodes[id.index()].kids = Kids::Slab {
+                    off,
+                    len: len + 1,
+                    cap,
+                };
+            }
+            Kids::Slab { off, len, cap } => {
+                let new_cap = cap * 2;
+                let new_off = self.alloc_region(new_cap);
+                self.slab
+                    .copy_within(off as usize..(off + len) as usize, new_off as usize);
+                self.slab[(new_off + len) as usize] = kid;
+                self.free_region(off, cap);
+                self.nodes[id.index()].kids = Kids::Slab {
+                    off: new_off,
+                    len: len + 1,
+                    cap: new_cap,
+                };
+            }
+        }
+    }
+
+    /// Replaces a node's kid storage, reusing its slab region when the new
+    /// list still fits.
+    fn store_kids(&mut self, id: NodeId, kids: &[NodeId]) {
+        match self.nodes[id.index()].kids {
+            Kids::Slab { off, cap, .. }
+                if kids.len() > INLINE_KIDS && kids.len() <= cap as usize =>
+            {
+                self.slab[off as usize..off as usize + kids.len()].copy_from_slice(kids);
+                self.nodes[id.index()].kids = Kids::Slab {
+                    off,
+                    len: kids.len() as u32,
+                    cap,
+                };
+            }
+            Kids::Slab { off, cap, .. } => {
+                self.free_region(off, cap);
+                self.nodes[id.index()].kids = self.intern_kids(kids);
+            }
+            Kids::Inline { .. } => {
+                self.nodes[id.index()].kids = self.intern_kids(kids);
+            }
+        }
+    }
+
+    // ----- node slots -----
+
     fn push(&mut self, node: Node) -> NodeId {
-        self.nodes.push(node);
-        NodeId(self.nodes.len() as u32 - 1)
+        self.allocs_since_gc += 1;
+        if let Some(id) = self.free_nodes.pop() {
+            debug_assert!(self.nodes[id.index()].free, "free list holds live node");
+            self.recycled_slots += 1;
+            self.nodes[id.index()] = node;
+            id
+        } else {
+            self.fresh_slots += 1;
+            self.nodes.push(node);
+            NodeId(self.nodes.len() as u32 - 1)
+        }
     }
 
     /// Leading terminal over a kid list (EOF placeholder when null-yield).
@@ -131,6 +362,10 @@ impl DagArena {
             .find(|&&k| self.width(k) > 0)
             .map(|&k| self.nodes[k.index()].leftmost)
             .unwrap_or(Terminal::EOF)
+    }
+
+    fn width_of(&self, kids: &[NodeId]) -> u32 {
+        kids.iter().map(|k| self.width(*k)).sum()
     }
 
     /// Creates a token node.
@@ -142,28 +377,31 @@ impl DagArena {
             },
             state: ParseState::NONE,
             parent: NodeId::NONE,
-            kids: Vec::new(),
+            kids: Kids::EMPTY,
             width: 1,
             leftmost: term,
             epoch: self.epoch,
             changed: false,
+            free: false,
         })
     }
 
     /// Creates a production node over `kids` (adopting them), recording the
     /// parse state preceding the nonterminal (Appendix A's `get_node`).
-    pub fn production(&mut self, prod: ProdId, state: ParseState, kids: Vec<NodeId>) -> NodeId {
-        let width = kids.iter().map(|k| self.width(*k)).sum();
-        let leftmost = self.leftmost_of(&kids);
+    pub fn production(&mut self, prod: ProdId, state: ParseState, kids: &[NodeId]) -> NodeId {
+        let width = self.width_of(kids);
+        let leftmost = self.leftmost_of(kids);
+        let stored = self.intern_kids(kids);
         let id = self.push(Node {
             kind: NodeKind::Production { prod },
             state,
             parent: NodeId::NONE,
-            kids,
+            kids: stored,
             width,
             leftmost,
             epoch: self.epoch,
             changed: false,
+            free: false,
         });
         self.adopt(id);
         id
@@ -174,15 +412,17 @@ impl DagArena {
     pub fn symbol(&mut self, symbol: NonTerminal, first: NodeId) -> NodeId {
         let width = self.width(first);
         let leftmost = self.nodes[first.index()].leftmost;
+        let stored = self.intern_kids(&[first]);
         let id = self.push(Node {
             kind: NodeKind::Symbol { symbol },
             state: ParseState::MULTI,
             parent: NodeId::NONE,
-            kids: vec![first],
+            kids: stored,
             width,
             leftmost,
             epoch: self.epoch,
             changed: false,
+            free: false,
         });
         self.set_parent(first, id);
         id
@@ -204,49 +444,48 @@ impl DagArena {
             self.width(alt),
             "alternatives must cover the same yield"
         );
-        if !self.nodes[sym.index()].kids.contains(&alt) {
-            self.nodes[sym.index()].kids.push(alt);
+        if !self.kids(sym).contains(&alt) {
+            self.kids_push(sym, alt);
             self.set_parent(alt, sym);
         }
     }
 
     /// Creates a sequence node (complete or prefix instance of a declared
     /// associative sequence).
-    pub fn sequence(
-        &mut self,
-        symbol: NonTerminal,
-        state: ParseState,
-        kids: Vec<NodeId>,
-    ) -> NodeId {
-        let width = kids.iter().map(|k| self.width(*k)).sum();
-        let leftmost = self.leftmost_of(&kids);
+    pub fn sequence(&mut self, symbol: NonTerminal, state: ParseState, kids: &[NodeId]) -> NodeId {
+        let width = self.width_of(kids);
+        let leftmost = self.leftmost_of(kids);
+        let stored = self.intern_kids(kids);
         let id = self.push(Node {
             kind: NodeKind::Sequence { symbol },
             state,
             parent: NodeId::NONE,
-            kids,
+            kids: stored,
             width,
             leftmost,
             epoch: self.epoch,
             changed: false,
+            free: false,
         });
         self.adopt(id);
         id
     }
 
     /// Creates an internal sequence run.
-    pub fn seq_run(&mut self, symbol: NonTerminal, state: ParseState, kids: Vec<NodeId>) -> NodeId {
-        let width = kids.iter().map(|k| self.width(*k)).sum();
-        let leftmost = self.leftmost_of(&kids);
+    pub fn seq_run(&mut self, symbol: NonTerminal, state: ParseState, kids: &[NodeId]) -> NodeId {
+        let width = self.width_of(kids);
+        let leftmost = self.leftmost_of(kids);
+        let stored = self.intern_kids(kids);
         let id = self.push(Node {
             kind: NodeKind::SeqRun { symbol },
             state,
             parent: NodeId::NONE,
-            kids,
+            kids: stored,
             width,
             leftmost,
             epoch: self.epoch,
             changed: false,
+            free: false,
         });
         self.adopt(id);
         id
@@ -272,7 +511,7 @@ impl DagArena {
         let extra: u32 = steps.iter().map(|k| self.width(*k)).sum();
         for &s in steps {
             self.set_parent(s, seq);
-            self.nodes[seq.index()].kids.push(s);
+            self.kids_push(seq, s);
         }
         if self.nodes[seq.index()].width == 0 && extra > 0 {
             self.nodes[seq.index()].leftmost = self.leftmost_of(steps);
@@ -299,18 +538,53 @@ impl DagArena {
 
     /// Replaces the children of a node (used by the rebalancing and
     /// unsharing post-passes). Widths are recomputed; kids are adopted.
-    pub fn set_kids(&mut self, id: NodeId, kids: Vec<NodeId>) {
-        let width = kids.iter().map(|k| self.width(*k)).sum();
-        let leftmost = self.leftmost_of(&kids);
-        self.nodes[id.index()].kids = kids;
+    pub fn set_kids(&mut self, id: NodeId, kids: &[NodeId]) {
+        let width = self.width_of(kids);
+        let leftmost = self.leftmost_of(kids);
+        self.store_kids(id, kids);
         self.nodes[id.index()].width = width;
         self.nodes[id.index()].leftmost = leftmost;
         self.adopt(id);
     }
 
+    /// Replaces every occurrence of `old` among `id`'s children with `new`,
+    /// adopting `new`. Width and leading terminal are unchanged by
+    /// construction — the caller guarantees `old` and `new` cover the same
+    /// yield (proxy upgrades, choice collapses). Returns how many slots were
+    /// patched.
+    pub fn replace_kid(&mut self, id: NodeId, old: NodeId, new: NodeId) -> usize {
+        debug_assert_eq!(self.width(old), self.width(new));
+        let mut patched = 0;
+        match self.nodes[id.index()].kids {
+            Kids::Inline { mut buf, len } => {
+                for slot in buf.iter_mut().take(len as usize) {
+                    if *slot == old {
+                        *slot = new;
+                        patched += 1;
+                    }
+                }
+                if patched > 0 {
+                    self.nodes[id.index()].kids = Kids::Inline { buf, len };
+                }
+            }
+            Kids::Slab { off, len, .. } => {
+                for slot in &mut self.slab[off as usize..(off + len) as usize] {
+                    if *slot == old {
+                        *slot = new;
+                        patched += 1;
+                    }
+                }
+            }
+        }
+        if patched > 0 {
+            self.set_parent(new, id);
+        }
+        patched
+    }
+
     fn adopt(&mut self, parent: NodeId) {
-        let kids = self.nodes[parent.index()].kids.clone();
-        for k in kids {
+        for i in 0..self.kid_count(parent) {
+            let k = self.kid_at(parent, i);
             self.set_parent(k, parent);
         }
     }
@@ -321,31 +595,35 @@ impl DagArena {
             kind: NodeKind::Bos,
             state: ParseState::NONE,
             parent: NodeId::NONE,
-            kids: Vec::new(),
+            kids: Kids::EMPTY,
             width: 0,
             leftmost: Terminal::EOF,
             epoch: self.epoch,
             changed: false,
+            free: false,
         });
         let eos = self.push(Node {
             kind: NodeKind::Eos,
             state: ParseState::NONE,
             parent: NodeId::NONE,
-            kids: Vec::new(),
+            kids: Kids::EMPTY,
             width: 0,
             leftmost: Terminal::EOF,
             epoch: self.epoch,
             changed: false,
+            free: false,
         });
+        let stored = self.intern_kids(&[bos, body, eos]);
         let id = self.push(Node {
             kind: NodeKind::Root,
             state: ParseState::NONE,
             parent: NodeId::NONE,
-            kids: vec![bos, body, eos],
+            kids: stored,
             width: self.width(body),
             leftmost: self.nodes[body.index()].leftmost,
             epoch: self.epoch,
             changed: false,
+            free: false,
         });
         self.adopt(id);
         id
@@ -354,9 +632,9 @@ impl DagArena {
     /// Replaces the body of a root node (after a reparse).
     pub fn set_root_body(&mut self, root: NodeId, body: NodeId) {
         assert!(matches!(self.kind(root), NodeKind::Root));
-        let bos = self.nodes[root.index()].kids[0];
-        let eos = self.nodes[root.index()].kids[2];
-        self.set_kids(root, vec![bos, body, eos]);
+        let bos = self.kid_at(root, 0);
+        let eos = self.kid_at(root, 2);
+        self.set_kids(root, &[bos, body, eos]);
     }
 
     /// Bottom-up node reuse (the paper's *explicit node retention*, its ref. 25):
@@ -389,7 +667,7 @@ impl DagArena {
             NodeKind::Production { prod: p } if *p == prod => {}
             _ => return None,
         }
-        if c.state == state && c.kids == kids {
+        if c.state == state && self.kids(candidate) == kids {
             self.retained += 1;
             Some(candidate)
         } else {
@@ -412,15 +690,10 @@ impl DagArena {
             matches!(self.kind(sym), NodeKind::Symbol { .. }),
             "collapse_choice target must be a symbol node"
         );
-        let chosen = self.nodes[sym.index()].kids[index];
+        let chosen = self.kid_at(sym, index);
         let parent = self.nodes[sym.index()].parent;
         assert!(!parent.is_none(), "cannot collapse a detached choice point");
-        let new_kids: Vec<NodeId> = self.nodes[parent.index()]
-            .kids
-            .iter()
-            .map(|&k| if k == sym { chosen } else { k })
-            .collect();
-        self.set_kids(parent, new_kids);
+        self.replace_kid(parent, sym, chosen);
         chosen
     }
 
@@ -431,16 +704,19 @@ impl DagArena {
     /// nodes (and the reused super-root) are visited, so the cost is
     /// proportional to the new structure.
     pub fn refresh_parents(&mut self, root: NodeId) {
-        let mut stack = vec![root];
+        let mut stack = std::mem::take(&mut self.gc_stack);
+        stack.clear();
+        stack.push(root);
         while let Some(id) = stack.pop() {
-            for i in 0..self.nodes[id.index()].kids.len() {
-                let k = self.nodes[id.index()].kids[i];
+            for i in 0..self.kid_count(id) {
+                let k = self.kid_at(id, i);
                 self.nodes[k.index()].parent = id;
                 if self.nodes[k.index()].epoch == self.epoch {
                     stack.push(k);
                 }
             }
         }
+        self.gc_stack = stack;
     }
 
     // ----- damage marking (Appendix A: process_modifications) -----
@@ -472,7 +748,7 @@ impl DagArena {
                 break;
             }
             // Continue only while `cur` closes its parent's yield.
-            if self.nodes[parent.index()].kids.last() != Some(&cur) {
+            if self.kids(parent).last() != Some(&cur) {
                 // `parent` contains the following terminal inside its own
                 // yield, so the mark_changed walk from the changed terminal
                 // covers it; ensure the path to the root is marked so
@@ -507,38 +783,81 @@ impl DagArena {
         &self.dirty_log
     }
 
-    // ----- compaction -----
+    // ----- incremental reclamation -----
 
-    /// Drops every node unreachable from `root`, compacting storage.
-    /// Returns the new id of `root`; all other outstanding ids are
-    /// invalidated (a remapping table is returned for callers holding ids).
-    pub fn collect_garbage(&mut self, root: NodeId) -> (NodeId, HashMap<NodeId, NodeId>) {
-        let mut map: HashMap<NodeId, NodeId> = HashMap::new();
-        let mut order: Vec<NodeId> = Vec::new();
-        let mut stack = vec![root];
+    /// Reclaims every node unreachable from `root`, putting dead slots and
+    /// their slab regions on the free lists. Returns the number of nodes
+    /// reclaimed.
+    ///
+    /// **Ids are stable**: live nodes keep their `NodeId`s, so the token
+    /// tape, semantic annotations, and any other side table survive
+    /// collections untouched — there is no remap step (and no remap table
+    /// to allocate). Dead nodes that were parents of live nodes are
+    /// disconnected (the live node's parent becomes [`NodeId::NONE`]) so
+    /// stale parent chains cannot confuse later damage marking.
+    pub fn collect_garbage(&mut self, root: NodeId) -> usize {
+        // Mark. The generation counter makes the pooled mark array
+        // clear-free: a slot is marked iff its entry equals this pass's
+        // generation.
+        self.gc_gen += 1;
+        let gen = self.gc_gen;
+        if self.mark_gen.len() < self.nodes.len() {
+            self.mark_gen.resize(self.nodes.len(), 0);
+        }
+        let mut stack = std::mem::take(&mut self.gc_stack);
+        stack.clear();
+        stack.push(root);
+        self.mark_gen[root.index()] = gen;
         while let Some(id) = stack.pop() {
-            if map.contains_key(&id) {
-                continue;
+            for i in 0..self.kid_count(id) {
+                let k = self.kid_at(id, i);
+                if self.mark_gen[k.index()] != gen {
+                    self.mark_gen[k.index()] = gen;
+                    stack.push(k);
+                }
             }
-            map.insert(id, NodeId(order.len() as u32));
-            order.push(id);
-            for &k in &self.nodes[id.index()].kids {
-                stack.push(k);
+        }
+        self.gc_stack = stack;
+
+        // Sweep: recycle dead slots, disconnect live nodes from dead parents.
+        let mut reclaimed = 0;
+        for i in 0..self.nodes.len() {
+            if self.mark_gen[i] == gen {
+                let p = self.nodes[i].parent;
+                if !p.is_none() && self.mark_gen[p.index()] != gen {
+                    self.nodes[i].parent = NodeId::NONE;
+                }
+            } else if !self.nodes[i].free {
+                self.release_slot(NodeId(i as u32));
+                reclaimed += 1;
             }
         }
-        let mut nodes = Vec::with_capacity(order.len());
-        for &old in &order {
-            let mut n = self.nodes[old.index()].clone();
-            n.kids = n.kids.iter().map(|k| map[k]).collect();
-            n.parent = map.get(&n.parent).copied().unwrap_or(NodeId::NONE);
-            nodes.push(n);
+        let DagArena {
+            dirty_log,
+            mark_gen,
+            ..
+        } = self;
+        dirty_log.retain(|d| mark_gen[d.index()] == gen);
+        self.parent_log.clear();
+        self.allocs_since_gc = 0;
+        reclaimed
+    }
+
+    /// Puts a dead slot on the free list, releasing its slab region and its
+    /// lexeme storage.
+    fn release_slot(&mut self, id: NodeId) {
+        if let Kids::Slab { off, cap, .. } = self.nodes[id.index()].kids {
+            self.free_region(off, cap);
         }
-        self.nodes = nodes;
-        self.dirty_log.retain(|d| map.contains_key(d));
-        for d in &mut self.dirty_log {
-            *d = map[d];
-        }
-        (map[&root], map)
+        let n = &mut self.nodes[id.index()];
+        n.kind = NodeKind::Bos; // drops a terminal's lexeme
+        n.kids = Kids::EMPTY;
+        n.parent = NodeId::NONE;
+        n.state = ParseState::NONE;
+        n.width = 0;
+        n.changed = false;
+        n.free = true;
+        self.free_nodes.push(id);
     }
 }
 
@@ -555,7 +874,7 @@ mod tests {
         let mut a = DagArena::new();
         let x = t(&mut a, "x");
         let y = t(&mut a, "y");
-        let p = a.production(ProdId::from_index(1), ParseState(3), vec![x, y]);
+        let p = a.production(ProdId::from_index(1), ParseState(3), &[x, y]);
         assert_eq!(a.width(p), 2);
         assert_eq!(a.node(x).parent(), p);
         assert_eq!(a.kids(p), &[x, y]);
@@ -567,11 +886,42 @@ mod tests {
     }
 
     #[test]
+    fn wide_kid_lists_spill_to_the_slab() {
+        let mut a = DagArena::new();
+        let kids: Vec<NodeId> = (0..9).map(|i| t(&mut a, &format!("k{i}"))).collect();
+        assert_eq!(a.kid_slab_bytes(), 0, "inline-only so far");
+        let p = a.production(ProdId::from_index(1), ParseState(0), &kids);
+        assert_eq!(a.kids(p), kids.as_slice());
+        assert_eq!(a.kid_count(p), 9);
+        assert!(a.kid_slab_bytes() >= 9 * 4, "wide list lives in the slab");
+        for &k in &kids {
+            assert_eq!(a.node(k).parent(), p);
+        }
+    }
+
+    #[test]
+    fn incremental_growth_spills_and_relocates() {
+        let mut a = DagArena::new();
+        let e0 = t(&mut a, "e0");
+        let seq = a.sequence(NonTerminal::from_index(1), ParseState(0), &[e0]);
+        let mut expect = vec![e0];
+        // Push through the inline→slab spill (at 4) and one region
+        // relocation (4→8), checking contents each step.
+        for i in 1..7 {
+            let e = t(&mut a, &format!("e{i}"));
+            a.seq_append(seq, &[e]);
+            expect.push(e);
+            assert_eq!(a.kids(seq), expect.as_slice(), "after push {i}");
+        }
+        assert_eq!(a.width(seq), 7);
+    }
+
+    #[test]
     fn symbol_nodes_hold_alternatives() {
         let mut a = DagArena::new();
         let x = t(&mut a, "x");
-        let p1 = a.production(ProdId::from_index(1), ParseState::MULTI, vec![x]);
-        let p2 = a.production(ProdId::from_index(2), ParseState::MULTI, vec![x]);
+        let p1 = a.production(ProdId::from_index(1), ParseState::MULTI, &[x]);
+        let p2 = a.production(ProdId::from_index(2), ParseState::MULTI, &[x]);
         let sym = a.symbol(NonTerminal::from_index(1), p1);
         a.add_choice(sym, p2);
         a.add_choice(sym, p2); // idempotent
@@ -586,9 +936,9 @@ mod tests {
         let mut a = DagArena::new();
         let x = t(&mut a, "x");
         let y = t(&mut a, "y");
-        let p1 = a.production(ProdId::from_index(1), ParseState::MULTI, vec![x]);
+        let p1 = a.production(ProdId::from_index(1), ParseState::MULTI, &[x]);
         let z = t(&mut a, "z");
-        let p2 = a.production(ProdId::from_index(2), ParseState::MULTI, vec![y, z]);
+        let p2 = a.production(ProdId::from_index(2), ParseState::MULTI, &[y, z]);
         let sym = a.symbol(NonTerminal::from_index(1), p1);
         a.add_choice(sym, p2);
     }
@@ -597,7 +947,7 @@ mod tests {
     fn epoch_gates_sequence_mutation() {
         let mut a = DagArena::new();
         let e1 = t(&mut a, "a");
-        let seq = a.sequence(NonTerminal::from_index(1), ParseState(0), vec![e1]);
+        let seq = a.sequence(NonTerminal::from_index(1), ParseState(0), &[e1]);
         let e2 = t(&mut a, "b");
         a.seq_append(seq, &[e2]);
         assert_eq!(a.width(seq), 2);
@@ -616,7 +966,7 @@ mod tests {
         let mut a = DagArena::new();
         let x = t(&mut a, "x");
         let y = t(&mut a, "y");
-        let p = a.production(ProdId::from_index(1), ParseState(0), vec![x, y]);
+        let p = a.production(ProdId::from_index(1), ParseState(0), &[x, y]);
         let root = a.root(p);
         a.mark_changed(x);
         assert!(a.has_changes(x));
@@ -637,9 +987,9 @@ mod tests {
         let mut a = DagArena::new();
         let x = t(&mut a, "x");
         let y = t(&mut a, "y");
-        let q = a.production(ProdId::from_index(1), ParseState(0), vec![x, y]);
+        let q = a.production(ProdId::from_index(1), ParseState(0), &[x, y]);
         let z = t(&mut a, "z");
-        let p = a.production(ProdId::from_index(2), ParseState(0), vec![q, z]);
+        let p = a.production(ProdId::from_index(2), ParseState(0), &[q, z]);
         let _root = a.root(p);
         a.mark_following(y);
         assert!(!a.has_changes(y), "the terminal itself is still shiftable");
@@ -653,33 +1003,103 @@ mod tests {
     }
 
     #[test]
-    fn garbage_collection_compacts_and_remaps() {
+    fn garbage_collection_recycles_without_moving_ids() {
         let mut a = DagArena::new();
         let dead = t(&mut a, "dead");
         let x = t(&mut a, "x");
-        let p = a.production(ProdId::from_index(1), ParseState(0), vec![x]);
+        let p = a.production(ProdId::from_index(1), ParseState(0), &[x]);
         let root = a.root(p);
         let before = a.len();
-        let (new_root, map) = a.collect_garbage(root);
-        assert!(a.len() < before);
-        assert!(!map.contains_key(&dead));
-        assert!(matches!(a.kind(new_root), NodeKind::Root));
-        // Structure survives: root -> [bos, p, eos] -> x
-        let body = a.kids(new_root)[1];
-        assert!(matches!(a.kind(body), NodeKind::Production { .. }));
-        let x2 = a.kids(body)[0];
-        assert!(matches!(a.kind(x2), NodeKind::Terminal { .. }));
-        assert_eq!(a.node(x2).parent(), body);
+        let reclaimed = a.collect_garbage(root);
+        assert_eq!(reclaimed, 1, "only the detached terminal dies");
+        assert_eq!(a.len(), before, "slots are recycled, not compacted");
+        assert_eq!(a.in_use(), before - 1);
+        // Ids are stable: the same handles still resolve.
+        assert!(matches!(a.kind(root), NodeKind::Root));
+        assert_eq!(a.kids(root)[1], p);
+        assert_eq!(a.kids(p), &[x]);
+        assert_eq!(a.node(x).parent(), p);
+        // The next allocation recycles the dead slot instead of growing.
+        let fresh_before = a.fresh_node_slots();
+        let t2 = t(&mut a, "recycled");
+        assert_eq!(t2, dead, "free-listed slot is reused");
+        assert_eq!(a.fresh_node_slots(), fresh_before);
+        assert_eq!(a.recycled_node_slots(), 1);
+        assert_eq!(a.len(), before);
+    }
+
+    #[test]
+    fn gc_disconnects_live_nodes_from_dead_parents() {
+        let mut a = DagArena::new();
+        let x = t(&mut a, "x");
+        // An old parent that will die, still claiming x.
+        let stale = a.production(ProdId::from_index(7), ParseState(0), &[x]);
+        // The surviving tree adopts x afterwards... but then parent(x) is the
+        // live p. Make the *stale* node the last adopter instead.
+        let p = a.production(ProdId::from_index(1), ParseState(0), &[x]);
+        let root = a.root(p);
+        a.nodes[x.index()].parent = stale; // simulate a dead fork's adoption
+        a.collect_garbage(root);
+        assert!(
+            a.node(x).parent().is_none(),
+            "dead parent pointer must be cleared, not left dangling"
+        );
+        let _ = p;
+    }
+
+    #[test]
+    fn gc_recycles_slab_regions() {
+        let mut a = DagArena::new();
+        let kids: Vec<NodeId> = (0..8).map(|i| t(&mut a, &format!("k{i}"))).collect();
+        let wide = a.production(ProdId::from_index(1), ParseState(0), &kids);
+        let keep = t(&mut a, "keep");
+        let p = a.production(ProdId::from_index(2), ParseState(0), &[keep]);
+        let root = a.root(p);
+        let slab_high = a.kid_slab_bytes();
+        a.collect_garbage(root); // `wide` and its kids die
+        let _ = wide;
+        // A new wide node reuses the freed region: the slab does not grow.
+        let kids2: Vec<NodeId> = (0..8).map(|i| t(&mut a, &format!("n{i}"))).collect();
+        let wide2 = a.production(ProdId::from_index(3), ParseState(0), &kids2);
+        assert_eq!(a.kids(wide2), kids2.as_slice());
+        assert_eq!(a.kid_slab_bytes(), slab_high, "region recycled");
+    }
+
+    #[test]
+    fn should_collect_tracks_allocation_budget() {
+        let mut a = DagArena::new();
+        assert!(!a.should_collect());
+        let mut last = NodeId::NONE;
+        for i in 0..64 {
+            last = t(&mut a, &format!("t{i}"));
+        }
+        assert!(a.should_collect(), "64 allocs on a small arena trigger");
+        let root = a.root(last);
+        a.collect_garbage(root);
+        assert!(!a.should_collect(), "counter resets after a collection");
+    }
+
+    #[test]
+    fn replace_kid_patches_in_place() {
+        let mut a = DagArena::new();
+        let x = t(&mut a, "x");
+        let y = t(&mut a, "y");
+        let p = a.production(ProdId::from_index(1), ParseState(0), &[x, y]);
+        let x2 = t(&mut a, "x");
+        assert_eq!(a.replace_kid(p, x, x2), 1);
+        assert_eq!(a.kids(p), &[x2, y]);
+        assert_eq!(a.node(x2).parent(), p);
+        assert_eq!(a.replace_kid(p, x, x2), 0, "old id no longer present");
     }
 
     #[test]
     fn set_root_body_swaps_body_keeps_sentinels() {
         let mut a = DagArena::new();
         let x = t(&mut a, "x");
-        let p1 = a.production(ProdId::from_index(1), ParseState(0), vec![x]);
+        let p1 = a.production(ProdId::from_index(1), ParseState(0), &[x]);
         let root = a.root(p1);
         let y = t(&mut a, "y");
-        let p2 = a.production(ProdId::from_index(2), ParseState(0), vec![y]);
+        let p2 = a.production(ProdId::from_index(2), ParseState(0), &[y]);
         let bos = a.kids(root)[0];
         a.set_root_body(root, p2);
         assert_eq!(a.kids(root)[0], bos);

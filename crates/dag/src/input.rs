@@ -9,8 +9,8 @@
 //! turns non-deterministic.
 
 use crate::arena::DagArena;
+use crate::fx::FxHashMap;
 use crate::node::{NodeId, NodeKind};
-use std::collections::HashMap;
 
 /// A lazy input stream over the previous tree version.
 #[derive(Debug, Clone)]
@@ -20,7 +20,7 @@ pub struct InputStream {
     /// Relex results: modified terminal → replacement terminals (possibly
     /// empty for deletions). Fresh insertions ride on the neighbouring
     /// modified terminal.
-    replacements: HashMap<NodeId, Vec<NodeId>>,
+    replacements: FxHashMap<NodeId, Vec<NodeId>>,
 }
 
 impl InputStream {
@@ -29,7 +29,7 @@ impl InputStream {
     pub fn over_tree(
         arena: &DagArena,
         root: NodeId,
-        replacements: HashMap<NodeId, Vec<NodeId>>,
+        replacements: FxHashMap<NodeId, Vec<NodeId>>,
     ) -> InputStream {
         assert!(matches!(arena.kind(root), NodeKind::Root));
         let kids = arena.kids(root);
@@ -50,7 +50,7 @@ impl InputStream {
         stack.extend(terminals.iter().rev());
         InputStream {
             stack,
-            replacements: HashMap::new(),
+            replacements: FxHashMap::default(),
         }
     }
 
@@ -227,9 +227,9 @@ mod tests {
         let ta = a.terminal(Terminal::from_index(1), "a");
         let tb = a.terminal(Terminal::from_index(1), "b");
         let tc = a.terminal(Terminal::from_index(1), "c");
-        let q = a.production(ProdId::from_index(2), ParseState(1), vec![tb, tc]);
+        let q = a.production(ProdId::from_index(2), ParseState(1), &[tb, tc]);
         let td = a.terminal(Terminal::from_index(1), "d");
-        let p = a.production(ProdId::from_index(1), ParseState(0), vec![ta, q, td]);
+        let p = a.production(ProdId::from_index(1), ParseState(0), &[ta, q, td]);
         let root = a.root(p);
         (a, root, vec![ta, tb, tc, td, q, p])
     }
@@ -238,7 +238,7 @@ mod tests {
     fn unchanged_tree_streams_body_then_eos() {
         let (a, root, ids) = sample();
         let p = ids[5];
-        let mut s = InputStream::over_tree(&a, root, HashMap::new());
+        let mut s = InputStream::over_tree(&a, root, FxHashMap::default());
         assert_eq!(s.la(), Some(p), "whole body offered as one subtree");
         s.pop(&a);
         assert!(matches!(a.kind(s.la().unwrap()), NodeKind::Eos));
@@ -252,7 +252,7 @@ mod tests {
         let (a, root, ids) = sample();
         let (ta, q, td) = (ids[0], ids[4], ids[5 - 2]);
         let _ = td;
-        let mut s = InputStream::over_tree(&a, root, HashMap::new());
+        let mut s = InputStream::over_tree(&a, root, FxHashMap::default());
         let la = s.left_breakdown(&a);
         assert_eq!(la, Some(ta));
         s.pop(&a);
@@ -271,7 +271,7 @@ mod tests {
         // must break P and Q down but splice b's replacement.
         let nb = a.terminal(Terminal::from_index(1), "B");
         a.mark_changed(tb);
-        let mut reps = HashMap::new();
+        let mut reps = FxHashMap::default();
         reps.insert(tb, vec![nb]);
         let mut s = InputStream::over_tree(&a, root, reps);
         assert_eq!(s.la(), Some(ta), "unchanged leading terminal");
@@ -287,7 +287,7 @@ mod tests {
         let (mut a, root, ids) = sample();
         let (ta, tb, tc) = (ids[0], ids[1], ids[2]);
         a.mark_changed(tb);
-        let mut reps = HashMap::new();
+        let mut reps = FxHashMap::default();
         reps.insert(tb, vec![]);
         let mut s = InputStream::over_tree(&a, root, reps);
         assert_eq!(s.la(), Some(ta));
@@ -302,7 +302,7 @@ mod tests {
         let n1 = a.terminal(Terminal::from_index(1), "x");
         let n2 = a.terminal(Terminal::from_index(1), "y");
         a.mark_changed(tb);
-        let mut reps = HashMap::new();
+        let mut reps = FxHashMap::default();
         reps.insert(tb, vec![n1, n2]);
         let mut s = InputStream::over_tree(&a, root, reps);
         s.pop(&a); // a
@@ -330,7 +330,7 @@ mod tests {
     #[test]
     fn reduction_terminal_peeks_leading_token() {
         let (a, root, ids) = sample();
-        let mut s = InputStream::over_tree(&a, root, HashMap::new());
+        let mut s = InputStream::over_tree(&a, root, FxHashMap::default());
         // Whole body: leading terminal is 'a' (index 1 terminal).
         assert_eq!(s.reduction_terminal(&a), Terminal::from_index(1));
         s.pop(&a); // consume body; Eos remains
@@ -341,11 +341,11 @@ mod tests {
     #[test]
     fn reduction_terminal_skips_null_yield_items() {
         let mut a = DagArena::new();
-        let eps = a.production(ProdId::from_index(9), ParseState(1), vec![]);
+        let eps = a.production(ProdId::from_index(9), ParseState(1), &[]);
         let tx = a.terminal(Terminal::from_index(3), "x");
-        let p = a.production(ProdId::from_index(1), ParseState(0), vec![eps, tx]);
+        let p = a.production(ProdId::from_index(1), ParseState(0), &[eps, tx]);
         let root = a.root(p);
-        let mut s = InputStream::over_tree(&a, root, HashMap::new());
+        let mut s = InputStream::over_tree(&a, root, FxHashMap::default());
         s.left_breakdown(&a); // [eps, x, eos]
         assert_eq!(s.reduction_terminal(&a), Terminal::from_index(3));
     }
@@ -354,7 +354,7 @@ mod tests {
     fn append_before_eos_splices_at_end() {
         let (mut a, root, _ids) = sample();
         let extra = a.terminal(Terminal::from_index(2), "zz");
-        let mut s = InputStream::over_tree(&a, root, HashMap::new());
+        let mut s = InputStream::over_tree(&a, root, FxHashMap::default());
         s.append_before_eos(&a, &[extra]);
         s.pop(&a); // body
         assert_eq!(s.la(), Some(extra));
@@ -365,12 +365,12 @@ mod tests {
     #[test]
     fn epsilon_subtree_dropped_when_changed() {
         let mut a = DagArena::new();
-        let eps = a.production(ProdId::from_index(9), ParseState(1), vec![]);
+        let eps = a.production(ProdId::from_index(9), ParseState(1), &[]);
         let tx = a.terminal(Terminal::from_index(1), "x");
-        let p = a.production(ProdId::from_index(1), ParseState(0), vec![eps, tx]);
+        let p = a.production(ProdId::from_index(1), ParseState(0), &[eps, tx]);
         let root = a.root(p);
         a.mark_changed(eps);
-        let s = InputStream::over_tree(&a, root, HashMap::new());
+        let s = InputStream::over_tree(&a, root, FxHashMap::default());
         assert_eq!(s.la(), Some(tx), "changed ε subtree evaporates");
     }
 }

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 mod arena;
+mod fx;
 mod input;
 mod node;
 mod sequence;
@@ -38,6 +39,7 @@ mod stats;
 mod traverse;
 
 pub use arena::DagArena;
+pub use fx::{fx_hash, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use input::InputStream;
 pub use node::{Node, NodeId, NodeKind, ParseState};
 pub use sequence::{rebalance_sequences, rebalance_sequences_full, sequence_depth, SequencePolicy};

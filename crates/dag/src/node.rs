@@ -132,14 +132,66 @@ impl NodeKind {
     }
 }
 
+/// How many kid ids fit directly inside a node before the arena's shared
+/// kid slab takes over.
+pub(crate) const INLINE_KIDS: usize = 3;
+
+/// Where a node's children live.
+///
+/// Small arities (the overwhelming majority: terminals have none, most
+/// productions have ≤ 3 symbols) are stored inline in the node itself; wider
+/// nodes hold an `(offset, len, capacity)` window into the arena's shared
+/// kid slab (`DagArena::slab`). Either way a node costs a fixed number of
+/// words and *no per-node heap allocation* — the property the zero-alloc
+/// steady state is built on. Resolve through [`crate::DagArena::kids`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Kids {
+    /// Up to [`INLINE_KIDS`] ids stored directly in the node.
+    Inline {
+        /// The ids; slots at and beyond `len` are meaningless.
+        buf: [NodeId; INLINE_KIDS],
+        /// How many of `buf`'s slots are in use.
+        len: u8,
+    },
+    /// A region of the arena's shared kid slab.
+    Slab {
+        /// Start of the region in the slab.
+        off: u32,
+        /// Kids currently stored.
+        len: u32,
+        /// Region capacity (a power of two ≥ 4); the region is recycled
+        /// through a per-capacity-class free list when the node dies or
+        /// outgrows it.
+        cap: u32,
+    },
+}
+
+impl Kids {
+    /// An empty inline kid list.
+    pub(crate) const EMPTY: Kids = Kids::Inline {
+        buf: [NodeId::NONE; INLINE_KIDS],
+        len: 0,
+    };
+
+    /// Number of kids.
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            Kids::Inline { len, .. } => *len as usize,
+            Kids::Slab { len, .. } => *len as usize,
+        }
+    }
+}
+
 /// A dag node. Accessed through [`crate::DagArena`] methods; exposed for
-/// read-only inspection.
+/// read-only inspection. Children live inline or in the arena's shared kid
+/// slab, so resolving them needs the arena: use [`crate::DagArena::kids`].
 #[derive(Debug, Clone)]
 pub struct Node {
     pub(crate) kind: NodeKind,
     pub(crate) state: ParseState,
     pub(crate) parent: NodeId,
-    pub(crate) kids: Vec<NodeId>,
+    pub(crate) kids: Kids,
     /// Number of terminals in the yield.
     pub(crate) width: u32,
     /// Leading terminal of the yield (meaningless when `width == 0`);
@@ -148,6 +200,8 @@ pub struct Node {
     /// Parse generation in which the node was created.
     pub(crate) epoch: u32,
     pub(crate) changed: bool,
+    /// Whether this slot sits on the arena's free list (dead, recyclable).
+    pub(crate) free: bool,
 }
 
 impl Node {
@@ -161,9 +215,11 @@ impl Node {
         self.state
     }
 
-    /// Children, in yield order (for symbol nodes: the alternatives).
-    pub fn kids(&self) -> &[NodeId] {
-        &self.kids
+    /// Number of children (for symbol nodes: alternatives). The child ids
+    /// themselves live partly in the arena's kid slab; resolve them with
+    /// [`crate::DagArena::kids`].
+    pub fn kid_count(&self) -> usize {
+        self.kids.len()
     }
 
     /// Parent in the current tree ([`NodeId::NONE`] if detached/root).

@@ -156,7 +156,7 @@ fn canonical_rebuild<P: SequencePolicy>(
     if is_fallback {
         arena.convert_to_sequence(seq, sym, state);
     }
-    arena.set_kids(seq, kids);
+    arena.set_kids(seq, &kids);
     true
 }
 
@@ -326,14 +326,14 @@ fn rebalance_one<P: SequencePolicy>(
         if is_fallback {
             arena.convert_to_sequence(seq, sym, state);
         }
-        arena.set_kids(seq, kids);
+        arena.set_kids(seq, &kids);
     } else {
         // Incremental case: group the top-layer pieces without flattening
         // reused runs. Cost is O(fanout).
         let kids: Vec<NodeId> = arena.kids(seq).to_vec();
         let units = group_units(arena, policy, &kids[1..], sym, separated);
         let tree = build_unit_tree(arena, sym, run_state, &units);
-        arena.set_kids(seq, vec![kids[0], tree]);
+        arena.set_kids(seq, &[kids[0], tree]);
     }
     true
 }
@@ -377,12 +377,12 @@ fn build_unit_tree(
         if u.len() == 1 {
             return u[0];
         }
-        return arena.seq_run(sym, run_state, u.clone());
+        return arena.seq_run(sym, run_state, u);
     }
     let mid = units.len() / 2;
     let left = build_unit_tree(arena, sym, run_state, &units[..mid]);
     let right = build_unit_tree(arena, sym, run_state, &units[mid..]);
-    arena.seq_run(sym, run_state, vec![left, right])
+    arena.seq_run(sym, run_state, &[left, right])
 }
 
 /// Builds a balanced binary run tree over element-level steps.
@@ -399,12 +399,12 @@ fn build_run(
             // wrapper needed (keeps the space overhead near zero).
             return step[0];
         }
-        return arena.seq_run(sym, run_state, step.to_vec());
+        return arena.seq_run(sym, run_state, step);
     }
     let mid = steps.len() / 2;
     let left = build_run(arena, sym, run_state, &steps[..mid]);
     let right = build_run(arena, sym, run_state, &steps[mid..]);
-    arena.seq_run(sym, run_state, vec![left, right])
+    arena.seq_run(sym, run_state, &[left, right])
 }
 
 #[cfg(test)]
@@ -431,7 +431,7 @@ mod tests {
         let kids: Vec<NodeId> = (0..n)
             .map(|i| arena.terminal(Terminal::from_index(1), &format!("e{i}")))
             .collect();
-        arena.sequence(sym, ParseState(0), kids)
+        arena.sequence(sym, ParseState(0), &kids)
     }
 
     #[test]
@@ -440,7 +440,7 @@ mod tests {
         let mut a = DagArena::new();
         let flat = flat_seq(&mut a, sym, 4);
         assert_eq!(sequence_depth(&a, flat), 1);
-        let outer = a.sequence(sym, ParseState(0), vec![flat]);
+        let outer = a.sequence(sym, ParseState(0), &[flat]);
         assert_eq!(sequence_depth(&a, outer), 2);
         let term = a.terminal(Terminal::from_index(1), "t");
         assert_eq!(sequence_depth(&a, term), 0);
@@ -481,7 +481,7 @@ mod tests {
         let old_elems: Vec<NodeId> = (0..64)
             .map(|i| a.terminal(Terminal::from_index(1), &format!("o{i}")))
             .collect();
-        let old_run = a.seq_run(sym, ParseState(99), old_elems);
+        let old_run = a.seq_run(sym, ParseState(99), &old_elems);
         a.begin_epoch();
         // This epoch: a fresh sequence that reuses the run plus new items.
         let e0 = a.terminal(Terminal::from_index(1), "n0");
@@ -489,7 +489,7 @@ mod tests {
         for i in 0..12 {
             kids.push(a.terminal(Terminal::from_index(1), &format!("n{i}")));
         }
-        let seq = a.sequence(sym, ParseState(0), kids);
+        let seq = a.sequence(sym, ParseState(0), &kids);
         let root = a.root(seq);
         let before = crate::traverse::yield_string(&a, root);
         assert_eq!(
@@ -516,7 +516,7 @@ mod tests {
             kids.push(a.terminal(Terminal::from_index(2), ","));
             kids.push(a.terminal(Terminal::from_index(1), &format!("e{i}")));
         }
-        let seq = a.sequence(sym, ParseState(0), kids);
+        let seq = a.sequence(sym, ParseState(0), &kids);
         let root = a.root(seq);
         let before = crate::traverse::yield_string(&a, root);
         rebalance_sequences(&mut a, root, &TestPolicy { separated: true });
@@ -578,12 +578,12 @@ mod tests {
     fn empty_and_singleton_sequences_ok() {
         let sym = NonTerminal::from_index(1);
         let mut a = DagArena::new();
-        let empty = a.sequence(sym, ParseState(0), vec![]);
+        let empty = a.sequence(sym, ParseState(0), &[]);
         let single = flat_seq(&mut a, sym, 1);
         let p = a.production(
             wg_grammar::ProdId::from_index(1),
             ParseState(0),
-            vec![empty, single],
+            &[empty, single],
         );
         let root = a.root(p);
         assert_eq!(

@@ -65,7 +65,7 @@ fn unshare_rec(
         unshare_rec(arena, k, seen, processed, duplicated);
     }
     if changed {
-        arena.set_kids(node, new_kids);
+        arena.set_kids(node, &new_kids);
     }
 }
 
@@ -75,9 +75,9 @@ fn deep_clone(arena: &mut DagArena, node: NodeId) -> NodeId {
     let new_kids: Vec<NodeId> = kids.iter().map(|&k| deep_clone(arena, k)).collect();
     let state = arena.state(node);
     match arena.kind(node).clone() {
-        NodeKind::Production { prod } => arena.production(prod, state, new_kids),
-        NodeKind::Sequence { symbol } => arena.sequence(symbol, state, new_kids),
-        NodeKind::SeqRun { symbol } => arena.seq_run(symbol, state, new_kids),
+        NodeKind::Production { prod } => arena.production(prod, state, &new_kids),
+        NodeKind::Sequence { symbol } => arena.sequence(symbol, state, &new_kids),
+        NodeKind::SeqRun { symbol } => arena.seq_run(symbol, state, &new_kids),
         NodeKind::Symbol { symbol } => {
             let mut it = new_kids.into_iter();
             let first = it.next().expect("symbol node has at least one alternative");
@@ -104,12 +104,12 @@ mod tests {
     fn shared_epsilon_subtree_is_duplicated() {
         let mut a = DagArena::new();
         // eps = P2() with no kids (null yield), shared by two parents.
-        let eps = a.production(ProdId::from_index(2), ParseState(1), vec![]);
+        let eps = a.production(ProdId::from_index(2), ParseState(1), &[]);
         let x = a.terminal(Terminal::from_index(1), "x");
         let y = a.terminal(Terminal::from_index(1), "y");
-        let p1 = a.production(ProdId::from_index(1), ParseState(0), vec![eps, x]);
-        let p2 = a.production(ProdId::from_index(1), ParseState(0), vec![eps, y]);
-        let top = a.production(ProdId::from_index(3), ParseState(0), vec![p1, p2]);
+        let p1 = a.production(ProdId::from_index(1), ParseState(0), &[eps, x]);
+        let p2 = a.production(ProdId::from_index(1), ParseState(0), &[eps, y]);
+        let top = a.production(ProdId::from_index(3), ParseState(0), &[p1, p2]);
         let root = a.root(top);
         assert_eq!(a.kids(p1)[0], a.kids(p2)[0], "initially shared");
         let n = unshare_epsilon(&mut a, root);
@@ -128,8 +128,8 @@ mod tests {
         // Symbol-node alternatives legitimately share non-null subtrees.
         let mut a = DagArena::new();
         let x = a.terminal(Terminal::from_index(1), "x");
-        let p1 = a.production(ProdId::from_index(1), ParseState::MULTI, vec![x]);
-        let p2 = a.production(ProdId::from_index(2), ParseState::MULTI, vec![x]);
+        let p1 = a.production(ProdId::from_index(1), ParseState::MULTI, &[x]);
+        let p2 = a.production(ProdId::from_index(2), ParseState::MULTI, &[x]);
         let sym = a.symbol(wg_grammar::NonTerminal::from_index(1), p1);
         a.add_choice(sym, p2);
         let root = a.root(sym);
@@ -144,13 +144,13 @@ mod tests {
     #[test]
     fn nested_epsilon_structures_clone_deeply() {
         let mut a = DagArena::new();
-        let inner = a.production(ProdId::from_index(5), ParseState(1), vec![]);
-        let outer = a.production(ProdId::from_index(4), ParseState(1), vec![inner]);
+        let inner = a.production(ProdId::from_index(5), ParseState(1), &[]);
+        let outer = a.production(ProdId::from_index(4), ParseState(1), &[inner]);
         let u = a.terminal(Terminal::from_index(1), "u");
         let v = a.terminal(Terminal::from_index(1), "v");
-        let p1 = a.production(ProdId::from_index(1), ParseState(0), vec![outer, u]);
-        let p2 = a.production(ProdId::from_index(1), ParseState(0), vec![outer, v]);
-        let top = a.production(ProdId::from_index(3), ParseState(0), vec![p1, p2]);
+        let p1 = a.production(ProdId::from_index(1), ParseState(0), &[outer, u]);
+        let p2 = a.production(ProdId::from_index(1), ParseState(0), &[outer, v]);
+        let top = a.production(ProdId::from_index(3), ParseState(0), &[p1, p2]);
         let root = a.root(top);
         assert_eq!(unshare_epsilon(&mut a, root), 1);
         let o1 = a.kids(p1)[0];
@@ -162,9 +162,9 @@ mod tests {
     #[test]
     fn unshared_tree_is_untouched() {
         let mut a = DagArena::new();
-        let e1 = a.production(ProdId::from_index(2), ParseState(1), vec![]);
+        let e1 = a.production(ProdId::from_index(2), ParseState(1), &[]);
         let x = a.terminal(Terminal::from_index(1), "x");
-        let p = a.production(ProdId::from_index(1), ParseState(0), vec![e1, x]);
+        let p = a.production(ProdId::from_index(1), ParseState(0), &[e1, x]);
         let root = a.root(p);
         let len_before = a.len();
         assert_eq!(unshare_epsilon(&mut a, root), 0);

@@ -65,7 +65,7 @@ impl DagStats {
                 NodeKind::Production { .. } => s.productions += 1,
                 NodeKind::Symbol { .. } => {
                     s.choice_points += 1;
-                    s.alternatives += n.kids().len();
+                    s.alternatives += n.kid_count();
                     s.max_ambiguous_width = s.max_ambiguous_width.max(n.width() as usize);
                 }
                 NodeKind::Sequence { .. } | NodeKind::SeqRun { .. } => s.sequence_nodes += 1,
@@ -73,10 +73,10 @@ impl DagStats {
             }
             // Per-node cost model matching the real `Node` layout: kind
             // (tag + inline String header), parent, width, epoch, flags,
-            // kid-vector header + slots. The parse-state word is accounted
-            // separately.
-            s.bytes_with_states += 72 + 4 * n.kids().len();
-            stack.extend_from_slice(n.kids());
+            // inline kid buffer / slab window + slab slots. The parse-state
+            // word is accounted separately.
+            s.bytes_with_states += 72 + 4 * n.kid_count();
+            stack.extend_from_slice(arena.kids(id));
         }
         s.dag_nodes = seen.len();
         s.bytes_without_states = s.bytes_with_states.saturating_sub(4 * s.dag_nodes);
@@ -137,11 +137,11 @@ mod tests {
         let ta = a.terminal(Terminal::from_index(1), "a");
         let tb = a.terminal(Terminal::from_index(1), "b");
         let tc = a.terminal(Terminal::from_index(1), "c");
-        let p1 = a.production(ProdId::from_index(1), ParseState::MULTI, vec![tb]);
-        let p2 = a.production(ProdId::from_index(2), ParseState::MULTI, vec![tb]);
+        let p1 = a.production(ProdId::from_index(1), ParseState::MULTI, &[tb]);
+        let p2 = a.production(ProdId::from_index(2), ParseState::MULTI, &[tb]);
         let sym = a.symbol(NonTerminal::from_index(1), p1);
         a.add_choice(sym, p2);
-        let top = a.production(ProdId::from_index(3), ParseState(0), vec![ta, sym, tc]);
+        let top = a.production(ProdId::from_index(3), ParseState(0), &[ta, sym, tc]);
         let root = a.root(top);
         (a, root)
     }
@@ -175,7 +175,7 @@ mod tests {
     fn unambiguous_dag_has_zero_overhead() {
         let mut a = DagArena::new();
         let x = a.terminal(Terminal::from_index(1), "x");
-        let p = a.production(ProdId::from_index(1), ParseState(0), vec![x]);
+        let p = a.production(ProdId::from_index(1), ParseState(0), &[x]);
         let root = a.root(p);
         let s = DagStats::compute(&a, root);
         assert_eq!(s.dag_nodes, s.tree_nodes);
@@ -188,9 +188,9 @@ mod tests {
         // Make alternative 2 bigger than alternative 1.
         let mut a = DagArena::new();
         let tb = a.terminal(Terminal::from_index(1), "b");
-        let p1 = a.production(ProdId::from_index(1), ParseState::MULTI, vec![tb]);
-        let inner = a.production(ProdId::from_index(4), ParseState::MULTI, vec![tb]);
-        let p2 = a.production(ProdId::from_index(2), ParseState::MULTI, vec![inner]);
+        let p1 = a.production(ProdId::from_index(1), ParseState::MULTI, &[tb]);
+        let inner = a.production(ProdId::from_index(4), ParseState::MULTI, &[tb]);
+        let p2 = a.production(ProdId::from_index(2), ParseState::MULTI, &[inner]);
         let sym = a.symbol(NonTerminal::from_index(1), p1);
         a.add_choice(sym, p2);
         let root = a.root(sym);

@@ -109,7 +109,7 @@ fn dump_rec(
             out.push_str(&format!(
                 "({} choice, {} alts)",
                 g.nonterminal_name(*symbol),
-                n.kids().len()
+                n.kid_count()
             ));
         }
         NodeKind::Sequence { symbol } => {
@@ -135,7 +135,7 @@ fn dump_rec(
         return;
     }
     out.push('\n');
-    for &k in n.kids() {
+    for &k in arena.kids(node) {
         dump_rec(arena, k, g, depth + 1, seen, out);
     }
 }
@@ -238,7 +238,7 @@ mod tests {
         let g = tiny_grammar();
         let mut a = DagArena::new();
         let x = a.terminal(Terminal::from_index(1), "x");
-        let p = a.production(ProdId::from_index(1), ParseState(0), vec![x]);
+        let p = a.production(ProdId::from_index(1), ParseState(0), &[x]);
         let root = a.root(p);
         assert_eq!(yield_string(&a, root), "x");
         let d = dump(&a, root, &g);
@@ -253,8 +253,8 @@ mod tests {
         let g = tiny_grammar();
         let mut a = DagArena::new();
         let x = a.terminal(Terminal::from_index(1), "x");
-        let p1 = a.production(ProdId::from_index(1), ParseState::MULTI, vec![x]);
-        let p2 = a.production(ProdId::from_index(1), ParseState::MULTI, vec![x]);
+        let p1 = a.production(ProdId::from_index(1), ParseState::MULTI, &[x]);
+        let p2 = a.production(ProdId::from_index(1), ParseState::MULTI, &[x]);
         let sym = a.symbol(NonTerminal::from_index(1), p1);
         a.add_choice(sym, p2);
         let root = a.root(sym);
@@ -268,11 +268,11 @@ mod tests {
     fn structural_equality_ignores_states() {
         let mut a = DagArena::new();
         let xa = a.terminal(Terminal::from_index(1), "x");
-        let pa = a.production(ProdId::from_index(1), ParseState(7), vec![xa]);
+        let pa = a.production(ProdId::from_index(1), ParseState(7), &[xa]);
         let ra = a.root(pa);
         let mut b = DagArena::new();
         let xb = b.terminal(Terminal::from_index(1), "x");
-        let pb = b.production(ProdId::from_index(1), ParseState::MULTI, vec![xb]);
+        let pb = b.production(ProdId::from_index(1), ParseState::MULTI, &[xb]);
         let rb = b.root(pb);
         assert!(structurally_equal(&a, ra, &b, rb));
     }
@@ -281,16 +281,16 @@ mod tests {
     fn structural_equality_detects_differences() {
         let mut a = DagArena::new();
         let xa = a.terminal(Terminal::from_index(1), "x");
-        let pa = a.production(ProdId::from_index(1), ParseState(0), vec![xa]);
+        let pa = a.production(ProdId::from_index(1), ParseState(0), &[xa]);
         let ra = a.root(pa);
         let mut b = DagArena::new();
         let xb = b.terminal(Terminal::from_index(1), "y");
-        let pb = b.production(ProdId::from_index(1), ParseState(0), vec![xb]);
+        let pb = b.production(ProdId::from_index(1), ParseState(0), &[xb]);
         let rb = b.root(pb);
         assert!(!structurally_equal(&a, ra, &b, rb), "different lexeme");
         let mut c = DagArena::new();
         let xc = c.terminal(Terminal::from_index(1), "x");
-        let pc = c.production(ProdId::from_index(2), ParseState(0), vec![xc]);
+        let pc = c.production(ProdId::from_index(2), ParseState(0), &[xc]);
         let rc = c.root(pc);
         assert!(!structurally_equal(&a, ra, &c, rc), "different production");
     }
@@ -304,16 +304,16 @@ mod tests {
             .iter()
             .map(|s| a.terminal(Terminal::from_index(1), s))
             .collect();
-        let sa = a.sequence(nt, ParseState(0), e);
+        let sa = a.sequence(nt, ParseState(0), &e);
         let ra = a.root(sa);
         // Chunked: Sequence[ Sequence[a b] run[c] ]
         let mut b = DagArena::new();
         let ba = b.terminal(Terminal::from_index(1), "a");
         let bb = b.terminal(Terminal::from_index(1), "b");
-        let prefix = b.sequence(nt, ParseState(0), vec![ba, bb]);
+        let prefix = b.sequence(nt, ParseState(0), &[ba, bb]);
         let bc = b.terminal(Terminal::from_index(1), "c");
-        let run = b.seq_run(nt, ParseState(2), vec![bc]);
-        let sb = b.sequence(nt, ParseState(0), vec![prefix, run]);
+        let run = b.seq_run(nt, ParseState(2), &[bc]);
+        let sb = b.sequence(nt, ParseState(0), &[prefix, run]);
         let rb = b.root(sb);
         assert!(structurally_equal(&a, ra, &b, rb));
     }
@@ -330,7 +330,7 @@ mod descendants_tests {
         let mut a = DagArena::new();
         let x = a.terminal(Terminal::from_index(1), "x");
         let y = a.terminal(Terminal::from_index(1), "y");
-        let p = a.production(ProdId::from_index(1), ParseState(0), vec![x, y]);
+        let p = a.production(ProdId::from_index(1), ParseState(0), &[x, y]);
         let root = a.root(p);
         let order: Vec<NodeId> = descendants(&a, root).collect();
         assert_eq!(order[0], root);
@@ -344,8 +344,8 @@ mod descendants_tests {
     fn shared_nodes_visited_once() {
         let mut a = DagArena::new();
         let x = a.terminal(Terminal::from_index(1), "x");
-        let p1 = a.production(ProdId::from_index(1), ParseState::MULTI, vec![x]);
-        let p2 = a.production(ProdId::from_index(2), ParseState::MULTI, vec![x]);
+        let p1 = a.production(ProdId::from_index(1), ParseState::MULTI, &[x]);
+        let p2 = a.production(ProdId::from_index(2), ParseState::MULTI, &[x]);
         let sym = a.symbol(NonTerminal::from_index(1), p1);
         a.add_choice(sym, p2);
         let root = a.root(sym);

@@ -29,7 +29,55 @@ fn flat(arena: &mut DagArena, sym: NonTerminal, n: usize, separated: bool) -> No
         }
         kids.push(arena.terminal(Terminal::from_index(1), &format!("e{i}")));
     }
-    arena.sequence(sym, ParseState(0), kids)
+    arena.sequence(sym, ParseState(0), &kids)
+}
+
+/// What one element of the model document looks like. The reference model
+/// replays the same descriptors into a fresh arena (no free lists, no
+/// recycled slots, no reused slab regions) and the results must match.
+#[derive(Debug, Clone)]
+enum Elem {
+    /// A bare terminal.
+    Term(String),
+    /// A production over one terminal.
+    Prod(usize, String),
+    /// A two-way choice over a shared terminal.
+    Choice(usize, usize, String),
+}
+
+/// Builds one element into an arena.
+fn build_elem(a: &mut DagArena, e: &Elem) -> NodeId {
+    match e {
+        Elem::Term(s) => a.terminal(Terminal::from_index(1), s),
+        Elem::Prod(p, s) => {
+            let t = a.terminal(Terminal::from_index(1), s);
+            a.production(ProdId::from_index(1 + p % 7), ParseState(1), &[t])
+        }
+        Elem::Choice(p1, p2, s) => {
+            let t = a.terminal(Terminal::from_index(1), s);
+            let a1 = a.production(ProdId::from_index(1 + p1 % 7), ParseState::MULTI, &[t]);
+            let a2 = a.production(ProdId::from_index(8 + p2 % 7), ParseState::MULTI, &[t]);
+            let sym = a.symbol(NonTerminal::from_index(2), a1);
+            a.add_choice(sym, a2);
+            sym
+        }
+    }
+}
+
+fn elem_from(kind: u8, arg: u8, serial: usize) -> Elem {
+    let lex = format!("w{serial}");
+    match kind % 3 {
+        0 => Elem::Term(lex),
+        1 => Elem::Prod(arg as usize, lex),
+        _ => Elem::Choice(arg as usize, arg as usize + 3, lex),
+    }
+}
+
+/// Roots the current document: a production over the elements under a fresh
+/// super-root (mirroring how a session holds exactly one live tree).
+fn root_over(a: &mut DagArena, elems: &[NodeId]) -> NodeId {
+    let body = a.production(ProdId::from_index(15), ParseState(0), elems);
+    a.root(body)
 }
 
 proptest! {
@@ -45,7 +93,7 @@ proptest! {
         // Logarithmic depth whenever a rebuild happened.
         let d = sequence_depth(&a, seq);
         let bound = 2 * (usize::BITS - (n + 2).leading_zeros()) as usize + 4;
-        prop_assert!(d <= bound, "depth {d} > bound {bound} for n {n}");
+        prop_assert!(d <= bound, "depth {} > bound {} for n {}", d, bound, n);
     }
 
     #[test]
@@ -69,7 +117,7 @@ proptest! {
         for i in 0..junk {
             let t = a.terminal(Terminal::from_index(3), "junk");
             if i % 3 == 0 {
-                a.production(ProdId::from_index(1), ParseState(0), vec![t]);
+                a.production(ProdId::from_index(1), ParseState(0), &[t]);
             }
         }
         let seq = flat(&mut a, sym, n, false);
@@ -81,14 +129,78 @@ proptest! {
             (b, r2)
         };
         let before_len = a.len();
-        let (new_root, _map) = a.collect_garbage(root);
-        prop_assert!(a.len() <= before_len);
-        prop_assert!(structurally_equal(&a, new_root, &reference.0, reference.1));
+        let reclaimed = a.collect_garbage(root);
+        // Ids are stable: same root, same slot count, fewer in use.
+        prop_assert_eq!(a.len(), before_len);
+        prop_assert_eq!(a.in_use(), before_len - reclaimed);
+        prop_assert!(structurally_equal(&a, root, &reference.0, reference.1));
         // A second collection is a fixpoint.
-        let live = a.len();
-        let (newer_root, _) = a.collect_garbage(new_root);
-        prop_assert_eq!(a.len(), live);
-        prop_assert!(structurally_equal(&a, newer_root, &reference.0, reference.1));
+        let in_use = a.in_use();
+        prop_assert_eq!(a.collect_garbage(root), 0);
+        prop_assert_eq!(a.in_use(), in_use);
+        prop_assert!(structurally_equal(&a, root, &reference.0, reference.1));
+    }
+
+    /// The free-list/slab arena against a fresh-arena reference model:
+    /// random interleavings of element appends, replacements (creating
+    /// garbage), and collections must leave exactly the structure a fresh
+    /// arena builds from the surviving descriptors — same shapes, same
+    /// yields, same choice sets — no matter which recycled slots and slab
+    /// regions the live arena handed out along the way.
+    #[test]
+    fn recycled_arena_matches_fresh_reference_model(
+        ops in proptest::collection::vec((0u8..4, any::<u8>(), any::<u8>()), 1..80),
+    ) {
+        let mut a = DagArena::new();
+        let mut elems: Vec<NodeId> = Vec::new();
+        let mut model: Vec<Elem> = Vec::new();
+        let mut serial = 0usize;
+        let mut last_root = NodeId::NONE;
+        for (op, x, y) in ops {
+            match op {
+                0 | 1 if op == 0 || elems.is_empty() => {
+                    // Append a fresh element.
+                    let e = elem_from(x, y, serial);
+                    serial += 1;
+                    elems.push(build_elem(&mut a, &e));
+                    model.push(e);
+                }
+                1 => {
+                    // Replace an element; the old subtree becomes garbage.
+                    let i = x as usize % elems.len();
+                    let e = elem_from(y, x, serial);
+                    serial += 1;
+                    elems[i] = build_elem(&mut a, &e);
+                    model[i] = e;
+                }
+                _ => {
+                    // Collect. The previous root (if any) is garbage too.
+                    if !elems.is_empty() {
+                        let root = root_over(&mut a, &elems);
+                        a.collect_garbage(root);
+                        last_root = root;
+                    }
+                }
+            }
+        }
+        prop_assume!(!elems.is_empty());
+        let root = root_over(&mut a, &elems);
+        let _ = last_root;
+        let (b, ref_root) = {
+            let mut b = DagArena::new();
+            let ids: Vec<NodeId> = model.iter().map(|e| build_elem(&mut b, e)).collect();
+            let r = root_over(&mut b, &ids);
+            (b, r)
+        };
+        prop_assert!(
+            structurally_equal(&a, root, &b, ref_root),
+            "recycled arena diverged from fresh reference"
+        );
+        prop_assert_eq!(yield_string(&a, root), yield_string(&b, ref_root));
+        // And the survivors still match after one more collection.
+        a.collect_garbage(root);
+        prop_assert!(structurally_equal(&a, root, &b, ref_root));
+        prop_assert_eq!(yield_string(&a, root), yield_string(&b, ref_root));
     }
 
     #[test]
@@ -104,16 +216,16 @@ proptest! {
             match e {
                 0 => pieces.push(t),
                 1 => {
-                    let p = a.production(ProdId::from_index(1), ParseState(1), vec![t]);
+                    let p = a.production(ProdId::from_index(1), ParseState(1), &[t]);
                     pieces.push(p);
                 }
                 _ => {
-                    let r = a.seq_run(sym, ParseState(2), vec![t]);
+                    let r = a.seq_run(sym, ParseState(2), &[t]);
                     pieces.push(r);
                 }
             }
         }
-        let seq = a.sequence(sym, ParseState(0), pieces.clone());
+        let seq = a.sequence(sym, ParseState(0), &pieces);
         let root = a.root(seq);
         // width == number of terminals; leftmost == first terminal's kind.
         prop_assert_eq!(a.width(root) as usize, elems.len());
@@ -150,6 +262,45 @@ proptest! {
         prop_assert!(!a.has_changes(root));
         prop_assert!(!a.has_changes(terms[victim]));
     }
+}
+
+/// Soak: 10k edit cycles (replace one element, collect when due) keep the
+/// arena's slot count bounded and — once the free lists are warm — stop
+/// taking fresh slots from the allocator entirely.
+#[test]
+fn soak_10k_edits_bounded_and_allocation_free() {
+    let mut a = DagArena::new();
+    let mut elems: Vec<NodeId> = (0..50)
+        .map(|i| build_elem(&mut a, &Elem::Prod(i, format!("s{i}"))))
+        .collect();
+    let mut fresh_after_warmup = 0;
+    for edit in 0..10_000 {
+        let i = (edit * 7 + 3) % elems.len();
+        let kind = (edit % 3) as u8;
+        let e = elem_from(kind, (edit % 11) as u8, 50 + edit);
+        elems[i] = build_elem(&mut a, &e);
+        if a.should_collect() {
+            let root = root_over(&mut a, &elems);
+            a.collect_garbage(root);
+        }
+        if edit == 2_000 {
+            fresh_after_warmup = a.fresh_node_slots();
+        }
+    }
+    assert!(
+        a.len() < 2_000,
+        "arena grew unbounded over 10k edits: {} slots",
+        a.len()
+    );
+    assert_eq!(
+        a.fresh_node_slots(),
+        fresh_after_warmup,
+        "warm session must serve every node from the free list"
+    );
+    assert!(
+        a.recycled_node_slots() > 9_000,
+        "edits ran on recycled slots"
+    );
 }
 
 fn terminals(a: &DagArena, root: NodeId) -> Vec<NodeId> {

@@ -50,6 +50,9 @@ pub struct Gss {
     /// Number of live nodes; slots `live..nodes.len()` are retained spares.
     live: usize,
     fresh: u64,
+    /// Pooled scratch for path enumeration: retained across calls so the
+    /// reduction hot path never allocates a per-call kid buffer.
+    path_buf: Vec<NodeId>,
 }
 
 impl Gss {
@@ -145,9 +148,17 @@ impl Gss {
     /// Enumerates all paths of exactly `len` links starting at `from`,
     /// invoking `f(tail, kids)` with the reached node and the dag nodes
     /// along the path in left-to-right (yield) order.
-    pub fn for_each_path(&self, from: GssIdx, len: usize, mut f: impl FnMut(GssIdx, &[NodeId])) {
-        let mut kids: Vec<NodeId> = vec![NodeId::NONE; len];
+    pub fn for_each_path(
+        &mut self,
+        from: GssIdx,
+        len: usize,
+        mut f: impl FnMut(GssIdx, &[NodeId]),
+    ) {
+        let mut kids = std::mem::take(&mut self.path_buf);
+        kids.clear();
+        kids.resize(len, NodeId::NONE);
         self.paths_rec(from, len, &mut kids, &mut f);
+        self.path_buf = kids;
     }
 
     fn paths_rec(
@@ -173,7 +184,7 @@ impl Gss {
     /// `do_limited_reductions`, which re-examines only reductions enabled by
     /// a freshly added link).
     pub fn for_each_path_through(
-        &self,
+        &mut self,
         _from: GssIdx,
         len: usize,
         link: Link,
@@ -182,9 +193,12 @@ impl Gss {
         if len == 0 {
             return;
         }
-        let mut kids: Vec<NodeId> = vec![NodeId::NONE; len];
+        let mut kids = std::mem::take(&mut self.path_buf);
+        kids.clear();
+        kids.resize(len, NodeId::NONE);
         kids[len - 1] = link.node;
         self.paths_rec(link.head, len - 1, &mut kids, &mut f);
+        self.path_buf = kids;
     }
 
     /// Number of live GSS nodes (a Section 5-style size metric).

@@ -12,19 +12,58 @@
 //!
 //! Both tables are scoped to a single shift round, because reductions in one
 //! round all produce subtrees with a common right edge.
+//!
+//! The production table is a hand-rolled open-addressed map: keys are
+//! `(production, kids)` where the kid list lives in a pooled slab, so
+//! neither lookups nor inserts allocate a `Vec` key once the table is warm.
+//! [`MergeTables::clear`] retains every allocation for the next round.
 
-use std::collections::HashMap;
-use wg_dag::{DagArena, NodeId, NodeKind, ParseState};
+use wg_dag::{fx_hash, DagArena, FxHashMap, NodeId, NodeKind, ParseState};
 use wg_grammar::{Grammar, NonTerminal, ProdId, ProdKind};
+
+/// One slot of the open-addressed production table. The key's kid list is
+/// `key_slab[off..off + len]`; an empty slot has `node == NodeId::NONE`.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    hash: u64,
+    prod: ProdId,
+    off: u32,
+    len: u32,
+    node: NodeId,
+}
+
+const EMPTY: Entry = Entry {
+    hash: 0,
+    prod: ProdId::AUGMENTED,
+    off: 0,
+    len: 0,
+    node: NodeId::NONE,
+};
+
+fn key_hash(prod: ProdId, kids: &[NodeId]) -> u64 {
+    fx_hash((prod, kids))
+}
 
 /// The round-scoped sharing tables.
 #[derive(Debug, Default)]
 pub struct MergeTables {
-    /// (production, kids) -> production node.
-    nodes: HashMap<(ProdId, Vec<NodeId>), NodeId>,
+    /// Open-addressed (production, kids) -> production node table. Capacity
+    /// is a power of two; linear probing.
+    entries: Vec<Entry>,
+    /// Occupied slots in `entries`.
+    len: usize,
+    /// Backing store for entry keys; truncated (capacity retained) per round.
+    key_slab: Vec<NodeId>,
+    /// Pooled scratch for proxy upgrades.
+    upgrade_buf: Vec<Entry>,
+    /// Lifetime probe-step count (perf counter; never reset).
+    probes: u64,
+    /// Lifetime heap growths of the table or its key slab (never reset; a
+    /// warm table stops incrementing this — regression tests assert so).
+    key_allocs: u64,
     /// (symbol, yield-width) -> proxy or symbol node. All subtrees built in
     /// one round share their right edge, so width identifies the cover.
-    symbols: HashMap<(NonTerminal, u32), NodeId>,
+    symbols: FxHashMap<(NonTerminal, u32), NodeId>,
 }
 
 impl MergeTables {
@@ -33,10 +72,92 @@ impl MergeTables {
         MergeTables::default()
     }
 
-    /// Clears both tables (start of each round).
+    /// Clears both tables (start of each round), retaining allocations.
     pub fn clear(&mut self) {
-        self.nodes.clear();
+        for e in &mut self.entries {
+            e.node = NodeId::NONE;
+        }
+        self.len = 0;
+        self.key_slab.clear();
         self.symbols.clear();
+    }
+
+    /// Probe steps taken over this table's lifetime (a Section 5-style cost
+    /// counter for the sharing machinery).
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// Heap allocations taken by the table or its key slab over its
+    /// lifetime. Stops growing once the pool is warm.
+    pub fn key_allocs(&self) -> u64 {
+        self.key_allocs
+    }
+
+    fn lookup(&mut self, hash: u64, prod: ProdId, kids: &[NodeId]) -> Option<NodeId> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let mask = self.entries.len() - 1;
+        let mut i = (hash as usize) & mask;
+        loop {
+            let e = self.entries[i];
+            self.probes += 1;
+            if e.node == NodeId::NONE {
+                return None;
+            }
+            let (off, len) = (e.off as usize, e.len as usize);
+            if e.hash == hash
+                && e.prod == prod
+                && len == kids.len()
+                && self.key_slab[off..off + len] == *kids
+            {
+                return Some(e.node);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Ensures a free slot exists below the 7/8 load ceiling.
+    fn reserve_one(&mut self) {
+        if self.entries.is_empty() || (self.len + 1) * 8 > self.entries.len() * 7 {
+            let new_cap = (self.entries.len() * 2).max(16);
+            self.key_allocs += 1;
+            let old = std::mem::replace(&mut self.entries, vec![EMPTY; new_cap]);
+            self.len = 0;
+            for e in old {
+                if e.node != NodeId::NONE {
+                    self.insert_raw(e);
+                }
+            }
+        }
+    }
+
+    fn insert_raw(&mut self, e: Entry) {
+        let mask = self.entries.len() - 1;
+        let mut i = (e.hash as usize) & mask;
+        while self.entries[i].node != NodeId::NONE {
+            self.probes += 1;
+            i = (i + 1) & mask;
+        }
+        self.entries[i] = e;
+        self.len += 1;
+    }
+
+    fn insert(&mut self, hash: u64, prod: ProdId, kids: &[NodeId], node: NodeId) {
+        self.reserve_one();
+        if self.key_slab.len() + kids.len() > self.key_slab.capacity() {
+            self.key_allocs += 1;
+        }
+        let off = self.key_slab.len() as u32;
+        self.key_slab.extend_from_slice(kids);
+        self.insert_raw(Entry {
+            hash,
+            prod,
+            off,
+            len: kids.len() as u32,
+            node,
+        });
     }
 
     /// Appendix A's `get_node`: returns the existing node for this exact
@@ -47,15 +168,16 @@ impl MergeTables {
         arena: &mut DagArena,
         g: &Grammar,
         prod: ProdId,
-        kids: Vec<NodeId>,
+        kids: &[NodeId],
         preceding: ParseState,
         multi: bool,
     ) -> NodeId {
-        if let Some(&n) = self.nodes.get(&(prod, kids.clone())) {
+        let hash = key_hash(prod, kids);
+        if let Some(n) = self.lookup(hash, prod, kids) {
             return n;
         }
-        let n = build_reduction_node(arena, g, prod, kids.clone(), preceding, multi);
-        self.nodes.insert((prod, kids), n);
+        let n = build_reduction_node(arena, g, prod, kids, preceding, multi);
+        self.insert(hash, prod, kids, n);
         n
     }
 
@@ -71,25 +193,46 @@ impl MergeTables {
     /// Without this, a reduction performed *before* the second
     /// interpretation arrived would keep pointing at the lone proxy and a
     /// derivation would silently be lost.
+    ///
+    /// Only entries whose key actually contains `old` are touched: their key
+    /// slices are patched in the slab and re-inserted under the new hash.
+    /// The stale slot keeps its old hash so other probe chains stay intact;
+    /// it can no longer match (its stored hash belongs to a key that no
+    /// longer exists) and dies at the next round's [`MergeTables::clear`].
     pub fn upgrade_proxy(&mut self, arena: &mut DagArena, old: NodeId, sym: NodeId) {
-        let entries: Vec<((ProdId, Vec<NodeId>), NodeId)> = self
-            .nodes
-            .iter()
-            .filter(|((_, kids), _)| kids.contains(&old))
-            .map(|(k, v)| (k.clone(), *v))
-            .collect();
-        for ((prod, kids), val) in entries {
-            self.nodes.remove(&(prod, kids.clone()));
-            let new_kids: Vec<NodeId> = kids
-                .iter()
-                .map(|&k| if k == old { sym } else { k })
-                .collect();
-            if val != old {
-                // Keep the symbol node out of its own alternative list.
-                arena.set_kids(val, new_kids.clone());
-            }
-            self.nodes.insert((prod, new_kids), val);
+        if self.entries.is_empty() {
+            return;
         }
+        let mut pending = std::mem::take(&mut self.upgrade_buf);
+        pending.clear();
+        for i in 0..self.entries.len() {
+            let e = self.entries[i];
+            if e.node == NodeId::NONE {
+                continue;
+            }
+            let range = e.off as usize..(e.off + e.len) as usize;
+            if !self.key_slab[range.clone()].contains(&old) {
+                continue;
+            }
+            for slot in &mut self.key_slab[range.clone()] {
+                if *slot == old {
+                    *slot = sym;
+                }
+            }
+            if e.node != old {
+                // Keep the symbol node out of its own alternative list.
+                arena.replace_kid(e.node, old, sym);
+            }
+            pending.push(Entry {
+                hash: key_hash(e.prod, &self.key_slab[range]),
+                ..e
+            });
+        }
+        for e in pending.drain(..) {
+            self.reserve_one();
+            self.insert_raw(e);
+        }
+        self.upgrade_buf = pending;
     }
 
     /// Appendix A's `get_symbolnode` with lazy instantiation: returns the
@@ -142,7 +285,7 @@ pub fn build_reduction_node(
     arena: &mut DagArena,
     g: &Grammar,
     prod: ProdId,
-    kids: Vec<NodeId>,
+    kids: &[NodeId],
     preceding: ParseState,
     multi: bool,
 ) -> NodeId {
@@ -151,7 +294,7 @@ pub fn build_reduction_node(
     if multi || p.kind() == ProdKind::Normal {
         // Explicit node retention (paper ref. 25): re-deriving an identical instance
         // hands back the previous version's node.
-        if let Some(old) = arena.try_reuse_production(prod, &kids, state) {
+        if let Some(old) = arena.try_reuse_production(prod, kids, state) {
             return old;
         }
         return arena.production(prod, state, kids);
@@ -207,16 +350,57 @@ mod tests {
         let mut mt = MergeTables::new();
         let x = arena.terminal(Terminal::from_index(1), "x");
         let p = ProdId::from_index(1);
-        let n1 = mt.get_node(&mut arena, &g, p, vec![x], ParseState(1), true);
-        let n2 = mt.get_node(&mut arena, &g, p, vec![x], ParseState(2), true);
+        let n1 = mt.get_node(&mut arena, &g, p, &[x], ParseState(1), true);
+        let n2 = mt.get_node(&mut arena, &g, p, &[x], ParseState(2), true);
         assert_eq!(n1, n2, "same production over same kids is one node");
         let other = ProdId::from_index(2);
         let y = arena.terminal(Terminal::from_index(1), "x");
-        let n3 = mt.get_node(&mut arena, &g, other, vec![x, y], ParseState(1), true);
+        let n3 = mt.get_node(&mut arena, &g, other, &[x, y], ParseState(1), true);
         assert_ne!(n1, n3);
         mt.clear();
-        let n4 = mt.get_node(&mut arena, &g, p, vec![x], ParseState(1), true);
+        let n4 = mt.get_node(&mut arena, &g, p, &[x], ParseState(1), true);
         assert_ne!(n1, n4, "tables are round-scoped");
+    }
+
+    #[test]
+    fn warm_tables_stop_allocating() {
+        let g = normal_grammar();
+        let mut arena = DagArena::new();
+        let mut mt = MergeTables::new();
+        // Warm up: a few rounds of inserts, then clear.
+        for _ in 0..3 {
+            for i in 0u32..12 {
+                let x = arena.terminal(Terminal::from_index(1), "x");
+                let y = arena.terminal(Terminal::from_index(1), "x");
+                let _ = mt.get_node(
+                    &mut arena,
+                    &g,
+                    ProdId::from_index(1 + i as usize % 2),
+                    &[x, y],
+                    ParseState(i),
+                    true,
+                );
+            }
+            mt.clear();
+        }
+        let allocs = mt.key_allocs();
+        for round in 0u32..5 {
+            for i in 0usize..12 {
+                let x = arena.terminal(Terminal::from_index(1), "x");
+                let y = arena.terminal(Terminal::from_index(1), "x");
+                let _ = mt.get_node(
+                    &mut arena,
+                    &g,
+                    ProdId::from_index(1 + i % 2),
+                    &[x, y],
+                    ParseState(round),
+                    true,
+                );
+            }
+            mt.clear();
+        }
+        assert_eq!(mt.key_allocs(), allocs, "warm rounds must not allocate");
+        assert!(mt.probes() > 0, "probe counter advances");
     }
 
     #[test]
@@ -229,7 +413,7 @@ mod tests {
             &mut arena,
             &g,
             ProdId::from_index(1),
-            vec![x],
+            &[x],
             ParseState(5),
             true,
         );
@@ -240,7 +424,7 @@ mod tests {
             &mut arena,
             &g,
             ProdId::from_index(1),
-            vec![y],
+            &[y],
             ParseState(5),
             false,
         );
@@ -254,13 +438,13 @@ mod tests {
         let mut arena = DagArena::new();
         let mut mt = MergeTables::new();
         let x = arena.terminal(Terminal::from_index(1), "x");
-        let p1 = arena.production(ProdId::from_index(1), ParseState::MULTI, vec![x]);
+        let p1 = arena.production(ProdId::from_index(1), ParseState::MULTI, &[x]);
         // First interpretation: proxy, no symbol node created.
         let (r1, replaced) = mt.get_symbol_node(&mut arena, s, p1);
         assert_eq!(r1, p1);
         assert!(replaced.is_none());
         // Second interpretation with the same cover: packed.
-        let p2 = arena.production(ProdId::from_index(2), ParseState::MULTI, vec![x]);
+        let p2 = arena.production(ProdId::from_index(2), ParseState::MULTI, &[x]);
         // Give p2 the same width by construction (both cover one token).
         let (r2, replaced) = mt.get_symbol_node(&mut arena, s, p2);
         assert_ne!(r2, p2);
@@ -269,11 +453,67 @@ mod tests {
         assert_eq!(arena.kids(r2), &[p1, p2]);
         // Third interpretation joins the existing symbol node.
         let y = arena.terminal(Terminal::from_index(1), "x");
-        let p3 = arena.production(ProdId::from_index(1), ParseState::MULTI, vec![y]);
+        let p3 = arena.production(ProdId::from_index(1), ParseState::MULTI, &[y]);
         let (r3, replaced) = mt.get_symbol_node(&mut arena, s, p3);
         assert_eq!(r3, r2);
         assert!(replaced.is_none());
         assert_eq!(arena.kids(r2).len(), 3);
+    }
+
+    #[test]
+    fn upgrade_proxy_rekeys_only_affected_entries() {
+        let g = normal_grammar();
+        let s = g.nonterminal_by_name("S").unwrap();
+        let mut arena = DagArena::new();
+        let mut mt = MergeTables::new();
+        let x = arena.terminal(Terminal::from_index(1), "x");
+        // A proxy interpretation, and a parent reduction built over it.
+        let proxy = arena.production(ProdId::from_index(1), ParseState::MULTI, &[x]);
+        let parent = mt.get_node(
+            &mut arena,
+            &g,
+            ProdId::from_index(2),
+            &[proxy, x],
+            ParseState(3),
+            true,
+        );
+        // An unrelated entry that must survive untouched.
+        let z = arena.terminal(Terminal::from_index(1), "x");
+        let other = mt.get_node(
+            &mut arena,
+            &g,
+            ProdId::from_index(2),
+            &[z, z],
+            ParseState(3),
+            true,
+        );
+        mt.record_symbol(s, arena.width(proxy), proxy);
+        // A second interpretation arrives: the proxy upgrades.
+        let p2 = arena.production(ProdId::from_index(1), ParseState::MULTI, &[z]);
+        let (sym, replaced) = mt.get_symbol_node(&mut arena, s, p2);
+        assert_eq!(replaced, Some(proxy));
+        // The parent's kids were patched in the dag...
+        assert_eq!(arena.kids(parent), &[sym, x]);
+        // ...and the table finds the parent under its upgraded key while the
+        // unrelated entry still resolves.
+        let again = mt.get_node(
+            &mut arena,
+            &g,
+            ProdId::from_index(2),
+            &[sym, x],
+            ParseState(3),
+            true,
+        );
+        assert_eq!(again, parent, "rekeyed entry is shared, not rebuilt");
+        let other2 = mt.get_node(
+            &mut arena,
+            &g,
+            ProdId::from_index(2),
+            &[z, z],
+            ParseState(3),
+            true,
+        );
+        assert_eq!(other2, other);
     }
 
     #[test]
@@ -285,10 +525,10 @@ mod tests {
         let mut arena = DagArena::new();
         let item = |a: &mut DagArena| a.terminal(Terminal::from_index(1), "item");
         let e1 = item(&mut arena);
-        let seq = build_reduction_node(&mut arena, &g, base, vec![e1], ParseState(0), false);
+        let seq = build_reduction_node(&mut arena, &g, base, &[e1], ParseState(0), false);
         assert!(matches!(arena.kind(seq), NodeKind::Sequence { .. }));
         let e2 = item(&mut arena);
-        let seq2 = build_reduction_node(&mut arena, &g, cons, vec![seq, e2], ParseState(0), false);
+        let seq2 = build_reduction_node(&mut arena, &g, cons, &[seq, e2], ParseState(0), false);
         assert_eq!(seq, seq2, "in-place accumulation");
         assert_eq!(arena.kids(seq).len(), 2);
         assert_eq!(arena.width(seq), 2);
@@ -302,17 +542,10 @@ mod tests {
         let cons = prods[1];
         let mut arena = DagArena::new();
         let e1 = arena.terminal(Terminal::from_index(1), "item");
-        let old_seq = arena.sequence(l, ParseState(0), vec![e1]);
+        let old_seq = arena.sequence(l, ParseState(0), &[e1]);
         arena.begin_epoch();
         let e2 = arena.terminal(Terminal::from_index(1), "item");
-        let seq2 = build_reduction_node(
-            &mut arena,
-            &g,
-            cons,
-            vec![old_seq, e2],
-            ParseState(0),
-            false,
-        );
+        let seq2 = build_reduction_node(&mut arena, &g, cons, &[old_seq, e2], ParseState(0), false);
         assert_ne!(seq2, old_seq, "old prefix must not be mutated");
         assert_eq!(arena.kids(seq2), &[old_seq, e2]);
         assert_eq!(arena.width(seq2), 2);
@@ -325,7 +558,7 @@ mod tests {
         let base = g.productions_for(l).next().unwrap();
         let mut arena = DagArena::new();
         let e1 = arena.terminal(Terminal::from_index(1), "item");
-        let n = build_reduction_node(&mut arena, &g, base, vec![e1], ParseState(0), true);
+        let n = build_reduction_node(&mut arena, &g, base, &[e1], ParseState(0), true);
         assert!(matches!(arena.kind(n), NodeKind::Production { .. }));
         assert_eq!(arena.state(n), ParseState::MULTI);
     }

@@ -4,9 +4,11 @@
 use crate::gss::{Gss, GssIdx, Link};
 use crate::merge::{build_reduction_node, MergeTables};
 use crate::scratch::ParseScratch;
-use std::collections::HashSet;
 use std::fmt;
-use wg_dag::{rebalance_sequences, unshare_epsilon, DagArena, NodeId, ParseState, SequencePolicy};
+use wg_dag::{
+    rebalance_sequences, unshare_epsilon, DagArena, FxHashMap, FxHashSet, NodeId, ParseState,
+    SequencePolicy,
+};
 use wg_grammar::{Grammar, NonTerminal, ProdKind, Terminal};
 use wg_lrtable::{Action, LrTable, StateId};
 
@@ -154,6 +156,8 @@ impl<'a> GlrParser<'a> {
             queued,
             for_shifter,
             forward,
+            path_slab,
+            work,
         } = scratch;
         let mut run = Run {
             g: self.g,
@@ -167,6 +171,8 @@ impl<'a> GlrParser<'a> {
             accepting: None,
             multi: false,
             forward,
+            path_slab,
+            work,
             stats: GlrRunStats::default(),
         };
         let bottom = run.gss.bottom(self.table.start_state());
@@ -226,7 +232,7 @@ struct Run<'a> {
     /// Parsers live in the current round.
     active: &'a mut Vec<GssIdx>,
     /// Members of `for_actor` (for re-activation on new links).
-    queued: &'a mut HashSet<GssIdx>,
+    queued: &'a mut FxHashSet<GssIdx>,
     for_actor: &'a mut Vec<GssIdx>,
     /// (parser, shift target) pairs for the end-of-round shift.
     for_shifter: &'a mut Vec<(GssIdx, StateId)>,
@@ -236,7 +242,11 @@ struct Run<'a> {
     /// Proxies upgraded to symbol nodes this round: reduction paths captured
     /// before an upgrade must resolve through this map or they would re-use
     /// the lone proxy and silently drop interpretations.
-    forward: &'a mut std::collections::HashMap<NodeId, NodeId>,
+    forward: &'a mut FxHashMap<NodeId, NodeId>,
+    /// Pooled flat storage for reduction-path kid lists.
+    path_slab: &'a mut Vec<NodeId>,
+    /// Reduction worklist: `(tail, off, len)` windows into `path_slab`.
+    work: &'a mut Vec<(GssIdx, u32, u32)>,
     stats: GlrRunStats,
 }
 
@@ -312,21 +322,26 @@ impl Run<'_> {
                 Action::Reduce(rule) => {
                     self.stats.reductions += 1;
                     let arity = self.g.production(rule).arity();
-                    let mut work: Vec<(GssIdx, Vec<NodeId>)> = Vec::new();
+                    self.work.clear();
+                    self.path_slab.clear();
+                    let (work, slab) = (&mut *self.work, &mut *self.path_slab);
                     self.gss.for_each_path(p, arity, |tail, kids| {
-                        work.push((tail, kids.to_vec()));
+                        let off = slab.len() as u32;
+                        slab.extend_from_slice(kids);
+                        work.push((tail, off, kids.len() as u32));
                     });
-                    if work.len() > 1 {
+                    if self.work.len() > 1 {
                         self.multi = true;
                     }
-                    if !self.multi && self.active.len() == 1 && work.len() == 1 {
+                    if !self.multi && self.active.len() == 1 && self.work.len() == 1 {
                         // Deterministic fast path: no sharing is possible,
                         // so skip the merge tables entirely.
-                        let (q, kids) = work.pop().expect("one path");
-                        self.fast_reducer(arena, q, rule, kids);
+                        let (q, off, len) = self.work.pop().expect("one path");
+                        self.fast_reducer(arena, q, rule, off, len);
                     } else {
-                        for (q, kids) in work {
-                            self.reducer(arena, q, rule, kids);
+                        for wi in 0..self.work.len() {
+                            let (q, off, len) = self.work[wi];
+                            self.reducer(arena, q, rule, off, len);
                         }
                     }
                 }
@@ -341,8 +356,10 @@ impl Run<'_> {
         arena: &mut DagArena,
         q: GssIdx,
         rule: wg_grammar::ProdId,
-        kids: Vec<NodeId>,
+        off: u32,
+        len: u32,
     ) {
+        let range = off as usize..(off + len) as usize;
         let lhs = self.g.production(rule).lhs();
         let Some(goto) = self.table.goto(self.gss.state(q), lhs) else {
             return;
@@ -350,19 +367,31 @@ impl Run<'_> {
         if let Some(&p) = self.active.iter().find(|&&m| self.gss.state(m) == goto) {
             if self.gss.find_link(p, q).is_some() {
                 // Re-derivation of an existing edge: take the general path.
-                self.reducer(arena, q, rule, kids);
+                self.reducer(arena, q, rule, off, len);
                 return;
             }
-            let node =
-                build_reduction_node(arena, self.g, rule, kids, ps(self.gss.state(q)), false);
+            let node = build_reduction_node(
+                arena,
+                self.g,
+                rule,
+                &self.path_slab[range],
+                ps(self.gss.state(q)),
+                false,
+            );
             self.gss.add_link(p, Link { head: q, node });
             if !self.queued.contains(&p) {
                 self.for_actor.push(p);
                 self.queued.insert(p);
             }
         } else {
-            let node =
-                build_reduction_node(arena, self.g, rule, kids, ps(self.gss.state(q)), false);
+            let node = build_reduction_node(
+                arena,
+                self.g,
+                rule,
+                &self.path_slab[range],
+                ps(self.gss.state(q)),
+                false,
+            );
             let p = self.gss.push(goto, Link { head: q, node });
             self.active.push(p);
             self.for_actor.push(p);
@@ -376,10 +405,15 @@ impl Run<'_> {
         arena: &mut DagArena,
         q: GssIdx,
         rule: wg_grammar::ProdId,
-        kids: Vec<NodeId>,
+        off: u32,
+        len: u32,
     ) {
+        let range = off as usize..(off + len) as usize;
         let lhs = self.g.production(rule).lhs();
-        let kids: Vec<NodeId> = kids.into_iter().map(|k| self.resolve(k)).collect();
+        for i in range.clone() {
+            let r = self.resolve(self.path_slab[i]);
+            self.path_slab[i] = r;
+        }
         let Some(goto) = self.table.goto(self.gss.state(q), lhs) else {
             // A conflicting fork reduced into a dead end; it simply dies.
             return;
@@ -388,7 +422,7 @@ impl Run<'_> {
             arena,
             self.g,
             rule,
-            kids.clone(),
+            &self.path_slab[range.clone()],
             ps(self.gss.state(q)),
             self.multi,
         );
@@ -403,7 +437,7 @@ impl Run<'_> {
                 // A fast-path node is not in the merge tables; an identical
                 // re-derivation must not be packed as spurious ambiguity.
                 if let wg_dag::NodeKind::Production { prod } = arena.kind(label) {
-                    if *prod == rule && arena.kids(label) == kids {
+                    if *prod == rule && arena.kids(label) == &self.path_slab[range] {
                         return;
                     }
                 }

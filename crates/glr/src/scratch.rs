@@ -10,8 +10,7 @@
 
 use crate::gss::{Gss, GssIdx};
 use crate::merge::MergeTables;
-use std::collections::{HashMap, HashSet};
-use wg_dag::NodeId;
+use wg_dag::{FxHashMap, FxHashSet, NodeId};
 use wg_lrtable::StateId;
 
 /// Reusable scratch state for one GLR (re)parse.
@@ -31,11 +30,16 @@ pub struct ParseScratch {
     /// Worklist of parsers still to act this round.
     pub for_actor: Vec<GssIdx>,
     /// Members of `for_actor` (for idempotent re-activation).
-    pub queued: HashSet<GssIdx>,
+    pub queued: FxHashSet<GssIdx>,
     /// (parser, shift target) pairs for the end-of-round shift.
     pub for_shifter: Vec<(GssIdx, StateId)>,
     /// Proxy upgrades of the current round.
-    pub forward: HashMap<NodeId, NodeId>,
+    pub forward: FxHashMap<NodeId, NodeId>,
+    /// Pooled backing store for reduction-path kid lists: one flat buffer
+    /// per action instead of one `Vec` per enumerated path.
+    pub path_slab: Vec<NodeId>,
+    /// Reduction worklist: `(tail, off, len)` windows into `path_slab`.
+    pub work: Vec<(GssIdx, u32, u32)>,
 }
 
 impl ParseScratch {
@@ -54,12 +58,25 @@ impl ParseScratch {
         self.queued.clear();
         self.for_shifter.clear();
         self.forward.clear();
+        self.path_slab.clear();
+        self.work.clear();
     }
 
     /// Total GSS node-slot allocations over this scratch's lifetime. Stops
     /// growing once the pool is warm; regression tests assert exactly that.
     pub fn fresh_allocs(&self) -> u64 {
         self.gss.fresh_allocs()
+    }
+
+    /// Probe steps taken by the merge tables over their lifetime.
+    pub fn merge_probes(&self) -> u64 {
+        self.merge.probes()
+    }
+
+    /// Heap allocations taken by the merge tables' key storage over their
+    /// lifetime. Stops growing once warm.
+    pub fn merge_key_allocs(&self) -> u64 {
+        self.merge.key_allocs()
     }
 }
 
@@ -75,6 +92,8 @@ mod tests {
         s.for_actor.push(b);
         s.queued.insert(b);
         s.for_shifter.push((b, StateId(4)));
+        s.path_slab.push(NodeId::NONE);
+        s.work.push((b, 0, 1));
         s.begin_run();
         assert!(s.gss.is_empty());
         assert!(s.active.is_empty());
@@ -82,6 +101,8 @@ mod tests {
         assert!(s.queued.is_empty());
         assert!(s.for_shifter.is_empty());
         assert!(s.forward.is_empty());
+        assert!(s.path_slab.is_empty());
+        assert!(s.work.is_empty());
         let allocs = s.fresh_allocs();
         s.begin_run();
         s.gss.bottom(StateId(0));

@@ -174,6 +174,25 @@ pub fn identifier_sites(text: &str) -> Vec<(usize, usize)> {
     out
 }
 
+/// Deterministic, size-comparable edit site: the `var…` identifier nearest
+/// the fixed relative document position `frac` (0.0 = start, 1.0 = end).
+///
+/// The scaling sweeps edit one token in documents of different sizes and
+/// compare the per-stage costs across sizes; a randomly chosen site lands
+/// in a different syntactic context per size (top level vs inside a
+/// function body, short vs long enclosing statement), which makes the
+/// per-size timings non-monotone noise rather than a scaling curve. Pinning
+/// the site to the same statement *shape* (`var<N> = …`, the generator's
+/// unambiguous filler) at the same relative depth makes the sizes directly
+/// comparable.
+pub fn comparable_site(text: &str, frac: f64) -> Option<(usize, usize)> {
+    let target = (text.len() as f64 * frac.clamp(0.0, 1.0)) as usize;
+    identifier_sites(text)
+        .into_iter()
+        .filter(|&(s, l)| text[s..s + l].starts_with("var"))
+        .min_by_key(|&(s, _)| s.abs_diff(target))
+}
+
 /// Deterministically picks `count` identifier edit sites spread over the
 /// program (for the self-cancelling-modification experiments of Section 5).
 pub fn edit_sites(text: &str, count: usize, seed: u64) -> Vec<(usize, usize)> {
@@ -244,6 +263,18 @@ mod tests {
             .map(|&(s, l)| &"int foo; typedef int bar; baz (q);"[s..s + l])
             .collect();
         assert_eq!(words, vec!["foo", "bar", "baz", "q"]);
+    }
+
+    #[test]
+    fn comparable_site_is_deterministic_and_mid_document() {
+        for lines in [150usize, 1_500] {
+            let p = c_program(&GenSpec::sized(lines, 0.0, 7));
+            let (s, l) = comparable_site(&p.text, 0.5).expect("filler statements exist");
+            assert_eq!(comparable_site(&p.text, 0.5), Some((s, l)));
+            assert!(p.text[s..s + l].starts_with("var"));
+            let frac = s as f64 / p.text.len() as f64;
+            assert!((0.4..0.6).contains(&frac), "site at {frac} of the text");
+        }
     }
 
     #[test]

@@ -46,11 +46,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::HashMap;
 use std::fmt;
 use wg_dag::{
-    rebalance_sequences, unshare_epsilon, DagArena, InputStream, NodeId, NodeKind, ParseState,
-    SequencePolicy,
+    rebalance_sequences, unshare_epsilon, DagArena, FxHashMap, InputStream, NodeId, NodeKind,
+    ParseState, SequencePolicy,
 };
 use wg_grammar::{Grammar, NonTerminal, ProdId, ProdKind, Terminal};
 use wg_lrtable::{Action, LrTable, StateId};
@@ -167,7 +166,7 @@ impl<'a> IncLrParser<'a> {
             .map(|(t, s)| arena.terminal(t, s))
             .collect();
         // Borrow an EOS from a placeholder root, reused as the real root.
-        let placeholder = arena.production(ProdId::AUGMENTED, ParseState::NONE, vec![]);
+        let placeholder = arena.production(ProdId::AUGMENTED, ParseState::NONE, &[]);
         let root = arena.root(placeholder);
         let eos = arena.kids(root)[2];
         let stream = InputStream::over_terminals(arena, &nodes, eos);
@@ -190,7 +189,7 @@ impl<'a> IncLrParser<'a> {
         &self,
         arena: &mut DagArena,
         root: NodeId,
-        replacements: HashMap<NodeId, Vec<NodeId>>,
+        replacements: FxHashMap<NodeId, Vec<NodeId>>,
         appended: &[NodeId],
     ) -> Result<IncRunStats, IncParseError> {
         arena.begin_epoch();
@@ -358,8 +357,14 @@ impl<'a> IncLrParser<'a> {
         let kids: Vec<NodeId> = stack.drain(stack.len() - arity..).map(|(_, n)| n).collect();
         let preceding = stack.last().map_or(self.table.start_state(), |e| e.0);
         let lhs = self.g.production(rule).lhs();
-        let node =
-            wg_glr::build_reduction_node(arena, self.g, rule, kids, ParseState(preceding.0), false);
+        let node = wg_glr::build_reduction_node(
+            arena,
+            self.g,
+            rule,
+            &kids,
+            ParseState(preceding.0),
+            false,
+        );
         let Some(target) = self.table.goto(preceding, lhs) else {
             return Err(IncParseError::SyntaxError {
                 consumed: stats.terminal_shifts,
@@ -383,7 +388,7 @@ impl<'a> IncLrParser<'a> {
                 NodeKind::SeqRun { symbol } => *symbol,
                 _ => unreachable!("merge_run called on a run"),
             };
-            arena.sequence(sym, arena.state(top), vec![top, run])
+            arena.sequence(sym, arena.state(top), &[top, run])
         }
     }
 }
@@ -534,7 +539,7 @@ mod tests {
         if term_index > 0 {
             arena.mark_following(old_terms[term_index - 1]);
         }
-        let mut reps = HashMap::new();
+        let mut reps = FxHashMap::default();
         reps.insert(victim, vec![fresh]);
         let stats = parser.reparse(&mut arena, root, reps, &[]).unwrap();
         arena.clear_changes();
@@ -622,7 +627,7 @@ mod tests {
         let fresh = arena.terminal(x, "x");
         arena.mark_changed(victim);
         arena.mark_following(terms[19]);
-        let mut reps = HashMap::new();
+        let mut reps = FxHashMap::default();
         reps.insert(victim, vec![fresh]);
         parser.reparse(&mut arena, root, reps, &[]).unwrap();
         arena.clear_changes();
@@ -650,7 +655,7 @@ mod tests {
         let eq = lang.g.terminal_by_name("=").unwrap();
         let fresh = arena.terminal(eq, "=");
         arena.mark_changed(victim);
-        let mut reps = HashMap::new();
+        let mut reps = FxHashMap::default();
         reps.insert(victim, vec![fresh]);
         let err = parser.reparse(&mut arena, root, reps, &[]).unwrap_err();
         assert!(matches!(err, IncParseError::SyntaxError { .. }));
@@ -678,7 +683,7 @@ mod tests {
         let extra = toks(&lang, &["zz", "=", "9", ";"]);
         let extra_nodes: Vec<NodeId> = extra.iter().map(|(t, s)| arena.terminal(*t, s)).collect();
         parser
-            .reparse(&mut arena, root, HashMap::new(), &extra_nodes)
+            .reparse(&mut arena, root, FxHashMap::default(), &extra_nodes)
             .unwrap();
         arena.clear_changes();
         assert_eq!(arena.width(root), 16);

@@ -2,9 +2,8 @@
 //! dynamic-lookahead marking, and incremental behaviour around the
 //! extended-lookahead region.
 
-use std::collections::HashMap;
 use wg_core::IglrParser;
-use wg_dag::{structurally_equal, DagArena, DagStats, NodeId, NodeKind, ParseState};
+use wg_dag::{structurally_equal, DagArena, DagStats, FxHashMap, NodeId, NodeKind, ParseState};
 use wg_earley::EarleyParser;
 use wg_glr::GlrParser;
 use wg_grammar::Grammar;
@@ -100,7 +99,7 @@ fn edit_to_final_token_flips_interpretation_incrementally() {
     let fresh = arena.terminal(term("e"), "e");
     arena.mark_changed(terms[2]);
     arena.mark_following(terms[1]);
-    let mut reps = HashMap::new();
+    let mut reps = FxHashMap::default();
     reps.insert(terms[2], vec![fresh]);
     parser.reparse(&mut arena, root, reps, &[]).unwrap();
     arena.clear_changes();
@@ -128,7 +127,7 @@ fn edit_inside_lookahead_region_forces_atomic_reconstruction() {
     let terms = leaves(&arena, root);
     let fresh = arena.terminal(term("x"), "x");
     arena.mark_changed(terms[0]);
-    let mut reps = HashMap::new();
+    let mut reps = FxHashMap::default();
     reps.insert(terms[0], vec![fresh]);
     let stats = parser.reparse(&mut arena, root, reps, &[]).unwrap();
     arena.clear_changes();
