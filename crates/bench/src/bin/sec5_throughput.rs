@@ -1,0 +1,314 @@
+//! **Section 5, service throughput** — the workload the single-session
+//! benches cannot express: an editor service holding many open documents,
+//! each under a sustained self-cancelling edit stream (the Section 5
+//! protocol), served by the sharded `wg-workspace` pool.
+//!
+//! The grid sweeps document count × shard threads and reports aggregate
+//! edits/sec plus per-edit service-latency percentiles, the two axes the
+//! empirical parser-comparison literature evaluates (sustained throughput,
+//! bounded per-edit latency). A direct single-`Session` run of the same
+//! script gives the no-pool baseline, so the table directly shows (a) the
+//! scale-out factor across threads and (b) the latency tax of the queue +
+//! shard indirection on a single document.
+//!
+//! Run: `cargo run --release -p wg-bench --bin sec5_throughput -- [--quick]`
+//!
+//! Writes `BENCH_throughput.json` for CI archival.
+
+use std::time::{Duration, Instant};
+use wg_bench::{doc_workloads, fmt_dur, print_table, DocWorkload};
+use wg_core::{LanguageRegistry, Session};
+use wg_langs::simp_c_det_defs;
+use wg_workspace::{DocId, EditReq, Workspace};
+
+const DOC_COUNTS: [usize; 3] = [1, 8, 64];
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Edit pairs carried per command. Editors coalesce bursts the same way;
+/// for the bench it keeps the queue/reply handoff (a few µs per command)
+/// from drowning the ~10µs reparses being measured.
+const PAIRS_PER_CMD: usize = 4;
+
+struct Cell {
+    docs: usize,
+    threads: usize,
+    edits: u64,
+    wall: Duration,
+    edits_per_sec: f64,
+    p50: Duration,
+    p95: Duration,
+    p99: Duration,
+    busy_max: Duration,
+}
+
+fn percentile(sorted_ns: &[u64], p: f64) -> Duration {
+    if sorted_ns.is_empty() {
+        return Duration::ZERO;
+    }
+    let ix = ((p * sorted_ns.len() as f64).ceil() as usize).clamp(1, sorted_ns.len()) - 1;
+    Duration::from_nanos(sorted_ns[ix])
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (lines, pairs, warmup_pairs) = if quick { (150, 30, 4) } else { (400, 80, 8) };
+
+    let registry = std::sync::Arc::new(LanguageRegistry::new());
+    let (grammar, lexdef) = simp_c_det_defs();
+    let config = registry
+        .get_or_compile(grammar, lexdef)
+        .expect("language compiles");
+
+    // Per-document workloads are generated once per document count and
+    // replayed identically at every thread count.
+    let workloads: Vec<(usize, Vec<DocWorkload>)> = DOC_COUNTS
+        .iter()
+        .map(|&d| (d, doc_workloads(d, lines, pairs + warmup_pairs, 7)))
+        .collect();
+
+    // Direct baseline: the same single-document script on a bare Session,
+    // no pool, no queues — the sec5_incremental-style figure.
+    let direct_p50 = {
+        let w = &workloads[0].1[0];
+        let mut s = Session::new(&config, &w.text).expect("parses");
+        let mut lat = Vec::new();
+        for (i, (a, b)) in w.pairs.iter().enumerate() {
+            for op in [a, b] {
+                let t0 = Instant::now();
+                s.edit(op.start, op.removed, &op.insert);
+                assert!(s.reparse().expect("no session error").incorporated);
+                if i >= warmup_pairs {
+                    lat.push(t0.elapsed().as_nanos() as u64);
+                }
+            }
+        }
+        lat.sort_unstable();
+        percentile(&lat, 0.50)
+    };
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for (docs, loads) in &workloads {
+        for &threads in &THREAD_COUNTS {
+            cells.push(run_cell(
+                &registry,
+                &config,
+                *docs,
+                threads,
+                loads,
+                warmup_pairs,
+            ));
+        }
+    }
+    assert_eq!(
+        registry.table_builds(),
+        1,
+        "every cell must reuse the one compiled language"
+    );
+
+    // Report.
+    for &docs in &DOC_COUNTS {
+        let rows: Vec<Vec<String>> = cells
+            .iter()
+            .filter(|c| c.docs == docs)
+            .map(|c| {
+                let base = cells
+                    .iter()
+                    .find(|b| b.docs == docs && b.threads == 1)
+                    .unwrap();
+                vec![
+                    format!("{}", c.threads),
+                    format!("{:.0}", c.edits_per_sec),
+                    format!("{:.2}x", c.edits_per_sec / base.edits_per_sec),
+                    fmt_dur(c.p50),
+                    fmt_dur(c.p95),
+                    fmt_dur(c.p99),
+                    fmt_dur(c.busy_max),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("Sustained edit stream, {docs} document(s)"),
+            &[
+                "threads",
+                "edits/s",
+                "speedup",
+                "p50",
+                "p95",
+                "p99",
+                "busiest shard",
+            ],
+            &rows,
+        );
+    }
+
+    let single = cells
+        .iter()
+        .find(|c| c.docs == 1 && c.threads == 1)
+        .unwrap();
+    let tax = single.p50.as_nanos() as f64 / direct_p50.as_nanos().max(1) as f64 - 1.0;
+    println!(
+        "\nsingle-document p50: direct session {} vs 1-thread workspace {} ({:+.1}% service overhead)",
+        fmt_dur(direct_p50),
+        fmt_dur(single.p50),
+        tax * 100.0
+    );
+    let wide = cells
+        .iter()
+        .find(|c| c.docs == 64 && c.threads == 4)
+        .unwrap();
+    let wide_base = cells
+        .iter()
+        .find(|c| c.docs == 64 && c.threads == 1)
+        .unwrap();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "64-document aggregate: {:.0} edits/s at 4 threads vs {:.0} at 1 thread ({:.2}x, {} core(s) available)",
+        wide.edits_per_sec,
+        wide_base.edits_per_sec,
+        wide.edits_per_sec / wide_base.edits_per_sec,
+        cores
+    );
+    if cores < 4 {
+        println!(
+            "note: fewer than 4 cores — speedups reflect pipelining overlap, not parallel reparse"
+        );
+    }
+
+    write_json(
+        "BENCH_throughput.json",
+        quick,
+        lines,
+        pairs,
+        cores,
+        direct_p50,
+        &cells,
+    );
+}
+
+/// One grid cell: a fresh workspace, the documents opened, the scripts
+/// replayed (warm-up pairs unmeasured), per-edit latencies collected from
+/// the shard service times.
+fn run_cell(
+    registry: &std::sync::Arc<LanguageRegistry>,
+    config: &wg_core::SessionConfig,
+    docs: usize,
+    threads: usize,
+    loads: &[DocWorkload],
+    warmup_pairs: usize,
+) -> Cell {
+    let ws = Workspace::with_registry(threads, 64, std::sync::Arc::clone(registry));
+    let ids: Vec<DocId> = loads
+        .iter()
+        .map(|w| ws.open_with(config, &w.text).expect("opens"))
+        .collect();
+
+    let total_pairs = loads[0].pairs.len();
+    let mut measured_edits = 0u64;
+    let mut wall = Duration::ZERO;
+    // One round per PAIRS_PER_CMD pairs: every document gets one command
+    // carrying that chunk's mutate/restore edits, so the per-command
+    // handoff cost is amortized over 2×PAIRS_PER_CMD reparses. Per-edit
+    // latency percentiles come from the workspace's own service-time
+    // histogram, which records each edit+reparse individually.
+    let mut pair_ix = 0;
+    while pair_ix < total_pairs {
+        let chunk = (pair_ix..total_pairs.min(pair_ix + PAIRS_PER_CMD)).collect::<Vec<_>>();
+        let measured = pair_ix >= warmup_pairs;
+        let t0 = Instant::now();
+        let batch: Vec<(DocId, Vec<EditReq>)> = ids
+            .iter()
+            .zip(loads)
+            .map(|(id, w)| {
+                let edits: Vec<EditReq> = chunk
+                    .iter()
+                    .flat_map(|&p| {
+                        let (a, b) = &w.pairs[p];
+                        [
+                            EditReq::replace(a.start, a.removed, &a.insert),
+                            EditReq::replace(b.start, b.removed, &b.insert),
+                        ]
+                    })
+                    .collect();
+                (*id, edits)
+            })
+            .collect();
+        for report in ws.apply(batch) {
+            let outcome = report.result.expect("scripted edits apply");
+            assert!(outcome.incorporated);
+            if measured {
+                measured_edits += outcome.edits_applied as u64;
+            }
+        }
+        if measured {
+            wall += t0.elapsed();
+        }
+        pair_ix += chunk.len();
+    }
+    let metrics = ws.shutdown();
+    Cell {
+        docs,
+        threads,
+        edits: measured_edits,
+        wall,
+        edits_per_sec: measured_edits as f64 / wall.as_secs_f64().max(1e-9),
+        p50: metrics.p50,
+        p95: metrics.p95,
+        p99: metrics.p99,
+        busy_max: metrics
+            .shard_busy
+            .iter()
+            .max()
+            .copied()
+            .unwrap_or(Duration::ZERO),
+    }
+}
+
+/// Hand-rolled JSON (no serde in the container), matching the
+/// `BENCH_incremental.json` conventions: everything in nanoseconds.
+fn write_json(
+    path: &str,
+    quick: bool,
+    lines: usize,
+    pairs: usize,
+    cores: usize,
+    direct_p50: Duration,
+    cells: &[Cell],
+) {
+    let mut j = String::new();
+    j.push_str("{\n");
+    j.push_str("  \"bench\": \"sec5_throughput\",\n");
+    j.push_str(&format!("  \"quick\": {quick},\n"));
+    j.push_str(&format!("  \"cores\": {cores},\n"));
+    j.push_str(&format!("  \"lines_per_doc\": {lines},\n"));
+    j.push_str(&format!("  \"measured_pairs_per_doc\": {pairs},\n"));
+    j.push_str(&format!(
+        "  \"direct_single_session_p50_ns\": {},\n",
+        direct_p50.as_nanos()
+    ));
+    j.push_str("  \"grid\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let base = cells
+            .iter()
+            .find(|b| b.docs == c.docs && b.threads == 1)
+            .unwrap();
+        j.push_str(&format!(
+            "    {{\"docs\": {}, \"threads\": {}, \"edits\": {}, \"wall_ns\": {}, \"edits_per_sec\": {:.1}, \"speedup_vs_1_thread\": {:.4}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"busiest_shard_ns\": {}}}{}\n",
+            c.docs,
+            c.threads,
+            c.edits,
+            c.wall.as_nanos(),
+            c.edits_per_sec,
+            c.edits_per_sec / base.edits_per_sec,
+            c.p50.as_nanos(),
+            c.p95.as_nanos(),
+            c.p99.as_nanos(),
+            c.busy_max.as_nanos(),
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    j.push_str("  ]\n}\n");
+    match std::fs::write(path, &j) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+    }
+}

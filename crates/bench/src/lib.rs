@@ -5,6 +5,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+
 use std::time::{Duration, Instant};
 use wg_core::SessionConfig;
 use wg_dag::{DagArena, FxHashMap, NodeId, NodeKind};
@@ -260,6 +262,75 @@ pub fn collect_terminals(arena: &DagArena, root: NodeId) -> Vec<NodeId> {
     out
 }
 
+/// One scripted textual edit of a workload stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EditOp {
+    /// Byte offset of the replaced range.
+    pub start: usize,
+    /// Bytes removed.
+    pub removed: usize,
+    /// Replacement text.
+    pub insert: String,
+}
+
+/// A deterministic self-cancelling edit script over `text`: `count`
+/// (mutate, restore) pairs at identifier sites chosen by `seed` — the
+/// paper's Section 5 protocol, reusable across any number of documents.
+///
+/// Each pair restores the document byte-for-byte before the next pair
+/// runs, so the precomputed offsets stay valid for the whole script and
+/// identical scripts can be replayed against different parser stacks (or
+/// different shards) for comparison.
+pub fn self_cancelling_pairs(text: &str, count: usize, seed: u64) -> Vec<(EditOp, EditOp)> {
+    wg_langs::generate::edit_sites(text, count, seed)
+        .into_iter()
+        .map(|(start, len)| {
+            (
+                EditOp {
+                    start,
+                    removed: len,
+                    insert: "qqq".to_string(),
+                },
+                EditOp {
+                    start,
+                    removed: 3,
+                    insert: text[start..start + len].to_string(),
+                },
+            )
+        })
+        .collect()
+}
+
+/// One document of a multi-document throughput workload.
+#[derive(Debug, Clone)]
+pub struct DocWorkload {
+    /// Initial source text (parses with `simp_c_det`).
+    pub text: String,
+    /// The document's self-cancelling edit script.
+    pub pairs: Vec<(EditOp, EditOp)>,
+}
+
+/// Generates `docs` independent documents of ~`lines` lines each with
+/// `pairs` self-cancelling edit pairs per document. Every document gets a
+/// distinct generator seed, so contents (and edit sites) differ while the
+/// statistical shape matches — the sustained-editing workload of an
+/// editor service with many open buffers.
+pub fn doc_workloads(docs: usize, lines: usize, pairs: usize, seed: u64) -> Vec<DocWorkload> {
+    use wg_langs::generate::{c_program, GenSpec};
+    (0..docs)
+        .map(|i| {
+            let text = c_program(&GenSpec::sized(
+                lines,
+                0.0,
+                seed ^ (i as u64).wrapping_mul(0x9E37_79B9),
+            ))
+            .text;
+            let pairs = self_cancelling_pairs(&text, pairs, seed.wrapping_add(i as u64));
+            DocWorkload { text, pairs }
+        })
+        .collect()
+}
+
 /// Tokenizes text against a session config (terminal, lexeme) — the input
 /// shape the batch parsers take.
 pub fn tokenize(config: &SessionConfig, text: &str) -> Vec<(wg_grammar::Terminal, String)> {
@@ -310,6 +381,30 @@ mod tests {
             s.edit_and_reparse(pos, 3, "v25").unwrap();
         }
         assert!(s.arena().len() < 10_000);
+    }
+
+    #[test]
+    fn workloads_are_deterministic_and_self_cancelling() {
+        let loads = doc_workloads(3, 40, 5, 7);
+        assert_eq!(loads.len(), 3);
+        assert_ne!(loads[0].text, loads[1].text, "distinct seeds per document");
+        let again = doc_workloads(3, 40, 5, 7);
+        assert_eq!(loads[1].text, again[1].text);
+        assert_eq!(loads[1].pairs, again[1].pairs);
+        for w in &loads {
+            assert_eq!(w.pairs.len(), 5);
+            // Applying each (mutate, restore) pair leaves the text intact,
+            // so every pair's precomputed offsets stay valid.
+            let mut text = w.text.clone();
+            for (a, b) in &w.pairs {
+                for op in [a, b] {
+                    text.replace_range(op.start..op.start + op.removed, &op.insert);
+                }
+                assert_eq!(text, w.text);
+            }
+            // And the documents parse with the deterministic C config.
+            wg_core::Session::new(&simp_c_det(), &w.text).expect("workload parses");
+        }
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Caching registry of compiled language artifacts.
+//! Caching registry of compiled language artifacts — shared *across
+//! threads*.
 //!
 //! Building a conflict-preserving LALR(1) table is by far the most
 //! expensive step of opening a document, and an environment like the
@@ -7,31 +8,40 @@
 //! lexer — behind [`std::sync::Arc`], keyed by the stable fingerprints of
 //! the grammar and lexer definitions, so N sessions of one language pay
 //! for exactly one table construction and share every artifact.
+//!
+//! The registry is `Send + Sync` and designed for a concurrent workspace
+//! front end (`wg-workspace`): the hit path takes a short *read* lock on
+//! the key map, and a miss resolves through a per-key [`OnceLock`] cell,
+//! so concurrent first-opens of the same language block on **one** build
+//! (never compiling the table twice) while first-opens of *different*
+//! languages compile in parallel — no build ever runs under the map lock.
 
 use crate::session::{SessionConfig, SessionError};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
 use wg_grammar::Grammar;
 use wg_lexer::LexerDef;
 use wg_lrtable::{LrTable, TableKind};
 
-#[derive(Debug, Default)]
-struct RegistryInner {
-    /// Grammar fingerprint → shared grammar + its LALR table.
-    tables: HashMap<u64, (Arc<Grammar>, Arc<LrTable>)>,
-    /// (grammar fp, lexer fp) → fully assembled configuration.
-    configs: HashMap<(u64, u64), SessionConfig>,
-    table_builds: u64,
-    lexer_builds: u64,
-}
+/// Once-initialized shared grammar + table for one grammar fingerprint.
+type TableCell = Arc<OnceLock<(Arc<Grammar>, Arc<LrTable>)>>;
+/// Once-initialized configuration for one (grammar, lexer) fingerprint.
+type ConfigCell = Arc<OnceLock<SessionConfig>>;
 
-/// A process-wide cache of per-language [`SessionConfig`]s.
+/// A process-wide, thread-safe cache of per-language [`SessionConfig`]s.
 ///
 /// Cloning the returned configuration is a handful of reference-count
-/// bumps; identical definitions yield pointer-identical artifacts.
+/// bumps; identical definitions yield pointer-identical artifacts, from
+/// any thread.
 #[derive(Debug, Default)]
 pub struct LanguageRegistry {
-    inner: Mutex<RegistryInner>,
+    /// Grammar fingerprint → shared grammar + its LALR table.
+    tables: RwLock<HashMap<u64, TableCell>>,
+    /// (grammar fp, lexer fp) → fully assembled configuration.
+    configs: RwLock<HashMap<(u64, u64), ConfigCell>>,
+    table_builds: AtomicU64,
+    lexer_builds: AtomicU64,
 }
 
 impl LanguageRegistry {
@@ -43,6 +53,11 @@ impl LanguageRegistry {
     /// Returns the configuration for `grammar` + `lexdef`, compiling the
     /// table and lexer only if no equal definition was seen before.
     ///
+    /// Safe to call from any number of threads: a cache hit is a read
+    /// lock + clone; concurrent misses on the same key are deduplicated
+    /// (one caller builds, the rest block on its cell), and misses on
+    /// different keys build concurrently.
+    ///
     /// # Errors
     ///
     /// Propagates [`SessionError`] from configuration assembly.
@@ -52,42 +67,60 @@ impl LanguageRegistry {
         lexdef: LexerDef,
     ) -> Result<SessionConfig, SessionError> {
         let key = (grammar.fingerprint(), lexdef.fingerprint());
-        let mut inner = self.inner.lock().expect("registry poisoned");
-        if let Some(cfg) = inner.configs.get(&key) {
-            return Ok(cfg.clone());
+        let cell = Self::cell(&self.configs, key);
+        let cfg = cell.get_or_init(|| {
+            let (g, table) = self.table_for(key.0, grammar);
+            self.lexer_builds.fetch_add(1, Ordering::Relaxed);
+            let lexer = Arc::new(lexdef.compile());
+            SessionConfig::from_parts(g, table, lexer)
+        });
+        Ok(cfg.clone())
+    }
+
+    /// The shared (grammar, table) pair for a grammar fingerprint,
+    /// building the table exactly once per fingerprint process-wide.
+    fn table_for(&self, fp: u64, grammar: Grammar) -> (Arc<Grammar>, Arc<LrTable>) {
+        let cell = Self::cell(&self.tables, fp);
+        cell.get_or_init(|| {
+            self.table_builds.fetch_add(1, Ordering::Relaxed);
+            let table = Arc::new(LrTable::build(&grammar, TableKind::Lalr));
+            (Arc::new(grammar), table)
+        })
+        .clone()
+    }
+
+    /// The once-cell for `key`, created under a write lock on a miss; the
+    /// common path is a read lock + clone. The cell is returned with the
+    /// map lock *released*, so initialization never blocks other keys.
+    fn cell<K: std::hash::Hash + Eq + Copy, V>(
+        map: &RwLock<HashMap<K, Arc<OnceLock<V>>>>,
+        key: K,
+    ) -> Arc<OnceLock<V>> {
+        if let Some(cell) = map.read().expect("registry lock").get(&key) {
+            return Arc::clone(cell);
         }
-        let (g, table) = match inner.tables.get(&key.0) {
-            Some((g, t)) => (Arc::clone(g), Arc::clone(t)),
-            None => {
-                let table = Arc::new(LrTable::build(&grammar, TableKind::Lalr));
-                let g = Arc::new(grammar);
-                inner.table_builds += 1;
-                inner
-                    .tables
-                    .insert(key.0, (Arc::clone(&g), Arc::clone(&table)));
-                (g, table)
-            }
-        };
-        inner.lexer_builds += 1;
-        let lexer = Arc::new(lexdef.compile());
-        let cfg = SessionConfig::from_parts(g, table, lexer);
-        inner.configs.insert(key, cfg.clone());
-        Ok(cfg)
+        let mut w = map.write().expect("registry lock");
+        Arc::clone(w.entry(key).or_default())
     }
 
     /// LALR tables actually constructed (cache misses on the grammar key).
     pub fn table_builds(&self) -> u64 {
-        self.inner.lock().expect("registry poisoned").table_builds
+        self.table_builds.load(Ordering::Relaxed)
     }
 
     /// Lexers actually compiled (cache misses on the full key).
     pub fn lexer_builds(&self) -> u64 {
-        self.inner.lock().expect("registry poisoned").lexer_builds
+        self.lexer_builds.load(Ordering::Relaxed)
     }
 
-    /// Distinct configurations cached.
+    /// Distinct configurations cached (counting fully built ones only).
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("registry poisoned").configs.len()
+        self.configs
+            .read()
+            .expect("registry lock")
+            .values()
+            .filter(|c| c.get().is_some())
+            .count()
     }
 
     /// Whether the registry has no cached configurations.
@@ -100,7 +133,7 @@ impl LanguageRegistry {
 mod tests {
     use super::*;
     use crate::session::Session;
-    use std::sync::Arc;
+    use std::sync::{Arc, Barrier};
     use wg_grammar::{GrammarBuilder, SeqKind, Symbol};
 
     fn stmt_grammar() -> Grammar {
@@ -169,5 +202,89 @@ mod tests {
         assert_eq!(reg.len(), 2);
         assert!(Arc::ptr_eq(a.shared_table(), b.shared_table()));
         assert!(!Arc::ptr_eq(a.shared_lexer(), b.shared_lexer()));
+    }
+
+    #[test]
+    fn concurrent_first_open_builds_exactly_one_table() {
+        // Eight threads race the very first open of one language through a
+        // barrier. The per-key once-cell must serialize them onto a single
+        // table construction, and every thread must come back with
+        // pointer-identical artifacts.
+        let reg = Arc::new(LanguageRegistry::new());
+        let barrier = Arc::new(Barrier::new(8));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let reg = Arc::clone(&reg);
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                let grammar = stmt_grammar();
+                let lexdef = stmt_lexdef();
+                barrier.wait();
+                reg.get_or_compile(grammar, lexdef).unwrap()
+            }));
+        }
+        let configs: Vec<SessionConfig> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(
+            reg.table_builds(),
+            1,
+            "8 racing first-opens must share one LALR construction"
+        );
+        assert_eq!(reg.lexer_builds(), 1);
+        let first = &configs[0];
+        for cfg in &configs[1..] {
+            assert!(Arc::ptr_eq(first.shared_grammar(), cfg.shared_grammar()));
+            assert!(Arc::ptr_eq(first.shared_table(), cfg.shared_table()));
+            assert!(Arc::ptr_eq(first.shared_lexer(), cfg.shared_lexer()));
+        }
+    }
+
+    #[test]
+    fn concurrent_distinct_languages_build_concurrently_and_once() {
+        // Different grammars race: each key still builds once, and the
+        // registry ends up with one entry per language.
+        let reg = Arc::new(LanguageRegistry::new());
+        let barrier = Arc::new(Barrier::new(6));
+        let mut handles = Vec::new();
+        for i in 0..6u32 {
+            let reg = Arc::clone(&reg);
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                // Two distinct languages, three threads each.
+                let lang = i % 2;
+                let mut b = GrammarBuilder::new(if lang == 0 { "a" } else { "b" });
+                let id = b.terminal("id");
+                let semi = b.terminal(";");
+                let stmt = b.nonterminal("stmt");
+                let prog = b.nonterminal("prog");
+                if lang == 0 {
+                    b.prod(stmt, vec![Symbol::T(id), Symbol::T(semi)]);
+                } else {
+                    b.prod(stmt, vec![Symbol::T(id), Symbol::T(id), Symbol::T(semi)]);
+                }
+                b.sequence(prog, Symbol::N(stmt), SeqKind::Plus, None);
+                b.start(prog);
+                let grammar = b.build().unwrap();
+                let lexdef = stmt_lexdef();
+                barrier.wait();
+                reg.get_or_compile(grammar, lexdef).unwrap()
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.table_builds(), 2, "one build per distinct grammar");
+        assert_eq!(reg.lexer_builds(), 2);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn registry_and_session_are_thread_mobile() {
+        // Compile-time property: the registry is shareable across threads
+        // and sessions can migrate to (and live on) pool shards.
+        fn assert_send<T: Send>() {}
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LanguageRegistry>();
+        assert_send_sync::<SessionConfig>();
+        assert_send::<Session>();
     }
 }

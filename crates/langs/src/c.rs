@@ -83,6 +83,17 @@ pub fn simp_c_det() -> SessionConfig {
     cfg
 }
 
+/// The raw grammar and lexer definitions of [`simp_c_det`], uncompiled —
+/// for callers that route table construction through a shared
+/// `LanguageRegistry` instead of compiling privately.
+///
+/// # Panics
+///
+/// Panics only on internal definition errors (the definitions are constant).
+pub fn simp_c_det_defs() -> (wg_grammar::Grammar, LexerDef) {
+    defs_flags(false, false).expect("simp_c_det definition is valid")
+}
+
 /// The token handles for a configuration built by [`simp_c`] / [`simp_cpp`].
 pub fn tokens(config: &SessionConfig) -> CTokens {
     let g = config.grammar();
@@ -127,6 +138,14 @@ fn build_det() -> Result<SessionConfig, SessionError> {
 }
 
 fn build_flags(cpp: bool, ambiguous_decl: bool) -> Result<SessionConfig, SessionError> {
+    let (g, lx) = defs_flags(cpp, ambiguous_decl)?;
+    SessionConfig::new(g, lx)
+}
+
+fn defs_flags(
+    cpp: bool,
+    ambiguous_decl: bool,
+) -> Result<(wg_grammar::Grammar, LexerDef), SessionError> {
     let mut b = GrammarBuilder::new(if !ambiguous_decl {
         "simp_c_det"
     } else if cpp {
@@ -292,7 +311,7 @@ fn build_flags(cpp: bool, ambiguous_decl: bool) -> Result<SessionConfig, Session
     // "Limited preprocessor support": directives are skipped whole.
     lx.skip("preprocessor", "#[^\\n]*")?;
 
-    SessionConfig::new(g, lx)
+    Ok((g, lx))
 }
 
 /// Finds the `item` nonterminal of a configuration (the phylum whose choice

@@ -24,5 +24,5 @@ pub mod toys;
 mod c;
 mod modula;
 
-pub use c::{item_nt, nt, simp_c, simp_c_det, simp_cpp, tokens, CTokens};
+pub use c::{item_nt, nt, simp_c, simp_c_det, simp_c_det_defs, simp_cpp, tokens, CTokens};
 pub use modula::{modula_program, simp_modula};

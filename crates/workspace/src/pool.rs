@@ -1,0 +1,197 @@
+//! A hand-rolled sharded thread pool over [`BoundedQueue`]s.
+//!
+//! Unlike a work-stealing pool, work here is *affine*: every item is
+//! addressed to a shard, each shard is one `std::thread` draining one FIFO
+//! queue, and nothing ever migrates. That turns per-document ordering into
+//! a structural property — commands for one document always land on its
+//! home shard and are processed in arrival order — while documents on
+//! different shards proceed in parallel with zero synchronization between
+//! them (the paper's artifacts are immutable and `Arc`-shared; all mutable
+//! state is shard-local).
+
+use crate::sync::BoundedQueue;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A fixed set of shard worker threads, each owning a bounded work queue.
+pub struct ShardPool<T: Send + 'static> {
+    shards: Vec<Arc<BoundedQueue<T>>>,
+    busy_ns: Vec<Arc<AtomicU64>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<T: Send + 'static> ShardPool<T> {
+    /// Spawns `threads` workers with `queue_cap` items of backpressure
+    /// each. `make_handler(shard_index)` builds the per-shard handler; the
+    /// handler owns all shard-local state and is invoked once per item.
+    pub fn new<F, H>(threads: usize, queue_cap: usize, make_handler: F) -> ShardPool<T>
+    where
+        F: Fn(usize) -> H,
+        H: FnMut(T) + Send + 'static,
+    {
+        let threads = threads.max(1);
+        let mut shards = Vec::with_capacity(threads);
+        let mut busy_ns = Vec::with_capacity(threads);
+        let mut workers = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let queue = Arc::new(BoundedQueue::new(queue_cap));
+            let busy = Arc::new(AtomicU64::new(0));
+            let mut handler = make_handler(i);
+            let worker_queue = Arc::clone(&queue);
+            let worker_busy = Arc::clone(&busy);
+            let handle = std::thread::Builder::new()
+                .name(format!("wg-shard-{i}"))
+                .spawn(move || {
+                    // Drain until the queue is closed *and* empty: work
+                    // accepted before shutdown is always completed.
+                    while let Some(item) = worker_queue.pop() {
+                        let t0 = Instant::now();
+                        handler(item);
+                        worker_busy.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    }
+                })
+                .expect("spawn shard worker");
+            shards.push(queue);
+            busy_ns.push(busy);
+            workers.push(handle);
+        }
+        ShardPool {
+            shards,
+            busy_ns,
+            workers,
+        }
+    }
+
+    /// Number of shards (worker threads).
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Enqueues `item` on `shard`, blocking while that shard's queue is
+    /// full (backpressure).
+    ///
+    /// # Errors
+    ///
+    /// Returns the item back if the pool is shutting down.
+    pub fn submit(&self, shard: usize, item: T) -> Result<(), T> {
+        self.shards[shard % self.shards.len()].push(item)
+    }
+
+    /// Total items currently queued across all shards (racy gauge).
+    pub fn queue_depth(&self) -> usize {
+        self.shards.iter().map(|q| q.len()).sum()
+    }
+
+    /// Per-shard busy time: wall-clock spent inside handlers.
+    pub fn busy_time(&self) -> Vec<Duration> {
+        self.busy_ns
+            .iter()
+            .map(|b| Duration::from_nanos(b.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Closes every queue and joins every worker. Queued work is drained
+    /// first; new submissions fail immediately.
+    pub fn shutdown(&mut self) {
+        for q in &self.shards {
+            q.close();
+        }
+        for handle in self.workers.drain(..) {
+            // A worker that panicked already poisoned nothing shared (all
+            // its state was shard-local); surface the panic to the caller.
+            if let Err(e) = handle.join() {
+                std::panic::resume_unwind(e);
+            }
+        }
+    }
+}
+
+impl<T: Send + 'static> Drop for ShardPool<T> {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() && !std::thread::panicking() {
+            self.shutdown();
+        } else {
+            // Unwinding already: close queues so workers exit, but do not
+            // join (avoid a double panic aborting the process).
+            for q in &self.shards {
+                q.close();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Mutex;
+
+    #[test]
+    fn work_lands_on_its_shard_in_order() {
+        let log: Arc<Mutex<Vec<(usize, u32)>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut pool = {
+            let log = Arc::clone(&log);
+            ShardPool::new(3, 16, move |shard| {
+                let log = Arc::clone(&log);
+                move |item: u32| log.lock().unwrap().push((shard, item))
+            })
+        };
+        for i in 0..30u32 {
+            pool.submit(i as usize % 3, i).unwrap();
+        }
+        pool.shutdown();
+        let log = log.lock().unwrap();
+        assert_eq!(log.len(), 30, "no lost work");
+        for shard in 0..3 {
+            let seen: Vec<u32> = log
+                .iter()
+                .filter(|(s, _)| *s == shard)
+                .map(|&(_, i)| i)
+                .collect();
+            let mut sorted = seen.clone();
+            sorted.sort_unstable();
+            assert_eq!(seen, sorted, "shard {shard} processed out of order");
+            assert!(seen.iter().all(|i| *i as usize % 3 == shard));
+        }
+    }
+
+    #[test]
+    fn shutdown_drains_queued_work() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let mut pool = {
+            let done = Arc::clone(&done);
+            ShardPool::new(1, 64, move |_| {
+                let done = Arc::clone(&done);
+                move |_: ()| {
+                    std::thread::sleep(Duration::from_micros(200));
+                    done.fetch_add(1, Ordering::SeqCst);
+                }
+            })
+        };
+        for _ in 0..50 {
+            pool.submit(0, ()).unwrap();
+        }
+        pool.shutdown(); // queue almost certainly non-empty here
+        assert_eq!(done.load(Ordering::SeqCst), 50, "accepted work must finish");
+        assert!(pool.submit(0, ()).is_err(), "closed pool refuses new work");
+    }
+
+    #[test]
+    fn busy_time_accumulates() {
+        let mut pool = ShardPool::new(2, 8, |_| {
+            |_: ()| std::thread::sleep(Duration::from_millis(2))
+        });
+        for _ in 0..4 {
+            pool.submit(0, ()).unwrap();
+        }
+        pool.shutdown();
+        let busy = pool.busy_time();
+        assert!(
+            busy[0] >= Duration::from_millis(6),
+            "shard 0 worked: {busy:?}"
+        );
+        assert_eq!(busy[1], Duration::ZERO, "shard 1 idled");
+    }
+}

@@ -1,0 +1,505 @@
+//! The concurrent multi-document service: N [`Session`]s sharded across a
+//! [`ShardPool`].
+//!
+//! ## Sharding model
+//!
+//! A document's home shard is `doc_id % threads`, fixed at open time.
+//! Every command for a document is executed on its home shard in arrival
+//! order, so *per-document* edit ordering is structural; documents on
+//! different shards reparse in parallel. The immutable language artifacts
+//! (grammar, LALR table, compiled lexer) are shared across all shards via
+//! the thread-safe [`LanguageRegistry`]; everything mutable — the rope,
+//! the dag arena, the token tape, the pooled parser scratch — lives inside
+//! the shard-resident [`Session`] and is touched by exactly one thread.
+//!
+//! ## Failure isolation
+//!
+//! A panicking operation (a bounds-violating edit, a parser invariant
+//! failure) is caught on the shard, poisons *only its own document* — the
+//! session is dropped, later commands for it answer
+//! [`WorkspaceError::Poisoned`] — and the shard keeps serving every other
+//! document. Shutdown closes the queues (new work is refused), drains
+//! accepted work, and joins the workers.
+
+use crate::metrics::{LatencyHistogram, WorkspaceMetrics};
+use crate::pool::ShardPool;
+use crate::sync::{oneshot, OneShotReceiver, OneShotSender};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use wg_core::{LanguageRegistry, ReparseReport, Session, SessionConfig, SessionError};
+use wg_grammar::Grammar;
+use wg_lexer::LexerDef;
+
+/// Identifies one document within a [`Workspace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DocId(pub u64);
+
+impl fmt::Display for DocId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "doc#{}", self.0)
+    }
+}
+
+/// One textual edit addressed to a document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EditReq {
+    /// Byte offset of the replaced range.
+    pub start: usize,
+    /// Bytes removed.
+    pub removed: usize,
+    /// Replacement text.
+    pub insert: String,
+}
+
+impl EditReq {
+    /// Replaces `removed` bytes at `start` with `insert`.
+    pub fn replace(start: usize, removed: usize, insert: &str) -> EditReq {
+        EditReq {
+            start,
+            removed,
+            insert: insert.to_string(),
+        }
+    }
+
+    /// Inserts `insert` at `start`.
+    pub fn insert(start: usize, insert: &str) -> EditReq {
+        EditReq::replace(start, 0, insert)
+    }
+
+    /// Deletes `removed` bytes at `start`.
+    pub fn delete(start: usize, removed: usize) -> EditReq {
+        EditReq::replace(start, removed, "")
+    }
+}
+
+/// Why a workspace command failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkspaceError {
+    /// No open document has this id (never opened, or closed).
+    UnknownDoc(DocId),
+    /// A previous operation on this document panicked; its session was
+    /// dropped and the id is permanently dead.
+    Poisoned(DocId),
+    /// The workspace is shutting down and refused the command.
+    ShuttingDown,
+    /// Opening the document failed (bad language definition or text).
+    Open(SessionError),
+}
+
+impl fmt::Display for WorkspaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkspaceError::UnknownDoc(d) => write!(f, "{d} is not open"),
+            WorkspaceError::Poisoned(d) => write!(f, "{d} was poisoned by a panicked operation"),
+            WorkspaceError::ShuttingDown => write!(f, "workspace is shutting down"),
+            WorkspaceError::Open(e) => write!(f, "open failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkspaceError {}
+
+/// The successful result of one applied edit batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApplyOutcome {
+    /// Per-document command sequence number (1 for the first batch after
+    /// open, strictly increasing — the ordering witness).
+    pub seq: u64,
+    /// Edits applied (each followed by a reparse cycle).
+    pub edits_applied: usize,
+    /// Edits whose reparse refused incorporation (tree kept the previous
+    /// version; the edit stays flagged in the session).
+    pub edits_refused: usize,
+    /// Whether every reparse in the batch incorporated fully.
+    pub incorporated: bool,
+    /// The last reparse cycle's per-stage report.
+    pub last_report: ReparseReport,
+    /// Shard service time of the whole batch (queue wait excluded).
+    pub latency: Duration,
+}
+
+/// Per-document command result.
+pub type DocResult = Result<ApplyOutcome, WorkspaceError>;
+
+/// One document's report within a batch [`Workspace::apply`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DocReport {
+    /// The addressed document.
+    pub doc: DocId,
+    /// What happened on its shard.
+    pub result: DocResult,
+}
+
+/// An in-flight asynchronous apply (see [`Workspace::apply_async`]).
+#[must_use = "wait() retrieves the report; dropping loses it"]
+pub struct PendingApply {
+    doc: DocId,
+    rx: OneShotReceiver<DocResult>,
+}
+
+impl PendingApply {
+    /// Blocks until the shard finishes this command.
+    pub fn wait(self) -> DocReport {
+        let result = self.rx.recv().unwrap_or(Err(WorkspaceError::ShuttingDown));
+        DocReport {
+            doc: self.doc,
+            result,
+        }
+    }
+}
+
+/// Commands executed on a document's home shard.
+enum Cmd {
+    Open {
+        doc: DocId,
+        config: SessionConfig,
+        text: String,
+        reply: OneShotSender<Result<(), WorkspaceError>>,
+    },
+    Apply {
+        doc: DocId,
+        edits: Vec<EditReq>,
+        reply: OneShotSender<DocResult>,
+    },
+    Close {
+        doc: DocId,
+        reply: OneShotSender<bool>,
+    },
+    Text {
+        doc: DocId,
+        reply: OneShotSender<Option<String>>,
+    },
+}
+
+/// Counters shared by all shards and the front end.
+struct Shared {
+    docs_open: AtomicU64,
+    edits_applied: AtomicU64,
+    reparses: AtomicU64,
+    edits_refused: AtomicU64,
+    docs_poisoned: AtomicU64,
+    latency: LatencyHistogram,
+    started: Instant,
+}
+
+/// A concurrent multi-document analysis service.
+///
+/// See the [crate docs](crate) for the sharding and isolation model.
+pub struct Workspace {
+    pool: ShardPool<Cmd>,
+    shared: Arc<Shared>,
+    registry: Arc<LanguageRegistry>,
+    next_doc: AtomicU64,
+}
+
+impl Workspace {
+    /// A workspace with `threads` shard workers, each with `queue_cap`
+    /// commands of backpressure, and a fresh language registry.
+    pub fn new(threads: usize, queue_cap: usize) -> Workspace {
+        Workspace::with_registry(threads, queue_cap, Arc::new(LanguageRegistry::new()))
+    }
+
+    /// A workspace sharing an existing registry (several workspaces — or a
+    /// workspace plus direct sessions — can reuse one set of compiled
+    /// language artifacts).
+    pub fn with_registry(
+        threads: usize,
+        queue_cap: usize,
+        registry: Arc<LanguageRegistry>,
+    ) -> Workspace {
+        let shared = Arc::new(Shared {
+            docs_open: AtomicU64::new(0),
+            edits_applied: AtomicU64::new(0),
+            reparses: AtomicU64::new(0),
+            edits_refused: AtomicU64::new(0),
+            docs_poisoned: AtomicU64::new(0),
+            latency: LatencyHistogram::new(),
+            started: Instant::now(),
+        });
+        let pool = {
+            let shared = Arc::clone(&shared);
+            ShardPool::new(threads, queue_cap.max(1), move |_shard| {
+                let shared = Arc::clone(&shared);
+                let mut docs: HashMap<DocId, DocEntry> = HashMap::new();
+                let mut poisoned: HashSet<DocId> = HashSet::new();
+                move |cmd: Cmd| handle(&shared, &mut docs, &mut poisoned, cmd)
+            })
+        };
+        Workspace {
+            pool,
+            shared,
+            registry,
+            next_doc: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shard worker threads.
+    pub fn threads(&self) -> usize {
+        self.pool.shards()
+    }
+
+    /// The shared language registry.
+    pub fn registry(&self) -> &Arc<LanguageRegistry> {
+        &self.registry
+    }
+
+    /// The home shard of a document (stable for its lifetime).
+    pub fn shard_of(&self, doc: DocId) -> usize {
+        (doc.0 % self.pool.shards() as u64) as usize
+    }
+
+    /// Opens a document, compiling (or reusing) the language through the
+    /// shared registry; the initial lex + batch parse runs on the home
+    /// shard.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkspaceError::Open`] when the definition or text is invalid,
+    /// [`WorkspaceError::ShuttingDown`] when the pool is closing.
+    pub fn open(
+        &self,
+        grammar: Grammar,
+        lexdef: LexerDef,
+        text: &str,
+    ) -> Result<DocId, WorkspaceError> {
+        let config = self
+            .registry
+            .get_or_compile(grammar, lexdef)
+            .map_err(WorkspaceError::Open)?;
+        self.open_with(&config, text)
+    }
+
+    /// Opens a document from an already compiled configuration.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Workspace::open`].
+    pub fn open_with(&self, config: &SessionConfig, text: &str) -> Result<DocId, WorkspaceError> {
+        let doc = DocId(self.next_doc.fetch_add(1, Ordering::Relaxed));
+        let (reply, rx) = oneshot();
+        let cmd = Cmd::Open {
+            doc,
+            config: config.clone(),
+            text: text.to_string(),
+            reply,
+        };
+        if self.pool.submit(self.shard_of(doc), cmd).is_err() {
+            return Err(WorkspaceError::ShuttingDown);
+        }
+        match rx.recv() {
+            Some(Ok(())) => Ok(doc),
+            Some(Err(e)) => Err(e),
+            None => Err(WorkspaceError::ShuttingDown),
+        }
+    }
+
+    /// Applies a batch of edits addressed to documents: each document's
+    /// edit list is scheduled on its home shard (cross-document
+    /// parallelism for free, per-document order preserved) and the call
+    /// blocks until every report is in. Reports come back in batch order;
+    /// a document listed twice gets two reports, processed in order.
+    pub fn apply(&self, batch: Vec<(DocId, Vec<EditReq>)>) -> Vec<DocReport> {
+        let mut pending: Vec<Result<PendingApply, DocReport>> = Vec::with_capacity(batch.len());
+        for (doc, edits) in batch {
+            pending.push(self.apply_async(doc, edits).map_err(|e| DocReport {
+                doc,
+                result: Err(e),
+            }));
+        }
+        pending
+            .into_iter()
+            .map(|p| match p {
+                Ok(pending) => pending.wait(),
+                Err(report) => report,
+            })
+            .collect()
+    }
+
+    /// Schedules one document's edit batch without waiting. Blocks only on
+    /// shard-queue backpressure.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkspaceError::ShuttingDown`] when the pool refused the command.
+    pub fn apply_async(
+        &self,
+        doc: DocId,
+        edits: Vec<EditReq>,
+    ) -> Result<PendingApply, WorkspaceError> {
+        let (reply, rx) = oneshot();
+        let cmd = Cmd::Apply { doc, edits, reply };
+        if self.pool.submit(self.shard_of(doc), cmd).is_err() {
+            return Err(WorkspaceError::ShuttingDown);
+        }
+        Ok(PendingApply { doc, rx })
+    }
+
+    /// Closes a document, dropping its session. Returns whether it was
+    /// open (false for unknown, already closed, or poisoned ids — closing
+    /// a poisoned id clears its tombstone).
+    pub fn close(&self, doc: DocId) -> bool {
+        let (reply, rx) = oneshot();
+        if self
+            .pool
+            .submit(self.shard_of(doc), Cmd::Close { doc, reply })
+            .is_err()
+        {
+            return false;
+        }
+        rx.recv().unwrap_or(false)
+    }
+
+    /// The document's current text (None for unknown/poisoned ids). O(N);
+    /// a testing and tooling convenience, not a hot path.
+    pub fn text(&self, doc: DocId) -> Option<String> {
+        let (reply, rx) = oneshot();
+        if self
+            .pool
+            .submit(self.shard_of(doc), Cmd::Text { doc, reply })
+            .is_err()
+        {
+            return None;
+        }
+        rx.recv().flatten()
+    }
+
+    /// A point-in-time metrics snapshot.
+    pub fn metrics(&self) -> WorkspaceMetrics {
+        let edits = self.shared.edits_applied.load(Ordering::Relaxed);
+        let elapsed = self.shared.started.elapsed();
+        WorkspaceMetrics {
+            docs_open: self.shared.docs_open.load(Ordering::Relaxed) as usize,
+            edits_applied: edits,
+            reparses: self.shared.reparses.load(Ordering::Relaxed),
+            edits_refused: self.shared.edits_refused.load(Ordering::Relaxed),
+            docs_poisoned: self.shared.docs_poisoned.load(Ordering::Relaxed),
+            elapsed,
+            edits_per_sec: edits as f64 / elapsed.as_secs_f64().max(1e-9),
+            queue_depth: self.pool.queue_depth(),
+            shard_busy: self.pool.busy_time(),
+            p50: self.shared.latency.percentile(0.50),
+            p95: self.shared.latency.percentile(0.95),
+            p99: self.shared.latency.percentile(0.99),
+        }
+    }
+
+    /// Shuts down: refuses new commands, drains every accepted command,
+    /// joins the workers, and returns the final metrics.
+    pub fn shutdown(mut self) -> WorkspaceMetrics {
+        self.pool.shutdown();
+        self.metrics()
+    }
+}
+
+/// Shard-resident state of one document.
+struct DocEntry {
+    session: Session,
+    seq: u64,
+}
+
+/// Executes one command against the shard's documents. Runs on a shard
+/// worker; panics inside document operations are caught here and poison
+/// only the document that raised them.
+fn handle(
+    shared: &Shared,
+    docs: &mut HashMap<DocId, DocEntry>,
+    poisoned: &mut HashSet<DocId>,
+    cmd: Cmd,
+) {
+    match cmd {
+        Cmd::Open {
+            doc,
+            config,
+            text,
+            reply,
+        } => {
+            let opened =
+                std::panic::catch_unwind(AssertUnwindSafe(|| Session::new(&config, &text)));
+            match opened {
+                Ok(Ok(session)) => {
+                    docs.insert(doc, DocEntry { session, seq: 0 });
+                    shared.docs_open.fetch_add(1, Ordering::Relaxed);
+                    reply.send(Ok(()));
+                }
+                Ok(Err(e)) => reply.send(Err(WorkspaceError::Open(e))),
+                Err(_) => {
+                    poisoned.insert(doc);
+                    shared.docs_poisoned.fetch_add(1, Ordering::Relaxed);
+                    reply.send(Err(WorkspaceError::Poisoned(doc)));
+                }
+            }
+        }
+        Cmd::Apply { doc, edits, reply } => {
+            if poisoned.contains(&doc) {
+                reply.send(Err(WorkspaceError::Poisoned(doc)));
+                return;
+            }
+            let Some(mut entry) = docs.remove(&doc) else {
+                reply.send(Err(WorkspaceError::UnknownDoc(doc)));
+                return;
+            };
+            let t0 = Instant::now();
+            let mut applied = 0usize;
+            let mut refused = 0usize;
+            let mut last_report = ReparseReport::default();
+            // The session is checked out of the map for the batch: on a
+            // panic it is simply dropped, so no half-mutated tree is ever
+            // visible again.
+            let run = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                for e in &edits {
+                    let t_edit = Instant::now();
+                    entry.session.edit(e.start, e.removed, &e.insert);
+                    let out = entry.session.reparse().expect("reparse is infallible");
+                    shared.latency.record(t_edit.elapsed());
+                    shared.edits_applied.fetch_add(1, Ordering::Relaxed);
+                    shared.reparses.fetch_add(1, Ordering::Relaxed);
+                    applied += 1;
+                    if !out.incorporated {
+                        refused += 1;
+                        shared.edits_refused.fetch_add(1, Ordering::Relaxed);
+                    }
+                    last_report = out.report;
+                }
+            }));
+            match run {
+                Ok(()) => {
+                    entry.seq += 1;
+                    let outcome = ApplyOutcome {
+                        seq: entry.seq,
+                        edits_applied: applied,
+                        edits_refused: refused,
+                        incorporated: refused == 0,
+                        last_report,
+                        latency: t0.elapsed(),
+                    };
+                    docs.insert(doc, entry);
+                    reply.send(Ok(outcome));
+                }
+                Err(_) => {
+                    // The document dies; the shard (and every other
+                    // document on it) keeps serving.
+                    drop(entry);
+                    poisoned.insert(doc);
+                    shared.docs_poisoned.fetch_add(1, Ordering::Relaxed);
+                    shared.docs_open.fetch_sub(1, Ordering::Relaxed);
+                    reply.send(Err(WorkspaceError::Poisoned(doc)));
+                }
+            }
+        }
+        Cmd::Close { doc, reply } => {
+            let existed = docs.remove(&doc).is_some();
+            if existed {
+                shared.docs_open.fetch_sub(1, Ordering::Relaxed);
+            }
+            poisoned.remove(&doc);
+            reply.send(existed);
+        }
+        Cmd::Text { doc, reply } => {
+            reply.send(docs.get(&doc).map(|e| e.session.text()));
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Multi-threaded workspace soak and failure-isolation tests.
+//!
+//! The model-based soak drives 64 documents with 10k randomized edits
+//! (renames, statement insertions, statement deletions) through a 4-shard
+//! workspace while mirroring every edit into a plain per-document model,
+//! then checks the workspace text against the model byte-for-byte — the
+//! strongest available witness that per-document ordering held and no
+//! report was lost.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+use std::sync::Arc;
+use wg_grammar::{Grammar, GrammarBuilder, SeqKind, Symbol};
+use wg_lexer::LexerDef;
+use wg_workspace::{DocId, EditReq, Workspace, WorkspaceError};
+
+/// The tiny statement language `prog = (id ;)+`.
+fn stmt_grammar() -> Grammar {
+    let mut b = GrammarBuilder::new("stmts");
+    let id = b.terminal("id");
+    let semi = b.terminal(";");
+    let stmt = b.nonterminal("stmt");
+    let prog = b.nonterminal("prog");
+    b.prod(stmt, vec![Symbol::T(id), Symbol::T(semi)]);
+    b.sequence(prog, Symbol::N(stmt), SeqKind::Plus, None);
+    b.start(prog);
+    b.build().unwrap()
+}
+
+fn stmt_lexdef() -> LexerDef {
+    let mut lx = LexerDef::new();
+    lx.rule("id", "[a-zA-Z_][a-zA-Z0-9_]*").unwrap();
+    lx.literal(";", ";");
+    lx.skip("ws", "[ \\t\\n]+").unwrap();
+    lx
+}
+
+/// A per-document model: the statement identifiers, in order. The text is
+/// `"{id}; "` per statement; offsets are derivable exactly.
+struct Model {
+    idents: Vec<String>,
+}
+
+impl Model {
+    fn new(doc_ix: usize, stmts: usize) -> Model {
+        Model {
+            idents: (0..stmts).map(|j| format!("d{doc_ix}s{j}")).collect(),
+        }
+    }
+
+    fn text(&self) -> String {
+        self.idents
+            .iter()
+            .map(|s| format!("{s}; "))
+            .collect::<String>()
+    }
+
+    fn offset_of(&self, stmt: usize) -> usize {
+        self.idents[..stmt].iter().map(|s| s.len() + 2).sum()
+    }
+
+    /// Produces a random valid edit and applies it to the model.
+    fn random_edit(&mut self, rng: &mut StdRng, fresh: &mut u64) -> EditReq {
+        let roll: f64 = rng.random();
+        *fresh += 1;
+        let name = format!("w{fresh}");
+        if roll < 0.8 || self.idents.len() < 6 {
+            // Rename a statement's identifier.
+            let j = rng.random_range(0..self.idents.len());
+            let req = EditReq::replace(self.offset_of(j), self.idents[j].len(), &name);
+            self.idents[j] = name;
+            req
+        } else if roll < 0.9 {
+            // Insert a whole statement at a boundary.
+            let j = rng.random_range(0..self.idents.len() + 1);
+            let req = EditReq::insert(self.offset_of(j), &format!("{name}; "));
+            self.idents.insert(j, name);
+            req
+        } else {
+            // Delete a whole statement.
+            let j = rng.random_range(0..self.idents.len());
+            let req = EditReq::delete(self.offset_of(j), self.idents[j].len() + 2);
+            self.idents.remove(j);
+            req
+        }
+    }
+}
+
+#[test]
+fn soak_64_docs_10k_randomized_edits() {
+    const DOCS: usize = 64;
+    const TARGET_EDITS: usize = 10_000;
+    let ws = Workspace::new(4, 32);
+    let cfg = ws
+        .registry()
+        .get_or_compile(stmt_grammar(), stmt_lexdef())
+        .unwrap();
+    let mut models: Vec<Model> = (0..DOCS).map(|i| Model::new(i, 12)).collect();
+    let docs: Vec<DocId> = models
+        .iter()
+        .map(|m| ws.open_with(&cfg, &m.text()).unwrap())
+        .collect();
+    assert_eq!(ws.registry().table_builds(), 1);
+    assert_eq!(ws.metrics().docs_open, DOCS);
+
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let mut fresh = 0u64;
+    let mut submitted = 0usize;
+    let mut reports_seen = 0usize;
+    let mut expected_seq: HashMap<DocId, u64> = HashMap::new();
+    while submitted < TARGET_EDITS {
+        // Each round touches a random subset of documents with 1–3 edits.
+        let mut batch = Vec::new();
+        for (i, doc) in docs.iter().enumerate() {
+            if rng.random_bool(0.4) {
+                let n = rng.random_range(1..4usize);
+                let edits: Vec<EditReq> = (0..n)
+                    .map(|_| models[i].random_edit(&mut rng, &mut fresh))
+                    .collect();
+                submitted += edits.len();
+                batch.push((*doc, edits));
+            }
+        }
+        for report in ws.apply(batch) {
+            reports_seen += 1;
+            let outcome = report.result.expect("randomized valid edits must apply");
+            let want = expected_seq.entry(report.doc).or_insert(0);
+            *want += 1;
+            assert_eq!(
+                outcome.seq, *want,
+                "{}: command processed out of order",
+                report.doc
+            );
+            assert!(outcome.incorporated, "{}: edit refused", report.doc);
+        }
+    }
+    assert!(reports_seen > 0);
+
+    // Byte-for-byte agreement with the serial model: ordering held and
+    // nothing was dropped on any shard.
+    for (i, doc) in docs.iter().enumerate() {
+        assert_eq!(
+            ws.text(*doc).unwrap(),
+            models[i].text(),
+            "doc {i} diverged from the serial model"
+        );
+    }
+    let m = ws.shutdown();
+    assert_eq!(m.edits_applied as usize, submitted, "no lost edits");
+    assert_eq!(m.docs_poisoned, 0);
+    assert_eq!(m.edits_refused, 0);
+    assert!(m.p50 > std::time::Duration::ZERO);
+    assert!(m.p99 >= m.p95 && m.p95 >= m.p50);
+    assert!(
+        m.shard_busy.iter().filter(|d| !d.is_zero()).count() >= 2,
+        "64 docs must spread over multiple shards: {:?}",
+        m.shard_busy
+    );
+}
+
+#[test]
+fn panicking_reparse_poisons_only_its_document() {
+    let ws = Workspace::new(2, 16);
+    let cfg = ws
+        .registry()
+        .get_or_compile(stmt_grammar(), stmt_lexdef())
+        .unwrap();
+    // Four documents; on 2 shards, ids 0/2 share a shard and 1/3 share one.
+    let docs: Vec<DocId> = (0..4)
+        .map(|i| ws.open_with(&cfg, &format!("alpha{i}; beta{i}; ")).unwrap())
+        .collect();
+    let victim = docs[0];
+    let shardmate = docs
+        .iter()
+        .copied()
+        .find(|d| *d != victim && ws.shard_of(*d) == ws.shard_of(victim))
+        .expect("two docs share a shard");
+
+    // One batch: an out-of-bounds edit (panics inside TextBuffer) on the
+    // victim plus a valid edit on its shard neighbour.
+    let reports = ws.apply(vec![
+        (victim, vec![EditReq::replace(1 << 30, 1, "x")]),
+        (shardmate, vec![EditReq::replace(0, 5, "gamma")]),
+    ]);
+    assert_eq!(
+        reports[0].result,
+        Err(WorkspaceError::Poisoned(victim)),
+        "the panicking edit poisons its document"
+    );
+    let ok = reports[1].result.as_ref().expect("shard keeps serving");
+    assert!(ok.incorporated);
+
+    // The victim is permanently dead; everyone else keeps working.
+    let again = ws.apply(vec![(victim, vec![EditReq::insert(0, "x; ")])]);
+    assert_eq!(again[0].result, Err(WorkspaceError::Poisoned(victim)));
+    assert_eq!(ws.text(victim), None);
+    for &doc in &docs[1..] {
+        let r = ws.apply(vec![(doc, vec![EditReq::insert(0, "zz; ")])]);
+        assert!(r[0].result.is_ok(), "{doc} must survive the poisoning");
+    }
+    let m = ws.metrics();
+    assert_eq!(m.docs_poisoned, 1);
+    assert_eq!(m.docs_open, 3);
+    // Closing the poisoned id clears the tombstone (it was already gone).
+    assert!(!ws.close(victim));
+    ws.shutdown();
+}
+
+#[test]
+fn shutdown_with_queued_work_finishes_old() {
+    // Call shutdown() while commands are still queued on the single slow
+    // shard: accepted work must complete; nothing may be dropped.
+    let ws = Workspace::new(1, 64);
+    let cfg = ws
+        .registry()
+        .get_or_compile(stmt_grammar(), stmt_lexdef())
+        .unwrap();
+    let doc = ws.open_with(&cfg, "alpha; beta; gamma; ").unwrap();
+    let mut pending = Vec::new();
+    for _ in 0..40 {
+        let edits = vec![
+            EditReq::replace(0, 5, "zzzzz"),
+            EditReq::replace(0, 5, "alpha"),
+        ];
+        pending.push(ws.apply_async(doc, edits).unwrap());
+    }
+    let depth = ws.metrics().queue_depth;
+    assert!(depth > 0, "commands must still be queued");
+    let m = ws.shutdown(); // drains the non-empty queue, then joins
+    for p in pending {
+        let r = p.wait();
+        assert!(r.result.is_ok(), "accepted command was dropped: {r:?}");
+    }
+    assert_eq!(m.edits_applied, 80);
+    assert_eq!(m.queue_depth, 0, "nothing left behind");
+}
+
+#[test]
+fn concurrent_caller_threads_share_the_workspace() {
+    // The workspace front end is `Sync`: eight caller threads batch edits
+    // into their own documents concurrently through one shared reference.
+    fn assert_sync<T: Send + Sync>() {}
+    assert_sync::<Workspace>();
+
+    let ws = Arc::new(Workspace::new(4, 16));
+    let cfg = ws
+        .registry()
+        .get_or_compile(stmt_grammar(), stmt_lexdef())
+        .unwrap();
+    let mut handles = Vec::new();
+    for t in 0..8 {
+        let ws = Arc::clone(&ws);
+        let cfg = cfg.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut model = Model::new(t, 10);
+            let doc = ws.open_with(&cfg, &model.text()).unwrap();
+            let mut rng = StdRng::seed_from_u64(t as u64);
+            let mut fresh = (t as u64 + 1) * 1_000_000;
+            for _ in 0..50 {
+                let edit = model.random_edit(&mut rng, &mut fresh);
+                let r = ws.apply(vec![(doc, vec![edit])]);
+                assert!(r[0].result.as_ref().unwrap().incorporated);
+            }
+            assert_eq!(ws.text(doc).unwrap(), model.text());
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let ws = Arc::into_inner(ws).expect("all callers joined");
+    assert_eq!(ws.registry().table_builds(), 1);
+    let m = ws.shutdown();
+    assert_eq!(m.edits_applied, 8 * 50);
+    assert_eq!(m.docs_open, 8);
+}

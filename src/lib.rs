@@ -13,3 +13,4 @@ pub use wg_lexer as lexer;
 pub use wg_lrtable as lrtable;
 pub use wg_sem as sem;
 pub use wg_sentential as sentential;
+pub use wg_workspace as workspace;
