@@ -5,18 +5,88 @@
 //! workspace grammars: table size, conflicts (spurious SLR conflicts cause
 //! extra parser forking), and batch IGLR parse effort driven by each.
 //!
+//! Also reports the **packed table representation**: for every workspace
+//! grammar, the packed (tagged-u32 cells + shared conflict arena +
+//! equivalence-classed columns + default reductions) size against the
+//! naive cell-of-Vecs build, written to `BENCH_tables.json` for CI to
+//! archive.
+//!
 //! Run: `cargo run --release -p wg-bench --bin tables`
 
 use wg_bench::{fmt_dur, print_table, time_once, tokenize};
 use wg_core::IglrParser;
 use wg_dag::DagArena;
 use wg_langs::generate::{c_program, GenSpec};
-use wg_langs::simp_c;
-use wg_lrtable::{lr1_metrics, LrTable, TableKind};
+use wg_langs::{simp_c, simp_c_det, simp_cpp, simp_modula};
+use wg_lrtable::{lr1_metrics, LrTable, RefTable, TableKind};
+
+/// One grammar's packed-vs-naive measurement for `BENCH_tables.json`.
+struct PackedRow {
+    name: String,
+    states: usize,
+    terminals: usize,
+    term_classes: usize,
+    action_entries: usize,
+    default_reduce_states: usize,
+    spilled_cells: usize,
+    packed_bytes: usize,
+    naive_bytes: usize,
+}
+
+fn packed_report(grammars: &[(&str, wg_grammar::Grammar)]) -> Vec<PackedRow> {
+    grammars
+        .iter()
+        .map(|(name, g)| {
+            let table = LrTable::build(g, TableKind::Lalr);
+            let naive = RefTable::build(g, TableKind::Lalr);
+            let s = table.stats();
+            PackedRow {
+                name: name.to_string(),
+                states: s.states,
+                terminals: s.terminals,
+                term_classes: s.term_classes,
+                action_entries: s.action_entries,
+                default_reduce_states: s.default_reduce_states,
+                spilled_cells: s.spilled_cells,
+                packed_bytes: s.packed_bytes,
+                naive_bytes: naive.naive_bytes(),
+            }
+        })
+        .collect()
+}
+
+/// Hand-rolled JSON (the container has no serde): one row per grammar.
+fn write_tables_json(path: &str, rows: &[PackedRow]) {
+    let mut j = String::new();
+    j.push_str("{\n  \"bench\": \"tables\",\n  \"grammars\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        j.push_str(&format!(
+            "    {{\"name\": \"{}\", \"states\": {}, \"terminals\": {}, \"term_classes\": {}, \"action_entries\": {}, \"default_reduce_states\": {}, \"spilled_cells\": {}, \"packed_bytes\": {}, \"naive_bytes\": {}}}{}\n",
+            r.name,
+            r.states,
+            r.terminals,
+            r.term_classes,
+            r.action_entries,
+            r.default_reduce_states,
+            r.spilled_cells,
+            r.packed_bytes,
+            r.naive_bytes,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    j.push_str("  ]\n}\n");
+    match std::fs::write(path, &j) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+    }
+}
 
 fn main() {
     let grammars: Vec<(&str, wg_grammar::Grammar)> = vec![
         ("simp_c", simp_c().grammar().clone()),
+        ("simp_cpp", simp_cpp().grammar().clone()),
+        ("simp_c_det", simp_c_det().grammar().clone()),
+        ("simp_modula", simp_modula().grammar().clone()),
         ("fig7 (LR2)", wg_langs::toys::fig7_lr2()),
         ("stmt_list", wg_langs::toys::stmt_list(true)),
         ("amb_expr", wg_langs::toys::ambiguous_expr(false)),
@@ -92,4 +162,39 @@ fn main() {
     println!(
         "\n(the resulting dags are identical — spurious SLR conflicts cost\n forking work, not extra ambiguity; LALR keeps non-determinism to the\n genuinely ambiguous cells, which is the paper's Section 3.3 argument)"
     );
+
+    // Packed vs naive representation, per grammar.
+    let packed = packed_report(&grammars);
+    let rows: Vec<Vec<String>> = packed
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                format!("{}", r.states),
+                format!("{}/{}", r.term_classes, r.terminals),
+                format!("{}", r.action_entries),
+                format!("{}", r.default_reduce_states),
+                format!("{}", r.spilled_cells),
+                format!("{}", r.packed_bytes),
+                format!("{}", r.naive_bytes),
+                format!("{:.2}x", r.naive_bytes as f64 / r.packed_bytes as f64),
+            ]
+        })
+        .collect();
+    print_table(
+        "Packed table representation vs naive cell-of-Vecs (LALR)",
+        &[
+            "grammar",
+            "states",
+            "classes/terms",
+            "entries",
+            "def-reduce",
+            "spilled",
+            "packed B",
+            "naive B",
+            "shrink",
+        ],
+        &rows,
+    );
+    write_tables_json("BENCH_tables.json", &packed);
 }

@@ -6,7 +6,7 @@ use wg_dag::{
     NodeKind, ParseState,
 };
 use wg_glr::{ps, Gss, GssIdx, Link, MergeTables, ParseScratch, TablePolicy};
-use wg_grammar::{Grammar, ProdId, Terminal};
+use wg_grammar::{Grammar, NonTerminal, ProdId, Terminal};
 use wg_lrtable::{Action, LrTable, StateId};
 
 /// Errors from the incremental GLR parser.
@@ -352,12 +352,23 @@ impl IglrRun<'_> {
 
     fn actor(&mut self, arena: &mut DagArena, p: GssIdx, redla: Terminal) {
         let state = self.gss.state(p);
-        let n_actions = self.table.actions(state, redla).len();
-        if n_actions > 1 {
+        // Default-reduce fast path: in a fully deterministic context a
+        // uniform-reduce state performs its reduction without consulting the
+        // lookahead column at all (yacc's error-delay semantics: an invalid
+        // lookahead is still rejected before anything shifts it).
+        if !self.multi && self.active.len() == 1 {
+            if let Some(rule) = self.table.default_reduction(state) {
+                self.reduce_action(arena, p, rule);
+                return;
+            }
+        }
+        // One cell fetch per (parser, lookahead); the Cell is `Copy` and
+        // borrows the table (not `self`), so it survives the &mut calls.
+        let cell = self.table.actions(state, redla);
+        if cell.len() > 1 {
             self.multi = true;
         }
-        for ai in 0..n_actions {
-            let action = self.table.actions(state, redla)[ai];
+        for action in cell {
             match action {
                 Action::Accept => {
                     if redla.is_eof() {
@@ -370,36 +381,45 @@ impl IglrRun<'_> {
                     }
                 }
                 Action::Reduce(rule) => {
-                    let arity = self.g.production(rule).arity();
-                    self.work.clear();
-                    self.path_slab.clear();
-                    let (work, slab) = (&mut *self.work, &mut *self.path_slab);
-                    self.gss.for_each_path(p, arity, |tail, kids| {
-                        let off = slab.len() as u32;
-                        slab.extend_from_slice(kids);
-                        work.push((tail, off, kids.len() as u32));
-                    });
-                    if self.work.len() > 1 {
-                        self.multi = true;
-                    }
-                    if !self.multi && self.active.len() == 1 && self.work.len() == 1 {
-                        // Deterministic fast path: no sharing is possible,
-                        // so skip the merge tables entirely.
-                        let (q, off, len) = self.work.pop().expect("one path");
-                        self.fast_reducer(arena, q, rule, off, len);
-                    } else {
-                        for wi in 0..self.work.len() {
-                            let (q, off, len) = self.work[wi];
-                            self.reducer(arena, q, rule, off, len);
-                        }
-                    }
+                    self.reduce_action(arena, p, rule);
                 }
+            }
+        }
+    }
+
+    /// Performs one Reduce action for parser `p`: gathers every GSS path of
+    /// the production's arity and dispatches each to the limited or general
+    /// reducer.
+    fn reduce_action(&mut self, arena: &mut DagArena, p: GssIdx, rule: ProdId) {
+        let arity = self.g.production(rule).arity();
+        self.work.clear();
+        self.path_slab.clear();
+        let (work, slab) = (&mut *self.work, &mut *self.path_slab);
+        self.gss.for_each_path(p, arity, |tail, kids| {
+            let off = slab.len() as u32;
+            slab.extend_from_slice(kids);
+            work.push((tail, off, kids.len() as u32));
+        });
+        if self.work.len() > 1 {
+            self.multi = true;
+        }
+        if !self.multi && self.active.len() == 1 && self.work.len() == 1 {
+            // Deterministic fast path: no sharing is possible,
+            // so skip the merge tables entirely.
+            let (q, off, len) = self.work.pop().expect("one path");
+            self.fast_reducer(arena, q, rule, off, len);
+        } else {
+            for wi in 0..self.work.len() {
+                let (q, off, len) = self.work[wi];
+                self.reducer(arena, q, rule, off, len);
             }
         }
     }
 
     /// The deterministic fast path: exactly one parser, one path, no
     /// conflicts — no sharing is possible, so the merge tables are skipped.
+    /// The GOTO target and merge-target scan are computed once here and
+    /// handed to the general path on the existing-link fallback.
     fn fast_reducer(&mut self, arena: &mut DagArena, q: GssIdx, rule: ProdId, off: u32, len: u32) {
         self.stats.reductions += 1;
         let range = off as usize..(off + len) as usize;
@@ -407,10 +427,17 @@ impl IglrRun<'_> {
         let Some(goto) = self.table.goto(self.gss.state(q), lhs) else {
             return;
         };
-        if let Some(&p) = self.active.iter().find(|&&m| self.gss.state(m) == goto) {
+        let target = self
+            .active
+            .iter()
+            .find(|&&m| self.gss.state(m) == goto)
+            .copied();
+        if let Some(p) = target {
             if self.gss.find_link(p, q).is_some() {
-                // Re-derivation of an existing edge: take the general path.
-                self.reducer(arena, q, rule, off, len);
+                // Re-derivation of an existing edge: take the general path,
+                // reusing the goto and merge-target already computed.
+                self.stats.reductions += 1;
+                self.reduce_general(arena, q, rule, off, len, lhs, goto, target);
                 return;
             }
             let node = wg_glr::build_reduction_node(
@@ -444,15 +471,38 @@ impl IglrRun<'_> {
 
     fn reducer(&mut self, arena: &mut DagArena, q: GssIdx, rule: ProdId, off: u32, len: u32) {
         self.stats.reductions += 1;
-        let range = off as usize..(off + len) as usize;
         let lhs = self.g.production(rule).lhs();
+        let Some(goto) = self.table.goto(self.gss.state(q), lhs) else {
+            return; // dead fork
+        };
+        let target = self
+            .active
+            .iter()
+            .find(|&&m| self.gss.state(m) == goto)
+            .copied();
+        self.reduce_general(arena, q, rule, off, len, lhs, goto, target);
+    }
+
+    /// The shared body of the general reduction: `lhs`, `goto`, and the
+    /// merge `target` have already been looked up by the caller (either
+    /// [`IglrRun::reducer`] or the fast path's existing-link fallback).
+    #[allow(clippy::too_many_arguments)]
+    fn reduce_general(
+        &mut self,
+        arena: &mut DagArena,
+        q: GssIdx,
+        rule: ProdId,
+        off: u32,
+        len: u32,
+        lhs: NonTerminal,
+        goto: StateId,
+        target: Option<GssIdx>,
+    ) {
+        let range = off as usize..(off + len) as usize;
         for i in range.clone() {
             let r = self.resolve(self.path_slab[i]);
             self.path_slab[i] = r;
         }
-        let Some(goto) = self.table.goto(self.gss.state(q), lhs) else {
-            return; // dead fork
-        };
         let node = self.merge.get_node(
             arena,
             self.g,
@@ -462,7 +512,7 @@ impl IglrRun<'_> {
             self.multi,
         );
 
-        if let Some(&p) = self.active.iter().find(|&&m| self.gss.state(m) == goto) {
+        if let Some(p) = target {
             if let Some(pos) = self.gss.find_link(p, q) {
                 let label = self.resolve(self.gss.links(p)[pos].node);
                 if label == node {

@@ -46,9 +46,11 @@ mod automaton;
 mod item;
 mod lalr;
 mod lr1;
+mod packed;
 mod table;
 
 pub use automaton::{Lr0Automaton, StateId};
 pub use item::{Item, ItemSet};
 pub use lr1::{lr1_metrics, Lr1Metrics};
-pub use table::{Action, ConflictKind, ConflictReport, LrTable, TableKind};
+pub use packed::{Cell, PackedAction, TableStats};
+pub use table::{Action, ConflictKind, ConflictReport, LrTable, RefTable, TableKind};

@@ -1,0 +1,465 @@
+//! Cache-dense packed encoding of the ACTION/GOTO tables.
+//!
+//! The naive table representation — one heap-allocated `Vec<Action>` per
+//! `(state, terminal)` cell — costs a pointer chase per dispatch and
+//! scatters the hot cells across the heap. This module packs the whole
+//! table into a handful of flat `u32` arrays:
+//!
+//! * **Packed actions.** Every action is one `u32` with a 2-bit tag
+//!   (shift / reduce / accept) and a 30-bit payload (state or production
+//!   index). See [`PackedAction`].
+//! * **CSR cells with inline singletons.** The cell array holds one word
+//!   per `(state, terminal-class)` pair. `0` means *error*; a tagged word
+//!   **is** the cell's single action (the common deterministic case: one
+//!   load, zero indirections); an untagged nonzero word is an offset into
+//!   a shared length-prefixed arena holding the conflicted cell's actions.
+//! * **Terminal equivalence classes.** Terminals whose ACTION columns are
+//!   identical across every state share one column, shrinking row width
+//!   (and improving locality) without changing any lookup result.
+//! * **Per-state default reductions.** When a state's only actions are
+//!   the same non-ε reduction on every valid lookahead, the reduction is
+//!   encoded once per state and dispatch may skip the lookahead-indexed
+//!   fetch entirely (yacc's classic default-reduce rule: errors are still
+//!   detected before any invalid terminal is shifted, merely after some
+//!   extra reductions).
+//! * **Packed GOTO and nonterminal reductions.** GOTO cells are bare
+//!   `u32`s (`0` = error, else `state + 1`); the Section 3.2 nonterminal
+//!   reduction lists live in one shared [`ProdId`] arena addressed by
+//!   `(offset, length)` words instead of `Option<Vec<ProdId>>` boxes.
+//!
+//! The packed form is verified action-for-action identical to the naive
+//! build by the differential tests in `tests/packed_diff.rs` and in
+//! `wg-langs` (every in-repo grammar, plus random grammars).
+
+use crate::automaton::StateId;
+use crate::table::Action;
+use std::collections::HashMap;
+use wg_grammar::{Grammar, NonTerminal, ProdId, Terminal};
+
+/// Tag of a packed shift action (payload = target state index).
+const TAG_SHIFT: u32 = 1;
+/// Tag of a packed reduce action (payload = production index).
+const TAG_REDUCE: u32 = 2;
+/// Tag of a packed accept action (payload unused).
+const TAG_ACCEPT: u32 = 3;
+/// Bit position of the 2-bit tag.
+const TAG_BITS: u32 = 30;
+/// Mask of the 30-bit payload.
+const PAYLOAD_MASK: u32 = (1 << TAG_BITS) - 1;
+
+/// One parse action packed into a tagged `u32`.
+///
+/// Tag `0` never encodes an action: in the cell array it marks an empty
+/// cell (payload `0`) or an arena offset (payload `> 0`), so a tagged
+/// word can double as a one-action cell *in place*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PackedAction(pub u32);
+
+impl PackedAction {
+    /// Packs an action. Panics if an index exceeds 30 bits (a table with
+    /// a billion states would have failed to build long before this).
+    #[inline]
+    pub fn encode(a: Action) -> PackedAction {
+        let (tag, payload) = match a {
+            Action::Shift(s) => (TAG_SHIFT, s.0),
+            Action::Reduce(p) => (TAG_REDUCE, p.index() as u32),
+            Action::Accept => (TAG_ACCEPT, 0),
+        };
+        assert!(payload <= PAYLOAD_MASK, "table index exceeds 30 bits");
+        PackedAction((tag << TAG_BITS) | payload)
+    }
+
+    /// Unpacks the action. Must only be called on tagged words.
+    #[inline]
+    pub fn decode(self) -> Action {
+        let payload = self.0 & PAYLOAD_MASK;
+        match self.0 >> TAG_BITS {
+            TAG_SHIFT => Action::Shift(StateId(payload)),
+            TAG_REDUCE => Action::Reduce(ProdId::from_index(payload as usize)),
+            TAG_ACCEPT => Action::Accept,
+            _ => unreachable!("untagged word decoded as action"),
+        }
+    }
+}
+
+/// A borrowed view of one ACTION cell: a slice of packed action words.
+///
+/// `Copy`, so the hot loops fetch a cell **once** and iterate it across
+/// arbitrary `&mut self` calls — no per-action re-lookup of
+/// `(state, terminal)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Cell<'a> {
+    words: &'a [u32],
+}
+
+impl<'a> Cell<'a> {
+    /// The empty (error) cell.
+    #[inline]
+    pub const fn empty() -> Cell<'a> {
+        Cell { words: &[] }
+    }
+
+    #[inline]
+    pub(crate) fn from_words(words: &'a [u32]) -> Cell<'a> {
+        Cell { words }
+    }
+
+    /// Number of actions in the cell.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the cell is empty (a syntax error).
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// The `i`-th action.
+    #[inline]
+    pub fn get(self, i: usize) -> Action {
+        PackedAction(self.words[i]).decode()
+    }
+
+    /// The first action, if any.
+    #[inline]
+    pub fn first(self) -> Option<Action> {
+        self.words.first().map(|&w| PackedAction(w).decode())
+    }
+
+    /// Iterates the actions.
+    #[inline]
+    pub fn iter(self) -> impl Iterator<Item = Action> + 'a {
+        self.words.iter().map(|&w| PackedAction(w).decode())
+    }
+
+    /// The actions, decoded into a fresh vector (diagnostics and tests).
+    pub fn to_vec(self) -> Vec<Action> {
+        self.iter().collect()
+    }
+}
+
+impl<'a> IntoIterator for Cell<'a> {
+    type Item = Action;
+    type IntoIter = std::iter::Map<std::slice::Iter<'a, u32>, fn(&u32) -> Action>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.words.iter().map(|&w| PackedAction(w).decode())
+    }
+}
+
+/// Sentinel in the packed nonterminal-reduction index: no precomputed
+/// reduction list (the incremental parser must break the subtree down).
+const NT_NONE: u32 = u32::MAX;
+/// Bits of an nt-index word reserved for the list length.
+const NT_LEN_BITS: u32 = 5;
+const NT_LEN_MASK: u32 = (1 << NT_LEN_BITS) - 1;
+
+/// Size and shape metrics of a packed table (Section 5-style reporting
+/// and the `tables` bench's `BENCH_tables.json` artifact).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableStats {
+    /// Automaton states.
+    pub states: usize,
+    /// Grammar terminals (columns before class merging).
+    pub terminals: usize,
+    /// Terminal equivalence classes (columns after merging).
+    pub term_classes: usize,
+    /// Nonempty ACTION entries over all `(state, terminal)` pairs.
+    pub action_entries: usize,
+    /// States carrying a default reduction.
+    pub default_reduce_states: usize,
+    /// Conflicted (multi-action) cells spilled to the shared arena.
+    pub spilled_cells: usize,
+    /// Total bytes of the packed arrays.
+    pub packed_bytes: usize,
+}
+
+/// The packed ACTION/GOTO representation behind [`crate::LrTable`].
+#[derive(Debug, Clone)]
+pub(crate) struct PackedTables {
+    num_classes: usize,
+    num_nonterminals: usize,
+    /// Terminal index → equivalence class.
+    term_class: Vec<u16>,
+    /// `cells[s * num_classes + class]`: `0` = error, tagged = inline
+    /// single action, untagged nonzero = offset into `arena`.
+    cells: Vec<u32>,
+    /// Length-prefixed action lists for conflicted cells. Index 0 holds a
+    /// pad word so offset 0 never addresses a real cell.
+    arena: Vec<u32>,
+    /// Per-state default reduction (packed `Reduce`, or `0` for none).
+    default_reduce: Vec<u32>,
+    /// `gotos[s * num_nonterminals + n]`: `0` = error, else `state + 1`.
+    gotos: Vec<u32>,
+    /// `(offset << 5 | len)` into `nt_arena`, or [`NT_NONE`].
+    nt_cells: Vec<u32>,
+    /// Shared storage for all precomputed nonterminal-reduction lists.
+    nt_arena: Vec<ProdId>,
+    /// Nonempty ACTION entries before packing (per terminal, not class).
+    action_entries: usize,
+}
+
+impl PackedTables {
+    /// Packs the raw per-cell representation produced by table
+    /// construction. `actions` is indexed `s * num_terminals + t` with
+    /// canonical (sorted, deduplicated, statically filtered) cells.
+    pub(crate) fn pack(
+        g: &Grammar,
+        num_states: usize,
+        actions: &[Vec<Action>],
+        gotos: &[Option<StateId>],
+        nt_reduce: &[Option<Vec<ProdId>>],
+    ) -> PackedTables {
+        let num_terminals = g.num_terminals();
+        let num_nonterminals = g.num_nonterminals();
+
+        // Terminal equivalence classes: group identical ACTION columns.
+        let mut term_class = vec![0u16; num_terminals];
+        let mut class_rep: Vec<usize> = Vec::new();
+        {
+            let mut seen: HashMap<Vec<&[Action]>, u16> = HashMap::new();
+            for t in 0..num_terminals {
+                let column: Vec<&[Action]> = (0..num_states)
+                    .map(|s| actions[s * num_terminals + t].as_slice())
+                    .collect();
+                let next = class_rep.len() as u16;
+                let class = *seen.entry(column).or_insert(next);
+                if class == next {
+                    class_rep.push(t);
+                }
+                term_class[t] = class;
+            }
+        }
+        let num_classes = class_rep.len();
+
+        // Pack the cells: one word per (state, class), conflicted cells
+        // spilled into the shared arena.
+        let mut cells = vec![0u32; num_states * num_classes];
+        let mut arena = vec![0u32]; // pad: offset 0 is never a real cell
+        for s in 0..num_states {
+            for (c, &rep) in class_rep.iter().enumerate() {
+                let cell = &actions[s * num_terminals + rep];
+                cells[s * num_classes + c] = match cell.len() {
+                    0 => 0,
+                    1 => PackedAction::encode(cell[0]).0,
+                    n => {
+                        let off = arena.len() as u32;
+                        assert!(off <= PAYLOAD_MASK, "action arena exceeds 30-bit offsets");
+                        arena.push(n as u32);
+                        arena.extend(cell.iter().map(|&a| PackedAction::encode(a).0));
+                        off
+                    }
+                };
+            }
+        }
+
+        // Default reductions: a state qualifies when every nonempty cell
+        // holds exactly the same single non-ε reduction. (ε-reductions are
+        // excluded so a defaulted reduce always pops at least one stack
+        // entry — the naive table's termination argument carries over
+        // unchanged even on error lookaheads.)
+        let mut default_reduce = vec![0u32; num_states];
+        for s in 0..num_states {
+            let mut agreed: Option<ProdId> = None;
+            let mut ok = true;
+            for &rep in class_rep.iter().take(num_classes) {
+                let cell = &actions[s * num_terminals + rep];
+                match cell.as_slice() {
+                    [] => {}
+                    [Action::Reduce(p)] if g.production(*p).arity() > 0 => match agreed {
+                        None => agreed = Some(*p),
+                        Some(prev) if prev == *p => {}
+                        Some(_) => {
+                            ok = false;
+                            break;
+                        }
+                    },
+                    _ => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                if let Some(p) = agreed {
+                    default_reduce[s] = PackedAction::encode(Action::Reduce(p)).0;
+                }
+            }
+        }
+
+        // GOTO: 0 = error, else state + 1 (StateId 0 is the start state,
+        // which is never a goto *target* in an LR(0) automaton — but +1
+        // keeps the encoding honest regardless).
+        let packed_gotos: Vec<u32> = gotos.iter().map(|g| g.map_or(0, |s| s.0 + 1)).collect();
+
+        // Nonterminal reductions: shared ProdId arena, (offset, len) words.
+        let mut nt_cells = vec![NT_NONE; num_states * num_nonterminals];
+        let mut nt_arena: Vec<ProdId> = Vec::new();
+        for (i, slot) in nt_reduce.iter().enumerate() {
+            if let Some(list) = slot {
+                let off = nt_arena.len() as u32;
+                let len = list.len() as u32;
+                assert!(len <= NT_LEN_MASK, "nt-reduction list exceeds 31 entries");
+                assert!(
+                    off < (u32::MAX >> NT_LEN_BITS),
+                    "nt arena exceeds 27-bit offsets"
+                );
+                nt_arena.extend_from_slice(list);
+                nt_cells[i] = (off << NT_LEN_BITS) | len;
+            }
+        }
+
+        let action_entries = actions.iter().map(|c| c.len()).sum();
+        PackedTables {
+            num_classes,
+            num_nonterminals,
+            term_class,
+            cells,
+            arena,
+            default_reduce,
+            gotos: packed_gotos,
+            nt_cells,
+            nt_arena,
+            action_entries,
+        }
+    }
+
+    /// The ACTION cell for `(state, terminal)`.
+    #[inline]
+    pub(crate) fn cell(&self, s: StateId, t: Terminal) -> Cell<'_> {
+        let idx = s.index() * self.num_classes + self.term_class[t.index()] as usize;
+        let word = self.cells[idx];
+        if word == 0 {
+            Cell::empty()
+        } else if word >> TAG_BITS != 0 {
+            Cell::from_words(std::slice::from_ref(&self.cells[idx]))
+        } else {
+            let off = word as usize;
+            let n = self.arena[off] as usize;
+            Cell::from_words(&self.arena[off + 1..off + 1 + n])
+        }
+    }
+
+    /// The state's default reduction, if it has one.
+    #[inline]
+    pub(crate) fn default_reduction(&self, s: StateId) -> Option<ProdId> {
+        let word = self.default_reduce[s.index()];
+        if word == 0 {
+            None
+        } else {
+            Some(ProdId::from_index((word & PAYLOAD_MASK) as usize))
+        }
+    }
+
+    /// The GOTO target for `(state, nonterminal)`.
+    #[inline]
+    pub(crate) fn goto(&self, s: StateId, n: NonTerminal) -> Option<StateId> {
+        let word = self.gotos[s.index() * self.num_nonterminals + n.index()];
+        if word == 0 {
+            None
+        } else {
+            Some(StateId(word - 1))
+        }
+    }
+
+    /// The precomputed nonterminal reductions for `(state, nonterminal)`.
+    #[inline]
+    pub(crate) fn nt_reductions(&self, s: StateId, n: NonTerminal) -> Option<&[ProdId]> {
+        let word = self.nt_cells[s.index() * self.num_nonterminals + n.index()];
+        if word == NT_NONE {
+            None
+        } else {
+            let off = (word >> NT_LEN_BITS) as usize;
+            let len = (word & NT_LEN_MASK) as usize;
+            Some(&self.nt_arena[off..off + len])
+        }
+    }
+
+    /// Nonempty ACTION entries over all `(state, terminal)` pairs.
+    pub(crate) fn action_entries(&self) -> usize {
+        self.action_entries
+    }
+
+    /// Size and shape metrics.
+    pub(crate) fn stats(&self, num_states: usize, num_terminals: usize) -> TableStats {
+        let packed_bytes = self.cells.len() * 4
+            + self.arena.len() * 4
+            + self.term_class.len() * 2
+            + self.default_reduce.len() * 4
+            + self.gotos.len() * 4
+            + self.nt_cells.len() * 4
+            + self.nt_arena.len() * std::mem::size_of::<ProdId>();
+        TableStats {
+            states: num_states,
+            terminals: num_terminals,
+            term_classes: self.num_classes,
+            action_entries: self.action_entries,
+            default_reduce_states: self.default_reduce.iter().filter(|&&w| w != 0).count(),
+            spilled_cells: self
+                .cells
+                .iter()
+                .filter(|&&w| w != 0 && w >> TAG_BITS == 0)
+                .count(),
+            packed_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packed_action_roundtrip() {
+        for a in [
+            Action::Shift(StateId(0)),
+            Action::Shift(StateId(12345)),
+            Action::Reduce(ProdId::from_index(0)),
+            Action::Reduce(ProdId::from_index(7)),
+            Action::Accept,
+        ] {
+            assert_eq!(PackedAction::encode(a).decode(), a);
+        }
+    }
+
+    #[test]
+    fn tagged_words_are_nonzero() {
+        // The cell array relies on every packed action being distinguishable
+        // from the empty-cell word 0 and from untagged arena offsets.
+        for a in [
+            Action::Shift(StateId(0)),
+            Action::Reduce(ProdId::from_index(0)),
+            Action::Accept,
+        ] {
+            let w = PackedAction::encode(a).0;
+            assert_ne!(w, 0);
+            assert_ne!(w >> TAG_BITS, 0);
+        }
+    }
+
+    #[test]
+    fn cell_view_accessors() {
+        let words = [
+            PackedAction::encode(Action::Shift(StateId(3))).0,
+            PackedAction::encode(Action::Reduce(ProdId::from_index(1))).0,
+        ];
+        let cell = Cell::from_words(&words);
+        assert_eq!(cell.len(), 2);
+        assert!(!cell.is_empty());
+        assert_eq!(cell.get(0), Action::Shift(StateId(3)));
+        assert_eq!(cell.first(), Some(Action::Shift(StateId(3))));
+        assert_eq!(
+            cell.to_vec(),
+            vec![
+                Action::Shift(StateId(3)),
+                Action::Reduce(ProdId::from_index(1))
+            ]
+        );
+        let copied = cell; // Copy: both views stay usable
+        assert_eq!(copied.len(), cell.len());
+        assert!(Cell::empty().is_empty());
+        assert_eq!(Cell::empty().first(), None);
+    }
+}

@@ -1,9 +1,17 @@
 //! The conflict-preserving LR parse table driving all four parsers in the
 //! workspace (deterministic batch, incremental deterministic, batch GLR,
 //! incremental GLR).
+//!
+//! Construction happens in two stages: the classic cell-of-Vecs *raw*
+//! build (shifts/gotos from the automaton, SLR/LALR reductions, static
+//! precedence filters, Section 3.2 nonterminal-reduction precomputation),
+//! followed by [`crate::packed`]'s dense packing pass. The public
+//! [`LrTable`] keeps only the packed arrays; [`RefTable`] exposes the raw
+//! form for differential tests and size comparisons.
 
 use crate::automaton::{Lr0Automaton, StateId};
 use crate::lalr::lalr_lookaheads;
+use crate::packed::{Cell, PackedTables, TableStats};
 use std::fmt;
 use wg_grammar::{Assoc, Grammar, GrammarAnalysis, NonTerminal, ProdId, Symbol, TermSet, Terminal};
 
@@ -58,10 +66,8 @@ impl ConflictReport {
     }
 }
 
-/// A conflict-preserving SLR(1)/LALR(1) parse table.
-#[derive(Debug, Clone)]
-pub struct LrTable {
-    kind: TableKind,
+/// The raw cell-of-Vecs tables produced by construction, before packing.
+struct RawTables {
     num_states: usize,
     num_terminals: usize,
     num_nonterminals: usize,
@@ -77,6 +83,144 @@ pub struct LrTable {
     automaton: Lr0Automaton,
 }
 
+fn build_raw(g: &Grammar, an: &GrammarAnalysis, kind: TableKind) -> RawTables {
+    let auto = Lr0Automaton::build(g);
+    let num_states = auto.num_states();
+    let num_terminals = g.num_terminals();
+    let num_nonterminals = g.num_nonterminals();
+
+    let mut actions: Vec<Vec<Action>> = vec![Vec::new(); num_states * num_terminals];
+    let mut gotos: Vec<Option<StateId>> = vec![None; num_states * num_nonterminals];
+
+    // Shifts and gotos straight from the automaton. A shift on EOF only
+    // arises from `S' -> S · eof`; it becomes Accept, stored at EOF's own
+    // column (not a hardcoded column 0 — terminal numbering must not be
+    // able to silently corrupt the accept cell).
+    for (s, sym, t) in auto.transitions() {
+        match sym {
+            Symbol::T(term) if term.is_eof() => {
+                debug_assert_eq!(term, Terminal::EOF);
+                actions[s.index() * num_terminals + term.index()].push(Action::Accept);
+            }
+            Symbol::T(term) => {
+                actions[s.index() * num_terminals + term.index()].push(Action::Shift(t));
+            }
+            Symbol::N(n) => {
+                gotos[s.index() * num_nonterminals + n.index()] = Some(t);
+            }
+        }
+    }
+
+    // Reductions.
+    let lalr = match kind {
+        TableKind::Lalr => Some(lalr_lookaheads(g, an, &auto)),
+        TableKind::Slr => None,
+    };
+    for s in 0..num_states {
+        let sid = StateId(s as u32);
+        for item in auto.closure(sid).items() {
+            if !item.is_final(g) || item.prod == ProdId::AUGMENTED {
+                continue;
+            }
+            let lhs = g.production(item.prod).lhs();
+            let la: TermSet = match &lalr {
+                Some(map) => map
+                    .get(&(sid, item.prod))
+                    .cloned()
+                    .unwrap_or_else(|| TermSet::empty(num_terminals)),
+                None => an.follow(lhs).clone(),
+            };
+            for t in la.iter() {
+                actions[s * num_terminals + t.index()].push(Action::Reduce(item.prod));
+            }
+        }
+    }
+
+    // Canonicalize cells and apply static filters.
+    let mut conflicts = ConflictReport::default();
+    for s in 0..num_states {
+        for t in 0..num_terminals {
+            let cell = &mut actions[s * num_terminals + t];
+            cell.sort_unstable();
+            cell.dedup();
+            if cell.len() > 1 {
+                resolve_cell(g, Terminal::from_index(t), cell, &mut conflicts);
+            }
+            if cell.len() > 1 {
+                let kind = if cell.iter().any(|a| matches!(a, Action::Shift(_))) {
+                    ConflictKind::ShiftReduce
+                } else {
+                    ConflictKind::ReduceReduce
+                };
+                conflicts
+                    .remaining
+                    .push((StateId(s as u32), Terminal::from_index(t), kind));
+            }
+        }
+    }
+
+    // Nonterminal-reduction precomputation (Section 3.2).
+    let mut nt_reduce = vec![None; num_states * num_nonterminals];
+    for s in 0..num_states {
+        for n in g.nonterminals() {
+            if an.nullable(n) {
+                continue; // `provided that N does not generate ε`
+            }
+            let first = an.first(n);
+            if first.is_empty() {
+                continue;
+            }
+            let mut agreed: Option<Vec<ProdId>> = None;
+            let mut ok = true;
+            for t in first.iter() {
+                let reduces: Vec<ProdId> = actions[s * num_terminals + t.index()]
+                    .iter()
+                    .filter_map(|a| match a {
+                        Action::Reduce(p) => Some(*p),
+                        _ => None,
+                    })
+                    .collect();
+                match &agreed {
+                    None => agreed = Some(reduces),
+                    Some(prev) if *prev == reduces => {}
+                    Some(_) => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                nt_reduce[s * num_nonterminals + n.index()] = Some(agreed.unwrap_or_default());
+            }
+        }
+    }
+
+    RawTables {
+        num_states,
+        num_terminals,
+        num_nonterminals,
+        actions,
+        gotos,
+        nt_reduce,
+        conflicts,
+        automaton: auto,
+    }
+}
+
+/// A conflict-preserving SLR(1)/LALR(1) parse table in the packed,
+/// cache-dense representation: tagged-u32 cells read through [`Cell`],
+/// a shared conflict arena, terminal equivalence classes, and per-state
+/// default reductions.
+#[derive(Debug, Clone)]
+pub struct LrTable {
+    kind: TableKind,
+    num_states: usize,
+    num_terminals: usize,
+    packed: PackedTables,
+    conflicts: ConflictReport,
+    automaton: Lr0Automaton,
+}
+
 impl LrTable {
     /// Builds the table for `g`, retaining conflicts and applying static
     /// precedence filters.
@@ -87,124 +231,16 @@ impl LrTable {
 
     /// As [`LrTable::build`], reusing a precomputed [`GrammarAnalysis`].
     pub fn build_with_analysis(g: &Grammar, an: &GrammarAnalysis, kind: TableKind) -> LrTable {
-        let auto = Lr0Automaton::build(g);
-        let num_states = auto.num_states();
-        let num_terminals = g.num_terminals();
-        let num_nonterminals = g.num_nonterminals();
-
-        let mut actions: Vec<Vec<Action>> = vec![Vec::new(); num_states * num_terminals];
-        let mut gotos: Vec<Option<StateId>> = vec![None; num_states * num_nonterminals];
-
-        // Shifts and gotos straight from the automaton. A shift on EOF only
-        // arises from `S' -> S · eof`; it becomes Accept.
-        for (s, sym, t) in auto.transitions() {
-            match sym {
-                Symbol::T(term) if term.is_eof() => {
-                    actions[s.index() * num_terminals].push(Action::Accept);
-                }
-                Symbol::T(term) => {
-                    actions[s.index() * num_terminals + term.index()].push(Action::Shift(t));
-                }
-                Symbol::N(n) => {
-                    gotos[s.index() * num_nonterminals + n.index()] = Some(t);
-                }
-            }
-        }
-
-        // Reductions.
-        let lalr = match kind {
-            TableKind::Lalr => Some(lalr_lookaheads(g, an, &auto)),
-            TableKind::Slr => None,
-        };
-        for s in 0..num_states {
-            let sid = StateId(s as u32);
-            for item in auto.closure(sid).items() {
-                if !item.is_final(g) || item.prod == ProdId::AUGMENTED {
-                    continue;
-                }
-                let lhs = g.production(item.prod).lhs();
-                let la: TermSet = match &lalr {
-                    Some(map) => map
-                        .get(&(sid, item.prod))
-                        .cloned()
-                        .unwrap_or_else(|| TermSet::empty(num_terminals)),
-                    None => an.follow(lhs).clone(),
-                };
-                for t in la.iter() {
-                    actions[s * num_terminals + t.index()].push(Action::Reduce(item.prod));
-                }
-            }
-        }
-
-        // Canonicalize cells and apply static filters.
-        let mut conflicts = ConflictReport::default();
-        for s in 0..num_states {
-            for t in 0..num_terminals {
-                let cell = &mut actions[s * num_terminals + t];
-                cell.sort_unstable();
-                cell.dedup();
-                if cell.len() > 1 {
-                    resolve_cell(g, Terminal::from_index(t), cell, &mut conflicts);
-                }
-                if cell.len() > 1 {
-                    let kind = if cell.iter().any(|a| matches!(a, Action::Shift(_))) {
-                        ConflictKind::ShiftReduce
-                    } else {
-                        ConflictKind::ReduceReduce
-                    };
-                    conflicts
-                        .remaining
-                        .push((StateId(s as u32), Terminal::from_index(t), kind));
-                }
-            }
-        }
-
-        // Nonterminal-reduction precomputation (Section 3.2).
-        let mut nt_reduce = vec![None; num_states * num_nonterminals];
-        for s in 0..num_states {
-            for n in g.nonterminals() {
-                if an.nullable(n) {
-                    continue; // `provided that N does not generate ε`
-                }
-                let first = an.first(n);
-                if first.is_empty() {
-                    continue;
-                }
-                let mut agreed: Option<Vec<ProdId>> = None;
-                let mut ok = true;
-                for t in first.iter() {
-                    let reduces: Vec<ProdId> = actions[s * num_terminals + t.index()]
-                        .iter()
-                        .filter_map(|a| match a {
-                            Action::Reduce(p) => Some(*p),
-                            _ => None,
-                        })
-                        .collect();
-                    match &agreed {
-                        None => agreed = Some(reduces),
-                        Some(prev) if *prev == reduces => {}
-                        Some(_) => {
-                            ok = false;
-                            break;
-                        }
-                    }
-                }
-                if ok {
-                    nt_reduce[s * num_nonterminals + n.index()] = Some(agreed.unwrap_or_default());
-                }
-            }
-        }
-
+        let raw = build_raw(g, an, kind);
+        let packed =
+            PackedTables::pack(g, raw.num_states, &raw.actions, &raw.gotos, &raw.nt_reduce);
         LrTable {
             kind,
-            num_states,
-            num_terminals,
-            num_nonterminals,
-            actions,
-            gotos,
-            nt_reduce,
-            conflicts,
-            automaton: auto,
+            num_states: raw.num_states,
+            num_terminals: raw.num_terminals,
+            packed,
+            conflicts: raw.conflicts,
+            automaton: raw.automaton,
         }
     }
 
@@ -223,16 +259,26 @@ impl LrTable {
         StateId::START
     }
 
-    /// The actions for `(state, terminal)`; empty means syntax error.
+    /// The actions for `(state, terminal)`; an empty cell means syntax
+    /// error. The returned [`Cell`] is `Copy` — fetch once, iterate freely.
     #[inline]
-    pub fn actions(&self, s: StateId, t: Terminal) -> &[Action] {
-        &self.actions[s.index() * self.num_terminals + t.index()]
+    pub fn actions(&self, s: StateId, t: Terminal) -> Cell<'_> {
+        self.packed.cell(s, t)
+    }
+
+    /// The state's *default reduction*, if it has one: the single non-ε
+    /// production the state reduces by on **every** valid lookahead.
+    /// Dispatch may perform it without consulting the lookahead at all;
+    /// errors are still caught before any invalid terminal is shifted.
+    #[inline]
+    pub fn default_reduction(&self, s: StateId) -> Option<ProdId> {
+        self.packed.default_reduction(s)
     }
 
     /// The GOTO target for `(state, nonterminal)`, if defined.
     #[inline]
     pub fn goto(&self, s: StateId, n: NonTerminal) -> Option<StateId> {
-        self.gotos[s.index() * self.num_nonterminals + n.index()]
+        self.packed.goto(s, n)
     }
 
     /// Precomputed reductions valid with nonterminal lookahead `n` in state
@@ -240,7 +286,7 @@ impl LrTable {
     /// down to its leading terminal.
     #[inline]
     pub fn nt_reductions(&self, s: StateId, n: NonTerminal) -> Option<&[ProdId]> {
-        self.nt_reduce[s.index() * self.num_nonterminals + n.index()].as_deref()
+        self.packed.nt_reductions(s, n)
     }
 
     /// Whether no cell holds more than one action.
@@ -261,7 +307,12 @@ impl LrTable {
     /// Total number of nonempty ACTION entries (a size metric for
     /// Section 5-style reporting).
     pub fn num_action_entries(&self) -> usize {
-        self.actions.iter().map(|c| c.len()).sum()
+        self.packed.action_entries()
+    }
+
+    /// Size and shape metrics of the packed representation.
+    pub fn stats(&self) -> TableStats {
+        self.packed.stats(self.num_states, self.num_terminals)
     }
 
     /// Renders one state's kernel items (diagnostics).
@@ -273,6 +324,66 @@ impl LrTable {
             out.push('\n');
         }
         out
+    }
+}
+
+/// The raw (naive, cell-of-Vecs) table, exposed for differential testing
+/// and size comparison against the packed [`LrTable`]. Built by the same
+/// construction pass, skipping only the packing step.
+pub struct RefTable {
+    raw: RawTables,
+}
+
+impl RefTable {
+    /// Builds the reference table for `g`.
+    pub fn build(g: &Grammar, kind: TableKind) -> RefTable {
+        let an = GrammarAnalysis::new(g);
+        RefTable {
+            raw: build_raw(g, &an, kind),
+        }
+    }
+
+    /// Number of automaton states.
+    pub fn num_states(&self) -> usize {
+        self.raw.num_states
+    }
+
+    /// The actions for `(state, terminal)` as a plain slice.
+    pub fn actions(&self, s: StateId, t: Terminal) -> &[Action] {
+        &self.raw.actions[s.index() * self.raw.num_terminals + t.index()]
+    }
+
+    /// The GOTO target for `(state, nonterminal)`, if defined.
+    pub fn goto(&self, s: StateId, n: NonTerminal) -> Option<StateId> {
+        self.raw.gotos[s.index() * self.raw.num_nonterminals + n.index()]
+    }
+
+    /// Precomputed reductions for nonterminal lookahead (Section 3.2).
+    pub fn nt_reductions(&self, s: StateId, n: NonTerminal) -> Option<&[ProdId]> {
+        self.raw.nt_reduce[s.index() * self.raw.num_nonterminals + n.index()].as_deref()
+    }
+
+    /// Total number of nonempty ACTION entries.
+    pub fn num_action_entries(&self) -> usize {
+        self.raw.actions.iter().map(|c| c.len()).sum()
+    }
+
+    /// Heap + inline bytes of the naive representation (what [`LrTable`]
+    /// stored before packing): per-cell `Vec` headers plus their elements.
+    pub fn naive_bytes(&self) -> usize {
+        let vec_hdr = std::mem::size_of::<Vec<Action>>();
+        let action_cells = self.raw.actions.len() * vec_hdr
+            + self.num_action_entries() * std::mem::size_of::<Action>();
+        let goto_cells = self.raw.gotos.len() * std::mem::size_of::<Option<StateId>>();
+        let nt_entries: usize = self
+            .raw
+            .nt_reduce
+            .iter()
+            .map(|c| c.as_ref().map_or(0, |v| v.len()))
+            .sum();
+        let nt_cells = self.raw.nt_reduce.len() * std::mem::size_of::<Option<Vec<ProdId>>>()
+            + nt_entries * std::mem::size_of::<ProdId>();
+        action_cells + goto_cells + nt_cells
     }
 }
 
@@ -428,13 +539,13 @@ mod tests {
         let t = LrTable::build(&g, TableKind::Lalr);
         // Drive manually: start --x--> q1, reduce S->x, goto, accept on EOF.
         let acts = t.actions(StateId::START, x);
-        let Action::Shift(q1) = acts[0] else {
+        let Action::Shift(q1) = acts.get(0) else {
             panic!("expected shift")
         };
         let acts = t.actions(q1, Terminal::EOF);
-        assert!(matches!(acts[0], Action::Reduce(_)));
+        assert!(matches!(acts.get(0), Action::Reduce(_)));
         let s_state = t.goto(StateId::START, s).unwrap();
-        assert_eq!(t.actions(s_state, Terminal::EOF), &[Action::Accept]);
+        assert_eq!(t.actions(s_state, Terminal::EOF).to_vec(), [Action::Accept]);
     }
 
     #[test]
@@ -477,7 +588,7 @@ mod tests {
         b.start(s);
         let g = b.build().unwrap();
         let t = LrTable::build(&g, TableKind::Lalr);
-        let q = match t.actions(StateId::START, a_t)[0] {
+        let q = match t.actions(StateId::START, a_t).get(0) {
             Action::Shift(q) => q,
             other => panic!("expected shift, got {other:?}"),
         };
@@ -496,6 +607,62 @@ mod tests {
         assert!(t.num_action_entries() > 0);
         assert!(t.display_state(&g, StateId::START).contains("state 0"));
         assert_eq!(format!("{}", t.kind()), "LALR(1)");
+    }
+
+    #[test]
+    fn packed_stats_are_consistent() {
+        let g = expr_ambiguous(false);
+        let t = LrTable::build(&g, TableKind::Lalr);
+        let r = RefTable::build(&g, TableKind::Lalr);
+        let stats = t.stats();
+        assert_eq!(stats.states, t.num_states());
+        assert_eq!(stats.action_entries, r.num_action_entries());
+        assert_eq!(t.num_action_entries(), r.num_action_entries());
+        assert!(stats.term_classes <= stats.terminals);
+        assert!(stats.term_classes >= 1);
+        // The ambiguous grammar has conflict cells, which must spill.
+        assert!(stats.spilled_cells > 0);
+        assert!(stats.packed_bytes > 0);
+        assert!(
+            stats.packed_bytes < r.naive_bytes(),
+            "packing must shrink the table: packed={} naive={}",
+            stats.packed_bytes,
+            r.naive_bytes()
+        );
+    }
+
+    #[test]
+    fn default_reduce_only_on_uniform_reduce_states() {
+        // S -> x — the state after shifting `x` reduces S->x on its single
+        // valid lookahead (EOF) and nothing else: a default-reduce state.
+        let mut b = GrammarBuilder::new("g");
+        let x = b.terminal("x");
+        let s = b.nonterminal("S");
+        b.prod(s, vec![Symbol::T(x)]);
+        b.start(s);
+        let g = b.build().unwrap();
+        let t = LrTable::build(&g, TableKind::Lalr);
+        let Action::Shift(q1) = t.actions(StateId::START, x).get(0) else {
+            panic!("expected shift")
+        };
+        let p = t.default_reduction(q1).expect("uniform reduce state");
+        assert_eq!(t.actions(q1, Terminal::EOF).to_vec(), [Action::Reduce(p)]);
+        // The start state shifts, so it can never default-reduce.
+        assert_eq!(t.default_reduction(StateId::START), None);
+        // Default reductions never name ε-productions and always agree with
+        // every nonempty cell in their row.
+        for st in 0..t.num_states() {
+            let sid = StateId(st as u32);
+            if let Some(p) = t.default_reduction(sid) {
+                assert!(g.production(p).arity() > 0, "ε default-reduce forbidden");
+                for term in 0..g.num_terminals() {
+                    let cell = t.actions(sid, Terminal::from_index(term));
+                    if !cell.is_empty() {
+                        assert_eq!(cell.to_vec(), [Action::Reduce(p)]);
+                    }
+                }
+            }
+        }
     }
 }
 

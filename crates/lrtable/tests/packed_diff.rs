@@ -1,0 +1,253 @@
+//! Differential tests: the packed [`LrTable`] must be action-for-action
+//! identical to the naive reference build ([`RefTable`]) — same actions in
+//! every (state, terminal) cell including conflict cells, same GOTO
+//! targets, same Section 3.2 nonterminal-reduction lists — for fixed
+//! grammars exercising every table feature and for random small grammars.
+
+use proptest::prelude::*;
+use wg_grammar::{Grammar, GrammarBuilder, NonTerminal, SeqKind, Symbol, Terminal};
+use wg_lrtable::{Action, LrTable, RefTable, StateId, TableKind};
+
+/// Asserts full equivalence of the packed and reference tables for `g`,
+/// plus the internal consistency of the packed extras (default reductions,
+/// equivalence classes, size metrics).
+fn assert_equivalent(g: &Grammar, kind: TableKind) {
+    let packed = LrTable::build(g, kind);
+    let naive = RefTable::build(g, kind);
+    assert_eq!(packed.num_states(), naive.num_states());
+    assert_eq!(packed.num_action_entries(), naive.num_action_entries());
+
+    for s in 0..packed.num_states() {
+        let sid = StateId(s as u32);
+        for t in 0..g.num_terminals() {
+            let term = Terminal::from_index(t);
+            let p = packed.actions(sid, term);
+            let n = naive.actions(sid, term);
+            assert_eq!(p.to_vec(), n, "ACTION mismatch at state {s}, terminal {t}");
+            assert_eq!(p.len(), n.len());
+            assert_eq!(p.is_empty(), n.is_empty());
+            assert_eq!(p.first(), n.first().copied());
+            for (i, &a) in n.iter().enumerate() {
+                assert_eq!(p.get(i), a);
+            }
+        }
+        for nt in 0..g.num_nonterminals() {
+            let n_sym = NonTerminal::from_index(nt);
+            assert_eq!(
+                packed.goto(sid, n_sym),
+                naive.goto(sid, n_sym),
+                "GOTO mismatch at state {s}, nonterminal {nt}"
+            );
+            assert_eq!(
+                packed.nt_reductions(sid, n_sym),
+                naive.nt_reductions(sid, n_sym),
+                "nt_reductions mismatch at state {s}, nonterminal {nt}"
+            );
+        }
+        // Default reductions must agree with every nonempty cell of the
+        // reference row and never name an ε-production.
+        if let Some(p) = packed.default_reduction(sid) {
+            assert!(g.production(p).arity() > 0);
+            for t in 0..g.num_terminals() {
+                let cell = naive.actions(sid, Terminal::from_index(t));
+                assert!(
+                    cell.is_empty() || cell == [Action::Reduce(p)],
+                    "default-reduce disagrees with cell at state {s}, terminal {t}"
+                );
+            }
+        }
+    }
+
+    let stats = packed.stats();
+    assert_eq!(stats.states, packed.num_states());
+    assert_eq!(stats.action_entries, naive.num_action_entries());
+    assert!(stats.term_classes >= 1 && stats.term_classes <= g.num_terminals());
+    assert!(stats.packed_bytes > 0);
+}
+
+#[test]
+fn conflicted_expression_grammar_matches() {
+    // E -> E + E | E * E | num: shift/reduce conflict cells must spill to
+    // the arena and come back in the same order.
+    let mut b = GrammarBuilder::new("amb");
+    let plus = b.terminal("+");
+    let star = b.terminal("*");
+    let num = b.terminal("num");
+    let e = b.nonterminal("E");
+    b.prod(e, vec![Symbol::N(e), Symbol::T(plus), Symbol::N(e)]);
+    b.prod(e, vec![Symbol::N(e), Symbol::T(star), Symbol::N(e)]);
+    b.prod(e, vec![Symbol::T(num)]);
+    b.start(e);
+    let g = b.build().unwrap();
+    assert_equivalent(&g, TableKind::Lalr);
+    assert_equivalent(&g, TableKind::Slr);
+    assert!(!LrTable::build(&g, TableKind::Lalr).is_deterministic());
+}
+
+#[test]
+fn reduce_reduce_grammar_matches() {
+    // Figure 7's LR(2) grammar: reduce/reduce on z.
+    let mut b = GrammarBuilder::new("lr2");
+    let x = b.terminal("x");
+    let z = b.terminal("z");
+    let c = b.terminal("c");
+    let e = b.terminal("e");
+    let a_nt = b.nonterminal("A");
+    let b_nt = b.nonterminal("B");
+    let d_nt = b.nonterminal("D");
+    let u_nt = b.nonterminal("U");
+    let v_nt = b.nonterminal("V");
+    b.prod(a_nt, vec![Symbol::N(b_nt), Symbol::T(c)]);
+    b.prod(a_nt, vec![Symbol::N(d_nt), Symbol::T(e)]);
+    b.prod(b_nt, vec![Symbol::N(u_nt), Symbol::T(z)]);
+    b.prod(d_nt, vec![Symbol::N(v_nt), Symbol::T(z)]);
+    b.prod(u_nt, vec![Symbol::T(x)]);
+    b.prod(v_nt, vec![Symbol::T(x)]);
+    b.start(a_nt);
+    let g = b.build().unwrap();
+    assert_equivalent(&g, TableKind::Lalr);
+    assert_equivalent(&g, TableKind::Slr);
+}
+
+#[test]
+fn epsilon_and_sequence_grammar_matches() {
+    // ε-productions (nullable nonterminals) and sequence productions.
+    let mut b = GrammarBuilder::new("eps-seq");
+    let x = b.terminal("x");
+    let semi = b.terminal(";");
+    let s = b.nonterminal("S");
+    let a_nt = b.nonterminal("A");
+    let l = b.nonterminal("L");
+    b.prod(s, vec![Symbol::N(a_nt), Symbol::N(l)]);
+    b.prod(a_nt, vec![]);
+    b.prod(a_nt, vec![Symbol::T(x)]);
+    b.sequence(l, Symbol::T(semi), SeqKind::Plus, None);
+    b.start(s);
+    let g = b.build().unwrap();
+    assert_equivalent(&g, TableKind::Lalr);
+    assert_equivalent(&g, TableKind::Slr);
+}
+
+#[test]
+fn precedence_filtered_grammar_matches() {
+    // Precedence declarations delete actions; the packed form must mirror
+    // the post-filter cells exactly (including %nonassoc error cells).
+    let mut b = GrammarBuilder::new("prec");
+    let plus = b.terminal("+");
+    let star = b.terminal("*");
+    let lt = b.terminal("<");
+    let num = b.terminal("num");
+    b.nonassoc(&[lt]);
+    b.left(&[plus]);
+    b.left(&[star]);
+    let e = b.nonterminal("E");
+    b.prod(e, vec![Symbol::N(e), Symbol::T(lt), Symbol::N(e)]);
+    b.prod(e, vec![Symbol::N(e), Symbol::T(plus), Symbol::N(e)]);
+    b.prod(e, vec![Symbol::N(e), Symbol::T(star), Symbol::N(e)]);
+    b.prod(e, vec![Symbol::T(num)]);
+    b.start(e);
+    let g = b.build().unwrap();
+    assert_equivalent(&g, TableKind::Lalr);
+}
+
+#[test]
+fn slr_vs_lalr_difference_matches_per_kind() {
+    // S -> L = R | R ; L -> * R | id ; R -> L: SLR conflicts, LALR doesn't
+    // — both tables must match their own reference build.
+    let mut b = GrammarBuilder::new("lalr-only");
+    let eq = b.terminal("=");
+    let star = b.terminal("*");
+    let id = b.terminal("id");
+    let s = b.nonterminal("S");
+    let l = b.nonterminal("L");
+    let r = b.nonterminal("R");
+    b.prod(s, vec![Symbol::N(l), Symbol::T(eq), Symbol::N(r)]);
+    b.prod(s, vec![Symbol::N(r)]);
+    b.prod(l, vec![Symbol::T(star), Symbol::N(r)]);
+    b.prod(l, vec![Symbol::T(id)]);
+    b.prod(r, vec![Symbol::N(l)]);
+    b.start(s);
+    let g = b.build().unwrap();
+    assert_equivalent(&g, TableKind::Slr);
+    assert_equivalent(&g, TableKind::Lalr);
+}
+
+#[test]
+fn unused_terminal_columns_merge() {
+    // Terminals that are never shifted and never appear in a lookahead set
+    // have all-empty columns; the equivalence-class pass must collapse them
+    // into one shared column. (Declared-but-unused terminals are common in
+    // staged grammar development and in error-token conventions.)
+    let mut b = GrammarBuilder::new("unused");
+    let x = b.terminal("x");
+    let _u1 = b.terminal("unused1");
+    let _u2 = b.terminal("unused2");
+    let _u3 = b.terminal("unused3");
+    let s = b.nonterminal("S");
+    b.prod(s, vec![Symbol::T(x)]);
+    b.start(s);
+    let g = b.build().unwrap();
+    assert_equivalent(&g, TableKind::Lalr);
+    let t = LrTable::build(&g, TableKind::Lalr);
+    let stats = t.stats();
+    assert!(
+        stats.term_classes < g.num_terminals(),
+        "three all-empty columns must share a class: {} classes for {} terminals",
+        stats.term_classes,
+        g.num_terminals()
+    );
+}
+
+/// Builds a random small grammar from generated descriptors, or `None`
+/// when the combination is rejected by the builder (e.g. unproductive
+/// start symbol).
+fn random_grammar(
+    num_terms: usize,
+    num_nts: usize,
+    prods: &[(usize, Vec<(bool, usize)>)],
+) -> Option<Grammar> {
+    let mut b = GrammarBuilder::new("rand");
+    let terms: Vec<_> = (0..num_terms)
+        .map(|i| b.terminal(&format!("t{i}")))
+        .collect();
+    let nts: Vec<_> = (0..num_nts)
+        .map(|i| b.nonterminal(&format!("N{i}")))
+        .collect();
+    for (lhs, rhs) in prods {
+        let rhs: Vec<Symbol> = rhs
+            .iter()
+            .map(|&(is_term, i)| {
+                if is_term {
+                    Symbol::T(terms[i % num_terms])
+                } else {
+                    Symbol::N(nts[i % num_nts])
+                }
+            })
+            .collect();
+        b.prod(nts[lhs % num_nts], rhs);
+    }
+    b.start(nts[0]);
+    b.build().ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Packed ≡ naive over random small grammars, both table kinds.
+    #[test]
+    fn packed_matches_naive_on_random_grammars(
+        num_terms in 1usize..5,
+        num_nts in 1usize..4,
+        prods in proptest::collection::vec(
+            (0usize..4, proptest::collection::vec((any::<bool>(), 0usize..5), 0..4)),
+            1..7,
+        ),
+    ) {
+        let Some(g) = random_grammar(num_terms, num_nts, &prods) else {
+            // Builder rejected the combination (no derivable start, …).
+            return Ok(());
+        };
+        assert_equivalent(&g, TableKind::Lalr);
+        assert_equivalent(&g, TableKind::Slr);
+    }
+}

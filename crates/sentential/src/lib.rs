@@ -235,6 +235,15 @@ impl<'a> IncLrParser<'a> {
 
         loop {
             let state = stack.last().map_or(start, |e| e.0);
+            // Default-reduce fast path: a uniform-reduce state performs its
+            // one possible move without examining the lookahead at all — no
+            // cell fetch, and no breakdown of a subtree lookahead to find
+            // its leading terminal. (Such a state has no shifts and no
+            // gotos, so no shift/splice opportunity is ever skipped.)
+            if let Some(rule) = self.table.default_reduction(state) {
+                self.reduce(arena, &mut stack, rule, &mut stats)?;
+                continue;
+            }
             let Some(la) = stream.la() else {
                 return Err(IncParseError::SyntaxError {
                     consumed: stats.terminal_shifts,
@@ -251,12 +260,12 @@ impl<'a> IncLrParser<'a> {
                     let actions = self.table.actions(state, term);
                     match actions.first() {
                         Some(Action::Shift(s)) => {
-                            stack.push((*s, la));
+                            stack.push((s, la));
                             stream.pop(arena);
                             stats.terminal_shifts += 1;
                         }
                         Some(Action::Reduce(r)) => {
-                            self.reduce(arena, &mut stack, *r, &mut stats)?;
+                            self.reduce(arena, &mut stack, r, &mut stats)?;
                         }
                         Some(Action::Accept) => {
                             let (_, body) = stack.pop().expect("accept with body on stack");
@@ -339,7 +348,7 @@ impl<'a> IncLrParser<'a> {
     ) -> Option<ProdId> {
         let redla = stream.reduction_terminal(arena);
         match self.table.actions(state, redla).first() {
-            Some(Action::Reduce(r)) => Some(*r),
+            Some(Action::Reduce(r)) => Some(r),
             _ => None,
         }
     }
