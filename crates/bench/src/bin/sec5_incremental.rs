@@ -47,6 +47,7 @@ struct ScalingRow {
     relex: Duration,
     parse: Duration,
     maintenance: Duration,
+    sem: Duration,
     total: Duration,
     /// Fresh node slots over the measured rounds (0 once pools are warm).
     fresh_slots: u64,
@@ -185,6 +186,7 @@ fn main() {
                     relex: a.relex.min(b.relex),
                     parse: a.parse.min(b.parse),
                     maintenance: a.maintenance.min(b.maintenance),
+                    sem: a.sem.min(b.sem),
                     total: a.total.min(b.total),
                     fresh_slots: a.fresh_slots.min(b.fresh_slots),
                     recycled_slots: a.recycled_slots,
@@ -249,11 +251,12 @@ fn regression_gate(path: &str, baseline: &str, fresh: &[ScalingRow], tolerance: 
             println!("  {} tokens: no baseline row — skipped", row.tokens);
             continue;
         };
-        let stages: [(&str, &str, Duration); 5] = [
+        let stages: [(&str, &str, Duration); 6] = [
             ("buffer", "buffer_ns", row.buffer),
             ("relex", "relex_ns", row.relex),
             ("parse", "parse_ns", row.parse),
             ("maintenance", "maintenance_ns", row.maintenance),
+            ("sem", "sem_ns", row.sem),
             ("total", "total_ns", row.total),
         ];
         for (name, key, now) in stages {
@@ -317,6 +320,13 @@ fn scaling_sweep(cfg: &wg_core::SessionConfig, quick: bool) -> Vec<ScalingRow> {
         let program = c_program(&GenSpec::sized(lines, 0.0, 7));
         let site = comparable_site(&program.text, 0.5).expect("generator emits var fillers");
         let mut s = Session::new(cfg, &program.text).expect("parses");
+        // The semantic pass rides along so `sem` measures the damage-driven
+        // incremental re-analysis (contour reuse + ripple cut-off), which
+        // must stay as flat in document size as the parse itself.
+        s.attach_semantics(Box::new(wg_sem::SemState::new(
+            cfg.grammar(),
+            wg_sem::Strictness::RequireBinding,
+        )));
         let tokens = s.token_count();
         let (start, len) = site;
         let original = s.text()[start..start + len].to_string();
@@ -345,6 +355,7 @@ fn scaling_sweep(cfg: &wg_core::SessionConfig, quick: bool) -> Vec<ScalingRow> {
             relex: Duration::ZERO,
             parse: Duration::ZERO,
             maintenance: Duration::ZERO,
+            sem: Duration::ZERO,
             total: Duration::ZERO,
             fresh_slots: 0,
             recycled_slots: 0,
@@ -368,6 +379,7 @@ fn scaling_sweep(cfg: &wg_core::SessionConfig, quick: bool) -> Vec<ScalingRow> {
         row.relex = median(&|r| r.relex);
         row.parse = median(&|r| r.parse);
         row.maintenance = median(&|r| r.maintenance);
+        row.sem = median(&|r| r.sem);
         row.total = median(&|r| r.total);
         out.push(row);
     }
@@ -380,6 +392,7 @@ fn scaling_sweep(cfg: &wg_core::SessionConfig, quick: bool) -> Vec<ScalingRow> {
                 fmt_dur(r.relex),
                 fmt_dur(r.parse),
                 fmt_dur(r.maintenance),
+                fmt_dur(r.sem),
                 fmt_dur(r.total),
                 format!("{}", r.fresh_slots),
                 format!("{}", r.key_allocs),
@@ -395,6 +408,7 @@ fn scaling_sweep(cfg: &wg_core::SessionConfig, quick: bool) -> Vec<ScalingRow> {
             "relex",
             "parse",
             "maintenance",
+            "sem",
             "total",
             "fresh slots",
             "key allocs",
@@ -491,12 +505,13 @@ fn write_json(
     j.push_str("  \"scaling\": [\n");
     for (i, r) in scaling.iter().enumerate() {
         j.push_str(&format!(
-            "    {{\"tokens\": {}, \"buffer_ns\": {}, \"relex_ns\": {}, \"parse_ns\": {}, \"maintenance_ns\": {}, \"total_ns\": {}, \"fresh_node_slots\": {}, \"recycled_node_slots\": {}, \"merge_key_allocs\": {}}}{}\n",
+            "    {{\"tokens\": {}, \"buffer_ns\": {}, \"relex_ns\": {}, \"parse_ns\": {}, \"maintenance_ns\": {}, \"sem_ns\": {}, \"total_ns\": {}, \"fresh_node_slots\": {}, \"recycled_node_slots\": {}, \"merge_key_allocs\": {}}}{}\n",
             r.tokens,
             r.buffer.as_nanos(),
             r.relex.as_nanos(),
             r.parse.as_nanos(),
             r.maintenance.as_nanos(),
+            r.sem.as_nanos(),
             r.total.as_nanos(),
             r.fresh_slots,
             r.recycled_slots,

@@ -62,11 +62,13 @@
 mod metrics;
 mod parser;
 mod registry;
+mod semantics;
 mod session;
 mod tape;
 
 pub use metrics::{ReparseReport, SessionMetrics};
 pub use parser::{IglrError, IglrParser, IglrRunStats};
 pub use registry::LanguageRegistry;
+pub use semantics::{SemInfo, SemNameKind, SemUpdate, SemanticPass};
 pub use session::{ReparseOutcome, Session, SessionConfig, SessionError};
 pub use tape::TokenTape;

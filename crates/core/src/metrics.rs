@@ -32,6 +32,9 @@ pub struct ReparseReport {
     pub parse: Duration,
     /// Time spent on dag maintenance (rebalancing, garbage collection).
     pub maintenance: Duration,
+    /// Time spent in the attached incremental semantic pass (zero when no
+    /// pass is attached or nothing was incorporated).
+    pub sem: Duration,
     /// Wall-clock time of the whole cycle.
     pub total: Duration,
     /// Effort counters of the successful parse (zeroed when none succeeded).
@@ -53,6 +56,14 @@ pub struct ReparseReport {
     pub merge_probes: u64,
     /// Merge-table key-storage heap allocations this cycle (0 once warm).
     pub merge_key_allocs: u64,
+    /// Dag nodes the semantic pass (re)analyzed this cycle.
+    pub sem_reanalyzed: u64,
+    /// Scope contours the semantic pass reused without touching.
+    pub sem_contours_reused: u64,
+    /// Retained choice points whose selection flipped in place.
+    pub sem_flips: u64,
+    /// Whether the semantic pass fell back to a from-scratch rebuild.
+    pub sem_full_rebuild: bool,
 }
 
 /// Cumulative pipeline metrics of one session.
@@ -70,6 +81,8 @@ pub struct SessionMetrics {
     pub parse: Duration,
     /// Total maintenance time.
     pub maintenance: Duration,
+    /// Total semantic-pass time.
+    pub sem: Duration,
     /// Total reparse wall-clock time.
     pub total: Duration,
     /// Full rebalances run.
@@ -84,6 +97,14 @@ pub struct SessionMetrics {
     pub merge_probes: u64,
     /// Total merge-table key-storage heap allocations.
     pub merge_key_allocs: u64,
+    /// Total dag nodes (re)analyzed by the semantic pass.
+    pub sem_reanalyzed: u64,
+    /// Total scope contours reused untouched by the semantic pass.
+    pub sem_contours_reused: u64,
+    /// Total in-place selection flips.
+    pub sem_flips: u64,
+    /// From-scratch semantic rebuilds (the incrementality escape hatch).
+    pub sem_full_rebuilds: u64,
 }
 
 impl SessionMetrics {
@@ -95,6 +116,7 @@ impl SessionMetrics {
         self.relex += r.relex;
         self.parse += r.parse;
         self.maintenance += r.maintenance;
+        self.sem += r.sem;
         self.total += r.total;
         self.rebalances += u64::from(r.rebalanced);
         self.gcs += u64::from(r.gc_ran);
@@ -102,6 +124,10 @@ impl SessionMetrics {
         self.recycled_node_slots += r.recycled_node_slots;
         self.merge_probes += r.merge_probes;
         self.merge_key_allocs += r.merge_key_allocs;
+        self.sem_reanalyzed += r.sem_reanalyzed;
+        self.sem_contours_reused += r.sem_contours_reused;
+        self.sem_flips += r.sem_flips;
+        self.sem_full_rebuilds += u64::from(r.sem_full_rebuild);
     }
 }
 
@@ -118,12 +144,17 @@ mod tests {
             relex: Duration::from_micros(5),
             parse: Duration::from_micros(7),
             maintenance: Duration::from_micros(1),
+            sem: Duration::from_micros(3),
             total: Duration::from_micros(20),
             rebalanced: true,
             fresh_node_slots: 4,
             recycled_node_slots: 9,
             merge_probes: 11,
             merge_key_allocs: 1,
+            sem_reanalyzed: 6,
+            sem_contours_reused: 5,
+            sem_flips: 1,
+            sem_full_rebuild: true,
             ..ReparseReport::default()
         };
         m.absorb(&r);
@@ -133,6 +164,7 @@ mod tests {
         assert_eq!(m.buffer, Duration::from_micros(4));
         assert_eq!(m.relex, Duration::from_micros(10));
         assert_eq!(m.parse, Duration::from_micros(14));
+        assert_eq!(m.sem, Duration::from_micros(6));
         assert_eq!(m.total, Duration::from_micros(40));
         assert_eq!(m.rebalances, 2);
         assert_eq!(m.gcs, 0);
@@ -140,5 +172,9 @@ mod tests {
         assert_eq!(m.recycled_node_slots, 18);
         assert_eq!(m.merge_probes, 22);
         assert_eq!(m.merge_key_allocs, 2);
+        assert_eq!(m.sem_reanalyzed, 12);
+        assert_eq!(m.sem_contours_reused, 10);
+        assert_eq!(m.sem_flips, 2);
+        assert_eq!(m.sem_full_rebuilds, 2);
     }
 }

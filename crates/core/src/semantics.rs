@@ -1,0 +1,85 @@
+//! The session-resident semantic pass (Section 4 staged disambiguation).
+//!
+//! [`crate::Session`] owns the parse pipeline but must not depend on any
+//! particular analysis, so the incremental semantic layer plugs in through
+//! the [`SemanticPass`] trait: after each successful reparse the session
+//! hands the pass the arena, the root, and the damage snapshot captured
+//! from the old tree's change flags, and the pass updates whatever
+//! persistent state it keeps (scope contours, selections, reference
+//! indexes). `wg-sem` provides the concrete implementation; the session
+//! only sees this object-safe surface.
+
+use std::fmt;
+use wg_dag::{DagArena, NodeId};
+
+/// What one incremental semantic update did (folded into
+/// [`crate::ReparseReport`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SemUpdate {
+    /// Dag nodes (re)analyzed this cycle.
+    pub reanalyzed: u64,
+    /// Scope contours left untouched by the update (their facts were
+    /// reused wholesale — the incrementality win).
+    pub contours_reused: u64,
+    /// Choice points whose retained selection flipped in place.
+    pub flips: u64,
+    /// Whether the pass abandoned incrementality and rebuilt from scratch
+    /// (a correctness escape hatch; should be rare).
+    pub full_rebuild: bool,
+}
+
+/// The namespace a name resolves into (mirrors `wg_sem`'s `NameKind`
+/// without the dependency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SemNameKind {
+    /// A `typedef` name.
+    Type,
+    /// A function definition.
+    Function,
+    /// A variable declaration.
+    Variable,
+}
+
+/// The answer to a name query at a document position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SemInfo {
+    /// The identifier at the queried position.
+    pub name: String,
+    /// Its resolved namespace, if the nearest visible binding exists.
+    pub kind: Option<SemNameKind>,
+    /// Whether the position sits inside an ambiguous (choice-point) region.
+    pub ambiguous: bool,
+    /// Whether the enclosing choice point (if any) has a selected reading.
+    pub resolved: bool,
+    /// How many places in the document reference this name.
+    pub uses: usize,
+}
+
+/// A semantic analysis that lives inside the session and is updated from
+/// reparse damage rather than recomputed from scratch.
+pub trait SemanticPass: Send + fmt::Debug {
+    /// Brings the analysis up to date with the current tree. `damage` holds
+    /// the old-tree nodes the reparse flagged as changed (empty on the
+    /// initial call); `gc_ran` tells the pass to prune facts about
+    /// collected nodes before their slots are recycled.
+    fn update(
+        &mut self,
+        arena: &DagArena,
+        root: NodeId,
+        damage: &[NodeId],
+        gc_ran: bool,
+    ) -> SemUpdate;
+
+    /// Resolves the name at the end of a root→terminal `path` (as produced
+    /// by [`crate::Session::node_path_at`]). `None` when the path holds no
+    /// analyzed identifier.
+    fn info_at(&self, arena: &DagArena, path: &[NodeId]) -> Option<SemInfo>;
+
+    /// Dag nodes referencing `name` (uses, not binding sites). Only sites
+    /// attached to the current tree are reported — the pass may keep facts
+    /// for detached subtrees until the next collection prunes them.
+    fn uses_of(&self, arena: &DagArena, name: &str) -> Vec<NodeId>;
+
+    /// Escape hatch for tests and tools that know the concrete pass type.
+    fn as_any(&self) -> &dyn std::any::Any;
+}

@@ -4,6 +4,7 @@
 
 use crate::metrics::{ReparseReport, SessionMetrics};
 use crate::parser::{IglrError, IglrParser, IglrRunStats};
+use crate::semantics::{SemInfo, SemanticPass};
 use crate::tape::TokenTape;
 use std::fmt;
 use std::sync::Arc;
@@ -199,6 +200,13 @@ pub struct Session {
     /// into the next cycle's [`ReparseReport::buffer`].
     edit_time: Duration,
     metrics: SessionMetrics,
+    /// The attached incremental semantic pass, if any (Section 4 staged
+    /// disambiguation living in the session).
+    sem: Option<Box<dyn SemanticPass>>,
+    /// Pooled snapshot of the old tree's change-flagged nodes, captured
+    /// inside the successful incorporation attempt before the parser clears
+    /// its dirty log — the damage seed for the semantic update.
+    sem_damage: Vec<NodeId>,
 }
 
 impl Session {
@@ -246,7 +254,42 @@ impl Session {
             new_pairs: Vec::new(),
             edit_time: Duration::ZERO,
             metrics: SessionMetrics::default(),
+            sem: None,
+            sem_damage: Vec::new(),
         })
+    }
+
+    /// Attaches an incremental semantic pass. The pass is brought up to
+    /// date with the current tree immediately (a full analysis) and is then
+    /// updated from reparse damage at the end of every successful reparse,
+    /// its cost reported in [`ReparseReport::sem`].
+    pub fn attach_semantics(&mut self, mut pass: Box<dyn SemanticPass>) {
+        pass.update(&self.arena, self.root, &[], false);
+        self.sem = Some(pass);
+    }
+
+    /// The attached semantic pass, if any.
+    pub fn semantics(&self) -> Option<&dyn SemanticPass> {
+        self.sem.as_deref()
+    }
+
+    /// Resolves the name at byte `offset` through the attached semantic
+    /// pass. `None` without a pass, outside any token, or when the token is
+    /// not an analyzed identifier. Cost is O(tree depth): the query walks
+    /// one root→terminal path and reads the persistent fact tables — no
+    /// dag re-walk.
+    pub fn semantic_info_at(&self, offset: usize) -> Option<SemInfo> {
+        let sem = self.sem.as_deref()?;
+        let path = self.node_path_at(offset);
+        sem.info_at(&self.arena, &path)
+    }
+
+    /// Dag nodes referencing `name`, from the pass's persistent reference
+    /// index. Empty without a pass.
+    pub fn semantic_uses_of(&self, name: &str) -> Vec<NodeId> {
+        self.sem
+            .as_deref()
+            .map_or_else(Vec::new, |s| s.uses_of(&self.arena, name))
     }
 
     /// Applies a textual edit (does not reparse). O(log N + edit size).
@@ -340,6 +383,7 @@ impl Session {
                 &mut self.lexeme_buf,
                 damage,
                 &mut report,
+                &mut self.sem_damage,
             );
             match attempt {
                 Ok(stats) => {
@@ -367,6 +411,16 @@ impl Session {
                     }
                     report.gc_ran = Self::maybe_gc(&mut self.arena, self.root);
                     report.maintenance += t_maint.elapsed();
+                    if let Some(sem) = self.sem.as_mut() {
+                        let t_sem = Instant::now();
+                        let up =
+                            sem.update(&self.arena, self.root, &self.sem_damage, report.gc_ran);
+                        report.sem = t_sem.elapsed();
+                        report.sem_reanalyzed = up.reanalyzed;
+                        report.sem_contours_reused = up.contours_reused;
+                        report.sem_flips = up.flips;
+                        report.sem_full_rebuild = up.full_rebuild;
+                    }
                     report.incorporated_edits = k;
                     report.arena_nodes = self.arena.len();
                     report.fresh_node_slots = self.arena.fresh_node_slots() - fresh0;
@@ -444,6 +498,7 @@ impl Session {
         lexeme_buf: &mut String,
         damage: Edit,
         report: &mut ReparseReport,
+        sem_damage: &mut Vec<NodeId>,
     ) -> Result<IglrRunStats, Option<IglrError>> {
         let t_relex = Instant::now();
         tape.prepare_for_edit(damage.start);
@@ -516,6 +571,10 @@ impl Session {
         report.parse += t_parse.elapsed();
         match parsed {
             Ok(stats) => {
+                // Snapshot the old tree's dirty set before the parser clears
+                // it: the semantic update is seeded from exactly this damage.
+                sem_damage.clear();
+                sem_damage.extend_from_slice(arena.dirty());
                 arena.clear_changes();
                 tape.splice(
                     relex.kept_prefix,

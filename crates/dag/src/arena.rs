@@ -221,6 +221,14 @@ impl DagArena {
         self.nodes[id.index()].epoch == self.epoch
     }
 
+    /// Whether `id` names a live node slot (not on the free list). Analyses
+    /// holding `NodeId`-keyed side tables use this after a collection to
+    /// drop facts about reclaimed nodes before their slots are recycled.
+    #[inline]
+    pub fn is_live(&self, id: NodeId) -> bool {
+        id.index() < self.nodes.len() && !self.nodes[id.index()].free
+    }
+
     // ----- slab regions -----
 
     #[inline]

@@ -1,12 +1,32 @@
 //! The disambiguating semantic walk (Figure 8, passes a–d).
 
+use crate::classify::Classifier;
 use crate::scope::{NameKind, ScopeStack};
 use std::collections::HashMap;
 use wg_dag::{DagArena, NodeId, NodeKind};
 use wg_grammar::{Grammar, NonTerminal, ProdId, Symbol, Terminal};
 
+/// First `id` lexeme in the yield of `node`, borrowed from the arena (no
+/// per-probe allocation): the head identifier whose namespace decides a
+/// choice point's interpretation. Choice points probe their first
+/// alternative only (all alternatives share the yield).
+pub(crate) fn head_identifier(arena: &DagArena, id: Terminal, node: NodeId) -> Option<&str> {
+    match arena.kind(node) {
+        NodeKind::Terminal { term, lexeme } if *term == id => Some(lexeme),
+        NodeKind::Terminal { .. } | NodeKind::Bos | NodeKind::Eos => None,
+        NodeKind::Symbol { .. } => arena
+            .kids(node)
+            .first()
+            .and_then(|&k| head_identifier(arena, id, k)),
+        _ => arena
+            .kids(node)
+            .iter()
+            .find_map(|&k| head_identifier(arena, id, k)),
+    }
+}
+
 /// What an alternative of a choice point represents.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum AltKind {
     /// A declaration interpretation.
     Decl,
@@ -75,6 +95,11 @@ impl Analysis {
         self.selections.len()
     }
 
+    /// All resolved choice points with their selections (arbitrary order).
+    pub fn selections_iter(&self) -> impl Iterator<Item = (NodeId, Selection)> + '_ {
+        self.selections.iter().map(|(&n, &s)| (n, s))
+    }
+
     /// Whether every choice point was resolved.
     pub fn is_fully_disambiguated(&self) -> bool {
         self.persistent.is_empty()
@@ -93,38 +118,34 @@ impl Analysis {
 }
 
 /// Nonterminal/terminal handles resolved once per grammar.
-struct Names {
-    id: Terminal,
-    item: NonTerminal,
-    typedef_decl: NonTerminal,
-    funcdef: NonTerminal,
-    block: NonTerminal,
-    decl: NonTerminal,
-    stmt: NonTerminal,
-    expr: NonTerminal,
-    funcall: NonTerminal,
-    type_id: NonTerminal,
-    func_id: NonTerminal,
-    decl_id: NonTerminal,
-    id_use: NonTerminal,
+///
+/// Alternative classification lives in [`Classifier`] (shared with the
+/// syntactic filter); this struct keeps only the handles the walk itself
+/// dispatches on.
+pub(crate) struct Names {
+    pub(crate) id: Terminal,
+    pub(crate) typedef_decl: NonTerminal,
+    pub(crate) funcdef: NonTerminal,
+    pub(crate) block: NonTerminal,
+    pub(crate) decl: NonTerminal,
+    pub(crate) type_id: NonTerminal,
+    pub(crate) func_id: NonTerminal,
+    pub(crate) decl_id: NonTerminal,
+    pub(crate) id_use: NonTerminal,
 }
 
 impl Names {
-    fn resolve(g: &Grammar) -> Names {
+    pub(crate) fn resolve(g: &Grammar) -> Names {
         let nt = |n: &str| {
             g.nonterminal_by_name(n)
                 .unwrap_or_else(|| panic!("grammar lacks nonterminal `{n}`"))
         };
         Names {
             id: g.terminal_by_name("id").expect("grammar lacks `id`"),
-            item: nt("item"),
             typedef_decl: nt("typedef_decl"),
             funcdef: nt("funcdef"),
             block: nt("block"),
             decl: nt("decl"),
-            stmt: nt("stmt"),
-            expr: nt("expr"),
-            funcall: nt("funcall"),
             type_id: nt("type_id"),
             func_id: nt("func_id"),
             decl_id: nt("decl_id"),
@@ -144,6 +165,7 @@ pub fn analyze(arena: &DagArena, root: NodeId, g: &Grammar, strictness: Strictne
         arena,
         g,
         names: Names::resolve(g),
+        classifier: Classifier::resolve(g),
         scopes: ScopeStack::new(),
         out: Analysis::default(),
         strictness,
@@ -156,71 +178,34 @@ struct State<'a> {
     arena: &'a DagArena,
     g: &'a Grammar,
     names: Names,
+    classifier: Classifier,
     scopes: ScopeStack,
     out: Analysis,
     strictness: Strictness,
 }
 
-impl State<'_> {
+impl<'a> State<'a> {
     fn lhs(&self, prod: ProdId) -> NonTerminal {
         self.g.production(prod).lhs()
     }
 
     /// First `id` lexeme in the yield of `node` (the head identifier whose
-    /// namespace decides the interpretation).
-    fn head_identifier(&self, node: NodeId) -> Option<String> {
-        match self.arena.kind(node) {
-            NodeKind::Terminal { term, lexeme } if *term == self.names.id => Some(lexeme.clone()),
-            NodeKind::Terminal { .. } | NodeKind::Bos | NodeKind::Eos => None,
-            NodeKind::Symbol { .. } => self
-                .arena
-                .kids(node)
-                .first()
-                .and_then(|&k| self.head_identifier(k)),
-            _ => self
-                .arena
-                .kids(node)
-                .iter()
-                .find_map(|&k| self.head_identifier(k)),
-        }
-    }
-
-    /// Classifies one alternative of a choice point.
-    fn alt_kind(&self, node: NodeId) -> AltKind {
-        let NodeKind::Production { prod } = self.arena.kind(node) else {
-            return AltKind::Other;
-        };
-        let p = self.g.production(*prod);
-        let lhs = p.lhs();
-        let kids = self.arena.kids(node);
-        if lhs == self.names.item || lhs == self.names.stmt {
-            return kids.first().map_or(AltKind::Other, |&k| self.alt_kind(k));
-        }
-        if lhs == self.names.decl {
-            return AltKind::Decl;
-        }
-        if lhs == self.names.funcall {
-            return AltKind::Call;
-        }
-        if lhs == self.names.expr {
-            // expr -> funcall | type_id ( expr ) | ...
-            return match p.rhs().first() {
-                Some(Symbol::N(n)) if *n == self.names.funcall => AltKind::Call,
-                Some(Symbol::N(n)) if *n == self.names.type_id => AltKind::Cast,
-                Some(Symbol::N(_)) => kids.first().map_or(AltKind::Other, |&k| self.alt_kind(k)),
-                _ => AltKind::Other,
-            };
-        }
-        AltKind::Other
+    /// namespace decides the interpretation). Borrows from the arena, so
+    /// warm probes never allocate.
+    fn head_identifier(&self, node: NodeId) -> Option<&'a str> {
+        head_identifier(self.arena, self.names.id, node)
     }
 
     /// Figure 8c: pick the child of a choice point from the head
     /// identifier's namespace.
     fn disambiguate(&mut self, sym: NodeId) -> Option<usize> {
         let kids: Vec<NodeId> = self.arena.kids(sym).to_vec();
-        let kinds: Vec<AltKind> = kids.iter().map(|&k| self.alt_kind(k)).collect();
+        let kinds: Vec<AltKind> = kids
+            .iter()
+            .map(|&k| self.classifier.alt_kind(self.arena, k))
+            .collect();
         let head = self.head_identifier(sym);
-        let head_kind = head.as_deref().and_then(|h| self.scopes.lookup(h));
+        let head_kind = head.and_then(|h| self.scopes.lookup(h));
         let want = match head_kind {
             Some(NameKind::Type) => {
                 // Prefer a declaration; a functional cast when no decl
@@ -269,13 +254,13 @@ impl State<'_> {
                 if lhs == self.names.typedef_decl {
                     // typedef int NAME ; — pass a of Figure 8.
                     if let Some(name) = kids.get(2).and_then(|&k| self.head_identifier(k)) {
-                        self.scopes.bind(&name, NameKind::Type);
+                        self.scopes.bind(name, NameKind::Type);
                         self.out.typedefs += 1;
                     }
                 } else if lhs == self.names.funcdef {
                     // int NAME ( ) block
                     if let Some(name) = kids.get(1).and_then(|&k| self.head_identifier(k)) {
-                        self.scopes.bind(&name, NameKind::Function);
+                        self.scopes.bind(name, NameKind::Function);
                         self.out.functions += 1;
                     }
                     if let Some(&blk) = kids.last() {
@@ -292,29 +277,21 @@ impl State<'_> {
                 } else if lhs == self.names.id_use || lhs == self.names.func_id {
                     if let Some(name) = self.head_identifier(node) {
                         self.out.uses += 1;
-                        self.out
-                            .references
-                            .entry(name.clone())
-                            .or_default()
-                            .push(node);
-                        if self.scopes.lookup(&name).is_some() {
+                        self.record_reference(name, node);
+                        if self.scopes.lookup(name).is_some() {
                             self.out.resolved_uses += 1;
                         } else {
-                            self.out.unresolved_names.push(name);
+                            self.out.unresolved_names.push(name.to_string());
                         }
                     }
                 } else if lhs == self.names.type_id {
                     if let Some(name) = self.head_identifier(node) {
                         self.out.uses += 1;
-                        self.out
-                            .references
-                            .entry(name.clone())
-                            .or_default()
-                            .push(node);
-                        if self.scopes.is_type(&name) {
+                        self.record_reference(name, node);
+                        if self.scopes.is_type(name) {
                             self.out.resolved_uses += 1;
                         } else {
-                            self.out.unresolved_names.push(name);
+                            self.out.unresolved_names.push(name.to_string());
                         }
                     }
                 } else {
@@ -338,7 +315,7 @@ impl State<'_> {
             Some(Symbol::T(_)) => {
                 // 'int' id [= expr]
                 if let Some(name) = kids.get(1).and_then(|&k| self.head_identifier(k)) {
-                    self.scopes.bind(&name, NameKind::Variable);
+                    self.scopes.bind(name, NameKind::Variable);
                     self.out.variables += 1;
                 }
                 // Initializer uses.
@@ -356,12 +333,21 @@ impl State<'_> {
                     .find(|&&k| self.is_nonterminal_node(k, self.names.decl_id));
                 if let Some(&dn) = decl_node {
                     if let Some(name) = self.head_identifier(dn) {
-                        self.scopes.bind(&name, NameKind::Variable);
+                        self.scopes.bind(name, NameKind::Variable);
                         self.out.variables += 1;
                     }
                 }
             }
             None => {}
+        }
+    }
+
+    /// Indexes a use site, allocating the key only on a name's first use.
+    fn record_reference(&mut self, name: &str, node: NodeId) {
+        if let Some(sites) = self.out.references.get_mut(name) {
+            sites.push(node);
+        } else {
+            self.out.references.insert(name.to_string(), vec![node]);
         }
     }
 

@@ -1,0 +1,90 @@
+//! The one alternative classifier shared by the syntactic filter and the
+//! semantic passes.
+//!
+//! `filters.rs` used to carry a shallow copy of `analyze`'s classifier;
+//! the two could drift. This module owns the single implementation,
+//! compiled to a per-production action table at resolve time so callers
+//! (including the incremental [`crate::SemState`], which holds no grammar
+//! reference) classify without touching the `Grammar` again.
+
+use crate::analyze::AltKind;
+use wg_dag::{DagArena, NodeId, NodeKind};
+use wg_grammar::{Grammar, Symbol};
+
+/// What classification does with one production.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ClassAct {
+    /// `item`/`stmt` wrappers (and `expr -> <nonterminal> ...` chains):
+    /// the first child decides.
+    RecurseFirst,
+    Decl,
+    Call,
+    Cast,
+    Other,
+}
+
+/// The alternative classifier, compiled once per grammar.
+#[derive(Debug, Clone)]
+pub(crate) struct Classifier {
+    acts: Vec<ClassAct>,
+}
+
+impl Classifier {
+    /// Compiles the action table. `decl` and `item` are required (the
+    /// classifier is meaningless without them); the expression-level names
+    /// are optional so the syntactic filter keeps working on reduced
+    /// grammars.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grammar lacks `decl` or `item`.
+    pub(crate) fn resolve(g: &Grammar) -> Classifier {
+        let decl = g.nonterminal_by_name("decl").expect("grammar lacks `decl`");
+        let item = g.nonterminal_by_name("item").expect("grammar lacks `item`");
+        let stmt = g.nonterminal_by_name("stmt");
+        let expr = g.nonterminal_by_name("expr");
+        let funcall = g.nonterminal_by_name("funcall");
+        let type_id = g.nonterminal_by_name("type_id");
+        let acts = g
+            .productions()
+            .map(|(_, p)| {
+                let lhs = p.lhs();
+                if lhs == item || Some(lhs) == stmt {
+                    ClassAct::RecurseFirst
+                } else if lhs == decl {
+                    ClassAct::Decl
+                } else if Some(lhs) == funcall {
+                    ClassAct::Call
+                } else if Some(lhs) == expr {
+                    // expr -> funcall | type_id ( expr ) | ...
+                    match p.rhs().first() {
+                        Some(Symbol::N(n)) if Some(*n) == funcall => ClassAct::Call,
+                        Some(Symbol::N(n)) if Some(*n) == type_id => ClassAct::Cast,
+                        Some(Symbol::N(_)) => ClassAct::RecurseFirst,
+                        _ => ClassAct::Other,
+                    }
+                } else {
+                    ClassAct::Other
+                }
+            })
+            .collect();
+        Classifier { acts }
+    }
+
+    /// Classifies one alternative of a choice point.
+    pub(crate) fn alt_kind(&self, arena: &DagArena, node: NodeId) -> AltKind {
+        let NodeKind::Production { prod } = arena.kind(node) else {
+            return AltKind::Other;
+        };
+        match self.acts[prod.index()] {
+            ClassAct::RecurseFirst => arena
+                .kids(node)
+                .first()
+                .map_or(AltKind::Other, |&k| self.alt_kind(arena, k)),
+            ClassAct::Decl => AltKind::Decl,
+            ClassAct::Call => AltKind::Call,
+            ClassAct::Cast => AltKind::Cast,
+            ClassAct::Other => AltKind::Other,
+        }
+    }
+}

@@ -9,9 +9,10 @@
 //! retain** the eliminated interpretations.
 
 use crate::analyze::AltKind;
+use crate::classify::Classifier;
 use std::collections::HashSet;
 use wg_dag::{DagArena, NodeId, NodeKind};
-use wg_grammar::{Grammar, NonTerminal, ProdId, Symbol};
+use wg_grammar::Grammar;
 
 /// A syntactic disambiguation rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,9 +39,7 @@ pub fn apply_syntactic_filter(
     filter: SyntacticFilter,
 ) -> usize {
     let SyntacticFilter::PreferDeclaration = filter;
-    let decl = g.nonterminal_by_name("decl").expect("grammar lacks `decl`");
-    let item = g.nonterminal_by_name("item").expect("grammar lacks `item`");
-    let stmt = g.nonterminal_by_name("stmt");
+    let classifier = Classifier::resolve(g);
 
     // Collect choice points first (collapsing restructures parents).
     let mut choices = Vec::new();
@@ -59,8 +58,10 @@ pub fn apply_syntactic_filter(
     let mut collapsed = 0;
     for sym in choices {
         let kids: Vec<NodeId> = arena.kids(sym).to_vec();
-        let classify = |n: NodeId| alt_kind(arena, g, n, decl, item, stmt);
-        let kinds: Vec<AltKind> = kids.iter().map(|&k| classify(k)).collect();
+        let kinds: Vec<AltKind> = kids
+            .iter()
+            .map(|&k| classifier.alt_kind(arena, k))
+            .collect();
         // The rule only fires on decl-vs-statement choices.
         let Some(decl_ix) = kinds.iter().position(|k| *k == AltKind::Decl) else {
             continue;
@@ -72,42 +73,6 @@ pub fn apply_syntactic_filter(
         collapsed += 1;
     }
     collapsed
-}
-
-/// Shallow classifier mirroring `analyze`'s, kept independent so the filter
-/// can run before any semantic pass.
-fn alt_kind(
-    arena: &DagArena,
-    g: &Grammar,
-    node: NodeId,
-    decl: NonTerminal,
-    item: NonTerminal,
-    stmt: Option<NonTerminal>,
-) -> AltKind {
-    let NodeKind::Production { prod } = arena.kind(node) else {
-        return AltKind::Other;
-    };
-    let lhs = lhs_of(g, *prod);
-    if lhs == decl {
-        return AltKind::Decl;
-    }
-    if lhs == item || Some(lhs) == stmt {
-        // item -> X ; / stmt -> expr: classify the head child.
-        if let Some(Symbol::N(first)) = g.production(*prod).rhs().first() {
-            if *first == decl {
-                return AltKind::Decl;
-            }
-        }
-        return arena
-            .kids(node)
-            .first()
-            .map_or(AltKind::Other, |&k| alt_kind(arena, g, k, decl, item, stmt));
-    }
-    AltKind::Call
-}
-
-fn lhs_of(g: &Grammar, prod: ProdId) -> NonTerminal {
-    g.production(prod).lhs()
 }
 
 #[cfg(test)]

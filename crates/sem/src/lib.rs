@@ -24,9 +24,13 @@
 #![warn(missing_docs)]
 
 pub mod scope;
+pub mod symtab;
 
 mod analyze;
+mod classify;
 mod filters;
+mod state;
 
 pub use analyze::{analyze, AltKind, Analysis, Selection, Strictness};
 pub use filters::{apply_syntactic_filter, SyntacticFilter};
+pub use state::{SemSnapshot, SemState};

@@ -1,0 +1,79 @@
+//! Interned names: a per-session symbol table mapping identifier lexemes
+//! to dense `u32` handles.
+//!
+//! The semantic pass compares, hashes, and indexes names constantly; doing
+//! that on `String`s means a heap allocation per probe (the old
+//! `head_identifier` cloned every head lexeme it looked at). Interning
+//! makes the warm path allocation-free: probing an already-seen name is a
+//! borrow-only hash lookup, and every downstream table keys on the `Copy`
+//! [`Sym`] handle.
+
+use wg_dag::FxHashMap;
+
+/// An interned name (index into the session's [`SymTab`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(pub u32);
+
+/// The intern table: lexeme → [`Sym`] with reverse lookup.
+#[derive(Debug, Clone, Default)]
+pub struct SymTab {
+    map: FxHashMap<String, Sym>,
+    names: Vec<String>,
+}
+
+impl SymTab {
+    /// An empty table.
+    pub fn new() -> SymTab {
+        SymTab::default()
+    }
+
+    /// Interns `name`, allocating only the first time it is ever seen.
+    pub fn intern(&mut self, name: &str) -> Sym {
+        if let Some(&s) = self.map.get(name) {
+            return s;
+        }
+        let s = Sym(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.map.insert(name.to_string(), s);
+        s
+    }
+
+    /// The handle for `name` if it was ever interned. Allocation-free.
+    pub fn get(&self, name: &str) -> Option<Sym> {
+        self.map.get(name).copied()
+    }
+
+    /// The lexeme behind a handle.
+    pub fn name(&self, s: Sym) -> &str {
+        &self.names[s.0 as usize]
+    }
+
+    /// Distinct names interned so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no name was interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut t = SymTab::new();
+        let a = t.intern("alpha");
+        let b = t.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(t.intern("alpha"), a);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.name(a), "alpha");
+        assert_eq!(t.name(b), "beta");
+        assert_eq!(t.get("alpha"), Some(a));
+        assert_eq!(t.get("gamma"), None);
+    }
+}

@@ -57,5 +57,6 @@ pub use metrics::{LatencyHistogram, WorkspaceMetrics};
 pub use pool::ShardPool;
 pub use sync::{oneshot, BoundedQueue, OneShotReceiver, OneShotSender};
 pub use workspace::{
-    ApplyOutcome, DocId, DocReport, DocResult, EditReq, PendingApply, Workspace, WorkspaceError,
+    ApplyOutcome, DocId, DocReport, DocResult, EditReq, PendingApply, SemAnswer, SemQuery,
+    Workspace, WorkspaceError,
 };

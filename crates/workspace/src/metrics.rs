@@ -131,6 +131,14 @@ pub struct WorkspaceMetrics {
     pub p95: Duration,
     /// 99th-percentile per-edit service latency.
     pub p99: Duration,
+    /// Semantic queries answered since the workspace started.
+    pub queries: u64,
+    /// Median semantic-query service latency (home-shard lookup only).
+    pub query_p50: Duration,
+    /// 95th-percentile semantic-query service latency.
+    pub query_p95: Duration,
+    /// 99th-percentile semantic-query service latency.
+    pub query_p99: Duration,
 }
 
 #[cfg(test)]

@@ -30,9 +30,11 @@ use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use wg_core::{LanguageRegistry, ReparseReport, Session, SessionConfig, SessionError};
+use wg_core::{LanguageRegistry, ReparseReport, SemInfo, Session, SessionConfig, SessionError};
+use wg_dag::NodeId;
 use wg_grammar::Grammar;
 use wg_lexer::LexerDef;
+use wg_sem::{SemState, Strictness};
 
 /// Identifies one document within a [`Workspace`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -88,6 +90,9 @@ pub enum WorkspaceError {
     ShuttingDown,
     /// Opening the document failed (bad language definition or text).
     Open(SessionError),
+    /// A semantic query was addressed to a document opened without a
+    /// semantic pass (see [`Workspace::open_with_semantics`]).
+    NoSemantics(DocId),
 }
 
 impl fmt::Display for WorkspaceError {
@@ -97,8 +102,36 @@ impl fmt::Display for WorkspaceError {
             WorkspaceError::Poisoned(d) => write!(f, "{d} was poisoned by a panicked operation"),
             WorkspaceError::ShuttingDown => write!(f, "workspace is shutting down"),
             WorkspaceError::Open(e) => write!(f, "open failed: {e}"),
+            WorkspaceError::NoSemantics(d) => {
+                write!(f, "{d} was opened without semantic analysis")
+            }
         }
     }
+}
+
+/// A semantic question addressed to one document (answered on its home
+/// shard from the session-resident [`SemState`], no dag re-walk).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SemQuery {
+    /// Resolve the identifier at a byte offset.
+    ResolveAt(usize),
+    /// All use sites of a name (the def-use index).
+    UsesOf(String),
+    /// Whether the construct at a byte offset is ambiguous, and if so
+    /// whether disambiguation picked a reading.
+    AmbiguityAt(usize),
+}
+
+/// The answer to a [`SemQuery`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SemAnswer {
+    /// Resolution of the identifier at the offset (`None` when the offset
+    /// holds no analyzed identifier).
+    Resolution(Option<SemInfo>),
+    /// Use sites, in document order.
+    Uses(Vec<NodeId>),
+    /// `(inside an ambiguous region, selection exists)`.
+    Ambiguity(bool, bool),
 }
 
 impl std::error::Error for WorkspaceError {}
@@ -158,7 +191,13 @@ enum Cmd {
         doc: DocId,
         config: SessionConfig,
         text: String,
+        semantics: bool,
         reply: OneShotSender<Result<(), WorkspaceError>>,
+    },
+    Query {
+        doc: DocId,
+        query: SemQuery,
+        reply: OneShotSender<Result<SemAnswer, WorkspaceError>>,
     },
     Apply {
         doc: DocId,
@@ -182,7 +221,9 @@ struct Shared {
     reparses: AtomicU64,
     edits_refused: AtomicU64,
     docs_poisoned: AtomicU64,
+    queries: AtomicU64,
     latency: LatencyHistogram,
+    query_latency: LatencyHistogram,
     started: Instant,
 }
 
@@ -217,7 +258,9 @@ impl Workspace {
             reparses: AtomicU64::new(0),
             edits_refused: AtomicU64::new(0),
             docs_poisoned: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
+            query_latency: LatencyHistogram::new(),
             started: Instant::now(),
         });
         let pool = {
@@ -279,12 +322,38 @@ impl Workspace {
     ///
     /// Same contract as [`Workspace::open`].
     pub fn open_with(&self, config: &SessionConfig, text: &str) -> Result<DocId, WorkspaceError> {
+        self.open_inner(config, text, false)
+    }
+
+    /// Opens a document with an incremental semantic pass attached: the
+    /// home shard builds a [`SemState`] over the fresh tree and keeps it
+    /// current across every reparse, so [`Workspace::query`] answers from
+    /// retained facts instead of re-walking the dag.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Workspace::open`].
+    pub fn open_with_semantics(
+        &self,
+        config: &SessionConfig,
+        text: &str,
+    ) -> Result<DocId, WorkspaceError> {
+        self.open_inner(config, text, true)
+    }
+
+    fn open_inner(
+        &self,
+        config: &SessionConfig,
+        text: &str,
+        semantics: bool,
+    ) -> Result<DocId, WorkspaceError> {
         let doc = DocId(self.next_doc.fetch_add(1, Ordering::Relaxed));
         let (reply, rx) = oneshot();
         let cmd = Cmd::Open {
             doc,
             config: config.clone(),
             text: text.to_string(),
+            semantics,
             reply,
         };
         if self.pool.submit(self.shard_of(doc), cmd).is_err() {
@@ -295,6 +364,25 @@ impl Workspace {
             Some(Err(e)) => Err(e),
             None => Err(WorkspaceError::ShuttingDown),
         }
+    }
+
+    /// Answers a semantic question on the document's home shard. The
+    /// shard reads the session-resident semantic state — no dag re-walk,
+    /// no cross-shard coordination; service time lands in the workspace's
+    /// query latency histogram.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkspaceError::NoSemantics`] when the document was opened
+    /// without [`Workspace::open_with_semantics`], plus the usual
+    /// unknown/poisoned/shutdown errors.
+    pub fn query(&self, doc: DocId, query: SemQuery) -> Result<SemAnswer, WorkspaceError> {
+        let (reply, rx) = oneshot();
+        let cmd = Cmd::Query { doc, query, reply };
+        if self.pool.submit(self.shard_of(doc), cmd).is_err() {
+            return Err(WorkspaceError::ShuttingDown);
+        }
+        rx.recv().unwrap_or(Err(WorkspaceError::ShuttingDown))
     }
 
     /// Applies a batch of edits addressed to documents: each document's
@@ -384,6 +472,10 @@ impl Workspace {
             p50: self.shared.latency.percentile(0.50),
             p95: self.shared.latency.percentile(0.95),
             p99: self.shared.latency.percentile(0.99),
+            queries: self.shared.queries.load(Ordering::Relaxed),
+            query_p50: self.shared.query_latency.percentile(0.50),
+            query_p95: self.shared.query_latency.percentile(0.95),
+            query_p99: self.shared.query_latency.percentile(0.99),
         }
     }
 
@@ -415,10 +507,17 @@ fn handle(
             doc,
             config,
             text,
+            semantics,
             reply,
         } => {
-            let opened =
-                std::panic::catch_unwind(AssertUnwindSafe(|| Session::new(&config, &text)));
+            let opened = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                let mut session = Session::new(&config, &text)?;
+                if semantics {
+                    let sem = SemState::new(config.grammar(), Strictness::RequireBinding);
+                    session.attach_semantics(Box::new(sem));
+                }
+                Ok(session)
+            }));
             match opened {
                 Ok(Ok(session)) => {
                     docs.insert(doc, DocEntry { session, seq: 0 });
@@ -489,6 +588,34 @@ fn handle(
                     reply.send(Err(WorkspaceError::Poisoned(doc)));
                 }
             }
+        }
+        Cmd::Query { doc, query, reply } => {
+            if poisoned.contains(&doc) {
+                reply.send(Err(WorkspaceError::Poisoned(doc)));
+                return;
+            }
+            let Some(entry) = docs.get(&doc) else {
+                reply.send(Err(WorkspaceError::UnknownDoc(doc)));
+                return;
+            };
+            if entry.session.semantics().is_none() {
+                reply.send(Err(WorkspaceError::NoSemantics(doc)));
+                return;
+            }
+            let t0 = Instant::now();
+            let answer = match query {
+                SemQuery::ResolveAt(offset) => {
+                    SemAnswer::Resolution(entry.session.semantic_info_at(offset))
+                }
+                SemQuery::UsesOf(name) => SemAnswer::Uses(entry.session.semantic_uses_of(&name)),
+                SemQuery::AmbiguityAt(offset) => match entry.session.semantic_info_at(offset) {
+                    Some(info) => SemAnswer::Ambiguity(info.ambiguous, info.resolved),
+                    None => SemAnswer::Ambiguity(false, false),
+                },
+            };
+            shared.query_latency.record(t0.elapsed());
+            shared.queries.fetch_add(1, Ordering::Relaxed);
+            reply.send(Ok(answer));
         }
         Cmd::Close { doc, reply } => {
             let existed = docs.remove(&doc).is_some();
