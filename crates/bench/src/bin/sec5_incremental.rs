@@ -38,8 +38,8 @@ use std::time::Duration;
 use wg_bench::json::Json;
 use wg_bench::{fmt_dur, print_table, DetSession};
 use wg_core::Session;
-use wg_langs::generate::{c_program, comparable_site, edit_sites, GenSpec};
-use wg_langs::simp_c_det;
+use wg_langs::generate::{c_program, comparable_site, edit_sites, full_c_program, GenSpec};
+use wg_langs::{full_c, simp_c_det};
 
 struct ScalingRow {
     tokens: usize,
@@ -163,6 +163,7 @@ fn main() {
     println!("(paper: \"the difference in running times ... was undetectable\")");
 
     let scaling = scaling_sweep(&cfg, quick);
+    let scaling_full_c = scaling_sweep_full_c(quick);
     let zero_alloc_ok = if enforce {
         steady_state_zero_alloc_check(&cfg, quick)
     } else {
@@ -205,6 +206,7 @@ fn main() {
         per(t_iglr),
         ratio,
         &scaling,
+        &scaling_full_c,
     );
     if !zero_alloc_ok {
         eprintln!("FAIL: steady-state reparses still allocate (see above)");
@@ -308,6 +310,42 @@ fn regression_gate(path: &str, baseline: &str, fresh: &[ScalingRow], tolerance: 
 /// edits the `var…` filler statement nearest the document midpoint, so the
 /// measured context is the same shape at every size.
 fn scaling_sweep(cfg: &wg_core::SessionConfig, quick: bool) -> Vec<ScalingRow> {
+    scaling_sweep_with(
+        cfg,
+        quick,
+        "Per-stage reparse cost vs document size (1-token edit)",
+        &|lines| c_program(&GenSpec::sized(lines, 0.0, 7)).text,
+        true,
+    )
+}
+
+/// The same sweep over the full-scale C grammar (~440 productions, 1025
+/// LALR states): documents from [`full_c_program`], no semantic pass (the
+/// binding analysis is wired to the simplified grammar's shapes). The
+/// interesting claim is identical — per-edit cost flat in document size —
+/// now with a realistic table and a fork-bearing grammar.
+fn scaling_sweep_full_c(quick: bool) -> Vec<ScalingRow> {
+    let cfg = full_c();
+    scaling_sweep_with(
+        &cfg,
+        quick,
+        "Full-scale C — per-stage reparse cost vs document size (1-token edit)",
+        &|lines| {
+            let mut spec = GenSpec::sized(lines, 0.02, 7);
+            spec.lit_call_rate = 0.15;
+            full_c_program(&spec).text
+        },
+        false,
+    )
+}
+
+fn scaling_sweep_with(
+    cfg: &wg_core::SessionConfig,
+    quick: bool,
+    title: &str,
+    gen_text: &dyn Fn(usize) -> String,
+    with_sem: bool,
+) -> Vec<ScalingRow> {
     use wg_core::ReparseReport;
 
     // Quick mode keeps the full warm-up and half the measurement rounds:
@@ -317,16 +355,18 @@ fn scaling_sweep(cfg: &wg_core::SessionConfig, quick: bool) -> Vec<ScalingRow> {
     let (warmup, rounds) = if quick { (4, 16u32) } else { (4, 32u32) };
     let mut out = Vec::new();
     for &lines in &[150usize, 1_500, 15_000] {
-        let program = c_program(&GenSpec::sized(lines, 0.0, 7));
-        let site = comparable_site(&program.text, 0.5).expect("generator emits var fillers");
-        let mut s = Session::new(cfg, &program.text).expect("parses");
+        let text = gen_text(lines);
+        let site = comparable_site(&text, 0.5).expect("generator emits var fillers");
+        let mut s = Session::new(cfg, &text).expect("parses");
         // The semantic pass rides along so `sem` measures the damage-driven
         // incremental re-analysis (contour reuse + ripple cut-off), which
         // must stay as flat in document size as the parse itself.
-        s.attach_semantics(Box::new(wg_sem::SemState::new(
-            cfg.grammar(),
-            wg_sem::Strictness::RequireBinding,
-        )));
+        if with_sem {
+            s.attach_semantics(Box::new(wg_sem::SemState::new(
+                cfg.grammar(),
+                wg_sem::Strictness::RequireBinding,
+            )));
+        }
         let tokens = s.token_count();
         let (start, len) = site;
         let original = s.text()[start..start + len].to_string();
@@ -401,7 +441,7 @@ fn scaling_sweep(cfg: &wg_core::SessionConfig, quick: bool) -> Vec<ScalingRow> {
         .collect();
     println!();
     print_table(
-        "Per-stage reparse cost vs document size (1-token edit)",
+        title,
         &[
             "tokens",
             "buffer",
@@ -484,7 +524,26 @@ fn write_json(
     iglr_per_reparse: Duration,
     ratio: f64,
     scaling: &[ScalingRow],
+    scaling_full_c: &[ScalingRow],
 ) {
+    fn scaling_rows(j: &mut String, rows: &[ScalingRow]) {
+        for (i, r) in rows.iter().enumerate() {
+            j.push_str(&format!(
+                "    {{\"tokens\": {}, \"buffer_ns\": {}, \"relex_ns\": {}, \"parse_ns\": {}, \"maintenance_ns\": {}, \"sem_ns\": {}, \"total_ns\": {}, \"fresh_node_slots\": {}, \"recycled_node_slots\": {}, \"merge_key_allocs\": {}}}{}\n",
+                r.tokens,
+                r.buffer.as_nanos(),
+                r.relex.as_nanos(),
+                r.parse.as_nanos(),
+                r.maintenance.as_nanos(),
+                r.sem.as_nanos(),
+                r.total.as_nanos(),
+                r.fresh_slots,
+                r.recycled_slots,
+                r.key_allocs,
+                if i + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+    }
     let mut j = String::new();
     j.push_str("{\n");
     j.push_str("  \"bench\": \"sec5_incremental\",\n");
@@ -503,22 +562,10 @@ fn write_json(
     j.push_str(&format!("    \"iglr_over_det_ratio\": {ratio:.4}\n"));
     j.push_str("  },\n");
     j.push_str("  \"scaling\": [\n");
-    for (i, r) in scaling.iter().enumerate() {
-        j.push_str(&format!(
-            "    {{\"tokens\": {}, \"buffer_ns\": {}, \"relex_ns\": {}, \"parse_ns\": {}, \"maintenance_ns\": {}, \"sem_ns\": {}, \"total_ns\": {}, \"fresh_node_slots\": {}, \"recycled_node_slots\": {}, \"merge_key_allocs\": {}}}{}\n",
-            r.tokens,
-            r.buffer.as_nanos(),
-            r.relex.as_nanos(),
-            r.parse.as_nanos(),
-            r.maintenance.as_nanos(),
-            r.sem.as_nanos(),
-            r.total.as_nanos(),
-            r.fresh_slots,
-            r.recycled_slots,
-            r.key_allocs,
-            if i + 1 < scaling.len() { "," } else { "" }
-        ));
-    }
+    scaling_rows(&mut j, scaling);
+    j.push_str("  ],\n");
+    j.push_str("  \"scaling_full_c\": [\n");
+    scaling_rows(&mut j, scaling_full_c);
     j.push_str("  ]\n}\n");
     match std::fs::write(path, &j) {
         Ok(()) => println!("\nwrote {path}"),

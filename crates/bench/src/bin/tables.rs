@@ -91,6 +91,7 @@ fn main() {
         ("stmt_list", wg_langs::toys::stmt_list(true)),
         ("amb_expr", wg_langs::toys::ambiguous_expr(false)),
         ("parens", wg_langs::toys::nested_parens()),
+        ("full_c", wg_langs::full_c().grammar().clone()),
     ];
 
     let mut rows = Vec::new();

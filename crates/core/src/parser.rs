@@ -5,7 +5,7 @@ use wg_dag::{
     rebalance_sequences, unshare_epsilon, DagArena, FxHashMap, FxHashSet, InputStream, NodeId,
     NodeKind, ParseState,
 };
-use wg_glr::{ps, Gss, GssIdx, Link, MergeTables, ParseScratch, TablePolicy};
+use wg_glr::{ps, same_derivation, Gss, GssIdx, Link, MergeTables, ParseScratch, TablePolicy};
 use wg_grammar::{Grammar, NonTerminal, ProdId, Terminal};
 use wg_lrtable::{Action, LrTable, StateId};
 
@@ -350,6 +350,19 @@ impl IglrRun<'_> {
         n
     }
 
+    /// Re-queues the whole frontier after a new GSS link lands on an
+    /// already-processed node: other parsers' reduction paths may traverse
+    /// it (mirrors the batch GLR reducer's fix). Idempotent via `queued`.
+    fn reactivate_frontier(&mut self) {
+        for i in 0..self.active.len() {
+            let m = self.active[i];
+            if !self.queued.contains(&m) {
+                self.for_actor.push(m);
+                self.queued.insert(m);
+            }
+        }
+    }
+
     fn actor(&mut self, arena: &mut DagArena, p: GssIdx, redla: Terminal) {
         let state = self.gss.state(p);
         // Default-reduce fast path: in a fully deterministic context a
@@ -518,14 +531,20 @@ impl IglrRun<'_> {
                 if label == node {
                     return;
                 }
-                // A fast-path node is not in the merge tables; an identical
-                // re-derivation must not be packed as spurious ambiguity.
-                if let NodeKind::Production { prod } = arena.kind(label) {
-                    if *prod == rule && arena.kids(label) == &self.path_slab[range] {
-                        return;
-                    }
+                // A re-derivation from a previous round (or the fast path)
+                // is not in this round's merge tables, so `node` can be a
+                // fresh instance — fresh ε subtrees included — of a
+                // derivation the forest already holds. Structural
+                // comparison keeps it out (see the batch GLR reducer).
+                if same_derivation(arena, label, rule, &self.path_slab[range.clone()]) {
+                    return;
                 }
                 if matches!(arena.kind(label), NodeKind::Symbol { .. }) {
+                    if arena.kids(label).iter().any(|&alt| {
+                        same_derivation(arena, alt, rule, &self.path_slab[range.clone()])
+                    }) {
+                        return;
+                    }
                     arena.add_choice(label, node);
                 } else {
                     let sym = arena.symbol(lhs, label);
@@ -548,10 +567,11 @@ impl IglrRun<'_> {
                         node: label,
                     },
                 );
-                if !self.queued.contains(&p) {
-                    self.for_actor.push(p);
-                    self.queued.insert(p);
-                }
+                // A new link can enable reduction paths for any parser
+                // whose paths traverse `p`, not just `p` itself (trailing
+                // ε-chains; see the batch GLR reducer). Re-activate the
+                // whole frontier; re-derivations are no-ops.
+                self.reactivate_frontier();
             }
         } else {
             let (label, replaced) = self.merge.get_symbol_node(arena, lhs, node);

@@ -30,6 +30,9 @@ pub enum SessionError {
     },
     /// The initial text does not parse.
     ParseError(IglrError),
+    /// The grammar's parse table cannot be constructed (cyclic grammar or
+    /// packed-encoding overflow).
+    Table(wg_lrtable::TableBuildError),
 }
 
 impl fmt::Display for SessionError {
@@ -43,6 +46,7 @@ impl fmt::Display for SessionError {
                 write!(f, "unlexable input at byte(s) {positions:?}")
             }
             SessionError::ParseError(e) => write!(f, "{e}"),
+            SessionError::Table(e) => write!(f, "{e}"),
         }
     }
 }
@@ -80,7 +84,8 @@ impl SessionConfig {
     /// Returns [`SessionError::UnknownToken`] for unmapped rules.
     pub fn new(grammar: Grammar, lexdef: LexerDef) -> Result<SessionConfig, SessionError> {
         let lexer = Arc::new(lexdef.compile());
-        let table = Arc::new(LrTable::build(&grammar, TableKind::Lalr));
+        let table =
+            Arc::new(LrTable::try_build(&grammar, TableKind::Lalr).map_err(SessionError::Table)?);
         Ok(SessionConfig::from_parts(Arc::new(grammar), table, lexer))
     }
 

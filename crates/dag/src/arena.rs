@@ -711,15 +711,29 @@ impl DagArena {
     /// structure and breaking future damage marking. Only freshly built
     /// nodes (and the reused super-root) are visited, so the cost is
     /// proportional to the new structure.
+    ///
+    /// The walk dedupes via the pooled mark array: a node shared by many
+    /// parents (ambiguity packing) is expanded once, not once per path —
+    /// the path count of a packed forest is exponential. Its parent pointer
+    /// ends up as whichever parent visited it last; any parent chain works
+    /// for damage marking because every visited parent is itself reachable
+    /// from `root`.
     pub fn refresh_parents(&mut self, root: NodeId) {
+        self.gc_gen += 1;
+        let gen = self.gc_gen;
+        if self.mark_gen.len() < self.nodes.len() {
+            self.mark_gen.resize(self.nodes.len(), 0);
+        }
         let mut stack = std::mem::take(&mut self.gc_stack);
         stack.clear();
         stack.push(root);
+        self.mark_gen[root.index()] = gen;
         while let Some(id) = stack.pop() {
             for i in 0..self.kid_count(id) {
                 let k = self.kid_at(id, i);
                 self.nodes[k.index()].parent = id;
-                if self.nodes[k.index()].epoch == self.epoch {
+                if self.nodes[k.index()].epoch == self.epoch && self.mark_gen[k.index()] != gen {
+                    self.mark_gen[k.index()] = gen;
                     stack.push(k);
                 }
             }

@@ -35,7 +35,7 @@
 #![warn(missing_docs)]
 
 use std::collections::HashSet;
-use wg_grammar::{Grammar, NonTerminal, ProdId, Symbol, Terminal};
+use wg_grammar::{Grammar, GrammarAnalysis, NonTerminal, ProdId, Symbol, Terminal};
 
 /// One Earley item: `lhs -> α · β` started at input position `origin`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -76,6 +76,7 @@ impl<'a> EarleyParser<'a> {
     /// Runs the recognizer, returning chart statistics.
     pub fn run(&self, input: &[Terminal]) -> EarleyStats {
         let g = self.g;
+        let an = GrammarAnalysis::new(g);
         let n = input.len();
         let mut chart: Vec<Vec<EItem>> = vec![Vec::new(); n + 1];
         let mut in_chart: Vec<HashSet<EItem>> = vec![HashSet::new(); n + 1];
@@ -136,6 +137,24 @@ impl<'a> EarleyParser<'a> {
                                 },
                             );
                         }
+                        // Aycock–Horspool nullable shortcut: if `nt` can
+                        // derive ε, advance past it directly. The worklist
+                        // alone misses this when the parent enters set i
+                        // *after* nt's ε-completion already ran there — the
+                        // predicted items dedupe, never re-process, and the
+                        // parent stalls (found by differential fuzzing:
+                        // `N0 -> N1 N2 b; N1 -> N2; N2 -> ε` rejected `b`).
+                        if an.nullable(*nt) {
+                            push(
+                                &mut chart,
+                                &mut in_chart,
+                                i,
+                                EItem {
+                                    dot: item.dot + 1,
+                                    ..item
+                                },
+                            );
+                        }
                     }
                     None => {
                         // Completer.
@@ -187,12 +206,35 @@ impl<'a> EarleyParser<'a> {
             0,
             input.len(),
             &mut std::collections::HashMap::new(),
-            &mut HashSet::new(),
+            &mut std::collections::HashMap::new(),
         )
+        .0
     }
 }
 
+/// Depth below which nothing on the visiting stack was touched: the
+/// value is self-contained and safe to memoize.
+const CLEAN: usize = usize::MAX;
+
 /// Memoized count of derivations of `nt` over `input[i..j)`.
+///
+/// The second component is the shallowest visiting-stack depth the value
+/// depends on (`CLEAN` when it was computed without hitting the
+/// re-entrancy cut-off below). A count truncated by the cut is correct
+/// along the current recursion path but depends on which keys happened
+/// to be on the stack — memoizing it unconditionally poisoned later
+/// queries made in acyclic contexts (found by differential fuzzing:
+/// `N0 -> N1 | ε; N1 -> a N2 a | N0 b; N2 -> N1` undercounted `a b b a`
+/// to zero), while never memoizing any truncated value made the search
+/// exponential on ε-heavy grammars whose *search* graph is cyclic even
+/// though no completed derivation is (also found by fuzzing, as a hang).
+/// The Tarjan-lowlink-style middle ground: a value is memoized once it
+/// depends on no stack frame *shallower than its own* — at that point
+/// every cut it absorbed was a search cycle back to this very key, and
+/// for non-cyclic grammars (the only ones whose tables build; `A =>+ A`
+/// is refused upstream) such a cycle can complete no derivation, so the
+/// truncation dropped only zero-count paths and the value is
+/// context-independent.
 fn count(
     g: &Grammar,
     input: &[Terminal],
@@ -200,22 +242,30 @@ fn count(
     i: usize,
     j: usize,
     memo: &mut std::collections::HashMap<(u32, usize, usize), usize>,
-    visiting: &mut HashSet<(u32, usize, usize)>,
-) -> usize {
+    visiting: &mut std::collections::HashMap<(u32, usize, usize), usize>,
+) -> (usize, usize) {
     let key = (nt.index() as u32, i, j);
     if let Some(&c) = memo.get(&key) {
-        return c;
+        return (c, CLEAN);
     }
-    if !visiting.insert(key) {
-        return 0; // cyclic derivation (infinitely ambiguous): cut off
+    if let Some(&depth) = visiting.get(&key) {
+        return (0, depth); // re-entered an in-flight key: cut the search
     }
+    let my_depth = visiting.len();
+    visiting.insert(key, my_depth);
     let mut total = 0;
+    let mut dep = CLEAN;
     for p in g.productions_for(nt) {
-        total += count_rhs(g, input, g.production(p).rhs(), i, j, memo, visiting);
+        let (c, d) = count_rhs(g, input, g.production(p).rhs(), i, j, memo, visiting);
+        total += c;
+        dep = dep.min(d);
     }
     visiting.remove(&key);
-    memo.insert(key, total);
-    total
+    if dep >= my_depth {
+        memo.insert(key, total);
+        dep = CLEAN; // self-cycles resolved; nothing below my frame touched
+    }
+    (total, dep)
 }
 
 fn count_rhs(
@@ -225,26 +275,30 @@ fn count_rhs(
     i: usize,
     j: usize,
     memo: &mut std::collections::HashMap<(u32, usize, usize), usize>,
-    visiting: &mut HashSet<(u32, usize, usize)>,
-) -> usize {
+    visiting: &mut std::collections::HashMap<(u32, usize, usize), usize>,
+) -> (usize, usize) {
     match rhs.first() {
-        None => usize::from(i == j),
+        None => (usize::from(i == j), CLEAN),
         Some(Symbol::T(t)) => {
             if i < j && input[i] == *t {
                 count_rhs(g, input, &rhs[1..], i + 1, j, memo, visiting)
             } else {
-                0
+                (0, CLEAN)
             }
         }
         Some(Symbol::N(n)) => {
             let mut total = 0;
+            let mut dep = CLEAN;
             for k in i..=j {
-                let left = count(g, input, *n, i, k, memo, visiting);
+                let (left, ld) = count(g, input, *n, i, k, memo, visiting);
+                dep = dep.min(ld);
                 if left > 0 {
-                    total += left * count_rhs(g, input, &rhs[1..], k, j, memo, visiting);
+                    let (right, rd) = count_rhs(g, input, &rhs[1..], k, j, memo, visiting);
+                    total += left * right;
+                    dep = dep.min(rd);
                 }
             }
-            total
+            (total, dep)
         }
     }
 }

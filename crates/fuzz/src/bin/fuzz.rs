@@ -1,0 +1,184 @@
+//! Differential fuzz driver.
+//!
+//! ```text
+//! fuzz [--per-class N] [--seconds S] [--seed-base B] [--corpus DIR] [--quick] [--skip-shipped]
+//! ```
+//!
+//! Three phases, any of which can fail the run:
+//!
+//! 1. **Corpus replay** — every `*.txt` under `--corpus` (default
+//!    `crates/fuzz/corpus/`) through the full differential.
+//! 2. **Shipped grammars** — packed-vs-ref table diff for each language the
+//!    workspace ships, including the full-scale C grammar.
+//! 3. **Random sweep** — `--per-class` seeds per grammar class (or until
+//!    `--seconds` expires, whichever is sooner). Failures are minimized and
+//!    written into the corpus as `found-<class>-<seed>.txt` so CI archives
+//!    them and every later run replays them.
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+use wg_fuzz::{check_case, minimize, Case, GrammarClass};
+use wg_lrtable::{LrTable, TableKind};
+
+fn shipped_grammars() -> Vec<(&'static str, wg_grammar::Grammar)> {
+    vec![
+        ("simp_c", wg_langs::simp_c().grammar().clone()),
+        ("simp_cpp", wg_langs::simp_cpp().grammar().clone()),
+        ("simp_c_det", wg_langs::simp_c_det().grammar().clone()),
+        ("simp_modula", wg_langs::simp_modula().grammar().clone()),
+        ("toy_expr", wg_langs::toys::ambiguous_expr(true)),
+        ("toy_lr2", wg_langs::toys::fig7_lr2()),
+        ("full_c", wg_langs::full_c().grammar().clone()),
+    ]
+}
+
+fn main() {
+    let mut per_class = 100usize;
+    let mut seconds: Option<u64> = None;
+    let mut seed_base = 0u64;
+    let mut corpus = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let mut skip_shipped = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--per-class" => per_class = args.next().and_then(|v| v.parse().ok()).unwrap_or(100),
+            "--seconds" => seconds = args.next().and_then(|v| v.parse().ok()),
+            "--seed-base" => seed_base = args.next().and_then(|v| v.parse().ok()).unwrap_or(0),
+            "--corpus" => corpus = args.next().map(PathBuf::from).unwrap_or(corpus),
+            "--quick" => {
+                per_class = 12;
+                skip_shipped = false;
+            }
+            "--skip-shipped" => skip_shipped = true,
+            other => {
+                eprintln!("unknown flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let start = Instant::now();
+    let deadline = seconds.map(|s| start + Duration::from_secs(s));
+    let mut failures = 0usize;
+
+    failures += replay_corpus(&corpus);
+    if !skip_shipped {
+        failures += check_shipped();
+    }
+    failures += random_sweep(per_class, seed_base, deadline, &corpus);
+
+    let elapsed = start.elapsed();
+    if failures == 0 {
+        println!("fuzz: clean ({:.1}s)", elapsed.as_secs_f64());
+    } else {
+        eprintln!(
+            "fuzz: {failures} failure(s) ({:.1}s)",
+            elapsed.as_secs_f64()
+        );
+        std::process::exit(1);
+    }
+}
+
+fn replay_corpus(dir: &Path) -> usize {
+    let mut entries: Vec<PathBuf> = match std::fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "txt"))
+            .collect(),
+        Err(_) => {
+            println!("corpus: none at {}", dir.display());
+            return 0;
+        }
+    };
+    entries.sort();
+    let mut failures = 0;
+    for path in &entries {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("corpus {}: unreadable: {e}", path.display());
+                failures += 1;
+                continue;
+            }
+        };
+        match Case::parse(&src)
+            .map_err(|e| e.to_string())
+            .and_then(|c| check_case(&c).map_err(|d| d.to_string()))
+        {
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("corpus {}: {e}", path.display());
+                failures += 1;
+            }
+        }
+    }
+    println!(
+        "corpus: {} case(s) replayed, {failures} failing",
+        entries.len()
+    );
+    failures
+}
+
+fn check_shipped() -> usize {
+    let mut failures = 0;
+    for (name, g) in shipped_grammars() {
+        match LrTable::try_build(&g, TableKind::Lalr) {
+            Ok(t) => {
+                if let Err(d) = wg_fuzz::diff_tables(&g, &t) {
+                    eprintln!("shipped {name}: {d}");
+                    failures += 1;
+                } else {
+                    println!(
+                        "shipped {name}: {} states, packed == ref on every cell",
+                        t.num_states()
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("shipped {name}: table build failed: {e}");
+                failures += 1;
+            }
+        }
+    }
+    failures
+}
+
+fn random_sweep(
+    per_class: usize,
+    seed_base: u64,
+    deadline: Option<Instant>,
+    corpus: &Path,
+) -> usize {
+    let mut failures = 0;
+    let mut ran = 0usize;
+    'sweep: for i in 0..per_class {
+        for class in GrammarClass::all() {
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                println!("random: time box hit after {ran} case(s)");
+                break 'sweep;
+            }
+            let seed = seed_base + i as u64;
+            let case = wg_fuzz::random_case(class, seed);
+            ran += 1;
+            if let Err(d) = check_case(&case) {
+                failures += 1;
+                let small = minimize(&case.to_source());
+                eprintln!("random {class} seed {seed}: {d}\nminimized:\n{small}");
+                let name = format!("found-{}-{seed}.txt", class.tag());
+                let dest = corpus.join(name);
+                let body = format!("# auto-minimized failure ({d})\n{small}\n");
+                if let Err(e) =
+                    std::fs::create_dir_all(corpus).and_then(|_| std::fs::write(&dest, body))
+                {
+                    eprintln!("  (could not persist to {}: {e})", dest.display());
+                } else {
+                    eprintln!("  persisted to {}", dest.display());
+                }
+            }
+        }
+    }
+    println!("random: {ran} case(s), {failures} failing");
+    failures
+}

@@ -1,0 +1,1091 @@
+//! Differential fuzzing of the whole parsing stack.
+//!
+//! The paper's claim is behavioural: incremental GLR analysis is
+//! *indistinguishable* from parsing the document from scratch, for any real
+//! grammar and any edit sequence (Sections 3–5). This crate checks that
+//! claim — and the equivalences it rests on — mechanically, over random
+//! inputs:
+//!
+//! * **Random grammars**, stratified by class ([`GrammarClass`]): near-LR(1),
+//!   LR(2)-style (Figure 7's bounded-lookahead shape), genuinely ambiguous,
+//!   and ε-heavy (including cyclic grammars, which the table builder must
+//!   *refuse*, not loop on).
+//! * **Random documents** derived from each grammar, and **random edit
+//!   scripts** over those documents.
+//! * **Differential oracles** ([`check_case`]): batch GLR ≡ batch-mode IGLR
+//!   (same forest), GLR ≡ Earley (acceptance and parse count), GLR ≡ the
+//!   deterministic incremental parser on conflict-free tables, incremental
+//!   reparse ≡ from-scratch parse after every edit, and the packed
+//!   [`wg_lrtable::LrTable`] ≡ the naive [`wg_lrtable::RefTable`] on every
+//!   cell.
+//!
+//! Failures are shrunk by a greedy delta-debugging pass ([`minimize`]) —
+//! the offline `proptest` shim has no shrinking, so the harness carries its
+//! own — and persisted as plain-text [`Case`]s in `crates/fuzz/corpus/`,
+//! which the test suite replays on every CI run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+use std::fmt;
+use wg_core::{IglrParser, Session, SessionConfig};
+use wg_dag::{structurally_equal, DagArena, NodeId, NodeKind};
+use wg_earley::EarleyParser;
+use wg_glr::GlrParser;
+use wg_grammar::{Grammar, GrammarBuilder, NonTerminal, Symbol, Terminal};
+use wg_lexer::LexerDef;
+use wg_lrtable::{LrTable, RefTable, StateId, TableBuildError, TableKind};
+use wg_sentential::IncLrParser;
+
+/// Stratification classes for random grammar generation.
+///
+/// The class biases *construction*; it is not a post-hoc guarantee (a
+/// grammar built from deterministic templates can still hold an LALR
+/// conflict). The harness treats whatever comes out uniformly — the class
+/// only ensures the sweep keeps visiting all the interesting regions of
+/// grammar space instead of clustering in one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GrammarClass {
+    /// Deterministic templates: lists, delimited forms, distinct leading
+    /// terminals. Mostly conflict-free tables.
+    Lr1,
+    /// Injects Figure 7's bounded-lookahead shape (`X -> a Y c | a Z d`,
+    /// `Y -> b`, `Z -> b`): LALR(1) conflicts that GLR resolves with a
+    /// transient fork.
+    Lr2,
+    /// Injects genuine ambiguity (`N -> N N`, duplicate productions):
+    /// persistent forks, exponential parse counts.
+    Ambiguous,
+    /// ε-productions and unit chains, sometimes cyclic — exercising
+    /// nullable reductions and the table builder's refusal path.
+    EpsilonHeavy,
+}
+
+impl GrammarClass {
+    /// All classes, in sweep order.
+    pub fn all() -> [GrammarClass; 4] {
+        [
+            GrammarClass::Lr1,
+            GrammarClass::Lr2,
+            GrammarClass::Ambiguous,
+            GrammarClass::EpsilonHeavy,
+        ]
+    }
+
+    /// The class's corpus-file tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            GrammarClass::Lr1 => "lr1",
+            GrammarClass::Lr2 => "lr2",
+            GrammarClass::Ambiguous => "ambiguous",
+            GrammarClass::EpsilonHeavy => "epsilon",
+        }
+    }
+}
+
+impl fmt::Display for GrammarClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// One self-contained fuzz case: a grammar, a document, and an edit script,
+/// all in the plain-text corpus format.
+///
+/// ```text
+/// # comment
+/// class lr1
+/// terminals a b c
+/// nonassoc b            (optional; also `left` / `right`)
+/// start N0
+/// prod N0 -> a N1 b
+/// prod N1 ->            (empty RHS = ε)
+/// doc a a b
+/// edit 2 1 c            (byte offset, removed bytes, inserted text)
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Case {
+    /// Class tag (informational).
+    pub class: String,
+    /// Terminal names, in declaration order.
+    pub terminals: Vec<String>,
+    /// Precedence declarations: (`left`|`right`|`nonassoc`, terminals).
+    pub assoc: Vec<(String, Vec<String>)>,
+    /// Start nonterminal name.
+    pub start: String,
+    /// Productions as (lhs, rhs symbol names).
+    pub prods: Vec<(String, Vec<String>)>,
+    /// The document text (terminal names joined by single spaces).
+    pub doc: String,
+    /// Edit script: (byte offset, removed bytes, inserted text), each step
+    /// valid against the document after all earlier steps.
+    pub edits: Vec<(usize, usize, String)>,
+}
+
+impl Case {
+    /// Parses the corpus text format.
+    pub fn parse(src: &str) -> Result<Case, String> {
+        let mut case = Case {
+            class: String::new(),
+            terminals: Vec::new(),
+            assoc: Vec::new(),
+            start: String::new(),
+            prods: Vec::new(),
+            doc: String::new(),
+            edits: Vec::new(),
+        };
+        for (ln, line) in src.lines().enumerate() {
+            // Trim only line endings: an `edit` insert may carry significant
+            // leading/trailing spaces.
+            let line = line.trim_end_matches('\r');
+            if line.trim().is_empty() || line.trim_start().starts_with('#') {
+                continue;
+            }
+            let (kw, rest) = line.split_once(' ').unwrap_or((line, ""));
+            match kw {
+                "class" => case.class = rest.trim().to_string(),
+                "terminals" => case.terminals = rest.split_whitespace().map(String::from).collect(),
+                "left" | "right" | "nonassoc" => case.assoc.push((
+                    kw.to_string(),
+                    rest.split_whitespace().map(String::from).collect(),
+                )),
+                "start" => case.start = rest.trim().to_string(),
+                "prod" => {
+                    let (lhs, rhs) = rest
+                        .split_once("->")
+                        .ok_or_else(|| format!("line {}: prod without ->", ln + 1))?;
+                    case.prods.push((
+                        lhs.trim().to_string(),
+                        rhs.split_whitespace().map(String::from).collect(),
+                    ));
+                }
+                "doc" => case.doc = rest.split_whitespace().collect::<Vec<_>>().join(" "),
+                "edit" => {
+                    let mut it = rest.splitn(3, ' ');
+                    let at = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| format!("line {}: bad edit offset", ln + 1))?;
+                    let remove = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| format!("line {}: bad edit length", ln + 1))?;
+                    let insert = it.next().unwrap_or("").to_string();
+                    case.edits.push((at, remove, insert));
+                }
+                other => return Err(format!("line {}: unknown keyword {other:?}", ln + 1)),
+            }
+        }
+        if case.terminals.is_empty() || case.start.is_empty() || case.prods.is_empty() {
+            return Err("case needs terminals, start, and at least one prod".to_string());
+        }
+        Ok(case)
+    }
+
+    /// Renders the case back into the corpus text format (round-trips
+    /// through [`Case::parse`]).
+    pub fn to_source(&self) -> String {
+        let mut out = String::new();
+        if !self.class.is_empty() {
+            out.push_str(&format!("class {}\n", self.class));
+        }
+        out.push_str(&format!("terminals {}\n", self.terminals.join(" ")));
+        for (kind, terms) in &self.assoc {
+            out.push_str(&format!("{kind} {}\n", terms.join(" ")));
+        }
+        out.push_str(&format!("start {}\n", self.start));
+        for (lhs, rhs) in &self.prods {
+            out.push_str(&format!("prod {lhs} -> {}\n", rhs.join(" ")));
+        }
+        if !self.doc.is_empty() {
+            out.push_str(&format!("doc {}\n", self.doc));
+        }
+        for (at, remove, insert) in &self.edits {
+            out.push_str(&format!("edit {at} {remove} {insert}\n"));
+        }
+        out
+    }
+
+    /// Builds the grammar the case describes.
+    pub fn build_grammar(&self) -> Result<Grammar, String> {
+        let mut b = GrammarBuilder::new("fuzz");
+        let mut terms: HashMap<&str, Terminal> = HashMap::new();
+        for t in &self.terminals {
+            terms.insert(t.as_str(), b.terminal(t));
+        }
+        for (kind, names) in &self.assoc {
+            let ts: Vec<Terminal> = names
+                .iter()
+                .map(|n| {
+                    terms
+                        .get(n.as_str())
+                        .copied()
+                        .ok_or_else(|| format!("assoc names unknown terminal {n:?}"))
+                })
+                .collect::<Result<_, _>>()?;
+            match kind.as_str() {
+                "left" => {
+                    b.left(&ts);
+                }
+                "right" => {
+                    b.right(&ts);
+                }
+                _ => {
+                    b.nonassoc(&ts);
+                }
+            }
+        }
+        let mut nts: HashMap<&str, NonTerminal> = HashMap::new();
+        for (lhs, rhs) in &self.prods {
+            for name in std::iter::once(lhs).chain(rhs.iter()) {
+                if !terms.contains_key(name.as_str()) && !nts.contains_key(name.as_str()) {
+                    nts.insert(name, b.nonterminal(name));
+                }
+            }
+        }
+        for (lhs, rhs) in &self.prods {
+            let lhs = *nts
+                .get(lhs.as_str())
+                .ok_or_else(|| format!("{lhs:?} used as both terminal and lhs"))?;
+            let rhs = rhs
+                .iter()
+                .map(|s| {
+                    terms
+                        .get(s.as_str())
+                        .map(|&t| Symbol::T(t))
+                        .or_else(|| nts.get(s.as_str()).map(|&n| Symbol::N(n)))
+                        .ok_or_else(|| format!("unknown symbol {s:?}"))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            b.prod(lhs, rhs);
+        }
+        let start = *nts
+            .get(self.start.as_str())
+            .ok_or_else(|| format!("start {:?} has no productions", self.start))?;
+        b.start(start);
+        b.build().map_err(|e| e.to_string())
+    }
+
+    /// Builds the grammar plus a trivial literal lexer (one literal per
+    /// terminal, whitespace skipped) for session-based replay.
+    pub fn build_defs(&self) -> Result<(Grammar, LexerDef), String> {
+        let g = self.build_grammar()?;
+        let mut lx = LexerDef::new();
+        for t in &self.terminals {
+            lx.literal(t, t);
+        }
+        lx.skip("ws", "[ \\t\\r\\n]+").map_err(|e| e.to_string())?;
+        Ok((g, lx))
+    }
+
+    /// The document as a terminal sequence.
+    pub fn tokens(&self, g: &Grammar) -> Result<Vec<Terminal>, String> {
+        self.doc
+            .split_whitespace()
+            .map(|w| {
+                g.terminal_by_name(w)
+                    .ok_or_else(|| format!("doc token {w:?} is not a terminal"))
+            })
+            .collect()
+    }
+}
+
+/// A detected disagreement between two components that must agree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Which differential stage tripped (stable across minimization).
+    pub stage: &'static str,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.stage, self.detail)
+    }
+}
+
+fn diverge(stage: &'static str, detail: impl Into<String>) -> Divergence {
+    Divergence {
+        stage,
+        detail: detail.into(),
+    }
+}
+
+/// Summary of one clean differential run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CaseOutcome {
+    /// The table builder refused the grammar (cyclic): nothing downstream
+    /// to compare, but Earley was still exercised.
+    pub table_refused: bool,
+    /// Whether the (pre-edit) document was accepted.
+    pub accepted: bool,
+    /// Number of parses of the document, when cheap enough to count.
+    pub parse_count: Option<u64>,
+    /// Edit steps replayed against the batch oracle.
+    pub edits_replayed: usize,
+}
+
+/// Number of distinct trees embedded in the parse dag under `root`:
+/// product over production/sequence kids, sum over choice-point
+/// alternatives, memoized on shared nodes, saturating.
+/// Structural forest equality that respects sharing: memoized over node
+/// *pairs*, so it is polynomial in the arena sizes where
+/// [`wg_dag::structurally_equal`]'s tree linearization is exponential on
+/// heavily ambiguous dags (a fuzz case with 2.7e7 embedded trees spent
+/// minutes there). Sequence nodes — which random grammars never produce —
+/// fall back to the flattening comparison so physical chunking stays
+/// ignored.
+pub fn forests_equal(a: &DagArena, ra: NodeId, b: &DagArena, rb: NodeId) -> bool {
+    fn go(
+        a: &DagArena,
+        x: NodeId,
+        b: &DagArena,
+        y: NodeId,
+        memo: &mut HashMap<(NodeId, NodeId), bool>,
+    ) -> bool {
+        if let Some(&r) = memo.get(&(x, y)) {
+            return r;
+        }
+        let kids_eq = |memo: &mut HashMap<(NodeId, NodeId), bool>| {
+            let (ka, kb) = (a.kids(x), b.kids(y));
+            ka.len() == kb.len() && ka.iter().zip(kb).all(|(&p, &q)| go(a, p, b, q, memo))
+        };
+        let r = match (a.kind(x), b.kind(y)) {
+            (
+                NodeKind::Terminal {
+                    term: ta,
+                    lexeme: la,
+                },
+                NodeKind::Terminal {
+                    term: tb,
+                    lexeme: lb,
+                },
+            ) => ta == tb && la == lb,
+            (NodeKind::Bos, NodeKind::Bos) | (NodeKind::Eos, NodeKind::Eos) => true,
+            (NodeKind::Production { prod: pa }, NodeKind::Production { prod: pb }) => {
+                pa == pb && kids_eq(memo)
+            }
+            (NodeKind::Symbol { symbol: sa }, NodeKind::Symbol { symbol: sb }) => {
+                sa == sb && kids_eq(memo)
+            }
+            (NodeKind::Root, NodeKind::Root) => kids_eq(memo),
+            (NodeKind::Sequence { .. } | NodeKind::SeqRun { .. }, _)
+            | (_, NodeKind::Sequence { .. } | NodeKind::SeqRun { .. }) => {
+                structurally_equal(a, x, b, y)
+            }
+            _ => false,
+        };
+        memo.insert((x, y), r);
+        r
+    }
+    go(a, ra, b, rb, &mut HashMap::new())
+}
+
+/// Saturating count of the parse trees a packed forest embeds: symbol
+/// (choice) nodes sum over their alternatives, every other interior node
+/// multiplies over its kids. Memoized over [`NodeId`], so sharing is
+/// respected. Compared against Earley's derivation count on small inputs.
+pub fn dag_parse_count(arena: &DagArena, root: NodeId) -> u64 {
+    fn go(a: &DagArena, n: NodeId, memo: &mut HashMap<NodeId, u64>) -> u64 {
+        if let Some(&c) = memo.get(&n) {
+            return c;
+        }
+        let kids = a.kids(n);
+        let c = match a.kind(n) {
+            NodeKind::Symbol { .. } => kids
+                .iter()
+                .fold(0u64, |acc, &k| acc.saturating_add(go(a, k, memo))),
+            NodeKind::Terminal { .. } | NodeKind::Bos | NodeKind::Eos => 1,
+            _ => kids
+                .iter()
+                .fold(1u64, |acc, &k| acc.saturating_mul(go(a, k, memo))),
+        };
+        memo.insert(n, c);
+        c
+    }
+    go(arena, root, &mut HashMap::new())
+}
+
+/// Cell-for-cell comparison of the packed table against the naive
+/// reference build: every ACTION cell (through the full [`wg_lrtable::Cell`]
+/// accessor surface), every GOTO, every nonterminal-reduction list, and the
+/// default-reduction invariants.
+pub fn diff_tables(g: &Grammar, packed: &LrTable) -> Result<(), Divergence> {
+    let naive = RefTable::build(g, packed.kind());
+    if packed.num_states() != naive.num_states() {
+        return Err(diverge(
+            "packed-vs-ref",
+            format!(
+                "state counts differ: packed {} vs ref {}",
+                packed.num_states(),
+                naive.num_states()
+            ),
+        ));
+    }
+    if packed.num_action_entries() != naive.num_action_entries() {
+        return Err(diverge("packed-vs-ref", "action entry totals differ"));
+    }
+    for s in 0..packed.num_states() {
+        let sid = StateId(s as u32);
+        for t in g.terminals() {
+            let p = packed.actions(sid, t);
+            let n = naive.actions(sid, t);
+            if p.to_vec() != n
+                || p.len() != n.len()
+                || p.is_empty() != n.is_empty()
+                || p.first() != n.first().copied()
+                || n.iter().enumerate().any(|(i, &a)| p.get(i) != a)
+            {
+                return Err(diverge(
+                    "packed-vs-ref",
+                    format!(
+                        "ACTION mismatch at state {s}, terminal {:?}",
+                        g.terminal_name(t)
+                    ),
+                ));
+            }
+        }
+        for nt in g.nonterminals() {
+            if packed.goto(sid, nt) != naive.goto(sid, nt) {
+                return Err(diverge(
+                    "packed-vs-ref",
+                    format!("GOTO mismatch at state {s}, {:?}", g.nonterminal_name(nt)),
+                ));
+            }
+            if packed.nt_reductions(sid, nt) != naive.nt_reductions(sid, nt) {
+                return Err(diverge(
+                    "packed-vs-ref",
+                    format!(
+                        "nt_reductions mismatch at state {s}, {:?}",
+                        g.nonterminal_name(nt)
+                    ),
+                ));
+            }
+        }
+        if let Some(p) = packed.default_reduction(sid) {
+            if g.production(p).arity() == 0 {
+                return Err(diverge(
+                    "packed-vs-ref",
+                    format!("state {s}: ε default reduction"),
+                ));
+            }
+            for t in g.terminals() {
+                let cell = naive.actions(sid, t);
+                if !cell.is_empty() && cell != [wg_lrtable::Action::Reduce(p)] {
+                    return Err(diverge(
+                        "packed-vs-ref",
+                        format!(
+                            "state {s}: default reduction disagrees with cell at {:?}",
+                            g.terminal_name(t)
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs the full differential check over one case.
+///
+/// Stages (each a potential [`Divergence::stage`]):
+/// `grammar-build`, `table-build`, `packed-vs-ref`, `doc-tokens`,
+/// `glr-vs-earley-acceptance`, `glr-vs-iglr`, `glr-vs-earley-count`,
+/// `sentential`, `session`, `incremental-vs-batch`.
+///
+/// Grammars with precedence declarations skip the Earley comparisons:
+/// precedence changes the *language* of the table-driven parsers (that is
+/// its purpose), while Earley answers for the bare CFG.
+pub fn check_case(case: &Case) -> Result<CaseOutcome, Divergence> {
+    let g = case
+        .build_grammar()
+        .map_err(|e| diverge("grammar-build", e))?;
+    let mut outcome = CaseOutcome::default();
+
+    let table = match LrTable::try_build(&g, TableKind::Lalr) {
+        Ok(t) => t,
+        Err(TableBuildError::CyclicGrammar { .. }) => {
+            // Refusal is the specified behaviour. Earley needs no table and
+            // must still terminate on the same grammar and document.
+            let toks = case.tokens(&g).map_err(|e| diverge("doc-tokens", e))?;
+            outcome.table_refused = true;
+            outcome.accepted = EarleyParser::new(&g).recognize(&toks);
+            return Ok(outcome);
+        }
+        Err(e) => return Err(diverge("table-build", e.to_string())),
+    };
+
+    diff_tables(&g, &table)?;
+
+    let toks = case.tokens(&g).map_err(|e| diverge("doc-tokens", e))?;
+    let pairs: Vec<(Terminal, &str)> = toks.iter().map(|&t| (t, g.terminal_name(t))).collect();
+    let has_prec = !case.assoc.is_empty();
+
+    let glr = GlrParser::new(&g, &table);
+    let mut glr_arena = DagArena::new();
+    let glr_root = glr.parse(&mut glr_arena, pairs.iter().copied()).ok();
+    outcome.accepted = glr_root.is_some();
+
+    let earley = EarleyParser::new(&g);
+    if !has_prec && earley.recognize(&toks) != outcome.accepted {
+        return Err(diverge(
+            "glr-vs-earley-acceptance",
+            format!("GLR accepted={} but Earley disagrees", outcome.accepted),
+        ));
+    }
+
+    let iglr = IglrParser::new(&g, &table);
+    let mut iglr_arena = DagArena::new();
+    let iglr_root = iglr
+        .parse_tokens(&mut iglr_arena, pairs.iter().copied())
+        .ok();
+    if iglr_root.is_some() != outcome.accepted {
+        return Err(diverge("glr-vs-iglr", "acceptance differs"));
+    }
+    if let (Some(r1), Some(r2)) = (glr_root, iglr_root) {
+        if !forests_equal(&glr_arena, r1, &iglr_arena, r2) {
+            return Err(diverge("glr-vs-iglr", "forests differ structurally"));
+        }
+    }
+
+    if let Some(root) = glr_root {
+        if !has_prec && toks.len() <= 24 {
+            let dag_n = dag_parse_count(&glr_arena, root);
+            let earley_n = earley.count_parses(&toks, g.start()) as u64;
+            if dag_n != earley_n {
+                return Err(diverge(
+                    "glr-vs-earley-count",
+                    format!("dag embeds {dag_n} trees, Earley counts {earley_n}"),
+                ));
+            }
+            outcome.parse_count = Some(dag_n);
+        }
+    }
+
+    if table.is_deterministic() {
+        let det = IncLrParser::new(&g, &table)
+            .map_err(|e| diverge("sentential", format!("rejects conflict-free table: {e}")))?;
+        let mut det_arena = DagArena::new();
+        let det_root = det.parse_tokens(&mut det_arena, pairs.iter().copied()).ok();
+        if det_root.is_some() != outcome.accepted {
+            return Err(diverge("sentential", "acceptance differs from GLR"));
+        }
+        if let (Some(r1), Some(r2)) = (glr_root, det_root) {
+            if !forests_equal(&glr_arena, r1, &det_arena, r2) {
+                return Err(diverge("sentential", "tree differs from GLR"));
+            }
+        }
+    }
+
+    if !case.doc.is_empty() {
+        outcome.edits_replayed = replay_incremental(case, outcome.accepted)?;
+    }
+    Ok(outcome)
+}
+
+/// Replays the case's edit script through a live [`Session`], comparing
+/// against a from-scratch parse of the post-edit text at every step.
+fn replay_incremental(case: &Case, glr_accepted: bool) -> Result<usize, Divergence> {
+    let (g, lx) = case.build_defs().map_err(|e| diverge("session", e))?;
+    let cfg = SessionConfig::new(g, lx).map_err(|e| diverge("session", e.to_string()))?;
+    let mut session = match Session::new(&cfg, &case.doc) {
+        Ok(s) => {
+            if !glr_accepted {
+                return Err(diverge(
+                    "session",
+                    "session accepts a document batch GLR rejects",
+                ));
+            }
+            s
+        }
+        Err(_) if !glr_accepted => return Ok(0),
+        Err(e) => {
+            return Err(diverge(
+                "session",
+                format!("session rejects a document batch GLR accepts: {e}"),
+            ))
+        }
+    };
+
+    let mut oracle = case.doc.clone();
+    let mut replayed = 0;
+    for (at, remove, insert) in &case.edits {
+        if at + remove > oracle.len() {
+            break; // minimization can strand edits past a shrunken doc
+        }
+        session.edit(*at, *remove, insert);
+        let out = session
+            .reparse()
+            .map_err(|e| diverge("session", format!("reparse error: {e}")))?;
+        oracle.replace_range(*at..at + remove, insert);
+        replayed += 1;
+
+        match (out.incorporated, Session::new(&cfg, &oracle)) {
+            (true, Ok(batch)) => {
+                if !forests_equal(session.arena(), session.root(), batch.arena(), batch.root()) {
+                    return Err(diverge(
+                        "incremental-vs-batch",
+                        format!("forests differ after edit {replayed}"),
+                    ));
+                }
+            }
+            (false, Err(_)) => {} // both reject the accumulated text
+            (true, Err(e)) => {
+                return Err(diverge(
+                    "incremental-vs-batch",
+                    format!(
+                        "incremental incorporated what batch rejects ({e}) after edit {replayed}"
+                    ),
+                ))
+            }
+            (false, Ok(_)) => {
+                return Err(diverge(
+                    "incremental-vs-batch",
+                    format!("batch accepts what incremental refused after edit {replayed}"),
+                ))
+            }
+        }
+    }
+    Ok(replayed)
+}
+
+// --- random generation ------------------------------------------------------
+
+const LETTERS: [&str; 6] = ["a", "b", "c", "d", "e", "f"];
+
+/// Generates one random case of the given class (deterministic per seed):
+/// grammar, derived document, and a token-level edit script.
+pub fn random_case(class: GrammarClass, seed: u64) -> Case {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_c0de);
+    let n_terms = match class {
+        GrammarClass::Lr2 => 4 + rng.random_range(0..2usize), // needs a b c d
+        _ => 2 + rng.random_range(0..4usize),
+    };
+    let terminals: Vec<String> = LETTERS[..n_terms].iter().map(|s| s.to_string()).collect();
+    let n_nts = 2 + rng.random_range(0..4usize);
+    let nt = |i: usize| format!("N{i}");
+
+    let mut prods: Vec<(String, Vec<String>)> = Vec::new();
+    // Layered base productions: Ni references only Nj with j > i, so every
+    // nonterminal is productive by reverse induction (random extras below
+    // can then recurse freely without breaking that).
+    for i in 0..n_nts {
+        let len = 1 + rng.random_range(0..3);
+        let rhs: Vec<String> = (0..len)
+            .map(|_| {
+                if i + 1 < n_nts && rng.random_bool(0.4) {
+                    nt(i + 1 + rng.random_range(0..(n_nts - i - 1)))
+                } else {
+                    terminals[rng.random_range(0..n_terms)].clone()
+                }
+            })
+            .collect();
+        prods.push((nt(i), rhs));
+    }
+
+    match class {
+        GrammarClass::Lr1 => {
+            // Left-recursive lists with a distinct trailing terminal, the
+            // bread-and-butter deterministic shape.
+            for i in 0..n_nts {
+                if rng.random_bool(0.5) {
+                    let t = terminals[rng.random_range(0..n_terms)].clone();
+                    prods.push((nt(i), vec![nt(i), t]));
+                }
+            }
+        }
+        GrammarClass::Lr2 => {
+            // Figure 7: one token of context too little for LALR(1).
+            let x = nt(rng.random_range(0..n_nts));
+            prods.push((x.clone(), vec!["a".into(), "Y2".into(), "c".into()]));
+            prods.push((x, vec!["a".into(), "Z2".into(), "d".into()]));
+            prods.push(("Y2".into(), vec!["b".into()]));
+            prods.push(("Z2".into(), vec!["b".into()]));
+        }
+        GrammarClass::Ambiguous => {
+            let i = rng.random_range(0..n_nts);
+            if rng.random_bool(0.6) {
+                prods.push((nt(i), vec![nt(i), nt(i)]));
+                prods.push((nt(i), vec![terminals[rng.random_range(0..n_terms)].clone()]));
+            } else {
+                // Duplicate an existing production: exactly-two-way forks.
+                let dup = prods[rng.random_range(0..prods.len())].clone();
+                prods.push(dup);
+            }
+        }
+        GrammarClass::EpsilonHeavy => {
+            for i in 0..n_nts {
+                if rng.random_bool(0.5) {
+                    prods.push((nt(i), Vec::new()));
+                }
+                if rng.random_bool(0.4) {
+                    // Unit chains in any direction: sometimes cyclic, which
+                    // must surface as a table-build refusal, not a hang.
+                    prods.push((nt(i), vec![nt(rng.random_range(0..n_nts))]));
+                }
+            }
+        }
+    }
+    // A couple of fully random productions keep the sweep from being
+    // template-bound.
+    for _ in 0..rng.random_range(0..3) {
+        let i = rng.random_range(0..n_nts);
+        let len = rng.random_range(0..3);
+        let rhs: Vec<String> = (0..len)
+            .map(|_| {
+                if rng.random_bool(0.35) {
+                    nt(rng.random_range(0..n_nts))
+                } else {
+                    terminals[rng.random_range(0..n_terms)].clone()
+                }
+            })
+            .collect();
+        prods.push((nt(i), rhs));
+    }
+
+    let mut case = Case {
+        class: class.tag().to_string(),
+        terminals,
+        assoc: Vec::new(),
+        start: nt(0),
+        prods,
+        doc: String::new(),
+        edits: Vec::new(),
+    };
+
+    // Derive a document; retry a few seeds if the derivation degenerates.
+    let cap = match class {
+        GrammarClass::Ambiguous => 12,
+        _ => 30,
+    };
+    if let Ok(g) = case.build_grammar() {
+        for attempt in 0..8 {
+            let mut drng = StdRng::seed_from_u64(seed.wrapping_add(attempt * 7919));
+            if let Some(toks) = derive_sentence(&g, &mut drng, cap) {
+                if !toks.is_empty() {
+                    case.doc = toks
+                        .iter()
+                        .map(|&t| g.terminal_name(t))
+                        .collect::<Vec<_>>()
+                        .join(" ");
+                    break;
+                }
+            }
+        }
+    }
+
+    // Token-level edit script (single-char terminals: token i starts at
+    // byte 2*i). Edits may well make the document unparseable — rejection
+    // agreement is part of what the differential checks.
+    if !case.doc.is_empty() {
+        let mut tokens: Vec<String> = case.doc.split(' ').map(String::from).collect();
+        for _ in 0..rng.random_range(0..5) {
+            let pick = case.terminals[rng.random_range(0..case.terminals.len())].clone();
+            let roll: f64 = rng.random();
+            if roll < 0.5 {
+                let i = rng.random_range(0..tokens.len());
+                case.edits.push((2 * i, 1, pick.clone()));
+                tokens[i] = pick;
+            } else if roll < 0.8 {
+                let i = rng.random_range(0..tokens.len() + 1);
+                if i == tokens.len() {
+                    case.edits.push((2 * i - 1, 0, format!(" {pick}")));
+                } else {
+                    case.edits.push((2 * i, 0, format!("{pick} ")));
+                }
+                tokens.insert(i, pick);
+            } else if tokens.len() > 1 {
+                let i = rng.random_range(0..tokens.len());
+                if i + 1 == tokens.len() {
+                    case.edits.push((2 * i - 1, 2, String::new()));
+                } else {
+                    case.edits.push((2 * i, 2, String::new()));
+                }
+                tokens.remove(i);
+            }
+        }
+    }
+    case
+}
+
+/// Minimal terminal yield of each nonterminal (a large sentinel for
+/// unproductive ones), by fixpoint.
+fn min_yields(g: &Grammar) -> Vec<usize> {
+    const BIG: usize = usize::MAX / 8;
+    let mut my = vec![BIG; g.num_nonterminals()];
+    loop {
+        let mut changed = false;
+        for (_, p) in g.productions() {
+            let cost = p.rhs().iter().fold(0usize, |acc, s| {
+                acc.saturating_add(match s {
+                    Symbol::T(_) => 1,
+                    Symbol::N(n) => my[n.index()],
+                })
+            });
+            if cost < my[p.lhs().index()] {
+                my[p.lhs().index()] = cost;
+                changed = true;
+            }
+        }
+        if !changed {
+            return my;
+        }
+    }
+}
+
+/// Random leftmost derivation from the start symbol, steered toward
+/// minimal-yield productions once `cap` tokens are in sight.
+fn derive_sentence(g: &Grammar, rng: &mut StdRng, cap: usize) -> Option<Vec<Terminal>> {
+    let my = min_yields(g);
+    let prod_cost = |p: wg_grammar::ProdId| {
+        g.production(p).rhs().iter().fold(0usize, |acc, s| {
+            acc.saturating_add(match s {
+                Symbol::T(_) => 1,
+                Symbol::N(n) => my[n.index()],
+            })
+        })
+    };
+    let mut out = Vec::new();
+    let mut stack = vec![Symbol::N(g.start())];
+    let mut steps = 0usize;
+    while let Some(sym) = stack.pop() {
+        steps += 1;
+        if steps > 10_000 {
+            return None; // unproductive corner (possible via random extras)
+        }
+        match sym {
+            Symbol::T(t) => out.push(t),
+            Symbol::N(n) => {
+                let prods: Vec<_> = g.productions_for(n).collect();
+                if prods.is_empty() {
+                    return None;
+                }
+                let pending: usize = stack
+                    .iter()
+                    .map(|s| match s {
+                        Symbol::T(_) => 1,
+                        Symbol::N(m) => my[m.index()],
+                    })
+                    .sum();
+                let pick = if out.len() + pending >= cap {
+                    *prods.iter().min_by_key(|&&p| prod_cost(p))?
+                } else {
+                    prods[rng.random_range(0..prods.len())]
+                };
+                for s in g.production(pick).rhs().iter().rev() {
+                    stack.push(*s);
+                }
+            }
+        }
+        if out.len() > cap * 4 {
+            return None;
+        }
+    }
+    Some(out)
+}
+
+// --- minimization -----------------------------------------------------------
+
+/// Greedy delta debugging over the corpus text: repeatedly drop production
+/// lines, RHS symbols, edit steps, and document tokens, keeping every
+/// mutation under which `fails` still returns true. The offline proptest
+/// shim cannot shrink, so the harness carries its own minimizer; failures
+/// reach the corpus (and CI logs) already small.
+pub fn minimize_with(source: &str, fails: &dyn Fn(&str) -> bool) -> String {
+    let mut cur = source.to_string();
+    loop {
+        let mut progressed = false;
+
+        // Drop whole prod/edit lines.
+        'lines: loop {
+            let lines: Vec<&str> = cur.lines().collect();
+            for i in 0..lines.len() {
+                if lines[i].starts_with("prod ") || lines[i].starts_with("edit ") {
+                    let cand = lines
+                        .iter()
+                        .enumerate()
+                        .filter(|&(j, _)| j != i)
+                        .map(|(_, l)| *l)
+                        .collect::<Vec<_>>()
+                        .join("\n");
+                    if fails(&cand) {
+                        cur = cand;
+                        progressed = true;
+                        continue 'lines;
+                    }
+                }
+            }
+            break;
+        }
+
+        // Drop single RHS symbols from productions.
+        'syms: loop {
+            let lines: Vec<String> = cur.lines().map(String::from).collect();
+            for (i, line) in lines.iter().enumerate() {
+                let Some(rest) = line.strip_prefix("prod ") else {
+                    continue;
+                };
+                let Some((lhs, rhs)) = rest.split_once("->") else {
+                    continue;
+                };
+                let syms: Vec<&str> = rhs.split_whitespace().collect();
+                for k in 0..syms.len() {
+                    let mut kept: Vec<&str> = syms.clone();
+                    kept.remove(k);
+                    let mut cand_lines = lines.clone();
+                    cand_lines[i] = format!("prod {} -> {}", lhs.trim(), kept.join(" "));
+                    let cand = cand_lines.join("\n");
+                    if fails(&cand) {
+                        cur = cand;
+                        progressed = true;
+                        continue 'syms;
+                    }
+                }
+            }
+            break;
+        }
+
+        // Shrink the document, ddmin-style: halves first, then tokens.
+        'doc: loop {
+            let lines: Vec<String> = cur.lines().map(String::from).collect();
+            let Some(i) = lines.iter().position(|l| l.starts_with("doc ")) else {
+                break;
+            };
+            let toks: Vec<&str> = lines[i][4..].split_whitespace().collect();
+            let mut chunk = (toks.len() / 2).max(1);
+            while chunk >= 1 {
+                let mut at = 0;
+                while at < toks.len() {
+                    let kept: Vec<&str> = toks
+                        .iter()
+                        .enumerate()
+                        .filter(|&(j, _)| j < at || j >= at + chunk)
+                        .map(|(_, t)| *t)
+                        .collect();
+                    let mut cand_lines = lines.clone();
+                    if kept.is_empty() {
+                        cand_lines.remove(i);
+                    } else {
+                        cand_lines[i] = format!("doc {}", kept.join(" "));
+                    }
+                    let cand = cand_lines.join("\n");
+                    if fails(&cand) {
+                        cur = cand;
+                        progressed = true;
+                        continue 'doc;
+                    }
+                    at += chunk;
+                }
+                if chunk == 1 {
+                    break;
+                }
+                chunk /= 2;
+            }
+            break;
+        }
+
+        if !progressed {
+            return cur;
+        }
+    }
+}
+
+/// The divergence stage `source` currently fails with, if any.
+pub fn failure_stage(source: &str) -> Option<&'static str> {
+    let case = Case::parse(source).ok()?;
+    check_case(&case).err().map(|d| d.stage)
+}
+
+/// Minimizes a failing case, holding the divergence *stage* fixed so the
+/// shrink cannot wander to an unrelated failure (or to garbage that merely
+/// fails to build).
+pub fn minimize(source: &str) -> String {
+    match failure_stage(source) {
+        Some(stage) => minimize_with(source, &|s| failure_stage(s) == Some(stage)),
+        None => source.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_format_round_trips() {
+        let case = random_case(GrammarClass::Ambiguous, 3);
+        let reparsed = Case::parse(&case.to_source()).unwrap();
+        assert_eq!(case, reparsed);
+    }
+
+    #[test]
+    fn generated_documents_derive_from_their_grammar() {
+        for class in GrammarClass::all() {
+            for seed in 0..10 {
+                let case = random_case(class, seed);
+                if case.doc.is_empty() {
+                    continue;
+                }
+                let g = case.build_grammar().unwrap();
+                let toks = case.tokens(&g).unwrap();
+                assert!(
+                    EarleyParser::new(&g).recognize(&toks),
+                    "{class} seed {seed}: derived doc must be in the language\n{}",
+                    case.to_source()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dag_count_matches_earley_on_catalan_ambiguity() {
+        // E -> E + E | num over n operators has Catalan(n) parses.
+        let src = "terminals + n\nstart E\nprod E -> E + E\nprod E -> n\ndoc n + n + n + n";
+        let case = Case::parse(src).unwrap();
+        let outcome = check_case(&case).unwrap();
+        assert_eq!(outcome.parse_count, Some(5), "Catalan(3) = 5");
+    }
+
+    #[test]
+    fn cyclic_grammar_is_refused_not_hung() {
+        let src = "terminals a\nstart A\nprod A -> B\nprod B -> A\nprod B -> a\ndoc a";
+        let outcome = check_case(&Case::parse(src).unwrap()).unwrap();
+        assert!(outcome.table_refused);
+        assert!(outcome.accepted, "Earley still recognizes the document");
+    }
+
+    #[test]
+    fn minimizer_shrinks_under_a_synthetic_predicate() {
+        let case = random_case(GrammarClass::Lr1, 9);
+        let src = case.to_source();
+        // Predicate: "still parses as a case and still has >= 1 prod with
+        // terminal 'a' somewhere" — minimal form is tiny.
+        let fails = |s: &str| {
+            Case::parse(s)
+                .is_ok_and(|c| c.prods.iter().any(|(_, rhs)| rhs.iter().any(|x| x == "a")))
+        };
+        if !fails(&src) {
+            return; // this seed has no 'a' production; nothing to test
+        }
+        let small = minimize_with(&src, &fails);
+        assert!(fails(&small));
+        assert!(small.len() <= src.len());
+    }
+
+    #[test]
+    fn quick_sweep_is_clean() {
+        // The smoke tier: a handful of seeds per class through the full
+        // differential; CI's fuzz job runs the large sweep.
+        for class in GrammarClass::all() {
+            for seed in 0..12 {
+                let case = random_case(class, seed);
+                if let Err(d) = check_case(&case) {
+                    panic!("{class} seed {seed}: {d}\n{}", case.to_source());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Replays every persisted corpus case through the full differential, and
+//! cross-checks the shipped grammars' packed tables against the reference
+//! build. This is the CI-facing face of the fuzz harness: any failure a
+//! random sweep ever found (and minimized into `corpus/`) stays fixed.
+
+use std::path::PathBuf;
+use wg_fuzz::{check_case, diff_tables, Case};
+use wg_lrtable::{LrTable, TableKind};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+#[test]
+fn every_corpus_case_replays_clean() {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("corpus directory must exist")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "txt"))
+        .collect();
+    paths.sort();
+    assert!(
+        !paths.is_empty(),
+        "corpus must hold at least the seed cases"
+    );
+    for path in paths {
+        let src = std::fs::read_to_string(&path).unwrap();
+        let case = Case::parse(&src)
+            .unwrap_or_else(|e| panic!("{}: unparseable corpus case: {e}", path.display()));
+        if let Err(d) = check_case(&case) {
+            panic!("{}: {d}", path.display());
+        }
+    }
+}
+
+#[test]
+fn corpus_seed_cases_hit_their_intended_stages() {
+    let cyclic = std::fs::read_to_string(corpus_dir().join("cyclic-grammar-refused.txt")).unwrap();
+    let out = check_case(&Case::parse(&cyclic).unwrap()).unwrap();
+    assert!(out.table_refused, "cyclic grammar must be refused");
+    assert!(out.accepted, "Earley must still recognize the document");
+
+    let nonassoc =
+        std::fs::read_to_string(corpus_dir().join("nonassoc-default-reduce.txt")).unwrap();
+    let out = check_case(&Case::parse(&nonassoc).unwrap()).unwrap();
+    assert!(!out.table_refused);
+    assert!(out.accepted, "num - num parses under nonassoc");
+    assert_eq!(out.edits_replayed, 1, "the rejecting edit must be replayed");
+}
+
+#[test]
+fn shipped_grammar_tables_match_reference_build() {
+    let shipped: Vec<(&str, wg_grammar::Grammar)> = vec![
+        ("simp_c", wg_langs::simp_c().grammar().clone()),
+        ("simp_cpp", wg_langs::simp_cpp().grammar().clone()),
+        ("simp_c_det", wg_langs::simp_c_det().grammar().clone()),
+        ("simp_modula", wg_langs::simp_modula().grammar().clone()),
+        ("toy_expr", wg_langs::toys::ambiguous_expr(true)),
+        ("toy_expr_bare", wg_langs::toys::ambiguous_expr(false)),
+        ("toy_lr2", wg_langs::toys::fig7_lr2()),
+        ("full_c", wg_langs::full_c().grammar().clone()),
+    ];
+    for (name, g) in shipped {
+        let t = LrTable::try_build(&g, TableKind::Lalr)
+            .unwrap_or_else(|e| panic!("{name}: table build failed: {e}"));
+        if let Err(d) = diff_tables(&g, &t) {
+            panic!("{name}: {d}");
+        }
+    }
+}

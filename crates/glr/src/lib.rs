@@ -58,5 +58,5 @@ mod scratch;
 
 pub use gss::{Gss, GssIdx, Link};
 pub use merge::{build_reduction_node, MergeTables};
-pub use parser::{ps, sid, GlrParser, ParseError, TablePolicy};
+pub use parser::{ps, same_derivation, same_structure, sid, GlrParser, ParseError, TablePolicy};
 pub use scratch::ParseScratch;

@@ -254,8 +254,21 @@ impl MergeTables {
                 (node, None)
             }
             Some(existing) if existing == node => (node, None),
+            // A structurally identical re-derivation (fresh ε instances
+            // from a different round defeat id comparison) must not pack
+            // as spurious ambiguity.
+            Some(existing) if crate::parser::same_structure(arena, existing, node) => {
+                (existing, None)
+            }
             Some(existing) => {
                 if matches!(arena.kind(existing), NodeKind::Symbol { .. }) {
+                    if arena
+                        .kids(existing)
+                        .iter()
+                        .any(|&alt| crate::parser::same_structure(arena, alt, node))
+                    {
+                        return (existing, None);
+                    }
                     arena.add_choice(existing, node);
                     (existing, None)
                 } else {

@@ -18,6 +18,74 @@ pub fn ps(s: StateId) -> ParseState {
     ParseState(s.0)
 }
 
+/// Whether `cand` is a production node for `rule` over `kids` up to
+/// structural equality — the cross-round re-derivation test. Identical
+/// `NodeId`s short-circuit; only production spines are compared deeper,
+/// which bounds the walk to the freshly rebuilt (typically ε) fringe.
+pub fn same_derivation(
+    arena: &DagArena,
+    cand: NodeId,
+    rule: wg_grammar::ProdId,
+    kids: &[NodeId],
+) -> bool {
+    match arena.kind(cand) {
+        wg_dag::NodeKind::Production { prod } if *prod == rule => {
+            let ck = arena.kids(cand);
+            let mut memo = FxHashMap::default();
+            ck.len() == kids.len()
+                && ck
+                    .iter()
+                    .zip(kids)
+                    .all(|(&a, &b)| same_structure_memo(arena, a, b, &mut memo))
+        }
+        _ => false,
+    }
+}
+
+/// Structural node equality: identical ids, or production nodes of the
+/// same rule with structurally equal kids. Distinct symbol/terminal nodes
+/// never compare equal (conservative — may miss a dedup, never invents
+/// one).
+pub fn same_structure(arena: &DagArena, a: NodeId, b: NodeId) -> bool {
+    let mut memo = FxHashMap::default();
+    same_structure_memo(arena, a, b, &mut memo)
+}
+
+/// [`same_structure`] with pairwise memoization. Production spines share
+/// subtrees heavily, so the naive recursion revisits the same
+/// distinct-but-equal pair exponentially often on ambiguous forests; the
+/// memo makes one comparison linear in the number of reachable node
+/// pairs. The memo is per top-level call because proxy upgrades mutate
+/// nodes in place between reductions.
+fn same_structure_memo(
+    arena: &DagArena,
+    a: NodeId,
+    b: NodeId,
+    memo: &mut FxHashMap<(NodeId, NodeId), bool>,
+) -> bool {
+    if a == b {
+        return true;
+    }
+    if let Some(&hit) = memo.get(&(a, b)) {
+        return hit;
+    }
+    let eq = match (arena.kind(a), arena.kind(b)) {
+        (wg_dag::NodeKind::Production { prod: pa }, wg_dag::NodeKind::Production { prod: pb })
+            if pa == pb =>
+        {
+            let (ka, kb) = (arena.kids(a), arena.kids(b));
+            ka.len() == kb.len()
+                && ka
+                    .iter()
+                    .zip(kb)
+                    .all(|(&x, &y)| same_structure_memo(arena, x, y, memo))
+        }
+        _ => false,
+    };
+    memo.insert((a, b), eq);
+    eq
+}
+
 /// Converts a dag parse-state annotation back to an LR state, if it is
 /// deterministic.
 #[inline]
@@ -292,6 +360,21 @@ impl Run<'_> {
         }
     }
 
+    /// Re-queues every parser in the current frontier for another actor
+    /// pass. Called when a reduction adds a new GSS link to a node that was
+    /// already processed: reduction paths of *other* parsers may traverse
+    /// that node, so re-activating only the link's owner would drop
+    /// interpretations. Idempotent per round via `queued`.
+    fn reactivate_frontier(&mut self) {
+        for i in 0..self.active.len() {
+            let m = self.active[i];
+            if !self.queued.contains(&m) {
+                self.for_actor.push(m);
+                self.queued.insert(m);
+            }
+        }
+    }
+
     /// Resolves a dag node through any proxy upgrades of this round.
     fn resolve(&self, mut n: NodeId) -> NodeId {
         while let Some(&next) = self.forward.get(&n) {
@@ -484,14 +567,21 @@ impl Run<'_> {
                 if label == node {
                     return; // idempotent re-derivation
                 }
-                // A fast-path node is not in the merge tables; an identical
-                // re-derivation must not be packed as spurious ambiguity.
-                if let wg_dag::NodeKind::Production { prod } = arena.kind(label) {
-                    if *prod == rule && arena.kids(label) == &self.path_slab[range] {
-                        return;
-                    }
+                // A re-derivation from a previous round is not in this
+                // round's merge tables, so `node` is a fresh instance of a
+                // derivation the forest may already hold — with fresh ε
+                // subtree instances too, which defeats plain kid-identity
+                // comparison. Structural comparison keeps it from being
+                // packed as spurious ambiguity.
+                if same_derivation(arena, label, rule, &self.path_slab[range.clone()]) {
+                    return;
                 }
                 if matches!(arena.kind(label), wg_dag::NodeKind::Symbol { .. }) {
+                    if arena.kids(label).iter().any(|&alt| {
+                        same_derivation(arena, alt, rule, &self.path_slab[range.clone()])
+                    }) {
+                        return;
+                    }
                     arena.add_choice(label, node);
                 } else {
                     let sym = arena.symbol(lhs, label);
@@ -514,12 +604,14 @@ impl Run<'_> {
                         node: label,
                     },
                 );
-                // The new link may enable reductions for parsers already
-                // processed this round: re-activate them (idempotent).
-                if !self.queued.contains(&p) {
-                    self.for_actor.push(p);
-                    self.queued.insert(p);
-                }
+                // The new link can enable reduction paths not just for `p`
+                // but for any parser whose paths run *through* `p` (Rekers'
+                // limited reducer re-runs those through the new link; e.g.
+                // trailing ε-reductions in `N -> A A A; A -> x | ε`, where
+                // the (x, ε, ε) alternative only appears once the ε-chain
+                // links exist). Re-activate the whole frontier — the merge
+                // tables and choice packing make re-derivations no-ops.
+                self.reactivate_frontier();
             }
         } else {
             let (label, replaced) = self.merge.get_symbol_node(arena, lhs, node);

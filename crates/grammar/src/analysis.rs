@@ -168,6 +168,81 @@ impl GrammarAnalysis {
     pub fn first_contains(&self, n: NonTerminal, t: Terminal) -> bool {
         self.first[n.index()].contains(t)
     }
+
+    /// Nonterminals `A` reachable from the start symbol with `A =>+ A` — a
+    /// *cycle* in the grammar. A cyclic nonterminal derives itself through
+    /// unit steps `A -> α B β` where `α` and `β` are nullable, which makes
+    /// every sentence it covers infinitely ambiguous: a GLR parse forest
+    /// cannot represent the unbounded derivation family, and the reduction
+    /// worklist re-derives `A` forever. Table construction refuses such
+    /// grammars (`wg-lrtable`'s `TableBuildError::CyclicGrammar`); Earley
+    /// recognition still handles them.
+    pub fn cyclic_nonterminals(&self, g: &Grammar) -> Vec<NonTerminal> {
+        let n = g.num_nonterminals();
+        // Reachability from the (augmented) start symbol.
+        let mut reachable = vec![false; n];
+        reachable[NonTerminal::AUGMENTED_START.index()] = true;
+        reachable[g.start().index()] = true;
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (_, p) in g.productions() {
+                if !reachable[p.lhs().index()] {
+                    continue;
+                }
+                for s in p.rhs() {
+                    if let Symbol::N(m) = s {
+                        if !reachable[m.index()] {
+                            reachable[m.index()] = true;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        // Unit-derivation edges A -> B (everything around B nullable).
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (_, p) in g.productions() {
+            let rhs = p.rhs();
+            for (i, s) in rhs.iter().enumerate() {
+                let Symbol::N(b) = s else { continue };
+                let rest_nullable = rhs.iter().enumerate().all(|(j, t)| {
+                    j == i
+                        || match t {
+                            Symbol::T(_) => false,
+                            Symbol::N(m) => self.nullable[m.index()],
+                        }
+                });
+                if rest_nullable {
+                    edges[p.lhs().index()].push(b.index());
+                }
+            }
+        }
+        // A is cyclic iff A is reachable from itself through >= 1 edge.
+        let mut out = Vec::new();
+        for a in 0..n {
+            if !reachable[a] {
+                continue;
+            }
+            let mut seen = vec![false; n];
+            let mut stack: Vec<usize> = edges[a].clone();
+            let mut cyclic = false;
+            while let Some(v) = stack.pop() {
+                if v == a {
+                    cyclic = true;
+                    break;
+                }
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.extend_from_slice(&edges[v]);
+                }
+            }
+            if cyclic {
+                out.push(NonTerminal::from_index(a));
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -252,6 +327,98 @@ mod tests {
         let (set, nullable) = a.first_of_string(&g, &[]);
         assert!(nullable);
         assert!(set.is_empty());
+    }
+
+    #[test]
+    fn unit_cycle_is_detected() {
+        // A -> A | x : the direct self-derivation.
+        let mut b = GrammarBuilder::new("cyc");
+        let x = b.terminal("x");
+        let a = b.nonterminal("A");
+        b.prod(a, vec![Symbol::N(a)]);
+        b.prod(a, vec![Symbol::T(x)]);
+        b.start(a);
+        let g = b.build().unwrap();
+        let an = GrammarAnalysis::new(&g);
+        let cyc = an.cyclic_nonterminals(&g);
+        assert_eq!(cyc.len(), 1);
+        assert_eq!(g.nonterminal_name(cyc[0]), "A");
+    }
+
+    #[test]
+    fn nullable_mediated_cycle_is_detected() {
+        // S -> A S B | x ; A -> ε ; B -> ε : S =>+ S through nullable ends.
+        let mut b = GrammarBuilder::new("cyc2");
+        let x = b.terminal("x");
+        let s = b.nonterminal("S");
+        let a = b.nonterminal("A");
+        let bb = b.nonterminal("B");
+        b.prod(s, vec![Symbol::N(a), Symbol::N(s), Symbol::N(bb)]);
+        b.prod(s, vec![Symbol::T(x)]);
+        b.prod(a, vec![]);
+        b.prod(bb, vec![]);
+        b.start(s);
+        let g = b.build().unwrap();
+        let an = GrammarAnalysis::new(&g);
+        let cyc = an.cyclic_nonterminals(&g);
+        assert_eq!(cyc.len(), 1);
+        assert_eq!(g.nonterminal_name(cyc[0]), "S");
+    }
+
+    #[test]
+    fn mutual_unit_cycle_is_detected() {
+        // A -> B ; B -> A | x.
+        let mut b = GrammarBuilder::new("cyc3");
+        let x = b.terminal("x");
+        let a = b.nonterminal("A");
+        let bn = b.nonterminal("B");
+        b.prod(a, vec![Symbol::N(bn)]);
+        b.prod(bn, vec![Symbol::N(a)]);
+        b.prod(bn, vec![Symbol::T(x)]);
+        b.start(a);
+        let g = b.build().unwrap();
+        let an = GrammarAnalysis::new(&g);
+        let names: Vec<&str> = an
+            .cyclic_nonterminals(&g)
+            .iter()
+            .map(|&n| g.nonterminal_name(n))
+            .collect();
+        assert_eq!(names, ["A", "B"]);
+    }
+
+    #[test]
+    fn recursion_through_terminals_is_not_a_cycle() {
+        // Ordinary left/right recursion is not a cycle: the recursive step
+        // consumes input. The dragon grammar is recursion-heavy but acyclic.
+        let (g, a) = dragon();
+        assert!(a.cyclic_nonterminals(&g).is_empty());
+        // E -> ( E ) | x likewise.
+        let mut b = GrammarBuilder::new("paren");
+        let lp = b.terminal("(");
+        let rp = b.terminal(")");
+        let x = b.terminal("x");
+        let e = b.nonterminal("E");
+        b.prod(e, vec![Symbol::T(lp), Symbol::N(e), Symbol::T(rp)]);
+        b.prod(e, vec![Symbol::T(x)]);
+        b.start(e);
+        let g = b.build().unwrap();
+        let an = GrammarAnalysis::new(&g);
+        assert!(an.cyclic_nonterminals(&g).is_empty());
+    }
+
+    #[test]
+    fn unreachable_cycles_are_ignored() {
+        // Dead -> Dead is a cycle, but no input can ever reach it.
+        let mut b = GrammarBuilder::new("dead");
+        let x = b.terminal("x");
+        let s = b.nonterminal("S");
+        let dead = b.nonterminal("Dead");
+        b.prod(s, vec![Symbol::T(x)]);
+        b.prod(dead, vec![Symbol::N(dead)]);
+        b.start(s);
+        let g = b.build().unwrap();
+        let an = GrammarAnalysis::new(&g);
+        assert!(an.cyclic_nonterminals(&g).is_empty());
     }
 
     #[test]

@@ -216,6 +216,11 @@ impl Grammar {
                 .filter(|&i| !used_terminal[i])
                 .map(|i| self.terminal_names[i].clone())
                 .collect(),
+            cyclic: crate::GrammarAnalysis::new(self)
+                .cyclic_nonterminals(self)
+                .into_iter()
+                .map(|n| self.nonterminal_name(n).to_string())
+                .collect(),
         }
     }
 
@@ -329,6 +334,9 @@ pub struct ValidationReport {
     pub unproductive: Vec<String>,
     /// Terminals mentioned by no production.
     pub unused_terminals: Vec<String>,
+    /// Nonterminals `A` with `A =>+ A` (infinitely ambiguous; table
+    /// construction refuses these grammars).
+    pub cyclic: Vec<String>,
 }
 
 impl ValidationReport {
@@ -337,6 +345,7 @@ impl ValidationReport {
         self.unreachable.is_empty()
             && self.unproductive.is_empty()
             && self.unused_terminals.is_empty()
+            && self.cyclic.is_empty()
     }
 }
 

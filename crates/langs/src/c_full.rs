@@ -1,0 +1,1193 @@
+//! `full_c` — a full-scale C11 surface grammar (no preprocessor phase).
+//!
+//! Where [`crate::simp_c`] is the paper's Appendix B *fragment*, this module
+//! carries the whole C11 phrase grammar (ISO/IEC 9899:2011 Annex A, §6.5–6.9):
+//! the complete declarator/abstract-declarator language, struct/union/enum
+//! bodies with bitfields, designated initializers, the full 13-level
+//! expression cascade, `_Generic`, `_Alignas`/`_Alignof`, `_Atomic`,
+//! `_Static_assert`, K&R parameter declarations, and every statement form.
+//! It exists to exercise the packed-table and incremental machinery at real
+//! language scale: hundreds of productions and thousands of LALR(1) states.
+//!
+//! Design decisions that matter to the parsers:
+//!
+//! * **Token model is post-preprocessing.** Unlike `simp_c` there is no
+//!   "skip `#...` lines" rule: `#` and `##` are genuine phrase-level
+//!   terminals (C11 §6.4.6) that no phrase production mentions, because
+//!   preprocessing would have consumed them. They are *real but never
+//!   shifted*, so their ACTION columns are all-error and merge into one
+//!   terminal class — the live column-merging case the packed encoding is
+//!   designed for. (Two terminals that are each shifted somewhere can never
+//!   have byte-identical columns: distinct LR(0) cores imply distinct shift
+//!   targets.) A source document containing `#` fails to parse by design.
+//! * **Digraphs lex to their primary tokens** (`<:` → `[`, `%:` → `#`, …;
+//!   C11 §6.4.6p3), so the grammar never sees them.
+//! * **The typedef ambiguity is kept.** `typedef_name : id` is a classifier
+//!   production, so `a * b ;` is both a declaration and an expression
+//!   statement, `(a) + b` is both a cast and an addition, and
+//!   `sizeof ( a )` is both forms of `sizeof`. These survive as LALR
+//!   conflicts (spilled packed cells) that the GLR/IGLR parsers fork on,
+//!   exactly as the paper prescribes for C (Section 4.2).
+//! * **Dangling `else` is factored away** (`matched_statement` /
+//!   `open_statement`), not forked: nested `if` chains in generated
+//!   multi-thousand-line documents would otherwise produce Catalan-sized
+//!   forests that swamp the measurements this grammar exists for.
+
+use std::collections::HashMap;
+
+use wg_core::{SessionConfig, SessionError};
+use wg_grammar::{Grammar, GrammarBuilder, SeqKind, Symbol};
+use wg_lexer::LexerDef;
+
+/// The 44 C11 keywords (C89's 32, C99's 5, C11's 7).
+pub const KEYWORDS: &[&str] = &[
+    // C89.
+    "auto",
+    "break",
+    "case",
+    "char",
+    "const",
+    "continue",
+    "default",
+    "do",
+    "double",
+    "else",
+    "enum",
+    "extern",
+    "float",
+    "for",
+    "goto",
+    "if",
+    "int",
+    "long",
+    "register",
+    "return",
+    "short",
+    "signed",
+    "sizeof",
+    "static",
+    "struct",
+    "switch",
+    "typedef",
+    "union",
+    "unsigned",
+    "void",
+    "volatile",
+    "while", // C99.
+    "inline",
+    "restrict",
+    "_Bool",
+    "_Complex",
+    "_Imaginary", // C11.
+    "_Alignas",
+    "_Alignof",
+    "_Atomic",
+    "_Generic",
+    "_Noreturn",
+    "_Static_assert",
+    "_Thread_local",
+];
+
+/// The 46 shiftable punctuators (C11 §6.4.6, minus `#`/`##` and digraphs).
+pub const PUNCTUATORS: &[&str] = &[
+    "[", "]", "(", ")", "{", "}", ".", "->", "++", "--", "&", "*", "+", "-", "~", "!", "/", "%",
+    "<<", ">>", "<", ">", "<=", ">=", "==", "!=", "^", "|", "&&", "||", "?", ":", ";", "...", "=",
+    "*=", "/=", "%=", "+=", "-=", "<<=", ">>=", "&=", "^=", "|=", ",", "::",
+];
+
+/// GNU C extension keywords (the dialect every real C corpus uses): inline
+/// assembly, attributes, `typeof`, local labels, and the builtin operators
+/// with special syntax.
+pub const GNU_KEYWORDS: &[&str] = &[
+    "asm",
+    "typeof",
+    "__attribute__",
+    "__label__",
+    "__extension__",
+    "__thread",
+    "__real__",
+    "__imag__",
+    "__real",
+    "__imag",
+    "__builtin_va_arg",
+    "__builtin_offsetof",
+    "__builtin_choose_expr",
+    "__builtin_types_compatible_p",
+    "__builtin_convertvector",
+    "__transaction_atomic",
+    "__transaction_relaxed",
+    "__transaction_cancel",
+];
+
+/// C23 keywords (N3096): first-class `bool`/`true`/`false`/`nullptr`,
+/// `constexpr`, the spelled-out alignment/assert/thread keywords,
+/// `typeof_unqual`, bit-precise integers, and decimal floats.
+pub const C23_KEYWORDS: &[&str] = &[
+    "bool",
+    "true",
+    "false",
+    "nullptr",
+    "constexpr",
+    "alignas",
+    "alignof",
+    "static_assert",
+    "thread_local",
+    "typeof_unqual",
+    "_BitInt",
+    "_Decimal32",
+    "_Decimal64",
+    "_Decimal128",
+];
+
+/// Microsoft dialect keywords (parsed by clang/MSVC): `__declspec`,
+/// calling conventions, sized integers, and structured exception handling.
+pub const MS_KEYWORDS: &[&str] = &[
+    "__declspec",
+    "__cdecl",
+    "__stdcall",
+    "__fastcall",
+    "__vectorcall",
+    "__unaligned",
+    "__int8",
+    "__int16",
+    "__int32",
+    "__int64",
+    "__try",
+    "__except",
+    "__finally",
+    "__leave",
+    "__pragma",
+    "__forceinline",
+    "__ptr32",
+    "__ptr64",
+    "__sptr",
+    "__uptr",
+    "__w64",
+    "__assume",
+];
+
+/// gcc's reserved-namespace alias spellings (usable even with
+/// `-std=c89 -pedantic`), plus `__auto_type` and the TS 18661 `_FloatN`
+/// interchange types. Each is a distinct token, not a lexer alias, exactly
+/// as in gcc's own keyword table.
+pub const ALIAS_KEYWORDS: &[&str] = &[
+    "__asm",
+    "__asm__",
+    "__typeof",
+    "__typeof__",
+    "__alignof",
+    "__alignof__",
+    "__inline",
+    "__inline__",
+    "__restrict",
+    "__restrict__",
+    "__volatile__",
+    "__const__",
+    "__signed__",
+    "__complex__",
+    "__auto_type",
+    "_Float16",
+    "_Float32",
+    "_Float64",
+    "_Float128",
+    "_Float32x",
+    "_Float64x",
+];
+
+/// Phrase-level tokens that exist (C11 §6.4.6) but are shifted by no
+/// production: preprocessing consumed them before phrase analysis. Their
+/// all-error ACTION columns merge into a single terminal class.
+pub const NEVER_SHIFTED: &[&str] = &["#", "##"];
+
+/// Value-carrying token kinds (lexer rules rather than literals).
+pub const VALUE_TOKENS: &[&str] = &["id", "num", "fnum", "str", "chr"];
+
+/// The C11 phrase productions, yacc-style: `(lhs, space-separated rhs)`.
+/// An RHS symbol naming a terminal (keyword, punctuator, or value token)
+/// denotes that terminal; anything else is a nonterminal. `translation_unit`
+/// and `block_item_list` are declared separately as associative sequences
+/// (balanced internal structure for incremental reuse) and are not listed.
+#[rustfmt::skip]
+const RULES: &[(&str, &str)] = &[
+    // §6.9 External definitions (K&R declaration lists included).
+    ("external_declaration", "function_definition"),
+    ("external_declaration", "declaration"),
+    ("function_definition", "declaration_specifiers declarator compound_statement"),
+    ("function_definition", "declaration_specifiers declarator declaration_list compound_statement"),
+    ("declaration_list", "declaration"),
+    ("declaration_list", "declaration_list declaration"),
+
+    // §6.7 Declarations.
+    // C11 6.7p2: a declaration with no declarators must declare a tag (or
+    // enum members). Encoding that constraint — the last specifier must be a
+    // struct/union/enum specifier — keeps `int x ;` unambiguous: without it,
+    // `x` could also parse as a trailing typedef_name specifier with no
+    // declarator, forking EVERY plain declaration in a document.
+    ("declaration", "tag_declaration ;"),
+    ("declaration", "declaration_specifiers init_declarator_list ;"),
+    ("declaration", "static_assert_declaration"),
+    ("tag_declaration", "struct_or_union_specifier"),
+    ("tag_declaration", "enum_specifier"),
+    ("tag_declaration", "declaration_specifiers struct_or_union_specifier"),
+    ("tag_declaration", "declaration_specifiers enum_specifier"),
+    ("static_assert_declaration", "_Static_assert ( conditional_expression , string_literal ) ;"),
+    ("declaration_specifiers", "declaration_specifier"),
+    ("declaration_specifiers", "declaration_specifiers declaration_specifier"),
+    ("declaration_specifier", "storage_class_specifier"),
+    ("declaration_specifier", "type_specifier"),
+    ("declaration_specifier", "type_qualifier"),
+    ("declaration_specifier", "function_specifier"),
+    ("declaration_specifier", "alignment_specifier"),
+    ("storage_class_specifier", "typedef"),
+    ("storage_class_specifier", "extern"),
+    ("storage_class_specifier", "static"),
+    ("storage_class_specifier", "_Thread_local"),
+    ("storage_class_specifier", "auto"),
+    ("storage_class_specifier", "register"),
+    ("type_specifier", "void"),
+    ("type_specifier", "char"),
+    ("type_specifier", "short"),
+    ("type_specifier", "int"),
+    ("type_specifier", "long"),
+    ("type_specifier", "float"),
+    ("type_specifier", "double"),
+    ("type_specifier", "signed"),
+    ("type_specifier", "unsigned"),
+    ("type_specifier", "_Bool"),
+    ("type_specifier", "_Complex"),
+    ("type_specifier", "_Imaginary"),
+    ("type_specifier", "atomic_type_specifier"),
+    ("type_specifier", "struct_or_union_specifier"),
+    ("type_specifier", "enum_specifier"),
+    ("type_specifier", "typedef_name"),
+    // The classifier the typedef ambiguity lives in (Section 4.2).
+    ("typedef_name", "id"),
+    ("type_qualifier", "const"),
+    ("type_qualifier", "restrict"),
+    ("type_qualifier", "volatile"),
+    ("type_qualifier", "_Atomic"),
+    ("function_specifier", "inline"),
+    ("function_specifier", "_Noreturn"),
+    ("alignment_specifier", "_Alignas ( type_name )"),
+    ("alignment_specifier", "_Alignas ( conditional_expression )"),
+    ("atomic_type_specifier", "_Atomic ( type_name )"),
+
+    // §6.7.2.1 Struct and union specifiers (bitfields included).
+    ("struct_or_union_specifier", "struct_or_union { struct_declaration_list }"),
+    ("struct_or_union_specifier", "struct_or_union id { struct_declaration_list }"),
+    ("struct_or_union_specifier", "struct_or_union id"),
+    ("struct_or_union", "struct"),
+    ("struct_or_union", "union"),
+    ("struct_declaration_list", "struct_declaration"),
+    ("struct_declaration_list", "struct_declaration_list struct_declaration"),
+    // Same tag-last restriction as `declaration`: a member declaration with
+    // no declarators is an anonymous struct/union member (C11 6.7.2.1p13).
+    ("struct_declaration", "member_tag_declaration ;"),
+    ("struct_declaration", "specifier_qualifier_list struct_declarator_list ;"),
+    ("struct_declaration", "static_assert_declaration"),
+    ("member_tag_declaration", "struct_or_union_specifier"),
+    ("member_tag_declaration", "enum_specifier"),
+    ("member_tag_declaration", "type_specifier member_tag_declaration"),
+    ("member_tag_declaration", "type_qualifier member_tag_declaration"),
+    ("member_tag_declaration", "alignment_specifier member_tag_declaration"),
+    ("specifier_qualifier_list", "type_specifier"),
+    ("specifier_qualifier_list", "type_specifier specifier_qualifier_list"),
+    ("specifier_qualifier_list", "type_qualifier"),
+    ("specifier_qualifier_list", "type_qualifier specifier_qualifier_list"),
+    ("specifier_qualifier_list", "alignment_specifier"),
+    ("specifier_qualifier_list", "alignment_specifier specifier_qualifier_list"),
+    ("struct_declarator_list", "struct_declarator"),
+    ("struct_declarator_list", "struct_declarator_list , struct_declarator"),
+    ("struct_declarator", "declarator"),
+    ("struct_declarator", ": conditional_expression"),
+    ("struct_declarator", "declarator : conditional_expression"),
+
+    // §6.7.2.2 Enumeration specifiers (C99 trailing comma included).
+    ("enum_specifier", "enum { enumerator_list }"),
+    ("enum_specifier", "enum { enumerator_list , }"),
+    ("enum_specifier", "enum id { enumerator_list }"),
+    ("enum_specifier", "enum id { enumerator_list , }"),
+    ("enum_specifier", "enum id"),
+    ("enumerator_list", "enumerator"),
+    ("enumerator_list", "enumerator_list , enumerator"),
+    ("enumerator", "id"),
+    ("enumerator", "id = conditional_expression"),
+
+    // §6.7.6 Declarators.
+    ("init_declarator_list", "init_declarator"),
+    ("init_declarator_list", "init_declarator_list , init_declarator"),
+    ("init_declarator", "declarator"),
+    ("init_declarator", "declarator = initializer"),
+    ("declarator", "direct_declarator"),
+    ("declarator", "pointer direct_declarator"),
+    ("pointer", "*"),
+    ("pointer", "* type_qualifier_list"),
+    ("pointer", "* pointer"),
+    ("pointer", "* type_qualifier_list pointer"),
+    ("type_qualifier_list", "type_qualifier"),
+    ("type_qualifier_list", "type_qualifier_list type_qualifier"),
+    ("direct_declarator", "id"),
+    ("direct_declarator", "( declarator )"),
+    ("direct_declarator", "direct_declarator [ ]"),
+    ("direct_declarator", "direct_declarator [ assignment_expression ]"),
+    ("direct_declarator", "direct_declarator [ type_qualifier_list ]"),
+    ("direct_declarator", "direct_declarator [ type_qualifier_list assignment_expression ]"),
+    ("direct_declarator", "direct_declarator [ static assignment_expression ]"),
+    ("direct_declarator", "direct_declarator [ static type_qualifier_list assignment_expression ]"),
+    ("direct_declarator", "direct_declarator [ type_qualifier_list static assignment_expression ]"),
+    ("direct_declarator", "direct_declarator [ * ]"),
+    ("direct_declarator", "direct_declarator [ type_qualifier_list * ]"),
+    ("direct_declarator", "direct_declarator ( parameter_type_list )"),
+    ("direct_declarator", "direct_declarator ( )"),
+    ("direct_declarator", "direct_declarator ( identifier_list )"),
+    ("identifier_list", "id"),
+    ("identifier_list", "identifier_list , id"),
+    ("parameter_type_list", "parameter_list"),
+    ("parameter_type_list", "parameter_list , ..."),
+    ("parameter_list", "parameter_declaration"),
+    ("parameter_list", "parameter_list , parameter_declaration"),
+    ("parameter_declaration", "declaration_specifiers declarator"),
+    ("parameter_declaration", "declaration_specifiers abstract_declarator"),
+    ("parameter_declaration", "declaration_specifiers"),
+
+    // §6.7.7 Type names and abstract declarators.
+    ("type_name", "specifier_qualifier_list"),
+    ("type_name", "specifier_qualifier_list abstract_declarator"),
+    ("abstract_declarator", "pointer"),
+    ("abstract_declarator", "direct_abstract_declarator"),
+    ("abstract_declarator", "pointer direct_abstract_declarator"),
+    ("direct_abstract_declarator", "( abstract_declarator )"),
+    ("direct_abstract_declarator", "[ ]"),
+    ("direct_abstract_declarator", "[ assignment_expression ]"),
+    ("direct_abstract_declarator", "[ type_qualifier_list ]"),
+    ("direct_abstract_declarator", "[ type_qualifier_list assignment_expression ]"),
+    ("direct_abstract_declarator", "[ static assignment_expression ]"),
+    ("direct_abstract_declarator", "[ static type_qualifier_list assignment_expression ]"),
+    ("direct_abstract_declarator", "[ type_qualifier_list static assignment_expression ]"),
+    ("direct_abstract_declarator", "[ * ]"),
+    ("direct_abstract_declarator", "( )"),
+    ("direct_abstract_declarator", "( parameter_type_list )"),
+    ("direct_abstract_declarator", "direct_abstract_declarator [ ]"),
+    ("direct_abstract_declarator", "direct_abstract_declarator [ assignment_expression ]"),
+    ("direct_abstract_declarator", "direct_abstract_declarator [ type_qualifier_list ]"),
+    ("direct_abstract_declarator", "direct_abstract_declarator [ type_qualifier_list assignment_expression ]"),
+    ("direct_abstract_declarator", "direct_abstract_declarator [ static assignment_expression ]"),
+    ("direct_abstract_declarator", "direct_abstract_declarator [ static type_qualifier_list assignment_expression ]"),
+    ("direct_abstract_declarator", "direct_abstract_declarator [ type_qualifier_list static assignment_expression ]"),
+    ("direct_abstract_declarator", "direct_abstract_declarator [ * ]"),
+    ("direct_abstract_declarator", "direct_abstract_declarator ( )"),
+    ("direct_abstract_declarator", "direct_abstract_declarator ( parameter_type_list )"),
+
+    // §6.7.9 Initialization (designators included).
+    ("initializer", "assignment_expression"),
+    ("initializer", "{ initializer_list }"),
+    ("initializer", "{ initializer_list , }"),
+    ("initializer_list", "initializer"),
+    ("initializer_list", "designation initializer"),
+    ("initializer_list", "initializer_list , initializer"),
+    ("initializer_list", "initializer_list , designation initializer"),
+    ("designation", "designator_list ="),
+    ("designator_list", "designator"),
+    ("designator_list", "designator_list designator"),
+    ("designator", "[ conditional_expression ]"),
+    ("designator", ". id"),
+
+    // §6.5.1–6.5.3 Primary, postfix, and unary expressions.
+    ("primary_expression", "id"),
+    ("primary_expression", "num"),
+    ("primary_expression", "fnum"),
+    ("primary_expression", "chr"),
+    ("primary_expression", "string_literal"),
+    ("primary_expression", "( expression )"),
+    ("primary_expression", "generic_selection"),
+    // Adjacent string literals concatenate (translation phase 6).
+    ("string_literal", "str"),
+    ("string_literal", "string_literal str"),
+    ("generic_selection", "_Generic ( assignment_expression , generic_assoc_list )"),
+    ("generic_assoc_list", "generic_association"),
+    ("generic_assoc_list", "generic_assoc_list , generic_association"),
+    ("generic_association", "type_name : assignment_expression"),
+    ("generic_association", "default : assignment_expression"),
+    ("postfix_expression", "primary_expression"),
+    ("postfix_expression", "postfix_expression [ expression ]"),
+    ("postfix_expression", "postfix_expression ( )"),
+    ("postfix_expression", "postfix_expression ( argument_expression_list )"),
+    ("postfix_expression", "postfix_expression . id"),
+    ("postfix_expression", "postfix_expression -> id"),
+    ("postfix_expression", "postfix_expression ++"),
+    ("postfix_expression", "postfix_expression --"),
+    // C99 compound literals.
+    ("postfix_expression", "( type_name ) { initializer_list }"),
+    ("postfix_expression", "( type_name ) { initializer_list , }"),
+    ("argument_expression_list", "assignment_expression"),
+    ("argument_expression_list", "argument_expression_list , assignment_expression"),
+    ("unary_expression", "postfix_expression"),
+    ("unary_expression", "++ unary_expression"),
+    ("unary_expression", "-- unary_expression"),
+    ("unary_expression", "unary_operator cast_expression"),
+    ("unary_expression", "sizeof unary_expression"),
+    ("unary_expression", "sizeof ( type_name )"),
+    ("unary_expression", "_Alignof ( type_name )"),
+    ("unary_operator", "&"),
+    ("unary_operator", "*"),
+    ("unary_operator", "+"),
+    ("unary_operator", "-"),
+    ("unary_operator", "~"),
+    ("unary_operator", "!"),
+
+    // §6.5.4–6.5.17 The binary-operator cascade. Deliberately *without*
+    // precedence declarations: the cascade is unambiguous by construction,
+    // so every conflict left in the table is a genuine C ambiguity.
+    ("cast_expression", "unary_expression"),
+    ("cast_expression", "( type_name ) cast_expression"),
+    ("multiplicative_expression", "cast_expression"),
+    ("multiplicative_expression", "multiplicative_expression * cast_expression"),
+    ("multiplicative_expression", "multiplicative_expression / cast_expression"),
+    ("multiplicative_expression", "multiplicative_expression % cast_expression"),
+    ("additive_expression", "multiplicative_expression"),
+    ("additive_expression", "additive_expression + multiplicative_expression"),
+    ("additive_expression", "additive_expression - multiplicative_expression"),
+    ("shift_expression", "additive_expression"),
+    ("shift_expression", "shift_expression << additive_expression"),
+    ("shift_expression", "shift_expression >> additive_expression"),
+    ("relational_expression", "shift_expression"),
+    ("relational_expression", "relational_expression < shift_expression"),
+    ("relational_expression", "relational_expression > shift_expression"),
+    ("relational_expression", "relational_expression <= shift_expression"),
+    ("relational_expression", "relational_expression >= shift_expression"),
+    ("equality_expression", "relational_expression"),
+    ("equality_expression", "equality_expression == relational_expression"),
+    ("equality_expression", "equality_expression != relational_expression"),
+    ("and_expression", "equality_expression"),
+    ("and_expression", "and_expression & equality_expression"),
+    ("exclusive_or_expression", "and_expression"),
+    ("exclusive_or_expression", "exclusive_or_expression ^ and_expression"),
+    ("inclusive_or_expression", "exclusive_or_expression"),
+    ("inclusive_or_expression", "inclusive_or_expression | exclusive_or_expression"),
+    ("logical_and_expression", "inclusive_or_expression"),
+    ("logical_and_expression", "logical_and_expression && inclusive_or_expression"),
+    ("logical_or_expression", "logical_and_expression"),
+    ("logical_or_expression", "logical_or_expression || logical_and_expression"),
+    ("conditional_expression", "logical_or_expression"),
+    ("conditional_expression", "logical_or_expression ? expression : conditional_expression"),
+    ("assignment_expression", "conditional_expression"),
+    ("assignment_expression", "unary_expression assignment_operator assignment_expression"),
+    ("assignment_operator", "="),
+    ("assignment_operator", "*="),
+    ("assignment_operator", "/="),
+    ("assignment_operator", "%="),
+    ("assignment_operator", "+="),
+    ("assignment_operator", "-="),
+    ("assignment_operator", "<<="),
+    ("assignment_operator", ">>="),
+    ("assignment_operator", "&="),
+    ("assignment_operator", "^="),
+    ("assignment_operator", "|="),
+    ("expression", "assignment_expression"),
+    ("expression", "expression , assignment_expression"),
+
+    // §6.8 Statements, factored matched/open so `else` binds innermost
+    // deterministically instead of forking a Catalan-sized forest.
+    ("statement", "matched_statement"),
+    ("statement", "open_statement"),
+    ("expression_statement", ";"),
+    ("expression_statement", "expression ;"),
+    ("compound_statement", "{ block_item_list }"),
+    ("block_item", "declaration"),
+    ("block_item", "statement"),
+    ("matched_statement", "expression_statement"),
+    ("matched_statement", "compound_statement"),
+    ("matched_statement", "jump_statement"),
+    ("matched_statement", "do statement while ( expression ) ;"),
+    ("matched_statement", "if ( expression ) matched_statement else matched_statement"),
+    ("matched_statement", "switch ( expression ) matched_statement"),
+    ("matched_statement", "while ( expression ) matched_statement"),
+    ("matched_statement", "for ( for_init for_cond ) matched_statement"),
+    ("matched_statement", "for ( for_init for_cond expression ) matched_statement"),
+    ("matched_statement", "id : matched_statement"),
+    ("matched_statement", "case conditional_expression : matched_statement"),
+    ("matched_statement", "default : matched_statement"),
+    ("open_statement", "if ( expression ) statement"),
+    ("open_statement", "if ( expression ) matched_statement else open_statement"),
+    ("open_statement", "switch ( expression ) open_statement"),
+    ("open_statement", "while ( expression ) open_statement"),
+    ("open_statement", "for ( for_init for_cond ) open_statement"),
+    ("open_statement", "for ( for_init for_cond expression ) open_statement"),
+    ("open_statement", "id : open_statement"),
+    ("open_statement", "case conditional_expression : open_statement"),
+    ("open_statement", "default : open_statement"),
+    // C99 for-loop declarations ride on for_init.
+    ("for_init", ";"),
+    ("for_init", "expression ;"),
+    ("for_init", "declaration"),
+    ("for_cond", ";"),
+    ("for_cond", "expression ;"),
+    ("jump_statement", "goto id ;"),
+    ("jump_statement", "continue ;"),
+    ("jump_statement", "break ;"),
+    ("jump_statement", "return ;"),
+    ("jump_statement", "return expression ;"),
+
+    // ---- GNU C extensions (gcc's dialect; every large C corpus uses these).
+
+    // `__attribute__((...))` specifiers, threaded through the declaration
+    // grammar at gcc's attachment points.
+    ("attribute_specifiers", "attribute_specifier"),
+    ("attribute_specifiers", "attribute_specifiers attribute_specifier"),
+    ("attribute_specifier", "__attribute__ ( ( attribute_list ) )"),
+    ("attribute_list", "attribute_item"),
+    ("attribute_list", "attribute_list , attribute_item"),
+    ("attribute_item", "id"),
+    ("attribute_item", "id ( )"),
+    ("attribute_item", "id ( argument_expression_list )"),
+    ("attribute_item", "const"),
+    ("declaration_specifier", "attribute_specifier"),
+    ("init_declarator", "declarator attribute_specifiers"),
+    ("init_declarator", "declarator attribute_specifiers = initializer"),
+    ("init_declarator", "declarator simple_asm_spec"),
+    ("init_declarator", "declarator simple_asm_spec attribute_specifiers"),
+    ("init_declarator", "declarator simple_asm_spec = initializer"),
+    ("init_declarator", "declarator simple_asm_spec attribute_specifiers = initializer"),
+    ("simple_asm_spec", "asm ( string_literal )"),
+    ("struct_or_union_specifier", "struct_or_union attribute_specifiers { struct_declaration_list }"),
+    ("struct_or_union_specifier", "struct_or_union attribute_specifiers id { struct_declaration_list }"),
+    ("struct_or_union_specifier", "struct_or_union attribute_specifiers id"),
+    ("enum_specifier", "enum attribute_specifiers { enumerator_list }"),
+    ("enum_specifier", "enum attribute_specifiers { enumerator_list , }"),
+    ("enum_specifier", "enum attribute_specifiers id { enumerator_list }"),
+    ("enum_specifier", "enum attribute_specifiers id { enumerator_list , }"),
+    ("enum_specifier", "enum attribute_specifiers id"),
+    ("struct_declarator", "declarator attribute_specifiers"),
+    ("struct_declarator", "declarator : conditional_expression attribute_specifiers"),
+    ("struct_declarator", ": conditional_expression attribute_specifiers"),
+    ("enumerator", "id attribute_specifiers"),
+    ("enumerator", "id attribute_specifiers = conditional_expression"),
+    ("parameter_declaration", "declaration_specifiers declarator attribute_specifiers"),
+    ("parameter_declaration", "declaration_specifiers abstract_declarator attribute_specifiers"),
+    ("pointer", "* attribute_specifiers"),
+    ("pointer", "* attribute_specifiers pointer"),
+    ("matched_statement", "id : attribute_specifiers matched_statement"),
+    ("open_statement", "id : attribute_specifiers open_statement"),
+
+    // `typeof`, in both its forms — the same expression-vs-type ambiguity
+    // as `sizeof ( id )`.
+    ("type_specifier", "typeof ( expression )"),
+    ("type_specifier", "typeof ( type_name )"),
+    ("storage_class_specifier", "__thread"),
+
+    // Statement expressions: `({ ... })`.
+    ("primary_expression", "( compound_statement )"),
+
+    // Builtins with nonstandard call syntax (type names as arguments).
+    ("postfix_expression", "__builtin_va_arg ( assignment_expression , type_name )"),
+    ("postfix_expression", "__builtin_offsetof ( type_name , offsetof_member_designator )"),
+    ("postfix_expression", "__builtin_choose_expr ( assignment_expression , assignment_expression , assignment_expression )"),
+    ("postfix_expression", "__builtin_types_compatible_p ( type_name , type_name )"),
+    ("offsetof_member_designator", "id"),
+    ("offsetof_member_designator", "offsetof_member_designator . id"),
+    ("offsetof_member_designator", "offsetof_member_designator [ expression ]"),
+
+    // `__real__`/`__imag__`, `__extension__`, and label addresses.
+    ("unary_expression", "__real__ cast_expression"),
+    ("unary_expression", "__imag__ cast_expression"),
+    ("unary_expression", "__extension__ cast_expression"),
+    ("unary_expression", "&& id"),
+
+    // Conditional with omitted middle operand: `a ?: b`.
+    ("conditional_expression", "logical_or_expression ? : conditional_expression"),
+
+    // `__extension__` declarations, local labels, and nested functions.
+    ("declaration", "__extension__ declaration"),
+    ("block_item", "label_declaration"),
+    ("block_item", "function_definition"),
+    ("label_declaration", "__label__ identifier_list ;"),
+
+    // Computed goto and case ranges.
+    ("jump_statement", "goto * expression ;"),
+    ("matched_statement", "case conditional_expression ... conditional_expression : matched_statement"),
+    ("open_statement", "case conditional_expression ... conditional_expression : open_statement"),
+
+    // Inline assembly statements: `asm [qualifier] ( template
+    // [: outputs [: inputs [: clobbers]]] ) ;` — every section-presence
+    // combination spelled out (the grammar is ε-free outside sequences).
+    ("matched_statement", "asm_statement"),
+    ("asm_statement", "asm ( asm_argument ) ;"),
+    ("asm_statement", "asm asm_qualifier ( asm_argument ) ;"),
+    ("asm_qualifier", "volatile"),
+    ("asm_qualifier", "inline"),
+    ("asm_qualifier", "goto"),
+    ("asm_argument", "string_literal"),
+    ("asm_argument", "string_literal :"),
+    ("asm_argument", "string_literal : asm_operands"),
+    ("asm_argument", "string_literal : :"),
+    ("asm_argument", "string_literal : : asm_operands"),
+    ("asm_argument", "string_literal : asm_operands :"),
+    ("asm_argument", "string_literal : asm_operands : asm_operands"),
+    ("asm_argument", "string_literal : : :"),
+    ("asm_argument", "string_literal : : : asm_clobbers"),
+    ("asm_argument", "string_literal : asm_operands : :"),
+    ("asm_argument", "string_literal : asm_operands : : asm_clobbers"),
+    ("asm_argument", "string_literal : : asm_operands :"),
+    ("asm_argument", "string_literal : : asm_operands : asm_clobbers"),
+    ("asm_argument", "string_literal : asm_operands : asm_operands :"),
+    ("asm_argument", "string_literal : asm_operands : asm_operands : asm_clobbers"),
+    ("asm_operands", "asm_operand"),
+    ("asm_operands", "asm_operands , asm_operand"),
+    ("asm_operand", "string_literal ( expression )"),
+    ("asm_operand", "[ id ] string_literal ( expression )"),
+    ("asm_clobbers", "string_literal"),
+    ("asm_clobbers", "asm_clobbers , string_literal"),
+
+    // Obsolete GNU field designators: `{ x: 1 }`.
+    ("initializer_list", "id : initializer"),
+    ("initializer_list", "initializer_list , id : initializer"),
+
+    // ---- C23 surface (N3096).
+
+    // Standard `[[...]]` attributes, including vendor-namespaced
+    // `[[gnu::always_inline]]` forms (`::` is a C23 punctuator).
+    ("c23_attributes", "c23_attribute_specifier"),
+    ("c23_attributes", "c23_attributes c23_attribute_specifier"),
+    ("c23_attribute_specifier", "[ [ c23_attribute_list ] ]"),
+    ("c23_attribute_list", "c23_attribute"),
+    ("c23_attribute_list", "c23_attribute_list , c23_attribute"),
+    ("c23_attribute", "id"),
+    ("c23_attribute", "id :: id"),
+    ("c23_attribute", "id ( )"),
+    ("c23_attribute", "id ( argument_expression_list )"),
+    ("c23_attribute", "id :: id ( )"),
+    ("c23_attribute", "id :: id ( argument_expression_list )"),
+    ("declaration", "c23_attributes tag_declaration ;"),
+    ("declaration", "c23_attributes declaration_specifiers init_declarator_list ;"),
+    ("function_definition", "c23_attributes declaration_specifiers declarator compound_statement"),
+    ("struct_or_union_specifier", "struct_or_union c23_attributes { struct_declaration_list }"),
+    ("struct_or_union_specifier", "struct_or_union c23_attributes id { struct_declaration_list }"),
+    ("parameter_declaration", "c23_attributes declaration_specifiers declarator"),
+    ("parameter_declaration", "c23_attributes declaration_specifiers abstract_declarator"),
+    ("parameter_declaration", "c23_attributes declaration_specifiers"),
+
+    // First-class keywords and new type specifiers.
+    ("type_specifier", "bool"),
+    ("type_specifier", "_Decimal32"),
+    ("type_specifier", "_Decimal64"),
+    ("type_specifier", "_Decimal128"),
+    ("type_specifier", "_BitInt ( conditional_expression )"),
+    ("type_specifier", "typeof_unqual ( expression )"),
+    ("type_specifier", "typeof_unqual ( type_name )"),
+    ("storage_class_specifier", "constexpr"),
+    ("storage_class_specifier", "thread_local"),
+    ("alignment_specifier", "alignas ( type_name )"),
+    ("alignment_specifier", "alignas ( conditional_expression )"),
+    ("unary_expression", "alignof ( type_name )"),
+    ("primary_expression", "nullptr"),
+    ("primary_expression", "true"),
+    ("primary_expression", "false"),
+    ("static_assert_declaration", "static_assert ( conditional_expression , string_literal ) ;"),
+    ("static_assert_declaration", "static_assert ( conditional_expression ) ;"),
+    ("static_assert_declaration", "_Static_assert ( conditional_expression ) ;"),
+
+    // Enums with a fixed underlying type. In struct bodies `enum e : t`
+    // collides with bitfield syntax — a genuine C23 parsing ambiguity.
+    ("enum_specifier", "enum id : specifier_qualifier_list { enumerator_list }"),
+    ("enum_specifier", "enum id : specifier_qualifier_list { enumerator_list , }"),
+    ("enum_specifier", "enum : specifier_qualifier_list { enumerator_list }"),
+    ("enum_specifier", "enum : specifier_qualifier_list { enumerator_list , }"),
+    ("enum_specifier", "enum id : specifier_qualifier_list"),
+
+    // ---- Microsoft dialect (clang -fms-extensions / MSVC).
+
+    ("declaration_specifier", "__declspec ( )"),
+    ("declaration_specifier", "__declspec ( attribute_list )"),
+    ("declaration_specifier", "calling_convention"),
+    ("calling_convention", "__cdecl"),
+    ("calling_convention", "__stdcall"),
+    ("calling_convention", "__fastcall"),
+    ("calling_convention", "__vectorcall"),
+    ("declarator", "calling_convention direct_declarator"),
+    ("declarator", "calling_convention pointer direct_declarator"),
+    ("type_qualifier", "__unaligned"),
+    ("type_specifier", "__int8"),
+    ("type_specifier", "__int16"),
+    ("type_specifier", "__int32"),
+    ("type_specifier", "__int64"),
+    // Structured exception handling.
+    ("matched_statement", "seh_statement"),
+    ("seh_statement", "__try compound_statement __except ( expression ) compound_statement"),
+    ("seh_statement", "__try compound_statement __finally compound_statement"),
+    ("jump_statement", "__leave ;"),
+    ("declaration_specifier", "__pragma ( attribute_list )"),
+    ("matched_statement", "__pragma ( attribute_list ) ;"),
+
+    // ---- The rest of the C23 attribute attachment grid (N3096 §6.7).
+
+    // Members, enums, and opaque struct declarations.
+    ("struct_declaration", "c23_attributes member_tag_declaration ;"),
+    ("struct_declaration", "c23_attributes specifier_qualifier_list struct_declarator_list ;"),
+    ("struct_or_union_specifier", "struct_or_union c23_attributes id"),
+    ("enum_specifier", "enum c23_attributes { enumerator_list }"),
+    ("enum_specifier", "enum c23_attributes { enumerator_list , }"),
+    ("enum_specifier", "enum c23_attributes id { enumerator_list }"),
+    ("enum_specifier", "enum c23_attributes id { enumerator_list , }"),
+    ("enum_specifier", "enum c23_attributes id"),
+    ("enumerator", "id c23_attributes"),
+    ("enumerator", "id c23_attributes = conditional_expression"),
+
+    // Pointers: `* [[attr]] qualifiers…`.
+    ("pointer", "* c23_attributes"),
+    ("pointer", "* c23_attributes type_qualifier_list"),
+    ("pointer", "* c23_attributes pointer"),
+    ("pointer", "* c23_attributes type_qualifier_list pointer"),
+
+    // Declarator suffixes: each array/function declarator may trail an
+    // attribute sequence.
+    ("direct_declarator", "id c23_attributes"),
+    ("direct_declarator", "direct_declarator [ ] c23_attributes"),
+    ("direct_declarator", "direct_declarator [ assignment_expression ] c23_attributes"),
+    ("direct_declarator", "direct_declarator [ type_qualifier_list ] c23_attributes"),
+    ("direct_declarator", "direct_declarator [ type_qualifier_list assignment_expression ] c23_attributes"),
+    ("direct_declarator", "direct_declarator [ static assignment_expression ] c23_attributes"),
+    ("direct_declarator", "direct_declarator [ * ] c23_attributes"),
+    ("direct_declarator", "direct_declarator ( parameter_type_list ) c23_attributes"),
+    ("direct_declarator", "direct_declarator ( ) c23_attributes"),
+    ("direct_abstract_declarator", "[ ] c23_attributes"),
+    ("direct_abstract_declarator", "[ assignment_expression ] c23_attributes"),
+    ("direct_abstract_declarator", "[ * ] c23_attributes"),
+    ("direct_abstract_declarator", "( ) c23_attributes"),
+    ("direct_abstract_declarator", "( parameter_type_list ) c23_attributes"),
+    ("direct_abstract_declarator", "direct_abstract_declarator [ ] c23_attributes"),
+    ("direct_abstract_declarator", "direct_abstract_declarator [ assignment_expression ] c23_attributes"),
+    ("direct_abstract_declarator", "direct_abstract_declarator ( ) c23_attributes"),
+    ("direct_abstract_declarator", "direct_abstract_declarator ( parameter_type_list ) c23_attributes"),
+
+    // Specifier-qualifier lists carry trailing attributes.
+    ("specifier_qualifier_list", "type_specifier c23_attributes"),
+    ("specifier_qualifier_list", "type_qualifier c23_attributes"),
+
+    // Statements: a prefixed attribute specifier (right-nested, so stacked
+    // `[[a]] [[b]] s` has exactly one derivation).
+    ("matched_statement", "c23_attribute_specifier matched_statement"),
+    ("open_statement", "c23_attribute_specifier open_statement"),
+
+    // ---- gcc alias spellings and TS 18661 types.
+
+    ("asm_statement", "__asm ( asm_argument ) ;"),
+    ("asm_statement", "__asm asm_qualifier ( asm_argument ) ;"),
+    ("asm_statement", "__asm__ ( asm_argument ) ;"),
+    ("asm_statement", "__asm__ asm_qualifier ( asm_argument ) ;"),
+    ("simple_asm_spec", "__asm ( string_literal )"),
+    ("simple_asm_spec", "__asm__ ( string_literal )"),
+    ("asm_qualifier", "__volatile__"),
+    ("type_specifier", "__typeof ( expression )"),
+    ("type_specifier", "__typeof ( type_name )"),
+    ("type_specifier", "__typeof__ ( expression )"),
+    ("type_specifier", "__typeof__ ( type_name )"),
+    ("unary_expression", "__alignof ( type_name )"),
+    ("unary_expression", "__alignof__ ( type_name )"),
+    ("function_specifier", "__inline"),
+    ("function_specifier", "__inline__"),
+    ("type_qualifier", "__restrict"),
+    ("type_qualifier", "__restrict__"),
+    ("type_qualifier", "__volatile__"),
+    ("type_qualifier", "__const__"),
+    ("type_specifier", "__signed__"),
+    ("type_specifier", "__complex__"),
+    ("type_specifier", "__auto_type"),
+    ("type_specifier", "_Float16"),
+    ("type_specifier", "_Float32"),
+    ("type_specifier", "_Float64"),
+    ("type_specifier", "_Float128"),
+    ("type_specifier", "_Float32x"),
+    ("type_specifier", "_Float64x"),
+    ("unary_expression", "__real cast_expression"),
+    ("unary_expression", "__imag cast_expression"),
+
+    // asm goto: a fourth section carrying jump targets.
+    ("asm_argument", "string_literal : : : :"),
+    ("asm_argument", "string_literal : : : : identifier_list"),
+    ("asm_argument", "string_literal : : : asm_clobbers :"),
+    ("asm_argument", "string_literal : : : asm_clobbers : identifier_list"),
+    ("asm_argument", "string_literal : : asm_operands : :"),
+    ("asm_argument", "string_literal : : asm_operands : : identifier_list"),
+    ("asm_argument", "string_literal : : asm_operands : asm_clobbers :"),
+    ("asm_argument", "string_literal : : asm_operands : asm_clobbers : identifier_list"),
+    ("asm_argument", "string_literal : asm_operands : : :"),
+    ("asm_argument", "string_literal : asm_operands : : : identifier_list"),
+    ("asm_argument", "string_literal : asm_operands : : asm_clobbers :"),
+    ("asm_argument", "string_literal : asm_operands : : asm_clobbers : identifier_list"),
+    ("asm_argument", "string_literal : asm_operands : asm_operands : :"),
+    ("asm_argument", "string_literal : asm_operands : asm_operands : : identifier_list"),
+    ("asm_argument", "string_literal : asm_operands : asm_operands : asm_clobbers :"),
+    ("asm_argument", "string_literal : asm_operands : asm_operands : asm_clobbers : identifier_list"),
+
+    // Remaining C23 attribute positions on abstract declarators.
+    ("direct_abstract_declarator", "( abstract_declarator ) c23_attributes"),
+    ("direct_abstract_declarator", "[ type_qualifier_list ] c23_attributes"),
+    ("direct_abstract_declarator", "[ type_qualifier_list assignment_expression ] c23_attributes"),
+    ("direct_abstract_declarator", "direct_abstract_declarator [ type_qualifier_list ] c23_attributes"),
+    ("direct_abstract_declarator", "direct_abstract_declarator [ type_qualifier_list assignment_expression ] c23_attributes"),
+    ("direct_abstract_declarator", "direct_abstract_declarator [ * ] c23_attributes"),
+
+    // C23 odds and ends: empty braced initializers, prototypes with only
+    // `...`, storage-class compound literals.
+    ("initializer", "{ }"),
+    ("postfix_expression", "( type_name ) { }"),
+    ("parameter_type_list", "..."),
+    ("postfix_expression", "( storage_class_specifier type_name ) { initializer_list }"),
+    ("postfix_expression", "( storage_class_specifier type_name ) { initializer_list , }"),
+
+    // GNU empty aggregate bodies and range designators.
+    ("struct_or_union_specifier", "struct_or_union { }"),
+    ("struct_or_union_specifier", "struct_or_union id { }"),
+    ("designator", "[ conditional_expression ... conditional_expression ]"),
+
+    // gcc transactional memory (-fgnu-tm).
+    ("matched_statement", "__transaction_atomic compound_statement"),
+    ("matched_statement", "__transaction_relaxed compound_statement"),
+    ("matched_statement", "__transaction_cancel ;"),
+    ("primary_expression", "__transaction_atomic ( expression )"),
+
+    // MSVC pointer qualifiers, `__forceinline`, and `__assume`.
+    ("function_specifier", "__forceinline"),
+    ("type_qualifier", "__ptr32"),
+    ("type_qualifier", "__ptr64"),
+    ("type_qualifier", "__sptr"),
+    ("type_qualifier", "__uptr"),
+    ("type_qualifier", "__w64"),
+    ("matched_statement", "__assume ( expression ) ;"),
+
+    // Last corners: attributed K&R definitions, vector conversion with a
+    // type argument, and attributed fixed-underlying-type enums.
+    ("function_definition", "c23_attributes declaration_specifiers declarator declaration_list compound_statement"),
+    ("postfix_expression", "__builtin_convertvector ( assignment_expression , type_name )"),
+    ("enum_specifier", "enum c23_attributes id : specifier_qualifier_list { enumerator_list }"),
+    ("enum_specifier", "enum c23_attributes id : specifier_qualifier_list { enumerator_list , }"),
+    ("enum_specifier", "enum c23_attributes : specifier_qualifier_list { enumerator_list }"),
+    ("enum_specifier", "enum c23_attributes : specifier_qualifier_list { enumerator_list , }"),
+];
+
+/// Builds the full-scale C11 session configuration.
+///
+/// # Panics
+///
+/// Panics only on internal definition errors (the definitions are constant).
+pub fn full_c() -> SessionConfig {
+    let (g, lx) = full_c_defs();
+    SessionConfig::new(g, lx).expect("full_c definition is valid")
+}
+
+/// The raw grammar and lexer definitions of [`full_c`], uncompiled — for
+/// callers that build tables themselves (benches, the differential fuzzer,
+/// a shared `LanguageRegistry`).
+///
+/// # Panics
+///
+/// Panics only on internal definition errors (the definitions are constant).
+pub fn full_c_defs() -> (Grammar, LexerDef) {
+    defs().expect("full_c definition is valid")
+}
+
+fn defs() -> Result<(Grammar, LexerDef), SessionError> {
+    let mut b = GrammarBuilder::new("full_c");
+
+    // Intern every terminal first so RHS lookup below is terminal-first.
+    let mut terms = HashMap::new();
+    for &name in KEYWORDS
+        .iter()
+        .chain(GNU_KEYWORDS)
+        .chain(C23_KEYWORDS)
+        .chain(MS_KEYWORDS)
+        .chain(ALIAS_KEYWORDS)
+        .chain(PUNCTUATORS)
+        .chain(NEVER_SHIFTED)
+        .chain(VALUE_TOKENS)
+    {
+        terms.insert(name, b.terminal(name));
+    }
+
+    // The two unbounded lists are associative sequences: balanced internal
+    // structure keeps incremental reuse logarithmic on long documents.
+    let translation_unit = b.nonterminal("translation_unit");
+    let external_declaration = b.nonterminal("external_declaration");
+    b.sequence(
+        translation_unit,
+        Symbol::N(external_declaration),
+        SeqKind::Star,
+        None,
+    );
+    let block_item_list = b.nonterminal("block_item_list");
+    let block_item = b.nonterminal("block_item");
+    b.sequence(block_item_list, Symbol::N(block_item), SeqKind::Star, None);
+
+    for &(lhs, rhs) in RULES {
+        let l = b.nonterminal(lhs);
+        let mut syms = Vec::new();
+        for tok in rhs.split_whitespace() {
+            syms.push(match terms.get(tok) {
+                Some(&t) => Symbol::T(t),
+                None => Symbol::N(b.nonterminal(tok)),
+            });
+        }
+        b.prod(l, syms);
+    }
+
+    b.start(translation_unit);
+    let g = b.build().expect("full C grammar is well-formed");
+
+    // Lexer. Keywords precede the identifier rule so equal-length matches
+    // resolve to the keyword; longest-match handles everything else.
+    let mut lx = LexerDef::new();
+    for &kw in KEYWORDS
+        .iter()
+        .chain(GNU_KEYWORDS)
+        .chain(C23_KEYWORDS)
+        .chain(MS_KEYWORDS)
+        .chain(ALIAS_KEYWORDS)
+    {
+        lx.literal(kw, kw);
+    }
+    lx.rule("id", "[a-zA-Z_][a-zA-Z0-9_]*")?;
+    lx.rule("fnum", "[0-9]+\\.[0-9]+([eE][+\\-]?[0-9]+)?[fFlL]?")?;
+    lx.rule("num", "(0[xX][0-9a-fA-F]+|[0-9]+)[uUlL]*")?;
+    lx.rule("str", "\"([^\"\\\\]|\\\\.)*\"")?;
+    lx.rule("chr", "'([^'\\\\]|\\\\.)'")?;
+    for &p in PUNCTUATORS.iter().chain(NEVER_SHIFTED) {
+        lx.literal(p, p);
+    }
+    // Digraphs (C11 §6.4.6p3) lex to their primary punctuator tokens.
+    lx.literal("[", "<:");
+    lx.literal("]", ":>");
+    lx.literal("{", "<%");
+    lx.literal("}", "%>");
+    lx.literal("#", "%:");
+    lx.literal("##", "%:%:");
+    lx.skip("ws", "[ \\t\\n\\r]+")?;
+    lx.skip("comment", "//[^\\n]*")?;
+    lx.skip("block_comment", "/\\*([^*]|\\*+[^*/])*\\*+/")?;
+
+    Ok((g, lx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wg_core::Session;
+    use wg_dag::yield_string;
+
+    /// A realistic C11 program exercising most of the grammar's surface.
+    const SAMPLE: &str = r#"
+        enum color { RED, GREEN = 2, BLUE, };
+        struct point { int x; int y : 4; const char *name; };
+        union u { struct point p; unsigned long bits[2]; };
+        static const char *greeting = "hello" " " "world";
+        int table[3] = { [0] = 1, [2] = 3, };
+        struct point origin = { .x = 0, .y = 0, .name = "o" };
+        _Static_assert(1 <= 2, "sanity");
+        extern int printf(const char *fmt, ...);
+        static inline unsigned gcd(unsigned a, unsigned b) {
+            while (b != 0u) { unsigned t = a % b; a = b; b = t; }
+            return a;
+        }
+        int krfun(a, b) int a; int b; { return a + b; }
+        int main(void) {
+            int i;
+            float f = 1.5f;
+            char c = 'x';
+            int *p = &i;
+            int (*fp)(const char *, ...) = &printf;
+            for (i = 0; i < 10; ++i) {
+                switch (i & 3) {
+                case 0: f = f * 2.0; break;
+                case 1: goto done;
+                default: f = f / 2.0; continue;
+                }
+            }
+            do { i--; } while (i > 0 && f >= 0.25);
+            if (i == 0) f = -f; else { f = ~i + 1; }
+            i = sizeof(struct point) + sizeof f;
+            i = (int)f + (i << 2 | i >> 1) % 3;
+            i = i ? i ^ 2 : !i;
+            p = i ? p : (int *)0;
+        done:
+            return i != 0;
+        }
+    "#;
+
+    #[test]
+    fn table_scale_meets_the_acceptance_floor() {
+        let cfg = full_c();
+        let st = cfg.table().stats();
+        assert!(st.states >= 1000, "want >= 1000 LALR states, got {st:?}");
+        assert!(
+            st.spilled_cells >= 20,
+            "want >= 20 spilled conflict cells, got {st:?}"
+        );
+        assert!(
+            st.term_classes < st.terminals,
+            "never-shifted '#'/'##' columns must merge, got {st:?}"
+        );
+        assert!(
+            st.default_reduce_states > 0,
+            "a real grammar has single-reduction states, got {st:?}"
+        );
+    }
+
+    #[test]
+    fn terminal_inventory_is_full_scale() {
+        let (g, _) = full_c_defs();
+        assert_eq!(KEYWORDS.len(), 44);
+        assert_eq!(PUNCTUATORS.len(), 47, "46 of C11 §6.4.6 plus C23 `::`");
+        // +1: the builder's implicit end-of-input terminal.
+        let expected = KEYWORDS.len()
+            + GNU_KEYWORDS.len()
+            + C23_KEYWORDS.len()
+            + MS_KEYWORDS.len()
+            + ALIAS_KEYWORDS.len()
+            + PUNCTUATORS.len()
+            + NEVER_SHIFTED.len()
+            + VALUE_TOKENS.len()
+            + 1;
+        assert_eq!(g.num_terminals(), expected);
+        assert!(g.num_productions() > 300, "got {}", g.num_productions());
+    }
+
+    #[test]
+    fn the_only_lint_is_the_never_shifted_tokens() {
+        let (g, _) = full_c_defs();
+        let r = g.validate();
+        assert!(r.unreachable.is_empty(), "{r:?}");
+        assert!(r.unproductive.is_empty(), "{r:?}");
+        assert!(r.cyclic.is_empty(), "{r:?}");
+        let mut unused = r.unused_terminals.clone();
+        unused.sort();
+        assert_eq!(unused, vec!["#".to_string(), "##".to_string()], "{r:?}");
+    }
+
+    /// Dialect surface: GNU extensions, C23, and the Microsoft corner.
+    const DIALECT_SAMPLE: &str = r#"
+        typeof (x) q;
+        __thread int tls_counter;
+        static __inline__ int twice(int v) __attribute__((always_inline));
+        struct __attribute__((packed)) wire { int tag : 3; };
+        [[nodiscard]] int checked(void);
+        [[gnu::always_inline]] static int fast(int v) { return v + 1; }
+        enum flags : unsigned { F_A = 1, F_B = 2 };
+        constexpr int limit = 64;
+        static _BitInt(24) narrow;
+        _Float128 wide;
+        bool ready = true;
+        int empty[2] = { };
+        int spread[8] = { [0 ... 3] = 1 };
+        __declspec(align(16)) struct wire aligned_wire;
+        static int __stdcall callback(void *ctx);
+        unsigned __int64 big;
+        int main(void) {
+            __label__ out;
+            int acc = ({ int t = limit; t * 2; });
+            asm volatile ("mfence" : : : "memory");
+            __asm__ ("mov %0, %1" : "=r" (acc) : "r" (limit));
+            void *slot = nullptr;
+            acc = __builtin_choose_expr(1, acc, 0);
+            acc = __builtin_offsetof(struct wire, tag);
+            if (__builtin_types_compatible_p(int, unsigned)) acc ?: 7;
+            __try { acc += 1; } __finally { acc -= 1; }
+            goto out;
+        out:
+            return acc && slot == nullptr;
+        }
+    "#;
+
+    #[test]
+    fn dialect_sample_parses() {
+        let cfg = full_c();
+        let s = Session::new(&cfg, DIALECT_SAMPLE).unwrap();
+        assert!(s.token_count() > 150);
+    }
+
+    #[test]
+    fn sample_program_parses() {
+        let cfg = full_c();
+        let s = Session::new(&cfg, SAMPLE).unwrap();
+        assert!(s.token_count() > 250);
+        let y = yield_string(s.arena(), s.root());
+        assert!(y.starts_with("enum color {"));
+    }
+
+    #[test]
+    fn typedef_style_ambiguities_fork() {
+        let cfg = full_c();
+        // Declaration-vs-expression: `a * b ;`.
+        let s = Session::new(&cfg, "int main(void) { a * b; }").unwrap();
+        assert!(s.stats().choice_points >= 1, "{}", s.dump());
+        // Cast-vs-parenthesized-operand: `(a) + b`.
+        let s = Session::new(&cfg, "int main(void) { x = (a) + b; }").unwrap();
+        assert!(s.stats().choice_points >= 1, "{}", s.dump());
+        // sizeof expr vs sizeof (type).
+        let s = Session::new(&cfg, "int main(void) { x = sizeof(a); }").unwrap();
+        assert!(s.stats().choice_points >= 1, "{}", s.dump());
+        // No ambiguity when the parenthesized operand is not a lone id.
+        let s = Session::new(&cfg, "int main(void) { x = (a + 1) + b; }").unwrap();
+        assert_eq!(s.stats().choice_points, 0, "{}", s.dump());
+    }
+
+    #[test]
+    fn dangling_else_is_deterministic() {
+        // `(void)` parameters keep the `int x` parameter ambiguity out of
+        // the picture so this isolates else-binding.
+        let cfg = full_c();
+        let s = Session::new(
+            &cfg,
+            "int f(void) { if (a) if (a > 1) g(); else h(); return 0; }",
+        )
+        .unwrap();
+        assert_eq!(s.stats().choice_points, 0, "{}", s.dump());
+    }
+
+    #[test]
+    fn parameter_declaration_id_id_is_the_classic_fork() {
+        // `int f(int x)` — `x` is a declarator or a second (typedef-name)
+        // type specifier; only symbol tables can tell.
+        let cfg = full_c();
+        let s = Session::new(&cfg, "int f(int x) { return x; }").unwrap();
+        assert_eq!(s.stats().choice_points, 1, "{}", s.dump());
+    }
+
+    #[test]
+    fn digraphs_lex_to_primary_tokens() {
+        // `<: :> <% %>` must produce the same token kinds as `[ ] { }` —
+        // lexemes differ, so compare parse shape, not text.
+        let cfg = full_c();
+        let a = Session::new(&cfg, "int t<:2:> = <%1, 2%>;").unwrap();
+        let b = Session::new(&cfg, "int t[2] = {1, 2};").unwrap();
+        assert_eq!(a.token_count(), b.token_count());
+        assert_eq!(a.stats().choice_points, b.stats().choice_points);
+        assert_eq!(a.stats().tree_nodes, b.stats().tree_nodes);
+    }
+
+    #[test]
+    fn hash_tokens_lex_but_never_parse() {
+        let cfg = full_c();
+        assert!(matches!(
+            Session::new(&cfg, "#define X 1\nint x;"),
+            Err(SessionError::ParseError(_))
+        ));
+        assert!(matches!(
+            Session::new(&cfg, "%:define X 1\nint x;"),
+            Err(SessionError::ParseError(_))
+        ));
+    }
+
+    #[test]
+    fn incremental_edits_on_full_c() {
+        let cfg = full_c();
+        let mut s = Session::new(
+            &cfg,
+            "int alpha = 1; int main(void) { return alpha; } int omega;",
+        )
+        .unwrap();
+        let pos = s.text().find("alpha").unwrap();
+        s.edit(pos, 5, "beta");
+        let out = s.reparse().unwrap();
+        assert!(out.incorporated);
+        assert!(yield_string(s.arena(), s.root()).starts_with("int beta"));
+    }
+}

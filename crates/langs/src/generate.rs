@@ -152,23 +152,268 @@ pub fn c_program(spec: &GenSpec) -> CProgram {
     }
 }
 
+/// What kind of block an open `{` belongs to while generating full C.
+#[derive(Clone, Copy, PartialEq)]
+enum Block {
+    Fn,
+    If,
+    Else,
+    Loop,
+}
+
+/// Generates one synthetic translation unit for the full-scale C grammar
+/// ([`crate::full_c`]).
+///
+/// Where [`c_program`] targets the paper's simplified C, this produces the
+/// document shape the scale experiments need: a prologue of typedefs,
+/// struct/enum definitions and globals, then function definitions whose
+/// bodies hold declarations, assignments, calls and nested `if`/`while`/
+/// `for` blocks. Two differences from [`c_program`] are forced by the
+/// grammar itself:
+///
+/// * **No preprocessor lines.** The full-scale grammar models the
+///   post-preprocessing token stream; `#` lexes but never parses, so the
+///   `#include` header the simplified generator emits would be a syntax
+///   error here.
+/// * **Keyword-safe identifiers.** The dialect layers reserve ~120 words;
+///   every generated name comes from closed `var`/`fn`/`t`/`s`/`g`…
+///   families that collide with none of them.
+///
+/// Ambiguous sites use the grammar's *persistent* forks — `id ( id ) ;`
+/// (declaration vs call, the paper's running example) and `id * id ;`
+/// (declaration vs multiplication) — each contributing exactly one choice
+/// point with two alternatives, so `ambiguous_sites` is ground truth for
+/// the parsed dag's choice-point count.
+pub fn full_c_program(spec: &GenSpec) -> CProgram {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut out = String::with_capacity(spec.lines * 24);
+    let mut emitted = 0usize;
+    let mut ambiguous = 0usize;
+    let mut typedefs: Vec<String> = Vec::new();
+    let mut counters = [0usize; 4]; // fn, struct, enum, global
+    let mut blocks: Vec<Block> = Vec::new();
+
+    while emitted < spec.lines {
+        let depth = blocks.len();
+        let indent = "  ".repeat(depth);
+        if depth > 0 {
+            let roll: f64 = rng.random();
+            if roll < 0.10 || emitted + 1 == spec.lines {
+                let kind = blocks.pop().expect("depth > 0");
+                out.push_str(&"  ".repeat(blocks.len()));
+                if kind == Block::If && emitted + 2 < spec.lines && rng.random_bool(0.3) {
+                    out.push_str("} else {\n");
+                    blocks.push(Block::Else);
+                    emitted += 1;
+                } else {
+                    out.push_str("}\n");
+                }
+                continue;
+            }
+        }
+        let roll: f64 = rng.random();
+        if depth == 0 {
+            // Top level: mostly function definitions (real C is mostly
+            // function bodies), with prologue-style items in between.
+            if roll < spec.typedef_rate {
+                let name = format!("t{}", typedefs.len());
+                out.push_str(&format!("typedef unsigned long {name} ;\n"));
+                typedefs.push(name);
+            } else if roll < spec.typedef_rate + 0.03 {
+                let n = counters[1];
+                counters[1] += 1;
+                // Unnamed bitfield on purpose: a *named* one (`long f1 : 4`)
+                // is itself a persistent fork (specifiers `long f1` plus an
+                // unnamed bitfield `: 4`), which would leak uncounted
+                // ambiguity into the ground truth.
+                out.push_str(&format!(
+                    "struct s{n} {{ int f0 ; unsigned : 3 ; long f1 ; }} ;\n"
+                ));
+            } else if roll < spec.typedef_rate + 0.05 {
+                let n = counters[2];
+                counters[2] += 1;
+                out.push_str(&format!("enum e{n} {{ E{n}a , E{n}b = 2 }} ;\n"));
+            } else if roll < spec.typedef_rate + 0.05 + 0.35 {
+                let n = counters[3];
+                counters[3] += 1;
+                match rng.random_range(0..3) {
+                    0 => out.push_str(&format!("static long g{n} = {} ;\n", n % 97)),
+                    1 => out.push_str(&format!("extern int g{n} ;\n")),
+                    _ => out.push_str(&format!("const unsigned g{n} = {} ;\n", n % 31)),
+                }
+            } else {
+                let n = counters[0];
+                counters[0] += 1;
+                if rng.random_bool(0.5) {
+                    out.push_str(&format!("static int fn{n} ( void ) {{\n"));
+                } else {
+                    out.push_str(&format!("int fn{n} ( long * p0 , char * p1 ) {{\n"));
+                }
+                blocks.push(Block::Fn);
+            }
+        } else if roll < spec.ambiguity_rate {
+            // A persistent fork, resolvable only with binding information.
+            let head = if !typedefs.is_empty() && rng.random_bool(0.5) {
+                typedefs[rng.random_range(0..typedefs.len())].clone()
+            } else {
+                format!("amb{}", rng.random_range(0..50))
+            };
+            if rng.random_bool(0.5) {
+                out.push_str(&format!(
+                    "{indent}{head} ( obj{} ) ;\n",
+                    rng.random_range(0..100)
+                ));
+            } else {
+                out.push_str(&format!(
+                    "{indent}{head} * var{} ;\n",
+                    rng.random_range(0..1000)
+                ));
+            }
+            ambiguous += 1;
+        } else if roll < spec.ambiguity_rate + 0.06 && depth < 4 {
+            let v = rng.random_range(0..1000);
+            match rng.random_range(0..3) {
+                0 => {
+                    out.push_str(&format!(
+                        "{indent}if ( var{v} > {} ) {{\n",
+                        rng.random_range(0..10)
+                    ));
+                    blocks.push(Block::If);
+                }
+                1 => {
+                    out.push_str(&format!(
+                        "{indent}while ( var{v} != {} ) {{\n",
+                        rng.random_range(0..10)
+                    ));
+                    blocks.push(Block::Loop);
+                }
+                _ => {
+                    out.push_str(&format!(
+                        "{indent}for ( var{v} = 0 ; var{v} < {} ; var{v} = var{v} + 1 ) {{\n",
+                        2 + rng.random_range(0..14)
+                    ));
+                    blocks.push(Block::Loop);
+                }
+            }
+        } else if roll < spec.ambiguity_rate + 0.06 + spec.lit_call_rate && counters[0] > 0 {
+            // Call with a literal argument: the literal kills the
+            // declarator reading, so this is unambiguous in full C too.
+            out.push_str(&format!(
+                "{indent}fn{} ( var{} , {} ) ;\n",
+                rng.random_range(0..counters[0]),
+                rng.random_range(0..1000),
+                rng.random_range(0..100)
+            ));
+        } else {
+            if rng.random_bool(0.03) {
+                out.push_str(&format!("{indent}// note {emitted}\n"));
+            } else if rng.random_bool(0.01) {
+                out.push_str(&format!("{indent}/* region {emitted} */\n"));
+            }
+            match rng.random_range(0..6) {
+                0 => out.push_str(&format!("{indent}int var{} ;\n", rng.random_range(0..1000))),
+                1 => out.push_str(&format!(
+                    "{indent}long var{} = {} ;\n",
+                    rng.random_range(0..1000),
+                    rng.random_range(0..100)
+                )),
+                2 => out.push_str(&format!(
+                    "{indent}var{} = var{} + {} ;\n",
+                    rng.random_range(0..1000),
+                    rng.random_range(0..1000),
+                    rng.random_range(0..10)
+                )),
+                3 => out.push_str(&format!(
+                    "{indent}var{} = ( var{} << 2 ) | {} ;\n",
+                    rng.random_range(0..1000),
+                    rng.random_range(0..1000),
+                    rng.random_range(0..8)
+                )),
+                4 => out.push_str(&format!(
+                    "{indent}var{} += {} ;\n",
+                    rng.random_range(0..1000),
+                    rng.random_range(0..100)
+                )),
+                _ => out.push_str(&format!("{indent}return {} ;\n", rng.random_range(0..100))),
+            }
+        }
+        emitted += 1;
+    }
+    while blocks.pop().is_some() {
+        out.push_str(&"  ".repeat(blocks.len()));
+        out.push_str("}\n");
+    }
+
+    CProgram {
+        text: out,
+        lines: emitted,
+        ambiguous_sites: ambiguous,
+        typedef_names: typedefs,
+    }
+}
+
+/// Is `word` a keyword in any dialect layer of the full-scale C grammar?
+///
+/// Edit-site selection must skip these: replacing a keyword occurrence with
+/// a fresh identifier changes the statement *shape* (e.g. `( void )` → a
+/// forking `( id )` parameter), so a "rename an identifier" edit would no
+/// longer be the self-cancelling modification the Section 5 experiments
+/// assume. The set covers every dialect so the same helpers work for
+/// [`c_program`] (whose only keywords are `typedef`/`int`/`return`) and
+/// [`full_c_program`].
+pub fn is_c_keyword(word: &str) -> bool {
+    use crate::c_full as k;
+    k::KEYWORDS.contains(&word)
+        || k::GNU_KEYWORDS.contains(&word)
+        || k::C23_KEYWORDS.contains(&word)
+        || k::MS_KEYWORDS.contains(&word)
+        || k::ALIAS_KEYWORDS.contains(&word)
+}
+
 /// Byte ranges of identifier occurrences in `text` (edit-site candidates).
+///
+/// Offsets are **byte** offsets — the unit `Session::edit` and the rope's
+/// addressing use (`line_col` converts byte offsets to char-based columns
+/// for display; it is never the other way around). Words inside `//` and
+/// `/* */` comments and inside string/char literals are skipped — they lex
+/// as trivia or literal content, so "editing an identifier" there would not
+/// touch the token stream the way the experiments intend — and every
+/// dialect keyword is excluded (see [`is_c_keyword`]).
 pub fn identifier_sites(text: &str) -> Vec<(usize, usize)> {
     let bytes = text.as_bytes();
     let mut out = Vec::new();
     let mut i = 0;
     while i < bytes.len() {
-        if bytes[i].is_ascii_alphabetic() || bytes[i] == b'_' {
-            let start = i;
-            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+        match bytes[i] {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
+                    i += 1;
+                }
+                i = (i + 2).min(bytes.len());
+            }
+            q @ (b'"' | b'\'') => {
                 i += 1;
+                while i < bytes.len() && bytes[i] != q {
+                    i += if bytes[i] == b'\\' { 2 } else { 1 };
+                }
+                i = (i + 1).min(bytes.len());
             }
-            let word = &text[start..i];
-            if !matches!(word, "typedef" | "int" | "return") {
-                out.push((start, i - start));
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                if !is_c_keyword(&text[start..i]) {
+                    out.push((start, i - start));
+                }
             }
-        } else {
-            i += 1;
+            _ => i += 1,
         }
     }
     out
@@ -185,12 +430,34 @@ pub fn identifier_sites(text: &str) -> Vec<(usize, usize)> {
 /// the site to the same statement *shape* (`var<N> = …`, the generator's
 /// unambiguous filler) at the same relative depth makes the sizes directly
 /// comparable.
+/// The target is measured in **lines**, not bytes. Line lengths are not
+/// uniform — indentation grows with nesting depth, so regions with deep
+/// blocks carry more bytes per line — and the depth profile shifts as
+/// documents grow. A byte-fraction target therefore drifts away from the
+/// same relative *line* as `lines` scales into the thousands (and would
+/// drift further on non-ASCII text, where byte and char counts diverge;
+/// the rope's `line_col` counts char columns from byte offsets, never the
+/// reverse). Targeting the line at `frac` of the line count keeps the site
+/// at the same relative position at every size. The returned range is in
+/// byte offsets, the unit `Session::edit` takes.
 pub fn comparable_site(text: &str, frac: f64) -> Option<(usize, usize)> {
-    let target = (text.len() as f64 * frac.clamp(0.0, 1.0)) as usize;
-    identifier_sites(text)
-        .into_iter()
-        .filter(|&(s, l)| text[s..s + l].starts_with("var"))
-        .min_by_key(|&(s, _)| s.abs_diff(target))
+    let total_lines = text.lines().count().max(1);
+    let target_line = (total_lines as f64 * frac.clamp(0.0, 1.0)).round() as usize;
+    // Single pass: walk sites (sorted by offset) and count newlines in
+    // step, keeping the first site on the line nearest the target.
+    let mut best: Option<((usize, usize), usize)> = None;
+    let (mut line, mut pos) = (0usize, 0usize);
+    for (s, l) in identifier_sites(text) {
+        line += text[pos..s].bytes().filter(|&b| b == b'\n').count();
+        pos = s;
+        if text[s..s + l].starts_with("var") {
+            let dist = line.abs_diff(target_line);
+            if best.is_none_or(|(_, d)| dist < d) {
+                best = Some(((s, l), dist));
+            }
+        }
+    }
+    best.map(|(site, _)| site)
 }
 
 /// Deterministically picks `count` identifier edit sites spread over the
@@ -204,6 +471,266 @@ pub fn edit_sites(text: &str, count: usize, seed: u64) -> Vec<(usize, usize)> {
     (0..count)
         .map(|_| sites[rng.random_range(0..sites.len())])
         .collect()
+}
+
+/// What a [`ScriptedEdit`] models, for reporting and stratified replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EditKind {
+    /// Replace one identifier occurrence with a fresh name.
+    IdentifierChurn,
+    /// Move a whole top-level function definition elsewhere.
+    BlockMove,
+    /// Insert a new `typedef` line, or delete an existing one.
+    TypedefToggle,
+    /// Comment a statement line out, or un-comment one previously
+    /// commented out by the script.
+    CommentToggle,
+}
+
+/// One step of an edit script: replace `remove` bytes at byte offset `at`
+/// with `insert` — exactly the signature of `Session::edit`. Offsets are
+/// valid against the document produced by applying all *earlier* steps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScriptedEdit {
+    /// Byte offset of the edit in the current document.
+    pub at: usize,
+    /// Bytes removed at `at`.
+    pub remove: usize,
+    /// Replacement text.
+    pub insert: String,
+    /// The operation this step belongs to (multi-step operations such as
+    /// block moves emit several steps with the same kind).
+    pub kind: EditKind,
+}
+
+/// Applies one scripted edit to a plain string — the oracle-side mirror of
+/// feeding the same step to `Session::edit`.
+pub fn apply_edit(doc: &mut String, e: &ScriptedEdit) {
+    doc.replace_range(e.at..e.at + e.remove, &e.insert);
+}
+
+/// Generates a realistic edit script of `ops` operations against `text`:
+/// identifier churn, block moves, typedef add/remove and comment toggling,
+/// in roughly the mix an editing session produces. Each operation may emit
+/// more than one [`ScriptedEdit`] (a block move is a delete plus an
+/// insert); steps must be applied in order, and every intermediate document
+/// — not just the final one — remains syntactically valid under the
+/// full-scale grammar, so a session can reparse after every step.
+pub fn edit_script(text: &str, ops: usize, seed: u64) -> Vec<ScriptedEdit> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut doc = text.to_string();
+    let mut out = Vec::new();
+    let mut fresh = 0usize;
+    for _ in 0..ops {
+        let roll: f64 = rng.random();
+        let steps = if roll < 0.55 {
+            churn_step(&doc, &mut rng, &mut fresh)
+        } else if roll < 0.75 {
+            comment_toggle_step(&doc, &mut rng)
+        } else if roll < 0.90 {
+            typedef_toggle_step(&doc, &mut rng, &mut fresh)
+        } else {
+            block_move_step(&doc, &mut rng)
+        };
+        // Operations that find no applicable site fall back to churn, which
+        // only needs one identifier anywhere in the document.
+        let steps = steps
+            .or_else(|| churn_step(&doc, &mut rng, &mut fresh))
+            .unwrap_or_default();
+        for e in steps {
+            apply_edit(&mut doc, &e);
+            out.push(e);
+        }
+    }
+    out
+}
+
+fn churn_step(doc: &str, rng: &mut StdRng, fresh: &mut usize) -> Option<Vec<ScriptedEdit>> {
+    let sites = identifier_sites(doc);
+    if sites.is_empty() {
+        return None;
+    }
+    let (at, remove) = sites[rng.random_range(0..sites.len())];
+    let insert = format!("rn{}", *fresh);
+    *fresh += 1;
+    Some(vec![ScriptedEdit {
+        at,
+        remove,
+        insert,
+        kind: EditKind::IdentifierChurn,
+    }])
+}
+
+fn typedef_toggle_step(
+    doc: &str,
+    rng: &mut StdRng,
+    fresh: &mut usize,
+) -> Option<Vec<ScriptedEdit>> {
+    // Remove an existing typedef line half the time (when one exists),
+    // otherwise insert a fresh one at some line start. Block-scope typedefs
+    // are valid C, so any line start works as an insertion point.
+    let existing = line_starting_with(doc, "typedef ");
+    if let Some(start) = existing {
+        if rng.random_bool(0.5) {
+            let end = doc[start..].find('\n').map_or(doc.len(), |n| start + n + 1);
+            return Some(vec![ScriptedEdit {
+                at: start,
+                remove: end - start,
+                insert: String::new(),
+                kind: EditKind::TypedefToggle,
+            }]);
+        }
+    }
+    let starts = line_starts(doc);
+    let at = starts[rng.random_range(0..starts.len())];
+    let insert = format!("typedef long tx{} ;\n", *fresh);
+    *fresh += 1;
+    Some(vec![ScriptedEdit {
+        at,
+        remove: 0,
+        insert,
+        kind: EditKind::TypedefToggle,
+    }])
+}
+
+fn comment_toggle_step(doc: &str, rng: &mut StdRng) -> Option<Vec<ScriptedEdit>> {
+    // Script-made comments carry `/*<`/`>*/` markers so un-commenting only
+    // ever re-exposes text that was valid code when it was commented out
+    // (the generator's own `/* region N */` noise is prose, not code).
+    if let Some(open) = doc.find("/*< ") {
+        if rng.random_bool(0.5) {
+            let close = doc[open..].find(" >*/").map(|n| open + n)?;
+            return Some(vec![ScriptedEdit {
+                at: open,
+                remove: close + 4 - open,
+                insert: doc[open + 4..close].to_string(),
+                kind: EditKind::CommentToggle,
+            }]);
+        }
+    }
+    // Comment out a simple statement line: must end in `;` and contain no
+    // braces (commenting an opener would unbalance the block structure) and
+    // no existing comment or literal (no nesting).
+    let candidates: Vec<(usize, usize)> = line_spans(doc)
+        .into_iter()
+        .filter(|&(s, e)| {
+            let line = &doc[s..e];
+            line.trim_end().ends_with(';') && !line.contains(['{', '}', '/', '"', '\''])
+        })
+        .collect();
+    if candidates.is_empty() {
+        return None;
+    }
+    let (s, e) = candidates[rng.random_range(0..candidates.len())];
+    let eol = doc[s..e].trim_end_matches(['\n', '\r', ' ']).len() + s;
+    // One contiguous replace, so the toggle never exposes a half-commented
+    // document to a session reparsing after every step.
+    Some(vec![ScriptedEdit {
+        at: s,
+        remove: eol - s,
+        insert: format!("/*< {} >*/", &doc[s..eol]),
+        kind: EditKind::CommentToggle,
+    }])
+}
+
+fn block_move_step(doc: &str, rng: &mut StdRng) -> Option<Vec<ScriptedEdit>> {
+    // Move a whole top-level function definition to another top-level
+    // boundary: the only block granularity guaranteed to stay valid
+    // anywhere at the top level.
+    let fns = function_spans(doc);
+    if fns.len() < 2 {
+        return None;
+    }
+    let (s, e) = fns[rng.random_range(0..fns.len())];
+    // Insert at the start of another function (or the document end), which
+    // is a top-level boundary by construction.
+    let mut targets: Vec<usize> = fns
+        .iter()
+        .map(|&(fs, _)| fs)
+        .filter(|&fs| fs < s || fs >= e)
+        .collect();
+    targets.push(doc.len());
+    let target = targets[rng.random_range(0..targets.len())];
+    let body = doc[s..e].to_string();
+    let adjusted = if target >= e {
+        target - (e - s)
+    } else {
+        target
+    };
+    Some(vec![
+        ScriptedEdit {
+            at: s,
+            remove: e - s,
+            insert: String::new(),
+            kind: EditKind::BlockMove,
+        },
+        ScriptedEdit {
+            at: adjusted,
+            remove: 0,
+            insert: body,
+            kind: EditKind::BlockMove,
+        },
+    ])
+}
+
+/// Byte offsets of every line start in `doc` (including offset 0).
+fn line_starts(doc: &str) -> Vec<usize> {
+    let mut out = vec![0];
+    out.extend(
+        doc.bytes()
+            .enumerate()
+            .filter(|&(_, b)| b == b'\n')
+            .map(|(i, _)| i + 1)
+            .filter(|&i| i < doc.len()),
+    );
+    out
+}
+
+/// `(start, end)` byte spans of every line, `end` past the newline.
+fn line_spans(doc: &str) -> Vec<(usize, usize)> {
+    let starts = line_starts(doc);
+    starts
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (s, starts.get(i + 1).copied().unwrap_or(doc.len())))
+        .collect()
+}
+
+/// Start offset of the first line beginning with `prefix`, if any.
+fn line_starting_with(doc: &str, prefix: &str) -> Option<usize> {
+    line_starts(doc)
+        .into_iter()
+        .find(|&s| doc[s..].starts_with(prefix))
+}
+
+/// `(start, end)` spans of top-level `{…}` items — lines that open a brace
+/// at depth 0 through the line where the brace count returns to 0. Tracks
+/// depth by counting braces per line; generated text keeps braces out of
+/// comments and literals, so the count is exact.
+fn function_spans(doc: &str) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut depth = 0isize;
+    let mut open: Option<usize> = None;
+    for (s, e) in line_spans(doc) {
+        let line = &doc[s..e];
+        let before = depth;
+        for b in line.bytes() {
+            match b {
+                b'{' => depth += 1,
+                b'}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if before == 0 && depth > 0 {
+            open = Some(s);
+        }
+        if before > 0 && depth == 0 {
+            if let Some(start) = open.take() {
+                out.push((start, e));
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -267,13 +794,127 @@ mod tests {
 
     #[test]
     fn comparable_site_is_deterministic_and_mid_document() {
-        for lines in [150usize, 1_500] {
+        // Line-fraction must stay tight even at multi-thousand-line sizes:
+        // the old byte-fraction target drifted as the nesting-depth profile
+        // (and so bytes-per-line) changed with document size.
+        for lines in [150usize, 1_500, 15_000] {
             let p = c_program(&GenSpec::sized(lines, 0.0, 7));
             let (s, l) = comparable_site(&p.text, 0.5).expect("filler statements exist");
             assert_eq!(comparable_site(&p.text, 0.5), Some((s, l)));
             assert!(p.text[s..s + l].starts_with("var"));
-            let frac = s as f64 / p.text.len() as f64;
-            assert!((0.4..0.6).contains(&frac), "site at {frac} of the text");
+            let line = p.text[..s].bytes().filter(|&b| b == b'\n').count();
+            let frac = line as f64 / p.text.lines().count() as f64;
+            assert!(
+                (0.45..0.55).contains(&frac),
+                "{lines}-line doc: site on line fraction {frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn comparable_site_works_on_full_c_documents() {
+        let p = full_c_program(&GenSpec::sized(2_000, 0.02, 5));
+        let (s, l) = comparable_site(&p.text, 0.5).expect("var fillers exist");
+        assert!(p.text[s..s + l].starts_with("var"));
+        let line = p.text[..s].bytes().filter(|&b| b == b'\n').count();
+        let frac = line as f64 / p.text.lines().count() as f64;
+        assert!((0.45..0.55).contains(&frac), "site on line fraction {frac}");
+    }
+
+    #[test]
+    fn identifier_sites_skip_comments_literals_and_keywords() {
+        let text = "static int x; // note alpha\nchar *s = \"beta gamma\"; /* delta */ int yy;\n";
+        let words: Vec<&str> = identifier_sites(text)
+            .iter()
+            .map(|&(s, l)| &text[s..s + l])
+            .collect();
+        assert_eq!(words, vec!["x", "s", "yy"]);
+    }
+
+    #[test]
+    fn full_c_generation_is_deterministic() {
+        let spec = GenSpec::sized(400, 0.05, 11);
+        let a = full_c_program(&spec);
+        let b = full_c_program(&spec);
+        assert_eq!(a.text, b.text);
+        assert_ne!(a.text, full_c_program(&GenSpec { seed: 12, ..spec }).text);
+    }
+
+    #[test]
+    fn full_c_programs_parse_with_ground_truth_choice_points() {
+        let cfg = crate::full_c();
+        for seed in 0..4 {
+            let p = full_c_program(&GenSpec::sized(250, 0.06, seed));
+            let s = Session::new(&cfg, &p.text)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{}", p.text));
+            assert_eq!(
+                s.stats().choice_points,
+                p.ambiguous_sites,
+                "every persistent-fork site is exactly one choice point (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn full_c_zero_ambiguity_means_plain_tree() {
+        let p = full_c_program(&GenSpec::sized(300, 0.0, 9));
+        assert_eq!(p.ambiguous_sites, 0);
+        let s = Session::new(&crate::full_c(), &p.text).unwrap();
+        assert_eq!(s.stats().choice_points, 0);
+    }
+
+    #[test]
+    fn full_c_multi_thousand_line_document_parses() {
+        let p = full_c_program(&GenSpec::sized(3_000, 0.02, 2));
+        assert!(
+            p.text.lines().count() >= 3_000,
+            "closes add lines beyond the {} emitted items",
+            p.lines
+        );
+        let s = Session::new(&crate::full_c(), &p.text).unwrap();
+        assert_eq!(s.stats().choice_points, p.ambiguous_sites);
+    }
+
+    #[test]
+    fn edit_scripts_are_deterministic_and_cover_all_kinds() {
+        let p = full_c_program(&GenSpec::sized(600, 0.04, 3));
+        let a = edit_script(&p.text, 40, 17);
+        assert_eq!(a, edit_script(&p.text, 40, 17));
+        for kind in [
+            EditKind::IdentifierChurn,
+            EditKind::BlockMove,
+            EditKind::TypedefToggle,
+            EditKind::CommentToggle,
+        ] {
+            assert!(
+                a.iter().any(|e| e.kind == kind),
+                "40 ops at seed 17 exercise {kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn edit_scripts_drive_incremental_sessions() {
+        // Every intermediate document stays valid: feed each step to a live
+        // session AND to the string oracle, and check they agree.
+        let cfg = crate::full_c();
+        let p = full_c_program(&GenSpec::sized(300, 0.04, 6));
+        let mut session = Session::new(&cfg, &p.text).unwrap();
+        let mut oracle = p.text.clone();
+        let script = edit_script(&p.text, 12, 21);
+        assert!(!script.is_empty());
+        for e in &script {
+            session.edit(e.at, e.remove, &e.insert);
+            let out = session
+                .reparse()
+                .unwrap_or_else(|err| panic!("step {e:?} broke the document: {err}\n{oracle}"));
+            assert!(out.incorporated);
+            apply_edit(&mut oracle, e);
+            assert_eq!(
+                session.text(),
+                oracle,
+                "session and oracle diverged at {e:?}"
+            );
         }
     }
 

@@ -22,7 +22,12 @@ pub mod generate;
 pub mod toys;
 
 mod c;
+mod c_full;
 mod modula;
 
 pub use c::{item_nt, nt, simp_c, simp_c_det, simp_c_det_defs, simp_cpp, tokens, CTokens};
+pub use c_full::{
+    full_c, full_c_defs, ALIAS_KEYWORDS, C23_KEYWORDS, GNU_KEYWORDS, KEYWORDS, MS_KEYWORDS,
+    NEVER_SHIFTED, PUNCTUATORS, VALUE_TOKENS,
+};
 pub use modula::{modula_program, simp_modula};

@@ -52,5 +52,7 @@ mod table;
 pub use automaton::{Lr0Automaton, StateId};
 pub use item::{Item, ItemSet};
 pub use lr1::{lr1_metrics, Lr1Metrics};
-pub use packed::{Cell, PackedAction, TableStats};
-pub use table::{Action, ConflictKind, ConflictReport, LrTable, RefTable, TableKind};
+pub use packed::{Cell, PackError, PackedAction, TableStats};
+pub use table::{
+    Action, ConflictKind, ConflictReport, LrTable, RefTable, TableBuildError, TableKind,
+};

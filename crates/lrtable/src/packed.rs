@@ -34,7 +34,74 @@
 use crate::automaton::StateId;
 use crate::table::Action;
 use std::collections::HashMap;
+use std::fmt;
 use wg_grammar::{Grammar, NonTerminal, ProdId, Terminal};
+
+/// A packed-encoding field overflow: the table is too large for the
+/// fixed bit-widths of the packed representation. Construction reports
+/// these as structured errors instead of truncating or panicking —
+/// real-scale grammars must fail loudly, not corrupt cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PackError {
+    /// A shift target exceeds the 30-bit action payload.
+    StatePayload {
+        /// The offending state index.
+        state: usize,
+    },
+    /// A production index exceeds the 30-bit action payload.
+    ProductionPayload {
+        /// The offending production index.
+        production: usize,
+    },
+    /// More terminal equivalence classes than a `u16` can index.
+    TermClasses {
+        /// The class count that no longer fits.
+        classes: usize,
+    },
+    /// The conflict arena grew past 30-bit offsets.
+    ArenaOffset {
+        /// The arena length in words at overflow.
+        words: usize,
+    },
+    /// A nonterminal-reduction list exceeds the 5-bit length field.
+    NtListLen {
+        /// The offending list length.
+        len: usize,
+    },
+    /// The nonterminal-reduction arena grew past 27-bit offsets.
+    NtArenaOffset {
+        /// The arena length in entries at overflow.
+        words: usize,
+    },
+}
+
+impl fmt::Display for PackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PackError::StatePayload { state } => {
+                write!(f, "state index {state} exceeds the 30-bit action payload")
+            }
+            PackError::ProductionPayload { production } => write!(
+                f,
+                "production index {production} exceeds the 30-bit action payload"
+            ),
+            PackError::TermClasses { classes } => {
+                write!(f, "{classes} terminal classes exceed the u16 class index")
+            }
+            PackError::ArenaOffset { words } => {
+                write!(f, "conflict arena of {words} words exceeds 30-bit offsets")
+            }
+            PackError::NtListLen { len } => {
+                write!(f, "nt-reduction list of {len} entries exceeds 5-bit length")
+            }
+            PackError::NtArenaOffset { words } => {
+                write!(f, "nt arena of {words} entries exceeds 27-bit offsets")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PackError {}
 
 /// Tag of a packed shift action (payload = target state index).
 const TAG_SHIFT: u32 = 1;
@@ -56,17 +123,37 @@ const PAYLOAD_MASK: u32 = (1 << TAG_BITS) - 1;
 pub struct PackedAction(pub u32);
 
 impl PackedAction {
-    /// Packs an action. Panics if an index exceeds 30 bits (a table with
-    /// a billion states would have failed to build long before this).
+    /// Packs an action. Panics if an index exceeds 30 bits; fallible
+    /// construction goes through [`PackedAction::try_encode`].
     #[inline]
     pub fn encode(a: Action) -> PackedAction {
+        Self::try_encode(a).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Packs an action, reporting a [`PackError`] when the payload does
+    /// not fit its 30 bits.
+    #[inline]
+    pub fn try_encode(a: Action) -> Result<PackedAction, PackError> {
         let (tag, payload) = match a {
-            Action::Shift(s) => (TAG_SHIFT, s.0),
-            Action::Reduce(p) => (TAG_REDUCE, p.index() as u32),
+            Action::Shift(s) => {
+                if s.0 > PAYLOAD_MASK {
+                    return Err(PackError::StatePayload {
+                        state: s.0 as usize,
+                    });
+                }
+                (TAG_SHIFT, s.0)
+            }
+            Action::Reduce(p) => {
+                if p.index() as u64 > PAYLOAD_MASK as u64 {
+                    return Err(PackError::ProductionPayload {
+                        production: p.index(),
+                    });
+                }
+                (TAG_REDUCE, p.index() as u32)
+            }
             Action::Accept => (TAG_ACCEPT, 0),
         };
-        assert!(payload <= PAYLOAD_MASK, "table index exceeds 30 bits");
-        PackedAction((tag << TAG_BITS) | payload)
+        Ok(PackedAction((tag << TAG_BITS) | payload))
     }
 
     /// Unpacks the action. Must only be called on tagged words.
@@ -201,17 +288,46 @@ pub(crate) struct PackedTables {
     action_entries: usize,
 }
 
+/// Checked `u16` terminal-class index.
+fn class_id(n: usize) -> Result<u16, PackError> {
+    u16::try_from(n).map_err(|_| PackError::TermClasses { classes: n + 1 })
+}
+
+/// Checked 30-bit conflict-arena offset.
+fn arena_offset(words: usize) -> Result<u32, PackError> {
+    if words as u64 > PAYLOAD_MASK as u64 {
+        Err(PackError::ArenaOffset { words })
+    } else {
+        Ok(words as u32)
+    }
+}
+
+/// Checked `(offset << 5 | len)` nonterminal-reduction index word.
+fn nt_cell_word(off: usize, len: usize) -> Result<u32, PackError> {
+    if len > NT_LEN_MASK as usize {
+        return Err(PackError::NtListLen { len });
+    }
+    if off as u64 >= (u32::MAX >> NT_LEN_BITS) as u64 {
+        return Err(PackError::NtArenaOffset { words: off });
+    }
+    Ok(((off as u32) << NT_LEN_BITS) | len as u32)
+}
+
 impl PackedTables {
     /// Packs the raw per-cell representation produced by table
     /// construction. `actions` is indexed `s * num_terminals + t` with
     /// canonical (sorted, deduplicated, statically filtered) cells.
+    /// `no_default[s]` bars state `s` from carrying a default reduction
+    /// (states holding `%nonassoc`-induced error cells: defaulting would
+    /// reduce straight through the deliberate error entry).
     pub(crate) fn pack(
         g: &Grammar,
         num_states: usize,
         actions: &[Vec<Action>],
         gotos: &[Option<StateId>],
         nt_reduce: &[Option<Vec<ProdId>>],
-    ) -> PackedTables {
+        no_default: &[bool],
+    ) -> Result<PackedTables, PackError> {
         let num_terminals = g.num_terminals();
         let num_nonterminals = g.num_nonterminals();
 
@@ -224,7 +340,7 @@ impl PackedTables {
                 let column: Vec<&[Action]> = (0..num_states)
                     .map(|s| actions[s * num_terminals + t].as_slice())
                     .collect();
-                let next = class_rep.len() as u16;
+                let next = class_id(class_rep.len())?;
                 let class = *seen.entry(column).or_insert(next);
                 if class == next {
                     class_rep.push(t);
@@ -243,12 +359,13 @@ impl PackedTables {
                 let cell = &actions[s * num_terminals + rep];
                 cells[s * num_classes + c] = match cell.len() {
                     0 => 0,
-                    1 => PackedAction::encode(cell[0]).0,
+                    1 => PackedAction::try_encode(cell[0])?.0,
                     n => {
-                        let off = arena.len() as u32;
-                        assert!(off <= PAYLOAD_MASK, "action arena exceeds 30-bit offsets");
+                        let off = arena_offset(arena.len())?;
                         arena.push(n as u32);
-                        arena.extend(cell.iter().map(|&a| PackedAction::encode(a).0));
+                        for &a in cell {
+                            arena.push(PackedAction::try_encode(a)?.0);
+                        }
                         off
                     }
                 };
@@ -259,9 +376,14 @@ impl PackedTables {
         // holds exactly the same single non-ε reduction. (ε-reductions are
         // excluded so a defaulted reduce always pops at least one stack
         // entry — the naive table's termination argument carries over
-        // unchanged even on error lookaheads.)
+        // unchanged even on error lookaheads.) States in `no_default` are
+        // skipped outright: their empty cells are deliberate `%nonassoc`
+        // errors, not don't-cares, and must be consulted.
         let mut default_reduce = vec![0u32; num_states];
         for s in 0..num_states {
+            if no_default.get(s).copied().unwrap_or(false) {
+                continue;
+            }
             let mut agreed: Option<ProdId> = None;
             let mut ok = true;
             for &rep in class_rep.iter().take(num_classes) {
@@ -284,7 +406,7 @@ impl PackedTables {
             }
             if ok {
                 if let Some(p) = agreed {
-                    default_reduce[s] = PackedAction::encode(Action::Reduce(p)).0;
+                    default_reduce[s] = PackedAction::try_encode(Action::Reduce(p))?.0;
                 }
             }
         }
@@ -299,20 +421,14 @@ impl PackedTables {
         let mut nt_arena: Vec<ProdId> = Vec::new();
         for (i, slot) in nt_reduce.iter().enumerate() {
             if let Some(list) = slot {
-                let off = nt_arena.len() as u32;
-                let len = list.len() as u32;
-                assert!(len <= NT_LEN_MASK, "nt-reduction list exceeds 31 entries");
-                assert!(
-                    off < (u32::MAX >> NT_LEN_BITS),
-                    "nt arena exceeds 27-bit offsets"
-                );
+                let word = nt_cell_word(nt_arena.len(), list.len())?;
                 nt_arena.extend_from_slice(list);
-                nt_cells[i] = (off << NT_LEN_BITS) | len;
+                nt_cells[i] = word;
             }
         }
 
         let action_entries = actions.iter().map(|c| c.len()).sum();
-        PackedTables {
+        Ok(PackedTables {
             num_classes,
             num_nonterminals,
             term_class,
@@ -323,7 +439,7 @@ impl PackedTables {
             nt_cells,
             nt_arena,
             action_entries,
-        }
+        })
     }
 
     /// The ACTION cell for `(state, terminal)`.
@@ -436,6 +552,84 @@ mod tests {
             let w = PackedAction::encode(a).0;
             assert_ne!(w, 0);
             assert_ne!(w >> TAG_BITS, 0);
+        }
+    }
+
+    #[test]
+    fn state_payload_limit_is_a_structured_error() {
+        // 2^30 - 1 fits; 2^30 does not.
+        let max = (1u32 << 30) - 1;
+        assert!(PackedAction::try_encode(Action::Shift(StateId(max))).is_ok());
+        assert_eq!(
+            PackedAction::try_encode(Action::Shift(StateId(max + 1))),
+            Err(PackError::StatePayload {
+                state: (max + 1) as usize
+            })
+        );
+    }
+
+    #[test]
+    fn production_payload_limit_is_a_structured_error() {
+        let max = ((1u32 << 30) - 1) as usize;
+        assert!(PackedAction::try_encode(Action::Reduce(ProdId::from_index(max))).is_ok());
+        assert_eq!(
+            PackedAction::try_encode(Action::Reduce(ProdId::from_index(max + 1))),
+            Err(PackError::ProductionPayload {
+                production: max + 1
+            })
+        );
+    }
+
+    #[test]
+    fn term_class_limit_is_a_structured_error() {
+        assert_eq!(class_id(u16::MAX as usize), Ok(u16::MAX));
+        assert_eq!(
+            class_id(u16::MAX as usize + 1),
+            Err(PackError::TermClasses {
+                classes: u16::MAX as usize + 2
+            })
+        );
+    }
+
+    #[test]
+    fn arena_offset_limit_is_a_structured_error() {
+        let max = ((1u32 << 30) - 1) as usize;
+        assert_eq!(arena_offset(max), Ok(max as u32));
+        assert_eq!(
+            arena_offset(max + 1),
+            Err(PackError::ArenaOffset { words: max + 1 })
+        );
+    }
+
+    #[test]
+    fn nt_list_len_limit_is_a_structured_error() {
+        assert!(nt_cell_word(0, 31).is_ok());
+        assert_eq!(nt_cell_word(0, 32), Err(PackError::NtListLen { len: 32 }));
+    }
+
+    #[test]
+    fn nt_arena_offset_limit_is_a_structured_error() {
+        let max = (u32::MAX >> NT_LEN_BITS) as usize - 1;
+        assert_eq!(nt_cell_word(max, 1), Ok(((max as u32) << NT_LEN_BITS) | 1));
+        assert_eq!(
+            nt_cell_word(max + 1, 1),
+            Err(PackError::NtArenaOffset { words: max + 1 })
+        );
+    }
+
+    #[test]
+    fn pack_errors_render() {
+        for e in [
+            PackError::StatePayload { state: 1 << 30 },
+            PackError::ProductionPayload {
+                production: 1 << 30,
+            },
+            PackError::TermClasses { classes: 70_000 },
+            PackError::ArenaOffset { words: 1 << 30 },
+            PackError::NtListLen { len: 32 },
+            PackError::NtArenaOffset { words: 1 << 27 },
+        ] {
+            assert!(!format!("{e}").is_empty());
         }
     }
 

@@ -11,9 +11,48 @@
 
 use crate::automaton::{Lr0Automaton, StateId};
 use crate::lalr::lalr_lookaheads;
-use crate::packed::{Cell, PackedTables, TableStats};
+use crate::packed::{Cell, PackError, PackedTables, TableStats};
 use std::fmt;
 use wg_grammar::{Assoc, Grammar, GrammarAnalysis, NonTerminal, ProdId, Symbol, TermSet, Terminal};
+
+/// A structured table-construction failure.
+///
+/// Construction is total for ordinary grammars; it refuses exactly two
+/// things: *cyclic* grammars (whose infinitely ambiguous sentences no
+/// finite parse forest — and no terminating GLR reduction worklist — can
+/// represent) and tables whose indices overflow the packed encoding's
+/// fixed bit-widths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableBuildError {
+    /// The grammar derives some nonterminal from itself (`A =>+ A`).
+    CyclicGrammar {
+        /// Name of (one of) the cyclic nonterminals.
+        nonterminal: String,
+    },
+    /// A packed-encoding field overflowed.
+    Pack(PackError),
+}
+
+impl fmt::Display for TableBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableBuildError::CyclicGrammar { nonterminal } => write!(
+                f,
+                "grammar is cyclic: `{nonterminal}` derives itself, making \
+                 its sentences infinitely ambiguous"
+            ),
+            TableBuildError::Pack(e) => write!(f, "packed encoding overflow: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TableBuildError {}
+
+impl From<PackError> for TableBuildError {
+    fn from(e: PackError) -> TableBuildError {
+        TableBuildError::Pack(e)
+    }
+}
 
 /// A parse action in one ACTION-table cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -79,6 +118,10 @@ struct RawTables {
     /// when every terminal in FIRST(N) agrees; `None` when the incremental
     /// parser must break the lookahead subtree down to find a terminal.
     nt_reduce: Vec<Option<Vec<ProdId>>>,
+    /// States holding at least one cell emptied by `%nonassoc` — a
+    /// deliberate error entry. Such states must never default-reduce:
+    /// dispatch has to consult the cell and *see* the error.
+    no_default: Vec<bool>,
     conflicts: ConflictReport,
     automaton: Lr0Automaton,
 }
@@ -138,13 +181,14 @@ fn build_raw(g: &Grammar, an: &GrammarAnalysis, kind: TableKind) -> RawTables {
 
     // Canonicalize cells and apply static filters.
     let mut conflicts = ConflictReport::default();
+    let mut no_default = vec![false; num_states];
     for s in 0..num_states {
         for t in 0..num_terminals {
             let cell = &mut actions[s * num_terminals + t];
             cell.sort_unstable();
             cell.dedup();
-            if cell.len() > 1 {
-                resolve_cell(g, Terminal::from_index(t), cell, &mut conflicts);
+            if cell.len() > 1 && resolve_cell(g, Terminal::from_index(t), cell, &mut conflicts) {
+                no_default[s] = true;
             }
             if cell.len() > 1 {
                 let kind = if cell.iter().any(|a| matches!(a, Action::Shift(_))) {
@@ -202,6 +246,7 @@ fn build_raw(g: &Grammar, an: &GrammarAnalysis, kind: TableKind) -> RawTables {
         actions,
         gotos,
         nt_reduce,
+        no_default,
         conflicts,
         automaton: auto,
     }
@@ -224,24 +269,68 @@ pub struct LrTable {
 impl LrTable {
     /// Builds the table for `g`, retaining conflicts and applying static
     /// precedence filters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a [`TableBuildError`] (cyclic grammar or packed-encoding
+    /// overflow); use [`LrTable::try_build`] to handle those structurally.
     pub fn build(g: &Grammar, kind: TableKind) -> LrTable {
-        let an = GrammarAnalysis::new(g);
-        Self::build_with_analysis(g, &an, kind)
+        Self::try_build(g, kind).unwrap_or_else(|e| panic!("table construction failed: {e}"))
     }
 
     /// As [`LrTable::build`], reusing a precomputed [`GrammarAnalysis`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a [`TableBuildError`].
     pub fn build_with_analysis(g: &Grammar, an: &GrammarAnalysis, kind: TableKind) -> LrTable {
+        Self::try_build_with_analysis(g, an, kind)
+            .unwrap_or_else(|e| panic!("table construction failed: {e}"))
+    }
+
+    /// Fallible table construction: refuses cyclic grammars and reports
+    /// packed-encoding overflows as structured errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TableBuildError`] for cyclic grammars or field overflow.
+    pub fn try_build(g: &Grammar, kind: TableKind) -> Result<LrTable, TableBuildError> {
+        let an = GrammarAnalysis::new(g);
+        Self::try_build_with_analysis(g, &an, kind)
+    }
+
+    /// As [`LrTable::try_build`], reusing a precomputed [`GrammarAnalysis`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TableBuildError`] for cyclic grammars or field overflow.
+    pub fn try_build_with_analysis(
+        g: &Grammar,
+        an: &GrammarAnalysis,
+        kind: TableKind,
+    ) -> Result<LrTable, TableBuildError> {
+        if let Some(&n) = an.cyclic_nonterminals(g).first() {
+            return Err(TableBuildError::CyclicGrammar {
+                nonterminal: g.nonterminal_name(n).to_string(),
+            });
+        }
         let raw = build_raw(g, an, kind);
-        let packed =
-            PackedTables::pack(g, raw.num_states, &raw.actions, &raw.gotos, &raw.nt_reduce);
-        LrTable {
+        let packed = PackedTables::pack(
+            g,
+            raw.num_states,
+            &raw.actions,
+            &raw.gotos,
+            &raw.nt_reduce,
+            &raw.no_default,
+        )?;
+        Ok(LrTable {
             kind,
             num_states: raw.num_states,
             num_terminals: raw.num_terminals,
             packed,
             conflicts: raw.conflicts,
             automaton: raw.automaton,
-        }
+        })
     }
 
     /// Which lookahead computation built this table.
@@ -397,19 +486,27 @@ impl fmt::Display for TableKind {
 }
 
 /// Applies yacc-style precedence to a conflicted cell (the paper's *static
-/// syntactic filters*, Section 4.1).
-fn resolve_cell(g: &Grammar, term: Terminal, cell: &mut Vec<Action>, report: &mut ConflictReport) {
+/// syntactic filters*, Section 4.1). Returns `true` when `%nonassoc`
+/// emptied the cell — a deliberate error entry the containing state must
+/// surface (so it can never carry a default reduction).
+fn resolve_cell(
+    g: &Grammar,
+    term: Terminal,
+    cell: &mut Vec<Action>,
+    report: &mut ConflictReport,
+) -> bool {
     let term_prec = g.terminal_precedence(term);
-    let Some(tp) = term_prec else { return };
+    let Some(tp) = term_prec else { return false };
     let shifts: Vec<Action> = cell
         .iter()
         .copied()
         .filter(|a| matches!(a, Action::Shift(_)))
         .collect();
     if shifts.is_empty() {
-        return; // reduce/reduce: never resolved by precedence (as in yacc)
+        return false; // reduce/reduce: never resolved by precedence (as in yacc)
     }
     let mut drop_shift = false;
+    let mut nonassoc_fired = false;
     let mut dropped: Vec<Action> = Vec::new();
     for a in cell.iter() {
         let Action::Reduce(p) = a else { continue };
@@ -435,6 +532,7 @@ fn resolve_cell(g: &Grammar, term: Terminal, cell: &mut Vec<Action>, report: &mu
                 Assoc::NonAssoc => {
                     drop_shift = true;
                     dropped.push(*a);
+                    nonassoc_fired = true;
                     report.nonassoc_errors += 1;
                 }
             }
@@ -446,6 +544,7 @@ fn resolve_cell(g: &Grammar, term: Terminal, cell: &mut Vec<Action>, report: &mu
         }
         !dropped.contains(a)
     });
+    nonassoc_fired && cell.is_empty()
 }
 
 #[cfg(test)]

@@ -5,8 +5,10 @@
 //! grammars exercising every table feature and for random small grammars.
 
 use proptest::prelude::*;
-use wg_grammar::{Grammar, GrammarBuilder, NonTerminal, SeqKind, Symbol, Terminal};
-use wg_lrtable::{Action, LrTable, RefTable, StateId, TableKind};
+use wg_grammar::{
+    Grammar, GrammarAnalysis, GrammarBuilder, NonTerminal, SeqKind, Symbol, Terminal,
+};
+use wg_lrtable::{Action, LrTable, RefTable, StateId, TableBuildError, TableKind};
 
 /// Asserts full equivalence of the packed and reference tables for `g`,
 /// plus the internal consistency of the packed extras (default reductions,
@@ -247,7 +249,86 @@ proptest! {
             // Builder rejected the combination (no derivable start, …).
             return Ok(());
         };
+        if !GrammarAnalysis::new(&g).cyclic_nonterminals(&g).is_empty() {
+            // Cyclic grammars are refused by construction (structured
+            // error, checked by `cyclic_grammar_is_refused` below).
+            prop_assert!(matches!(
+                LrTable::try_build(&g, TableKind::Lalr),
+                Err(TableBuildError::CyclicGrammar { .. })
+            ));
+            return Ok(());
+        }
         assert_equivalent(&g, TableKind::Lalr);
         assert_equivalent(&g, TableKind::Slr);
     }
+}
+
+#[test]
+fn cyclic_grammar_is_refused() {
+    // A -> A | x: infinitely ambiguous; table construction must return a
+    // structured error instead of handing the GLR machinery a table it
+    // can loop on forever.
+    let mut b = GrammarBuilder::new("cyc");
+    let x = b.terminal("x");
+    let a = b.nonterminal("A");
+    b.prod(a, vec![Symbol::N(a)]);
+    b.prod(a, vec![Symbol::T(x)]);
+    b.start(a);
+    let g = b.build().unwrap();
+    match LrTable::try_build(&g, TableKind::Lalr) {
+        Err(TableBuildError::CyclicGrammar { nonterminal }) => assert_eq!(nonterminal, "A"),
+        other => panic!("expected CyclicGrammar, got {other:?}"),
+    }
+}
+
+#[test]
+fn nonassoc_error_states_never_default_reduce() {
+    // E -> E < E | num with %nonassoc <. The state for `E < E ·` reduces
+    // by the same production on every *valid* lookahead but carries a
+    // deliberate error cell at `<`; a default reduction would sail through
+    // that error and accept `a < b < c`.
+    let mut b = GrammarBuilder::new("na");
+    let lt = b.terminal("<");
+    let num = b.terminal("num");
+    b.nonassoc(&[lt]);
+    let e = b.nonterminal("E");
+    b.prod(e, vec![Symbol::N(e), Symbol::T(lt), Symbol::N(e)]);
+    b.prod(e, vec![Symbol::T(num)]);
+    b.start(e);
+    let g = b.build().unwrap();
+    let t = LrTable::build(&g, TableKind::Lalr);
+    let mut saw_nonassoc_state = false;
+    for s in 0..t.num_states() {
+        let sid = StateId(s as u32);
+        let has_reduce = (0..g.num_terminals())
+            .any(|i| !t.actions(sid, Terminal::from_index(i)).is_empty())
+            && (0..g.num_terminals()).all(|i| {
+                let c = t.actions(sid, Terminal::from_index(i));
+                c.is_empty() || matches!(c.first(), Some(Action::Reduce(_)))
+            });
+        let lt_is_error = t.actions(sid, lt).is_empty();
+        if has_reduce && lt_is_error && s != 0 {
+            // Candidate `E < E ·` style state: uniform reduce everywhere
+            // except the nonassoc error column.
+            if t.automaton()
+                .kernel(sid)
+                .items()
+                .iter()
+                .any(|it| it.dot == 3 && it.is_final(&g))
+            {
+                saw_nonassoc_state = true;
+                assert_eq!(
+                    t.default_reduction(sid),
+                    None,
+                    "state {s} has a %nonassoc error cell and must consult lookahead"
+                );
+            }
+        }
+    }
+    assert!(saw_nonassoc_state, "expected to find the E < E · state");
+    // States without nonassoc damage still default-reduce: the grammar
+    // keeps at least one ordinary default-reduce state (E -> num ·).
+    let some_default =
+        (0..t.num_states()).any(|s| t.default_reduction(StateId(s as u32)).is_some());
+    assert!(some_default, "ordinary states must keep their defaults");
 }

@@ -289,7 +289,7 @@ impl SemState {
     /// parser re-reduces a neighbouring spine and the old one just stops
     /// being reachable). Such facts are logically retracted the moment
     /// their owner detaches — they are filtered here — and physically
-    /// removed by [`Self::prune`] at the next collection.
+    /// removed by `prune` at the next collection.
     pub fn snapshot(&self, arena: &DagArena) -> SemSnapshot {
         let att = |n: NodeId| self.attached(arena, n);
         let mut selections: Vec<(usize, usize, AltKind)> = self

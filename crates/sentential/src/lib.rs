@@ -403,6 +403,52 @@ impl<'a> IncLrParser<'a> {
 }
 
 #[cfg(test)]
+mod nonassoc_tests {
+    use super::*;
+    use wg_dag::DagArena;
+    use wg_grammar::{Grammar, GrammarBuilder, Symbol};
+    use wg_lrtable::{LrTable, TableKind};
+
+    fn nonassoc_cmp() -> Grammar {
+        // E -> E < E | num with %nonassoc < : `a < b < c` is a syntax
+        // error by declaration.
+        let mut b = GrammarBuilder::new("na");
+        let lt = b.terminal("<");
+        let num = b.terminal("num");
+        b.nonassoc(&[lt]);
+        let e = b.nonterminal("E");
+        b.prod(e, vec![Symbol::N(e), Symbol::T(lt), Symbol::N(e)]);
+        b.prod(e, vec![Symbol::T(num)]);
+        b.start(e);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn nonassoc_chain_is_rejected_not_defaulted_through() {
+        // Regression (fuzz corpus `nonassoc-default-reduce`): the `E < E ·`
+        // state used to carry a default reduction, so the deterministic
+        // incremental parser reduced straight past the %nonassoc error
+        // cell and *accepted* `num < num < num` while GLR rejected it.
+        let g = nonassoc_cmp();
+        let table = LrTable::build(&g, TableKind::Lalr);
+        let p = IncLrParser::new(&g, &table).expect("nonassoc grammar is deterministic");
+        let lt = g.terminal_by_name("<").unwrap();
+        let num = g.terminal_by_name("num").unwrap();
+
+        let mut arena = DagArena::new();
+        let ok = p.parse_tokens(&mut arena, vec![(num, "1"), (lt, "<"), (num, "2")]);
+        assert!(ok.is_ok(), "a single comparison parses");
+
+        let mut arena = DagArena::new();
+        let chain = vec![(num, "1"), (lt, "<"), (num, "2"), (lt, "<"), (num, "3")];
+        assert!(
+            p.parse_tokens(&mut arena, chain).is_err(),
+            "chained nonassoc comparison must be a syntax error"
+        );
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
     use wg_dag::{structurally_equal, yield_string, DagStats};
