@@ -1,33 +1,55 @@
 //! **Section 5, service throughput** — the workload the single-session
 //! benches cannot express: an editor service holding many open documents,
 //! each under a sustained self-cancelling edit stream (the Section 5
-//! protocol), served by the sharded `wg-workspace` pool.
+//! protocol), served by the work-stealing `wg-workspace` pool.
 //!
 //! The grid sweeps document count × shard threads and reports aggregate
-//! edits/sec plus per-edit service-latency percentiles, the two axes the
+//! edits/sec plus per-cycle service-latency percentiles, the two axes the
 //! empirical parser-comparison literature evaluates (sustained throughput,
 //! bounded per-edit latency). A direct single-`Session` run of the same
 //! script gives the no-pool baseline, so the table directly shows (a) the
 //! scale-out factor across threads and (b) the latency tax of the queue +
-//! shard indirection on a single document.
+//! shard indirection on a single document. A second sweep drives the
+//! read-mostly editor profile (95% semantic queries, 5% edit pairs) that
+//! the stealing scheduler must keep responsive.
+//!
+//! Scale-aware gates: the measured-window imbalance
+//! (`busiest shard busy / wall`) at 64 docs × 4 threads must stay under
+//! 1.15 on any machine — stealing exists to flatten it; the ≥1.5× speedup
+//! assertion only applies when the machine actually has ≥4 cores. With
+//! `--check-against BENCH_throughput.json` the fresh numbers also gate
+//! against the committed baseline (per-cell p50 and edits/sec within
+//! `--tolerance`), retrying once on failure to absorb CI load spikes.
 //!
 //! Run: `cargo run --release -p wg-bench --bin sec5_throughput -- [--quick]`
 //!
 //! Writes `BENCH_throughput.json` for CI archival.
 
 use std::time::{Duration, Instant};
-use wg_bench::{doc_workloads, fmt_dur, print_table, DocWorkload};
+use wg_bench::json::Json;
+use wg_bench::{doc_workloads, fmt_dur, print_table, read_mostly_ops, DocWorkload, ReadOp};
 use wg_core::{LanguageRegistry, Session};
 use wg_langs::simp_c_det_defs;
-use wg_workspace::{DocId, EditReq, Workspace};
+use wg_workspace::{DocId, EditReq, SemQuery, Workspace};
 
 const DOC_COUNTS: [usize; 3] = [1, 8, 64];
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Documents in the read-mostly sweep (the contended grid corner).
+const READ_DOCS: usize = 64;
+/// Ops issued per document per round in the read-mostly sweep.
+const OPS_PER_ROUND: usize = 8;
 
-/// Edit pairs carried per command. Editors coalesce bursts the same way;
-/// for the bench it keeps the queue/reply handoff (a few µs per command)
-/// from drowning the ~10µs reparses being measured.
+/// Edit pairs carried per command. Editors batch bursts the same way; the
+/// coalescer inside the shard then folds same-site mutate/restore runs
+/// into shared reparse cycles, so `reparses < edits` by design here.
 const PAIRS_PER_CMD: usize = 4;
+
+/// Gates (see module docs): measured-window imbalance at 64 docs × 4
+/// threads, and the parallel speedup only claimed on real multi-core.
+const GATE_IMBALANCE_MAX: f64 = 1.15;
+const GATE_SPEEDUP_MIN: f64 = 1.5;
+/// Baseline latencies below this are scheduler jitter, never gated.
+const GATE_NOISE_FLOOR_NS: u64 = 2_000;
 
 struct Cell {
     docs: usize,
@@ -39,6 +61,25 @@ struct Cell {
     p95: Duration,
     p99: Duration,
     busy_max: Duration,
+    /// Busiest shard's busy time over the measured window divided by the
+    /// measured wall — the live load-balance figure stealing flattens.
+    imbalance: f64,
+    steals: u64,
+    migrations: u64,
+    coalesced: u64,
+    reparses: u64,
+}
+
+struct ReadCell {
+    threads: usize,
+    ops: u64,
+    wall: Duration,
+    ops_per_sec: f64,
+    query_p50: Duration,
+    query_p95: Duration,
+    query_p99: Duration,
+    edit_p50: Duration,
+    imbalance: f64,
 }
 
 fn percentile(sorted_ns: &[u64], p: f64) -> Duration {
@@ -50,8 +91,35 @@ fn percentile(sorted_ns: &[u64], p: f64) -> Duration {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut check_against: Option<String> = None;
+    let mut tolerance = 0.25f64;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--check-against" => {
+                check_against = Some(it.next().expect("--check-against needs a path"));
+            }
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--tolerance needs a fraction, e.g. 0.25");
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
     let (lines, pairs, warmup_pairs) = if quick { (150, 30, 4) } else { (400, 80, 8) };
+    let (read_ops, read_warmup) = if quick { (112, 16) } else { (352, 32) };
+    // Read the baseline up front: the gate points at the very file this run
+    // overwrites at the end.
+    let baseline = check_against.map(|path| {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        (path, text)
+    });
 
     let registry = std::sync::Arc::new(LanguageRegistry::new());
     let (grammar, lexdef) = simp_c_det_defs();
@@ -64,6 +132,14 @@ fn main() {
     let workloads: Vec<(usize, Vec<DocWorkload>)> = DOC_COUNTS
         .iter()
         .map(|&d| (d, doc_workloads(d, lines, pairs + warmup_pairs, 7)))
+        .collect();
+    let read_loads: Vec<(String, Vec<ReadOp>)> = doc_workloads(READ_DOCS, lines, 1, 7)
+        .into_iter()
+        .enumerate()
+        .map(|(i, w)| {
+            let ops = read_mostly_ops(&w.text, read_ops, 11 + i as u64);
+            (w.text, ops)
+        })
         .collect();
 
     // Direct baseline: the same single-document script on a bare Session,
@@ -86,24 +162,54 @@ fn main() {
         percentile(&lat, 0.50)
     };
 
-    let mut cells: Vec<Cell> = Vec::new();
-    for (docs, loads) in &workloads {
-        for &threads in &THREAD_COUNTS {
-            cells.push(run_cell(
-                &registry,
-                &config,
-                *docs,
-                threads,
-                loads,
-                warmup_pairs,
-            ));
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let sweep = |tag: &str| -> (Vec<Cell>, Vec<ReadCell>) {
+        let mut cells = Vec::new();
+        for (docs, loads) in &workloads {
+            for &threads in &THREAD_COUNTS {
+                cells.push(run_cell(
+                    &registry,
+                    &config,
+                    *docs,
+                    threads,
+                    loads,
+                    warmup_pairs,
+                ));
+            }
         }
-    }
+        let read_cells: Vec<ReadCell> = THREAD_COUNTS
+            .iter()
+            .map(|&t| run_read_cell(&registry, &config, t, &read_loads, read_warmup))
+            .collect();
+        if !tag.is_empty() {
+            println!("({tag} sweep complete)");
+        }
+        (cells, read_cells)
+    };
+    let (mut cells, mut read_cells) = sweep("");
     assert_eq!(
         registry.table_builds(),
         1,
         "every cell must reuse the one compiled language"
     );
+
+    let mut scale_ok = scale_gates(&cells, cores, true);
+    let mut gate_ok = baseline
+        .as_ref()
+        .is_none_or(|(p, t)| regression_gate(p, t, &cells, &read_cells, tolerance));
+    if !scale_ok || !gate_ok {
+        // Anti-flake: a load spike on shared CI hardware inflates every
+        // latency at once. Re-measure once and gate on the element-wise
+        // best of the two runs — a real regression fails both.
+        println!("\ngate failed — re-measuring once to rule out transient load");
+        let (retry, read_retry) = sweep("retry");
+        cells = merge_best(cells, retry);
+        read_cells = merge_best_read(read_cells, read_retry);
+        scale_ok = scale_gates(&cells, cores, true);
+        gate_ok = baseline
+            .as_ref()
+            .is_none_or(|(p, t)| regression_gate(p, t, &cells, &read_cells, tolerance));
+    }
 
     // Report.
     for &docs in &DOC_COUNTS {
@@ -120,9 +226,10 @@ fn main() {
                     format!("{:.0}", c.edits_per_sec),
                     format!("{:.2}x", c.edits_per_sec / base.edits_per_sec),
                     fmt_dur(c.p50),
-                    fmt_dur(c.p95),
                     fmt_dur(c.p99),
-                    fmt_dur(c.busy_max),
+                    format!("{:.2}", c.imbalance),
+                    format!("{}", c.steals),
+                    format!("{}", c.coalesced),
                 ]
             })
             .collect();
@@ -133,13 +240,41 @@ fn main() {
                 "edits/s",
                 "speedup",
                 "p50",
-                "p95",
                 "p99",
-                "busiest shard",
+                "imbal",
+                "steals",
+                "coalesced",
             ],
             &rows,
         );
     }
+    let read_rows: Vec<Vec<String>> = read_cells
+        .iter()
+        .map(|c| {
+            vec![
+                format!("{}", c.threads),
+                format!("{:.0}", c.ops_per_sec),
+                fmt_dur(c.query_p50),
+                fmt_dur(c.query_p95),
+                fmt_dur(c.query_p99),
+                fmt_dur(c.edit_p50),
+                format!("{:.2}", c.imbalance),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Read-mostly (95% query / 5% edit), {READ_DOCS} documents"),
+        &[
+            "threads",
+            "ops/s",
+            "query p50",
+            "query p95",
+            "query p99",
+            "edit p50",
+            "imbal",
+        ],
+        &read_rows,
+    );
 
     let single = cells
         .iter()
@@ -160,13 +295,13 @@ fn main() {
         .iter()
         .find(|c| c.docs == 64 && c.threads == 1)
         .unwrap();
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!(
-        "64-document aggregate: {:.0} edits/s at 4 threads vs {:.0} at 1 thread ({:.2}x, {} core(s) available)",
+        "64-document aggregate: {:.0} edits/s at 4 threads vs {:.0} at 1 thread ({:.2}x on {} core(s); window imbalance {:.2})",
         wide.edits_per_sec,
         wide_base.edits_per_sec,
         wide.edits_per_sec / wide_base.edits_per_sec,
-        cores
+        cores,
+        wide.imbalance
     );
     if cores < 4 {
         println!(
@@ -182,12 +317,209 @@ fn main() {
         cores,
         direct_p50,
         &cells,
+        &read_cells,
     );
+    if !scale_ok {
+        eprintln!("FAIL: scale gate (imbalance/speedup) failed twice (see above)");
+    }
+    if !gate_ok {
+        eprintln!("FAIL: regression vs committed baseline persisted across a retry (see above)");
+    }
+    if !scale_ok || !gate_ok {
+        std::process::exit(1);
+    }
+}
+
+/// The machine-appropriate subset of the scale assertions: the window
+/// imbalance gate is always on (on one core the busiest shard cannot
+/// exceed the wall, so it is structurally satisfiable everywhere); the
+/// parallel-speedup gate only claims real parallelism on ≥4 cores.
+fn scale_gates(cells: &[Cell], cores: usize, verbose: bool) -> bool {
+    let wide = cells
+        .iter()
+        .find(|c| c.docs == 64 && c.threads == 4)
+        .expect("64x4 cell");
+    let mut ok = true;
+    if wide.imbalance >= GATE_IMBALANCE_MAX {
+        eprintln!(
+            "scale gate: 64 docs x 4 threads window imbalance {:.3} >= {GATE_IMBALANCE_MAX}",
+            wide.imbalance
+        );
+        ok = false;
+    } else if verbose {
+        println!(
+            "scale gate: 64 docs x 4 threads window imbalance {:.3} < {GATE_IMBALANCE_MAX} ok",
+            wide.imbalance
+        );
+    }
+    if cores >= 4 {
+        let base = cells
+            .iter()
+            .find(|c| c.docs == 64 && c.threads == 1)
+            .expect("64x1 cell");
+        let speedup = wide.edits_per_sec / base.edits_per_sec;
+        if speedup < GATE_SPEEDUP_MIN {
+            eprintln!("scale gate: 64 docs 4-thread speedup {speedup:.2}x < {GATE_SPEEDUP_MIN}x");
+            ok = false;
+        } else if verbose {
+            println!(
+                "scale gate: 64 docs 4-thread speedup {speedup:.2}x >= {GATE_SPEEDUP_MIN}x ok"
+            );
+        }
+    } else if verbose {
+        println!("scale gate: {cores} core(s) < 4 — speedup assertion skipped, imbalance gated");
+    }
+    ok
+}
+
+/// Element-wise best of two grid sweeps: the larger throughput, the
+/// smaller latencies and imbalance. Scheduler counters come from the
+/// higher-throughput run so each row stays internally consistent.
+fn merge_best(a: Vec<Cell>, b: Vec<Cell>) -> Vec<Cell> {
+    a.into_iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let (fast, slow) = if x.edits_per_sec >= y.edits_per_sec {
+                (x, y)
+            } else {
+                (y, x)
+            };
+            Cell {
+                p50: fast.p50.min(slow.p50),
+                p95: fast.p95.min(slow.p95),
+                p99: fast.p99.min(slow.p99),
+                imbalance: fast.imbalance.min(slow.imbalance),
+                ..fast
+            }
+        })
+        .collect()
+}
+
+fn merge_best_read(a: Vec<ReadCell>, b: Vec<ReadCell>) -> Vec<ReadCell> {
+    a.into_iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let (fast, slow) = if x.ops_per_sec >= y.ops_per_sec {
+                (x, y)
+            } else {
+                (y, x)
+            };
+            ReadCell {
+                query_p50: fast.query_p50.min(slow.query_p50),
+                query_p95: fast.query_p95.min(slow.query_p95),
+                query_p99: fast.query_p99.min(slow.query_p99),
+                edit_p50: fast.edit_p50.min(slow.edit_p50),
+                imbalance: fast.imbalance.min(slow.imbalance),
+                ..fast
+            }
+        })
+        .collect()
+}
+
+/// Compares fresh cells against a committed `BENCH_throughput.json`:
+/// per-(docs, threads) cell, p50 latency must not grow past `tolerance`
+/// (above the noise floor) and edits/sec must not fall below it; the
+/// read-mostly rows gate ops/sec and query p50 the same way. Missing
+/// baseline rows or fields are skipped (new grid corners are allowed),
+/// but at least one gated comparison must happen.
+fn regression_gate(
+    path: &str,
+    baseline: &str,
+    cells: &[Cell],
+    read_cells: &[ReadCell],
+    tolerance: f64,
+) -> bool {
+    let doc = match Json::parse(baseline) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("regression gate: {path} is not valid JSON: {e}");
+            return false;
+        }
+    };
+    println!(
+        "\nregression gate vs {path} (tolerance {:.0}%):",
+        tolerance * 100.0
+    );
+    let mut ok = true;
+    let gated = std::cell::Cell::new(0usize);
+    let check_latency = |label: &str, base_ns: u64, now: Duration| {
+        let now_ns = now.as_nanos() as u64;
+        let delta = (now_ns as f64 / (base_ns as f64).max(1.0) - 1.0) * 100.0;
+        if base_ns < GATE_NOISE_FLOOR_NS {
+            println!("  {label}: {base_ns}ns -> {now_ns}ns ({delta:+.0}%) [sub-noise, not gated]");
+            return true;
+        }
+        gated.set(gated.get() + 1);
+        if delta > tolerance * 100.0 {
+            eprintln!("  {label}: {base_ns}ns -> {now_ns}ns ({delta:+.0}%) REGRESSION");
+            false
+        } else {
+            println!("  {label}: {base_ns}ns -> {now_ns}ns ({delta:+.0}%) ok");
+            true
+        }
+    };
+    let check_rate = |label: &str, base: f64, now: f64| {
+        let delta = (now / base.max(1e-9) - 1.0) * 100.0;
+        gated.set(gated.get() + 1);
+        if now < base * (1.0 - tolerance) {
+            eprintln!("  {label}: {base:.0}/s -> {now:.0}/s ({delta:+.0}%) REGRESSION");
+            false
+        } else {
+            println!("  {label}: {base:.0}/s -> {now:.0}/s ({delta:+.0}%) ok");
+            true
+        }
+    };
+    let grid = doc.get("grid").and_then(Json::as_arr);
+    for c in cells {
+        let Some(base) = grid.and_then(|rows| {
+            rows.iter().find(|r| {
+                r.get("docs").and_then(Json::as_u64) == Some(c.docs as u64)
+                    && r.get("threads").and_then(Json::as_u64) == Some(c.threads as u64)
+            })
+        }) else {
+            println!("  grid {}x{}: no baseline row — skipped", c.docs, c.threads);
+            continue;
+        };
+        let label = format!("grid {}x{} p50", c.docs, c.threads);
+        if let Some(ns) = base.get("p50_ns").and_then(Json::as_u64) {
+            ok &= check_latency(&label, ns, c.p50);
+        }
+        let label = format!("grid {}x{} edits/s", c.docs, c.threads);
+        if let Some(rate) = base.get("edits_per_sec").and_then(Json::as_f64) {
+            ok &= check_rate(&label, rate, c.edits_per_sec);
+        }
+    }
+    let read = doc.get("read_mostly").and_then(Json::as_arr);
+    for c in read_cells {
+        let Some(base) = read.and_then(|rows| {
+            rows.iter()
+                .find(|r| r.get("threads").and_then(Json::as_u64) == Some(c.threads as u64))
+        }) else {
+            println!("  read-mostly x{}: no baseline row — skipped", c.threads);
+            continue;
+        };
+        let label = format!("read-mostly x{} query p50", c.threads);
+        if let Some(ns) = base.get("query_p50_ns").and_then(Json::as_u64) {
+            ok &= check_latency(&label, ns, c.query_p50);
+        }
+        let label = format!("read-mostly x{} ops/s", c.threads);
+        if let Some(rate) = base.get("ops_per_sec").and_then(Json::as_f64) {
+            ok &= check_rate(&label, rate, c.ops_per_sec);
+        }
+    }
+    if gated.get() == 0 {
+        eprintln!("regression gate: nothing cleared the noise floor — stale baseline?");
+        return false;
+    }
+    ok
 }
 
 /// One grid cell: a fresh workspace, the documents opened, the scripts
-/// replayed (warm-up pairs unmeasured), per-edit latencies collected from
-/// the shard service times.
+/// replayed (warm-up pairs unmeasured), per-cycle latencies collected from
+/// the shard service histogram. Shard busy times are snapshotted at the
+/// warm-up boundary so the imbalance figure covers exactly the measured
+/// window — `WorkspaceMetrics::imbalance` spans the whole lifetime and
+/// would dilute it with open/warm-up time.
 fn run_cell(
     registry: &std::sync::Arc<LanguageRegistry>,
     config: &wg_core::SessionConfig,
@@ -205,15 +537,25 @@ fn run_cell(
     let total_pairs = loads[0].pairs.len();
     let mut measured_edits = 0u64;
     let mut wall = Duration::ZERO;
+    let mut busy_at_warmup: Option<Vec<Duration>> = None;
     // One round per PAIRS_PER_CMD pairs: every document gets one command
     // carrying that chunk's mutate/restore edits, so the per-command
-    // handoff cost is amortized over 2×PAIRS_PER_CMD reparses. Per-edit
-    // latency percentiles come from the workspace's own service-time
-    // histogram, which records each edit+reparse individually.
+    // handoff cost is amortized and the drain-and-coalesce path sees
+    // realistic multi-edit batches. Per-cycle latency percentiles come
+    // from the workspace's own service-time histogram.
     let mut pair_ix = 0;
     while pair_ix < total_pairs {
         let chunk = (pair_ix..total_pairs.min(pair_ix + PAIRS_PER_CMD)).collect::<Vec<_>>();
         let measured = pair_ix >= warmup_pairs;
+        if measured && busy_at_warmup.is_none() {
+            // apply() is synchronous, so the shards quiesce here; wait for
+            // the pool to report idle so every warm-up nanosecond is
+            // already charged before the window baseline is taken.
+            while !ws.idle() {
+                std::thread::yield_now();
+            }
+            busy_at_warmup = Some(ws.metrics().shard_busy);
+        }
         let t0 = Instant::now();
         let batch: Vec<(DocId, Vec<EditReq>)> = ids
             .iter()
@@ -245,6 +587,14 @@ fn run_cell(
         pair_ix += chunk.len();
     }
     let metrics = ws.shutdown();
+    let warm = busy_at_warmup.unwrap_or_default();
+    let busy_win = metrics
+        .shard_busy
+        .iter()
+        .enumerate()
+        .map(|(i, b)| b.saturating_sub(warm.get(i).copied().unwrap_or(Duration::ZERO)))
+        .max()
+        .unwrap_or(Duration::ZERO);
     Cell {
         docs,
         threads,
@@ -260,11 +610,103 @@ fn run_cell(
             .max()
             .copied()
             .unwrap_or(Duration::ZERO),
+        imbalance: busy_win.as_secs_f64() / wall.as_secs_f64().max(1e-9),
+        steals: metrics.steals,
+        migrations: metrics.migrations,
+        coalesced: metrics.coalesced_edits,
+        reparses: metrics.reparses,
+    }
+}
+
+/// One read-mostly cell: 64 semantic documents, each replaying its 95%
+/// query / 5% edit-pair script in rounds of [`OPS_PER_ROUND`] async
+/// submissions (FIFO per document survives any migration, so queries see
+/// exactly the text state the script implies).
+fn run_read_cell(
+    registry: &std::sync::Arc<LanguageRegistry>,
+    config: &wg_core::SessionConfig,
+    threads: usize,
+    loads: &[(String, Vec<ReadOp>)],
+    warmup_ops: usize,
+) -> ReadCell {
+    let ws = Workspace::with_registry(threads, 64, std::sync::Arc::clone(registry));
+    let ids: Vec<DocId> = loads
+        .iter()
+        .map(|(text, _)| ws.open_with_semantics(config, text).expect("opens"))
+        .collect();
+
+    let total_ops = loads[0].1.len();
+    let mut measured_ops = 0u64;
+    let mut wall = Duration::ZERO;
+    let mut busy_at_warmup: Option<Vec<Duration>> = None;
+    let mut op_ix = 0;
+    while op_ix < total_ops {
+        let end = total_ops.min(op_ix + OPS_PER_ROUND);
+        let measured = op_ix >= warmup_ops;
+        if measured && busy_at_warmup.is_none() {
+            while !ws.idle() {
+                std::thread::yield_now();
+            }
+            busy_at_warmup = Some(ws.metrics().shard_busy);
+        }
+        let t0 = Instant::now();
+        let mut queries = Vec::new();
+        let mut applies = Vec::new();
+        for (id, (_, ops)) in ids.iter().zip(loads) {
+            for op in &ops[op_ix..end] {
+                match op {
+                    ReadOp::Query(at) => {
+                        queries.push(ws.query_async(*id, SemQuery::ResolveAt(*at)).expect("doc"));
+                    }
+                    ReadOp::Pair(a, b) => {
+                        let edits = vec![
+                            EditReq::replace(a.start, a.removed, &a.insert),
+                            EditReq::replace(b.start, b.removed, &b.insert),
+                        ];
+                        applies.push(ws.apply_async(*id, edits).expect("doc"));
+                    }
+                }
+            }
+        }
+        for q in queries {
+            q.wait().expect("query answered");
+        }
+        for p in applies {
+            assert!(p.wait().result.expect("edits apply").incorporated);
+        }
+        if measured {
+            wall += t0.elapsed();
+            measured_ops += ((end - op_ix) * ids.len()) as u64;
+        }
+        op_ix = end;
+    }
+    let metrics = ws.shutdown();
+    let warm = busy_at_warmup.unwrap_or_default();
+    let busy_win = metrics
+        .shard_busy
+        .iter()
+        .enumerate()
+        .map(|(i, b)| b.saturating_sub(warm.get(i).copied().unwrap_or(Duration::ZERO)))
+        .max()
+        .unwrap_or(Duration::ZERO);
+    ReadCell {
+        threads,
+        ops: measured_ops,
+        wall,
+        ops_per_sec: measured_ops as f64 / wall.as_secs_f64().max(1e-9),
+        query_p50: metrics.query_p50,
+        query_p95: metrics.query_p95,
+        query_p99: metrics.query_p99,
+        edit_p50: metrics.p50,
+        imbalance: busy_win.as_secs_f64() / wall.as_secs_f64().max(1e-9),
     }
 }
 
 /// Hand-rolled JSON (no serde in the container), matching the
 /// `BENCH_incremental.json` conventions: everything in nanoseconds.
+/// `cores` leads the header — every figure below it is meaningless
+/// without knowing how much hardware parallelism was available.
+#[allow(clippy::too_many_arguments)]
 fn write_json(
     path: &str,
     quick: bool,
@@ -273,12 +715,13 @@ fn write_json(
     cores: usize,
     direct_p50: Duration,
     cells: &[Cell],
+    read_cells: &[ReadCell],
 ) {
     let mut j = String::new();
     j.push_str("{\n");
     j.push_str("  \"bench\": \"sec5_throughput\",\n");
-    j.push_str(&format!("  \"quick\": {quick},\n"));
     j.push_str(&format!("  \"cores\": {cores},\n"));
+    j.push_str(&format!("  \"quick\": {quick},\n"));
     j.push_str(&format!("  \"lines_per_doc\": {lines},\n"));
     j.push_str(&format!("  \"measured_pairs_per_doc\": {pairs},\n"));
     j.push_str(&format!(
@@ -292,7 +735,7 @@ fn write_json(
             .find(|b| b.docs == c.docs && b.threads == 1)
             .unwrap();
         j.push_str(&format!(
-            "    {{\"docs\": {}, \"threads\": {}, \"edits\": {}, \"wall_ns\": {}, \"edits_per_sec\": {:.1}, \"speedup_vs_1_thread\": {:.4}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"busiest_shard_ns\": {}}}{}\n",
+            "    {{\"docs\": {}, \"threads\": {}, \"edits\": {}, \"wall_ns\": {}, \"edits_per_sec\": {:.1}, \"speedup_vs_1_thread\": {:.4}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"busiest_shard_ns\": {}, \"imbalance\": {:.4}, \"steals\": {}, \"migrations\": {}, \"coalesced_edits\": {}, \"reparses\": {}}}{}\n",
             c.docs,
             c.threads,
             c.edits,
@@ -303,7 +746,29 @@ fn write_json(
             c.p95.as_nanos(),
             c.p99.as_nanos(),
             c.busy_max.as_nanos(),
+            c.imbalance,
+            c.steals,
+            c.migrations,
+            c.coalesced,
+            c.reparses,
             if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    j.push_str("  ],\n");
+    j.push_str("  \"read_mostly\": [\n");
+    for (i, c) in read_cells.iter().enumerate() {
+        j.push_str(&format!(
+            "    {{\"docs\": {READ_DOCS}, \"threads\": {}, \"ops\": {}, \"wall_ns\": {}, \"ops_per_sec\": {:.1}, \"query_p50_ns\": {}, \"query_p95_ns\": {}, \"query_p99_ns\": {}, \"edit_cycle_p50_ns\": {}, \"imbalance\": {:.4}}}{}\n",
+            c.threads,
+            c.ops,
+            c.wall.as_nanos(),
+            c.ops_per_sec,
+            c.query_p50.as_nanos(),
+            c.query_p95.as_nanos(),
+            c.query_p99.as_nanos(),
+            c.edit_p50.as_nanos(),
+            c.imbalance,
+            if i + 1 < read_cells.len() { "," } else { "" }
         ));
     }
     j.push_str("  ]\n}\n");

@@ -331,6 +331,48 @@ pub fn doc_workloads(docs: usize, lines: usize, pairs: usize, seed: u64) -> Vec<
         .collect()
 }
 
+/// One operation of a read-mostly interactive stream (see
+/// [`read_mostly_ops`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadOp {
+    /// Resolve the identifier at this byte offset (a `SemQuery::ResolveAt`).
+    Query(usize),
+    /// One self-cancelling (mutate, restore) edit pair.
+    Pair(EditOp, EditOp),
+}
+
+/// A deterministic read-mostly operation stream over `text`: `ops`
+/// operations of which every 20th is a self-cancelling edit pair and the
+/// rest are identifier-site queries — the 95%-query / 5%-edit mix of an
+/// IDE whose user is *reading* (hover, go-to-definition) far more than
+/// typing. Pairs restore the text byte-for-byte, so all precomputed
+/// offsets stay valid for the whole stream.
+pub fn read_mostly_ops(text: &str, ops: usize, seed: u64) -> Vec<ReadOp> {
+    let sites = wg_langs::generate::edit_sites(text, ops.max(1), seed);
+    sites
+        .iter()
+        .enumerate()
+        .map(|(i, &(start, len))| {
+            if i % 20 == 9 {
+                ReadOp::Pair(
+                    EditOp {
+                        start,
+                        removed: len,
+                        insert: "qqq".to_string(),
+                    },
+                    EditOp {
+                        start,
+                        removed: 3,
+                        insert: text[start..start + len].to_string(),
+                    },
+                )
+            } else {
+                ReadOp::Query(start)
+            }
+        })
+        .collect()
+}
+
 /// Tokenizes text against a session config (terminal, lexeme) — the input
 /// shape the batch parsers take.
 pub fn tokenize(config: &SessionConfig, text: &str) -> Vec<(wg_grammar::Terminal, String)> {
@@ -404,6 +446,40 @@ mod tests {
             }
             // And the documents parse with the deterministic C config.
             wg_core::Session::new(&simp_c_det(), &w.text).expect("workload parses");
+        }
+    }
+
+    #[test]
+    fn read_mostly_ops_are_deterministic_and_mostly_queries() {
+        let text = wg_langs::generate::c_program(&wg_langs::generate::GenSpec::sized(40, 0.0, 7))
+            .text
+            .clone();
+        let ops = read_mostly_ops(&text, 100, 11);
+        assert_eq!(
+            ops,
+            read_mostly_ops(&text, 100, 11),
+            "same seed, same script"
+        );
+        let pairs: Vec<_> = ops
+            .iter()
+            .filter_map(|op| match op {
+                ReadOp::Pair(a, b) => Some((a, b)),
+                ReadOp::Query(_) => None,
+            })
+            .collect();
+        assert_eq!(pairs.len(), 5, "1 edit pair per 20 ops (95% reads)");
+        // Each pair is self-cancelling: mutate then restore leaves the text
+        // byte-identical, so precomputed offsets stay valid under replay.
+        for (a, b) in pairs {
+            let mut t = text.clone();
+            t.replace_range(a.start..a.start + a.removed, &a.insert);
+            t.replace_range(b.start..b.start + b.removed, &b.insert);
+            assert_eq!(t, text);
+        }
+        for op in &ops {
+            if let ReadOp::Query(at) = op {
+                assert!(*at < text.len(), "query offsets stay in bounds");
+            }
         }
     }
 

@@ -73,6 +73,13 @@ pub struct SessionMetrics {
     pub reparses: u64,
     /// Incorporation attempts across all cycles.
     pub attempts: u64,
+    /// Pending edits folded into the tree across all cycles.
+    pub edits_incorporated: u64,
+    /// Edits that shared a cycle with an earlier pending edit instead of
+    /// paying their own: `edits_incorporated - cycles_that_incorporated`.
+    /// Nonzero whenever the service layer (or a caller batching edits
+    /// before calling reparse) coalesced a burst into one damage region.
+    pub edits_coalesced: u64,
     /// Total buffer-mutation time.
     pub buffer: Duration,
     /// Total relex time.
@@ -112,6 +119,8 @@ impl SessionMetrics {
     pub fn absorb(&mut self, r: &ReparseReport) {
         self.reparses += 1;
         self.attempts += r.attempts as u64;
+        self.edits_incorporated += r.incorporated_edits as u64;
+        self.edits_coalesced += (r.incorporated_edits.saturating_sub(1)) as u64;
         self.buffer += r.buffer;
         self.relex += r.relex;
         self.parse += r.parse;
@@ -140,6 +149,7 @@ mod tests {
         let mut m = SessionMetrics::default();
         let r = ReparseReport {
             attempts: 3,
+            incorporated_edits: 4,
             buffer: Duration::from_micros(2),
             relex: Duration::from_micros(5),
             parse: Duration::from_micros(7),
@@ -161,6 +171,8 @@ mod tests {
         m.absorb(&r);
         assert_eq!(m.reparses, 2);
         assert_eq!(m.attempts, 6);
+        assert_eq!(m.edits_incorporated, 8);
+        assert_eq!(m.edits_coalesced, 6);
         assert_eq!(m.buffer, Duration::from_micros(4));
         assert_eq!(m.relex, Duration::from_micros(10));
         assert_eq!(m.parse, Duration::from_micros(14));

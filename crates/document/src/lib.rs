@@ -93,6 +93,24 @@ impl Edit {
         self.start..self.old_end()
     }
 
+    /// Byte distance between this edit's post-application footprint
+    /// (`start..new_end`) and an incoming edit `next` about to be applied
+    /// on top of it (`next.start..next.old_end()`), both expressed in the
+    /// current text's coordinates. Zero when the ranges overlap or touch.
+    ///
+    /// This is the service layer's coalescing proximity gate: pending
+    /// edits within a small gap share one covering damage region (one
+    /// relex + one reparse), while a distant edit is better flushed first
+    /// — merging it would drag the untouched interior of the covering
+    /// span into the damage region and defeat damage-proportional cost.
+    pub fn gap_to(&self, next: &Edit) -> usize {
+        if next.start > self.new_end() {
+            next.start - self.new_end()
+        } else {
+            self.start.saturating_sub(next.start + next.removed)
+        }
+    }
+
     /// Conservatively merges two edits applied in sequence (`self` first,
     /// then `other`, whose offsets are post-`self`) into one edit in
     /// pre-`self` coordinates covering both. Used to present the incremental
@@ -607,6 +625,43 @@ mod tests {
         assert_eq!(damage.start, 4);
         assert_eq!(damage.removed, 3);
         assert_eq!(damage.inserted, 3);
+    }
+
+    #[test]
+    fn gap_to_measures_distance_between_footprints() {
+        // Applied edit occupies 10..13 in the current text.
+        let cover = Edit {
+            start: 10,
+            removed: 5,
+            inserted: 3,
+        };
+        // Incoming edit well past the footprint: gap = 20 - 13.
+        let far = Edit {
+            start: 20,
+            removed: 2,
+            inserted: 2,
+        };
+        assert_eq!(cover.gap_to(&far), 7);
+        // Incoming edit entirely before: gap = 10 - 8.
+        let before = Edit {
+            start: 4,
+            removed: 4,
+            inserted: 1,
+        };
+        assert_eq!(cover.gap_to(&before), 2);
+        // Touching and overlapping ranges gate at zero.
+        let touching = Edit {
+            start: 13,
+            removed: 1,
+            inserted: 1,
+        };
+        assert_eq!(cover.gap_to(&touching), 0);
+        let inside = Edit {
+            start: 11,
+            removed: 0,
+            inserted: 4,
+        };
+        assert_eq!(cover.gap_to(&inside), 0);
     }
 
     #[test]

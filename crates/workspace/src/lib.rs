@@ -3,14 +3,17 @@
 //!
 //! Three previous iterations made a *single* session fast (shared
 //! artifacts, rope text, allocation-free IGLR); this crate scales the
-//! system *out*: N independent [`wg_core::Session`]s sharded across a
-//! hand-rolled `std::thread` pool, one thread-safe
-//! [`wg_core::LanguageRegistry`] sharing every immutable artifact
-//! (grammar, LALR table, compiled lexer) across shards, and a batch edit
-//! API with per-document ordering, cross-document parallelism, bounded
-//! queues for backpressure, graceful drain-on-shutdown, and per-document
-//! panic isolation. No dependencies beyond `std` and the repo's own
-//! crates; no `unsafe`.
+//! system *out*: N independent [`wg_core::Session`]s scheduled as
+//! stealable documents over a hand-rolled `std::thread` pool, one
+//! thread-safe [`wg_core::LanguageRegistry`] sharing every immutable
+//! artifact (grammar, LALR table, compiled lexer) across shards, and a
+//! batch edit API with per-document ordering (structural: each document
+//! owns a FIFO mailbox that migrates with it), cross-document
+//! parallelism, document-granularity work stealing, edit coalescing
+//! (consecutive pending edits share one covering reparse cycle), bounded
+//! mailboxes for backpressure, graceful drain-on-shutdown, and
+//! per-document panic isolation that survives migration. No dependencies
+//! beyond `std` and the repo's own crates; no `unsafe`.
 //!
 //! # Example
 //!
@@ -54,9 +57,9 @@ mod sync;
 mod workspace;
 
 pub use metrics::{LatencyHistogram, WorkspaceMetrics};
-pub use pool::ShardPool;
+pub use pool::{Requeue, ShardPool};
 pub use sync::{oneshot, BoundedQueue, OneShotReceiver, OneShotSender};
 pub use workspace::{
-    ApplyOutcome, DocId, DocReport, DocResult, EditReq, PendingApply, SemAnswer, SemQuery,
-    Workspace, WorkspaceError,
+    ApplyOutcome, DocId, DocReport, DocResult, EditReq, PendingApply, PendingQuery, SemAnswer,
+    SemQuery, Workspace, WorkspaceError,
 };

@@ -3,10 +3,11 @@
 //!
 //! The empirical-parser literature evaluates incremental parsers on two
 //! axes — sustained throughput and *bounded per-edit latency* — so the
-//! workspace records every edit's service time (edit application + reparse
-//! on its shard) in a log-bucketed histogram with 16 linear sub-buckets
-//! per octave (≤ ~6% relative error), cheap enough to leave on in
-//! production: one relaxed atomic increment per edit.
+//! workspace records every reparse **cycle**'s service time (one cycle
+//! incorporates every pending edit coalesced into its damage region) in a
+//! log-bucketed histogram with 16 linear sub-buckets per octave (≤ ~6%
+//! relative error), cheap enough to leave on in production: one relaxed
+//! atomic increment per cycle.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -107,33 +108,63 @@ impl LatencyHistogram {
 /// counters are exact).
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkspaceMetrics {
-    /// Documents currently open (gauge).
+    /// Documents currently open (racy gauge: counts sessions alive on
+    /// their worker shards, sampled without stopping them).
     pub docs_open: usize,
-    /// Edits applied (and reparsed) since the workspace started.
+    /// Edits fed into sessions since the workspace started. With
+    /// coalescing this is no longer the reparse count — see
+    /// [`Self::reparses`] and [`Self::coalesced_edits`].
     pub edits_applied: u64,
-    /// Reparse cycles run across all documents.
+    /// Reparse cycles run across all documents. Under coalescing many
+    /// edits share one cycle, so `reparses <= edits_applied`.
     pub reparses: u64,
-    /// Edits whose reparse refused incorporation (Section 4.3 recovery).
+    /// Edits still refused by their tree when their service run finished
+    /// (Section 4.3 recovery); retried by later cycles, so one edit can
+    /// be counted refused more than once.
     pub edits_refused: u64,
+    /// Edits that rode a reparse cycle started by an earlier edit — the
+    /// work the coalescer elided: `edits_applied - reparses` in the
+    /// steady state. A burst of self-cancelling edits shows up here.
+    pub coalesced_edits: u64,
+    /// Documents popped from a *foreign* shard's run-queue by an idle
+    /// worker since startup (the scheduler-level event).
+    pub steals: u64,
+    /// Document ownership rebinds caused by steals (the document-level
+    /// event: the mailbox's owner shard changed and its migration epoch
+    /// was bumped).
+    pub migrations: u64,
     /// Documents poisoned by a panicking operation and dropped.
     pub docs_poisoned: u64,
     /// Wall-clock since the workspace started.
     pub elapsed: Duration,
     /// `edits_applied / elapsed` — the sustained-throughput axis.
     pub edits_per_sec: f64,
-    /// Commands queued across all shards right now (gauge).
+    /// Commands queued in document mailboxes right now, summed over
+    /// shards (racy gauge; documents already checked out by a worker
+    /// contribute nothing). Equals `queue_depth_per_shard.iter().sum()`.
     pub queue_depth: usize,
+    /// Mailbox commands charged to each document's current owner shard
+    /// (racy gauge) — the live view of scheduling imbalance that
+    /// stealing exists to flatten.
+    pub queue_depth_per_shard: Vec<usize>,
+    /// `busiest_shard_busy / elapsed`: 1.0 means one shard was busy the
+    /// entire wall-clock (perfectly serial); with even load over S
+    /// shards it approaches `busy_total / (S * elapsed)`. Note `elapsed`
+    /// spans the workspace lifetime — benches computing a measured-window
+    /// imbalance should difference `shard_busy` snapshots instead.
+    pub imbalance: f64,
     /// Per-shard wall-clock spent executing commands.
     pub shard_busy: Vec<Duration>,
-    /// Median per-edit service latency (edit + reparse on the shard).
+    /// Median per-**cycle** service latency (pending-edit batch + one
+    /// reparse on the owning shard).
     pub p50: Duration,
-    /// 95th-percentile per-edit service latency.
+    /// 95th-percentile per-cycle service latency.
     pub p95: Duration,
-    /// 99th-percentile per-edit service latency.
+    /// 99th-percentile per-cycle service latency.
     pub p99: Duration,
     /// Semantic queries answered since the workspace started.
     pub queries: u64,
-    /// Median semantic-query service latency (home-shard lookup only).
+    /// Median semantic-query service latency (owner-shard lookup only).
     pub query_p50: Duration,
     /// 95th-percentile semantic-query service latency.
     pub query_p95: Duration,

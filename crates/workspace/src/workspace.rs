@@ -1,40 +1,74 @@
-//! The concurrent multi-document service: N [`Session`]s sharded across a
-//! [`ShardPool`].
+//! The concurrent multi-document service: N [`Session`]s scheduled as
+//! stealable documents over a [`ShardPool`].
 //!
-//! ## Sharding model
+//! ## Scheduling model
 //!
-//! A document's home shard is `doc_id % threads`, fixed at open time.
-//! Every command for a document is executed on its home shard in arrival
-//! order, so *per-document* edit ordering is structural; documents on
-//! different shards reparse in parallel. The immutable language artifacts
-//! (grammar, LALR table, compiled lexer) are shared across all shards via
-//! the thread-safe [`LanguageRegistry`]; everything mutable — the rope,
-//! the dag arena, the token tape, the pooled parser scratch — lives inside
-//! the shard-resident [`Session`] and is touched by exactly one thread.
+//! Every open document owns a bounded FIFO **mailbox** of commands plus a
+//! current **owner shard** (initially `doc_id % threads`). Submitting a
+//! command pushes it into the mailbox; if the document is not already
+//! scheduled, its slot is placed on the owner's run-queue. Workers drain
+//! their own run-queue front-first and, when idle, **steal whole
+//! documents** from the back of other shards' queues: ownership migrates
+//! to the thief under a per-document migration epoch — `shard_of(doc)`
+//! rebinds so in-flight submits land on the new owner — and because the
+//! document's entire mailbox travels with it, *per-document* FIFO order
+//! is structural no matter how often the document migrates. A `scheduled`
+//! flag guarantees a document is processed by at most one worker at a
+//! time, so a session is still touched by exactly one thread at any
+//! moment even though that thread is no longer fixed.
+//!
+//! ## Edit coalescing
+//!
+//! On dequeue a worker drains the *entire* mailbox and walks it in order.
+//! Consecutive `apply` commands form one service run: their edits are fed
+//! into the session's pending-edit buffer and folded into a single
+//! covering damage region ([`wg_document::Edit::merge`]), with one
+//! reparse per *proximity group* — a new cycle is flushed only when the
+//! next edit lands farther than a small gap from the covering span
+//! ([`wg_document::Edit::gap_to`]), because merging distant edits would
+//! drag the untouched interior into the damage region. A burst of
+//! self-cancelling edits therefore collapses to one near-no-op reparse,
+//! while every reply slot still receives its own [`ApplyOutcome`]
+//! carrying the shared cycle's report.
+//!
+//! The immutable language artifacts (grammar, LALR table, compiled lexer)
+//! are shared across all shards via the thread-safe [`LanguageRegistry`];
+//! everything mutable — the rope, the dag arena, the token tape, the
+//! pooled parser scratch — lives inside the document's [`Session`].
 //!
 //! ## Failure isolation
 //!
 //! A panicking operation (a bounds-violating edit, a parser invariant
-//! failure) is caught on the shard, poisons *only its own document* — the
-//! session is dropped, later commands for it answer
-//! [`WorkspaceError::Poisoned`] — and the shard keeps serving every other
-//! document. Shutdown closes the queues (new work is refused), drains
-//! accepted work, and joins the workers.
+//! failure) is caught on the worker and poisons *only its own document*:
+//! the session is dropped and the poisoned flag lives in the document
+//! slot, so it follows the document across migrations — later commands
+//! answer [`WorkspaceError::Poisoned`] no matter which shard serves them.
+//! Shutdown refuses new commands, drains every scheduled document, joins
+//! the workers, then sweeps mailboxes so any caller that raced the close
+//! observes [`WorkspaceError::ShuttingDown`] instead of hanging.
 
 use crate::metrics::{LatencyHistogram, WorkspaceMetrics};
-use crate::pool::ShardPool;
+use crate::pool::{Requeue, ShardPool};
 use crate::sync::{oneshot, OneShotReceiver, OneShotSender};
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use wg_core::{LanguageRegistry, ReparseReport, SemInfo, Session, SessionConfig, SessionError};
 use wg_dag::NodeId;
+use wg_document::Edit;
 use wg_grammar::Grammar;
 use wg_lexer::LexerDef;
 use wg_sem::{SemState, Strictness};
+
+/// Maximum byte distance between a pending covering damage region and the
+/// next edit for the two to share one reparse cycle. Edits within the gap
+/// coalesce (one relex over a slightly wider span beats a whole extra
+/// cycle); edits beyond it flush the current group first, keeping damage
+/// proportional to what actually changed.
+const COALESCE_GAP: usize = 64;
 
 /// Identifies one document within a [`Workspace`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -109,8 +143,10 @@ impl fmt::Display for WorkspaceError {
     }
 }
 
-/// A semantic question addressed to one document (answered on its home
-/// shard from the session-resident [`SemState`], no dag re-walk).
+impl std::error::Error for WorkspaceError {}
+
+/// A semantic question addressed to one document (answered on its current
+/// owner shard from the session-resident [`SemState`], no dag re-walk).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SemQuery {
     /// Resolve the identifier at a byte offset.
@@ -134,24 +170,25 @@ pub enum SemAnswer {
     Ambiguity(bool, bool),
 }
 
-impl std::error::Error for WorkspaceError {}
-
 /// The successful result of one applied edit batch.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ApplyOutcome {
     /// Per-document command sequence number (1 for the first batch after
     /// open, strictly increasing — the ordering witness).
     pub seq: u64,
-    /// Edits applied (each followed by a reparse cycle).
+    /// Edits fed into the session's pending buffer by this command.
     pub edits_applied: usize,
-    /// Edits whose reparse refused incorporation (tree kept the previous
-    /// version; the edit stays flagged in the session).
+    /// Edits still refused by the tree when this command's service run
+    /// finished (the text holds them; the tree kept the previous version
+    /// and the edits stay flagged in the session for the next retry).
     pub edits_refused: usize,
-    /// Whether every reparse in the batch incorporated fully.
+    /// Whether every edit of this command was incorporated by the end of
+    /// its service run.
     pub incorporated: bool,
-    /// The last reparse cycle's per-stage report.
+    /// The final reparse cycle report of the service run this command was
+    /// coalesced into — shared by every command in the run.
     pub last_report: ReparseReport,
-    /// Shard service time of the whole batch (queue wait excluded).
+    /// Shard service time of the whole run (queue wait excluded).
     pub latency: Duration,
 }
 
@@ -185,41 +222,211 @@ impl PendingApply {
     }
 }
 
-/// Commands executed on a document's home shard.
+/// An in-flight asynchronous query (see [`Workspace::query_async`]).
+#[must_use = "wait() retrieves the answer; dropping loses it"]
+pub struct PendingQuery {
+    rx: OneShotReceiver<Result<SemAnswer, WorkspaceError>>,
+}
+
+impl PendingQuery {
+    /// Blocks until the shard answers.
+    pub fn wait(self) -> Result<SemAnswer, WorkspaceError> {
+        self.rx.recv().unwrap_or(Err(WorkspaceError::ShuttingDown))
+    }
+}
+
+/// Commands queued in a document's mailbox.
 enum Cmd {
     Open {
-        doc: DocId,
         config: SessionConfig,
         text: String,
         semantics: bool,
         reply: OneShotSender<Result<(), WorkspaceError>>,
     },
     Query {
-        doc: DocId,
         query: SemQuery,
         reply: OneShotSender<Result<SemAnswer, WorkspaceError>>,
     },
     Apply {
-        doc: DocId,
         edits: Vec<EditReq>,
         reply: OneShotSender<DocResult>,
     },
     Close {
-        doc: DocId,
         reply: OneShotSender<bool>,
     },
     Text {
-        doc: DocId,
+        reply: OneShotSender<Option<String>>,
+    },
+    Dump {
         reply: OneShotSender<Option<String>>,
     },
 }
 
+/// Mailbox bookkeeping, all under one lock: the command FIFO, the
+/// scheduling handshake, and the ownership binding.
+struct MailState {
+    queue: VecDeque<Cmd>,
+    /// True while the document sits on a run-queue or is being processed.
+    /// Set by the submitter that enqueues the slot, cleared by the worker
+    /// only after re-checking the queue is empty — so a document is
+    /// processed by at most one worker, and no push is ever stranded.
+    scheduled: bool,
+    /// Current owner shard; rebound by the worker that steals the slot.
+    owner: usize,
+    /// Bumped on every ownership rebind (monotone migration witness).
+    epoch: u64,
+    closed: bool,
+}
+
+/// The bounded per-document command mailbox.
+struct Mailbox {
+    state: Mutex<MailState>,
+    not_full: Condvar,
+    cap: usize,
+}
+
+impl Mailbox {
+    fn new(cap: usize, owner: usize) -> Mailbox {
+        Mailbox {
+            state: Mutex::new(MailState {
+                queue: VecDeque::new(),
+                scheduled: false,
+                owner,
+                epoch: 0,
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Enqueues `cmd`, blocking while the mailbox is full (backpressure).
+    /// Returns the owner shard to schedule the document on when this push
+    /// transitioned it to scheduled, `None` when it was already scheduled.
+    ///
+    /// # Errors
+    ///
+    /// Returns the command back when the mailbox is closed (shutdown).
+    fn push(&self, cmd: Cmd, depth: &[AtomicU64]) -> Result<Option<usize>, Cmd> {
+        let mut st = self.state.lock().expect("mailbox lock");
+        loop {
+            if st.closed {
+                return Err(cmd);
+            }
+            if st.queue.len() < self.cap {
+                break;
+            }
+            st = self.not_full.wait(st).expect("mailbox lock");
+        }
+        st.queue.push_back(cmd);
+        depth[st.owner].fetch_add(1, Ordering::Relaxed);
+        if st.scheduled {
+            Ok(None)
+        } else {
+            st.scheduled = true;
+            Ok(Some(st.owner))
+        }
+    }
+
+    /// Worker entry: rebinds ownership to `me` if the slot was stolen
+    /// (moving the queued-depth charge between shard gauges and bumping
+    /// the migration epoch) and drains every queued command. Returns the
+    /// batch and whether a migration happened.
+    fn begin(&self, me: usize, depth: &[AtomicU64]) -> (Vec<Cmd>, bool) {
+        let mut st = self.state.lock().expect("mailbox lock");
+        let queued = st.queue.len() as u64;
+        depth[st.owner].fetch_sub(queued, Ordering::Relaxed);
+        let migrated = st.owner != me;
+        if migrated {
+            st.owner = me;
+            st.epoch += 1;
+        }
+        let batch: Vec<Cmd> = st.queue.drain(..).collect();
+        drop(st);
+        self.not_full.notify_all();
+        (batch, migrated)
+    }
+
+    /// Worker exit: commands that arrived during processing keep the slot
+    /// scheduled — the worker must push it back on the returned shard's
+    /// run-queue. An empty mailbox clears the flag so the next push
+    /// re-schedules.
+    fn finish(&self) -> Option<usize> {
+        let mut st = self.state.lock().expect("mailbox lock");
+        if st.queue.is_empty() {
+            st.scheduled = false;
+            None
+        } else {
+            Some(st.owner)
+        }
+    }
+
+    /// Closes the mailbox (pushes fail, blocked pushers wake) and removes
+    /// any stranded commands; dropping them drops their reply senders, so
+    /// waiting callers observe `ShuttingDown` instead of hanging.
+    fn close(&self, depth: &[AtomicU64]) -> Vec<Cmd> {
+        let mut st = self.state.lock().expect("mailbox lock");
+        st.closed = true;
+        let queued = st.queue.len() as u64;
+        depth[st.owner].fetch_sub(queued, Ordering::Relaxed);
+        let stranded: Vec<Cmd> = st.queue.drain(..).collect();
+        drop(st);
+        self.not_full.notify_all();
+        stranded
+    }
+
+    fn owner(&self) -> usize {
+        self.state.lock().expect("mailbox lock").owner
+    }
+
+    fn epoch(&self) -> u64 {
+        self.state.lock().expect("mailbox lock").epoch
+    }
+}
+
+/// Session-side state of one document, touched only by the worker that
+/// currently has the slot checked out.
+struct DocState {
+    session: Option<Session>,
+    seq: u64,
+    poisoned: bool,
+}
+
+/// One document: its mailbox (scheduling + FIFO) and its session state.
+/// The whole slot migrates between shards; nothing about a document is
+/// pinned to the thread that opened it.
+struct DocSlot {
+    doc: DocId,
+    mailbox: Mailbox,
+    state: Mutex<DocState>,
+}
+
+/// Scheduling-protocol tracing, enabled by the `WG_TRACE` env var —
+/// diagnostic only, compiled in but a single cached boolean check when off.
+macro_rules! wg_trace {
+    ($($arg:tt)*) => {
+        if *crate::workspace::TRACE {
+            eprintln!($($arg)*);
+        }
+    };
+}
+
+pub(crate) static TRACE: std::sync::LazyLock<bool> =
+    std::sync::LazyLock::new(|| std::env::var_os("WG_TRACE").is_some());
+
 /// Counters shared by all shards and the front end.
 struct Shared {
+    docs: Mutex<HashMap<DocId, Arc<DocSlot>>>,
+    /// Mailbox commands charged to each document's current owner shard —
+    /// the live per-shard queue-depth gauge.
+    depth: Vec<AtomicU64>,
+    closing: AtomicBool,
     docs_open: AtomicU64,
     edits_applied: AtomicU64,
     reparses: AtomicU64,
     edits_refused: AtomicU64,
+    coalesced_edits: AtomicU64,
+    migrations: AtomicU64,
     docs_poisoned: AtomicU64,
     queries: AtomicU64,
     latency: LatencyHistogram,
@@ -229,17 +436,19 @@ struct Shared {
 
 /// A concurrent multi-document analysis service.
 ///
-/// See the [crate docs](crate) for the sharding and isolation model.
+/// See the [crate docs](crate) for the scheduling and isolation model.
 pub struct Workspace {
-    pool: ShardPool<Cmd>,
+    pool: ShardPool<Arc<DocSlot>>,
     shared: Arc<Shared>,
     registry: Arc<LanguageRegistry>,
     next_doc: AtomicU64,
+    mailbox_cap: usize,
 }
 
 impl Workspace {
-    /// A workspace with `threads` shard workers, each with `queue_cap`
-    /// commands of backpressure, and a fresh language registry.
+    /// A workspace with `threads` shard workers, each document with
+    /// `queue_cap` commands of mailbox backpressure, and a fresh language
+    /// registry.
     pub fn new(threads: usize, queue_cap: usize) -> Workspace {
         Workspace::with_registry(threads, queue_cap, Arc::new(LanguageRegistry::new()))
     }
@@ -252,11 +461,17 @@ impl Workspace {
         queue_cap: usize,
         registry: Arc<LanguageRegistry>,
     ) -> Workspace {
+        let threads = threads.max(1);
         let shared = Arc::new(Shared {
+            docs: Mutex::new(HashMap::new()),
+            depth: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+            closing: AtomicBool::new(false),
             docs_open: AtomicU64::new(0),
             edits_applied: AtomicU64::new(0),
             reparses: AtomicU64::new(0),
             edits_refused: AtomicU64::new(0),
+            coalesced_edits: AtomicU64::new(0),
+            migrations: AtomicU64::new(0),
             docs_poisoned: AtomicU64::new(0),
             queries: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
@@ -265,11 +480,11 @@ impl Workspace {
         });
         let pool = {
             let shared = Arc::clone(&shared);
-            ShardPool::new(threads, queue_cap.max(1), move |_shard| {
+            ShardPool::new(threads, move |shard, requeue| {
                 let shared = Arc::clone(&shared);
-                let mut docs: HashMap<DocId, DocEntry> = HashMap::new();
-                let mut poisoned: HashSet<DocId> = HashSet::new();
-                move |cmd: Cmd| handle(&shared, &mut docs, &mut poisoned, cmd)
+                move |slot: Arc<DocSlot>, stolen| {
+                    process_slot(&shared, &requeue, shard, &slot, stolen)
+                }
             })
         };
         Workspace {
@@ -277,6 +492,7 @@ impl Workspace {
             shared,
             registry,
             next_doc: AtomicU64::new(0),
+            mailbox_cap: queue_cap.max(1),
         }
     }
 
@@ -290,14 +506,59 @@ impl Workspace {
         &self.registry
     }
 
-    /// The home shard of a document (stable for its lifetime).
+    /// The shard currently owning a document. Initially `doc_id %
+    /// threads`; rebound every time an idle shard steals the document, so
+    /// this is a racy gauge, not a stable address — submits consult the
+    /// binding under the mailbox lock. Unknown documents report their
+    /// would-be home shard.
     pub fn shard_of(&self, doc: DocId) -> usize {
-        (doc.0 % self.pool.shards() as u64) as usize
+        match self.slot_of(doc) {
+            Some(slot) => slot.mailbox.owner(),
+            None => (doc.0 % self.pool.shards() as u64) as usize,
+        }
+    }
+
+    /// The document's migration epoch: 0 at open, +1 per ownership
+    /// rebind. `None` for unknown documents.
+    pub fn epoch_of(&self, doc: DocId) -> Option<u64> {
+        self.slot_of(doc).map(|s| s.mailbox.epoch())
+    }
+
+    fn slot_of(&self, doc: DocId) -> Option<Arc<DocSlot>> {
+        self.shared
+            .docs
+            .lock()
+            .expect("docs lock")
+            .get(&doc)
+            .cloned()
+    }
+
+    /// Pushes `cmd` into the document's mailbox and schedules the slot on
+    /// its owner shard when needed.
+    fn submit(&self, slot: &Arc<DocSlot>, cmd: Cmd) -> Result<(), WorkspaceError> {
+        if self.shared.closing.load(Ordering::Acquire) {
+            return Err(WorkspaceError::ShuttingDown);
+        }
+        match slot.mailbox.push(cmd, &self.shared.depth) {
+            Err(_) => Err(WorkspaceError::ShuttingDown),
+            Ok(Some(shard)) => {
+                wg_trace!("submit doc={} schedule shard={shard}", slot.doc.0);
+                if self.pool.submit(shard, Arc::clone(slot)).is_err() {
+                    // Raced the close: the command sits in the mailbox and
+                    // the shutdown sweep will drop it (reply: ShuttingDown).
+                    return Err(WorkspaceError::ShuttingDown);
+                }
+                Ok(())
+            }
+            Ok(None) => {
+                wg_trace!("submit doc={} already-scheduled", slot.doc.0);
+                Ok(())
+            }
+        }
     }
 
     /// Opens a document, compiling (or reusing) the language through the
-    /// shared registry; the initial lex + batch parse runs on the home
-    /// shard.
+    /// shared registry; the initial lex + batch parse runs on a shard.
     ///
     /// # Errors
     ///
@@ -326,7 +587,7 @@ impl Workspace {
     }
 
     /// Opens a document with an incremental semantic pass attached: the
-    /// home shard builds a [`SemState`] over the fresh tree and keeps it
+    /// owning shard builds a [`SemState`] over the fresh tree and keeps it
     /// current across every reparse, so [`Workspace::query`] answers from
     /// retained facts instead of re-walking the dag.
     ///
@@ -348,16 +609,31 @@ impl Workspace {
         semantics: bool,
     ) -> Result<DocId, WorkspaceError> {
         let doc = DocId(self.next_doc.fetch_add(1, Ordering::Relaxed));
+        let home = (doc.0 % self.pool.shards() as u64) as usize;
+        let slot = Arc::new(DocSlot {
+            doc,
+            mailbox: Mailbox::new(self.mailbox_cap, home),
+            state: Mutex::new(DocState {
+                session: None,
+                seq: 0,
+                poisoned: false,
+            }),
+        });
+        self.shared
+            .docs
+            .lock()
+            .expect("docs lock")
+            .insert(doc, Arc::clone(&slot));
         let (reply, rx) = oneshot();
         let cmd = Cmd::Open {
-            doc,
             config: config.clone(),
             text: text.to_string(),
             semantics,
             reply,
         };
-        if self.pool.submit(self.shard_of(doc), cmd).is_err() {
-            return Err(WorkspaceError::ShuttingDown);
+        if let Err(e) = self.submit(&slot, cmd) {
+            self.shared.docs.lock().expect("docs lock").remove(&doc);
+            return Err(e);
         }
         match rx.recv() {
             Some(Ok(())) => Ok(doc),
@@ -366,10 +642,10 @@ impl Workspace {
         }
     }
 
-    /// Answers a semantic question on the document's home shard. The
-    /// shard reads the session-resident semantic state — no dag re-walk,
-    /// no cross-shard coordination; service time lands in the workspace's
-    /// query latency histogram.
+    /// Answers a semantic question on the document's current owner shard.
+    /// The shard reads the session-resident semantic state — no dag
+    /// re-walk, no cross-shard coordination; service time lands in the
+    /// workspace's query latency histogram.
     ///
     /// # Errors
     ///
@@ -377,19 +653,32 @@ impl Workspace {
     /// without [`Workspace::open_with_semantics`], plus the usual
     /// unknown/poisoned/shutdown errors.
     pub fn query(&self, doc: DocId, query: SemQuery) -> Result<SemAnswer, WorkspaceError> {
+        self.query_async(doc, query)?.wait()
+    }
+
+    /// Schedules a semantic question without waiting for the answer;
+    /// queries and edits submitted to one document stay FIFO-ordered
+    /// relative to each other.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkspaceError::UnknownDoc`] immediately for unopened ids,
+    /// [`WorkspaceError::ShuttingDown`] when the workspace refused the
+    /// command.
+    pub fn query_async(&self, doc: DocId, query: SemQuery) -> Result<PendingQuery, WorkspaceError> {
+        let Some(slot) = self.slot_of(doc) else {
+            return Err(WorkspaceError::UnknownDoc(doc));
+        };
         let (reply, rx) = oneshot();
-        let cmd = Cmd::Query { doc, query, reply };
-        if self.pool.submit(self.shard_of(doc), cmd).is_err() {
-            return Err(WorkspaceError::ShuttingDown);
-        }
-        rx.recv().unwrap_or(Err(WorkspaceError::ShuttingDown))
+        self.submit(&slot, Cmd::Query { query, reply })?;
+        Ok(PendingQuery { rx })
     }
 
     /// Applies a batch of edits addressed to documents: each document's
-    /// edit list is scheduled on its home shard (cross-document
-    /// parallelism for free, per-document order preserved) and the call
-    /// blocks until every report is in. Reports come back in batch order;
-    /// a document listed twice gets two reports, processed in order.
+    /// edit list is queued in mailbox order (cross-document parallelism
+    /// for free, per-document order preserved) and the call blocks until
+    /// every report is in. Reports come back in batch order; a document
+    /// listed twice gets two reports, processed in order.
     pub fn apply(&self, batch: Vec<(DocId, Vec<EditReq>)>) -> Vec<DocReport> {
         let mut pending: Vec<Result<PendingApply, DocReport>> = Vec::with_capacity(batch.len());
         for (doc, edits) in batch {
@@ -408,20 +697,22 @@ impl Workspace {
     }
 
     /// Schedules one document's edit batch without waiting. Blocks only on
-    /// shard-queue backpressure.
+    /// mailbox backpressure.
     ///
     /// # Errors
     ///
-    /// [`WorkspaceError::ShuttingDown`] when the pool refused the command.
+    /// [`WorkspaceError::ShuttingDown`] when the workspace refused the
+    /// command. Unknown documents are reported through the returned
+    /// [`PendingApply`], matching the synchronous [`Workspace::apply`].
     pub fn apply_async(
         &self,
         doc: DocId,
         edits: Vec<EditReq>,
     ) -> Result<PendingApply, WorkspaceError> {
         let (reply, rx) = oneshot();
-        let cmd = Cmd::Apply { doc, edits, reply };
-        if self.pool.submit(self.shard_of(doc), cmd).is_err() {
-            return Err(WorkspaceError::ShuttingDown);
+        match self.slot_of(doc) {
+            Some(slot) => self.submit(&slot, Cmd::Apply { edits, reply })?,
+            None => reply.send(Err(WorkspaceError::UnknownDoc(doc))),
         }
         Ok(PendingApply { doc, rx })
     }
@@ -430,12 +721,11 @@ impl Workspace {
     /// open (false for unknown, already closed, or poisoned ids — closing
     /// a poisoned id clears its tombstone).
     pub fn close(&self, doc: DocId) -> bool {
+        let Some(slot) = self.slot_of(doc) else {
+            return false;
+        };
         let (reply, rx) = oneshot();
-        if self
-            .pool
-            .submit(self.shard_of(doc), Cmd::Close { doc, reply })
-            .is_err()
-        {
+        if self.submit(&slot, Cmd::Close { reply }).is_err() {
             return false;
         }
         rx.recv().unwrap_or(false)
@@ -444,31 +734,66 @@ impl Workspace {
     /// The document's current text (None for unknown/poisoned ids). O(N);
     /// a testing and tooling convenience, not a hot path.
     pub fn text(&self, doc: DocId) -> Option<String> {
+        let slot = self.slot_of(doc)?;
         let (reply, rx) = oneshot();
-        if self
-            .pool
-            .submit(self.shard_of(doc), Cmd::Text { doc, reply })
-            .is_err()
-        {
+        if self.submit(&slot, Cmd::Text { reply }).is_err() {
             return None;
         }
         rx.recv().flatten()
+    }
+
+    /// A structural dump of the document's current parse dag (None for
+    /// unknown/poisoned ids). O(tree); a testing witness that the
+    /// incrementally maintained tree matches a from-scratch parse, not a
+    /// hot path.
+    pub fn dump(&self, doc: DocId) -> Option<String> {
+        let slot = self.slot_of(doc)?;
+        let (reply, rx) = oneshot();
+        if self.submit(&slot, Cmd::Dump { reply }).is_err() {
+            return None;
+        }
+        rx.recv().flatten()
+    }
+
+    /// `true` when every shard is idle: no command queued anywhere and no
+    /// handler mid-run. Once observed, the busy-time gauges in
+    /// [`Self::metrics`] are fully up to date, which is what windowed
+    /// measurements (difference two `shard_busy` snapshots) need — a
+    /// snapshot taken while a worker is between "reply sent" and "time
+    /// charged" would undercount. Callers that just issued synchronous
+    /// commands reach idleness within microseconds; spin with
+    /// `std::thread::yield_now()`.
+    pub fn idle(&self) -> bool {
+        self.pool.idle()
     }
 
     /// A point-in-time metrics snapshot.
     pub fn metrics(&self) -> WorkspaceMetrics {
         let edits = self.shared.edits_applied.load(Ordering::Relaxed);
         let elapsed = self.shared.started.elapsed();
+        let shard_busy = self.pool.busy_time();
+        let busiest = shard_busy.iter().copied().max().unwrap_or(Duration::ZERO);
+        let queue_depth_per_shard: Vec<usize> = self
+            .shared
+            .depth
+            .iter()
+            .map(|d| d.load(Ordering::Relaxed) as usize)
+            .collect();
         WorkspaceMetrics {
             docs_open: self.shared.docs_open.load(Ordering::Relaxed) as usize,
             edits_applied: edits,
             reparses: self.shared.reparses.load(Ordering::Relaxed),
             edits_refused: self.shared.edits_refused.load(Ordering::Relaxed),
+            coalesced_edits: self.shared.coalesced_edits.load(Ordering::Relaxed),
+            steals: self.pool.steals(),
+            migrations: self.shared.migrations.load(Ordering::Relaxed),
             docs_poisoned: self.shared.docs_poisoned.load(Ordering::Relaxed),
             elapsed,
             edits_per_sec: edits as f64 / elapsed.as_secs_f64().max(1e-9),
-            queue_depth: self.pool.queue_depth(),
-            shard_busy: self.pool.busy_time(),
+            queue_depth: queue_depth_per_shard.iter().sum(),
+            queue_depth_per_shard,
+            imbalance: busiest.as_secs_f64() / elapsed.as_secs_f64().max(1e-9),
+            shard_busy,
             p50: self.shared.latency.percentile(0.50),
             p95: self.shared.latency.percentile(0.95),
             p99: self.shared.latency.percentile(0.99),
@@ -480,31 +805,219 @@ impl Workspace {
     }
 
     /// Shuts down: refuses new commands, drains every accepted command,
-    /// joins the workers, and returns the final metrics.
+    /// joins the workers, sweeps mailboxes so racing callers wake with
+    /// [`WorkspaceError::ShuttingDown`], and returns the final metrics.
     pub fn shutdown(mut self) -> WorkspaceMetrics {
+        self.shared.closing.store(true, Ordering::Release);
         self.pool.shutdown();
+        let slots: Vec<Arc<DocSlot>> = self
+            .shared
+            .docs
+            .lock()
+            .expect("docs lock")
+            .values()
+            .cloned()
+            .collect();
+        for slot in slots {
+            drop(slot.mailbox.close(&self.shared.depth));
+        }
         self.metrics()
     }
 }
 
-/// Shard-resident state of one document.
-struct DocEntry {
-    session: Session,
-    seq: u64,
+/// Worker entry point: a document slot was popped from a run-queue.
+/// Rebinds ownership on steal, drains the mailbox, walks it in FIFO order
+/// coalescing consecutive applies, and reschedules the slot if commands
+/// arrived while it was being processed.
+fn process_slot(
+    shared: &Shared,
+    requeue: &Requeue<Arc<DocSlot>>,
+    me: usize,
+    slot: &Arc<DocSlot>,
+    stolen: bool,
+) {
+    let (batch, migrated) = slot.mailbox.begin(me, &shared.depth);
+    wg_trace!(
+        "begin doc={} me={me} stolen={stolen} migrated={migrated} batch={}",
+        slot.doc.0,
+        batch.len()
+    );
+    // A slot pops from a foreign deque exactly when its binding is stale.
+    debug_assert_eq!(migrated, stolen);
+    if migrated {
+        shared.migrations.fetch_add(1, Ordering::Relaxed);
+    }
+    let mut run: Vec<(Vec<EditReq>, OneShotSender<DocResult>)> = Vec::new();
+    for cmd in batch {
+        match cmd {
+            Cmd::Apply { edits, reply } => run.push((edits, reply)),
+            other => {
+                exec_apply_run(shared, slot, std::mem::take(&mut run));
+                exec_single(shared, slot, other);
+            }
+        }
+    }
+    exec_apply_run(shared, slot, run);
+    let requeued = slot.mailbox.finish();
+    wg_trace!("finish doc={} me={me} requeue={requeued:?}", slot.doc.0);
+    if let Some(shard) = requeued {
+        requeue.push(shard, Arc::clone(slot));
+    }
 }
 
-/// Executes one command against the shard's documents. Runs on a shard
-/// worker; panics inside document operations are caught here and poison
-/// only the document that raised them.
-fn handle(
+/// Marks the document dead: the session is dropped and the flag lives in
+/// the slot, so the poison follows the document across migrations.
+fn poison(shared: &Shared, slot: &DocSlot) {
+    let mut st = slot.state.lock().expect("doc state lock");
+    if st.session.take().is_some() {
+        shared.docs_open.fetch_sub(1, Ordering::Relaxed);
+    }
+    st.poisoned = true;
+    shared.docs_poisoned.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Executes one run of consecutive apply commands as shared reparse
+/// cycles: all edits are fed into the session's pending buffer in FIFO
+/// order; a reparse is flushed whenever the next edit falls outside the
+/// current covering damage region's neighborhood, and once at the end.
+fn exec_apply_run(
     shared: &Shared,
-    docs: &mut HashMap<DocId, DocEntry>,
-    poisoned: &mut HashSet<DocId>,
-    cmd: Cmd,
+    slot: &DocSlot,
+    applies: Vec<(Vec<EditReq>, OneShotSender<DocResult>)>,
 ) {
+    if applies.is_empty() {
+        return;
+    }
+    // Check the session out of the slot: on a panic it is simply dropped,
+    // so no half-mutated tree is ever visible again.
+    let (mut session, base_seq) = {
+        let mut st = slot.state.lock().expect("doc state lock");
+        if st.poisoned {
+            drop(st);
+            for (_, reply) in applies {
+                reply.send(Err(WorkspaceError::Poisoned(slot.doc)));
+            }
+            return;
+        }
+        match st.session.take() {
+            Some(session) => (session, st.seq),
+            None => {
+                drop(st);
+                for (_, reply) in applies {
+                    reply.send(Err(WorkspaceError::UnknownDoc(slot.doc)));
+                }
+                return;
+            }
+        }
+    };
+    let t0 = Instant::now();
+    // Cumulative fed-edit count at the end of each command, the final
+    // remaining (refused) pending count, and the last cycle's report.
+    let mut boundaries: Vec<usize> = Vec::with_capacity(applies.len());
+    let mut fed = 0usize;
+    let mut remaining = 0usize;
+    let mut last_report = ReparseReport::default();
+    let run = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        let mut group = 0usize; // edits fed since the last flush
+        let mut cover: Option<Edit> = None; // covering damage, live coords
+        let mut flush = |session: &mut Session, group: &mut usize| {
+            let t_cycle = Instant::now();
+            let out = session.reparse().expect("reparse is infallible");
+            shared.latency.record(t_cycle.elapsed());
+            shared.reparses.fetch_add(1, Ordering::Relaxed);
+            shared
+                .edits_applied
+                .fetch_add(*group as u64, Ordering::Relaxed);
+            if *group > 1 {
+                shared
+                    .coalesced_edits
+                    .fetch_add((*group - 1) as u64, Ordering::Relaxed);
+            }
+            *group = 0;
+            remaining = out.remaining_edits;
+            last_report = out.report;
+        };
+        for (edits, _) in &applies {
+            for e in edits {
+                let incoming = Edit {
+                    start: e.start,
+                    removed: e.removed,
+                    inserted: e.insert.len(),
+                };
+                if let Some(cov) = cover {
+                    if cov.gap_to(&incoming) > COALESCE_GAP {
+                        flush(&mut session, &mut group);
+                        cover = None;
+                    }
+                }
+                session.edit(e.start, e.removed, &e.insert);
+                fed += 1;
+                group += 1;
+                cover = Some(match cover {
+                    None => incoming,
+                    Some(cov) => cov.merge(incoming),
+                });
+            }
+            boundaries.push(fed);
+        }
+        if group > 0 {
+            flush(&mut session, &mut group);
+        }
+    }));
+    match run {
+        Ok(()) => {
+            // Refused pending edits are always a *suffix* of the session's
+            // pending list (carried-over refusals first, then this run's
+            // feed), so the last `min(remaining, fed)` fed edits are the
+            // refused ones; attribute them to commands by boundary.
+            let fed_refused = remaining.min(fed);
+            let cutoff = fed - fed_refused;
+            if fed_refused > 0 {
+                shared
+                    .edits_refused
+                    .fetch_add(fed_refused as u64, Ordering::Relaxed);
+            }
+            let latency = t0.elapsed();
+            {
+                let mut st = slot.state.lock().expect("doc state lock");
+                st.seq = base_seq + applies.len() as u64;
+                st.session = Some(session);
+            }
+            let mut prev = 0usize;
+            for (k, (edits, reply)) in applies.into_iter().enumerate() {
+                let end = boundaries[k];
+                let refused = end.saturating_sub(prev.max(cutoff));
+                prev = end;
+                reply.send(Ok(ApplyOutcome {
+                    seq: base_seq + k as u64 + 1,
+                    edits_applied: edits.len(),
+                    edits_refused: refused,
+                    incorporated: refused == 0,
+                    last_report: last_report.clone(),
+                    latency,
+                }));
+            }
+        }
+        Err(_) => {
+            // The document dies; the worker (and every other document)
+            // keeps serving. Every command coalesced into this run shared
+            // the panicking cycle, so all of them answer Poisoned. The
+            // session was checked out above, so drop it here and account
+            // for it — `poison` only handles a slot-resident session.
+            drop(session);
+            shared.docs_open.fetch_sub(1, Ordering::Relaxed);
+            poison(shared, slot);
+            for (_, reply) in applies {
+                reply.send(Err(WorkspaceError::Poisoned(slot.doc)));
+            }
+        }
+    }
+}
+
+/// Executes one non-apply command against the document slot.
+fn exec_single(shared: &Shared, slot: &DocSlot, cmd: Cmd) {
     match cmd {
         Cmd::Open {
-            doc,
             config,
             text,
             semantics,
@@ -520,113 +1033,77 @@ fn handle(
             }));
             match opened {
                 Ok(Ok(session)) => {
-                    docs.insert(doc, DocEntry { session, seq: 0 });
+                    slot.state.lock().expect("doc state lock").session = Some(session);
                     shared.docs_open.fetch_add(1, Ordering::Relaxed);
                     reply.send(Ok(()));
                 }
-                Ok(Err(e)) => reply.send(Err(WorkspaceError::Open(e))),
+                Ok(Err(e)) => {
+                    shared.docs.lock().expect("docs lock").remove(&slot.doc);
+                    reply.send(Err(WorkspaceError::Open(e)));
+                }
                 Err(_) => {
-                    poisoned.insert(doc);
-                    shared.docs_poisoned.fetch_add(1, Ordering::Relaxed);
-                    reply.send(Err(WorkspaceError::Poisoned(doc)));
+                    poison(shared, slot);
+                    reply.send(Err(WorkspaceError::Poisoned(slot.doc)));
                 }
             }
         }
-        Cmd::Apply { doc, edits, reply } => {
-            if poisoned.contains(&doc) {
-                reply.send(Err(WorkspaceError::Poisoned(doc)));
+        Cmd::Apply { .. } => unreachable!("apply commands are grouped into runs"),
+        Cmd::Query { query, reply } => {
+            let st = slot.state.lock().expect("doc state lock");
+            if st.poisoned {
+                drop(st);
+                reply.send(Err(WorkspaceError::Poisoned(slot.doc)));
                 return;
             }
-            let Some(mut entry) = docs.remove(&doc) else {
-                reply.send(Err(WorkspaceError::UnknownDoc(doc)));
+            let Some(session) = st.session.as_ref() else {
+                drop(st);
+                reply.send(Err(WorkspaceError::UnknownDoc(slot.doc)));
                 return;
             };
-            let t0 = Instant::now();
-            let mut applied = 0usize;
-            let mut refused = 0usize;
-            let mut last_report = ReparseReport::default();
-            // The session is checked out of the map for the batch: on a
-            // panic it is simply dropped, so no half-mutated tree is ever
-            // visible again.
-            let run = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                for e in &edits {
-                    let t_edit = Instant::now();
-                    entry.session.edit(e.start, e.removed, &e.insert);
-                    let out = entry.session.reparse().expect("reparse is infallible");
-                    shared.latency.record(t_edit.elapsed());
-                    shared.edits_applied.fetch_add(1, Ordering::Relaxed);
-                    shared.reparses.fetch_add(1, Ordering::Relaxed);
-                    applied += 1;
-                    if !out.incorporated {
-                        refused += 1;
-                        shared.edits_refused.fetch_add(1, Ordering::Relaxed);
-                    }
-                    last_report = out.report;
-                }
-            }));
-            match run {
-                Ok(()) => {
-                    entry.seq += 1;
-                    let outcome = ApplyOutcome {
-                        seq: entry.seq,
-                        edits_applied: applied,
-                        edits_refused: refused,
-                        incorporated: refused == 0,
-                        last_report,
-                        latency: t0.elapsed(),
-                    };
-                    docs.insert(doc, entry);
-                    reply.send(Ok(outcome));
-                }
-                Err(_) => {
-                    // The document dies; the shard (and every other
-                    // document on it) keeps serving.
-                    drop(entry);
-                    poisoned.insert(doc);
-                    shared.docs_poisoned.fetch_add(1, Ordering::Relaxed);
-                    shared.docs_open.fetch_sub(1, Ordering::Relaxed);
-                    reply.send(Err(WorkspaceError::Poisoned(doc)));
-                }
-            }
-        }
-        Cmd::Query { doc, query, reply } => {
-            if poisoned.contains(&doc) {
-                reply.send(Err(WorkspaceError::Poisoned(doc)));
-                return;
-            }
-            let Some(entry) = docs.get(&doc) else {
-                reply.send(Err(WorkspaceError::UnknownDoc(doc)));
-                return;
-            };
-            if entry.session.semantics().is_none() {
-                reply.send(Err(WorkspaceError::NoSemantics(doc)));
+            if session.semantics().is_none() {
+                drop(st);
+                reply.send(Err(WorkspaceError::NoSemantics(slot.doc)));
                 return;
             }
             let t0 = Instant::now();
             let answer = match query {
                 SemQuery::ResolveAt(offset) => {
-                    SemAnswer::Resolution(entry.session.semantic_info_at(offset))
+                    SemAnswer::Resolution(session.semantic_info_at(offset))
                 }
-                SemQuery::UsesOf(name) => SemAnswer::Uses(entry.session.semantic_uses_of(&name)),
-                SemQuery::AmbiguityAt(offset) => match entry.session.semantic_info_at(offset) {
+                SemQuery::UsesOf(name) => SemAnswer::Uses(session.semantic_uses_of(&name)),
+                SemQuery::AmbiguityAt(offset) => match session.semantic_info_at(offset) {
                     Some(info) => SemAnswer::Ambiguity(info.ambiguous, info.resolved),
                     None => SemAnswer::Ambiguity(false, false),
                 },
             };
             shared.query_latency.record(t0.elapsed());
             shared.queries.fetch_add(1, Ordering::Relaxed);
+            drop(st);
             reply.send(Ok(answer));
         }
-        Cmd::Close { doc, reply } => {
-            let existed = docs.remove(&doc).is_some();
+        Cmd::Close { reply } => {
+            let existed = {
+                let mut st = slot.state.lock().expect("doc state lock");
+                st.poisoned = false; // closing clears the tombstone
+                st.session.take().is_some()
+            };
             if existed {
                 shared.docs_open.fetch_sub(1, Ordering::Relaxed);
             }
-            poisoned.remove(&doc);
+            shared.docs.lock().expect("docs lock").remove(&slot.doc);
             reply.send(existed);
         }
-        Cmd::Text { doc, reply } => {
-            reply.send(docs.get(&doc).map(|e| e.session.text()));
+        Cmd::Text { reply } => {
+            let st = slot.state.lock().expect("doc state lock");
+            let text = st.session.as_ref().map(|s| s.text());
+            drop(st);
+            reply.send(text);
+        }
+        Cmd::Dump { reply } => {
+            let st = slot.state.lock().expect("doc state lock");
+            let dump = st.session.as_ref().map(|s| s.dump());
+            drop(st);
+            reply.send(dump);
         }
     }
 }

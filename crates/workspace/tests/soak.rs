@@ -166,15 +166,17 @@ fn panicking_reparse_poisons_only_its_document() {
         .registry()
         .get_or_compile(stmt_grammar(), stmt_lexdef())
         .unwrap();
-    // Four documents; on 2 shards, ids 0/2 share a shard and 1/3 share one.
+    // Four documents on 2 shards: by pigeonhole some pair shares a shard.
+    // Which pair is not fixed — open commands themselves can be stolen, so
+    // ownership is dynamic from the first submit — but it is stable here
+    // (no commands are in flight), so pick any co-owned pair.
     let docs: Vec<DocId> = (0..4)
         .map(|i| ws.open_with(&cfg, &format!("alpha{i}; beta{i}; ")).unwrap())
         .collect();
-    let victim = docs[0];
-    let shardmate = docs
+    let (victim, shardmate) = docs
         .iter()
-        .copied()
-        .find(|d| *d != victim && ws.shard_of(*d) == ws.shard_of(victim))
+        .flat_map(|&a| docs.iter().map(move |&b| (a, b)))
+        .find(|&(a, b)| a != b && ws.shard_of(a) == ws.shard_of(b))
         .expect("two docs share a shard");
 
     // One batch: an out-of-bounds edit (panics inside TextBuffer) on the
@@ -195,7 +197,7 @@ fn panicking_reparse_poisons_only_its_document() {
     let again = ws.apply(vec![(victim, vec![EditReq::insert(0, "x; ")])]);
     assert_eq!(again[0].result, Err(WorkspaceError::Poisoned(victim)));
     assert_eq!(ws.text(victim), None);
-    for &doc in &docs[1..] {
+    for &doc in docs.iter().filter(|&&d| d != victim) {
         let r = ws.apply(vec![(doc, vec![EditReq::insert(0, "zz; ")])]);
         assert!(r[0].result.is_ok(), "{doc} must survive the poisoning");
     }
@@ -216,7 +218,24 @@ fn shutdown_with_queued_work_finishes_old() {
         .registry()
         .get_or_compile(stmt_grammar(), stmt_lexdef())
         .unwrap();
+    // A stall document keeps the single worker busy with one long command
+    // (alternating edits at sites too far apart to coalesce, so every edit
+    // pays its own reparse cycle) while the commands below pile up — the
+    // depth probe would otherwise race a worker fast enough to drain all
+    // forty commands first.
+    let stall_text = format!("alpha; {}omega; ", "filler; ".repeat(12));
+    let omega = stall_text.find("omega").unwrap();
+    let stall = ws.open_with(&cfg, &stall_text).unwrap();
     let doc = ws.open_with(&cfg, "alpha; beta; gamma; ").unwrap();
+    let stall_edits: Vec<EditReq> = (0..400)
+        .map(|i| match i % 4 {
+            0 => EditReq::replace(0, 5, "zzzzz"),
+            1 => EditReq::replace(omega, 5, "yyyyy"),
+            2 => EditReq::replace(0, 5, "alpha"),
+            _ => EditReq::replace(omega, 5, "omega"),
+        })
+        .collect();
+    let p_stall = ws.apply_async(stall, stall_edits).unwrap();
     let mut pending = Vec::new();
     for _ in 0..40 {
         let edits = vec![
@@ -228,11 +247,12 @@ fn shutdown_with_queued_work_finishes_old() {
     let depth = ws.metrics().queue_depth;
     assert!(depth > 0, "commands must still be queued");
     let m = ws.shutdown(); // drains the non-empty queue, then joins
+    assert!(p_stall.wait().result.is_ok());
     for p in pending {
         let r = p.wait();
         assert!(r.result.is_ok(), "accepted command was dropped: {r:?}");
     }
-    assert_eq!(m.edits_applied, 80);
+    assert_eq!(m.edits_applied, 480);
     assert_eq!(m.queue_depth, 0, "nothing left behind");
 }
 
