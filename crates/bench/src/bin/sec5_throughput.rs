@@ -11,12 +11,18 @@
 //! scale-out factor across threads and (b) the latency tax of the queue +
 //! shard indirection on a single document. A second sweep drives the
 //! read-mostly editor profile (95% semantic queries, 5% edit pairs) that
-//! the stealing scheduler must keep responsive.
+//! the stealing scheduler must keep responsive; its `snapshot` column
+//! reports the share of queries served from published document snapshots
+//! on the caller's thread (never entering a mailbox).
 //!
 //! Scale-aware gates: the measured-window imbalance
 //! (`busiest shard busy / wall`) at 64 docs × 4 threads must stay under
 //! 1.15 on any machine — stealing exists to flatten it; the ≥1.5× speedup
-//! assertion only applies when the machine actually has ≥4 cores. With
+//! assertion only applies when the machine actually has ≥4 cores. The
+//! snapshot-isolation gate re-runs the contended read-mostly cell with the
+//! edit rate doubled (10% edit pairs) and requires query p99 to stay
+//! within 1.25× of the 5% figure — readers answer from immutable
+//! snapshots, so writer pressure must not queue behind them. With
 //! `--check-against BENCH_throughput.json` the fresh numbers also gate
 //! against the committed baseline (per-cell p50 and edits/sec within
 //! `--tolerance`), retrying once on failure to absorb CI load spikes.
@@ -27,7 +33,10 @@
 
 use std::time::{Duration, Instant};
 use wg_bench::json::Json;
-use wg_bench::{doc_workloads, fmt_dur, print_table, read_mostly_ops, DocWorkload, ReadOp};
+use wg_bench::{
+    doc_workloads, fmt_dur, print_table, read_mostly_ops, read_mostly_ops_every, DocWorkload,
+    ReadOp,
+};
 use wg_core::{LanguageRegistry, Session};
 use wg_langs::simp_c_det_defs;
 use wg_workspace::{DocId, EditReq, SemQuery, Workspace};
@@ -48,6 +57,11 @@ const PAIRS_PER_CMD: usize = 4;
 /// threads, and the parallel speedup only claimed on real multi-core.
 const GATE_IMBALANCE_MAX: f64 = 1.15;
 const GATE_SPEEDUP_MIN: f64 = 1.5;
+/// Doubling the edit rate may grow read-mostly query p99 at most this
+/// much — snapshot reads never queue behind the writer.
+const GATE_SNAPSHOT_P99_FACTOR: f64 = 1.25;
+/// Thread count of the read-mostly cell the snapshot gate re-runs.
+const SNAPSHOT_GATE_THREADS: usize = 4;
 /// Baseline latencies below this are scheduler jitter, never gated.
 const GATE_NOISE_FLOOR_NS: u64 = 2_000;
 
@@ -80,6 +94,20 @@ struct ReadCell {
     query_p99: Duration,
     edit_p50: Duration,
     imbalance: f64,
+    /// Semantic queries issued (the denominator of the snapshot share).
+    queries: u64,
+    /// Queries answered on the caller's thread from a published snapshot.
+    snapshot_reads: u64,
+}
+
+impl ReadCell {
+    /// Share of queries served from snapshots, e.g. `"100%"`.
+    fn snapshot_share(&self) -> String {
+        format!(
+            "{:.0}%",
+            100.0 * self.snapshot_reads as f64 / self.queries.max(1) as f64
+        )
+    }
 }
 
 fn percentile(sorted_ns: &[u64], p: f64) -> Duration {
@@ -141,6 +169,16 @@ fn main() {
             (w.text, ops)
         })
         .collect();
+    // The same documents and sites at twice the edit rate (10% pairs) —
+    // the writer-pressure run the snapshot gate compares against.
+    let double_loads: Vec<(String, Vec<ReadOp>)> = read_loads
+        .iter()
+        .enumerate()
+        .map(|(i, (text, _))| {
+            let ops = read_mostly_ops_every(text, read_ops, 11 + i as u64, 10);
+            (text.clone(), ops)
+        })
+        .collect();
 
     // Direct baseline: the same single-document script on a bare Session,
     // no pool, no queues — the sec5_incremental-style figure.
@@ -163,7 +201,7 @@ fn main() {
     };
 
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let sweep = |tag: &str| -> (Vec<Cell>, Vec<ReadCell>) {
+    let sweep = |tag: &str| -> (Vec<Cell>, Vec<ReadCell>, ReadCell) {
         let mut cells = Vec::new();
         for (docs, loads) in &workloads {
             for &threads in &THREAD_COUNTS {
@@ -181,12 +219,19 @@ fn main() {
             .iter()
             .map(|&t| run_read_cell(&registry, &config, t, &read_loads, read_warmup))
             .collect();
+        let double_cell = run_read_cell(
+            &registry,
+            &config,
+            SNAPSHOT_GATE_THREADS,
+            &double_loads,
+            read_warmup,
+        );
         if !tag.is_empty() {
             println!("({tag} sweep complete)");
         }
-        (cells, read_cells)
+        (cells, read_cells, double_cell)
     };
-    let (mut cells, mut read_cells) = sweep("");
+    let (mut cells, mut read_cells, mut double_cell) = sweep("");
     assert_eq!(
         registry.table_builds(),
         1,
@@ -194,18 +239,23 @@ fn main() {
     );
 
     let mut scale_ok = scale_gates(&cells, cores, true);
+    let mut snap_ok = snapshot_gate(&read_cells, &double_cell, true);
     let mut gate_ok = baseline
         .as_ref()
         .is_none_or(|(p, t)| regression_gate(p, t, &cells, &read_cells, tolerance));
-    if !scale_ok || !gate_ok {
+    if !scale_ok || !snap_ok || !gate_ok {
         // Anti-flake: a load spike on shared CI hardware inflates every
         // latency at once. Re-measure once and gate on the element-wise
         // best of the two runs — a real regression fails both.
         println!("\ngate failed — re-measuring once to rule out transient load");
-        let (retry, read_retry) = sweep("retry");
+        let (retry, read_retry, double_retry) = sweep("retry");
         cells = merge_best(cells, retry);
         read_cells = merge_best_read(read_cells, read_retry);
+        double_cell = merge_best_read(vec![double_cell], vec![double_retry])
+            .pop()
+            .unwrap();
         scale_ok = scale_gates(&cells, cores, true);
+        snap_ok = snapshot_gate(&read_cells, &double_cell, true);
         gate_ok = baseline
             .as_ref()
             .is_none_or(|(p, t)| regression_gate(p, t, &cells, &read_cells, tolerance));
@@ -259,6 +309,7 @@ fn main() {
                 fmt_dur(c.query_p99),
                 fmt_dur(c.edit_p50),
                 format!("{:.2}", c.imbalance),
+                c.snapshot_share(),
             ]
         })
         .collect();
@@ -272,8 +323,22 @@ fn main() {
             "query p99",
             "edit p50",
             "imbal",
+            "snapshot",
         ],
         &read_rows,
+    );
+    println!(
+        "doubled edit rate (10% pairs, {SNAPSHOT_GATE_THREADS} threads): query p99 {} \
+         vs {} at 5% — snapshot reads stay on the caller's thread ({} from snapshots)",
+        fmt_dur(double_cell.query_p99),
+        fmt_dur(
+            read_cells
+                .iter()
+                .find(|c| c.threads == SNAPSHOT_GATE_THREADS)
+                .map(|c| c.query_p99)
+                .unwrap_or_default()
+        ),
+        double_cell.snapshot_share(),
     );
 
     let single = cells
@@ -318,15 +383,52 @@ fn main() {
         direct_p50,
         &cells,
         &read_cells,
+        &double_cell,
     );
     if !scale_ok {
         eprintln!("FAIL: scale gate (imbalance/speedup) failed twice (see above)");
     }
+    if !snap_ok {
+        eprintln!("FAIL: snapshot gate (doubled-edit-rate query p99) failed twice (see above)");
+    }
     if !gate_ok {
         eprintln!("FAIL: regression vs committed baseline persisted across a retry (see above)");
     }
-    if !scale_ok || !gate_ok {
+    if !scale_ok || !snap_ok || !gate_ok {
         std::process::exit(1);
+    }
+}
+
+/// The snapshot-isolation gate: doubling the edit rate in the contended
+/// read-mostly cell may grow query p99 by at most
+/// [`GATE_SNAPSHOT_P99_FACTOR`]. Reads are answered from published
+/// snapshots on the caller's thread, so writer pressure affects snapshot
+/// *freshness*, never reader latency; a failure here means queries started
+/// queueing behind reparse cycles again.
+fn snapshot_gate(read_cells: &[ReadCell], double: &ReadCell, verbose: bool) -> bool {
+    let base = read_cells
+        .iter()
+        .find(|c| c.threads == SNAPSHOT_GATE_THREADS)
+        .expect("gate thread count is part of the sweep");
+    // Clamp the baseline up to the noise floor: sub-microsecond p99s are
+    // scheduler jitter and a ratio of jitter gates nothing real.
+    let base_ns = (base.query_p99.as_nanos() as u64).max(GATE_NOISE_FLOOR_NS);
+    let now_ns = double.query_p99.as_nanos() as u64;
+    let ratio = now_ns as f64 / base_ns as f64;
+    if ratio > GATE_SNAPSHOT_P99_FACTOR {
+        eprintln!(
+            "snapshot gate: doubled edit rate query p99 {now_ns}ns vs {base_ns}ns \
+             ({ratio:.2}x > {GATE_SNAPSHOT_P99_FACTOR}x)"
+        );
+        false
+    } else {
+        if verbose {
+            println!(
+                "snapshot gate: doubled edit rate query p99 {now_ns}ns vs {base_ns}ns \
+                 ({ratio:.2}x <= {GATE_SNAPSHOT_P99_FACTOR}x) ok"
+            );
+        }
+        true
     }
 }
 
@@ -699,6 +801,8 @@ fn run_read_cell(
         query_p99: metrics.query_p99,
         edit_p50: metrics.p50,
         imbalance: busy_win.as_secs_f64() / wall.as_secs_f64().max(1e-9),
+        queries: metrics.queries,
+        snapshot_reads: metrics.snapshot_reads,
     }
 }
 
@@ -716,6 +820,7 @@ fn write_json(
     direct_p50: Duration,
     cells: &[Cell],
     read_cells: &[ReadCell],
+    double_cell: &ReadCell,
 ) {
     let mut j = String::new();
     j.push_str("{\n");
@@ -757,23 +862,39 @@ fn write_json(
     j.push_str("  ],\n");
     j.push_str("  \"read_mostly\": [\n");
     for (i, c) in read_cells.iter().enumerate() {
-        j.push_str(&format!(
-            "    {{\"docs\": {READ_DOCS}, \"threads\": {}, \"ops\": {}, \"wall_ns\": {}, \"ops_per_sec\": {:.1}, \"query_p50_ns\": {}, \"query_p95_ns\": {}, \"query_p99_ns\": {}, \"edit_cycle_p50_ns\": {}, \"imbalance\": {:.4}}}{}\n",
-            c.threads,
-            c.ops,
-            c.wall.as_nanos(),
-            c.ops_per_sec,
-            c.query_p50.as_nanos(),
-            c.query_p95.as_nanos(),
-            c.query_p99.as_nanos(),
-            c.edit_p50.as_nanos(),
-            c.imbalance,
-            if i + 1 < read_cells.len() { "," } else { "" }
-        ));
+        j.push_str(&read_cell_json(c));
+        j.push_str(if i + 1 < read_cells.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
     }
-    j.push_str("  ]\n}\n");
+    j.push_str("  ],\n");
+    // The snapshot gate's writer-pressure run: same sites, 10% edit pairs.
+    j.push_str("  \"read_double_rate\": [\n");
+    j.push_str(&read_cell_json(double_cell));
+    j.push_str("\n  ]\n}\n");
     match std::fs::write(path, &j) {
         Ok(()) => println!("\nwrote {path}"),
         Err(e) => eprintln!("\nfailed to write {path}: {e}"),
     }
+}
+
+/// One read-mostly JSON row (shared by the 5% sweep and the gate's 10%
+/// run), no trailing comma or newline.
+fn read_cell_json(c: &ReadCell) -> String {
+    format!(
+        "    {{\"docs\": {READ_DOCS}, \"threads\": {}, \"ops\": {}, \"wall_ns\": {}, \"ops_per_sec\": {:.1}, \"query_p50_ns\": {}, \"query_p95_ns\": {}, \"query_p99_ns\": {}, \"edit_cycle_p50_ns\": {}, \"imbalance\": {:.4}, \"queries\": {}, \"snapshot_reads\": {}}}",
+        c.threads,
+        c.ops,
+        c.wall.as_nanos(),
+        c.ops_per_sec,
+        c.query_p50.as_nanos(),
+        c.query_p95.as_nanos(),
+        c.query_p99.as_nanos(),
+        c.edit_p50.as_nanos(),
+        c.imbalance,
+        c.queries,
+        c.snapshot_reads,
+    )
 }

@@ -348,12 +348,22 @@ pub enum ReadOp {
 /// typing. Pairs restore the text byte-for-byte, so all precomputed
 /// offsets stay valid for the whole stream.
 pub fn read_mostly_ops(text: &str, ops: usize, seed: u64) -> Vec<ReadOp> {
+    read_mostly_ops_every(text, ops, seed, 20)
+}
+
+/// [`read_mostly_ops`] with an explicit edit period: every `period`-th
+/// operation is a self-cancelling edit pair (period 20 = 5% edits,
+/// period 10 = 10% edits). Same seed and same `ops` produce the same
+/// sites, so halving the period doubles the edit rate while keeping the
+/// query sites comparable — the knob the snapshot-isolation gate turns.
+pub fn read_mostly_ops_every(text: &str, ops: usize, seed: u64, period: usize) -> Vec<ReadOp> {
+    assert!(period >= 2, "a pure-edit stream is not read-mostly");
     let sites = wg_langs::generate::edit_sites(text, ops.max(1), seed);
     sites
         .iter()
         .enumerate()
         .map(|(i, &(start, len))| {
-            if i % 20 == 9 {
+            if i % period == period / 2 - 1 {
                 ReadOp::Pair(
                     EditOp {
                         start,
@@ -481,6 +491,13 @@ mod tests {
                 assert!(*at < text.len(), "query offsets stay in bounds");
             }
         }
+        // Halving the period doubles the edit rate over the same sites.
+        let doubled = read_mostly_ops_every(&text, 100, 11, 10);
+        let doubled_pairs = doubled
+            .iter()
+            .filter(|op| matches!(op, ReadOp::Pair(..)))
+            .count();
+        assert_eq!(doubled_pairs, 10, "1 edit pair per 10 ops (90% reads)");
     }
 
     #[test]

@@ -64,11 +64,13 @@ mod parser;
 mod registry;
 mod semantics;
 mod session;
+mod snapshot;
 mod tape;
 
 pub use metrics::{ReparseReport, SessionMetrics};
 pub use parser::{IglrError, IglrParser, IglrRunStats};
 pub use registry::LanguageRegistry;
-pub use semantics::{SemInfo, SemNameKind, SemUpdate, SemanticPass};
+pub use semantics::{SemInfo, SemNameKind, SemReadView, SemUpdate, SemanticPass};
 pub use session::{ReparseOutcome, Session, SessionConfig, SessionError};
-pub use tape::TokenTape;
+pub use snapshot::Snapshot;
+pub use tape::{TapeSnapshot, TokenTape};

@@ -10,7 +10,8 @@
 //! only sees this object-safe surface.
 
 use std::fmt;
-use wg_dag::{DagArena, NodeId};
+use std::sync::Arc;
+use wg_dag::{DagArena, DagRead, NodeId};
 
 /// What one incremental semantic update did (folded into
 /// [`crate::ReparseReport`]).
@@ -80,6 +81,29 @@ pub trait SemanticPass: Send + fmt::Debug {
     /// for detached subtrees until the next collection prunes them.
     fn uses_of(&self, arena: &DagArena, name: &str) -> Vec<NodeId>;
 
+    /// An immutable, thread-safe view of the pass's current fact tables,
+    /// published alongside a dag snapshot so reader threads can answer
+    /// [`SemanticPass::info_at`]-style queries without the session lock.
+    /// The default returns `None` (no snapshot support); passes that
+    /// support it may cache the view between updates, hence `&mut self`.
+    fn read_view(&mut self) -> Option<Arc<dyn SemReadView>> {
+        None
+    }
+
     /// Escape hatch for tests and tools that know the concrete pass type.
     fn as_any(&self) -> &dyn std::any::Any;
+}
+
+/// The read-only query surface of a published semantic view: the same
+/// name-resolution queries as [`SemanticPass`], but over a [`DagRead`]
+/// (live arena *or* [`wg_dag::DagSnapshot`]) and callable from any thread
+/// — the view is immutable and `Sync`.
+pub trait SemReadView: Send + Sync + fmt::Debug {
+    /// Resolves the name at the end of a root→terminal `path` against the
+    /// facts frozen into this view.
+    fn info_at(&self, dag: &dyn DagRead, path: &[NodeId]) -> Option<SemInfo>;
+
+    /// Dag nodes referencing `name`, filtered to sites attached to the
+    /// given dag version.
+    fn uses_of(&self, dag: &dyn DagRead, name: &str) -> Vec<NodeId>;
 }

@@ -5,6 +5,7 @@
 use crate::metrics::{ReparseReport, SessionMetrics};
 use crate::parser::{IglrError, IglrParser, IglrRunStats};
 use crate::semantics::{SemInfo, SemanticPass};
+use crate::snapshot::Snapshot;
 use crate::tape::TokenTape;
 use std::fmt;
 use std::sync::Arc;
@@ -212,6 +213,9 @@ pub struct Session {
     /// inside the successful incorporation attempt before the parser clears
     /// its dirty log — the damage seed for the semantic update.
     sem_damage: Vec<NodeId>,
+    /// The most recently published snapshot, reused while the committed
+    /// tree is unchanged (invalidated by any reparse cycle that had work).
+    last_snapshot: Option<Arc<Snapshot>>,
 }
 
 impl Session {
@@ -261,6 +265,7 @@ impl Session {
             metrics: SessionMetrics::default(),
             sem: None,
             sem_damage: Vec::new(),
+            last_snapshot: None,
         })
     }
 
@@ -271,6 +276,28 @@ impl Session {
     pub fn attach_semantics(&mut self, mut pass: Box<dyn SemanticPass>) {
         pass.update(&self.arena, self.root, &[], false);
         self.sem = Some(pass);
+        self.last_snapshot = None;
+    }
+
+    /// Publishes an immutable, version-stamped [`Snapshot`] of the
+    /// committed document state (dag + token tape + semantic facts) for
+    /// concurrent readers. Cheap when nothing changed since the last
+    /// publish (the cached snapshot is reused); otherwise copy-on-write at
+    /// chunk granularity throughout — publish cost tracks the damage of
+    /// the preceding reparse cycle, not document size.
+    ///
+    /// The snapshot reflects the *committed* tree: text from edits not yet
+    /// incorporated by [`Session::reparse`] is invisible to it.
+    pub fn publish(&mut self) -> Arc<Snapshot> {
+        if let Some(s) = &self.last_snapshot {
+            return Arc::clone(s);
+        }
+        let dag = self.arena.publish();
+        let tape = self.tape.publish();
+        let sem = self.sem.as_mut().and_then(|p| p.read_view());
+        let snap = Arc::new(Snapshot::new(dag, self.root, tape, sem));
+        self.last_snapshot = Some(Arc::clone(&snap));
+        snap
     }
 
     /// The attached semantic pass, if any.
@@ -359,6 +386,9 @@ impl Session {
                 report,
             });
         }
+        // Any cycle with pending work may mutate the arena (even a refused
+        // attempt allocates terminals), so the cached snapshot is stale.
+        self.last_snapshot = None;
         // Try the full pending set first, then ever-shorter prefixes (the
         // paper's recovery integrates only the modifications that yield a
         // valid parse). Attempts are capped so a long broken session does

@@ -17,8 +17,12 @@
 //! the gap is amortized cheap, and a one-token edit in an N-token document
 //! costs O(log N + tokens moved) instead of O(N).
 
+use std::sync::Arc;
 use wg_dag::NodeId;
 use wg_lexer::{TokenAt, TokenSource};
+
+/// Entries per snapshot chunk of the tape (see [`TapeSnapshot`]).
+const TAPE_CHUNK: usize = 256;
 
 /// Gap-buffered store of the session's token stream and the terminal dag
 /// node carrying each token.
@@ -34,6 +38,18 @@ pub struct TokenTape {
     /// `start.wrapping_add_signed(bias)`.
     back: Vec<(TokenAt, NodeId)>,
     bias: isize,
+    /// Published chunks of `front` (each [`TAPE_CHUNK`] entries, last one
+    /// possibly partial), reused across publishes while untouched.
+    snap_front: Vec<Arc<Vec<(TokenAt, NodeId)>>>,
+    /// Published chunks of `back` in storage order, starts unbiased.
+    snap_back: Vec<Arc<Vec<(TokenAt, NodeId)>>>,
+    /// Low watermark of `front.len()` since the last publish: entries below
+    /// it are unchanged (the arrays mutate stack-like around the gap), so
+    /// published chunks fully below it are shared, not copied. `set_node`
+    /// lowers it to the patched index.
+    front_low: usize,
+    /// Same for `back` (storage order).
+    back_low: usize,
 }
 
 impl TokenTape {
@@ -48,6 +64,8 @@ impl TokenTape {
         self.scan_max.clear();
         self.back.clear();
         self.bias = 0;
+        self.front_low = 0;
+        self.back_low = 0;
         for (tok, node) in pairs {
             self.push_front(tok, node);
         }
@@ -103,9 +121,11 @@ impl TokenTape {
     pub fn set_node(&mut self, ix: usize, node: NodeId) {
         if ix < self.front.len() {
             self.front[ix].1 = node;
+            self.front_low = self.front_low.min(ix);
         } else {
             let b = self.back_ix(ix);
             self.back[b].1 = node;
+            self.back_low = self.back_low.min(b);
         }
     }
 
@@ -121,11 +141,13 @@ impl TokenTape {
             };
             self.back.push((stored, node));
         }
+        self.front_low = self.front_low.min(self.front.len());
         while self.front.len() < ix {
             let (stored, node) = self.back.pop().expect("back nonempty");
             let tok = self.rebias(stored);
             self.push_front(tok, node);
         }
+        self.back_low = self.back_low.min(self.back.len());
     }
 
     /// Positions the gap at the first token starting at or after
@@ -164,9 +186,50 @@ impl TokenTape {
         self.front.truncate(kept_prefix);
         self.scan_max.truncate(kept_prefix);
         self.back.truncate(kept_suffix);
+        self.front_low = self.front_low.min(kept_prefix);
+        self.back_low = self.back_low.min(kept_suffix);
         self.bias += delta;
         for &(tok, node) in new {
             self.push_front(tok, node);
+        }
+    }
+
+    /// Publishes an immutable snapshot of the tape.
+    ///
+    /// Copy-on-write at chunk granularity: both gap-buffer arrays mutate
+    /// stack-like around the gap, so chunks entirely below each array's
+    /// low watermark are shared with the previous publish (an `Arc` clone)
+    /// and only the churned tail is re-copied. Publish cost therefore
+    /// tracks gap motion since the last publish, not tape length.
+    pub fn publish(&mut self) -> TapeSnapshot {
+        Self::refresh_chunks(&mut self.snap_front, &self.front, self.front_low);
+        Self::refresh_chunks(&mut self.snap_back, &self.back, self.back_low);
+        self.front_low = self.front.len();
+        self.back_low = self.back.len();
+        TapeSnapshot {
+            front: self.snap_front.clone(),
+            front_len: self.front.len(),
+            back: self.snap_back.clone(),
+            back_len: self.back.len(),
+            bias: self.bias,
+        }
+    }
+
+    /// Rebuilds the cached chunk list over `data`, keeping chunks that are
+    /// full and entirely below the low watermark (those entries have not
+    /// moved since they were copied).
+    fn refresh_chunks(
+        cache: &mut Vec<Arc<Vec<(TokenAt, NodeId)>>>,
+        data: &[(TokenAt, NodeId)],
+        low: usize,
+    ) {
+        let keep = (low / TAPE_CHUNK).min(cache.len());
+        cache.truncate(keep);
+        let mut start = keep * TAPE_CHUNK;
+        while start < data.len() {
+            let end = (start + TAPE_CHUNK).min(data.len());
+            cache.push(Arc::new(data[start..end].to_vec()));
+            start = end;
         }
     }
 
@@ -225,6 +288,110 @@ impl TokenSource for TokenTape {
             None
         }
     }
+}
+
+/// An immutable, cheaply cloned snapshot of a [`TokenTape`], safe to query
+/// from any thread while the writer keeps splicing the live tape.
+///
+/// Storage mirrors the gap buffer it was published from: chunked copies of
+/// the `front` and (reversed, unbiased) `back` arrays plus the bias, so
+/// consecutive publishes share every chunk the gap did not cross.
+#[derive(Debug, Clone)]
+pub struct TapeSnapshot {
+    front: Vec<Arc<Vec<(TokenAt, NodeId)>>>,
+    front_len: usize,
+    back: Vec<Arc<Vec<(TokenAt, NodeId)>>>,
+    back_len: usize,
+    bias: isize,
+}
+
+impl TapeSnapshot {
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.front_len + self.back_len
+    }
+
+    /// Whether the snapshot holds no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Entry `i` of the published front array.
+    #[inline]
+    fn front_pair(&self, i: usize) -> &(TokenAt, NodeId) {
+        &self.front[i / TAPE_CHUNK][i % TAPE_CHUNK]
+    }
+
+    /// Entry `i` of the published back array (storage order, unbiased).
+    #[inline]
+    fn back_pair(&self, i: usize) -> &(TokenAt, NodeId) {
+        &self.back[i / TAPE_CHUNK][i % TAPE_CHUNK]
+    }
+
+    fn rebias(&self, stored: TokenAt) -> TokenAt {
+        TokenAt {
+            start: stored.start.wrapping_add_signed(self.bias),
+            ..stored
+        }
+    }
+
+    /// The `ix`-th token, in absolute coordinates.
+    pub fn token(&self, ix: usize) -> TokenAt {
+        if ix < self.front_len {
+            self.front_pair(ix).0
+        } else {
+            let b = self.back_len - 1 - (ix - self.front_len);
+            self.rebias(self.back_pair(b).0)
+        }
+    }
+
+    /// The dag node of the `ix`-th token.
+    pub fn node(&self, ix: usize) -> NodeId {
+        if ix < self.front_len {
+            self.front_pair(ix).1
+        } else {
+            let b = self.back_len - 1 - (ix - self.front_len);
+            self.back_pair(b).1
+        }
+    }
+
+    /// Index of the token covering byte `offset`, if any. Same algorithm
+    /// as [`TokenTape::token_index_at`], binary searching the chunked
+    /// storage.
+    pub fn token_index_at(&self, offset: usize) -> Option<usize> {
+        let front_covers =
+            self.front_len > 0 && { self.front_pair(self.front_len - 1).0.start > offset };
+        let at_or_before = if front_covers {
+            partition(self.front_len, |i| self.front_pair(i).0.start <= offset)
+        } else {
+            // Back storage order is descending by start.
+            let past = partition(self.back_len, |i| {
+                self.rebias(self.back_pair(i).0).start > offset
+            });
+            self.front_len + (self.back_len - past)
+        };
+        if at_or_before == 0 {
+            return None;
+        }
+        let t = self.token(at_or_before - 1);
+        (offset < t.end()).then_some(at_or_before - 1)
+    }
+}
+
+/// `partition_point` over an indexed predicate: the count of leading
+/// indexes in `0..n` for which `pred` holds (callers guarantee the
+/// predicate is monotone over the range).
+fn partition(n: usize, pred: impl Fn(usize) -> bool) -> usize {
+    let (mut lo, mut hi) = (0, n);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if pred(mid) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
 }
 
 #[cfg(test)]
@@ -339,6 +506,75 @@ mod tests {
         assert_eq!(tape.node(3), nid(9));
         tape.set_node(1, nid(8));
         assert_eq!(tape.node(1), nid(8));
+    }
+
+    fn assert_snapshot_matches(tape: &TapeSnapshot, live: &TokenTape) {
+        assert_eq!(tape.len(), TokenTape::len(live));
+        for i in 0..tape.len() {
+            assert_eq!(tape.token(i), live.token(i), "token {i}");
+            assert_eq!(tape.node(i), live.node(i), "node {i}");
+        }
+        let max = live.token(tape.len().saturating_sub(1)).end() + 4;
+        for off in 0..max {
+            assert_eq!(
+                tape.token_index_at(off),
+                live.token_index_at(off),
+                "offset {off}"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_mirrors_tape_and_survives_mutation() {
+        let mut tape = sample(6);
+        tape.move_gap_to(3);
+        let snap = tape.publish();
+        assert_snapshot_matches(&snap, &tape.clone());
+        // Mutate the live tape: the snapshot must keep the old view.
+        tape.prepare_for_edit(8);
+        let new = vec![(tok(8, 5, 1), nid(7))];
+        tape.splice(2, &new, 3, 2);
+        assert_eq!(snap.len(), 6);
+        assert_eq!(snap.token(2).start, 8);
+        assert_eq!(snap.token(2).len, 3, "old token, not the spliced one");
+        assert_eq!(snap.token(5).start, 20, "unshifted suffix");
+        // A fresh publish sees the new state.
+        let snap2 = tape.publish();
+        assert_snapshot_matches(&snap2, &tape.clone());
+        assert_eq!(snap2.token(2).len, 5);
+        assert_eq!(snap2.token(5).start, 22);
+    }
+
+    #[test]
+    fn publish_shares_untouched_chunks() {
+        // Enough tokens for two full front chunks.
+        let n = 2 * TAPE_CHUNK + 50;
+        let mut tape = TokenTape::new();
+        tape.rebuild((0..n).map(|i| (tok(i * 4, 3, 1), NodeId::NONE)));
+        let s1 = tape.publish();
+        // Edit near the end: only the tail chunk should churn.
+        let edit_at = (n - 3) * 4;
+        tape.prepare_for_edit(edit_at);
+        let new = vec![(tok(edit_at, 3, 1), NodeId::NONE)];
+        tape.splice(n - 3, &new, 2, 0);
+        let s2 = tape.publish();
+        assert!(
+            Arc::ptr_eq(&s1.front[0], &s2.front[0]),
+            "untouched chunk shared"
+        );
+        assert!(
+            Arc::ptr_eq(&s1.front[1], &s2.front[1]),
+            "second full chunk shared"
+        );
+        assert_snapshot_matches(&s2, &tape.clone());
+    }
+
+    #[test]
+    fn snapshot_of_empty_tape() {
+        let mut tape = TokenTape::new();
+        let snap = tape.publish();
+        assert!(snap.is_empty());
+        assert_eq!(snap.token_index_at(0), None);
     }
 
     #[test]

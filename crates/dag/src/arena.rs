@@ -26,6 +26,10 @@
 //!   so reclamation is amortized O(1) per node built.
 
 use crate::node::{Kids, Node, NodeId, NodeKind, ParseState, INLINE_KIDS};
+use crate::snapshot::{
+    DagRead, DagSnapshot, PinGuard, PinRegistry, SnapChunk, SnapNode, SNAP_CHUNK,
+};
+use std::sync::Arc;
 use wg_grammar::{NonTerminal, ProdId, Terminal};
 
 /// Smallest slab region capacity (power of two).
@@ -74,6 +78,23 @@ pub struct DagArena {
     fresh_slab_words: u64,
     /// Nodes built since the last collection (drives the GC trigger).
     allocs_since_gc: usize,
+    /// Published-chunk cache: chunk `c` covers node slots
+    /// `[c * SNAP_CHUNK, (c + 1) * SNAP_CHUNK)`. [`DagArena::publish`]
+    /// re-materializes only chunks flagged in `snap_dirty` and shares the
+    /// rest by `Arc` clone.
+    snap_chunks: Vec<Arc<SnapChunk>>,
+    /// Chunks containing slots mutated since the last publish.
+    snap_dirty: Vec<bool>,
+    /// Version stamp of the most recent publish.
+    snap_version: u64,
+    /// Versions pinned by live snapshots (shared with their [`PinGuard`]s;
+    /// a cloned arena shares the registry, which is conservative: clones
+    /// respect each other's pins).
+    pins: PinRegistry,
+    /// Dead slots whose recycling is deferred while snapshots pin versions
+    /// that saw them alive: `(version stamp at death, slot)`, stamped in
+    /// monotonically non-decreasing order.
+    deferred_frees: Vec<(u64, NodeId)>,
 }
 
 impl DagArena {
@@ -134,6 +155,20 @@ impl DagArena {
         self.epoch
     }
 
+    /// Flags the snapshot chunk containing `id` as mutated since the last
+    /// publish. Called by every mutation that changes snapshot-visible
+    /// node state (kind, parent, kids, width, liveness) — `changed`-flag
+    /// and mark traffic is exempt, as snapshots do not capture it.
+    #[inline]
+    fn touch(&mut self, id: NodeId) {
+        let c = id.index() / SNAP_CHUNK;
+        if c >= self.snap_dirty.len() {
+            self.snap_dirty.resize(c + 1, true);
+        } else {
+            self.snap_dirty[c] = true;
+        }
+    }
+
     /// Starts a new parse generation (nodes created from here on can be
     /// mutated in place by sequence accumulation; older nodes cannot).
     pub fn begin_epoch(&mut self) -> u32 {
@@ -150,6 +185,7 @@ impl DagArena {
     pub fn rollback_parents(&mut self) {
         for (node, old_parent) in std::mem::take(&mut self.parent_log).into_iter().rev() {
             self.nodes[node.index()].parent = old_parent;
+            self.touch(node);
         }
     }
 
@@ -158,6 +194,7 @@ impl DagArena {
             self.parent_log.push((kid, self.nodes[kid.index()].parent));
         }
         self.nodes[kid.index()].parent = parent;
+        self.touch(kid);
     }
 
     /// How many previous-version nodes bottom-up reuse retained this epoch
@@ -221,12 +258,16 @@ impl DagArena {
         self.nodes[id.index()].epoch == self.epoch
     }
 
-    /// Whether `id` names a live node slot (not on the free list). Analyses
-    /// holding `NodeId`-keyed side tables use this after a collection to
-    /// drop facts about reclaimed nodes before their slots are recycled.
+    /// Whether `id` names a live node slot (neither on the free list nor
+    /// retired onto the deferred free list awaiting snapshot pins).
+    /// Analyses holding `NodeId`-keyed side tables use this after a
+    /// collection to drop facts about reclaimed nodes before their slots
+    /// are recycled.
     #[inline]
     pub fn is_live(&self, id: NodeId) -> bool {
-        id.index() < self.nodes.len() && !self.nodes[id.index()].free
+        id.index() < self.nodes.len()
+            && !self.nodes[id.index()].free
+            && !self.nodes[id.index()].deferred
     }
 
     // ----- slab regions -----
@@ -283,6 +324,7 @@ impl DagArena {
     /// Appends one kid id, spilling inline storage to the slab or relocating
     /// a full region to the next capacity class as needed.
     fn kids_push(&mut self, id: NodeId, kid: NodeId) {
+        self.touch(id);
         match self.nodes[id.index()].kids {
             Kids::Inline { mut buf, len } if (len as usize) < INLINE_KIDS => {
                 buf[len as usize] = kid;
@@ -327,6 +369,7 @@ impl DagArena {
     /// Replaces a node's kid storage, reusing its slab region when the new
     /// list still fits.
     fn store_kids(&mut self, id: NodeId, kids: &[NodeId]) {
+        self.touch(id);
         match self.nodes[id.index()].kids {
             Kids::Slab { off, cap, .. }
                 if kids.len() > INLINE_KIDS && kids.len() <= cap as usize =>
@@ -352,7 +395,7 @@ impl DagArena {
 
     fn push(&mut self, node: Node) -> NodeId {
         self.allocs_since_gc += 1;
-        if let Some(id) = self.free_nodes.pop() {
+        let id = if let Some(id) = self.free_nodes.pop() {
             debug_assert!(self.nodes[id.index()].free, "free list holds live node");
             self.recycled_slots += 1;
             self.nodes[id.index()] = node;
@@ -361,7 +404,9 @@ impl DagArena {
             self.fresh_slots += 1;
             self.nodes.push(node);
             NodeId(self.nodes.len() as u32 - 1)
-        }
+        };
+        self.touch(id);
+        id
     }
 
     /// Leading terminal over a kid list (EOF placeholder when null-yield).
@@ -391,6 +436,7 @@ impl DagArena {
             epoch: self.epoch,
             changed: false,
             free: false,
+            deferred: false,
         })
     }
 
@@ -410,6 +456,7 @@ impl DagArena {
             epoch: self.epoch,
             changed: false,
             free: false,
+            deferred: false,
         });
         self.adopt(id);
         id
@@ -431,6 +478,7 @@ impl DagArena {
             epoch: self.epoch,
             changed: false,
             free: false,
+            deferred: false,
         });
         self.set_parent(first, id);
         id
@@ -474,6 +522,7 @@ impl DagArena {
             epoch: self.epoch,
             changed: false,
             free: false,
+            deferred: false,
         });
         self.adopt(id);
         id
@@ -494,6 +543,7 @@ impl DagArena {
             epoch: self.epoch,
             changed: false,
             free: false,
+            deferred: false,
         });
         self.adopt(id);
         id
@@ -517,6 +567,7 @@ impl DagArena {
             "only nodes of the current epoch may be mutated"
         );
         let extra: u32 = steps.iter().map(|k| self.width(*k)).sum();
+        self.touch(seq);
         for &s in steps {
             self.set_parent(s, seq);
             self.kids_push(seq, s);
@@ -542,6 +593,7 @@ impl DagArena {
         );
         self.nodes[id.index()].kind = NodeKind::Sequence { symbol };
         self.nodes[id.index()].state = state;
+        self.touch(id);
     }
 
     /// Replaces the children of a node (used by the rebalancing and
@@ -562,6 +614,7 @@ impl DagArena {
     /// patched.
     pub fn replace_kid(&mut self, id: NodeId, old: NodeId, new: NodeId) -> usize {
         debug_assert_eq!(self.width(old), self.width(new));
+        self.touch(id);
         let mut patched = 0;
         match self.nodes[id.index()].kids {
             Kids::Inline { mut buf, len } => {
@@ -609,6 +662,7 @@ impl DagArena {
             epoch: self.epoch,
             changed: false,
             free: false,
+            deferred: false,
         });
         let eos = self.push(Node {
             kind: NodeKind::Eos,
@@ -620,6 +674,7 @@ impl DagArena {
             epoch: self.epoch,
             changed: false,
             free: false,
+            deferred: false,
         });
         let stored = self.intern_kids(&[bos, body, eos]);
         let id = self.push(Node {
@@ -632,6 +687,7 @@ impl DagArena {
             epoch: self.epoch,
             changed: false,
             free: false,
+            deferred: false,
         });
         self.adopt(id);
         id
@@ -732,6 +788,7 @@ impl DagArena {
             for i in 0..self.kid_count(id) {
                 let k = self.kid_at(id, i);
                 self.nodes[k.index()].parent = id;
+                self.touch(k);
                 if self.nodes[k.index()].epoch == self.epoch && self.mark_gen[k.index()] != gen {
                     self.mark_gen[k.index()] = gen;
                     stack.push(k);
@@ -818,6 +875,9 @@ impl DagArena {
     /// disconnected (the live node's parent becomes [`NodeId::NONE`]) so
     /// stale parent chains cannot confuse later damage marking.
     pub fn collect_garbage(&mut self, root: NodeId) -> usize {
+        // Retired slots whose pinning snapshots have since been dropped
+        // can be recycled now.
+        self.drain_deferred();
         // Mark. The generation counter makes the pooled mark array
         // clear-free: a slot is marked iff its entry equals this pass's
         // generation.
@@ -841,16 +901,27 @@ impl DagArena {
         }
         self.gc_stack = stack;
 
-        // Sweep: recycle dead slots, disconnect live nodes from dead parents.
+        // Sweep: recycle dead slots, disconnect live nodes from dead
+        // parents. While any snapshot pins a published version, dead slots
+        // are *deferred* instead of recycled — their bits stay intact for
+        // the pinned versions that saw them alive — and drain once the
+        // oldest pin advances past their death stamp.
+        let pinned = !self.pins.lock().expect("pin registry poisoned").is_empty();
         let mut reclaimed = 0;
         for i in 0..self.nodes.len() {
             if self.mark_gen[i] == gen {
                 let p = self.nodes[i].parent;
                 if !p.is_none() && self.mark_gen[p.index()] != gen {
                     self.nodes[i].parent = NodeId::NONE;
+                    self.touch(NodeId(i as u32));
                 }
-            } else if !self.nodes[i].free {
-                self.release_slot(NodeId(i as u32));
+            } else if !self.nodes[i].free && !self.nodes[i].deferred {
+                let id = NodeId(i as u32);
+                if pinned {
+                    self.defer_slot(id);
+                } else {
+                    self.release_slot(id);
+                }
                 reclaimed += 1;
             }
         }
@@ -879,7 +950,151 @@ impl DagArena {
         n.width = 0;
         n.changed = false;
         n.free = true;
+        n.deferred = false;
         self.free_nodes.push(id);
+        self.touch(id);
+    }
+
+    /// Retires a dead slot without recycling it: some live snapshot still
+    /// pins a version that saw the node alive, so its storage (kind, kids,
+    /// lexeme) must survive until the oldest pin advances past the current
+    /// version stamp.
+    fn defer_slot(&mut self, id: NodeId) {
+        self.nodes[id.index()].deferred = true;
+        self.deferred_frees.push((self.snap_version, id));
+        self.touch(id);
+    }
+
+    /// Releases every deferred slot whose death stamp the oldest live pin
+    /// has advanced past (all of them when no snapshot is live). This is
+    /// the generation-stamp check of the reclamation protocol: a slot that
+    /// died at stamp `v` was still visible to every snapshot published at
+    /// or before `v`, so it recycles only once the oldest pinned version
+    /// exceeds `v`.
+    fn drain_deferred(&mut self) {
+        let oldest = self
+            .pins
+            .lock()
+            .expect("pin registry poisoned")
+            .keys()
+            .next()
+            .copied();
+        let upto = match oldest {
+            None => self.deferred_frees.len(),
+            Some(o) => self.deferred_frees.partition_point(|&(v, _)| v < o),
+        };
+        if upto == 0 {
+            return;
+        }
+        let drained: Vec<_> = self.deferred_frees.drain(..upto).collect();
+        for (_, id) in drained {
+            debug_assert!(self.nodes[id.index()].deferred, "double release");
+            self.release_slot(id);
+        }
+    }
+
+    /// Dead slots currently awaiting reclamation (non-zero only while
+    /// snapshots pin old versions).
+    pub fn deferred_free_backlog(&self) -> usize {
+        self.deferred_frees.len()
+    }
+
+    /// Number of live snapshot pins across all published versions.
+    pub fn live_pins(&self) -> usize {
+        self.pins
+            .lock()
+            .expect("pin registry poisoned")
+            .values()
+            .sum()
+    }
+
+    /// The version stamp of the most recent publish (0 before the first).
+    pub fn published_version(&self) -> u64 {
+        self.snap_version
+    }
+
+    /// Publishes an immutable snapshot of the current dag.
+    ///
+    /// Copy-on-write at chunk granularity: only chunks containing slots
+    /// mutated since the previous publish are re-materialized; the rest
+    /// are shared by reference-count bump. The returned snapshot pins the
+    /// new version stamp, holding off slot recycling (see
+    /// [`DagArena::collect_garbage`]) until it is dropped.
+    pub fn publish(&mut self) -> DagSnapshot {
+        self.drain_deferred();
+        let n_chunks = self.nodes.len().div_ceil(SNAP_CHUNK);
+        for ci in 0..n_chunks {
+            let dirty = self.snap_dirty.get(ci).copied().unwrap_or(true);
+            if ci < self.snap_chunks.len() {
+                if dirty {
+                    self.snap_chunks[ci] = Arc::new(self.build_chunk(ci));
+                }
+            } else {
+                let chunk = self.build_chunk(ci);
+                self.snap_chunks.push(Arc::new(chunk));
+            }
+        }
+        self.snap_dirty.clear();
+        self.snap_dirty.resize(n_chunks, false);
+        self.snap_version += 1;
+        let pin = PinGuard::new(Arc::clone(&self.pins), self.snap_version);
+        DagSnapshot::new(
+            self.snap_chunks.clone(),
+            self.nodes.len(),
+            self.snap_version,
+            pin,
+        )
+    }
+
+    /// Materializes the snapshot image of chunk `ci` from the live arena.
+    fn build_chunk(&self, ci: usize) -> SnapChunk {
+        let start = ci * SNAP_CHUNK;
+        let end = (start + SNAP_CHUNK).min(self.nodes.len());
+        let mut nodes = Vec::with_capacity(end - start);
+        let mut kid_pool = Vec::new();
+        for i in start..end {
+            let id = NodeId(i as u32);
+            let n = &self.nodes[i];
+            let off = kid_pool.len() as u32;
+            let ks = self.kids(id);
+            let len = ks.len() as u32;
+            kid_pool.extend_from_slice(ks);
+            nodes.push(SnapNode {
+                kind: n.kind.clone(),
+                parent: n.parent,
+                width: n.width,
+                live: !n.free && !n.deferred,
+                kids_off: off,
+                kids_len: len,
+            });
+        }
+        SnapChunk { nodes, kid_pool }
+    }
+}
+
+impl DagRead for DagArena {
+    fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn kind(&self, id: NodeId) -> &NodeKind {
+        DagArena::kind(self, id)
+    }
+
+    fn parent(&self, id: NodeId) -> NodeId {
+        self.nodes[id.index()].parent
+    }
+
+    fn kids(&self, id: NodeId) -> &[NodeId] {
+        DagArena::kids(self, id)
+    }
+
+    fn width(&self, id: NodeId) -> u32 {
+        DagArena::width(self, id)
+    }
+
+    fn is_live(&self, id: NodeId) -> bool {
+        DagArena::is_live(self, id)
     }
 }
 

@@ -35,6 +35,7 @@ mod input;
 mod node;
 mod sequence;
 mod share;
+mod snapshot;
 mod stats;
 mod traverse;
 
@@ -44,5 +45,6 @@ pub use input::InputStream;
 pub use node::{Node, NodeId, NodeKind, ParseState};
 pub use sequence::{rebalance_sequences, rebalance_sequences_full, sequence_depth, SequencePolicy};
 pub use share::unshare_epsilon;
+pub use snapshot::{DagRead, DagSnapshot};
 pub use stats::DagStats;
 pub use traverse::{descendants, dump, structurally_equal, yield_string, Descendants};

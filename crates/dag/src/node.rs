@@ -202,6 +202,10 @@ pub struct Node {
     pub(crate) changed: bool,
     /// Whether this slot sits on the arena's free list (dead, recyclable).
     pub(crate) free: bool,
+    /// Whether this slot is dead but *retired* rather than recyclable: a
+    /// live snapshot still pins a version that saw the node, so its
+    /// storage is kept intact on the deferred free list.
+    pub(crate) deferred: bool,
 }
 
 impl Node {

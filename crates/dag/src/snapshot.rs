@@ -1,0 +1,343 @@
+//! Immutable, version-stamped snapshots of the dag for concurrent readers.
+//!
+//! # One writer, unbounded readers
+//!
+//! The arena is a single-writer structure: reparsing mutates nodes in
+//! place. Reader threads therefore never touch the arena itself — instead
+//! the writer *publishes* a [`DagSnapshot`]: an immutable copy-on-write
+//! view assembled from fixed-size chunks. Chunks untouched since the last
+//! publish are shared (`Arc` clone, O(1)); only chunks containing mutated
+//! slots are re-materialized, so publish cost tracks the damage of the
+//! preceding reparse cycle, not document size — the same bounded-work
+//! contract the incremental parser itself obeys.
+//!
+//! Because `NodeId`s are stable (the arena recycles slots, never moves
+//! them), a snapshot indexes its chunks by the very same ids the writer
+//! uses: structural sharing needs no translation table.
+//!
+//! # Epoch-based reclamation
+//!
+//! Every snapshot pins the version stamp it was published at in a shared
+//! registry. While any pin is live, the collector does not recycle dead
+//! node slots: they go onto a *deferred free list* stamped with the version
+//! at which they died. The list drains — oldest first, checked against the
+//! oldest live pin — when the oldest pinned version advances past a slot's
+//! death stamp (or when no pins remain). This keeps every slot's bits
+//! intact for as long as some published version could still name it, and
+//! bounds the backlog by the lifetime of the slowest reader.
+
+use crate::node::{NodeId, NodeKind};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Nodes per snapshot chunk. Publishing re-materializes only chunks whose
+/// slots were mutated since the previous publish.
+pub(crate) const SNAP_CHUNK: usize = 256;
+
+/// Read-only access to a parse dag, implemented by both the live
+/// [`crate::DagArena`] (the writer's view) and the immutable
+/// [`DagSnapshot`] (a reader's view). Analyses written against this trait
+/// run unchanged on either side of the publish boundary.
+pub trait DagRead {
+    /// Number of node slots, live or free.
+    fn node_count(&self) -> usize;
+    /// The node's kind.
+    fn kind(&self, id: NodeId) -> &NodeKind;
+    /// Parent in the tree of this version ([`NodeId::NONE`] if detached).
+    fn parent(&self, id: NodeId) -> NodeId;
+    /// The node's children in yield order (alternatives for symbol nodes).
+    fn kids(&self, id: NodeId) -> &[NodeId];
+    /// Number of terminals in the node's yield.
+    fn width(&self, id: NodeId) -> u32;
+    /// Whether `id` names a node that is live in this version (neither
+    /// free-listed nor awaiting deferred reclamation).
+    fn is_live(&self, id: NodeId) -> bool;
+}
+
+/// One immutable chunk of a published snapshot: a slice of node images
+/// plus a chunk-local pool holding their kid lists.
+#[derive(Debug)]
+pub(crate) struct SnapChunk {
+    pub(crate) nodes: Vec<SnapNode>,
+    pub(crate) kid_pool: Vec<NodeId>,
+}
+
+/// The published image of one node slot.
+#[derive(Debug, Clone)]
+pub(crate) struct SnapNode {
+    pub(crate) kind: NodeKind,
+    pub(crate) parent: NodeId,
+    pub(crate) width: u32,
+    /// Live at publish time (not free, not deferred).
+    pub(crate) live: bool,
+    pub(crate) kids_off: u32,
+    pub(crate) kids_len: u32,
+}
+
+/// Shared pin registry: version stamp → number of live snapshots pinned at
+/// that stamp. The writer consults the *oldest* key when draining its
+/// deferred free list.
+pub(crate) type PinRegistry = Arc<Mutex<BTreeMap<u64, usize>>>;
+
+/// RAII pin on one published version. Dropping the guard (i.e. dropping
+/// the snapshot) unpins; when a version's count reaches zero its entry is
+/// removed, letting the writer's oldest-pin watermark advance.
+#[derive(Debug)]
+pub(crate) struct PinGuard {
+    registry: PinRegistry,
+    version: u64,
+}
+
+impl PinGuard {
+    pub(crate) fn new(registry: PinRegistry, version: u64) -> PinGuard {
+        *registry
+            .lock()
+            .expect("pin registry poisoned")
+            .entry(version)
+            .or_insert(0) += 1;
+        PinGuard { registry, version }
+    }
+}
+
+impl Drop for PinGuard {
+    fn drop(&mut self) {
+        let mut pins = match self.registry.lock() {
+            Ok(p) => p,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if let Some(count) = pins.get_mut(&self.version) {
+            *count -= 1;
+            if *count == 0 {
+                pins.remove(&self.version);
+            }
+        }
+    }
+}
+
+/// An immutable, version-stamped view of one parse dag, cheap to publish
+/// (copy-on-write at chunk granularity) and safe to query from any number
+/// of threads while the writer keeps reparsing.
+///
+/// The snapshot holds a pin guard: while it (or any clone of its
+/// `Arc`-shared chunks) is alive, the writing arena will not recycle node
+/// slots that were live at this version.
+#[derive(Debug)]
+pub struct DagSnapshot {
+    chunks: Vec<Arc<SnapChunk>>,
+    len: usize,
+    version: u64,
+    _pin: PinGuard,
+}
+
+impl DagSnapshot {
+    pub(crate) fn new(
+        chunks: Vec<Arc<SnapChunk>>,
+        len: usize,
+        version: u64,
+        pin: PinGuard,
+    ) -> DagSnapshot {
+        DagSnapshot {
+            chunks,
+            len,
+            version,
+            _pin: pin,
+        }
+    }
+
+    /// The version stamp this snapshot pins.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of node slots captured.
+    pub fn node_count(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn snap(&self, id: NodeId) -> &SnapNode {
+        let i = id.index();
+        assert!(i < self.len, "node id out of snapshot range");
+        &self.chunks[i / SNAP_CHUNK].nodes[i % SNAP_CHUNK]
+    }
+}
+
+impl DagRead for DagSnapshot {
+    fn node_count(&self) -> usize {
+        self.len
+    }
+
+    fn kind(&self, id: NodeId) -> &NodeKind {
+        &self.snap(id).kind
+    }
+
+    fn parent(&self, id: NodeId) -> NodeId {
+        self.snap(id).parent
+    }
+
+    fn kids(&self, id: NodeId) -> &[NodeId] {
+        let i = id.index();
+        assert!(i < self.len, "node id out of snapshot range");
+        let chunk = &self.chunks[i / SNAP_CHUNK];
+        let n = &chunk.nodes[i % SNAP_CHUNK];
+        &chunk.kid_pool[n.kids_off as usize..(n.kids_off + n.kids_len) as usize]
+    }
+
+    fn width(&self, id: NodeId) -> u32 {
+        self.snap(id).width
+    }
+
+    fn is_live(&self, id: NodeId) -> bool {
+        id.index() < self.len && self.snap(id).live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::DagArena;
+    use crate::node::ParseState;
+    use wg_grammar::{ProdId, Terminal};
+
+    fn t(a: &mut DagArena, s: &str) -> NodeId {
+        a.terminal(Terminal::from_index(1), s)
+    }
+
+    #[test]
+    fn snapshot_mirrors_arena() {
+        let mut a = DagArena::new();
+        let x = t(&mut a, "x");
+        let y = t(&mut a, "y");
+        let p = a.production(ProdId::from_index(1), ParseState(3), &[x, y]);
+        let root = a.root(p);
+        let snap = a.publish();
+        assert_eq!(snap.version(), 1);
+        assert_eq!(snap.node_count(), a.node_count());
+        for i in 0..a.node_count() {
+            let id = NodeId(i as u32);
+            assert_eq!(snap.kind(id), DagArena::kind(&a, id), "kind of {id:?}");
+            assert_eq!(snap.kids(id), DagArena::kids(&a, id), "kids of {id:?}");
+            assert_eq!(snap.width(id), DagArena::width(&a, id));
+            assert_eq!(snap.parent(id), a.node(id).parent());
+            assert_eq!(snap.is_live(id), DagArena::is_live(&a, id));
+        }
+        assert_eq!(snap.parent(x), p);
+        assert_eq!(snap.kids(root).len(), 3);
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_mutation() {
+        let mut a = DagArena::new();
+        let x = t(&mut a, "x");
+        let p = a.production(ProdId::from_index(1), ParseState(0), &[x]);
+        let root = a.root(p);
+        let snap = a.publish();
+        // Mutate: replace the body, collect the old one.
+        a.begin_epoch();
+        let y = t(&mut a, "y");
+        let p2 = a.production(ProdId::from_index(2), ParseState(0), &[y]);
+        a.set_root_body(root, p2);
+        a.collect_garbage(root);
+        // The pinned snapshot still reads the old structure.
+        assert!(snap.is_live(x));
+        assert!(matches!(
+            snap.kind(x),
+            NodeKind::Terminal { lexeme, .. } if lexeme == "x"
+        ));
+        assert_eq!(snap.kids(root)[1], p);
+        // The live arena has moved on.
+        assert_eq!(DagArena::kids(&a, root)[1], p2);
+    }
+
+    #[test]
+    fn pinned_snapshot_defers_slot_recycling() {
+        let mut a = DagArena::new();
+        let dead = t(&mut a, "doomed");
+        let x = t(&mut a, "x");
+        let p = a.production(ProdId::from_index(1), ParseState(0), &[x]);
+        let root = a.root(p);
+        let snap = a.publish();
+        assert_eq!(a.live_pins(), 1);
+        a.collect_garbage(root);
+        assert_eq!(
+            a.deferred_free_backlog(),
+            1,
+            "dead slot deferred, not freed"
+        );
+        assert!(!DagArena::is_live(&a, dead), "deferred slots read as dead");
+        assert!(snap.is_live(dead), "the pinned version saw it alive");
+        assert!(matches!(
+            snap.kind(dead),
+            NodeKind::Terminal { lexeme, .. } if lexeme == "doomed"
+        ));
+        // While pinned, the slot's storage survives in the writer too.
+        assert!(matches!(
+            DagArena::kind(&a, dead),
+            NodeKind::Terminal { lexeme, .. } if lexeme == "doomed"
+        ));
+        drop(snap);
+        assert_eq!(a.live_pins(), 0);
+        a.collect_garbage(root);
+        assert_eq!(a.deferred_free_backlog(), 0, "backlog drains once unpinned");
+        // The slot is recyclable again.
+        let recycled = t(&mut a, "fresh");
+        assert_eq!(recycled, dead);
+    }
+
+    #[test]
+    fn publish_shares_untouched_chunks() {
+        let mut a = DagArena::new();
+        // Two chunks' worth of nodes.
+        let kids: Vec<NodeId> = (0..(SNAP_CHUNK + 8))
+            .map(|i| t(&mut a, &format!("k{i}")))
+            .collect();
+        let p = a.production(ProdId::from_index(1), ParseState(0), &kids);
+        let root = a.root(p);
+        let s1 = a.publish();
+        // Touch only the tail: chunk 0 must be shared, the tail chunk not.
+        a.begin_epoch();
+        let extra = t(&mut a, "extra");
+        a.set_root_body(root, extra);
+        let s2 = a.publish();
+        assert_eq!(s2.version(), 2);
+        assert!(
+            Arc::ptr_eq(&s1.chunks[0], &s2.chunks[0]),
+            "untouched chunk is shared across publishes"
+        );
+        assert!(
+            !Arc::ptr_eq(s1.chunks.last().unwrap(), &s2.chunks[s1.chunks.len() - 1]),
+            "mutated chunk is re-materialized"
+        );
+    }
+
+    #[test]
+    fn drain_respects_oldest_pin_stamp() {
+        let mut a = DagArena::new();
+        let d1 = t(&mut a, "d1");
+        let x = t(&mut a, "x");
+        let p = a.production(ProdId::from_index(1), ParseState(0), &[x]);
+        let root = a.root(p);
+        let old = a.publish(); // version 1 saw d1 alive
+        a.collect_garbage(root); // d1 deferred at stamp 1
+        assert_eq!(a.deferred_free_backlog(), 1);
+        let newer = a.publish(); // version 2: d1 already dead
+        a.collect_garbage(root);
+        assert_eq!(
+            a.deferred_free_backlog(),
+            1,
+            "oldest pin (v1) still blocks the stamp-1 slot"
+        );
+        drop(old);
+        a.collect_garbage(root);
+        assert_eq!(
+            a.deferred_free_backlog(),
+            0,
+            "v2 pin does not block a slot that died at stamp 1"
+        );
+        assert!(
+            !newer.is_live(d1),
+            "the newer snapshot published it as dead"
+        );
+        drop(newer);
+    }
+}

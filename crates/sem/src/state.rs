@@ -26,8 +26,9 @@ use crate::analyze::{head_identifier, AltKind, Analysis, Selection, Strictness};
 use crate::classify::Classifier;
 use crate::scope::NameKind;
 use crate::symtab::{Sym, SymTab};
-use wg_core::{SemInfo, SemNameKind, SemUpdate, SemanticPass};
-use wg_dag::{DagArena, FxHashMap, FxHashSet, NodeId, NodeKind};
+use std::sync::{Arc, Mutex};
+use wg_core::{SemInfo, SemNameKind, SemReadView, SemUpdate, SemanticPass};
+use wg_dag::{DagArena, DagRead, FxHashMap, FxHashSet, NodeId, NodeKind};
 use wg_grammar::{Grammar, Symbol, Terminal};
 
 /// How the walk dispatches on one production (compiled from the grammar).
@@ -171,6 +172,10 @@ pub struct SemState {
     /// Memoized document spans (terminal offsets), valid for one tree
     /// shape; cleared whenever the arena may have changed underneath us.
     spans: std::cell::RefCell<FxHashMap<NodeId, Option<(u32, u32)>>>,
+    /// The published read view, built lazily on demand and dropped at the
+    /// start of every update — all snapshots published between two updates
+    /// share one frozen copy of the fact tables.
+    view: Option<Arc<SemView>>,
     mode: Mode,
     built: bool,
     stats: SemUpdate,
@@ -244,6 +249,7 @@ impl SemState {
             stamps: FxHashMap::default(),
             pre: FxHashMap::default(),
             spans: std::cell::RefCell::new(FxHashMap::default()),
+            view: None,
             mode: Mode::Build,
             built: false,
             stats: SemUpdate::default(),
@@ -351,7 +357,7 @@ impl SemState {
     /// Whether `n` is attached to the current tree (its parent chain, with
     /// kid-membership verified at every level, reaches the root).
     fn attached(&self, arena: &DagArena, n: NodeId) -> bool {
-        arena.is_live(n) && self.span(arena, n).is_some()
+        attached_in(arena, &mut self.spans.borrow_mut(), n)
     }
 
     /// How many attached sites reference `sym`.
@@ -365,108 +371,18 @@ impl SemState {
     // Position-aware lookup
     // ------------------------------------------------------------------
 
-    /// Document span of `n` in terminal offsets: `(start, end)` where
-    /// `start` is the number of terminals yielded left of `n`'s subtree.
-    /// `None` for nodes detached from the current tree. Memoized in
-    /// `self.spans` — repeated visibility checks against the same binding
-    /// sites are the hot loop of the ripple pass.
-    fn span(&self, arena: &DagArena, n: NodeId) -> Option<(u32, u32)> {
-        if let Some(&hit) = self.spans.borrow().get(&n) {
-            return hit;
-        }
-        let width = arena.width(n);
-        let mut start = 0u32;
-        let mut cur = n;
-        let computed = loop {
-            let p = arena.node(cur).parent();
-            if p.is_none() {
-                // Only the root legitimately has no parent; anything else
-                // without one is a detached fragment.
-                break matches!(arena.kind(cur), NodeKind::Root).then_some(());
-            }
-            if !arena.is_live(p) {
-                break None;
-            }
-            let kids = arena.kids(p);
-            if matches!(arena.kind(p), NodeKind::Symbol { .. }) {
-                // A symbol node's kids are overlapping alternatives of the
-                // same yield, not concatenated siblings.
-                if !kids.contains(&cur) {
-                    break None;
-                }
-            } else {
-                let mut found = false;
-                for &k in kids {
-                    if k == cur {
-                        found = true;
-                        break;
-                    }
-                    start += arena.width(k);
-                }
-                if !found {
-                    break None; // stale parent pointer: detached.
-                }
-            }
-            cur = p;
-        };
-        let result = computed.map(|()| (start, start + width));
-        self.spans.borrow_mut().insert(n, result);
-        result
-    }
-
-    /// Whether the binding anchored at `a` is visible at position `b`:
-    /// `a` precedes `b` in document order, or is an ancestor of `b` (a
-    /// declaration's own initializer sees the binding).
-    fn visible_from(&self, arena: &DagArena, a: NodeId, b: NodeId) -> bool {
-        if a == b {
-            return true;
-        }
-        let (Some((a_s, a_e)), Some((b_s, b_e))) = (self.span(arena, a), self.span(arena, b))
-        else {
-            return false;
-        };
-        a_e <= b_s || (a_s <= b_s && a_e >= b_e)
-    }
-
-    /// Innermost visible binding of `sym` at position `at`, walking the
-    /// contour chain from `scope` outwards. In build mode the last entry
-    /// pushed is by construction the latest preceding one; incrementally
-    /// the entries are position-filtered against `at`.
-    fn lookup(&self, arena: &DagArena, at: NodeId, sym: Sym, mut scope: CtrId) -> Option<NameKind> {
-        loop {
-            let c = &self.contours[scope.index()];
-            if let Some(entries) = c.entries.get(&sym) {
-                match self.mode {
-                    Mode::Build => {
-                        if let Some(e) = entries.last() {
-                            return Some(e.kind);
-                        }
-                    }
-                    Mode::Incremental => {
-                        // Latest visible binding = visible entry with the
-                        // greatest start offset (an enclosing declaration
-                        // starts no later than any earlier sibling's end).
-                        let mut best: Option<(u32, NameKind)> = None;
-                        for e in entries {
-                            if !self.visible_from(arena, e.site, at) {
-                                continue;
-                            }
-                            let start = self.span(arena, e.site).map_or(0, |(s, _)| s);
-                            if best.is_none_or(|(b, _)| b <= start) {
-                                best = Some((start, e.kind));
-                            }
-                        }
-                        if let Some((_, kind)) = best {
-                            return Some(kind);
-                        }
-                    }
-                }
-            }
-            if scope == GLOBAL {
-                return None;
-            }
-            scope = c.parent;
-        }
+    /// Innermost visible binding of `sym` at position `at` (see
+    /// [`lookup_in`]).
+    fn lookup(&self, arena: &DagArena, at: NodeId, sym: Sym, scope: CtrId) -> Option<NameKind> {
+        lookup_in(
+            arena,
+            &mut self.spans.borrow_mut(),
+            &self.contours,
+            self.mode,
+            at,
+            sym,
+            scope,
+        )
     }
 
     // ------------------------------------------------------------------
@@ -989,6 +905,26 @@ impl SemState {
         sa == sb
     }
 
+    /// Builds (or reuses) the frozen read view of the current fact tables.
+    /// Cached between updates: every snapshot published from the same
+    /// analysis state shares one copy.
+    fn view(&mut self) -> Arc<SemView> {
+        if let Some(v) = &self.view {
+            return Arc::clone(v);
+        }
+        let v = Arc::new(SemView {
+            symtab: self.symtab.clone(),
+            contours: self.contours.clone(),
+            binds: self.binds.clone(),
+            uses: self.uses.clone(),
+            choices: self.choices.clone(),
+            refs: self.refs.clone(),
+            spans: Mutex::new(FxHashMap::default()),
+        });
+        self.view = Some(Arc::clone(&v));
+        v
+    }
+
     fn re_resolve_use(&mut self, arena: &DagArena, n: NodeId) {
         let Some(fact) = self.uses.get(&n).copied() else {
             return;
@@ -1008,6 +944,268 @@ impl SemState {
     }
 }
 
+// ----------------------------------------------------------------------
+// Position-aware query kernel (shared by the live state and the view)
+// ----------------------------------------------------------------------
+
+/// Document span of `n` in terminal offsets: `(start, end)` where `start`
+/// is the number of terminals yielded left of `n`'s subtree. `None` for
+/// nodes detached from the tree of this dag version. Memoized in `memo` —
+/// repeated visibility checks against the same binding sites are the hot
+/// loop of both the ripple pass and position-filtered lookup.
+fn span_in(
+    dag: &dyn DagRead,
+    memo: &mut FxHashMap<NodeId, Option<(u32, u32)>>,
+    n: NodeId,
+) -> Option<(u32, u32)> {
+    if let Some(&hit) = memo.get(&n) {
+        return hit;
+    }
+    let width = dag.width(n);
+    let mut start = 0u32;
+    let mut cur = n;
+    let computed = loop {
+        let p = dag.parent(cur);
+        if p.is_none() {
+            // Only the root legitimately has no parent; anything else
+            // without one is a detached fragment.
+            break matches!(dag.kind(cur), NodeKind::Root).then_some(());
+        }
+        if !dag.is_live(p) {
+            break None;
+        }
+        let kids = dag.kids(p);
+        if matches!(dag.kind(p), NodeKind::Symbol { .. }) {
+            // A symbol node's kids are overlapping alternatives of the
+            // same yield, not concatenated siblings.
+            if !kids.contains(&cur) {
+                break None;
+            }
+        } else {
+            let mut found = false;
+            for &k in kids {
+                if k == cur {
+                    found = true;
+                    break;
+                }
+                start += dag.width(k);
+            }
+            if !found {
+                break None; // stale parent pointer: detached.
+            }
+        }
+        cur = p;
+    };
+    let result = computed.map(|()| (start, start + width));
+    memo.insert(n, result);
+    result
+}
+
+/// Whether `n` is attached to the tree of this dag version (live, and its
+/// parent chain — kid-membership verified at every level — reaches the
+/// root).
+fn attached_in(
+    dag: &dyn DagRead,
+    memo: &mut FxHashMap<NodeId, Option<(u32, u32)>>,
+    n: NodeId,
+) -> bool {
+    dag.is_live(n) && span_in(dag, memo, n).is_some()
+}
+
+/// Whether the binding anchored at `a` is visible at position `b`: `a`
+/// precedes `b` in document order, or is an ancestor of `b` (a
+/// declaration's own initializer sees the binding).
+fn visible_in(
+    dag: &dyn DagRead,
+    memo: &mut FxHashMap<NodeId, Option<(u32, u32)>>,
+    a: NodeId,
+    b: NodeId,
+) -> bool {
+    if a == b {
+        return true;
+    }
+    let (Some((a_s, a_e)), Some((b_s, b_e))) = (span_in(dag, memo, a), span_in(dag, memo, b))
+    else {
+        return false;
+    };
+    a_e <= b_s || (a_s <= b_s && a_e >= b_e)
+}
+
+/// Innermost visible binding of `sym` at position `at`, walking the
+/// contour chain from `scope` outwards. In build mode the last entry
+/// pushed is by construction the latest preceding one; incrementally the
+/// entries are position-filtered against `at`.
+fn lookup_in(
+    dag: &dyn DagRead,
+    memo: &mut FxHashMap<NodeId, Option<(u32, u32)>>,
+    contours: &[Contour],
+    mode: Mode,
+    at: NodeId,
+    sym: Sym,
+    mut scope: CtrId,
+) -> Option<NameKind> {
+    loop {
+        let c = &contours[scope.index()];
+        if let Some(entries) = c.entries.get(&sym) {
+            match mode {
+                Mode::Build => {
+                    if let Some(e) = entries.last() {
+                        return Some(e.kind);
+                    }
+                }
+                Mode::Incremental => {
+                    // Latest visible binding = visible entry with the
+                    // greatest start offset (an enclosing declaration
+                    // starts no later than any earlier sibling's end).
+                    let mut best: Option<(u32, NameKind)> = None;
+                    for e in entries {
+                        if !visible_in(dag, memo, e.site, at) {
+                            continue;
+                        }
+                        let start = span_in(dag, memo, e.site).map_or(0, |(s, _)| s);
+                        if best.is_none_or(|(b, _)| b <= start) {
+                            best = Some((start, e.kind));
+                        }
+                    }
+                    if let Some((_, kind)) = best {
+                        return Some(kind);
+                    }
+                }
+            }
+        }
+        if scope == GLOBAL {
+            return None;
+        }
+        scope = c.parent;
+    }
+}
+
+// ----------------------------------------------------------------------
+// The published read view
+// ----------------------------------------------------------------------
+
+/// A frozen copy of [`SemState`]'s queryable fact tables, published behind
+/// an `Arc` alongside a dag snapshot so reader threads answer name queries
+/// without the session lock.
+///
+/// The tables are plain clones (no structural sharing with the live
+/// state); the only interior mutability is the span memo, which is sound
+/// to share across every snapshot the view serves: the view is dropped at
+/// the start of each semantic update, and between updates the attached
+/// tree's structure is identical in every published version (refused
+/// reparse attempts roll their parent edits back and only leave detached
+/// fresh terminals behind, which own no facts).
+#[derive(Debug)]
+struct SemView {
+    symtab: SymTab,
+    contours: Vec<Contour>,
+    binds: FxHashMap<NodeId, BindFact>,
+    uses: FxHashMap<NodeId, UseFact>,
+    choices: FxHashMap<NodeId, ChoiceFact>,
+    refs: FxHashMap<Sym, Vec<NodeId>>,
+    /// Span memo, shared by all readers of this view (lock-protected; a
+    /// poisoned lock is recovered, since every memoized value is a pure
+    /// function of the frozen tree).
+    spans: Mutex<FxHashMap<NodeId, Option<(u32, u32)>>>,
+}
+
+impl SemView {
+    fn attached_refs(
+        &self,
+        dag: &dyn DagRead,
+        memo: &mut FxHashMap<NodeId, Option<(u32, u32)>>,
+        sym: Sym,
+    ) -> usize {
+        self.refs.get(&sym).map_or(0, |v| {
+            v.iter().filter(|&&n| attached_in(dag, memo, n)).count()
+        })
+    }
+}
+
+impl SemReadView for SemView {
+    fn info_at(&self, dag: &dyn DagRead, path: &[NodeId]) -> Option<SemInfo> {
+        let mut memo = self.spans.lock().unwrap_or_else(|e| e.into_inner());
+        let memo = &mut *memo;
+        let ambiguous = path.iter().any(|n| self.choices.contains_key(n));
+        let choice_resolved = path
+            .iter()
+            .rev()
+            .find_map(|n| self.choices.get(n))
+            .map(|c| c.sel.is_some());
+        for n in path.iter().rev() {
+            if let Some(u) = self.uses.get(n) {
+                let found = lookup_in(
+                    dag,
+                    memo,
+                    &self.contours,
+                    Mode::Incremental,
+                    *n,
+                    u.sym,
+                    u.scope,
+                );
+                return Some(SemInfo {
+                    name: self.symtab.name(u.sym).to_string(),
+                    kind: found.map(to_sem_kind),
+                    ambiguous,
+                    resolved: choice_resolved.unwrap_or(u.resolved),
+                    uses: self.attached_refs(dag, memo, u.sym),
+                });
+            }
+            if let Some(b) = self.binds.get(n) {
+                return Some(SemInfo {
+                    name: self.symtab.name(b.sym).to_string(),
+                    kind: Some(to_sem_kind(b.kind)),
+                    ambiguous,
+                    resolved: choice_resolved.unwrap_or(true),
+                    uses: self.attached_refs(dag, memo, b.sym),
+                });
+            }
+        }
+        // No analyzed identifier on the path; report the enclosing choice
+        // point's head if there is one.
+        let (n, c) = path
+            .iter()
+            .rev()
+            .find_map(|n| self.choices.get(n).map(|c| (*n, c)))?;
+        let sym = c.head?;
+        let found = lookup_in(
+            dag,
+            memo,
+            &self.contours,
+            Mode::Incremental,
+            n,
+            sym,
+            c.scope,
+        );
+        Some(SemInfo {
+            name: self.symtab.name(sym).to_string(),
+            kind: found.map(to_sem_kind),
+            ambiguous,
+            resolved: c.sel.is_some(),
+            uses: self.attached_refs(dag, memo, sym),
+        })
+    }
+
+    fn uses_of(&self, dag: &dyn DagRead, name: &str) -> Vec<NodeId> {
+        let Some(sym) = self.symtab.get(name) else {
+            return Vec::new();
+        };
+        let mut memo = self.spans.lock().unwrap_or_else(|e| e.into_inner());
+        let mut v: Vec<NodeId> = self
+            .refs
+            .get(&sym)
+            .map(|v| {
+                v.iter()
+                    .filter(|&&n| attached_in(dag, &mut memo, n))
+                    .copied()
+                    .collect()
+            })
+            .unwrap_or_default();
+        v.sort_by_key(|n| n.index());
+        v
+    }
+}
+
 impl SemanticPass for SemState {
     fn update(
         &mut self,
@@ -1018,6 +1216,9 @@ impl SemanticPass for SemState {
     ) -> SemUpdate {
         self.stats = SemUpdate::default();
         self.spans.borrow_mut().clear();
+        // Facts are about to change: the next publish must freeze a fresh
+        // view (readers holding the old Arc keep their version's answers).
+        self.view = None;
         if !self.built {
             self.full_build(arena, root);
             return self.stats;
@@ -1106,6 +1307,10 @@ impl SemanticPass for SemState {
             .unwrap_or_default();
         v.sort_by_key(|n| n.index());
         v
+    }
+
+    fn read_view(&mut self) -> Option<Arc<dyn SemReadView>> {
+        Some(self.view())
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
@@ -1292,6 +1497,63 @@ mod tests {
         );
         assert_eq!(out.report.sem_flips, 0, "no binding changed, no ripple");
         assert_matches_batch(&s);
+    }
+
+    #[test]
+    fn read_view_matches_live_queries_at_every_offset() {
+        let cfg = Box::leak(Box::new(simp_c()));
+        let mut s = Session::new(
+            cfg,
+            "typedef int t; int f() { int y; t (x); } f (y); w = 1;",
+        )
+        .unwrap();
+        attach(&mut s, Strictness::RequireBinding);
+        let snap = s.publish();
+        assert!(snap.has_semantics());
+        for off in 0..s.text().len() {
+            assert_eq!(
+                snap.info_at(off),
+                s.semantic_info_at(off),
+                "snapshot diverged from the live session at offset {off}"
+            );
+        }
+        assert_eq!(snap.uses_of("y"), s.semantic_uses_of("y"));
+        assert_eq!(snap.uses_of("t"), s.semantic_uses_of("t"));
+        assert_eq!(snap.uses_of("nope"), s.semantic_uses_of("nope"));
+    }
+
+    #[test]
+    fn read_view_is_isolated_from_later_edits() {
+        let cfg = Box::leak(Box::new(simp_c()));
+        let mut s = Session::new(cfg, "int v; v = v + 1;").unwrap();
+        attach(&mut s, Strictness::RequireBinding);
+        let snap = s.publish();
+        let off = s.text().rfind('v').unwrap();
+        let before = snap.info_at(off).expect("an identifier there");
+        assert_eq!(before.name, "v");
+        assert_eq!(before.uses, 2);
+
+        // Rename the declaration; the live session re-resolves, the pinned
+        // snapshot keeps answering with its version's facts.
+        s.edit(4, 1, "w");
+        let out = s.reparse().unwrap();
+        assert!(out.incorporated);
+        let live = s.semantic_info_at(s.text().rfind('v').unwrap()).unwrap();
+        assert_eq!(live.kind, None, "live: `v` is now unbound");
+        let frozen = snap.info_at(off).expect("still an identifier there");
+        assert_eq!(frozen.name, "v");
+        assert_eq!(
+            frozen.kind,
+            Some(wg_core::SemNameKind::Variable),
+            "frozen: the old binding is still visible"
+        );
+        assert_eq!(frozen.uses, 2);
+        assert_eq!(snap.uses_of("v").len(), 2);
+
+        // A fresh publish reflects the new facts.
+        let snap2 = s.publish();
+        assert!(snap2.version() > snap.version());
+        assert_eq!(snap2.info_at(off).unwrap().kind, None);
     }
 
     #[test]

@@ -162,14 +162,28 @@ pub struct WorkspaceMetrics {
     pub p95: Duration,
     /// 99th-percentile per-cycle service latency.
     pub p99: Duration,
-    /// Semantic queries answered since the workspace started.
+    /// Semantic queries answered since the workspace started (snapshot
+    /// reads and mailbox-path queries combined).
     pub queries: u64,
-    /// Median semantic-query service latency (owner-shard lookup only).
+    /// Median semantic-query service latency (evaluation only, queue wait
+    /// excluded on the mailbox path; snapshot reads have no queue).
     pub query_p50: Duration,
     /// 95th-percentile semantic-query service latency.
     pub query_p95: Duration,
     /// 99th-percentile semantic-query service latency.
     pub query_p99: Duration,
+    /// Queries answered on the caller's thread from a published document
+    /// snapshot — the lock-free read path that never enters a mailbox.
+    pub snapshot_reads: u64,
+    /// Maximum staleness observed at any snapshot read, in apply
+    /// commands: accepted-but-unpublished applies at the moment of the
+    /// read (0 = every read saw the newest accepted write).
+    pub snapshot_lag: u64,
+    /// Dag versions currently pinned by live snapshots, summed over open
+    /// documents (racy gauge, sampled per document at its last publish).
+    /// Each pinned version holds that document's collector back from
+    /// recycling the node slots the version can still see.
+    pub pinned_versions: usize,
 }
 
 #[cfg(test)]

@@ -36,6 +36,21 @@
 //! everything mutable — the rope, the dag arena, the token tape, the
 //! pooled parser scratch — lives inside the document's [`Session`].
 //!
+//! ## Snapshot-isolated reads
+//!
+//! Each document additionally publishes an immutable
+//! [`Snapshot`](wg_core::Snapshot) — dag chunks, token tape, semantic fact
+//! view — after the open and after every apply run (while the session is
+//! still checked out, *before* the apply replies are sent, so a caller
+//! that waited for its apply always sees its own writes). Semantic
+//! queries are answered **on the caller's thread** from that snapshot:
+//! they never enter the mailbox, never wait behind edits, and any number
+//! of them run concurrently against one version while the owner shard
+//! keeps reparsing the next. The mailbox query path survives as the
+//! fallback for documents without a published snapshot (open still in
+//! flight, poisoned, closed), which also preserves the exact error
+//! answers for those states.
+//!
 //! ## Failure isolation
 //!
 //! A panicking operation (a bounds-violating edit, a parser invariant
@@ -56,7 +71,9 @@ use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
-use wg_core::{LanguageRegistry, ReparseReport, SemInfo, Session, SessionConfig, SessionError};
+use wg_core::{
+    LanguageRegistry, ReparseReport, SemInfo, Session, SessionConfig, SessionError, Snapshot,
+};
 use wg_dag::NodeId;
 use wg_document::Edit;
 use wg_grammar::Grammar;
@@ -223,15 +240,31 @@ impl PendingApply {
 }
 
 /// An in-flight asynchronous query (see [`Workspace::query_async`]).
+/// Queries served from a published snapshot are already answered when
+/// this handle is returned; mailbox-fallback queries resolve when the
+/// owner shard replies.
 #[must_use = "wait() retrieves the answer; dropping loses it"]
 pub struct PendingQuery {
-    rx: OneShotReceiver<Result<SemAnswer, WorkspaceError>>,
+    inner: PendingQueryInner,
+}
+
+enum PendingQueryInner {
+    /// Answered on the caller's thread from the published snapshot.
+    Ready(Result<SemAnswer, WorkspaceError>),
+    /// Queued in the document's mailbox (no snapshot was available).
+    Mailbox(OneShotReceiver<Result<SemAnswer, WorkspaceError>>),
 }
 
 impl PendingQuery {
-    /// Blocks until the shard answers.
+    /// Retrieves the answer, blocking only if the query went through the
+    /// mailbox fallback.
     pub fn wait(self) -> Result<SemAnswer, WorkspaceError> {
-        self.rx.recv().unwrap_or(Err(WorkspaceError::ShuttingDown))
+        match self.inner {
+            PendingQueryInner::Ready(answer) => answer,
+            PendingQueryInner::Mailbox(rx) => {
+                rx.recv().unwrap_or(Err(WorkspaceError::ShuttingDown))
+            }
+        }
     }
 }
 
@@ -399,6 +432,34 @@ struct DocSlot {
     doc: DocId,
     mailbox: Mailbox,
     state: Mutex<DocState>,
+    /// The latest published snapshot — the lock-free-in-spirit read slot
+    /// (a `Mutex` held only for the `Arc` clone/swap, never across a
+    /// query). `None` until the open completes and again after poison or
+    /// close, which routes readers to the mailbox fallback and its exact
+    /// error answers.
+    snapshot: Mutex<Option<Arc<Snapshot>>>,
+    /// Command seq the published snapshot reflects (the writer's publish
+    /// watermark).
+    snap_seq: AtomicU64,
+    /// Highest apply command seq handed to this document so far; the
+    /// distance to `snap_seq` at read time is the snapshot lag gauge.
+    latest_seq: AtomicU64,
+    /// Dag versions currently pinned by live snapshots of this document
+    /// (sampled from the arena's pin registry at each publish).
+    pinned: AtomicU64,
+}
+
+impl DocSlot {
+    /// The published snapshot, if any (an `Arc` clone; the lock is not
+    /// held while the caller queries).
+    fn read_snapshot(&self) -> Option<Arc<Snapshot>> {
+        self.snapshot.lock().expect("snapshot slot lock").clone()
+    }
+
+    /// Swaps in a fresh snapshot (or clears it on poison/close).
+    fn publish_snapshot(&self, snap: Option<Arc<Snapshot>>) {
+        *self.snapshot.lock().expect("snapshot slot lock") = snap;
+    }
 }
 
 /// Scheduling-protocol tracing, enabled by the `WG_TRACE` env var —
@@ -429,6 +490,10 @@ struct Shared {
     migrations: AtomicU64,
     docs_poisoned: AtomicU64,
     queries: AtomicU64,
+    /// Queries answered on the caller's thread from a published snapshot.
+    snapshot_reads: AtomicU64,
+    /// Maximum apply-seq staleness ever observed at a snapshot read.
+    snapshot_lag: AtomicU64,
     latency: LatencyHistogram,
     query_latency: LatencyHistogram,
     started: Instant,
@@ -474,6 +539,8 @@ impl Workspace {
             migrations: AtomicU64::new(0),
             docs_poisoned: AtomicU64::new(0),
             queries: AtomicU64::new(0),
+            snapshot_reads: AtomicU64::new(0),
+            snapshot_lag: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
             query_latency: LatencyHistogram::new(),
             started: Instant::now(),
@@ -618,6 +685,10 @@ impl Workspace {
                 seq: 0,
                 poisoned: false,
             }),
+            snapshot: Mutex::new(None),
+            snap_seq: AtomicU64::new(0),
+            latest_seq: AtomicU64::new(0),
+            pinned: AtomicU64::new(0),
         });
         self.shared
             .docs
@@ -642,10 +713,11 @@ impl Workspace {
         }
     }
 
-    /// Answers a semantic question on the document's current owner shard.
-    /// The shard reads the session-resident semantic state — no dag
-    /// re-walk, no cross-shard coordination; service time lands in the
-    /// workspace's query latency histogram.
+    /// Answers a semantic question from the document's latest published
+    /// snapshot, **on the calling thread** — no mailbox, no shard, no
+    /// waiting behind edits; any number of callers query concurrently
+    /// while the owner shard keeps editing. Service time lands in the
+    /// workspace's query latency histogram either way.
     ///
     /// # Errors
     ///
@@ -656,9 +728,17 @@ impl Workspace {
         self.query_async(doc, query)?.wait()
     }
 
-    /// Schedules a semantic question without waiting for the answer;
-    /// queries and edits submitted to one document stay FIFO-ordered
-    /// relative to each other.
+    /// Issues a semantic question without waiting for the answer.
+    ///
+    /// When the document has a published snapshot carrying a semantic
+    /// view, the query is answered immediately on the calling thread
+    /// against that version: the answer reflects every apply whose report
+    /// was already delivered (publish happens before apply replies), but
+    /// not edits still in flight — snapshot isolation, not FIFO ordering.
+    /// Otherwise (open still in flight, poisoned, closed, or a semantic
+    /// pass without snapshot support) the query falls back to the
+    /// document's mailbox and is answered on its owner shard in FIFO
+    /// order with the exact per-state errors.
     ///
     /// # Errors
     ///
@@ -669,9 +749,31 @@ impl Workspace {
         let Some(slot) = self.slot_of(doc) else {
             return Err(WorkspaceError::UnknownDoc(doc));
         };
+        if let Some(snap) = slot.read_snapshot() {
+            if snap.has_semantics() {
+                let t0 = Instant::now();
+                let answer = answer_from_snapshot(&snap, &query);
+                self.shared.query_latency.record(t0.elapsed());
+                self.shared.queries.fetch_add(1, Ordering::Relaxed);
+                self.shared.snapshot_reads.fetch_add(1, Ordering::Relaxed);
+                let lag = slot
+                    .latest_seq
+                    .load(Ordering::Relaxed)
+                    .saturating_sub(slot.snap_seq.load(Ordering::Relaxed));
+                self.shared.snapshot_lag.fetch_max(lag, Ordering::Relaxed);
+                return Ok(PendingQuery {
+                    inner: PendingQueryInner::Ready(Ok(answer)),
+                });
+            }
+            // A snapshot without a semantic view: let the mailbox path
+            // produce its NoSemantics answer (and stay future-proof for
+            // passes that answer live but publish no view).
+        }
         let (reply, rx) = oneshot();
         self.submit(&slot, Cmd::Query { query, reply })?;
-        Ok(PendingQuery { rx })
+        Ok(PendingQuery {
+            inner: PendingQueryInner::Mailbox(rx),
+        })
     }
 
     /// Applies a batch of edits addressed to documents: each document's
@@ -711,7 +813,12 @@ impl Workspace {
     ) -> Result<PendingApply, WorkspaceError> {
         let (reply, rx) = oneshot();
         match self.slot_of(doc) {
-            Some(slot) => self.submit(&slot, Cmd::Apply { edits, reply })?,
+            Some(slot) => {
+                self.submit(&slot, Cmd::Apply { edits, reply })?;
+                // Accepted: advance the write watermark the snapshot-lag
+                // gauge measures against.
+                slot.latest_seq.fetch_add(1, Ordering::Relaxed);
+            }
             None => reply.send(Err(WorkspaceError::UnknownDoc(doc))),
         }
         Ok(PendingApply { doc, rx })
@@ -779,6 +886,14 @@ impl Workspace {
             .iter()
             .map(|d| d.load(Ordering::Relaxed) as usize)
             .collect();
+        let pinned_versions: usize = self
+            .shared
+            .docs
+            .lock()
+            .expect("docs lock")
+            .values()
+            .map(|s| s.pinned.load(Ordering::Relaxed) as usize)
+            .sum();
         WorkspaceMetrics {
             docs_open: self.shared.docs_open.load(Ordering::Relaxed) as usize,
             edits_applied: edits,
@@ -801,6 +916,9 @@ impl Workspace {
             query_p50: self.shared.query_latency.percentile(0.50),
             query_p95: self.shared.query_latency.percentile(0.95),
             query_p99: self.shared.query_latency.percentile(0.99),
+            snapshot_reads: self.shared.snapshot_reads.load(Ordering::Relaxed),
+            snapshot_lag: self.shared.snapshot_lag.load(Ordering::Relaxed),
+            pinned_versions,
         }
     }
 
@@ -868,6 +986,11 @@ fn process_slot(
 /// Marks the document dead: the session is dropped and the flag lives in
 /// the slot, so the poison follows the document across migrations.
 fn poison(shared: &Shared, slot: &DocSlot) {
+    // Retract the published snapshot first so new readers fall back to the
+    // mailbox and observe Poisoned (readers already holding the Arc keep
+    // their immutable version — that is snapshot isolation, not a leak).
+    slot.publish_snapshot(None);
+    slot.pinned.store(0, Ordering::Relaxed);
     let mut st = slot.state.lock().expect("doc state lock");
     if st.session.take().is_some() {
         shared.docs_open.fetch_sub(1, Ordering::Relaxed);
@@ -978,6 +1101,18 @@ fn exec_apply_run(
                     .fetch_add(fed_refused as u64, Ordering::Relaxed);
             }
             let latency = t0.elapsed();
+            // Publish the new version for snapshot readers *before* any
+            // apply reply goes out: a caller that waited for its apply
+            // always reads its own writes from the snapshot path.
+            let snap = session.publish();
+            slot.snap_seq
+                .store(base_seq + applies.len() as u64, Ordering::Relaxed);
+            slot.publish_snapshot(Some(snap));
+            // Sample the pin gauge after the swap so the outgoing
+            // snapshot's pin (released by the swap unless a reader still
+            // holds a clone) is not counted.
+            slot.pinned
+                .store(session.arena().live_pins() as u64, Ordering::Relaxed);
             {
                 let mut st = slot.state.lock().expect("doc state lock");
                 st.seq = base_seq + applies.len() as u64;
@@ -1014,6 +1149,19 @@ fn exec_apply_run(
     }
 }
 
+/// Evaluates one [`SemQuery`] against a published snapshot (caller-thread
+/// read path; mirrors the owner-shard evaluation in [`exec_single`]).
+fn answer_from_snapshot(snap: &Snapshot, query: &SemQuery) -> SemAnswer {
+    match query {
+        SemQuery::ResolveAt(offset) => SemAnswer::Resolution(snap.info_at(*offset)),
+        SemQuery::UsesOf(name) => SemAnswer::Uses(snap.uses_of(name)),
+        SemQuery::AmbiguityAt(offset) => match snap.info_at(*offset) {
+            Some(info) => SemAnswer::Ambiguity(info.ambiguous, info.resolved),
+            None => SemAnswer::Ambiguity(false, false),
+        },
+    }
+}
+
 /// Executes one non-apply command against the document slot.
 fn exec_single(shared: &Shared, slot: &DocSlot, cmd: Cmd) {
     match cmd {
@@ -1032,7 +1180,11 @@ fn exec_single(shared: &Shared, slot: &DocSlot, cmd: Cmd) {
                 Ok(session)
             }));
             match opened {
-                Ok(Ok(session)) => {
+                Ok(Ok(mut session)) => {
+                    let snap = session.publish();
+                    slot.publish_snapshot(Some(snap));
+                    slot.pinned
+                        .store(session.arena().live_pins() as u64, Ordering::Relaxed);
                     slot.state.lock().expect("doc state lock").session = Some(session);
                     shared.docs_open.fetch_add(1, Ordering::Relaxed);
                     reply.send(Ok(()));
@@ -1082,6 +1234,8 @@ fn exec_single(shared: &Shared, slot: &DocSlot, cmd: Cmd) {
             reply.send(Ok(answer));
         }
         Cmd::Close { reply } => {
+            slot.publish_snapshot(None);
+            slot.pinned.store(0, Ordering::Relaxed);
             let existed = {
                 let mut st = slot.state.lock().expect("doc state lock");
                 st.poisoned = false; // closing clears the tombstone

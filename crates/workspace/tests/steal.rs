@@ -13,9 +13,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::HashMap;
 use wg_langs::simp_c;
-use wg_workspace::{
-    DocId, EditReq, PendingApply, PendingQuery, SemAnswer, SemQuery, Workspace, WorkspaceError,
-};
+use wg_workspace::{DocId, EditReq, PendingApply, SemAnswer, SemQuery, Workspace, WorkspaceError};
 
 /// A per-document model of `int {name}; ` declaration lists — every edit
 /// the test submits is mirrored here, and the workspace text must agree
@@ -97,7 +95,7 @@ fn model_random_steals_edits_queries_fifo_survives_migration() {
     let mut poisoned = false;
     for round in 0..ROUNDS {
         let mut applies: Vec<PendingApply> = Vec::new();
-        let mut queries: Vec<(PendingQuery, String)> = Vec::new();
+        let mut queries: Vec<(DocId, usize, String)> = Vec::new();
         // Flood the hot documents (wherever they live by now) while the
         // other three shards' own queues stay nearly empty — progress on
         // this workload *requires* stealing.
@@ -135,7 +133,7 @@ fn model_random_steals_edits_queries_fifo_survives_migration() {
             applies.push(ws.apply_async(doc, edits).unwrap());
             if round % 3 == 0 {
                 let (off, name) = models[i].some_name_offset(&mut rng);
-                queries.push((ws.query_async(doc, SemQuery::ResolveAt(off)).unwrap(), name));
+                queries.push((doc, off, name));
             }
         }
         // A trickle on the cold documents keeps all 64 live.
@@ -158,10 +156,15 @@ fn model_random_steals_edits_queries_fifo_survives_migration() {
             );
             assert!(outcome.incorporated, "{}: edit refused", report.doc);
         }
-        for (p, name) in queries {
-            // The query was submitted after the same round's edits, so
-            // FIFO means it observes the post-edit document.
-            match p.wait().expect("query reply must be delivered") {
+        for (doc, off, name) in queries {
+            // The round's applies were acknowledged above and every apply
+            // reply is preceded by a snapshot publish, so the
+            // snapshot-served query must observe the post-edit document
+            // (read-your-writes for acknowledged writes).
+            match ws
+                .query(doc, SemQuery::ResolveAt(off))
+                .expect("query reply must be delivered")
+            {
                 SemAnswer::Resolution(Some(info)) => assert_eq!(
                     info.name, name,
                     "round {round}: query observed a stale document"
