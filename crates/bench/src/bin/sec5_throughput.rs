@@ -372,6 +372,15 @@ fn main() {
         println!(
             "note: fewer than 4 cores — speedups reflect pipelining overlap, not parallel reparse"
         );
+        println!(
+            "SKIPPED: multi-core rebaseline — this run has {cores} core(s) (< 4), so the \
+             regenerated BENCH_throughput.json is still a low-core capture"
+        );
+    } else {
+        println!(
+            "multi-core rebaseline: {cores} cores — the regenerated BENCH_throughput.json is a \
+             multi-core capture; commit it to retire any low-core baseline"
+        );
     }
 
     write_json(

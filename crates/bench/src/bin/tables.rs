@@ -11,14 +11,34 @@
 //! naive cell-of-Vecs build, written to `BENCH_tables.json` for CI to
 //! archive.
 //!
+//! And the **incremental table update**: for `simp_c` and the full-scale
+//! C grammar, the median cost of deriving the new LALR automaton from a
+//! single-production [`wg_grammar::GrammarDelta`] via [`LrTable::update`]
+//! (reachability-seeded replay + structural state/row reuse) against a
+//! from-scratch rebuild, plus the fraction of states reused. The
+//! full-scale row carries hard floors: ≥ 80% of states reused and ≥ 5×
+//! faster than the rebuild.
+//!
 //! Run: `cargo run --release -p wg-bench --bin tables`
+//!
+//! `--check-against <baseline.json>` turns the run into a regression
+//! gate: the fresh incremental-update medians are compared against the
+//! committed `BENCH_tables.json` and the process exits nonzero when one
+//! slowed by more than `--tolerance <fraction>` (default 0.25).
 
+use std::time::Instant;
+use wg_bench::json::Json;
 use wg_bench::{fmt_dur, print_table, time_once, tokenize};
 use wg_core::IglrParser;
 use wg_dag::DagArena;
+use wg_grammar::{Grammar, GrammarDelta, Symbol};
 use wg_langs::generate::{c_program, GenSpec};
 use wg_langs::{simp_c, simp_c_det, simp_cpp, simp_modula};
 use wg_lrtable::{lr1_metrics, LrTable, RefTable, TableKind};
+
+/// Baselines below this are timing noise on shared runners; reported but
+/// never gated (same floor as the other bench gates).
+const GATE_NOISE_FLOOR_NS: u64 = 2_000;
 
 /// One grammar's packed-vs-naive measurement for `BENCH_tables.json`.
 struct PackedRow {
@@ -55,8 +75,103 @@ fn packed_report(grammars: &[(&str, wg_grammar::Grammar)]) -> Vec<PackedRow> {
         .collect()
 }
 
-/// Hand-rolled JSON (the container has no serde): one row per grammar.
-fn write_tables_json(path: &str, rows: &[PackedRow]) {
+/// One grammar's incremental-update measurement for `BENCH_tables.json`.
+struct IncrRow {
+    name: String,
+    /// States in the post-delta automaton (median candidate).
+    states: usize,
+    /// States reused from the retained automaton (median candidate).
+    states_reused: usize,
+    /// Packed ACTION rows transformed instead of rebuilt.
+    rows_reused: usize,
+    /// Median ns of one [`LrTable::update`] over the candidate deltas,
+    /// re-timed on the median candidate.
+    update_ns: u64,
+    /// Median ns of a from-scratch LALR build of the same post-delta
+    /// grammar.
+    rebuild_ns: u64,
+    /// Single-production candidate deltas measured.
+    candidates: usize,
+}
+
+fn median_ns(mut v: Vec<u64>) -> u64 {
+    v.sort_unstable();
+    v[v.len() / 2]
+}
+
+/// Measures incremental table update for one grammar: a sweep of
+/// single-production deltas (`X -> t` for a spread of non-start
+/// nonterminals `X`), the median candidate re-timed against a
+/// from-scratch rebuild of the same post-delta grammar.
+fn incr_update_report(name: &str, g: &Grammar) -> IncrRow {
+    let table = LrTable::build(g, TableKind::Lalr);
+    let t0 = g.terminals().next().expect("grammar has terminals");
+    let start = g.start();
+    let nts: Vec<_> = g.nonterminals().filter(|&n| n != start).collect();
+    let step = (nts.len() / 32).max(1);
+
+    // One timed update per candidate; the median is robust against the
+    // occasional scheduler hiccup even from single runs.
+    let mut runs: Vec<(u64, Grammar, wg_grammar::DeltaMap)> = Vec::new();
+    for &x in nts.iter().step_by(step).take(32) {
+        let mut d = GrammarDelta::new(g);
+        d.add_production(x, vec![Symbol::T(t0)]);
+        let Ok((ng, map)) = g.apply_delta(&d) else {
+            continue;
+        };
+        let t = Instant::now();
+        let Ok((_, stats)) = table.update(g, &ng, &map) else {
+            continue;
+        };
+        let ns = t.elapsed().as_nanos() as u64;
+        if stats.full_rebuild {
+            continue; // touches the start production; not the shape measured
+        }
+        runs.push((ns, ng, map));
+    }
+    assert!(
+        !runs.is_empty(),
+        "{name}: no single-production delta applied"
+    );
+    runs.sort_by_key(|r| r.0);
+    let candidates = runs.len();
+    let (_, ng, map) = &runs[candidates / 2];
+
+    // Re-time the median candidate for the recorded (and gated) numbers.
+    let mut samples = Vec::new();
+    let mut stats = None;
+    for _ in 0..9 {
+        let t = Instant::now();
+        let (_, s) = table.update(g, ng, map).expect("update succeeds");
+        samples.push(t.elapsed().as_nanos() as u64);
+        stats = Some(s);
+    }
+    let stats = stats.expect("timed at least one update");
+    let update_ns = median_ns(samples);
+    let rebuild_ns = median_ns(
+        (0..5)
+            .map(|_| {
+                let t = Instant::now();
+                let rebuilt = LrTable::build(ng, TableKind::Lalr);
+                assert!(rebuilt.num_states() > 0);
+                t.elapsed().as_nanos() as u64
+            })
+            .collect(),
+    );
+    IncrRow {
+        name: name.to_string(),
+        states: stats.states,
+        states_reused: stats.states_reused,
+        rows_reused: stats.rows_reused,
+        update_ns,
+        rebuild_ns,
+        candidates,
+    }
+}
+
+/// Hand-rolled JSON (the container has no serde): one row per grammar,
+/// plus the incremental-update medians.
+fn write_tables_json(path: &str, rows: &[PackedRow], incr: &[IncrRow]) {
     let mut j = String::new();
     j.push_str("{\n  \"bench\": \"tables\",\n  \"grammars\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -74,6 +189,20 @@ fn write_tables_json(path: &str, rows: &[PackedRow]) {
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
+    j.push_str("  ],\n  \"incremental\": [\n");
+    for (i, r) in incr.iter().enumerate() {
+        j.push_str(&format!(
+            "    {{\"name\": \"{}\", \"states\": {}, \"states_reused\": {}, \"rows_reused\": {}, \"update_ns\": {}, \"rebuild_ns\": {}, \"candidates\": {}}}{}\n",
+            r.name,
+            r.states,
+            r.states_reused,
+            r.rows_reused,
+            r.update_ns,
+            r.rebuild_ns,
+            r.candidates,
+            if i + 1 < incr.len() { "," } else { "" }
+        ));
+    }
     j.push_str("  ]\n}\n");
     match std::fs::write(path, &j) {
         Ok(()) => println!("\nwrote {path}"),
@@ -81,7 +210,90 @@ fn write_tables_json(path: &str, rows: &[PackedRow]) {
     }
 }
 
+/// Compares fresh incremental-update medians against the committed
+/// `BENCH_tables.json`; returns `false` when a gated row slowed past the
+/// tolerance. Sub-noise-floor baselines are reported but never gated.
+fn regression_gate(path: &str, baseline: &str, fresh: &[IncrRow], tolerance: f64) -> bool {
+    let doc = match Json::parse(baseline) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("regression gate: {path} is not valid JSON: {e}");
+            return false;
+        }
+    };
+    let Some(rows) = doc.get("incremental").and_then(Json::as_arr) else {
+        eprintln!("regression gate: {path} has no \"incremental\" array — stale baseline");
+        return false;
+    };
+    println!(
+        "\nregression gate vs {path} (tolerance +{:.0}%):",
+        tolerance * 100.0
+    );
+    let mut ok = true;
+    for r in fresh {
+        let Some(base) = rows
+            .iter()
+            .find(|b| b.get("name").and_then(Json::as_str) == Some(&r.name))
+        else {
+            println!("  {}: no baseline row — skipped", r.name);
+            continue;
+        };
+        let Some(base_ns) = base.get("update_ns").and_then(Json::as_u64) else {
+            println!("  {}: baseline has no update_ns — skipped", r.name);
+            continue;
+        };
+        let delta = (r.update_ns as f64 / (base_ns as f64).max(1.0) - 1.0) * 100.0;
+        if base_ns < GATE_NOISE_FLOOR_NS {
+            println!(
+                "  {} update: {base_ns}ns -> {}ns ({delta:+.0}%) [sub-{}µs baseline, not gated]",
+                r.name,
+                r.update_ns,
+                GATE_NOISE_FLOOR_NS / 1_000,
+            );
+            continue;
+        }
+        if delta > tolerance * 100.0 {
+            eprintln!(
+                "  {} update: {base_ns}ns -> {}ns ({delta:+.0}%) REGRESSION",
+                r.name, r.update_ns
+            );
+            ok = false;
+        } else {
+            println!(
+                "  {} update: {base_ns}ns -> {}ns ({delta:+.0}%) ok",
+                r.name, r.update_ns
+            );
+        }
+    }
+    ok
+}
+
 fn main() {
+    let mut check_against: Option<String> = None;
+    let mut tolerance = 0.25f64;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--check-against" => {
+                check_against = Some(it.next().expect("--check-against needs a path"));
+            }
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--tolerance needs a fraction, e.g. 0.25");
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    // Read the baseline up front: the gate may point at the very file this
+    // run overwrites at the end.
+    let baseline = check_against.map(|path| {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        (path, text)
+    });
+
     let grammars: Vec<(&str, wg_grammar::Grammar)> = vec![
         ("simp_c", simp_c().grammar().clone()),
         ("simp_cpp", simp_cpp().grammar().clone()),
@@ -197,5 +409,75 @@ fn main() {
         ],
         &rows,
     );
-    write_tables_json("BENCH_tables.json", &packed);
+    // Incremental table update vs from-scratch rebuild.
+    let incr: Vec<IncrRow> = [
+        ("simp_c", simp_c().grammar().clone()),
+        ("full_c", wg_langs::full_c().grammar().clone()),
+    ]
+    .iter()
+    .map(|(name, g)| incr_update_report(name, g))
+    .collect();
+    let rows: Vec<Vec<String>> = incr
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                format!("{}", r.candidates),
+                fmt_dur(std::time::Duration::from_nanos(r.update_ns)),
+                fmt_dur(std::time::Duration::from_nanos(r.rebuild_ns)),
+                format!("{:.1}x", r.rebuild_ns as f64 / r.update_ns.max(1) as f64),
+                format!(
+                    "{}/{} ({:.0}%)",
+                    r.states_reused,
+                    r.states,
+                    100.0 * r.states_reused as f64 / r.states.max(1) as f64
+                ),
+                format!("{}", r.rows_reused),
+            ]
+        })
+        .collect();
+    print_table(
+        "Incremental LALR update (median single-production delta) vs rebuild",
+        &[
+            "grammar",
+            "deltas",
+            "update",
+            "rebuild",
+            "speedup",
+            "states reused",
+            "rows reused",
+        ],
+        &rows,
+    );
+
+    // Hard floors for the full-scale grammar: the incremental updater must
+    // actually be incremental where it matters.
+    let mut floors_ok = true;
+    if let Some(r) = incr.iter().find(|r| r.name == "full_c") {
+        let reuse = r.states_reused as f64 / r.states.max(1) as f64;
+        let speedup = r.rebuild_ns as f64 / r.update_ns.max(1) as f64;
+        if reuse < 0.80 {
+            eprintln!(
+                "FAIL: full_c single-production delta reused {:.0}% of states (floor 80%)",
+                reuse * 100.0
+            );
+            floors_ok = false;
+        }
+        if speedup < 5.0 {
+            eprintln!(
+                "FAIL: full_c incremental update only {speedup:.1}x faster than rebuild (floor 5x)"
+            );
+            floors_ok = false;
+        }
+    }
+
+    let gate_ok = match &baseline {
+        Some((path, text)) => regression_gate(path, text, &incr, tolerance),
+        None => true,
+    };
+
+    write_tables_json("BENCH_tables.json", &packed, &incr);
+    if !floors_ok || !gate_ok {
+        std::process::exit(1);
+    }
 }

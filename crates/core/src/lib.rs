@@ -69,8 +69,11 @@ mod tape;
 
 pub use metrics::{ReparseReport, SessionMetrics};
 pub use parser::{IglrError, IglrParser, IglrRunStats};
-pub use registry::LanguageRegistry;
+pub use registry::{GrammarUpdate, LangSlot, LanguageRegistry, UpdateError};
 pub use semantics::{SemInfo, SemNameKind, SemReadView, SemUpdate, SemanticPass};
 pub use session::{ReparseOutcome, Session, SessionConfig, SessionError};
 pub use snapshot::Snapshot;
 pub use tape::{TapeSnapshot, TokenTape};
+// Re-exported so registry-facing callers (the workspace service) can name
+// the incremental-update statistics without a wg-lrtable dependency.
+pub use wg_lrtable::IncrStats;

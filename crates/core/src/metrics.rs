@@ -64,6 +64,9 @@ pub struct ReparseReport {
     pub sem_flips: u64,
     /// Whether the semantic pass fell back to a from-scratch rebuild.
     pub sem_full_rebuild: bool,
+    /// Whether this cycle adopted a new table epoch from the registry (a
+    /// grammar hot-swap: full-damage reparse of the retained token tape).
+    pub grammar_swapped: bool,
 }
 
 /// Cumulative pipeline metrics of one session.
@@ -112,6 +115,8 @@ pub struct SessionMetrics {
     pub sem_flips: u64,
     /// From-scratch semantic rebuilds (the incrementality escape hatch).
     pub sem_full_rebuilds: u64,
+    /// Grammar hot-swaps adopted (table epoch changes).
+    pub grammar_swaps: u64,
 }
 
 impl SessionMetrics {
@@ -137,6 +142,7 @@ impl SessionMetrics {
         self.sem_contours_reused += r.sem_contours_reused;
         self.sem_flips += r.sem_flips;
         self.sem_full_rebuilds += u64::from(r.sem_full_rebuild);
+        self.grammar_swaps += u64::from(r.grammar_swapped);
     }
 }
 

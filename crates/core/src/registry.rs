@@ -1,5 +1,5 @@
 //! Caching registry of compiled language artifacts — shared *across
-//! threads*.
+//! threads* — with **versioned grammar hot-swap**.
 //!
 //! Building a conflict-preserving LALR(1) table is by far the most
 //! expensive step of opening a document, and an environment like the
@@ -8,6 +8,24 @@
 //! lexer — behind [`std::sync::Arc`], keyed by the stable fingerprints of
 //! the grammar and lexer definitions, so N sessions of one language pay
 //! for exactly one table construction and share every artifact.
+//!
+//! Each cached language lives in a [`LangSlot`]: the currently installed
+//! `(grammar, table)` pair under a monotonically increasing **table
+//! epoch**. [`LanguageRegistry::update_grammar`] applies a recorded
+//! [`GrammarDelta`] to the slot's grammar, derives the new table
+//! *incrementally* from the old one (`wg_lrtable::incr` — reusing every
+//! LR state the delta cannot reach), and installs the result under a
+//! bumped epoch. Live [`crate::Session`]s notice the epoch change on
+//! their next reparse (one atomic load) and adopt the new table then;
+//! nothing blocks. The updated grammar's fingerprint is pre-seeded to
+//! alias the same slot, so a *first open* of the post-delta definition
+//! never rebuilds what the update already produced — one table
+//! construction (or incremental derivation) per epoch, process-wide.
+//!
+//! Superseded tables are parked and swept on every update: once no live
+//! session references a replaced table (its [`Arc`] strong count falls to
+//! the registry's own), it is dropped, so a long-running workspace does
+//! not accumulate one dead table per grammar edit.
 //!
 //! The registry is `Send + Sync` and designed for a concurrent workspace
 //! front end (`wg-workspace`): the hit path takes a short *read* lock on
@@ -18,30 +36,126 @@
 
 use crate::session::{SessionConfig, SessionError};
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock, RwLock};
-use wg_grammar::Grammar;
-use wg_lexer::LexerDef;
-use wg_lrtable::{LrTable, TableKind};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use wg_grammar::{Grammar, GrammarDelta, GrammarError};
+use wg_lexer::{Lexer, LexerDef};
+use wg_lrtable::{IncrStats, LrTable, TableBuildError, TableKind};
 
-/// Once-initialized shared grammar + table for one grammar fingerprint.
-type TableCell = Arc<OnceLock<(Arc<Grammar>, Arc<LrTable>)>>;
-/// Once-initialized configuration for one (grammar, lexer) fingerprint.
-type ConfigCell = Arc<OnceLock<SessionConfig>>;
+/// One installed version of a language's parse artifacts.
+#[derive(Debug)]
+struct TableVersion {
+    epoch: u64,
+    grammar: Arc<Grammar>,
+    table: Arc<LrTable>,
+}
 
-/// A process-wide, thread-safe cache of per-language [`SessionConfig`]s.
+/// The versioned home of one cached language: the currently installed
+/// `(grammar, table)` pair plus the table epoch sessions check against.
+///
+/// Sessions hold an `Arc<LangSlot>` inside their configuration; probing
+/// for staleness is a single atomic load of [`LangSlot::epoch`], and only
+/// a disagreeing session takes the read lock to fetch the new version.
+#[derive(Debug)]
+pub struct LangSlot {
+    /// Monotonic table epoch, bumped by every installed grammar update.
+    epoch: AtomicU64,
+    current: RwLock<TableVersion>,
+}
+
+impl LangSlot {
+    fn initial(grammar: Arc<Grammar>, table: Arc<LrTable>) -> LangSlot {
+        LangSlot {
+            epoch: AtomicU64::new(0),
+            current: RwLock::new(TableVersion {
+                epoch: 0,
+                grammar,
+                table,
+            }),
+        }
+    }
+
+    /// The currently installed table epoch (0 at first build).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// The currently installed `(grammar, table, epoch)` triple.
+    pub fn current(&self) -> (Arc<Grammar>, Arc<LrTable>, u64) {
+        let v = self.current.read().expect("slot lock");
+        (Arc::clone(&v.grammar), Arc::clone(&v.table), v.epoch)
+    }
+}
+
+/// Once-initialized versioned slot for one grammar fingerprint. Updated
+/// fingerprints alias the slot of the grammar they were derived from.
+type TableCell = Arc<OnceLock<Arc<LangSlot>>>;
+/// Once-initialized compiled lexer + language slot for one
+/// (grammar, lexer) fingerprint pair. The assembled [`SessionConfig`] is
+/// *not* cached here: it is composed from the slot's current version on
+/// every hit, so cache entries never pin superseded tables.
+type ConfigCell = Arc<OnceLock<(Arc<Lexer>, Arc<LangSlot>)>>;
+
+/// Why [`LanguageRegistry::update_grammar`] rejected a delta.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateError {
+    /// No cached language's *current* grammar matches the delta's base
+    /// fingerprint (never compiled, or already updated past it).
+    UnknownBase(u64),
+    /// The delta does not apply to the base grammar.
+    Grammar(GrammarError),
+    /// The updated grammar admits no parse table.
+    Table(TableBuildError),
+}
+
+impl fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpdateError::UnknownBase(fp) => {
+                write!(
+                    f,
+                    "no cached language has current grammar fingerprint {fp:#x}"
+                )
+            }
+            UpdateError::Grammar(e) => write!(f, "delta rejected: {e}"),
+            UpdateError::Table(e) => write!(f, "updated table failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+/// What one [`LanguageRegistry::update_grammar`] call installed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GrammarUpdate {
+    /// The table epoch now current in the language's slot.
+    pub epoch: u64,
+    /// Incremental table-update statistics (state/row reuse; the
+    /// `full_rebuild` flag records the from-scratch fallback).
+    pub stats: IncrStats,
+    /// Superseded tables still parked because a live session references
+    /// them (after this update's sweep).
+    pub retained_tables: usize,
+}
+
+/// A process-wide, thread-safe cache of per-language [`SessionConfig`]s
+/// with epoch-versioned grammar hot-swap (see the module docs).
 ///
 /// Cloning the returned configuration is a handful of reference-count
 /// bumps; identical definitions yield pointer-identical artifacts, from
 /// any thread.
 #[derive(Debug, Default)]
 pub struct LanguageRegistry {
-    /// Grammar fingerprint → shared grammar + its LALR table.
+    /// Grammar fingerprint → versioned language slot.
     tables: RwLock<HashMap<u64, TableCell>>,
-    /// (grammar fp, lexer fp) → fully assembled configuration.
+    /// (grammar fp, lexer fp) → compiled lexer + slot.
     configs: RwLock<HashMap<(u64, u64), ConfigCell>>,
+    /// Tables replaced by an update, parked until no session holds them.
+    superseded: Mutex<Vec<Arc<LrTable>>>,
     table_builds: AtomicU64,
     lexer_builds: AtomicU64,
+    grammar_updates: AtomicU64,
 }
 
 impl LanguageRegistry {
@@ -51,7 +165,11 @@ impl LanguageRegistry {
     }
 
     /// Returns the configuration for `grammar` + `lexdef`, compiling the
-    /// table and lexer only if no equal definition was seen before.
+    /// table and lexer only if no equal definition was seen before. The
+    /// configuration reflects the language's *current* epoch: if the
+    /// grammar was hot-swapped since first compiled, the updated grammar
+    /// and table are handed out (the cache key names the language, and
+    /// the language has evolved).
     ///
     /// Safe to call from any number of threads: a cache hit is a read
     /// lock + clone; concurrent misses on the same key are deduplicated
@@ -68,25 +186,112 @@ impl LanguageRegistry {
     ) -> Result<SessionConfig, SessionError> {
         let key = (grammar.fingerprint(), lexdef.fingerprint());
         let cell = Self::cell(&self.configs, key);
-        let cfg = cell.get_or_init(|| {
-            let (g, table) = self.table_for(key.0, grammar);
+        let (lexer, slot) = cell.get_or_init(|| {
+            let slot = self.slot_for(key.0, grammar);
             self.lexer_builds.fetch_add(1, Ordering::Relaxed);
-            let lexer = Arc::new(lexdef.compile());
-            SessionConfig::from_parts(g, table, lexer)
+            (Arc::new(lexdef.compile()), slot)
         });
-        Ok(cfg.clone())
+        let (g, table, epoch) = slot.current();
+        Ok(SessionConfig::from_parts(g, table, Arc::clone(lexer))
+            .with_slot(Arc::clone(slot), epoch))
     }
 
-    /// The shared (grammar, table) pair for a grammar fingerprint,
-    /// building the table exactly once per fingerprint process-wide.
-    fn table_for(&self, fp: u64, grammar: Grammar) -> (Arc<Grammar>, Arc<LrTable>) {
+    /// Applies `delta` to the cached language whose **current** grammar is
+    /// the delta's base, derives the new table incrementally from the old
+    /// one, and installs both under a bumped table epoch. Live sessions
+    /// adopt the new table lazily at their next reparse; the updated
+    /// grammar's fingerprint is pre-seeded to alias the same slot so
+    /// future first-opens reuse this construction. Finally the replaced
+    /// table is parked and the park list swept, dropping every superseded
+    /// table no live session references any more.
+    ///
+    /// Concurrent updates against the *same* base race benignly: the
+    /// loser's delta no longer matches the slot's current grammar and
+    /// reports [`UpdateError::UnknownBase`]. Serialize per language for
+    /// deterministic epochs.
+    ///
+    /// # Errors
+    ///
+    /// [`UpdateError`] when the base is unknown, the delta is invalid, or
+    /// the updated grammar admits no table.
+    pub fn update_grammar(&self, delta: &GrammarDelta) -> Result<GrammarUpdate, UpdateError> {
+        let base_fp = delta.base_fingerprint();
+        let slot = self
+            .find_slot(base_fp)
+            .ok_or(UpdateError::UnknownBase(base_fp))?;
+        let (old_g, old_table, _) = slot.current();
+        if old_g.fingerprint() != base_fp {
+            // The slot moved past the delta's base between lookup and read.
+            return Err(UpdateError::UnknownBase(base_fp));
+        }
+        let (new_g, map) = old_g.apply_delta(delta).map_err(UpdateError::Grammar)?;
+        let (new_table, stats) = old_table
+            .update(&old_g, &new_g, &map)
+            .map_err(UpdateError::Table)?;
+        self.grammar_updates.fetch_add(1, Ordering::Relaxed);
+        let new_fp = new_g.fingerprint();
+        let (new_g, new_table) = (Arc::new(new_g), Arc::new(new_table));
+        // Alias the updated fingerprint to this slot *before* publishing
+        // the version, so a first open of the post-delta definition finds
+        // the slot rather than racing a from-scratch build of its own.
+        {
+            let mut w = self.tables.write().expect("registry lock");
+            let cell = w.entry(new_fp).or_default();
+            let _ = cell.set(Arc::clone(&slot));
+        }
+        let (epoch, replaced) = {
+            let mut cur = slot.current.write().expect("slot lock");
+            let next = TableVersion {
+                epoch: cur.epoch + 1,
+                grammar: new_g,
+                table: new_table,
+            };
+            let epoch = next.epoch;
+            slot.epoch.store(epoch, Ordering::Release);
+            (epoch, std::mem::replace(&mut *cur, next))
+        };
+        let retained_tables = {
+            let mut parked = self.superseded.lock().expect("registry lock");
+            parked.push(replaced.table);
+            parked.retain(|t| Arc::strong_count(t) > 1);
+            parked.len()
+        };
+        Ok(GrammarUpdate {
+            epoch,
+            stats,
+            retained_tables,
+        })
+    }
+
+    /// The versioned slot whose grammar (current or superseded-base) has
+    /// fingerprint `fp`. Lets callers that just installed an update
+    /// recover the slot's identity for epoch comparisons.
+    pub fn slot_by_fingerprint(&self, fp: u64) -> Option<Arc<LangSlot>> {
+        self.find_slot(fp)
+    }
+
+    /// The slot whose *current* grammar has fingerprint `fp` — either the
+    /// slot keyed directly on `fp` or one it was aliased onto by updates.
+    fn find_slot(&self, fp: u64) -> Option<Arc<LangSlot>> {
+        let r = self.tables.read().expect("registry lock");
+        if let Some(slot) = r.get(&fp).and_then(|c| c.get()) {
+            return Some(Arc::clone(slot));
+        }
+        r.values()
+            .filter_map(|c| c.get())
+            .find(|s| s.current.read().expect("slot lock").grammar.fingerprint() == fp)
+            .map(Arc::clone)
+    }
+
+    /// The versioned slot for a grammar fingerprint, building the table
+    /// exactly once per fingerprint process-wide.
+    fn slot_for(&self, fp: u64, grammar: Grammar) -> Arc<LangSlot> {
         let cell = Self::cell(&self.tables, fp);
-        cell.get_or_init(|| {
+        Arc::clone(cell.get_or_init(|| {
             self.table_builds.fetch_add(1, Ordering::Relaxed);
             let table = Arc::new(LrTable::build(&grammar, TableKind::Lalr));
-            (Arc::new(grammar), table)
-        })
-        .clone()
+            Arc::new(LangSlot::initial(Arc::new(grammar), table))
+        }))
     }
 
     /// The once-cell for `key`, created under a write lock on a miss; the
@@ -103,7 +308,8 @@ impl LanguageRegistry {
         Arc::clone(w.entry(key).or_default())
     }
 
-    /// LALR tables actually constructed (cache misses on the grammar key).
+    /// LALR tables actually constructed from scratch (cache misses on the
+    /// grammar key; incremental updates are counted separately).
     pub fn table_builds(&self) -> u64 {
         self.table_builds.load(Ordering::Relaxed)
     }
@@ -111,6 +317,20 @@ impl LanguageRegistry {
     /// Lexers actually compiled (cache misses on the full key).
     pub fn lexer_builds(&self) -> u64 {
         self.lexer_builds.load(Ordering::Relaxed)
+    }
+
+    /// Grammar updates installed by [`LanguageRegistry::update_grammar`].
+    pub fn grammar_updates(&self) -> u64 {
+        self.grammar_updates.load(Ordering::Relaxed)
+    }
+
+    /// Superseded tables still parked because a live session references
+    /// them. Sweeps before counting, so dropping the last session of an
+    /// old epoch is observable here without waiting for the next update.
+    pub fn superseded_tables(&self) -> usize {
+        let mut parked = self.superseded.lock().expect("registry lock");
+        parked.retain(|t| Arc::strong_count(t) > 1);
+        parked.len()
     }
 
     /// Distinct configurations cached (counting fully built ones only).
@@ -154,6 +374,15 @@ mod tests {
         lx.literal(";", ";");
         lx.skip("ws", "[ \\t\\n]+").unwrap();
         lx
+    }
+
+    /// A delta making empty statements legal: stmt -> ;
+    fn semi_only_delta(g: &Grammar) -> GrammarDelta {
+        let semi = g.terminal_by_name(";").unwrap();
+        let stmt = g.nonterminal_by_name("stmt").unwrap();
+        let mut d = GrammarDelta::new(g);
+        d.add_production(stmt, vec![Symbol::T(semi)]);
+        d
     }
 
     #[test]
@@ -275,6 +504,191 @@ mod tests {
         assert_eq!(reg.table_builds(), 2, "one build per distinct grammar");
         assert_eq!(reg.lexer_builds(), 2);
         assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn update_bumps_epoch_and_preseeds_new_fingerprint() {
+        let reg = LanguageRegistry::new();
+        let cfg0 = reg.get_or_compile(stmt_grammar(), stmt_lexdef()).unwrap();
+        assert_eq!(cfg0.table_epoch(), 0);
+        let up = reg
+            .update_grammar(&semi_only_delta(cfg0.grammar()))
+            .unwrap();
+        assert_eq!(up.epoch, 1);
+        assert!(
+            !up.stats.full_rebuild,
+            "a leaf production add updates incrementally"
+        );
+        assert!(up.stats.states_reused > 0);
+        assert_eq!(reg.grammar_updates(), 1);
+        assert_eq!(
+            reg.table_builds(),
+            1,
+            "no from-scratch build for the update"
+        );
+
+        // Re-opening under the *old* definition resolves to the current
+        // (updated) language version.
+        let cfg1 = reg.get_or_compile(stmt_grammar(), stmt_lexdef()).unwrap();
+        assert_eq!(cfg1.table_epoch(), 1);
+        assert!(!Arc::ptr_eq(cfg0.shared_table(), cfg1.shared_table()));
+
+        // Opening with the post-delta grammar built from scratch hits the
+        // pre-seeded fingerprint alias: still exactly one table build.
+        let (g2, _) = cfg0
+            .grammar()
+            .apply_delta(&semi_only_delta(cfg0.grammar()))
+            .unwrap();
+        let cfg2 = reg.get_or_compile(g2, stmt_lexdef()).unwrap();
+        assert_eq!(reg.table_builds(), 1, "pre-seeded alias spares the rebuild");
+        assert!(Arc::ptr_eq(cfg1.shared_table(), cfg2.shared_table()));
+        assert!(Arc::ptr_eq(cfg1.shared_grammar(), cfg2.shared_grammar()));
+
+        // A stale delta against the superseded base is rejected.
+        let stale = semi_only_delta(cfg0.grammar());
+        assert!(matches!(
+            reg.update_grammar(&stale),
+            Err(UpdateError::UnknownBase(_))
+        ));
+    }
+
+    #[test]
+    fn superseded_tables_freed_once_no_session_references_them() {
+        let reg = LanguageRegistry::new();
+        let cfg0 = reg.get_or_compile(stmt_grammar(), stmt_lexdef()).unwrap();
+        // Two sessions pin the epoch-0 table.
+        let s1 = Session::new(&cfg0, "a;").unwrap();
+        let s2 = Session::new(&cfg0, "b;").unwrap();
+        drop(cfg0);
+        let up = reg
+            .update_grammar(&semi_only_delta(&stmt_grammar()))
+            .unwrap();
+        assert_eq!(
+            up.retained_tables, 1,
+            "live sessions keep the replaced table parked"
+        );
+        assert_eq!(reg.superseded_tables(), 1);
+        drop(s1);
+        assert_eq!(reg.superseded_tables(), 1, "one session still holds it");
+        drop(s2);
+        assert_eq!(
+            reg.superseded_tables(),
+            0,
+            "last reference gone: the old table is freed"
+        );
+    }
+
+    #[test]
+    fn concurrent_first_open_after_update_builds_once_per_epoch() {
+        // An update installs epoch 1; eight threads then race the first
+        // open of the *post-delta* definition. All must resolve through
+        // the pre-seeded fingerprint alias: one from-scratch build ever
+        // (epoch 0) and one incremental update (epoch 1).
+        let reg = Arc::new(LanguageRegistry::new());
+        let cfg0 = reg.get_or_compile(stmt_grammar(), stmt_lexdef()).unwrap();
+        reg.update_grammar(&semi_only_delta(cfg0.grammar()))
+            .unwrap();
+        let (g2, _) = cfg0
+            .grammar()
+            .apply_delta(&semi_only_delta(cfg0.grammar()))
+            .unwrap();
+        let barrier = Arc::new(Barrier::new(8));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let reg = Arc::clone(&reg);
+            let barrier = Arc::clone(&barrier);
+            let g2 = g2.clone();
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                reg.get_or_compile(g2, stmt_lexdef()).unwrap()
+            }));
+        }
+        let configs: Vec<SessionConfig> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(reg.table_builds(), 1, "epoch 0 built once");
+        assert_eq!(reg.grammar_updates(), 1, "epoch 1 derived once");
+        for cfg in &configs {
+            assert_eq!(cfg.table_epoch(), 1);
+            assert!(Arc::ptr_eq(configs[0].shared_table(), cfg.shared_table()));
+        }
+    }
+
+    #[test]
+    fn live_session_adopts_the_new_table_at_next_reparse() {
+        let reg = LanguageRegistry::new();
+        let cfg = reg.get_or_compile(stmt_grammar(), stmt_lexdef()).unwrap();
+        let mut s = Session::new(&cfg, "a; b;").unwrap();
+        assert_eq!(s.table_epoch(), 0);
+        // ";" alone is not a statement yet.
+        s.insert(5, ";");
+        let out = s.reparse().unwrap();
+        assert!(
+            !out.incorporated,
+            "bare `;` is refused under the base grammar"
+        );
+        // Hot-swap: empty statements become legal.
+        reg.update_grammar(&semi_only_delta(cfg.grammar())).unwrap();
+        let out = s.reparse().unwrap();
+        assert!(
+            out.report.grammar_swapped,
+            "epoch change adopted this cycle"
+        );
+        assert!(
+            out.incorporated,
+            "the flagged edit parses under the new table"
+        );
+        assert_eq!(s.table_epoch(), 1);
+        assert_eq!(s.grammar_swaps(), 1);
+        assert_eq!(s.text(), "a; b;;");
+        // The adopted tree is byte- and structure-identical to a fresh
+        // session opened on the updated language.
+        let cfg1 = reg.get_or_compile(stmt_grammar(), stmt_lexdef()).unwrap();
+        let fresh = Session::new(&cfg1, &s.text()).unwrap();
+        assert_eq!(s.dump(), fresh.dump());
+        // No further swap on later cycles.
+        let out = s.reparse().unwrap();
+        assert!(!out.report.grammar_swapped);
+        assert_eq!(s.grammar_swaps(), 1);
+    }
+
+    #[test]
+    fn failed_adoption_keeps_the_old_tree_and_retries() {
+        // A delta that removes the only reading of the committed text: the
+        // session must refuse the swap (non-correcting recovery), keep
+        // serving the old epoch, and stay fully usable.
+        let reg = LanguageRegistry::new();
+        let cfg = reg.get_or_compile(stmt_grammar(), stmt_lexdef()).unwrap();
+        let mut s = Session::new(&cfg, "a;").unwrap();
+        let g = cfg.grammar();
+        let semi = g.terminal_by_name(";").unwrap();
+        let stmt = g.nonterminal_by_name("stmt").unwrap();
+        let id_semi = (0..g.num_productions())
+            .map(wg_grammar::ProdId::from_index)
+            .find(|&p| {
+                let pr = g.production(p);
+                pr.lhs() == stmt && pr.rhs().len() == 2
+            })
+            .unwrap();
+        let mut d = GrammarDelta::new(g);
+        d.remove_production(id_semi);
+        d.add_production(stmt, vec![Symbol::T(semi)]);
+        reg.update_grammar(&d).unwrap();
+        let out = s.reparse().unwrap();
+        assert!(
+            !out.report.grammar_swapped,
+            "`a;` has no parse under the new grammar"
+        );
+        assert_eq!(s.table_epoch(), 0);
+        assert_eq!(s.grammar_swaps(), 0);
+        // The session still serves edits under the old table.
+        s.insert(2, " b;");
+        let out = s.reparse().unwrap();
+        assert!(out.incorporated);
+        assert!(
+            !out.report.grammar_swapped,
+            "committed text is still old-only"
+        );
+        assert_eq!(s.text(), "a; b;");
+        assert_eq!(s.token_count(), 4);
     }
 
     #[test]

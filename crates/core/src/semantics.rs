@@ -71,6 +71,18 @@ pub trait SemanticPass: Send + fmt::Debug {
         gc_ran: bool,
     ) -> SemUpdate;
 
+    /// Discards every retained fact and re-analyzes the tree from scratch.
+    ///
+    /// The session calls this after a grammar hot-swap replaced the tree
+    /// wholesale: there is no old-tree damage to diff against, and facts
+    /// keyed on the previous grammar's reading must not survive. The
+    /// default delegates to a damage-free [`SemanticPass::update`] with
+    /// `gc_ran` set (pruning dead-node facts); passes with persistent
+    /// incremental state should override this to reset it outright.
+    fn rebuild(&mut self, arena: &DagArena, root: NodeId) -> SemUpdate {
+        self.update(arena, root, &[], true)
+    }
+
     /// Resolves the name at the end of a root→terminal `path` (as produced
     /// by [`crate::Session::node_path_at`]). `None` when the path holds no
     /// analyzed identifier.

@@ -4,6 +4,7 @@
 
 use crate::metrics::{ReparseReport, SessionMetrics};
 use crate::parser::{IglrError, IglrParser, IglrRunStats};
+use crate::registry::LangSlot;
 use crate::semantics::{SemInfo, SemanticPass};
 use crate::snapshot::Snapshot;
 use crate::tape::TokenTape;
@@ -74,6 +75,13 @@ pub struct SessionConfig {
     lexer: Arc<Lexer>,
     /// Lexer rule index → grammar terminal (None for skip rules).
     term_map: Arc<[Option<Terminal>]>,
+    /// The registry's versioned language slot, when the configuration came
+    /// from a [`crate::LanguageRegistry`]. Sessions probe it each reparse
+    /// to notice grammar hot-swaps; `None` for standalone configurations,
+    /// which are never updated.
+    slot: Option<Arc<LangSlot>>,
+    /// The slot epoch `table` was taken at (0 for standalone configs).
+    epoch: u64,
 }
 
 impl SessionConfig {
@@ -107,7 +115,33 @@ impl SessionConfig {
             table,
             lexer,
             term_map: term_map.into(),
+            slot: None,
+            epoch: 0,
         }
+    }
+
+    /// Binds the configuration to its registry slot at `epoch` (the
+    /// registry's hand-out path; standalone configurations have no slot).
+    pub(crate) fn with_slot(mut self, slot: Arc<LangSlot>, epoch: u64) -> SessionConfig {
+        self.slot = Some(slot);
+        self.epoch = epoch;
+        self
+    }
+
+    /// The table epoch this configuration's artifacts were taken at: 0 for
+    /// a freshly compiled language (or a standalone configuration), +1 per
+    /// grammar update adopted. A live [`Session`]'s epoch advances when it
+    /// picks up a registry hot-swap at reparse time.
+    pub fn table_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The registry slot this configuration is bound to, if any. Slot
+    /// identity (`Arc::ptr_eq`) is how callers tell which *language* a
+    /// session belongs to when epochs from different slots would be
+    /// incomparable.
+    pub fn lang_slot(&self) -> Option<&Arc<LangSlot>> {
+        self.slot.as_ref()
     }
 
     /// The grammar.
@@ -216,6 +250,9 @@ pub struct Session {
     /// The most recently published snapshot, reused while the committed
     /// tree is unchanged (invalidated by any reparse cycle that had work).
     last_snapshot: Option<Arc<Snapshot>>,
+    /// Grammar hot-swaps adopted (table epoch changes picked up from the
+    /// registry slot at reparse time).
+    grammar_swaps: usize,
 }
 
 impl Session {
@@ -266,7 +303,65 @@ impl Session {
             sem: None,
             sem_damage: Vec::new(),
             last_snapshot: None,
+            grammar_swaps: 0,
         })
+    }
+
+    /// When the registry has installed a newer table epoch for this
+    /// session's language, re-derives the tree under the new table and
+    /// adopts it. This is the epoch change's *full-damage* reparse: the
+    /// rope, the token tape, and every terminal dag node survive untouched
+    /// (terminal ids are stable — deltas only extend the terminal set), so
+    /// all relex work is salvaged and only the batch parse over the
+    /// existing terminal nodes is repaid. On parse failure (the committed
+    /// text is invalid under the new grammar) the old tree and table stay
+    /// authoritative and adoption is retried on the next reparse.
+    ///
+    /// Returns whether a swap was adopted this call.
+    fn adopt_current_table(&mut self) -> bool {
+        let Some(slot) = self.config.slot.as_ref() else {
+            return false;
+        };
+        if slot.epoch() == self.config.epoch {
+            return false;
+        }
+        let slot = Arc::clone(slot);
+        let (grammar, table, epoch) = slot.current();
+        let candidate = SessionConfig::from_parts(grammar, table, Arc::clone(&self.config.lexer))
+            .with_slot(slot, epoch);
+        let token_nodes: Vec<NodeId> = (0..self.tape.len()).map(|i| self.tape.node(i)).collect();
+        // Mirror the failed-incorporation discipline of `reparse_in`: a new
+        // epoch so prior-epoch parent overwrites are logged and undone if
+        // the new grammar rejects the text.
+        self.arena.begin_epoch();
+        let parser = IglrParser::new(candidate.grammar(), candidate.table());
+        match parser.parse_terminal_nodes_in(&mut self.scratch, &mut self.arena, &token_nodes) {
+            Ok(root) => {
+                self.root = root;
+                self.config = candidate;
+                self.grammar_swaps += 1;
+                self.last_snapshot = None;
+                if let Some(sem) = self.sem.as_mut() {
+                    sem.rebuild(&self.arena, self.root);
+                }
+                true
+            }
+            Err(_) => {
+                self.arena.rollback_parents();
+                self.arena.clear_changes();
+                false
+            }
+        }
+    }
+
+    /// Grammar hot-swaps this session has adopted.
+    pub fn grammar_swaps(&self) -> usize {
+        self.grammar_swaps
+    }
+
+    /// The table epoch the session is currently parsing with.
+    pub fn table_epoch(&self) -> u64 {
+        self.config.epoch
     }
 
     /// Attaches an incremental semantic pass. The pass is brought up to
@@ -367,6 +462,13 @@ impl Session {
             buffer: std::mem::take(&mut self.edit_time),
             ..ReparseReport::default()
         };
+        // A registry hot-swap is adopted before pending edits are touched,
+        // so the incorporation attempts below already run on the new table.
+        let t_swap = Instant::now();
+        report.grammar_swapped = self.adopt_current_table();
+        if report.grammar_swapped {
+            report.maintenance += t_swap.elapsed();
+        }
         let pending = self.buffer.pending_len();
         // Allocation-counter snapshots: the report carries per-cycle deltas
         // so a warm session's cycles visibly report zero fresh slots.

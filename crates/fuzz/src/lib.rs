@@ -35,7 +35,7 @@ use wg_core::{IglrParser, Session, SessionConfig};
 use wg_dag::{structurally_equal, DagArena, NodeId, NodeKind};
 use wg_earley::EarleyParser;
 use wg_glr::GlrParser;
-use wg_grammar::{Grammar, GrammarBuilder, NonTerminal, Symbol, Terminal};
+use wg_grammar::{Grammar, GrammarBuilder, GrammarDelta, NonTerminal, Symbol, Terminal};
 use wg_lexer::LexerDef;
 use wg_lrtable::{LrTable, RefTable, StateId, TableBuildError, TableKind};
 use wg_sentential::IncLrParser;
@@ -62,16 +62,23 @@ pub enum GrammarClass {
     /// ε-productions and unit chains, sometimes cyclic — exercising
     /// nullable reductions and the table builder's refusal path.
     EpsilonHeavy,
+    /// Grammar *mutation*: an Lr1-shaped base plus a random chain of
+    /// [`wg_grammar::GrammarDelta`] steps. After every step the
+    /// incrementally updated [`LrTable`] is compared cell-for-cell
+    /// against a from-scratch [`RefTable`] of the mutated grammar — the
+    /// differential oracle of the incremental table generator.
+    Mutation,
 }
 
 impl GrammarClass {
     /// All classes, in sweep order.
-    pub fn all() -> [GrammarClass; 4] {
+    pub fn all() -> [GrammarClass; 5] {
         [
             GrammarClass::Lr1,
             GrammarClass::Lr2,
             GrammarClass::Ambiguous,
             GrammarClass::EpsilonHeavy,
+            GrammarClass::Mutation,
         ]
     }
 
@@ -82,6 +89,7 @@ impl GrammarClass {
             GrammarClass::Lr2 => "lr2",
             GrammarClass::Ambiguous => "ambiguous",
             GrammarClass::EpsilonHeavy => "epsilon",
+            GrammarClass::Mutation => "mutation",
         }
     }
 }
@@ -92,8 +100,31 @@ impl fmt::Display for GrammarClass {
     }
 }
 
-/// One self-contained fuzz case: a grammar, a document, and an edit script,
-/// all in the plain-text corpus format.
+/// One step of a grammar-mutation chain (the `delta` corpus lines).
+///
+/// Symbols are named; unknown rhs names in an `add`/`mod` step are
+/// declared as *new terminals* in that step's delta, so a mutation can
+/// grow the alphabet. Steps whose names no longer resolve against the
+/// evolving grammar (a production already removed by an earlier step, an
+/// lhs that never existed) are skipped — that keeps every delta line
+/// independently droppable under the minimizer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaStep {
+    /// `add` (new production), `rm` (remove the production matching
+    /// lhs/rhs), or `mod` (replace that production's rhs with `to`).
+    pub kind: String,
+    /// Production lhs name (must be an existing nonterminal).
+    pub lhs: String,
+    /// Production rhs names: the new rhs for `add`, the identifying rhs
+    /// for `rm` and `mod`.
+    pub rhs: Vec<String>,
+    /// Replacement rhs (`mod` only).
+    pub to: Vec<String>,
+}
+
+/// One self-contained fuzz case: a grammar, a document, an edit script,
+/// and (for the mutation class) a grammar-delta chain, all in the
+/// plain-text corpus format.
 ///
 /// ```text
 /// # comment
@@ -105,6 +136,9 @@ impl fmt::Display for GrammarClass {
 /// prod N1 ->            (empty RHS = ε)
 /// doc a a b
 /// edit 2 1 c            (byte offset, removed bytes, inserted text)
+/// delta add N0 -> a g   (g is auto-declared as a new terminal)
+/// delta rm N1 ->
+/// delta mod N0 -> a N1 b => a b
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Case {
@@ -123,6 +157,8 @@ pub struct Case {
     /// Edit script: (byte offset, removed bytes, inserted text), each step
     /// valid against the document after all earlier steps.
     pub edits: Vec<(usize, usize, String)>,
+    /// Grammar-mutation chain, applied in order to the evolving grammar.
+    pub deltas: Vec<DeltaStep>,
 }
 
 impl Case {
@@ -136,6 +172,7 @@ impl Case {
             prods: Vec::new(),
             doc: String::new(),
             edits: Vec::new(),
+            deltas: Vec::new(),
         };
         for (ln, line) in src.lines().enumerate() {
             // Trim only line endings: an `edit` insert may carry significant
@@ -176,6 +213,32 @@ impl Case {
                     let insert = it.next().unwrap_or("").to_string();
                     case.edits.push((at, remove, insert));
                 }
+                "delta" => {
+                    let (kind, spec) = rest
+                        .trim_start()
+                        .split_once(' ')
+                        .ok_or_else(|| format!("line {}: delta needs a kind", ln + 1))?;
+                    if !matches!(kind, "add" | "rm" | "mod") {
+                        return Err(format!("line {}: unknown delta kind {kind:?}", ln + 1));
+                    }
+                    let (lhs, rhs) = spec
+                        .split_once("->")
+                        .ok_or_else(|| format!("line {}: delta without ->", ln + 1))?;
+                    let (rhs, to) = if kind == "mod" {
+                        let (old, new) = rhs
+                            .split_once("=>")
+                            .ok_or_else(|| format!("line {}: delta mod without =>", ln + 1))?;
+                        (old, new)
+                    } else {
+                        (rhs, "")
+                    };
+                    case.deltas.push(DeltaStep {
+                        kind: kind.to_string(),
+                        lhs: lhs.trim().to_string(),
+                        rhs: rhs.split_whitespace().map(String::from).collect(),
+                        to: to.split_whitespace().map(String::from).collect(),
+                    });
+                }
                 other => return Err(format!("line {}: unknown keyword {other:?}", ln + 1)),
             }
         }
@@ -205,6 +268,23 @@ impl Case {
         }
         for (at, remove, insert) in &self.edits {
             out.push_str(&format!("edit {at} {remove} {insert}\n"));
+        }
+        for d in &self.deltas {
+            if d.kind == "mod" {
+                out.push_str(&format!(
+                    "delta mod {} -> {} => {}\n",
+                    d.lhs,
+                    d.rhs.join(" "),
+                    d.to.join(" ")
+                ));
+            } else {
+                out.push_str(&format!(
+                    "delta {} {} -> {}\n",
+                    d.kind,
+                    d.lhs,
+                    d.rhs.join(" ")
+                ));
+            }
         }
         out
     }
@@ -327,6 +407,9 @@ pub struct CaseOutcome {
     pub parse_count: Option<u64>,
     /// Edit steps replayed against the batch oracle.
     pub edits_replayed: usize,
+    /// Delta steps applied through the incremental table updater (skipped
+    /// or refused steps excluded).
+    pub deltas_applied: usize,
 }
 
 /// Number of distinct trees embedded in the parse dag under `root`:
@@ -490,12 +573,129 @@ pub fn diff_tables(g: &Grammar, packed: &LrTable) -> Result<(), Divergence> {
     Ok(())
 }
 
+/// Resolves one [`DeltaStep`] against the current grammar into a
+/// [`GrammarDelta`], or `None` when its names no longer resolve (the step
+/// is then skipped — see [`DeltaStep`]).
+fn build_delta(g: &Grammar, step: &DeltaStep) -> Option<GrammarDelta> {
+    let lhs = g.nonterminal_by_name(&step.lhs)?;
+    let mut d = GrammarDelta::new(g);
+    // Resolve a name list to symbols, auto-declaring unknown names as new
+    // terminals (deduplicated within the step).
+    let resolve = |d: &mut GrammarDelta, names: &[String]| -> Vec<Symbol> {
+        let mut fresh: HashMap<&str, Terminal> = HashMap::new();
+        names
+            .iter()
+            .map(|s| {
+                if let Some(t) = g.terminal_by_name(s) {
+                    Symbol::T(t)
+                } else if let Some(n) = g.nonterminal_by_name(s) {
+                    Symbol::N(n)
+                } else {
+                    Symbol::T(*fresh.entry(s).or_insert_with(|| d.add_terminal(s)))
+                }
+            })
+            .collect()
+    };
+    // `rm`/`mod` identify the target production by name: lhs plus the
+    // exact rhs name sequence.
+    let find_prod = || {
+        (0..g.num_productions())
+            .map(wg_grammar::ProdId::from_index)
+            .find(|&p| {
+                let pr = g.production(p);
+                pr.lhs() == lhs
+                    && pr.rhs().len() == step.rhs.len()
+                    && pr.rhs().iter().zip(&step.rhs).all(|(s, want)| {
+                        let name = match s {
+                            Symbol::T(t) => g.terminal_name(*t),
+                            Symbol::N(n) => g.nonterminal_name(*n),
+                        };
+                        name == want
+                    })
+            })
+    };
+    match step.kind.as_str() {
+        "add" => {
+            let rhs = resolve(&mut d, &step.rhs);
+            d.add_production(lhs, rhs);
+        }
+        "rm" => d.remove_production(find_prod()?),
+        "mod" => {
+            let id = find_prod()?;
+            let to = resolve(&mut d, &step.to);
+            d.modify_production(id, to);
+        }
+        _ => return None,
+    }
+    Some(d)
+}
+
+/// The mutation-class oracle: replays the case's delta chain through
+/// [`LrTable::update`], comparing the incrementally derived table against
+/// a from-scratch [`RefTable`] of the mutated grammar **after every
+/// step** (via [`diff_tables`], i.e. every ACTION cell, every GOTO, every
+/// nt-reduction list, the default-reduction invariants). Steps the delta
+/// validator rejects (e.g. a removal that leaves the start symbol
+/// unproductive) are skipped; a cyclicity refusal by the updater must
+/// agree with the from-scratch builder refusing too.
+fn check_delta_chain(case: &Case, base_g: &Grammar, base_t: &LrTable) -> Result<usize, Divergence> {
+    let mut owned: Option<(Grammar, LrTable)> = None;
+    let mut applied = 0usize;
+    for (i, step) in case.deltas.iter().enumerate() {
+        let (g, t) = match &owned {
+            Some((g, t)) => (g, t),
+            None => (base_g, base_t),
+        };
+        let Some(d) = build_delta(g, step) else {
+            continue;
+        };
+        let (ng, map) = match g.apply_delta(&d) {
+            Ok(x) => x,
+            // Rejected by the delta validator — a legal answer, tested in
+            // wg-grammar's own suite; the chain continues unchanged.
+            Err(_) => continue,
+        };
+        match t.update(g, &ng, &map) {
+            Ok((nt, _stats)) => {
+                if let Err(e) = diff_tables(&ng, &nt) {
+                    return Err(diverge(
+                        "incr-table",
+                        format!("delta step {i} ({} {}): {}", step.kind, step.lhs, e.detail),
+                    ));
+                }
+                owned = Some((ng, nt));
+                applied += 1;
+            }
+            Err(TableBuildError::CyclicGrammar { .. }) => {
+                if LrTable::try_build(&ng, t.kind()).is_ok() {
+                    return Err(diverge(
+                        "incr-table",
+                        format!(
+                            "delta step {i}: updater refused a grammar the from-scratch \
+                             builder accepts"
+                        ),
+                    ));
+                }
+                break; // refusal agreed; nothing to chain onto
+            }
+            Err(e) => {
+                return Err(diverge(
+                    "incr-table",
+                    format!("delta step {i}: update failed: {e}"),
+                ))
+            }
+        }
+    }
+    Ok(applied)
+}
+
 /// Runs the full differential check over one case.
 ///
 /// Stages (each a potential [`Divergence::stage`]):
-/// `grammar-build`, `table-build`, `packed-vs-ref`, `doc-tokens`,
-/// `glr-vs-earley-acceptance`, `glr-vs-iglr`, `glr-vs-earley-count`,
-/// `sentential`, `session`, `incremental-vs-batch`.
+/// `grammar-build`, `table-build`, `packed-vs-ref`, `incr-table`,
+/// `doc-tokens`, `glr-vs-earley-acceptance`, `glr-vs-iglr`,
+/// `glr-vs-earley-count`, `sentential`, `session`,
+/// `incremental-vs-batch`.
 ///
 /// Grammars with precedence declarations skip the Earley comparisons:
 /// precedence changes the *language* of the table-driven parsers (that is
@@ -520,6 +720,10 @@ pub fn check_case(case: &Case) -> Result<CaseOutcome, Divergence> {
     };
 
     diff_tables(&g, &table)?;
+
+    if !case.deltas.is_empty() {
+        outcome.deltas_applied = check_delta_chain(case, &g, &table)?;
+    }
 
     let toks = case.tokens(&g).map_err(|e| diverge("doc-tokens", e))?;
     let pairs: Vec<(Terminal, &str)> = toks.iter().map(|&t| (t, g.terminal_name(t))).collect();
@@ -688,9 +892,11 @@ pub fn random_case(class: GrammarClass, seed: u64) -> Case {
     }
 
     match class {
-        GrammarClass::Lr1 => {
+        GrammarClass::Lr1 | GrammarClass::Mutation => {
             // Left-recursive lists with a distinct trailing terminal, the
-            // bread-and-butter deterministic shape.
+            // bread-and-butter deterministic shape. The mutation class
+            // starts from the same base — its interest is the delta chain
+            // appended below, not the base table.
             for i in 0..n_nts {
                 if rng.random_bool(0.5) {
                     let t = terminals[rng.random_range(0..n_terms)].clone();
@@ -755,6 +961,7 @@ pub fn random_case(class: GrammarClass, seed: u64) -> Case {
         prods,
         doc: String::new(),
         edits: Vec::new(),
+        deltas: Vec::new(),
     };
 
     // Derive a document; retry a few seeds if the derivation degenerates.
@@ -806,6 +1013,66 @@ pub fn random_case(class: GrammarClass, seed: u64) -> Case {
                     case.edits.push((2 * i, 2, String::new()));
                 }
                 tokens.remove(i);
+            }
+        }
+    }
+
+    // Mutation chain: 1–4 delta steps over the evolving grammar. `rm` and
+    // `mod` target *base* productions by name — steps that stop resolving
+    // (the target already removed) are skipped by the checker, which is
+    // itself part of the surface under test.
+    if class == GrammarClass::Mutation {
+        // Names outside LETTERS: auto-declared as fresh terminals.
+        const FRESH: [&str; 3] = ["g", "h", "i"];
+        let mut fresh_next = 0usize;
+        for _ in 0..(1 + rng.random_range(0..4usize)) {
+            let roll: f64 = rng.random();
+            if roll < 0.5 || case.prods.is_empty() {
+                let lhs = nt(rng.random_range(0..n_nts));
+                let len = 1 + rng.random_range(0..3usize);
+                let rhs: Vec<String> = (0..len)
+                    .map(|_| {
+                        let r: f64 = rng.random();
+                        if r < 0.15 && fresh_next < FRESH.len() {
+                            let name = FRESH[fresh_next].to_string();
+                            if rng.random_bool(0.5) {
+                                fresh_next += 1; // sometimes reuse the name
+                            }
+                            name
+                        } else if r < 0.5 {
+                            nt(rng.random_range(0..n_nts))
+                        } else {
+                            case.terminals[rng.random_range(0..case.terminals.len())].clone()
+                        }
+                    })
+                    .collect();
+                case.deltas.push(DeltaStep {
+                    kind: "add".into(),
+                    lhs,
+                    rhs,
+                    to: Vec::new(),
+                });
+            } else {
+                let (lhs, rhs) = case.prods[rng.random_range(0..case.prods.len())].clone();
+                if roll < 0.8 {
+                    case.deltas.push(DeltaStep {
+                        kind: "rm".into(),
+                        lhs,
+                        rhs,
+                        to: Vec::new(),
+                    });
+                } else {
+                    let len = 1 + rng.random_range(0..2usize);
+                    let to: Vec<String> = (0..len)
+                        .map(|_| case.terminals[rng.random_range(0..case.terminals.len())].clone())
+                        .collect();
+                    case.deltas.push(DeltaStep {
+                        kind: "mod".into(),
+                        lhs,
+                        rhs,
+                        to,
+                    });
+                }
             }
         }
     }
@@ -900,11 +1167,14 @@ pub fn minimize_with(source: &str, fails: &dyn Fn(&str) -> bool) -> String {
     loop {
         let mut progressed = false;
 
-        // Drop whole prod/edit lines.
+        // Drop whole prod/edit/delta lines.
         'lines: loop {
             let lines: Vec<&str> = cur.lines().collect();
             for i in 0..lines.len() {
-                if lines[i].starts_with("prod ") || lines[i].starts_with("edit ") {
+                if lines[i].starts_with("prod ")
+                    || lines[i].starts_with("edit ")
+                    || lines[i].starts_with("delta ")
+                {
                     let cand = lines
                         .iter()
                         .enumerate()
@@ -1019,6 +1289,45 @@ mod tests {
         let case = random_case(GrammarClass::Ambiguous, 3);
         let reparsed = Case::parse(&case.to_source()).unwrap();
         assert_eq!(case, reparsed);
+    }
+
+    #[test]
+    fn mutation_corpus_format_round_trips() {
+        for seed in 0..20 {
+            let case = random_case(GrammarClass::Mutation, seed);
+            assert!(!case.deltas.is_empty(), "seed {seed} generated no deltas");
+            let reparsed = Case::parse(&case.to_source()).unwrap();
+            assert_eq!(case, reparsed, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn delta_chain_applies_and_agrees_with_reference() {
+        // Hand-written chain over a list grammar: grow the alphabet, add
+        // an alternative, modify in place, then remove — each step checked
+        // cell-for-cell against a from-scratch RefTable by check_case.
+        let src = "class mutation\n\
+                   terminals a b\n\
+                   start N0\n\
+                   prod N0 -> N1\n\
+                   prod N0 -> N0 N1\n\
+                   prod N1 -> a\n\
+                   doc a a\n\
+                   delta add N1 -> b g\n\
+                   delta mod N1 -> a => g a\n\
+                   delta rm N1 -> b g\n";
+        let case = Case::parse(src).unwrap();
+        let outcome = check_case(&case).unwrap();
+        assert_eq!(outcome.deltas_applied, 3, "all three steps must apply");
+    }
+
+    #[test]
+    fn delta_chain_skips_unresolvable_steps() {
+        let src = "class mutation\nterminals a\nstart N0\nprod N0 -> a\n\
+                   delta rm N9 -> a\ndelta rm N0 -> a a a\ndelta add N0 -> a a\n";
+        let case = Case::parse(src).unwrap();
+        let outcome = check_case(&case).unwrap();
+        assert_eq!(outcome.deltas_applied, 1, "only the add resolves");
     }
 
     #[test]

@@ -259,7 +259,7 @@ impl GrammarBuilder {
 }
 
 /// Set of nonterminals that derive at least one terminal string.
-fn productive(g: &Grammar) -> HashSet<NonTerminal> {
+pub(crate) fn productive(g: &Grammar) -> HashSet<NonTerminal> {
     let mut prod = HashSet::new();
     let mut changed = true;
     while changed {

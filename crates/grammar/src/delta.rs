@@ -1,0 +1,580 @@
+//! Grammar deltas: a recorded batch of edits against a frozen [`Grammar`],
+//! applied to produce a new grammar plus a [`DeltaMap`] relating the two.
+//!
+//! The map is what makes *incremental* table reconstruction possible
+//! downstream (`wg_lrtable::incr`): it says which old productions survive
+//! (and under which new id), and which nonterminals had their production
+//! sets disturbed — exactly the information needed to decide which LR
+//! states the change can reach.
+//!
+//! Symbols are append-only: a delta may introduce new terminals and
+//! nonterminals but never removes or renames existing ones, so every
+//! symbol id of the base grammar stays valid in the result. Productions
+//! may be added, removed, or modified in place; removal shifts the ids of
+//! later productions, which the map records.
+
+use crate::grammar::{Fnv, Grammar, GrammarError};
+use crate::production::{Precedence, ProdId, ProdKind, Production};
+use crate::symbol::{NonTerminal, Symbol, Terminal};
+use std::collections::HashSet;
+
+/// One recorded production edit.
+#[derive(Debug, Clone)]
+enum ProdOp {
+    /// Append `lhs -> rhs` (with an optional explicit `%prec`).
+    Add {
+        lhs: NonTerminal,
+        rhs: Vec<Symbol>,
+        prec: Option<Precedence>,
+    },
+    /// Delete an existing production.
+    Remove(ProdId),
+    /// Replace the rhs (and precedence) of an existing production in
+    /// place. The production keeps its position in the grammar, but any
+    /// retained LR items over it are invalidated.
+    Modify {
+        id: ProdId,
+        rhs: Vec<Symbol>,
+        prec: Option<Precedence>,
+    },
+}
+
+/// A batch of grammar edits recorded against one base grammar.
+///
+/// Build with [`GrammarDelta::new`] against the grammar to be edited,
+/// record edits, then apply with [`Grammar::apply_delta`]. New symbol
+/// handles returned by [`GrammarDelta::add_terminal`] /
+/// [`GrammarDelta::add_nonterminal`] are *forward-assigned*: they index
+/// the result grammar (valid there, not in the base).
+#[derive(Debug, Clone)]
+pub struct GrammarDelta {
+    base_fp: u64,
+    base_terminals: usize,
+    base_nonterminals: usize,
+    new_terminals: Vec<String>,
+    new_nonterminals: Vec<String>,
+    ops: Vec<ProdOp>,
+}
+
+impl GrammarDelta {
+    /// An empty delta against `base`.
+    pub fn new(base: &Grammar) -> GrammarDelta {
+        GrammarDelta {
+            base_fp: base.fingerprint(),
+            base_terminals: base.num_terminals(),
+            base_nonterminals: base.num_nonterminals(),
+            new_terminals: Vec::new(),
+            new_nonterminals: Vec::new(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// Whether the delta records no edits.
+    pub fn is_empty(&self) -> bool {
+        self.new_terminals.is_empty() && self.new_nonterminals.is_empty() && self.ops.is_empty()
+    }
+
+    /// Declares a new terminal, returning the handle it will have in the
+    /// result grammar (symbols are append-only, so the id is known now).
+    pub fn add_terminal(&mut self, name: &str) -> Terminal {
+        let t = Terminal::from_index(self.base_terminals + self.new_terminals.len());
+        self.new_terminals.push(name.to_string());
+        t
+    }
+
+    /// Declares a new nonterminal (see [`GrammarDelta::add_terminal`]).
+    pub fn add_nonterminal(&mut self, name: &str) -> NonTerminal {
+        let n = NonTerminal::from_index(self.base_nonterminals + self.new_nonterminals.len());
+        self.new_nonterminals.push(name.to_string());
+        n
+    }
+
+    /// Records a new production `lhs -> rhs`. Its precedence defaults to
+    /// the rightmost rhs terminal with a declared precedence, as in the
+    /// builder.
+    pub fn add_production(&mut self, lhs: NonTerminal, rhs: Vec<Symbol>) {
+        self.ops.push(ProdOp::Add {
+            lhs,
+            rhs,
+            prec: None,
+        });
+    }
+
+    /// Records a new production with an explicit `%prec` override.
+    pub fn add_production_with_prec(
+        &mut self,
+        lhs: NonTerminal,
+        rhs: Vec<Symbol>,
+        prec: Precedence,
+    ) {
+        self.ops.push(ProdOp::Add {
+            lhs,
+            rhs,
+            prec: Some(prec),
+        });
+    }
+
+    /// Records removal of a base-grammar production.
+    pub fn remove_production(&mut self, id: ProdId) {
+        self.ops.push(ProdOp::Remove(id));
+    }
+
+    /// Records an in-place rhs replacement of a base-grammar production.
+    /// Precedence is re-derived from the new rhs.
+    pub fn modify_production(&mut self, id: ProdId, rhs: Vec<Symbol>) {
+        self.ops.push(ProdOp::Modify {
+            id,
+            rhs,
+            prec: None,
+        });
+    }
+
+    /// Fingerprint of the base grammar this delta was recorded against.
+    /// Registries use it to locate the cached language the delta targets
+    /// without holding the grammar itself.
+    pub fn base_fingerprint(&self) -> u64 {
+        self.base_fp
+    }
+
+    /// A stable fingerprint of the delta's full content, including the
+    /// base grammar it was recorded against. Equal fingerprints mean the
+    /// same edit batch against the same grammar, so
+    /// `fingerprint(base) x fingerprint(delta)` keys an updated-table
+    /// cache as reliably as `Grammar::fingerprint` keys a full build.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.u64(self.base_fp);
+        h.u64(self.new_terminals.len() as u64);
+        for n in &self.new_terminals {
+            h.str(n);
+        }
+        h.u64(self.new_nonterminals.len() as u64);
+        for n in &self.new_nonterminals {
+            h.str(n);
+        }
+        h.u64(self.ops.len() as u64);
+        for op in &self.ops {
+            match op {
+                ProdOp::Add { lhs, rhs, prec } => {
+                    h.u64(0);
+                    h.u64(lhs.index() as u64);
+                    hash_rhs(&mut h, rhs);
+                    h.precedence(*prec);
+                }
+                ProdOp::Remove(id) => {
+                    h.u64(1);
+                    h.u64(id.index() as u64);
+                }
+                ProdOp::Modify { id, rhs, prec } => {
+                    h.u64(2);
+                    h.u64(id.index() as u64);
+                    hash_rhs(&mut h, rhs);
+                    h.precedence(*prec);
+                }
+            }
+        }
+        h.finish()
+    }
+}
+
+fn hash_rhs(h: &mut Fnv, rhs: &[Symbol]) {
+    h.u64(rhs.len() as u64);
+    for s in rhs {
+        match s {
+            Symbol::T(t) => {
+                h.u64(0);
+                h.u64(t.index() as u64);
+            }
+            Symbol::N(n) => {
+                h.u64(1);
+                h.u64(n.index() as u64);
+            }
+        }
+    }
+}
+
+/// How the productions and symbols of a base grammar relate to the result
+/// of [`Grammar::apply_delta`]. Consumed by incremental table update.
+#[derive(Debug, Clone)]
+pub struct DeltaMap {
+    /// `prod_map[old.index()]` is the production's id in the new grammar,
+    /// or `None` if it was removed *or modified* (a modified production
+    /// keeps its position but its retained LR items are invalid, so for
+    /// reuse purposes it does not survive).
+    pub prod_map: Vec<Option<ProdId>>,
+    /// Indexed by new-grammar nonterminal: `true` if the nonterminal's
+    /// production set changed (lhs of any added/removed/modified
+    /// production, and every newly declared nonterminal).
+    pub changed_nts: Vec<bool>,
+    /// Terminals the delta declared (appended after the base's).
+    pub added_terminals: usize,
+    /// Nonterminals the delta declared.
+    pub added_nonterminals: usize,
+}
+
+impl DeltaMap {
+    /// Whether `n`'s production set differs between base and result.
+    pub fn is_changed(&self, n: NonTerminal) -> bool {
+        self.changed_nts[n.index()]
+    }
+
+    /// Count of changed nonterminals.
+    pub fn num_changed(&self) -> usize {
+        self.changed_nts.iter().filter(|&&c| c).count()
+    }
+}
+
+impl Grammar {
+    /// Applies `delta`, producing the edited grammar and the old→new
+    /// [`DeltaMap`]. The base grammar is untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`GrammarError::DeltaBaseMismatch`] if the delta was recorded
+    /// against a different grammar; [`GrammarError::UnknownProduction`]
+    /// for edits naming the augmented production, an out-of-range id, or
+    /// a production already removed/modified by this delta; plus the
+    /// usual build-time validation errors (duplicate names, undefined
+    /// nonterminals, unproductive start) on the edited grammar.
+    pub fn apply_delta(&self, delta: &GrammarDelta) -> Result<(Grammar, DeltaMap), GrammarError> {
+        if delta.base_fp != self.fingerprint() {
+            return Err(GrammarError::DeltaBaseMismatch);
+        }
+
+        let terminal_names: Vec<String> = self
+            .terminal_names
+            .iter()
+            .chain(&delta.new_terminals)
+            .cloned()
+            .collect();
+        let nonterminal_names: Vec<String> = self
+            .nonterminal_names
+            .iter()
+            .chain(&delta.new_nonterminals)
+            .cloned()
+            .collect();
+        let mut seen = HashSet::new();
+        for n in terminal_names.iter().chain(&nonterminal_names) {
+            if !seen.insert(n.as_str()) {
+                return Err(GrammarError::DuplicateName(n.clone()));
+            }
+        }
+        let mut term_prec = self.term_prec.clone();
+        term_prec.resize(terminal_names.len(), None);
+
+        // Replay the edit ops against the base production list. `slots`
+        // holds the surviving/modified productions in base order (None =
+        // removed); `survives` distinguishes untouched from modified.
+        let mut slots: Vec<Option<Production>> =
+            self.productions.iter().cloned().map(Some).collect();
+        let mut survives: Vec<bool> = vec![true; slots.len()];
+        let mut added: Vec<Production> = Vec::new();
+        let mut changed_nts = vec![false; nonterminal_names.len()];
+        for c in changed_nts.iter_mut().skip(self.num_nonterminals()) {
+            *c = true;
+        }
+
+        let check_syms = |rhs: &[Symbol]| -> Result<(), GrammarError> {
+            for s in rhs {
+                let (t_ok, n_ok) = match s {
+                    Symbol::T(t) => (t.index() < terminal_names.len(), true),
+                    Symbol::N(n) => (true, n.index() < nonterminal_names.len()),
+                };
+                if !t_ok || !n_ok {
+                    return Err(GrammarError::UnknownSymbol);
+                }
+            }
+            Ok(())
+        };
+        // Yacc default precedence: rightmost terminal with a declared
+        // level, unless an explicit %prec was recorded.
+        let default_prec = |rhs: &[Symbol], explicit: Option<Precedence>| {
+            explicit.or_else(|| {
+                rhs.iter()
+                    .rev()
+                    .find_map(|s| s.terminal())
+                    .and_then(|t| term_prec[t.index()])
+            })
+        };
+
+        for op in &delta.ops {
+            match op {
+                ProdOp::Add { lhs, rhs, prec } => {
+                    if lhs.index() >= nonterminal_names.len() || lhs.index() == 0 {
+                        return Err(GrammarError::UnknownSymbol);
+                    }
+                    check_syms(rhs)?;
+                    changed_nts[lhs.index()] = true;
+                    added.push(Production {
+                        lhs: *lhs,
+                        rhs: rhs.clone(),
+                        prec: default_prec(rhs, *prec),
+                        kind: ProdKind::Normal,
+                    });
+                }
+                ProdOp::Remove(id) => {
+                    let ix = id.index();
+                    if ix == 0 || ix >= slots.len() || slots[ix].is_none() {
+                        return Err(GrammarError::UnknownProduction(ix));
+                    }
+                    let p = slots[ix].take().expect("checked above");
+                    changed_nts[p.lhs.index()] = true;
+                    survives[ix] = false;
+                }
+                ProdOp::Modify { id, rhs, prec } => {
+                    let ix = id.index();
+                    if ix == 0 || ix >= slots.len() || !survives[ix] {
+                        return Err(GrammarError::UnknownProduction(ix));
+                    }
+                    check_syms(rhs)?;
+                    let p = slots[ix].as_mut().expect("survives implies present");
+                    changed_nts[p.lhs.index()] = true;
+                    p.rhs = rhs.clone();
+                    p.prec = default_prec(rhs, *prec);
+                    p.kind = ProdKind::Normal;
+                    survives[ix] = false; // retained items over it are invalid
+                }
+            }
+        }
+
+        // Compact: surviving + modified productions keep base order, added
+        // ones append. prod_map records the shift.
+        let mut productions = Vec::with_capacity(slots.len() + added.len());
+        let mut prod_map = vec![None; slots.len()];
+        for (ix, slot) in slots.into_iter().enumerate() {
+            if let Some(p) = slot {
+                if survives[ix] {
+                    prod_map[ix] = Some(ProdId::from_index(productions.len()));
+                }
+                productions.push(p);
+            }
+        }
+        productions.extend(added);
+
+        let mut by_lhs = vec![Vec::new(); nonterminal_names.len()];
+        for (i, p) in productions.iter().enumerate() {
+            by_lhs[p.lhs.index()].push(ProdId::from_index(i));
+        }
+        for p in &productions {
+            for s in &p.rhs {
+                if let Symbol::N(n) = s {
+                    if by_lhs[n.index()].is_empty() {
+                        return Err(GrammarError::UndefinedNonTerminal(
+                            nonterminal_names[n.index()].clone(),
+                        ));
+                    }
+                }
+            }
+        }
+        let added_terminals = delta.new_terminals.len();
+        let added_nonterminals = delta.new_nonterminals.len();
+        let g = Grammar {
+            name: self.name.clone(),
+            terminal_names,
+            nonterminal_names,
+            productions,
+            by_lhs,
+            start: self.start,
+            term_prec,
+        };
+        // Productivity of the start symbol must survive the edit.
+        if !crate::builder::productive(&g).contains(&g.start) {
+            return Err(GrammarError::UnproductiveStart(
+                g.nonterminal_names[g.start.index()].clone(),
+            ));
+        }
+        Ok((
+            g,
+            DeltaMap {
+                prod_map,
+                changed_nts,
+                added_terminals,
+                added_nonterminals,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GrammarBuilder, Symbol};
+
+    fn base() -> Grammar {
+        let mut b = GrammarBuilder::new("g");
+        let a = b.terminal("a");
+        let c = b.terminal("c");
+        let s = b.nonterminal("S");
+        let x = b.nonterminal("X");
+        b.prod(s, vec![Symbol::N(x), Symbol::T(c)]); // prod 1
+        b.prod(x, vec![Symbol::T(a)]); // prod 2
+        b.prod(x, vec![Symbol::T(a), Symbol::T(a)]); // prod 3
+        b.start(s);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn add_production_maps_and_marks() {
+        let g = base();
+        let x = g.nonterminal_by_name("X").unwrap();
+        let c = g.terminal_by_name("c").unwrap();
+        let mut d = GrammarDelta::new(&g);
+        d.add_production(x, vec![Symbol::T(c)]);
+        let (g2, m) = g.apply_delta(&d).unwrap();
+        assert_eq!(g2.num_productions(), 5);
+        assert_eq!(
+            m.prod_map,
+            vec![
+                Some(ProdId::from_index(0)),
+                Some(ProdId::from_index(1)),
+                Some(ProdId::from_index(2)),
+                Some(ProdId::from_index(3)),
+            ]
+        );
+        assert!(m.is_changed(x));
+        assert!(!m.is_changed(g2.start()));
+        assert_eq!(m.num_changed(), 1);
+    }
+
+    #[test]
+    fn remove_shifts_later_ids() {
+        let g = base();
+        let mut d = GrammarDelta::new(&g);
+        d.remove_production(ProdId::from_index(2));
+        let (g2, m) = g.apply_delta(&d).unwrap();
+        assert_eq!(g2.num_productions(), 3);
+        assert_eq!(m.prod_map[2], None);
+        assert_eq!(m.prod_map[3], Some(ProdId::from_index(2)));
+        let x = g.nonterminal_by_name("X").unwrap();
+        assert!(m.is_changed(x));
+    }
+
+    #[test]
+    fn modify_keeps_position_but_does_not_survive() {
+        let g = base();
+        let a = g.terminal_by_name("a").unwrap();
+        let mut d = GrammarDelta::new(&g);
+        d.modify_production(
+            ProdId::from_index(2),
+            vec![Symbol::T(a), Symbol::T(a), Symbol::T(a)],
+        );
+        let (g2, m) = g.apply_delta(&d).unwrap();
+        assert_eq!(g2.num_productions(), 4);
+        assert_eq!(
+            m.prod_map[2], None,
+            "modified production's items are invalid"
+        );
+        assert_eq!(g2.production(ProdId::from_index(2)).rhs().len(), 3);
+    }
+
+    #[test]
+    fn new_symbols_are_forward_assigned() {
+        let g = base();
+        let mut d = GrammarDelta::new(&g);
+        let t = d.add_terminal("z");
+        let n = d.add_nonterminal("Z");
+        let x = g.nonterminal_by_name("X").unwrap();
+        d.add_production(n, vec![Symbol::T(t)]);
+        d.add_production(x, vec![Symbol::N(n)]);
+        let (g2, m) = g.apply_delta(&d).unwrap();
+        assert_eq!(g2.terminal_by_name("z"), Some(t));
+        assert_eq!(g2.nonterminal_by_name("Z"), Some(n));
+        assert!(
+            m.is_changed(n),
+            "new nonterminals are changed by definition"
+        );
+        assert_eq!(m.added_terminals, 1);
+        assert_eq!(m.added_nonterminals, 1);
+    }
+
+    #[test]
+    fn bad_edits_error() {
+        let g = base();
+        let other = {
+            let mut b = GrammarBuilder::new("h");
+            let a = b.terminal("a");
+            let s = b.nonterminal("S");
+            b.prod(s, vec![Symbol::T(a)]);
+            b.start(s);
+            b.build().unwrap()
+        };
+        let d = GrammarDelta::new(&other);
+        assert_eq!(
+            g.apply_delta(&d).unwrap_err(),
+            GrammarError::DeltaBaseMismatch
+        );
+
+        let mut d = GrammarDelta::new(&g);
+        d.remove_production(ProdId::from_index(0));
+        assert_eq!(
+            g.apply_delta(&d).unwrap_err(),
+            GrammarError::UnknownProduction(0)
+        );
+
+        let mut d = GrammarDelta::new(&g);
+        d.remove_production(ProdId::from_index(2));
+        d.remove_production(ProdId::from_index(2));
+        assert_eq!(
+            g.apply_delta(&d).unwrap_err(),
+            GrammarError::UnknownProduction(2)
+        );
+
+        // Removing X's last production while S still references X.
+        let mut d = GrammarDelta::new(&g);
+        d.remove_production(ProdId::from_index(2));
+        d.remove_production(ProdId::from_index(3));
+        assert!(matches!(
+            g.apply_delta(&d).unwrap_err(),
+            GrammarError::UndefinedNonTerminal(_)
+        ));
+    }
+
+    #[test]
+    fn delta_fingerprint_distinguishes_content_and_base() {
+        let g = base();
+        let x = g.nonterminal_by_name("X").unwrap();
+        let c = g.terminal_by_name("c").unwrap();
+        let mut d1 = GrammarDelta::new(&g);
+        d1.add_production(x, vec![Symbol::T(c)]);
+        let mut d1b = GrammarDelta::new(&g);
+        d1b.add_production(x, vec![Symbol::T(c)]);
+        assert_eq!(d1.fingerprint(), d1b.fingerprint());
+        let mut d2 = GrammarDelta::new(&g);
+        d2.add_production(x, vec![Symbol::T(c), Symbol::T(c)]);
+        assert_ne!(d1.fingerprint(), d2.fingerprint());
+        assert!(!d1.is_empty());
+        assert!(GrammarDelta::new(&g).is_empty());
+
+        // Same edit recorded against the post-delta grammar hashes
+        // differently: the base fingerprint is part of the identity.
+        let (g2, _) = g.apply_delta(&d1).unwrap();
+        let mut d3 = GrammarDelta::new(&g2);
+        d3.add_production(x, vec![Symbol::T(c)]);
+        assert_ne!(d1.fingerprint(), d3.fingerprint());
+    }
+
+    #[test]
+    fn applied_grammar_equals_rebuilt_grammar_fingerprint() {
+        // Applying a delta must yield the same fingerprint as building the
+        // edited grammar from scratch — callers key caches on it.
+        let g = base();
+        let x = g.nonterminal_by_name("X").unwrap();
+        let c = g.terminal_by_name("c").unwrap();
+        let mut d = GrammarDelta::new(&g);
+        d.add_production(x, vec![Symbol::T(c)]);
+        let (g2, _) = g.apply_delta(&d).unwrap();
+
+        let mut b = GrammarBuilder::new("g");
+        let a = b.terminal("a");
+        let ct = b.terminal("c");
+        let s = b.nonterminal("S");
+        let xb = b.nonterminal("X");
+        b.prod(s, vec![Symbol::N(xb), Symbol::T(ct)]);
+        b.prod(xb, vec![Symbol::T(a)]);
+        b.prod(xb, vec![Symbol::T(a), Symbol::T(a)]);
+        b.prod(xb, vec![Symbol::T(ct)]);
+        b.start(s);
+        let scratch = b.build().unwrap();
+        assert_eq!(g2.fingerprint(), scratch.fingerprint());
+    }
+}

@@ -15,6 +15,15 @@ pub enum GrammarError {
     UnproductiveStart(String),
     /// Two symbols were declared with the same name.
     DuplicateName(String),
+    /// A delta was applied to a grammar other than the one it was
+    /// recorded against.
+    DeltaBaseMismatch,
+    /// A delta edit named a production that does not exist (or was
+    /// already removed/modified by the same delta), by raw index.
+    UnknownProduction(usize),
+    /// A delta production mentioned a symbol the result grammar does not
+    /// declare (or targeted the augmented start).
+    UnknownSymbol,
 }
 
 impl fmt::Display for GrammarError {
@@ -28,6 +37,15 @@ impl fmt::Display for GrammarError {
                 write!(f, "start symbol `{n}` derives no terminal string")
             }
             GrammarError::DuplicateName(n) => write!(f, "symbol name `{n}` declared twice"),
+            GrammarError::DeltaBaseMismatch => {
+                write!(f, "delta was recorded against a different grammar")
+            }
+            GrammarError::UnknownProduction(ix) => {
+                write!(f, "delta edit names unknown production {ix}")
+            }
+            GrammarError::UnknownSymbol => {
+                write!(f, "delta production uses an undeclared symbol")
+            }
         }
     }
 }
@@ -282,12 +300,13 @@ impl Grammar {
     }
 }
 
-/// FNV-1a accumulator used by [`Grammar::fingerprint`]. Length-prefixing in
-/// the caller keeps adjacent variable-length fields from aliasing.
-struct Fnv(u64);
+/// FNV-1a accumulator used by [`Grammar::fingerprint`] and
+/// [`crate::GrammarDelta::fingerprint`]. Length-prefixing in the caller
+/// keeps adjacent variable-length fields from aliasing.
+pub(crate) struct Fnv(u64);
 
 impl Fnv {
-    fn new() -> Fnv {
+    pub(crate) fn new() -> Fnv {
         Fnv(0xcbf2_9ce4_8422_2325)
     }
 
@@ -296,20 +315,20 @@ impl Fnv {
         self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
     }
 
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         for b in v.to_le_bytes() {
             self.byte(b);
         }
     }
 
-    fn str(&mut self, s: &str) {
+    pub(crate) fn str(&mut self, s: &str) {
         self.u64(s.len() as u64);
         for b in s.bytes() {
             self.byte(b);
         }
     }
 
-    fn precedence(&mut self, p: Option<Precedence>) {
+    pub(crate) fn precedence(&mut self, p: Option<Precedence>) {
         match p {
             None => self.u64(0),
             Some(p) => {
@@ -320,7 +339,7 @@ impl Fnv {
         }
     }
 
-    fn finish(&self) -> u64 {
+    pub(crate) fn finish(&self) -> u64 {
         self.0
     }
 }

@@ -41,6 +41,7 @@
 
 mod analysis;
 mod builder;
+mod delta;
 mod grammar;
 mod production;
 mod symbol;
@@ -48,6 +49,7 @@ mod termset;
 
 pub use analysis::GrammarAnalysis;
 pub use builder::{GrammarBuilder, SeqKind};
+pub use delta::{DeltaMap, GrammarDelta};
 pub use grammar::{Grammar, GrammarError, ValidationReport};
 pub use production::{Assoc, Precedence, ProdId, ProdKind, Production};
 pub use symbol::{NonTerminal, Symbol, Terminal};

@@ -74,6 +74,22 @@ impl Lr0Automaton {
         }
     }
 
+    /// Reassembles an automaton from parts produced by the incremental
+    /// replay in [`crate::incr`]. The caller guarantees canonical
+    /// construction order (identical to [`Lr0Automaton::build`] on the
+    /// same grammar).
+    pub(crate) fn from_parts(
+        kernels: Vec<ItemSet>,
+        closures: Vec<ItemSet>,
+        transitions: HashMap<(StateId, Symbol), StateId>,
+    ) -> Lr0Automaton {
+        Lr0Automaton {
+            kernels,
+            closures,
+            transitions,
+        }
+    }
+
     /// Number of states.
     pub fn num_states(&self) -> usize {
         self.kernels.len()

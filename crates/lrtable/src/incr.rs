@@ -1,0 +1,861 @@
+//! Incremental LALR table generation.
+//!
+//! Given a built [`LrTable`] (which retains its LR(0) automaton, LALR
+//! lookahead sets and per-row construction byproducts) plus the
+//! [`DeltaMap`] produced by [`Grammar::apply_delta`], [`LrTable::update`]
+//! computes the table of the edited grammar while structurally reusing
+//! everything the delta cannot have touched:
+//!
+//! 1. **Clean states.** An old state is *clean* when every item of its
+//!    closure survives the delta and no item's dot sits before a changed
+//!    nonterminal. A clean state's closure under the new grammar is
+//!    exactly the production-remapped old closure — no closure
+//!    recomputation, and its outgoing transition *symbols* are unchanged.
+//! 2. **Canonical replay.** The new automaton is grown by replaying the
+//!    exact worklist traversal of [`Lr0Automaton::build`] (same LIFO
+//!    order, same sorted-symbol order, same kernel interning), except
+//!    that clean states skip closure and GOTO-kernel computation: their
+//!    successors' kernels are read off the old transition graph. Because
+//!    the traversal order is identical, the updated automaton gets the
+//!    **same state numbering** a from-scratch build would produce —
+//!    making "action-for-action equivalent" checkable cell by cell with
+//!    no state-isomorphism mapping.
+//! 3. **Row reuse.** A clean state's ACTION row is reused verbatim
+//!    (decode → remap shift targets and production ids → re-encode, no
+//!    re-resolution) when every reduction's new LALR lookahead set equals
+//!    its old one. Lookaheads are recomputed globally — the relational
+//!    DeRemer–Pennello pass is a small fraction of a full build — and
+//!    compared per row against the retained old sets.
+//! 4. **Split-only terminal classes.** New equivalence classes refine the
+//!    old ones: terminals sharing an old class stay together unless a
+//!    *dirty* row distinguishes them. Reused rows are then transformable
+//!    class-by-class from the old packed words; classes may end up finer
+//!    than a from-scratch pack, which changes table size but never any
+//!    `(state, terminal)` lookup result.
+//!
+//! Conflict reports, `%nonassoc` no-default flags, default reductions and
+//! the Section 3.2 nonterminal-reduction lists are likewise reassembled
+//! from per-row retained byproducts where the row is reused, and
+//! recomputed only for dirty rows.
+
+use crate::automaton::{Lr0Automaton, StateId};
+use crate::item::{Item, ItemSet};
+use crate::lalr::lalr_lookaheads;
+use crate::packed::{
+    arena_offset, class_id, nt_cell_word, PackedAction, PackedTables, NT_LEN_BITS, NT_LEN_MASK,
+    NT_NONE, TAG_BITS,
+};
+use crate::table::{
+    resolve_cell, Action, ConflictKind, ConflictReport, LrTable, RowMeta, TableBuildError,
+    TableKind,
+};
+use std::collections::HashMap;
+use wg_grammar::{
+    DeltaMap, Grammar, GrammarAnalysis, NonTerminal, ProdId, Symbol, TermSet, Terminal,
+};
+
+/// Reuse metrics of one incremental table update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IncrStats {
+    /// States in the updated automaton.
+    pub states: usize,
+    /// States whose closure was reused (remapped, not recomputed).
+    pub states_reused: usize,
+    /// States whose packed ACTION row was transformed from the old table
+    /// instead of being rebuilt and re-resolved.
+    pub rows_reused: usize,
+    /// Whether the update fell back to a from-scratch build (SLR tables,
+    /// or deltas that touch the augmented start production).
+    pub full_rebuild: bool,
+}
+
+/// Remaps every item of `set` through the delta's production map. Only
+/// valid when every item's production survives (clean states and their
+/// kernels).
+fn remap_set(set: &ItemSet, prod_map: &[Option<ProdId>]) -> ItemSet {
+    ItemSet::new(
+        set.items()
+            .iter()
+            .map(|it| Item {
+                prod: prod_map[it.prod.index()].expect("every item of a remapped set survives"),
+                dot: it.dot,
+            })
+            .collect(),
+    )
+}
+
+/// Set equality across universes: `a` over the old terminal universe,
+/// `b` over the (possibly larger) new one. Old terminal ids are stable,
+/// so `a ⊆ b` plus equal cardinality is full equality.
+fn same_termset(a: &TermSet, b: &TermSet) -> bool {
+    a.len() == b.len() && a.iter().all(|t| b.contains(t))
+}
+
+/// Replay state for the canonical-traversal reconstruction.
+struct ReplayCtx<'a> {
+    new_g: &'a Grammar,
+    old_auto: &'a Lr0Automaton,
+    prod_map: &'a [Option<ProdId>],
+    /// Remapped kernels of *clean* old states → their old ids.
+    old_kernel_ix: &'a HashMap<ItemSet, StateId>,
+    kernels: Vec<ItemSet>,
+    closures: Vec<ItemSet>,
+    index: HashMap<ItemSet, StateId>,
+    /// Per new state: the clean old state it reuses, if any.
+    old_of: Vec<Option<StateId>>,
+    /// Per old state: the new state it became, if instantiated.
+    old_to_new: Vec<Option<StateId>>,
+    work: Vec<StateId>,
+}
+
+impl ReplayCtx<'_> {
+    /// Interns `kernel`, creating (and scheduling) the state on first
+    /// sight. A kernel matching a clean old state adopts its remapped
+    /// closure; anything else pays the ordinary closure computation.
+    fn intern(&mut self, kernel: ItemSet) -> StateId {
+        if let Some(&id) = self.index.get(&kernel) {
+            return id;
+        }
+        let id = StateId(self.kernels.len() as u32);
+        self.kernels.push(kernel.clone());
+        if let Some(&o) = self.old_kernel_ix.get(&kernel) {
+            self.old_of.push(Some(o));
+            self.closures
+                .push(remap_set(self.old_auto.closure(o), self.prod_map));
+            self.old_to_new[o.index()] = Some(id);
+        } else {
+            self.old_of.push(None);
+            self.closures.push(kernel.closure(self.new_g));
+        }
+        self.index.insert(kernel, id);
+        self.work.push(id);
+        id
+    }
+}
+
+impl LrTable {
+    /// Incrementally updates this table to the grammar produced by
+    /// [`Grammar::apply_delta`]: `old_g` is the grammar this table was
+    /// built from, `new_g` and `map` are what `apply_delta` returned.
+    ///
+    /// The result is action-for-action equivalent to
+    /// `LrTable::try_build(new_g, kind)` — same state numbering, same
+    /// actions for every `(state, terminal)`, same GOTOs, default and
+    /// nonterminal reductions, and the same conflict report — while
+    /// reusing the closures and packed rows of every state the delta
+    /// cannot reach. SLR tables (which retain no lookahead sets) and
+    /// deltas removing the augmented start production fall back to a full
+    /// rebuild, reported via [`IncrStats::full_rebuild`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TableBuildError`] when the new grammar is cyclic or a
+    /// packed-encoding field overflows.
+    pub fn update(
+        &self,
+        old_g: &Grammar,
+        new_g: &Grammar,
+        map: &DeltaMap,
+    ) -> Result<(LrTable, IncrStats), TableBuildError> {
+        debug_assert_eq!(map.prod_map.len(), old_g.num_productions());
+        debug_assert_eq!(old_g.num_terminals(), self.num_terminals);
+
+        let an = GrammarAnalysis::new(new_g);
+        if let Some(&n) = an.cyclic_nonterminals(new_g).first() {
+            return Err(TableBuildError::CyclicGrammar {
+                nonterminal: new_g.nonterminal_name(n).to_string(),
+            });
+        }
+
+        let augmented_survives = map.prod_map.first().copied().flatten() == Some(ProdId::AUGMENTED);
+        let (Some(old_la), TableKind::Lalr, true) =
+            (self.lookaheads.as_ref(), self.kind, augmented_survives)
+        else {
+            let table = LrTable::try_build_with_analysis(new_g, &an, self.kind)?;
+            let stats = IncrStats {
+                states: table.num_states(),
+                states_reused: 0,
+                rows_reused: 0,
+                full_rebuild: true,
+            };
+            return Ok((table, stats));
+        };
+
+        // ---- 1. Classify old states: clean iff the delta cannot affect
+        // the state's closure or its outgoing transition symbols.
+        let old_auto = &self.automaton;
+        let old_n = old_auto.num_states();
+        let mut clean = vec![false; old_n];
+        for (s, slot) in clean.iter_mut().enumerate() {
+            let sid = StateId(s as u32);
+            *slot = old_auto.closure(sid).items().iter().all(|it| {
+                map.prod_map[it.prod.index()].is_some()
+                    && match it.next_symbol(old_g) {
+                        Some(Symbol::N(n)) => !map.is_changed(n),
+                        _ => true,
+                    }
+            });
+        }
+
+        // Remapped kernels of clean states, for recognizing them when the
+        // replay reaches their kernel from a dirty predecessor.
+        let mut old_kernel_ix: HashMap<ItemSet, StateId> = HashMap::new();
+        for (s, &is_clean) in clean.iter().enumerate() {
+            if is_clean {
+                let sid = StateId(s as u32);
+                old_kernel_ix.insert(remap_set(old_auto.kernel(sid), &map.prod_map), sid);
+            }
+        }
+
+        // ---- 2. Canonical replay: identical traversal (and therefore
+        // identical state numbering) to `Lr0Automaton::build(new_g)`,
+        // with closure and GOTO-kernel computation skipped wherever a
+        // clean old state already knows the answer.
+        let mut ctx = ReplayCtx {
+            new_g,
+            old_auto,
+            prod_map: &map.prod_map,
+            old_kernel_ix: &old_kernel_ix,
+            kernels: Vec::new(),
+            closures: Vec::new(),
+            index: HashMap::new(),
+            old_of: Vec::new(),
+            old_to_new: vec![None; old_n],
+            work: Vec::new(),
+        };
+        let start = ctx.intern(ItemSet::new(vec![Item::start(ProdId::AUGMENTED)]));
+        debug_assert_eq!(start, StateId::START);
+
+        let mut transitions: HashMap<(StateId, Symbol), StateId> = HashMap::new();
+        while let Some(state) = ctx.work.pop() {
+            let closure = ctx.closures[state.index()].clone();
+            if let Some(s_old) = ctx.old_of[state.index()] {
+                // Clean: same transition symbols as the old state, and
+                // each successor's kernel is the remapped old kernel.
+                let mut syms: Vec<Symbol> = closure
+                    .items()
+                    .iter()
+                    .filter_map(|it| it.next_symbol(new_g))
+                    .collect();
+                syms.sort_unstable();
+                syms.dedup();
+                for sym in syms {
+                    let t_old = old_auto
+                        .goto(s_old, sym)
+                        .expect("clean state keeps its transition symbols");
+                    let target = match ctx.old_to_new[t_old.index()] {
+                        Some(t) => t,
+                        None => {
+                            let kernel = remap_set(old_auto.kernel(t_old), &map.prod_map);
+                            let t = ctx.intern(kernel);
+                            ctx.old_to_new[t_old.index()] = Some(t);
+                            t
+                        }
+                    };
+                    transitions.insert((state, sym), target);
+                }
+            } else {
+                // Dirty: derive successor kernels from the (fresh)
+                // closure. Grouping the advanced items by symbol visits
+                // symbols in the same sorted order `build` uses, without
+                // `goto_kernel`'s per-symbol closure recomputation.
+                let mut moves: Vec<(Symbol, Item)> = closure
+                    .items()
+                    .iter()
+                    .filter_map(|it| it.next_symbol(new_g).map(|sym| (sym, it.advanced())))
+                    .collect();
+                moves.sort_unstable();
+                let mut i = 0;
+                while i < moves.len() {
+                    let sym = moves[i].0;
+                    let mut items = Vec::new();
+                    while i < moves.len() && moves[i].0 == sym {
+                        items.push(moves[i].1);
+                        i += 1;
+                    }
+                    let target = ctx.intern(ItemSet::new(items));
+                    transitions.insert((state, sym), target);
+                }
+            }
+        }
+
+        let ReplayCtx {
+            kernels,
+            closures,
+            old_of,
+            old_to_new,
+            ..
+        } = ctx;
+        let n_new = kernels.len();
+        let states_reused = old_of.iter().filter(|o| o.is_some()).count();
+
+        // Per-state outgoing edges (order irrelevant: consumers index by
+        // symbol, and at most one target exists per symbol).
+        let mut out: Vec<Vec<(Symbol, StateId)>> = vec![Vec::new(); n_new];
+        for (&(s, sym), &t) in &transitions {
+            out[s.index()].push((sym, t));
+        }
+        let auto_new = Lr0Automaton::from_parts(kernels, closures, transitions);
+
+        // ---- 3. Fresh lookaheads (cheap relative to automaton/packing),
+        // then per-row comparison against the retained old sets decides
+        // which clean rows are reusable verbatim.
+        let la_new = lalr_lookaheads(new_g, &an, &auto_new);
+
+        let mut inv_prod: Vec<Option<ProdId>> = vec![None; new_g.num_productions()];
+        for (old_ix, m) in map.prod_map.iter().enumerate() {
+            if let Some(p) = m {
+                inv_prod[p.index()] = Some(ProdId::from_index(old_ix));
+            }
+        }
+        let empty_old = TermSet::empty(old_g.num_terminals());
+        let empty_new = TermSet::empty(new_g.num_terminals());
+        let mut row_reused = vec![false; n_new];
+        for (s, slot) in row_reused.iter_mut().enumerate() {
+            let sid = StateId(s as u32);
+            let Some(s_old) = old_of[s] else { continue };
+            *slot = auto_new.closure(sid).items().iter().all(|item| {
+                if !item.is_final(new_g) || item.prod == ProdId::AUGMENTED {
+                    return true;
+                }
+                let old_prod = inv_prod[item.prod.index()]
+                    .expect("a clean state reduces only by surviving productions");
+                let la_n = la_new.get(&(sid, item.prod)).unwrap_or(&empty_new);
+                let la_o = old_la.get(&(s_old, old_prod)).unwrap_or(&empty_old);
+                same_termset(la_o, la_n)
+            });
+        }
+
+        // ---- 4. Raw rows for dirty states only, replicating the
+        // canonical build: shifts/accept from the transition graph,
+        // reductions from the fresh lookaheads, then sort/dedup and the
+        // static precedence filters, tracking per-row byproducts.
+        let t_new = new_g.num_terminals();
+        let t_old_count = old_g.num_terminals();
+        let mut raw_rows: Vec<Option<Vec<Vec<Action>>>> = vec![None; n_new];
+        let mut new_meta: Vec<RowMeta> = vec![RowMeta::default(); n_new];
+        let mut new_no_default = vec![false; n_new];
+        for s in 0..n_new {
+            if row_reused[s] {
+                let s_old = old_of[s].expect("reused rows map to clean old states");
+                new_meta[s] = self.row_meta[s_old.index()].clone();
+                new_no_default[s] = self.no_default[s_old.index()];
+                continue;
+            }
+            let sid = StateId(s as u32);
+            let mut row: Vec<Vec<Action>> = vec![Vec::new(); t_new];
+            for &(sym, t) in &out[s] {
+                match sym {
+                    Symbol::T(term) if term.is_eof() => row[term.index()].push(Action::Accept),
+                    Symbol::T(term) => row[term.index()].push(Action::Shift(t)),
+                    Symbol::N(_) => {}
+                }
+            }
+            for item in auto_new.closure(sid).items() {
+                if !item.is_final(new_g) || item.prod == ProdId::AUGMENTED {
+                    continue;
+                }
+                if let Some(la) = la_new.get(&(sid, item.prod)) {
+                    for t in la.iter() {
+                        row[t.index()].push(Action::Reduce(item.prod));
+                    }
+                }
+            }
+            let mut scratch = ConflictReport::default();
+            let mut meta = RowMeta::default();
+            for (t, cell) in row.iter_mut().enumerate() {
+                cell.sort_unstable();
+                cell.dedup();
+                if cell.len() > 1
+                    && resolve_cell(new_g, Terminal::from_index(t), cell, &mut scratch)
+                {
+                    new_no_default[s] = true;
+                }
+                if cell.len() > 1 {
+                    let kind = if cell.iter().any(|a| matches!(a, Action::Shift(_))) {
+                        ConflictKind::ShiftReduce
+                    } else {
+                        ConflictKind::ReduceReduce
+                    };
+                    meta.conflicts.push((Terminal::from_index(t), kind));
+                }
+            }
+            meta.resolved_by_precedence = scratch.resolved_by_precedence as u32;
+            meta.nonassoc_errors = scratch.nonassoc_errors as u32;
+            new_meta[s] = meta;
+            raw_rows[s] = Some(row);
+        }
+
+        // Global report: concatenate per-row byproducts in (state,
+        // terminal) order — the order the canonical build emits.
+        let mut conflicts = ConflictReport::default();
+        for (s, meta) in new_meta.iter().enumerate() {
+            conflicts.resolved_by_precedence += meta.resolved_by_precedence as usize;
+            conflicts.nonassoc_errors += meta.nonassoc_errors as usize;
+            for &(t, k) in &meta.conflicts {
+                conflicts.remaining.push((StateId(s as u32), t, k));
+            }
+        }
+
+        // ---- 5. Terminal classes: refine the old classes by the dirty
+        // rows' column signatures. Same old class + identical cells in
+        // every dirty row ⇒ identical cells in every row, so members can
+        // keep sharing a column. New terminals (no old class) only group
+        // among themselves; their cells in reused rows are always empty —
+        // a clean state's items never mention a new symbol, and a
+        // reduction on a new terminal would have changed the row's
+        // lookaheads, dirtying it.
+        let old_pk = &self.packed;
+        let dirty: Vec<usize> = (0..n_new).filter(|&s| !row_reused[s]).collect();
+        let mut term_class = vec![0u16; t_new];
+        let mut class_rep: Vec<usize> = Vec::new();
+        {
+            let mut seen: HashMap<(Option<u16>, Vec<&[Action]>), u16> = HashMap::new();
+            for (t, tc) in term_class.iter_mut().enumerate() {
+                let old_c = (t < t_old_count).then(|| old_pk.term_class[t]);
+                let sig: Vec<&[Action]> = dirty
+                    .iter()
+                    .map(|&s| raw_rows[s].as_ref().expect("dirty row present")[t].as_slice())
+                    .collect();
+                let next = class_id(class_rep.len())?;
+                let class = *seen.entry((old_c, sig)).or_insert(next);
+                if class == next {
+                    class_rep.push(t);
+                }
+                *tc = class;
+            }
+        }
+        let num_classes = class_rep.len();
+        let mut class_size = vec![0usize; num_classes];
+        for &c in &term_class {
+            class_size[c as usize] += 1;
+        }
+
+        // ---- 6. Cells, arena, default reductions. Dirty rows pack from
+        // their raw cells exactly as `PackedTables::pack` would; reused
+        // rows transform the old packed words: decode, remap shift
+        // targets and production ids, re-encode. Equal precedence inputs
+        // make re-resolution unnecessary.
+        let remap_action = |a: Action| -> Action {
+            match a {
+                Action::Shift(t) => Action::Shift(
+                    old_to_new[t.index()].expect("shift target of a reused row is instantiated"),
+                ),
+                Action::Reduce(p) => Action::Reduce(
+                    map.prod_map[p.index()].expect("reduction of a reused row survives"),
+                ),
+                Action::Accept => Action::Accept,
+            }
+        };
+
+        let mut cells = vec![0u32; n_new * num_classes];
+        let mut arena = vec![0u32]; // pad: offset 0 is never a real cell
+        let mut default_reduce = vec![0u32; n_new];
+        let mut action_entries = 0usize;
+        for s in 0..n_new {
+            if let Some(row) = &raw_rows[s] {
+                for (c, &rep) in class_rep.iter().enumerate() {
+                    let cell = &row[rep];
+                    cells[s * num_classes + c] = match cell.len() {
+                        0 => 0,
+                        1 => PackedAction::try_encode(cell[0])?.0,
+                        n => {
+                            let off = arena_offset(arena.len())?;
+                            arena.push(n as u32);
+                            for &a in cell {
+                                arena.push(PackedAction::try_encode(a)?.0);
+                            }
+                            off
+                        }
+                    };
+                }
+                action_entries += row.iter().map(|c| c.len()).sum::<usize>();
+                if !new_no_default[s] {
+                    let mut agreed: Option<ProdId> = None;
+                    let mut ok = true;
+                    for &rep in &class_rep {
+                        match row[rep].as_slice() {
+                            [] => {}
+                            [Action::Reduce(p)] if new_g.production(*p).arity() > 0 => match agreed
+                            {
+                                None => agreed = Some(*p),
+                                Some(prev) if prev == *p => {}
+                                Some(_) => {
+                                    ok = false;
+                                    break;
+                                }
+                            },
+                            _ => {
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    if ok {
+                        if let Some(p) = agreed {
+                            default_reduce[s] = PackedAction::try_encode(Action::Reduce(p))?.0;
+                        }
+                    }
+                }
+            } else {
+                let s_old = old_of[s]
+                    .expect("reused rows map to clean old states")
+                    .index();
+                for (c, &rep) in class_rep.iter().enumerate() {
+                    if rep >= t_old_count {
+                        continue; // new-terminal column: empty in reused rows
+                    }
+                    let old_word =
+                        old_pk.cells[s_old * old_pk.num_classes + old_pk.term_class[rep] as usize];
+                    cells[s * num_classes + c] = if old_word == 0 {
+                        0
+                    } else if old_word >> TAG_BITS != 0 {
+                        action_entries += class_size[c];
+                        PackedAction::try_encode(remap_action(PackedAction(old_word).decode()))?.0
+                    } else {
+                        let off = old_word as usize;
+                        let n = old_pk.arena[off] as usize;
+                        let new_off = arena_offset(arena.len())?;
+                        arena.push(n as u32);
+                        for &w in &old_pk.arena[off + 1..off + 1 + n] {
+                            arena.push(
+                                PackedAction::try_encode(remap_action(PackedAction(w).decode()))?.0,
+                            );
+                        }
+                        action_entries += n * class_size[c];
+                        new_off
+                    };
+                }
+                let w = old_pk.default_reduce[s_old];
+                if w != 0 {
+                    default_reduce[s] =
+                        PackedAction::try_encode(remap_action(PackedAction(w).decode()))?.0;
+                }
+            }
+        }
+
+        // ---- 7. GOTO: reused rows remap the old packed words (new
+        // nonterminal columns stay empty — clean states never transition
+        // on new symbols); dirty rows read the fresh transition graph.
+        let nn_new = new_g.num_nonterminals();
+        let nn_old = old_g.num_nonterminals();
+        let mut gotos = vec![0u32; n_new * nn_new];
+        for s in 0..n_new {
+            if raw_rows[s].is_none() {
+                let s_old = old_of[s]
+                    .expect("reused rows map to clean old states")
+                    .index();
+                for n in 0..nn_old {
+                    let w = old_pk.gotos[s_old * nn_old + n];
+                    if w != 0 {
+                        let t = old_to_new[(w - 1) as usize]
+                            .expect("goto target of a reused row is instantiated");
+                        gotos[s * nn_new + n] = t.0 + 1;
+                    }
+                }
+            } else {
+                for &(sym, t) in &out[s] {
+                    if let Symbol::N(n) = sym {
+                        gotos[s * nn_new + n.index()] = t.0 + 1;
+                    }
+                }
+            }
+        }
+
+        // ---- 8. Nonterminal reductions (Section 3.2). A reused row
+        // copies (remaps) its old list for every nonterminal whose
+        // nullability and FIRST set are unchanged; everything else is
+        // recomputed by reading the freshly assembled packed cells — the
+        // same inputs the canonical build reads.
+        let old_an = GrammarAnalysis::new(old_g);
+        let mut nt_same = vec![false; nn_new];
+        for (n, slot) in nt_same.iter_mut().enumerate().take(nn_old) {
+            let nt = NonTerminal::from_index(n);
+            *slot = old_an.nullable(nt) == an.nullable(nt)
+                && same_termset(old_an.first(nt), an.first(nt));
+        }
+
+        let reduce_list = |s: usize, t: Terminal, cells: &[u32], arena: &[u32]| -> Vec<ProdId> {
+            let word = cells[s * num_classes + term_class[t.index()] as usize];
+            if word == 0 {
+                Vec::new()
+            } else if word >> TAG_BITS != 0 {
+                match PackedAction(word).decode() {
+                    Action::Reduce(p) => vec![p],
+                    _ => Vec::new(),
+                }
+            } else {
+                let off = word as usize;
+                let n = arena[off] as usize;
+                arena[off + 1..off + 1 + n]
+                    .iter()
+                    .filter_map(|&w| match PackedAction(w).decode() {
+                        Action::Reduce(p) => Some(p),
+                        _ => None,
+                    })
+                    .collect()
+            }
+        };
+
+        let mut nt_cells = vec![NT_NONE; n_new * nn_new];
+        let mut nt_arena: Vec<ProdId> = Vec::new();
+        for s in 0..n_new {
+            for nix in 0..nn_new {
+                if raw_rows[s].is_none() && nix < nn_old && nt_same[nix] {
+                    let s_old = old_of[s]
+                        .expect("reused rows map to clean old states")
+                        .index();
+                    let word = old_pk.nt_cells[s_old * nn_old + nix];
+                    if word != NT_NONE {
+                        let off = (word >> NT_LEN_BITS) as usize;
+                        let len = (word & NT_LEN_MASK) as usize;
+                        let new_word = nt_cell_word(nt_arena.len(), len)?;
+                        for &p in &old_pk.nt_arena[off..off + len] {
+                            nt_arena.push(
+                                map.prod_map[p.index()]
+                                    .expect("nt-reduction of a reused row survives"),
+                            );
+                        }
+                        nt_cells[s * nn_new + nix] = new_word;
+                    }
+                    continue;
+                }
+                let n = NonTerminal::from_index(nix);
+                if an.nullable(n) {
+                    continue; // `provided that N does not generate ε`
+                }
+                let first = an.first(n);
+                if first.is_empty() {
+                    continue;
+                }
+                let mut agreed: Option<Vec<ProdId>> = None;
+                let mut ok = true;
+                for t in first.iter() {
+                    let reduces = reduce_list(s, t, &cells, &arena);
+                    match &agreed {
+                        None => agreed = Some(reduces),
+                        Some(prev) if *prev == reduces => {}
+                        Some(_) => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if ok {
+                    let list = agreed.unwrap_or_default();
+                    let new_word = nt_cell_word(nt_arena.len(), list.len())?;
+                    nt_arena.extend_from_slice(&list);
+                    nt_cells[s * nn_new + nix] = new_word;
+                }
+            }
+        }
+
+        let rows_reused = row_reused.iter().filter(|&&r| r).count();
+        let packed = PackedTables {
+            num_classes,
+            num_nonterminals: nn_new,
+            term_class,
+            cells,
+            arena,
+            default_reduce,
+            gotos,
+            nt_cells,
+            nt_arena,
+            action_entries,
+        };
+        let table = LrTable {
+            kind: TableKind::Lalr,
+            num_states: n_new,
+            num_terminals: t_new,
+            packed,
+            conflicts,
+            automaton: auto_new,
+            lookaheads: Some(la_new),
+            row_meta: new_meta,
+            no_default: new_no_default,
+        };
+        Ok((
+            table,
+            IncrStats {
+                states: n_new,
+                states_reused,
+                rows_reused,
+                full_rebuild: false,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::RefTable;
+    use wg_grammar::{GrammarBuilder, GrammarDelta};
+
+    /// Full-surface equivalence of an incrementally updated table against
+    /// a from-scratch build of the same grammar: states, every ACTION
+    /// cell, GOTOs, default reductions, nt-reductions, conflict report
+    /// and entry counts.
+    pub(crate) fn assert_matches_scratch(g: &Grammar, incr: &LrTable) {
+        let scratch = LrTable::build(g, TableKind::Lalr);
+        let reference = RefTable::build(g, TableKind::Lalr);
+        assert_eq!(incr.num_states(), scratch.num_states(), "state count");
+        for s in 0..scratch.num_states() {
+            let sid = StateId(s as u32);
+            assert_eq!(
+                incr.automaton().kernel(sid),
+                scratch.automaton().kernel(sid),
+                "state {s} kernel (numbering must replay identically)"
+            );
+            for t in 0..g.num_terminals() {
+                let term = Terminal::from_index(t);
+                assert_eq!(
+                    incr.actions(sid, term).to_vec(),
+                    reference.actions(sid, term),
+                    "actions at state {s}, terminal {t}"
+                );
+            }
+            assert_eq!(
+                incr.default_reduction(sid),
+                scratch.default_reduction(sid),
+                "default reduction at state {s}"
+            );
+            for n in g.nonterminals() {
+                assert_eq!(incr.goto(sid, n), reference.goto(sid, n), "goto at {s}");
+                assert_eq!(
+                    incr.nt_reductions(sid, n),
+                    reference.nt_reductions(sid, n),
+                    "nt-reductions at state {s}"
+                );
+            }
+        }
+        assert_eq!(
+            incr.conflicts().remaining,
+            scratch.conflicts().remaining,
+            "remaining conflicts"
+        );
+        assert_eq!(
+            incr.conflicts().resolved_by_precedence,
+            scratch.conflicts().resolved_by_precedence
+        );
+        assert_eq!(
+            incr.conflicts().nonassoc_errors,
+            scratch.conflicts().nonassoc_errors
+        );
+        assert_eq!(incr.num_action_entries(), reference.num_action_entries());
+        // The retained intermediates must also match, so a chain of
+        // updates stays usable as the base of the next update.
+        assert_eq!(incr.no_default, scratch.no_default);
+        for s in 0..scratch.num_states() {
+            assert_eq!(
+                incr.row_meta[s].conflicts, scratch.row_meta[s].conflicts,
+                "row meta at state {s}"
+            );
+        }
+    }
+
+    fn dragon() -> Grammar {
+        let mut b = GrammarBuilder::new("dragon");
+        let plus = b.terminal("+");
+        let star = b.terminal("*");
+        let lp = b.terminal("(");
+        let rp = b.terminal(")");
+        let id = b.terminal("id");
+        let e = b.nonterminal("E");
+        let t = b.nonterminal("T");
+        let f = b.nonterminal("F");
+        b.prod(e, vec![Symbol::N(e), Symbol::T(plus), Symbol::N(t)]);
+        b.prod(e, vec![Symbol::N(t)]);
+        b.prod(t, vec![Symbol::N(t), Symbol::T(star), Symbol::N(f)]);
+        b.prod(t, vec![Symbol::N(f)]);
+        b.prod(f, vec![Symbol::T(lp), Symbol::N(e), Symbol::T(rp)]);
+        b.prod(f, vec![Symbol::T(id)]);
+        b.start(e);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn add_production_to_leaf_nonterminal() {
+        let g = dragon();
+        let table = LrTable::build(&g, TableKind::Lalr);
+        let mut d = GrammarDelta::new(&g);
+        let num = d.add_terminal("num");
+        let f = g.nonterminal_by_name("F").unwrap();
+        d.add_production(f, vec![Symbol::T(num)]);
+        let (new_g, map) = g.apply_delta(&d).unwrap();
+        let (updated, stats) = table.update(&g, &new_g, &map).unwrap();
+        assert!(!stats.full_rebuild);
+        assert!(stats.states_reused > 0, "leaf edit must reuse states");
+        assert_matches_scratch(&new_g, &updated);
+    }
+
+    #[test]
+    fn remove_production() {
+        let g = dragon();
+        let table = LrTable::build(&g, TableKind::Lalr);
+        let mut d = GrammarDelta::new(&g);
+        // Remove E -> E + T; the grammar stays productive via E -> T.
+        let e = g.nonterminal_by_name("E").unwrap();
+        let (pid, _) = g
+            .productions()
+            .find(|(_, p)| p.lhs() == e && p.rhs().len() == 3 && p.rhs()[0] == Symbol::N(e))
+            .unwrap();
+        d.remove_production(pid);
+        let (new_g, map) = g.apply_delta(&d).unwrap();
+        let (updated, stats) = table.update(&g, &new_g, &map).unwrap();
+        assert!(!stats.full_rebuild);
+        assert_matches_scratch(&new_g, &updated);
+    }
+
+    #[test]
+    fn chained_updates_stay_equivalent() {
+        let g0 = dragon();
+        let t0 = LrTable::build(&g0, TableKind::Lalr);
+        let mut d1 = GrammarDelta::new(&g0);
+        let num = d1.add_terminal("num");
+        let f = g0.nonterminal_by_name("F").unwrap();
+        d1.add_production(f, vec![Symbol::T(num)]);
+        let (g1, m1) = g0.apply_delta(&d1).unwrap();
+        let (t1, _) = t0.update(&g0, &g1, &m1).unwrap();
+        assert_matches_scratch(&g1, &t1);
+
+        // Second delta applied on top of the *updated* table.
+        let mut d2 = GrammarDelta::new(&g1);
+        let lb = d2.add_terminal("[");
+        let rb = d2.add_terminal("]");
+        let e = g1.nonterminal_by_name("E").unwrap();
+        d2.add_production(f, vec![Symbol::T(lb), Symbol::N(e), Symbol::T(rb)]);
+        let (g2, m2) = g1.apply_delta(&d2).unwrap();
+        let (t2, stats) = t1.update(&g1, &g2, &m2).unwrap();
+        assert!(!stats.full_rebuild);
+        assert_matches_scratch(&g2, &t2);
+    }
+
+    #[test]
+    fn slr_tables_fall_back_to_full_rebuild() {
+        let g = dragon();
+        let table = LrTable::build(&g, TableKind::Slr);
+        let mut d = GrammarDelta::new(&g);
+        let f = g.nonterminal_by_name("F").unwrap();
+        let id = g.terminal_by_name("id").unwrap();
+        d.add_production(f, vec![Symbol::T(id), Symbol::T(id)]);
+        let (new_g, map) = g.apply_delta(&d).unwrap();
+        let (updated, stats) = table.update(&g, &new_g, &map).unwrap();
+        assert!(stats.full_rebuild);
+        assert_eq!(updated.kind(), TableKind::Slr);
+    }
+
+    #[test]
+    fn cyclic_delta_is_rejected() {
+        let g = dragon();
+        let table = LrTable::build(&g, TableKind::Lalr);
+        let mut d = GrammarDelta::new(&g);
+        let e = g.nonterminal_by_name("E").unwrap();
+        d.add_production(e, vec![Symbol::N(e)]);
+        let (new_g, map) = g.apply_delta(&d).unwrap();
+        assert!(matches!(
+            table.update(&g, &new_g, &map),
+            Err(TableBuildError::CyclicGrammar { .. })
+        ));
+    }
+}

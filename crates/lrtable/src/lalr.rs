@@ -18,31 +18,37 @@ pub(crate) fn lalr_lookaheads(
     an: &GrammarAnalysis,
     auto: &Lr0Automaton,
 ) -> Lookaheads {
-    // 1. Enumerate nonterminal transitions (p, A).
+    // 1. Enumerate nonterminal transitions (p, A), plus per-state
+    //    adjacency: the terminals shiftable out of each state (for DR) and
+    //    the nonterminal transitions out of each state (for `reads`). One
+    //    pass over the transition relation replaces the old
+    //    probe-every-symbol-per-state loops.
+    let universe = g.num_terminals();
+    let num_states = auto.num_states();
     let mut trans: Vec<(StateId, NonTerminal)> = Vec::new();
     let mut trans_ix: HashMap<(StateId, NonTerminal), usize> = HashMap::new();
+    let mut term_shift: Vec<TermSet> = vec![TermSet::empty(universe); num_states];
+    let mut nt_out: Vec<Vec<NonTerminal>> = vec![Vec::new(); num_states];
     for (p, sym, _) in auto.transitions() {
-        if let Symbol::N(a) = sym {
-            trans_ix.entry((p, a)).or_insert_with(|| {
-                trans.push((p, a));
-                trans.len() - 1
-            });
+        match sym {
+            Symbol::N(a) => {
+                trans_ix.entry((p, a)).or_insert_with(|| {
+                    trans.push((p, a));
+                    trans.len() - 1
+                });
+                nt_out[p.index()].push(a);
+            }
+            Symbol::T(t) => {
+                term_shift[p.index()].insert(t);
+            }
         }
     }
-
-    let universe = g.num_terminals();
 
     // 2. DR(p, A): terminals shiftable directly out of goto(p, A).
     let mut dr: Vec<TermSet> = Vec::with_capacity(trans.len());
     for &(p, a) in &trans {
         let r = auto.goto(p, Symbol::N(a)).expect("transition exists");
-        let mut set = TermSet::empty(universe);
-        for t in g.terminals() {
-            if auto.goto(r, Symbol::T(t)).is_some() {
-                set.insert(t);
-            }
-        }
-        dr.push(set);
+        dr.push(term_shift[r.index()].clone());
     }
 
     // 3. `reads`: (p, A) reads (r, C) iff goto(p, A) = r and C is a nullable
@@ -50,11 +56,9 @@ pub(crate) fn lalr_lookaheads(
     let mut reads: Vec<Vec<usize>> = vec![Vec::new(); trans.len()];
     for (i, &(p, a)) in trans.iter().enumerate() {
         let r = auto.goto(p, Symbol::N(a)).expect("transition exists");
-        for c in g.nonterminals() {
+        for &c in &nt_out[r.index()] {
             if an.nullable(c) {
-                if let Some(&j) = trans_ix.get(&(r, c)) {
-                    reads[i].push(j);
-                }
+                reads[i].push(trans_ix[&(r, c)]);
             }
         }
     }
@@ -62,19 +66,17 @@ pub(crate) fn lalr_lookaheads(
     // 4. Read = digraph(reads, DR).
     let read = digraph(&reads, &dr);
 
-    // 5. `includes` and `lookback` in one sweep over (production, state).
+    // 5. `includes` and `lookback` in one sweep over (transition,
+    //    production-of-its-nonterminal). This enumerates exactly the
+    //    (p0, prod) pairs with a defined (p0, lhs) transition — the same
+    //    set the old productions × states sweep filtered down to, without
+    //    touching the (mostly irrelevant) full cross product.
     let mut includes: Vec<Vec<usize>> = vec![Vec::new(); trans.len()];
     // lookback[(q, prod)] -> transition indices (p', lhs).
     let mut lookback: HashMap<(StateId, ProdId), Vec<usize>> = HashMap::new();
-    for (prod_id, prod) in g.productions() {
-        let lhs = prod.lhs();
-        for p0 in 0..auto.num_states() {
-            let p0 = StateId(p0 as u32);
-            // (p0, lhs) must itself be a nonterminal transition for the
-            // relations to be defined.
-            let Some(&start_ix) = trans_ix.get(&(p0, lhs)) else {
-                continue;
-            };
+    for (start_ix, &(p0, lhs)) in trans.iter().enumerate() {
+        for prod_id in g.productions_for(lhs) {
+            let prod = g.production(prod_id);
             // Walk the rhs; record states along the way.
             let mut states = Vec::with_capacity(prod.arity() + 1);
             states.push(p0);

@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 mod automaton;
+mod incr;
 mod item;
 mod lalr;
 mod lr1;
@@ -50,6 +51,7 @@ mod packed;
 mod table;
 
 pub use automaton::{Lr0Automaton, StateId};
+pub use incr::IncrStats;
 pub use item::{Item, ItemSet};
 pub use lr1::{lr1_metrics, Lr1Metrics};
 pub use packed::{Cell, PackError, PackedAction, TableStats};

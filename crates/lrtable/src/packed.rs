@@ -110,9 +110,9 @@ const TAG_REDUCE: u32 = 2;
 /// Tag of a packed accept action (payload unused).
 const TAG_ACCEPT: u32 = 3;
 /// Bit position of the 2-bit tag.
-const TAG_BITS: u32 = 30;
+pub(crate) const TAG_BITS: u32 = 30;
 /// Mask of the 30-bit payload.
-const PAYLOAD_MASK: u32 = (1 << TAG_BITS) - 1;
+pub(crate) const PAYLOAD_MASK: u32 = (1 << TAG_BITS) - 1;
 
 /// One parse action packed into a tagged `u32`.
 ///
@@ -238,10 +238,10 @@ impl<'a> IntoIterator for Cell<'a> {
 
 /// Sentinel in the packed nonterminal-reduction index: no precomputed
 /// reduction list (the incremental parser must break the subtree down).
-const NT_NONE: u32 = u32::MAX;
+pub(crate) const NT_NONE: u32 = u32::MAX;
 /// Bits of an nt-index word reserved for the list length.
-const NT_LEN_BITS: u32 = 5;
-const NT_LEN_MASK: u32 = (1 << NT_LEN_BITS) - 1;
+pub(crate) const NT_LEN_BITS: u32 = 5;
+pub(crate) const NT_LEN_MASK: u32 = (1 << NT_LEN_BITS) - 1;
 
 /// Size and shape metrics of a packed table (Section 5-style reporting
 /// and the `tables` bench's `BENCH_tables.json` artifact).
@@ -266,35 +266,35 @@ pub struct TableStats {
 /// The packed ACTION/GOTO representation behind [`crate::LrTable`].
 #[derive(Debug, Clone)]
 pub(crate) struct PackedTables {
-    num_classes: usize,
-    num_nonterminals: usize,
+    pub(crate) num_classes: usize,
+    pub(crate) num_nonterminals: usize,
     /// Terminal index → equivalence class.
-    term_class: Vec<u16>,
+    pub(crate) term_class: Vec<u16>,
     /// `cells[s * num_classes + class]`: `0` = error, tagged = inline
     /// single action, untagged nonzero = offset into `arena`.
-    cells: Vec<u32>,
+    pub(crate) cells: Vec<u32>,
     /// Length-prefixed action lists for conflicted cells. Index 0 holds a
     /// pad word so offset 0 never addresses a real cell.
-    arena: Vec<u32>,
+    pub(crate) arena: Vec<u32>,
     /// Per-state default reduction (packed `Reduce`, or `0` for none).
-    default_reduce: Vec<u32>,
+    pub(crate) default_reduce: Vec<u32>,
     /// `gotos[s * num_nonterminals + n]`: `0` = error, else `state + 1`.
-    gotos: Vec<u32>,
+    pub(crate) gotos: Vec<u32>,
     /// `(offset << 5 | len)` into `nt_arena`, or [`NT_NONE`].
-    nt_cells: Vec<u32>,
+    pub(crate) nt_cells: Vec<u32>,
     /// Shared storage for all precomputed nonterminal-reduction lists.
-    nt_arena: Vec<ProdId>,
+    pub(crate) nt_arena: Vec<ProdId>,
     /// Nonempty ACTION entries before packing (per terminal, not class).
-    action_entries: usize,
+    pub(crate) action_entries: usize,
 }
 
 /// Checked `u16` terminal-class index.
-fn class_id(n: usize) -> Result<u16, PackError> {
+pub(crate) fn class_id(n: usize) -> Result<u16, PackError> {
     u16::try_from(n).map_err(|_| PackError::TermClasses { classes: n + 1 })
 }
 
 /// Checked 30-bit conflict-arena offset.
-fn arena_offset(words: usize) -> Result<u32, PackError> {
+pub(crate) fn arena_offset(words: usize) -> Result<u32, PackError> {
     if words as u64 > PAYLOAD_MASK as u64 {
         Err(PackError::ArenaOffset { words })
     } else {
@@ -303,7 +303,7 @@ fn arena_offset(words: usize) -> Result<u32, PackError> {
 }
 
 /// Checked `(offset << 5 | len)` nonterminal-reduction index word.
-fn nt_cell_word(off: usize, len: usize) -> Result<u32, PackError> {
+pub(crate) fn nt_cell_word(off: usize, len: usize) -> Result<u32, PackError> {
     if len > NT_LEN_MASK as usize {
         return Err(PackError::NtListLen { len });
     }

@@ -10,7 +10,7 @@
 //! form for differential tests and size comparisons.
 
 use crate::automaton::{Lr0Automaton, StateId};
-use crate::lalr::lalr_lookaheads;
+use crate::lalr::{lalr_lookaheads, Lookaheads};
 use crate::packed::{Cell, PackError, PackedTables, TableStats};
 use std::fmt;
 use wg_grammar::{Assoc, Grammar, GrammarAnalysis, NonTerminal, ProdId, Symbol, TermSet, Terminal};
@@ -105,6 +105,20 @@ impl ConflictReport {
     }
 }
 
+/// Per-state construction byproducts retained for incremental update: how
+/// much static filtering happened in the row, and which conflicts remain
+/// in it. A structurally reused row contributes these to the updated
+/// table's [`ConflictReport`] without being recomputed.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RowMeta {
+    /// Shift/reduce conflicts precedence removed from this row.
+    pub(crate) resolved_by_precedence: u32,
+    /// Actions `%nonassoc` deleted from this row.
+    pub(crate) nonassoc_errors: u32,
+    /// Conflicts remaining in this row, in ascending terminal order.
+    pub(crate) conflicts: Vec<(Terminal, ConflictKind)>,
+}
+
 /// The raw cell-of-Vecs tables produced by construction, before packing.
 struct RawTables {
     num_states: usize,
@@ -123,6 +137,11 @@ struct RawTables {
     /// dispatch has to consult the cell and *see* the error.
     no_default: Vec<bool>,
     conflicts: ConflictReport,
+    /// Per-state conflict/filter byproducts (for incremental reassembly).
+    row_meta: Vec<RowMeta>,
+    /// The LALR lookahead sets (`None` for SLR builds), retained so an
+    /// incremental update can detect rows whose reductions changed.
+    lookaheads: Option<Lookaheads>,
     automaton: Lr0Automaton,
 }
 
@@ -179,10 +198,15 @@ fn build_raw(g: &Grammar, an: &GrammarAnalysis, kind: TableKind) -> RawTables {
         }
     }
 
-    // Canonicalize cells and apply static filters.
+    // Canonicalize cells and apply static filters, recording each row's
+    // contribution to the global report so incremental update can
+    // reassemble it from reused rows.
     let mut conflicts = ConflictReport::default();
     let mut no_default = vec![false; num_states];
+    let mut row_meta = Vec::with_capacity(num_states);
     for s in 0..num_states {
+        let (rp0, na0) = (conflicts.resolved_by_precedence, conflicts.nonassoc_errors);
+        let remaining0 = conflicts.remaining.len();
         for t in 0..num_terminals {
             let cell = &mut actions[s * num_terminals + t];
             cell.sort_unstable();
@@ -201,6 +225,14 @@ fn build_raw(g: &Grammar, an: &GrammarAnalysis, kind: TableKind) -> RawTables {
                     .push((StateId(s as u32), Terminal::from_index(t), kind));
             }
         }
+        row_meta.push(RowMeta {
+            resolved_by_precedence: (conflicts.resolved_by_precedence - rp0) as u32,
+            nonassoc_errors: (conflicts.nonassoc_errors - na0) as u32,
+            conflicts: conflicts.remaining[remaining0..]
+                .iter()
+                .map(|&(_, t, k)| (t, k))
+                .collect(),
+        });
     }
 
     // Nonterminal-reduction precomputation (Section 3.2).
@@ -248,6 +280,8 @@ fn build_raw(g: &Grammar, an: &GrammarAnalysis, kind: TableKind) -> RawTables {
         nt_reduce,
         no_default,
         conflicts,
+        row_meta,
+        lookaheads: lalr,
         automaton: auto,
     }
 }
@@ -258,12 +292,18 @@ fn build_raw(g: &Grammar, an: &GrammarAnalysis, kind: TableKind) -> RawTables {
 /// default reductions.
 #[derive(Debug, Clone)]
 pub struct LrTable {
-    kind: TableKind,
-    num_states: usize,
-    num_terminals: usize,
-    packed: PackedTables,
-    conflicts: ConflictReport,
-    automaton: Lr0Automaton,
+    pub(crate) kind: TableKind,
+    pub(crate) num_states: usize,
+    pub(crate) num_terminals: usize,
+    pub(crate) packed: PackedTables,
+    pub(crate) conflicts: ConflictReport,
+    pub(crate) automaton: Lr0Automaton,
+    /// Retained intermediates for incremental update (`crate::incr`): the
+    /// LALR lookahead sets (`None` for SLR), per-row conflict byproducts,
+    /// and the no-default-reduce flags.
+    pub(crate) lookaheads: Option<Lookaheads>,
+    pub(crate) row_meta: Vec<RowMeta>,
+    pub(crate) no_default: Vec<bool>,
 }
 
 impl LrTable {
@@ -330,6 +370,9 @@ impl LrTable {
             packed,
             conflicts: raw.conflicts,
             automaton: raw.automaton,
+            lookaheads: raw.lookaheads,
+            row_meta: raw.row_meta,
+            no_default: raw.no_default,
         })
     }
 
@@ -489,7 +532,7 @@ impl fmt::Display for TableKind {
 /// syntactic filters*, Section 4.1). Returns `true` when `%nonassoc`
 /// emptied the cell — a deliberate error entry the containing state must
 /// surface (so it can never carry a default reduction).
-fn resolve_cell(
+pub(crate) fn resolve_cell(
     g: &Grammar,
     term: Terminal,
     cell: &mut Vec<Action>,

@@ -1,0 +1,348 @@
+//! Hand-written grammar-delta fixtures for the incremental table
+//! generator: each scenario exercises one structural consequence of a
+//! delta (state splits, orphaned states, ε-productions, new terminal
+//! columns, conflict cells spilling into and out of the arena) and
+//! asserts the incrementally updated table is action-for-action
+//! equivalent to a from-scratch build of the edited grammar.
+
+use wg_grammar::{Grammar, GrammarBuilder, GrammarDelta, NonTerminal, Symbol, Terminal};
+use wg_lrtable::{Action, LrTable, RefTable, StateId, TableKind};
+
+/// Full-surface equivalence of the incrementally updated `upd` against a
+/// from-scratch build for `g`: same state numbering (kernel-for-kernel),
+/// same ACTION cells, GOTOs, default reductions, nonterminal reductions,
+/// conflict report and entry counts.
+fn assert_matches_scratch(g: &Grammar, upd: &LrTable) {
+    let scratch = LrTable::build(g, TableKind::Lalr);
+    let naive = RefTable::build(g, TableKind::Lalr);
+    assert_eq!(upd.num_states(), scratch.num_states(), "state count");
+    for s in 0..scratch.num_states() {
+        let sid = StateId(s as u32);
+        assert_eq!(
+            upd.automaton().kernel(sid),
+            scratch.automaton().kernel(sid),
+            "kernel of state {s}: replay must reproduce scratch numbering"
+        );
+        for t in 0..g.num_terminals() {
+            let term = Terminal::from_index(t);
+            assert_eq!(
+                upd.actions(sid, term).to_vec(),
+                naive.actions(sid, term),
+                "ACTION mismatch at state {s}, terminal {t}"
+            );
+        }
+        assert_eq!(
+            upd.default_reduction(sid),
+            scratch.default_reduction(sid),
+            "default reduction at state {s}"
+        );
+        for nt in 0..g.num_nonterminals() {
+            let n = NonTerminal::from_index(nt);
+            assert_eq!(upd.goto(sid, n), naive.goto(sid, n), "GOTO at state {s}");
+            assert_eq!(
+                upd.nt_reductions(sid, n),
+                naive.nt_reductions(sid, n),
+                "nt-reductions at state {s}, nonterminal {nt}"
+            );
+        }
+    }
+    assert_eq!(upd.conflicts().remaining, scratch.conflicts().remaining);
+    assert_eq!(
+        upd.conflicts().resolved_by_precedence,
+        scratch.conflicts().resolved_by_precedence
+    );
+    assert_eq!(
+        upd.conflicts().nonassoc_errors,
+        scratch.conflicts().nonassoc_errors
+    );
+    assert_eq!(upd.num_action_entries(), naive.num_action_entries());
+    assert_eq!(upd.is_deterministic(), scratch.is_deterministic());
+}
+
+/// A statement-language grammar with enough breadth that leaf edits leave
+/// most states untouched:
+/// S -> S ; stmt-ish | stmt-ish, expressions with +/*, parens, id/num.
+fn stmt_grammar() -> Grammar {
+    let mut b = GrammarBuilder::new("stmt");
+    let semi = b.terminal(";");
+    let assign = b.terminal("=");
+    let plus = b.terminal("+");
+    let star = b.terminal("*");
+    let lp = b.terminal("(");
+    let rp = b.terminal(")");
+    let id = b.terminal("id");
+    let num = b.terminal("num");
+    let prog = b.nonterminal("Prog");
+    let stmt = b.nonterminal("Stmt");
+    let e = b.nonterminal("E");
+    let t = b.nonterminal("T");
+    let f = b.nonterminal("F");
+    b.prod(
+        prog,
+        vec![Symbol::N(prog), Symbol::T(semi), Symbol::N(stmt)],
+    );
+    b.prod(prog, vec![Symbol::N(stmt)]);
+    b.prod(stmt, vec![Symbol::T(id), Symbol::T(assign), Symbol::N(e)]);
+    b.prod(e, vec![Symbol::N(e), Symbol::T(plus), Symbol::N(t)]);
+    b.prod(e, vec![Symbol::N(t)]);
+    b.prod(t, vec![Symbol::N(t), Symbol::T(star), Symbol::N(f)]);
+    b.prod(t, vec![Symbol::N(f)]);
+    b.prod(f, vec![Symbol::T(lp), Symbol::N(e), Symbol::T(rp)]);
+    b.prod(f, vec![Symbol::T(id)]);
+    b.prod(f, vec![Symbol::T(num)]);
+    b.start(prog);
+    b.build().unwrap()
+}
+
+fn find_prod(g: &Grammar, lhs: &str, rhs_len: usize, first: Option<Symbol>) -> wg_grammar::ProdId {
+    let n = g.nonterminal_by_name(lhs).unwrap();
+    g.productions()
+        .find(|(_, p)| {
+            p.lhs() == n
+                && p.rhs().len() == rhs_len
+                && first.is_none_or(|sym| p.rhs().first() == Some(&sym))
+        })
+        .map(|(id, _)| id)
+        .unwrap_or_else(|| panic!("no production {lhs} with arity {rhs_len}"))
+}
+
+/// Adding `F -> F ! ` splits the states containing `F`-predicting items:
+/// their closures gain the new item, and a fresh successor state appears
+/// behind the new `!` shift. States outside the expression sublanguage
+/// (the statement spine) must be structurally reused.
+#[test]
+fn production_add_splits_predicting_states() {
+    let g = stmt_grammar();
+    let table = LrTable::build(&g, TableKind::Lalr);
+    let mut d = GrammarDelta::new(&g);
+    let bang = d.add_terminal("!");
+    let f = g.nonterminal_by_name("F").unwrap();
+    d.add_production(f, vec![Symbol::N(f), Symbol::T(bang)]);
+    let (new_g, map) = g.apply_delta(&d).unwrap();
+    let (upd, stats) = table.update(&g, &new_g, &map).unwrap();
+    assert!(!stats.full_rebuild);
+    assert!(
+        upd.num_states() > table.num_states(),
+        "postfix operator must add at least one state"
+    );
+    assert!(
+        stats.states_reused > 0,
+        "the statement spine must be reused: {stats:?}"
+    );
+    assert_matches_scratch(&new_g, &upd);
+}
+
+/// Removing `F -> ( E )` orphans the entire paren sub-automaton: every
+/// state whose access path shifts `(` disappears, and the surviving
+/// states renumber exactly as a scratch build would number them.
+#[test]
+fn production_remove_orphans_states() {
+    let g = stmt_grammar();
+    let table = LrTable::build(&g, TableKind::Lalr);
+    let lp = g.terminal_by_name("(").unwrap();
+    let mut d = GrammarDelta::new(&g);
+    d.remove_production(find_prod(&g, "F", 3, Some(Symbol::T(lp))));
+    let (new_g, map) = g.apply_delta(&d).unwrap();
+    let (upd, stats) = table.update(&g, &new_g, &map).unwrap();
+    assert!(!stats.full_rebuild);
+    assert!(
+        upd.num_states() < table.num_states(),
+        "dropping parens must orphan states: {} -> {}",
+        table.num_states(),
+        upd.num_states()
+    );
+    // No surviving state may shift the now-unreachable `(`.
+    for s in 0..upd.num_states() {
+        assert!(
+            upd.actions(StateId(s as u32), lp).is_empty(),
+            "state {s} still shifts an orphaned terminal"
+        );
+    }
+    assert_matches_scratch(&new_g, &upd);
+}
+
+/// Adding an ε-production to a fresh optional-marker nonterminal makes it
+/// nullable, which reshapes FIRST/FOLLOW-adjacent decisions: states that
+/// used to default-reduce must be rechecked (a nullable lookahead change
+/// can forbid the default), and nt-reduction lists for the nullable
+/// nonterminal must disappear (`provided that N does not generate ε`).
+#[test]
+fn epsilon_production_add_rechecks_default_reductions() {
+    let g = stmt_grammar();
+    let table = LrTable::build(&g, TableKind::Lalr);
+    // Stmt -> id Opt = E with Opt -> ! | ε  (two chained deltas: first the
+    // marker with a real body, then the ε-alternative flipping it nullable).
+    let mut d1 = GrammarDelta::new(&g);
+    let bang = d1.add_terminal("!");
+    let opt = d1.add_nonterminal("Opt");
+    let id = g.terminal_by_name("id").unwrap();
+    let assign = g.terminal_by_name("=").unwrap();
+    let e = g.nonterminal_by_name("E").unwrap();
+    d1.add_production(opt, vec![Symbol::T(bang)]);
+    d1.modify_production(
+        find_prod(&g, "Stmt", 3, None),
+        vec![
+            Symbol::T(id),
+            Symbol::N(opt),
+            Symbol::T(assign),
+            Symbol::N(e),
+        ],
+    );
+    let (g1, m1) = g.apply_delta(&d1).unwrap();
+    let (t1, s1) = table.update(&g, &g1, &m1).unwrap();
+    assert!(!s1.full_rebuild);
+    assert_matches_scratch(&g1, &t1);
+
+    // Now the ε-alternative: Opt becomes nullable.
+    let mut d2 = GrammarDelta::new(&g1);
+    let opt = g1.nonterminal_by_name("Opt").unwrap();
+    d2.add_production(opt, vec![]);
+    let (g2, m2) = g1.apply_delta(&d2).unwrap();
+    let (t2, s2) = t1.update(&g1, &g2, &m2).unwrap();
+    assert!(!s2.full_rebuild);
+    assert_matches_scratch(&g2, &t2);
+    // The nullable marker must have no precomputed nt-reduction anywhere.
+    for s in 0..t2.num_states() {
+        assert_eq!(
+            t2.nt_reductions(StateId(s as u32), opt),
+            None,
+            "nullable nonterminal kept an nt-reduction list at state {s}"
+        );
+    }
+}
+
+/// Adding a brand-new terminal grows the ACTION row width. Reused rows
+/// must read as empty in the new column (a clean state can never mention
+/// a symbol the old grammar lacked), while dirty rows shift it.
+#[test]
+fn new_terminal_grows_columns() {
+    let g = stmt_grammar();
+    let table = LrTable::build(&g, TableKind::Lalr);
+    let mut d = GrammarDelta::new(&g);
+    let query = d.add_terminal("?");
+    let colon = d.add_terminal(":");
+    let e = g.nonterminal_by_name("E").unwrap();
+    let t = g.nonterminal_by_name("T").unwrap();
+    // E -> E ? E : T — a conditional operator touching only E.
+    d.add_production(
+        e,
+        vec![
+            Symbol::N(e),
+            Symbol::T(query),
+            Symbol::N(e),
+            Symbol::T(colon),
+            Symbol::N(t),
+        ],
+    );
+    let (new_g, map) = g.apply_delta(&d).unwrap();
+    assert_eq!(new_g.num_terminals(), g.num_terminals() + 2);
+    let (upd, stats) = table.update(&g, &new_g, &map).unwrap();
+    assert!(!stats.full_rebuild);
+    assert!(stats.states_reused > 0);
+    // Some state actually shifts the new terminal...
+    let shifts_query = (0..upd.num_states()).any(|s| {
+        upd.actions(StateId(s as u32), query)
+            .iter()
+            .any(|a| matches!(a, Action::Shift(_)))
+    });
+    assert!(shifts_query, "the conditional operator must be shiftable");
+    assert_matches_scratch(&new_g, &upd);
+}
+
+/// A delta that introduces a genuine shift/reduce conflict (cells spill
+/// to the multi-action arena), then a second delta resolving it (cells
+/// shrink back to inline words). The conflict report must track both
+/// directions, and the conflicted table must match scratch cell-for-cell
+/// including multi-action cell order.
+#[test]
+fn conflict_introduced_then_resolved() {
+    let g = stmt_grammar();
+    let t0 = LrTable::build(&g, TableKind::Lalr);
+    assert!(t0.is_deterministic());
+
+    // E -> E + E conflicts with E -> E + T on `+` lookahead.
+    let mut d1 = GrammarDelta::new(&g);
+    let plus = g.terminal_by_name("+").unwrap();
+    let e = g.nonterminal_by_name("E").unwrap();
+    d1.add_production(e, vec![Symbol::N(e), Symbol::T(plus), Symbol::N(e)]);
+    let (g1, m1) = g.apply_delta(&d1).unwrap();
+    let (t1, s1) = t0.update(&g, &g1, &m1).unwrap();
+    assert!(!s1.full_rebuild);
+    assert!(
+        t1.conflicts().has_conflicts(),
+        "ambiguous alternative must surface conflicts"
+    );
+    // At least one cell carries multiple actions (arena spill).
+    let spilled = (0..t1.num_states()).any(|s| t1.actions(StateId(s as u32), plus).len() > 1);
+    assert!(spilled, "conflicted cells must hold every action");
+    assert_matches_scratch(&g1, &t1);
+
+    // Removing the ambiguous alternative resolves every conflict.
+    let mut d2 = GrammarDelta::new(&g1);
+    let ambiguous = g1
+        .productions()
+        .filter(|(_, p)| p.lhs() == e && p.rhs().len() == 3 && p.rhs()[2] == Symbol::N(e))
+        .map(|(id, _)| id)
+        .next()
+        .expect("the ambiguous production exists");
+    d2.remove_production(ambiguous);
+    let (g2, m2) = g1.apply_delta(&d2).unwrap();
+    let (t2, s2) = t1.update(&g1, &g2, &m2).unwrap();
+    assert!(!s2.full_rebuild);
+    assert!(t2.is_deterministic(), "conflict must unspill");
+    assert_matches_scratch(&g2, &t2);
+}
+
+/// Precedence interactions: a delta adding a production whose conflicts
+/// are statically filtered by existing %left declarations must reassemble
+/// the resolved-by-precedence counters exactly.
+#[test]
+fn precedence_filtered_delta() {
+    let mut b = GrammarBuilder::new("prec");
+    let plus = b.terminal("+");
+    let star = b.terminal("*");
+    let num = b.terminal("num");
+    b.left(&[plus]);
+    b.left(&[star]);
+    let e = b.nonterminal("E");
+    b.prod(e, vec![Symbol::N(e), Symbol::T(plus), Symbol::N(e)]);
+    b.prod(e, vec![Symbol::T(num)]);
+    b.start(e);
+    let g = b.build().unwrap();
+    let t0 = LrTable::build(&g, TableKind::Lalr);
+    assert!(t0.is_deterministic());
+
+    let mut d = GrammarDelta::new(&g);
+    d.add_production(e, vec![Symbol::N(e), Symbol::T(star), Symbol::N(e)]);
+    let (g1, m1) = g.apply_delta(&d).unwrap();
+    let (t1, s1) = t0.update(&g, &g1, &m1).unwrap();
+    assert!(!s1.full_rebuild);
+    assert!(
+        t1.is_deterministic(),
+        "%left must statically filter the new operator's conflicts"
+    );
+    assert!(t1.conflicts().resolved_by_precedence > 0);
+    assert_matches_scratch(&g1, &t1);
+}
+
+/// Reuse accounting: a leaf-level edit to the expression sublanguage must
+/// reuse a meaningful fraction of states and rows (the tentpole's whole
+/// point), not silently degrade into a rebuild-shaped update.
+#[test]
+fn leaf_edit_reuses_most_states() {
+    let g = stmt_grammar();
+    let table = LrTable::build(&g, TableKind::Lalr);
+    let mut d = GrammarDelta::new(&g);
+    let tru = d.add_terminal("true");
+    let f = g.nonterminal_by_name("F").unwrap();
+    d.add_production(f, vec![Symbol::T(tru)]);
+    let (new_g, map) = g.apply_delta(&d).unwrap();
+    let (upd, stats) = table.update(&g, &new_g, &map).unwrap();
+    assert!(!stats.full_rebuild);
+    assert!(
+        stats.states_reused * 2 >= stats.states,
+        "a new leaf alternative must reuse at least half the states: {stats:?}"
+    );
+    assert!(stats.rows_reused > 0, "some rows must be reused: {stats:?}");
+    assert_matches_scratch(&new_g, &upd);
+}

@@ -1243,6 +1243,18 @@ impl SemanticPass for SemState {
         self.stats
     }
 
+    fn rebuild(&mut self, arena: &DagArena, root: NodeId) -> SemUpdate {
+        // Grammar hot-swap: the whole tree was re-derived under a new
+        // table, so node stamps, contours, and selections are meaningless.
+        // Reset instead of rippling from (nonexistent) damage.
+        self.stats = SemUpdate::default();
+        self.spans.borrow_mut().clear();
+        self.view = None;
+        self.full_build(arena, root);
+        self.stats.full_rebuild = true;
+        self.stats
+    }
+
     fn info_at(&self, arena: &DagArena, path: &[NodeId]) -> Option<SemInfo> {
         // The tree may have moved under us since the last update (edits
         // applied but not yet incorporated); don't trust memoized spans.

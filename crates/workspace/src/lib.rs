@@ -60,6 +60,6 @@ pub use metrics::{LatencyHistogram, WorkspaceMetrics};
 pub use pool::{Requeue, ShardPool};
 pub use sync::{oneshot, BoundedQueue, OneShotReceiver, OneShotSender};
 pub use workspace::{
-    ApplyOutcome, DocId, DocReport, DocResult, EditReq, PendingApply, PendingQuery, SemAnswer,
-    SemQuery, Workspace, WorkspaceError,
+    ApplyOutcome, DocId, DocReport, DocResult, EditReq, GrammarSwapReport, PendingApply,
+    PendingQuery, SemAnswer, SemQuery, Workspace, WorkspaceError,
 };

@@ -184,6 +184,15 @@ pub struct WorkspaceMetrics {
     /// Each pinned version holds that document's collector back from
     /// recycling the node slots the version can still see.
     pub pinned_versions: usize,
+    /// Grammar updates installed through this workspace's registry
+    /// ([`crate::Workspace::update_grammar`] calls that succeeded).
+    pub grammar_updates: u64,
+    /// Session-level table adoptions: reparse cycles (broadcast-triggered
+    /// or organic) that picked up a new table epoch.
+    pub grammar_swaps: u64,
+    /// Highest table epoch installed by this workspace's grammar updates
+    /// (0 until the first update).
+    pub table_epoch: u64,
 }
 
 #[cfg(test)]

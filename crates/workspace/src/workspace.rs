@@ -72,11 +72,12 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use wg_core::{
-    LanguageRegistry, ReparseReport, SemInfo, Session, SessionConfig, SessionError, Snapshot,
+    IncrStats, LangSlot, LanguageRegistry, ReparseReport, SemInfo, Session, SessionConfig,
+    SessionError, Snapshot, UpdateError,
 };
 use wg_dag::NodeId;
 use wg_document::Edit;
-use wg_grammar::Grammar;
+use wg_grammar::{Grammar, GrammarDelta};
 use wg_lexer::LexerDef;
 use wg_sem::{SemState, Strictness};
 
@@ -144,6 +145,9 @@ pub enum WorkspaceError {
     /// A semantic query was addressed to a document opened without a
     /// semantic pass (see [`Workspace::open_with_semantics`]).
     NoSemantics(DocId),
+    /// The registry rejected a grammar update (unknown base, invalid
+    /// delta, or untabulatable result).
+    GrammarUpdate(UpdateError),
 }
 
 impl fmt::Display for WorkspaceError {
@@ -156,6 +160,7 @@ impl fmt::Display for WorkspaceError {
             WorkspaceError::NoSemantics(d) => {
                 write!(f, "{d} was opened without semantic analysis")
             }
+            WorkspaceError::GrammarUpdate(e) => write!(f, "grammar update failed: {e}"),
         }
     }
 }
@@ -211,6 +216,25 @@ pub struct ApplyOutcome {
 
 /// Per-document command result.
 pub type DocResult = Result<ApplyOutcome, WorkspaceError>;
+
+/// The outcome of one [`Workspace::update_grammar`] broadcast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GrammarSwapReport {
+    /// The table epoch the registry installed.
+    pub epoch: u64,
+    /// Incremental table-derivation statistics (state/row reuse and the
+    /// from-scratch fallback flag).
+    pub stats: IncrStats,
+    /// Documents on the new table epoch when their nudge completed —
+    /// whether the nudge's reparse adopted it or an interleaved apply run
+    /// beat the nudge to the swap.
+    pub sessions_swapped: usize,
+    /// Documents not on the new epoch after their nudge: other languages
+    /// (their slot epoch is unchanged), sessions whose committed text the
+    /// new grammar rejects (they retry at every later reparse), or
+    /// documents that were poisoned/closed mid-broadcast.
+    pub sessions_pending: usize,
+}
 
 /// One document's report within a batch [`Workspace::apply`].
 #[derive(Debug, Clone, PartialEq)]
@@ -286,6 +310,18 @@ enum Cmd {
     },
     Close {
         reply: OneShotSender<bool>,
+    },
+    /// Grammar hot-swap nudge, broadcast by [`Workspace::update_grammar`]
+    /// after the registry installed a new table epoch: run one reparse so
+    /// the session adopts the new table now rather than at its next edit.
+    /// Replies whether this document is on `epoch` of the updated `lang`
+    /// slot afterwards — true also when an interleaved apply run adopted
+    /// it organically just before the nudge landed; documents of other
+    /// languages, or whose text the new grammar rejects, reply `false`.
+    UpdateGrammar {
+        lang: Arc<LangSlot>,
+        epoch: u64,
+        reply: OneShotSender<Result<bool, WorkspaceError>>,
     },
     Text {
         reply: OneShotSender<Option<String>>,
@@ -490,6 +526,11 @@ struct Shared {
     migrations: AtomicU64,
     docs_poisoned: AtomicU64,
     queries: AtomicU64,
+    /// Session-level table adoptions observed by grammar-update nudges and
+    /// organic reparses.
+    grammar_swaps: AtomicU64,
+    /// Highest table epoch installed via [`Workspace::update_grammar`].
+    table_epoch: AtomicU64,
     /// Queries answered on the caller's thread from a published snapshot.
     snapshot_reads: AtomicU64,
     /// Maximum apply-seq staleness ever observed at a snapshot read.
@@ -539,6 +580,8 @@ impl Workspace {
             migrations: AtomicU64::new(0),
             docs_poisoned: AtomicU64::new(0),
             queries: AtomicU64::new(0),
+            grammar_swaps: AtomicU64::new(0),
+            table_epoch: AtomicU64::new(0),
             snapshot_reads: AtomicU64::new(0),
             snapshot_lag: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
@@ -824,6 +867,87 @@ impl Workspace {
         Ok(PendingApply { doc, rx })
     }
 
+    /// Installs a grammar delta through the shared registry and nudges
+    /// every open document with one reparse cycle, so sessions of the
+    /// updated language adopt the new table *now* instead of at their
+    /// next edit. The registry work happens once on the calling thread
+    /// (incremental table derivation from the retained automaton); the
+    /// per-document nudges run on the owner shards in mailbox FIFO order,
+    /// behind any edits already queued — a live edit stream is never
+    /// interrupted mid-cycle.
+    ///
+    /// Documents of other languages no-op (their slot's epoch is
+    /// unchanged). A session whose committed text the new grammar rejects
+    /// keeps its old table and retries adoption at every subsequent
+    /// reparse; it counts into `sessions_pending`.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkspaceError::GrammarUpdate`] when the registry rejects the
+    /// delta (unknown base fingerprint, invalid delta, untabulatable
+    /// result) and [`WorkspaceError::ShuttingDown`] when the workspace
+    /// refused the broadcast.
+    pub fn update_grammar(
+        &self,
+        delta: &GrammarDelta,
+    ) -> Result<GrammarSwapReport, WorkspaceError> {
+        if self.shared.closing.load(Ordering::Acquire) {
+            return Err(WorkspaceError::ShuttingDown);
+        }
+        let update = self
+            .registry
+            .update_grammar(delta)
+            .map_err(WorkspaceError::GrammarUpdate)?;
+        self.shared
+            .table_epoch
+            .fetch_max(update.epoch, Ordering::Relaxed);
+        // Recover the updated slot's identity: the nudge replies compare
+        // against it so documents of *other* languages (whose own epochs
+        // are incomparable numbers) can never be miscounted as swapped.
+        let lang = self
+            .registry
+            .slot_by_fingerprint(delta.base_fingerprint())
+            .expect("slot exists: update_grammar just succeeded on it");
+        let slots: Vec<Arc<DocSlot>> = self
+            .shared
+            .docs
+            .lock()
+            .expect("docs lock")
+            .values()
+            .cloned()
+            .collect();
+        let mut waits = Vec::with_capacity(slots.len());
+        for slot in &slots {
+            let (reply, rx) = oneshot();
+            let cmd = Cmd::UpdateGrammar {
+                lang: Arc::clone(&lang),
+                epoch: update.epoch,
+                reply,
+            };
+            match self.submit(slot, cmd) {
+                Ok(()) => waits.push(rx),
+                // Raced the close: the table is installed (future sessions
+                // use it); report the un-nudged documents as pending.
+                Err(_) => drop(rx),
+            }
+        }
+        let pending_unreached = slots.len() - waits.len();
+        let mut swapped = 0usize;
+        let mut pending = pending_unreached;
+        for rx in waits {
+            match rx.recv() {
+                Some(Ok(true)) => swapped += 1,
+                _ => pending += 1,
+            }
+        }
+        Ok(GrammarSwapReport {
+            epoch: update.epoch,
+            stats: update.stats,
+            sessions_swapped: swapped,
+            sessions_pending: pending,
+        })
+    }
+
     /// Closes a document, dropping its session. Returns whether it was
     /// open (false for unknown, already closed, or poisoned ids — closing
     /// a poisoned id clears its tombstone).
@@ -919,6 +1043,9 @@ impl Workspace {
             snapshot_reads: self.shared.snapshot_reads.load(Ordering::Relaxed),
             snapshot_lag: self.shared.snapshot_lag.load(Ordering::Relaxed),
             pinned_versions,
+            grammar_updates: self.registry.grammar_updates(),
+            grammar_swaps: self.shared.grammar_swaps.load(Ordering::Relaxed),
+            table_epoch: self.shared.table_epoch.load(Ordering::Relaxed),
         }
     }
 
@@ -1057,6 +1184,11 @@ fn exec_apply_run(
                     .fetch_add((*group - 1) as u64, Ordering::Relaxed);
             }
             *group = 0;
+            if out.report.grammar_swapped {
+                // Organic adoption: the registry moved on while this
+                // document kept editing, and this cycle picked it up.
+                shared.grammar_swaps.fetch_add(1, Ordering::Relaxed);
+            }
             remaining = out.remaining_edits;
             last_report = out.report;
         };
@@ -1246,6 +1378,65 @@ fn exec_single(shared: &Shared, slot: &DocSlot, cmd: Cmd) {
             }
             shared.docs.lock().expect("docs lock").remove(&slot.doc);
             reply.send(existed);
+        }
+        Cmd::UpdateGrammar { lang, epoch, reply } => {
+            // Check the session out exactly like an apply run: the nudge
+            // reparse mutates the tree (full-damage rebuild over the
+            // retained token tape when it swaps), so a panic poisons only
+            // this document.
+            let mut session = {
+                let mut st = slot.state.lock().expect("doc state lock");
+                if st.poisoned {
+                    drop(st);
+                    reply.send(Err(WorkspaceError::Poisoned(slot.doc)));
+                    return;
+                }
+                match st.session.take() {
+                    Some(session) => session,
+                    None => {
+                        drop(st);
+                        reply.send(Err(WorkspaceError::UnknownDoc(slot.doc)));
+                        return;
+                    }
+                }
+            };
+            let before = session.grammar_swaps();
+            let run = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                let t_cycle = Instant::now();
+                session.reparse().expect("reparse is infallible");
+                shared.latency.record(t_cycle.elapsed());
+            }));
+            match run {
+                Ok(()) => {
+                    shared.reparses.fetch_add(1, Ordering::Relaxed);
+                    let swapped = session.grammar_swaps() > before;
+                    if swapped {
+                        shared.grammar_swaps.fetch_add(1, Ordering::Relaxed);
+                        // Republish so snapshot readers see the new
+                        // grammar's tree and semantic view.
+                        let snap = session.publish();
+                        slot.publish_snapshot(Some(snap));
+                        slot.pinned
+                            .store(session.arena().live_pins() as u64, Ordering::Relaxed);
+                    }
+                    // "Adopted" is judged against the broadcast's slot and
+                    // epoch, not against whether *this* reparse swapped: an
+                    // interleaved apply run may have adopted the new table
+                    // organically a moment earlier, and that document is
+                    // just as current.
+                    let cfg = session.config();
+                    let adopted = cfg.lang_slot().is_some_and(|s| Arc::ptr_eq(s, &lang))
+                        && cfg.table_epoch() >= epoch;
+                    slot.state.lock().expect("doc state lock").session = Some(session);
+                    reply.send(Ok(adopted));
+                }
+                Err(_) => {
+                    drop(session);
+                    shared.docs_open.fetch_sub(1, Ordering::Relaxed);
+                    poison(shared, slot);
+                    reply.send(Err(WorkspaceError::Poisoned(slot.doc)));
+                }
+            }
         }
         Cmd::Text { reply } => {
             let st = slot.state.lock().expect("doc state lock");

@@ -1,0 +1,185 @@
+//! Grammar hot-swap under a live edit stream.
+//!
+//! The model test of the versioned-table protocol: a workspace document
+//! keeps editing while [`Workspace::update_grammar`] installs a new table
+//! epoch. The broadcast nudge is just another mailbox command, so it
+//! lands *between* the document's queued applies in FIFO order — the
+//! session adopts the new table at that reparse and every later edit may
+//! use syntax only the new grammar accepts. The final text and tree must
+//! be byte-identical to a fresh session opened on the new grammar.
+
+use wg_core::{Session, SessionConfig};
+use wg_grammar::{Grammar, GrammarBuilder, GrammarDelta, SeqKind, Symbol};
+use wg_lexer::LexerDef;
+use wg_workspace::{EditReq, Workspace, WorkspaceError};
+
+/// `prog = stmt+ ; stmt -> id ;` — empty statements are a syntax error
+/// until the delta below makes them legal.
+fn stmt_grammar(name: &str) -> Grammar {
+    let mut b = GrammarBuilder::new(name);
+    let id = b.terminal("id");
+    let semi = b.terminal(";");
+    let stmt = b.nonterminal("stmt");
+    let prog = b.nonterminal("prog");
+    b.prod(stmt, vec![Symbol::T(id), Symbol::T(semi)]);
+    b.sequence(prog, Symbol::N(stmt), SeqKind::Plus, None);
+    b.start(prog);
+    b.build().unwrap()
+}
+
+fn stmt_lexdef() -> LexerDef {
+    let mut lx = LexerDef::new();
+    lx.rule("id", "[a-zA-Z_][a-zA-Z0-9_]*").unwrap();
+    lx.literal(";", ";");
+    lx.skip("ws", "[ \\t\\n]+").unwrap();
+    lx
+}
+
+/// A delta making empty statements legal: `stmt -> ;`.
+fn semi_only_delta(g: &Grammar) -> GrammarDelta {
+    let semi = g.terminal_by_name(";").unwrap();
+    let stmt = g.nonterminal_by_name("stmt").unwrap();
+    let mut d = GrammarDelta::new(g);
+    d.add_production(stmt, vec![Symbol::T(semi)]);
+    d
+}
+
+#[test]
+fn live_session_survives_update_grammar_mid_edit_stream() {
+    let ws = Workspace::new(2, 64);
+    let g = stmt_grammar("stmts");
+    let delta = semi_only_delta(&g);
+    let config = ws
+        .registry()
+        .get_or_compile(g.clone(), stmt_lexdef())
+        .unwrap();
+    let doc = ws.open_with(&config, "a; b;").unwrap();
+
+    // Phase 1: edits under the old grammar, left in flight (not waited)
+    // so the hot-swap genuinely interleaves with the stream.
+    let pending = ws
+        .apply_async(doc, vec![EditReq::insert(5, " c;")])
+        .unwrap();
+
+    // The swap: one registry-side incremental table derivation, then a
+    // nudge through every document mailbox, behind the apply above.
+    let report = ws.update_grammar(&delta).unwrap();
+    assert_eq!(report.epoch, 1);
+    assert_eq!(report.sessions_swapped, 1, "the one open doc adopted");
+    assert_eq!(report.sessions_pending, 0);
+    assert!(
+        !report.stats.full_rebuild,
+        "a one-production delta must take the incremental path"
+    );
+
+    let first = pending.wait();
+    assert!(first.result.unwrap().incorporated, "old-syntax edit landed");
+
+    // Phase 2: edits legal only under the new grammar (bare `;`).
+    let reports = ws.apply(vec![(doc, vec![EditReq::insert(8, " ; ;")])]);
+    let out = reports[0].result.as_ref().unwrap();
+    assert!(
+        out.incorporated,
+        "post-swap edits may use new-grammar syntax: {out:?}"
+    );
+
+    // The surviving document is byte- and tree-identical to a fresh
+    // session opened on the post-delta grammar.
+    let text = ws.text(doc).unwrap();
+    assert_eq!(text, "a; b; c; ; ;");
+    let (new_g, _) = g.apply_delta(&delta).unwrap();
+    let fresh_cfg = SessionConfig::new(new_g, stmt_lexdef()).unwrap();
+    let fresh = Session::new(&fresh_cfg, &text).unwrap();
+    assert_eq!(
+        ws.dump(doc).unwrap(),
+        fresh.dump(),
+        "hot-swapped tree diverges from a from-scratch parse on the new grammar"
+    );
+
+    let metrics = ws.shutdown();
+    assert_eq!(metrics.grammar_updates, 1);
+    assert!(metrics.grammar_swaps >= 1, "{}", metrics.grammar_swaps);
+    assert_eq!(metrics.table_epoch, 1);
+    assert_eq!(metrics.docs_poisoned, 0);
+}
+
+#[test]
+fn broadcast_skips_documents_of_other_languages() {
+    let ws = Workspace::new(2, 16);
+    let g_a = stmt_grammar("lang_a");
+    let g_b = stmt_grammar("lang_b"); // distinct fingerprint, own slot
+    let cfg_a = ws
+        .registry()
+        .get_or_compile(g_a.clone(), stmt_lexdef())
+        .unwrap();
+    let cfg_b = ws.registry().get_or_compile(g_b, stmt_lexdef()).unwrap();
+    let doc_a = ws.open_with(&cfg_a, "x;").unwrap();
+    let doc_b = ws.open_with(&cfg_b, "y;").unwrap();
+
+    let report = ws.update_grammar(&semi_only_delta(&g_a)).unwrap();
+    assert_eq!(report.sessions_swapped, 1, "only the lang_a doc swaps");
+    assert_eq!(report.sessions_pending, 1, "the lang_b doc no-ops");
+
+    // Both documents still serve edits; lang_b never saw an epoch change.
+    let reports = ws.apply(vec![
+        (doc_a, vec![EditReq::insert(2, " ;")]),
+        (doc_b, vec![EditReq::insert(2, " z;")]),
+    ]);
+    assert!(reports.iter().all(|r| r.result.is_ok()));
+    assert_eq!(ws.text(doc_a).unwrap(), "x; ;");
+    assert_eq!(ws.text(doc_b).unwrap(), "y; z;");
+    ws.shutdown();
+}
+
+#[test]
+fn rejecting_text_stays_pending_and_keeps_serving() {
+    let ws = Workspace::new(1, 16);
+    let g = stmt_grammar("strict");
+    let cfg = ws
+        .registry()
+        .get_or_compile(g.clone(), stmt_lexdef())
+        .unwrap();
+    let doc = ws.open_with(&cfg, "a;").unwrap();
+
+    // Replace `stmt -> id ;` with `stmt -> ;`: the committed text `a;`
+    // has no parse under the new grammar, so adoption must fail *without*
+    // damaging the live tree.
+    let semi = g.terminal_by_name(";").unwrap();
+    let stmt = g.nonterminal_by_name("stmt").unwrap();
+    let id_semi = (0..g.num_productions())
+        .map(wg_grammar::ProdId::from_index)
+        .find(|&p| {
+            let pr = g.production(p);
+            pr.lhs() == stmt && pr.rhs().len() == 2
+        })
+        .unwrap();
+    let mut d = GrammarDelta::new(&g);
+    d.remove_production(id_semi);
+    d.add_production(stmt, vec![Symbol::T(semi)]);
+
+    let report = ws.update_grammar(&d).unwrap();
+    assert_eq!(report.sessions_swapped, 0);
+    assert_eq!(report.sessions_pending, 1);
+
+    // The session keeps serving old-grammar edits on the old table.
+    let reports = ws.apply(vec![(doc, vec![EditReq::insert(2, " b;")])]);
+    assert!(reports[0].result.as_ref().unwrap().incorporated);
+    assert_eq!(ws.text(doc).unwrap(), "a; b;");
+
+    let metrics = ws.shutdown();
+    assert_eq!(metrics.grammar_updates, 1);
+    assert_eq!(metrics.grammar_swaps, 0);
+    assert_eq!(metrics.docs_poisoned, 0);
+}
+
+#[test]
+fn unknown_base_is_a_clean_error() {
+    let ws = Workspace::new(1, 16);
+    let g = stmt_grammar("orphan");
+    // The grammar was never opened through this workspace's registry.
+    let err = ws.update_grammar(&semi_only_delta(&g)).unwrap_err();
+    assert!(matches!(err, WorkspaceError::GrammarUpdate(_)), "{err}");
+    let metrics = ws.shutdown();
+    assert_eq!(metrics.grammar_updates, 0);
+    assert_eq!(metrics.table_epoch, 0);
+}
